@@ -1,0 +1,66 @@
+"""Ablation — EMD solver choice (DESIGN.md §5.1).
+
+The production content path uses the O(n log n) closed form for 1-D
+cluster values; the from-scratch transportation simplex and the scipy LP
+are kept for validation and non-scalar extensions.  This bench verifies
+all three agree on real cuboid signatures and quantifies the speed gap
+that justifies the closed-form default.
+"""
+
+import numpy as np
+from conftest import effectiveness_index
+
+from repro.emd import emd_1d, emd_exact, emd_linprog
+from repro.evaluation.harness import Timer
+
+
+def _signature_pairs(index, count: int = 40):
+    video_ids = index.video_ids
+    pairs = []
+    for offset in range(count):
+        first = index.series[video_ids[offset % len(video_ids)]][0]
+        second = index.series[video_ids[(offset * 7 + 1) % len(video_ids)]][0]
+        pairs.append((first, second))
+    return pairs
+
+
+def test_ablation_emd_solvers(benchmark, report):
+    index = effectiveness_index(k=60)
+    pairs = _signature_pairs(index)
+
+    gaps_simplex = []
+    gaps_lp = []
+    timings = {}
+    for name, solver in (
+        ("closed-form 1-D", emd_1d),
+        ("transportation simplex", emd_exact),
+        ("scipy linprog", emd_linprog),
+    ):
+        with Timer() as timer:
+            values = [
+                solver(a.values, a.weights, b.values, b.weights) for a, b in pairs
+            ]
+        timings[name] = timer.seconds / len(pairs)
+        if name == "closed-form 1-D":
+            reference = values
+        elif name == "transportation simplex":
+            gaps_simplex = [abs(x - y) for x, y in zip(values, reference)]
+        else:
+            gaps_lp = [abs(x - y) for x, y in zip(values, reference)]
+
+    lines = [f"{'solver':<24} {'us/pair':>10}"]
+    lines.append("-" * 36)
+    for name, seconds in timings.items():
+        lines.append(f"{name:<24} {seconds * 1e6:>10.1f}")
+    lines.append(
+        f"\nmax |simplex - closed| = {max(gaps_simplex):.2e}; "
+        f"max |linprog - closed| = {max(gaps_lp):.2e}"
+    )
+    speedup = timings["transportation simplex"] / timings["closed-form 1-D"]
+    lines.append(f"closed form is {speedup:.0f}x faster than the simplex")
+    report("\n".join(lines))
+    assert max(gaps_simplex) < 1e-6
+    assert max(gaps_lp) < 1e-6
+
+    a, b = pairs[0]
+    benchmark(lambda: emd_1d(a.values, a.weights, b.values, b.weights))

@@ -1,0 +1,53 @@
+"""Ablation — fusion function choice (paper §4.3, DESIGN.md §5.5).
+
+Section 4.3 argues for the weighted FJ fusion over the two search-fusion
+alternatives it cites: the plain average (ignores the signals' different
+importance) and the max (discards one signal per pair).  This bench scores
+all three on the shared snapshot.  Expected: FJ(0.7) >= average >= / ~ max.
+"""
+
+from conftest import effectiveness_index, effectiveness_workload
+
+from repro.core.fusion import fuse_average, fuse_fj, fuse_max
+from repro.core.recommender import FusionRecommender
+from repro.evaluation import evaluate_method, format_table
+
+
+def test_ablation_fusion_functions(benchmark, report, panel):
+    workload = effectiveness_workload()
+    index = effectiveness_index(k=60)
+    scorer = FusionRecommender(index, omega=0.5, social_mode="exact")
+    components = {
+        source: scorer.component_scores(source) for source in workload.sources
+    }
+
+    def ranker(fuse):
+        def recommend(query, top_k):
+            scored = sorted(
+                (
+                    (-fuse(content, social), candidate)
+                    for candidate, (content, social) in components[query].items()
+                ),
+            )
+            return [candidate for _, candidate in scored[:top_k]]
+
+        return recommend
+
+    variants = [
+        ("FJ (omega=0.7)", lambda c, s: fuse_fj(c, s, 0.7)),
+        ("average", fuse_average),
+        ("max", fuse_max),
+    ]
+    reports = [
+        evaluate_method(name, ranker(fuse), workload.sources, panel, exclude_query=False)
+        for name, fuse in variants
+    ]
+    table = format_table(reports)
+    by_name = {r.method: r for r in reports}
+    fj_best = by_name["FJ (omega=0.7)"].row(10).ar >= max(
+        by_name["average"].row(10).ar, by_name["max"].row(10).ar
+    ) - 0.05
+    report(table + f"\n\nshape check (FJ >= average and max at top-10 AR): {fj_best}")
+    assert fj_best
+
+    benchmark(lambda: fuse_fj(0.4, 0.6, 0.7))

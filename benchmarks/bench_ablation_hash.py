@@ -1,0 +1,69 @@
+"""Ablation — user -> sub-community mapping backend (DESIGN.md §5.4).
+
+Micro-benchmark of the three mapping structures behind SAR vectorization:
+the paper's chained hash table with shift-add-xor hashing (SAR-H), the
+sorted user dictionary with binary search (plain SAR), and — as the
+engineering upper bound — a raw Python dict.  Expected: hash beats binary
+search; the builtin dict bounds both (it is the same idea as SAR-H with
+interpreter-level constants).
+"""
+
+import numpy as np
+from conftest import effectiveness_index
+
+from repro.evaluation.harness import Timer
+from repro.social.sar import SortedUserDictionary, hash_dictionary_from_partition
+from repro.social.subcommunity import Partition
+
+
+class _DictLookup:
+    """Raw-dict reference backend."""
+
+    def __init__(self, membership):
+        self._mapping = dict(membership)
+
+    def lookup(self, key):
+        return self._mapping.get(key)
+
+
+def test_ablation_mapping_backends(benchmark, report):
+    index = effectiveness_index(k=60)
+    membership = {
+        user: cno
+        for cno, members in index.social.communities.items()
+        for user in members
+    }
+    partition = Partition(list(index.social.communities.values()))
+    backends = {
+        "chained hash (SAR-H)": hash_dictionary_from_partition(partition),
+        "sorted dict (SAR)": SortedUserDictionary(membership),
+        "python dict (bound)": _DictLookup(membership),
+    }
+
+    users = sorted(membership)
+    rng = np.random.default_rng(0)
+    probes = [users[int(i)] for i in rng.integers(0, len(users), size=20_000)]
+    probes += [f"missing{i}" for i in range(2_000)]
+
+    lines = [f"{'backend':<22} {'ns/lookup':>10} {'all agree':>10}"]
+    lines.append("-" * 46)
+    reference = None
+    timings = {}
+    for name, backend in backends.items():
+        results = [backend.lookup(probe) for probe in probes]  # warm + capture
+        with Timer() as timer:
+            for probe in probes:
+                backend.lookup(probe)
+        timings[name] = timer.seconds / len(probes)
+        agree = reference is None or results == reference
+        reference = reference or results
+        lines.append(f"{name:<22} {timings[name] * 1e9:>10.0f} {str(agree):>10}")
+        assert agree
+
+    hash_beats_sorted = timings["chained hash (SAR-H)"] <= timings["sorted dict (SAR)"]
+    lines.append(f"\nshape check (chained hash <= sorted dict): {hash_beats_sorted}")
+    report("\n".join(lines))
+    assert hash_beats_sorted
+
+    table = backends["chained hash (SAR-H)"]
+    benchmark(lambda: table.lookup(probes[0]))

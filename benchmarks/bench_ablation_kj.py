@@ -1,0 +1,52 @@
+"""Ablation — κJ matching strategy (DESIGN.md §5.2).
+
+Eq. 4 of the paper leaves the signature-pair matching implicit.  This
+bench compares the production one-to-one greedy matching against the
+literal all-pairs reading, plus a threshold sweep, on content-only
+recommendation quality.  Expected: matched κJ beats all-pairs (one strong
+match should not be diluted by every weak cross pair), and a moderate
+threshold beats both extremes.
+"""
+
+from conftest import effectiveness_index, effectiveness_workload
+
+from repro.core.recommender import FusionRecommender
+from repro.evaluation import evaluate_method, format_table
+from repro.measures.content import kappa_j, kappa_j_all_pairs
+
+
+def test_ablation_kj_matching(benchmark, report, panel):
+    workload = effectiveness_workload()
+    index = effectiveness_index(k=60)
+
+    def make_recommender(scorer, name):
+        recommender = FusionRecommender(index, omega=0.0, name=name)
+        recommender._content = scorer  # ablate the content measure only
+        return recommender
+
+    variants = [
+        ("matched t=0.2", lambda a, b: kappa_j(a, b, match_threshold=0.2)),
+        ("matched t=0.5", lambda a, b: kappa_j(a, b, match_threshold=0.5)),
+        ("matched t=0.0", lambda a, b: kappa_j(a, b, match_threshold=0.0)),
+        ("all-pairs", kappa_j_all_pairs),
+    ]
+    reports = [
+        evaluate_method(
+            name, make_recommender(scorer, name).recommend, workload.sources, panel
+        )
+        for name, scorer in variants
+    ]
+    table = format_table(reports)
+    by_name = {r.method: r for r in reports}
+    matched_beats_all_pairs = (
+        by_name["matched t=0.2"].row(10).ar >= by_name["all-pairs"].row(10).ar
+    )
+    report(
+        table
+        + f"\n\nshape check (matched kJ >= all-pairs at top-10 AR): {matched_beats_all_pairs}"
+    )
+    assert matched_beats_all_pairs
+
+    a = index.series[workload.sources[0]]
+    b = index.series[workload.sources[1]]
+    benchmark(lambda: kappa_j(a, b, match_threshold=0.2))

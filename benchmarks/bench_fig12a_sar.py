@@ -1,0 +1,63 @@
+"""Figure 12(a) — effect of the social relevance optimisations on time.
+
+Regenerates the paper's Figure 12(a): average recommendation time of
+(1) CSF (exact quadratic social relevance), (2) CSF-SAR (sorted-dictionary
+vectorization + linear s̃J) and (3) CSF-SAR-H (chained-hash vectorization),
+over dataset sizes equivalent to the paper's 50-200 crawl hours (scaled by
+REPRO_BENCH_SCALE; dense per-video comment volumes as in the paper's
+"several hundreds" of users per descriptor).  Expected shape:
+CSF ≫ CSF-SAR ≥ CSF-SAR-H at every size, with CSF's gap growing.
+"""
+
+from conftest import dense_efficiency_index, dense_efficiency_workload
+
+from repro.core.recommender import (
+    csf_recommender,
+    csf_sar_h_recommender,
+    csf_sar_recommender,
+)
+from repro.evaluation.harness import Timer
+
+PAPER_HOURS = (50, 100, 150, 200)
+QUERIES_PER_SIZE = 3
+
+
+def _average_query_seconds(recommender, sources) -> float:
+    recommender.recommend(sources[0], 10)  # warm caches before timing
+    with Timer() as timer:
+        for source in sources[:QUERIES_PER_SIZE]:
+            recommender.recommend(source, 10)
+    return timer.seconds / QUERIES_PER_SIZE
+
+
+def test_fig12a_social_optimisation(benchmark, report):
+    lines = [f"{'hours':>6} {'CSF (s)':>10} {'CSF-SAR (s)':>12} {'CSF-SAR-H (s)':>14}"]
+    lines.append("-" * 46)
+    rows = {}
+    for hours in PAPER_HOURS:
+        workload = dense_efficiency_workload(hours)
+        index = dense_efficiency_index(hours)
+        timings = {
+            "CSF": _average_query_seconds(csf_recommender(index), workload.sources),
+            "CSF-SAR": _average_query_seconds(csf_sar_recommender(index), workload.sources),
+            "CSF-SAR-H": _average_query_seconds(csf_sar_h_recommender(index), workload.sources),
+        }
+        rows[hours] = timings
+        lines.append(
+            f"{hours:>6} {timings['CSF']:>10.4f} {timings['CSF-SAR']:>12.4f} "
+            f"{timings['CSF-SAR-H']:>14.4f}"
+        )
+
+    largest = rows[PAPER_HOURS[-1]]
+    shape = largest["CSF"] > largest["CSF-SAR"] and largest["CSF"] > largest["CSF-SAR-H"]
+    lines.append(
+        f"\nshape check at {PAPER_HOURS[-1]}h (CSF slowest, SAR variants close): {shape}; "
+        f"CSF / CSF-SAR-H speed ratio: {largest['CSF'] / max(largest['CSF-SAR-H'], 1e-9):.1f}x"
+    )
+    report("\n".join(lines))
+    assert shape
+
+    index = dense_efficiency_index(PAPER_HOURS[0])
+    workload = dense_efficiency_workload(PAPER_HOURS[0])
+    sar_h = csf_sar_h_recommender(index)
+    benchmark(lambda: sar_h.recommend(workload.sources[0], 10))

@@ -1,0 +1,54 @@
+"""Figure 12(b) — CSF-SAR-H vs content-only CR, overall time cost.
+
+Regenerates the paper's Figure 12(b): recommendation time of the fully
+optimised CSF-SAR-H against the content-only CR baseline over the same
+50-200 hour sweep.  Expected shape: the two curves nearly coincide —
+"the time cost of social relevance computation can be neglected" next to
+the content relevance computation — even though CSF-SAR-H also folds in
+all the social information.
+"""
+
+from conftest import dense_efficiency_index, dense_efficiency_workload
+
+from repro.core.recommender import content_recommender, csf_sar_h_recommender
+from repro.evaluation.harness import Timer
+
+PAPER_HOURS = (50, 100, 150, 200)
+QUERIES_PER_SIZE = 3
+
+
+def _average_query_seconds(recommender, sources) -> float:
+    recommender.recommend(sources[0], 10)  # warm caches before timing
+    with Timer() as timer:
+        for source in sources[:QUERIES_PER_SIZE]:
+            recommender.recommend(source, 10)
+    return timer.seconds / QUERIES_PER_SIZE
+
+
+def test_fig12b_sar_h_vs_cr(benchmark, report):
+    lines = [f"{'hours':>6} {'CR (s)':>10} {'CSF-SAR-H (s)':>14} {'ratio':>7}"]
+    lines.append("-" * 40)
+    ratios = []
+    for hours in PAPER_HOURS:
+        workload = dense_efficiency_workload(hours)
+        index = dense_efficiency_index(hours)
+        cr_time = _average_query_seconds(content_recommender(index), workload.sources)
+        sar_h_time = _average_query_seconds(
+            csf_sar_h_recommender(index), workload.sources
+        )
+        ratio = sar_h_time / max(cr_time, 1e-9)
+        ratios.append(ratio)
+        lines.append(f"{hours:>6} {cr_time:>10.4f} {sar_h_time:>14.4f} {ratio:>7.2f}")
+
+    competitive = all(ratio < 2.0 for ratio in ratios)
+    lines.append(
+        f"\nshape check (CSF-SAR-H within 2x of CR at every size, "
+        f"paper: 'as good as CR'): {competitive}"
+    )
+    report("\n".join(lines))
+    assert competitive
+
+    index = dense_efficiency_index(PAPER_HOURS[0])
+    workload = dense_efficiency_workload(PAPER_HOURS[0])
+    cr = content_recommender(index)
+    benchmark(lambda: cr.recommend(workload.sources[0], 10))

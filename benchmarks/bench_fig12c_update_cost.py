@@ -1,0 +1,72 @@
+"""Figure 12(c) — efficiency of social updates.
+
+Regenerates the paper's Figure 12(c): the time cost of maintaining the
+sub-communities (union / split + chained-hash + descriptor-vector updates,
+Section 4.2.4) as the held-out comment stream is applied month by month to
+the dense 200-hour-equivalent snapshot.  Maintenance is incremental (the
+paper's own design), so the cost of an n-month window is the accumulated
+cost of its monthly batches.  Expected shape: cumulative cost grows
+roughly linearly with the window, per the Eq. 8 cost model.  (The paper
+reports hundreds of seconds for 1-3 months and ~1500 s for 4 — the same
+order of magnitude this bench lands in at REPRO_BENCH_SCALE=1.)
+"""
+
+from conftest import dense_efficiency_index, dense_efficiency_workload
+
+from repro.core import CommunityIndex, RecommenderConfig
+from repro.evaluation.harness import Timer
+
+PAPER_HOURS = 200
+
+
+def test_fig12c_update_cost(benchmark, report):
+    workload = dense_efficiency_workload(PAPER_HOURS)
+    dataset = workload.dataset
+    index = CommunityIndex(
+        dataset,
+        RecommenderConfig(k=60, uig_pair_cap=24),
+        build_lsb=False,
+        build_global_features=False,
+    )
+
+    lines = [
+        f"{'months':>6} {'connections':>12} {'cumulative s':>13} {'unions':>7} {'splits':>7}"
+    ]
+    lines.append("-" * 52)
+    cumulative_seconds = 0.0
+    cumulative_connections = 0
+    cumulative_unions = 0
+    cumulative_splits = 0
+    series = []
+    for months in (1, 2, 3, 4):
+        month = 11 + months
+        batch = [
+            (comment.user_id, comment.video_id)
+            for comment in dataset.comments_between(month, month)
+        ]
+        with Timer() as timer:
+            stats = index.social.apply_comments(batch)
+        cumulative_seconds += timer.seconds
+        cumulative_connections += stats.connections
+        cumulative_unions += stats.unions
+        cumulative_splits += stats.splits
+        series.append(cumulative_seconds)
+        lines.append(
+            f"{months:>6} {cumulative_connections:>12} {cumulative_seconds:>13.3f} "
+            f"{cumulative_unions:>7} {cumulative_splits:>7}"
+        )
+
+    growing = all(later >= earlier for earlier, later in zip(series, series[1:]))
+    lines.append(
+        f"\nshape check (cumulative cost grows with the window, ~linear): {growing}; "
+        f"4-month / 1-month ratio: {series[-1] / max(series[0], 1e-9):.1f}x"
+    )
+    report("\n".join(lines))
+    assert growing
+
+    small_index = dense_efficiency_index(50)
+    one_month = [
+        (comment.user_id, comment.video_id)
+        for comment in dense_efficiency_workload(50).dataset.comments_between(12, 12)
+    ]
+    benchmark(lambda: small_index.social.apply_comments(one_month[:5]))

@@ -1,0 +1,43 @@
+"""Figure 7 — effect of content relevance measures (ERP vs DTW vs κJ).
+
+Regenerates the paper's Figure 7(a)-(c): AR, AC and MAP at top 5/10/20 for
+content-only recommendation under the three candidate similarity measures.
+Expected shape: κJ best on every metric (its set semantics shrug off the
+sequence re-editing that breaks whole-sequence alignment), with DTW ahead
+of ERP.
+"""
+
+from conftest import effectiveness_index, effectiveness_workload
+
+from repro.core.recommender import FusionRecommender
+from repro.evaluation import evaluate_method, format_table
+
+
+def test_fig7_content_measures(benchmark, report, panel):
+    workload = effectiveness_workload()
+    index = effectiveness_index(k=60)
+    reports = []
+    for name, measure in (("ERP", "erp"), ("DTW", "dtw"), ("kJ", "kj")):
+        recommender = FusionRecommender(
+            index, omega=0.0, content_measure=measure, name=name
+        )
+        reports.append(
+            evaluate_method(name, recommender.recommend, workload.sources, panel)
+        )
+    table = format_table(reports)
+    by_name = {r.method: r for r in reports}
+
+    def mean_ar(method):
+        return sum(by_name[method].row(k).ar for k in (5, 10, 20)) / 3
+
+    shape = mean_ar("kJ") >= mean_ar("DTW") and mean_ar("kJ") >= mean_ar("ERP")
+    report(
+        table
+        + f"\n\nmean AR across cut-offs: kJ {mean_ar('kJ'):.3f}, "
+        f"DTW {mean_ar('DTW'):.3f}, ERP {mean_ar('ERP'):.3f}"
+        f"\nshape check (kJ best on mean AR): {shape}"
+    )
+    assert shape
+
+    kj = FusionRecommender(index, omega=0.0, content_measure="kj")
+    benchmark(lambda: kj.recommend(workload.sources[0], 10))

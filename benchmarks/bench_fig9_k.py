@@ -1,0 +1,46 @@
+"""Figure 9 — effect of the sub-community count k on SAR effectiveness.
+
+Regenerates the paper's Figure 9(a)-(c): AR, AC and MAP of the SAR-based
+recommendation as k sweeps 20 -> 80 (ω fixed at its 0.7 optimum).
+Expected shape: effectiveness improves from k = 20 to k = 60 (less
+approximation loss as histograms get finer) and roughly plateaus after.
+"""
+
+from conftest import effectiveness_index, effectiveness_workload
+
+from repro.core.recommender import csf_sar_h_recommender
+from repro.evaluation import evaluate_method
+
+K_VALUES = (20, 40, 60, 80)
+
+
+def test_fig9_k_sweep(benchmark, report, panel):
+    workload = effectiveness_workload()
+    lines = [f"{'k':>4}" + "".join(f"  AR@{k:<4} AC@{k:<4} MAP@{k:<3}" for k in (5, 10, 20))]
+    lines.append("-" * len(lines[0]))
+    ar10 = {}
+    for k in K_VALUES:
+        index = effectiveness_index(k=k)
+        recommender = csf_sar_h_recommender(index)
+        result = evaluate_method(
+            f"k={k}", recommender.recommend, workload.sources, panel
+        )
+        cells = "".join(
+            f"  {result.row(c).ar:6.3f} {result.row(c).ac:6.3f} {result.row(c).map:7.3f}"
+            for c in (5, 10, 20)
+        )
+        lines.append(f"{k:>4}{cells}")
+        ar10[k] = result.row(10).ar
+
+    rising = ar10[60] > ar10[20]
+    plateau = abs(ar10[80] - ar10[60]) < (ar10[60] - ar10[20])
+    lines.append(
+        f"\nshape check: rising 20->60 ({rising}), "
+        f"flatter 60->80 than 20->60 ({plateau})"
+    )
+    report("\n".join(lines))
+    assert rising
+
+    index = effectiveness_index(k=60)
+    recommender = csf_sar_h_recommender(index)
+    benchmark(lambda: recommender.recommend(workload.sources[0], 10))

@@ -1,0 +1,63 @@
+"""Section 4.2.2 — subgraph extraction vs spectral clustering (Silhouette).
+
+The paper: "The average Silhouette Coefficient of our results is 0.498,
+while that of spectral clustering is only 0.242."  The scenario is a
+*sampled* sub-collection (they sample 2000 videos), whose UIG is sparse and
+carries more natural micro-communities than k — the regime where the
+paper's variable-size extraction shines and fixed-k spectral clustering
+pays for its "information loss in dimensionality reduction".
+"""
+
+import numpy as np
+from conftest import RESULTS_DIR  # noqa: F401  (shared results dir)
+
+from repro.social import (
+    SocialDescriptor,
+    build_uig,
+    extract_subcommunities,
+    partition_silhouette,
+    spectral_partition,
+)
+
+
+def sampled_sparse_community(seed: int = 17, n_groups: int = 40):
+    """A sampled sub-collection: many small co-comment groups, sparse noise."""
+    rng = np.random.default_rng(seed)
+    descriptors = []
+    vid = 0
+    sizes = [int(rng.integers(3, 10)) for _ in range(n_groups)]
+    for group, size in enumerate(sizes):
+        members = [f"u{group}_{i}" for i in range(size)]
+        for _ in range(size * 4):
+            users = list(rng.choice(members, size=min(3, size), replace=False))
+            if rng.random() < 0.01:  # rare cross-group commenter
+                other = int(rng.integers(0, n_groups))
+                users.append(f"u{other}_0")
+            descriptors.append(SocialDescriptor.from_users(f"v{vid}", users))
+            vid += 1
+    return build_uig(descriptors)
+
+
+def test_silhouette_ours_vs_spectral(benchmark, report):
+    k = 15
+    scores_ours = []
+    scores_spectral = []
+    for seed in (17, 29, 41):
+        graph = sampled_sparse_community(seed=seed)
+        ours = extract_subcommunities(graph, k)
+        spectral = spectral_partition(graph, k, seed=seed)
+        scores_ours.append(partition_silhouette(graph, ours))
+        scores_spectral.append(partition_silhouette(graph, spectral))
+
+    ours_mean = float(np.mean(scores_ours))
+    spectral_mean = float(np.mean(scores_spectral))
+    report(
+        "average Silhouette Coefficient (3 sampled communities, k=15)\n"
+        f"  subgraph extraction (ours): {ours_mean:.3f}   (paper: 0.498)\n"
+        f"  spectral clustering:        {spectral_mean:.3f}   (paper: 0.242)\n"
+        f"  shape check (ours > spectral): {ours_mean > spectral_mean}"
+    )
+    assert ours_mean > spectral_mean
+
+    graph = sampled_sparse_community(seed=17)
+    benchmark(lambda: extract_subcommunities(graph, k))

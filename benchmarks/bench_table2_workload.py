@@ -1,0 +1,33 @@
+"""Table 2 — the five query workload and its source-video selection.
+
+Regenerates the paper's Table 2 (query id / description) plus the derived
+workload statistics: per-query video counts and the two most-commented
+source videos per query used by every effectiveness experiment.
+"""
+
+from conftest import effectiveness_workload
+
+from repro.community import QUERY_TOPICS
+
+
+def test_table2_queries_and_sources(benchmark, report):
+    workload = effectiveness_workload()
+    dataset = workload.dataset
+    counts = dataset.comment_counts(up_to_month=11)
+
+    lines = [f"{'query id':<9} {'query description':<16} {'videos':>7} {'sources':>20}"]
+    lines.append("-" * 56)
+    for topic, query in enumerate(QUERY_TOPICS):
+        videos = dataset.videos_of_topic(topic)
+        sources = [s for s in workload.sources if dataset.records[s].topic == topic]
+        lines.append(
+            f"q{topic + 1:<8} {query:<16} {len(videos):>7} {', '.join(sources):>20}"
+        )
+    lines.append(
+        f"\ntotal: {dataset.num_videos} videos, {dataset.num_users} users, "
+        f"{len(dataset.comments)} comments; "
+        f"{sum(counts.values())} comments in the source year"
+    )
+    report("\n".join(lines))
+
+    benchmark(lambda: dataset.comment_counts(up_to_month=11))

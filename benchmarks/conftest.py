@@ -1,0 +1,132 @@
+"""Shared infrastructure for the figure/table benchmarks.
+
+Every bench prints the same rows/series the paper's corresponding figure
+charts (via the capture-disabled ``report`` fixture, so the tables land in
+``pytest benchmarks/ --benchmark-only`` output and in
+``benchmarks/results/<name>.txt``), and times one representative operation
+through pytest-benchmark.
+
+Dataset / index construction is cached per configuration across the whole
+bench session because several figures share the same snapshots.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.community import CommunityConfig, build_workload, generate_community
+from repro.community.workload import Workload, select_source_videos
+from repro.core import CommunityIndex, RecommenderConfig
+from repro.evaluation import JudgePanel
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Scale factor mapping the paper's dataset sizes onto bench-runnable ones.
+#: The paper sweeps 50-200 crawl hours; we sweep the same *relative* sizes
+#: at EFFICIENCY_SCALE of the volume (the shapes — who is faster, how cost
+#: grows — are scale-free).  Override with REPRO_BENCH_SCALE=1.0 for a
+#: full-size run.
+EFFICIENCY_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.1"))
+
+#: Hours used by the effectiveness benches (Figs. 7-11).
+EFFECTIVENESS_HOURS = float(os.environ.get("REPRO_BENCH_HOURS", "20"))
+
+_WORKLOAD_CACHE: dict[tuple, Workload] = {}
+_INDEX_CACHE: dict[tuple, CommunityIndex] = {}
+
+
+def effectiveness_workload(seed: int = 3) -> Workload:
+    """The shared snapshot behind Figures 7-11."""
+    key = ("eff", EFFECTIVENESS_HOURS, seed)
+    if key not in _WORKLOAD_CACHE:
+        _WORKLOAD_CACHE[key] = build_workload(hours=EFFECTIVENESS_HOURS, seed=seed)
+    return _WORKLOAD_CACHE[key]
+
+
+def effectiveness_index(
+    k: int = 60, build_lsb: bool = False, build_global_features: bool = False
+) -> CommunityIndex:
+    """A built index over the shared effectiveness snapshot."""
+    key = ("effidx", EFFECTIVENESS_HOURS, k, build_lsb, build_global_features)
+    if key not in _INDEX_CACHE:
+        _INDEX_CACHE[key] = CommunityIndex(
+            effectiveness_workload().dataset,
+            RecommenderConfig(k=k),
+            build_lsb=build_lsb,
+            build_global_features=build_global_features,
+        )
+    return _INDEX_CACHE[key]
+
+
+def dense_efficiency_workload(paper_hours: float, seed: int = 7) -> Workload:
+    """Dense-comment snapshots for the Figure 12 efficiency experiments.
+
+    The paper's descriptors carry "several hundreds to tens thousands" of
+    users; the efficiency story (quadratic exact sJ vs linear SAR) only
+    shows at that density, so these snapshots trade video volume
+    (``EFFICIENCY_SCALE``) for per-video comment volume.
+    """
+    key = ("dense", paper_hours, seed)
+    if key not in _WORKLOAD_CACHE:
+        config = CommunityConfig(
+            hours=paper_hours * EFFICIENCY_SCALE,
+            seed=seed,
+            users_per_topic=120,
+            groups_per_topic=6,
+            comments_mean=160.0,
+            comments_cap=320,
+            clip_num_shots=2,
+            clip_frames_per_shot=(6, 10),
+            clip_height=16,
+            clip_width=16,
+        )
+        dataset = generate_community(config)
+        _WORKLOAD_CACHE[key] = Workload(
+            dataset=dataset, sources=select_source_videos(dataset)
+        )
+    return _WORKLOAD_CACHE[key]
+
+
+def dense_efficiency_index(paper_hours: float, k: int = 60) -> CommunityIndex:
+    """Built index over a dense efficiency snapshot (content + social)."""
+    key = ("denseidx", paper_hours, k)
+    if key not in _INDEX_CACHE:
+        _INDEX_CACHE[key] = CommunityIndex(
+            dense_efficiency_workload(paper_hours).dataset,
+            # The pair cap bounds the quadratic UIG edge generation on the
+            # dense descriptors; it only affects index construction, never
+            # the per-query costs Figure 12 measures.
+            RecommenderConfig(k=k, uig_pair_cap=24),
+            build_lsb=False,
+            build_global_features=False,
+        )
+    return _INDEX_CACHE[key]
+
+
+@pytest.fixture()
+def report(request):
+    """Print a figure table bypassing pytest capture + persist it to disk."""
+    manager = request.config.pluginmanager.getplugin("capturemanager")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    bench_name = request.node.name
+
+    def _report(text: str) -> None:
+        banner = f"\n===== {bench_name} =====\n{text}\n"
+        if manager is not None:
+            with manager.global_and_fixture_disabled():
+                print(banner)
+        else:  # pragma: no cover - capture always available under pytest
+            print(banner)
+        with open(RESULTS_DIR / f"{bench_name}.txt", "w") as handle:
+            handle.write(text + "\n")
+
+    return _report
+
+
+@pytest.fixture()
+def panel():
+    """Judge panel over the shared effectiveness snapshot."""
+    return JudgePanel(effectiveness_workload().dataset)

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: build a sharing community, index it, recommend videos.
+
+This walks the full public API in one sitting:
+
+1. generate a synthetic sharing community (the stand-in for a YouTube
+   crawl — topics, videos with near-duplicate variants, users, comments);
+2. build the :class:`CommunityIndex` (cuboid signatures, UIG partition,
+   SAR vectors, chained hash table, LSB content index);
+3. recommend with the paper's content-social fusion (CSF-SAR-H) for an
+   anonymous user who just clicked a video;
+4. score the recommendations with the simulated judge panel.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.community import build_workload
+from repro.core import (
+    CommunityIndex,
+    KTopScoreVideoSearch,
+    RecommenderConfig,
+    csf_sar_h_recommender,
+)
+from repro.evaluation import JudgePanel
+
+
+def main() -> None:
+    # 1. A 10-hour community (120 clips) seeded for reproducibility.
+    workload = build_workload(hours=10.0, seed=42)
+    dataset = workload.dataset
+    print(
+        f"community: {dataset.num_videos} videos, {dataset.num_users} users, "
+        f"{len(dataset.comments)} comments across {len(dataset.topics)} topics"
+    )
+
+    # 2. Build every index the paper describes.  omega=0.7 and k=60 are the
+    #    paper's tuned values; k is shrunk a little for this small corpus.
+    config = RecommenderConfig(omega=0.7, k=40)
+    index = CommunityIndex(dataset, config)
+    print(
+        f"index: {sum(len(s) for s in index.series.values())} cuboid signatures, "
+        f"{index.social.k} sub-communities, "
+        f"{len(index.lsb)} LSB entries"
+    )
+
+    # 3. An anonymous user clicked this video; recommend relevant ones.
+    clicked = workload.sources[0]
+    record = dataset.records[clicked]
+    print(f"\nclicked video: {clicked} (topic: {dataset.topics[record.topic]!r})")
+
+    recommender = csf_sar_h_recommender(index)
+    recommendations = recommender.recommend(clicked, top_k=10)
+
+    panel = JudgePanel(dataset)
+    print("\nrank  video     grade  panel rating")
+    for rank, video_id in enumerate(recommendations, start=1):
+        grade = dataset.relevance_grade(clicked, video_id)
+        label = {2: "near-dup ", 1: "same-topic", 0: "unrelated"}[grade]
+        print(f"{rank:>4}  {video_id}  {label:<10} {panel.rate(clicked, video_id):.2f}")
+
+    # 4. The same query through the index-backed KNN search (Figure 6).
+    knn = KTopScoreVideoSearch(index)
+    results = knn.search(clicked, top_k=5)
+    print("\nindex-backed KNN (Fig. 6), top 5:")
+    for result in results:
+        print(
+            f"  {result.video_id}: FJ={result.score:.3f} "
+            f"(content={result.content:.3f}, social={result.social:.3f})"
+        )
+
+
+if __name__ == "__main__":
+    main()

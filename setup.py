@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Offline environments without the ``wheel`` package cannot build PEP 660
+editable wheels; ``python setup.py develop`` keeps ``pip install -e .``-
+equivalent installs working there.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""repro — reproduction of "Online Video Recommendation in Sharing Community"
+(Zhou, Cao, Chen, Huang, Zhang, Wang — SIGMOD 2015).
+
+The package implements the paper's content-social fused video recommender
+and every substrate it depends on:
+
+* :mod:`repro.video` — synthetic video substrate (frames, shots, edits);
+* :mod:`repro.signatures` — video cuboid signatures + literature baselines;
+* :mod:`repro.emd` — Earth Mover's Distance solvers and the L1 embedding;
+* :mod:`repro.measures` — SimC/κJ, ERP, DTW;
+* :mod:`repro.index` — chained hashing, Z-order, B+-tree, LSB, inverted files;
+* :mod:`repro.social` — descriptors, UIG, sub-communities, SAR, dynamics;
+* :mod:`repro.community` — the synthetic sharing-community dataset;
+* :mod:`repro.core` — fusion, recommenders (CR/SR/CSF/SAR/SAR-H/AFFRF), KNN;
+* :mod:`repro.evaluation` — AR/AC/MAP metrics, judge panel, harness;
+* :mod:`repro.io` — gzipped-JSON persistence for datasets and indexes;
+* :mod:`repro.streaming` — online near-duplicate monitoring (extension);
+* :mod:`repro.cli` — ``python -m repro.cli`` command-line interface.
+
+Quickstart::
+
+    from repro.community import build_workload
+    from repro.core import CommunityIndex, RecommenderConfig, csf_sar_h_recommender
+
+    workload = build_workload(hours=10.0, seed=7)
+    index = CommunityIndex(workload.dataset, RecommenderConfig(k=20))
+    recommender = csf_sar_h_recommender(index)
+    print(recommender.recommend(workload.sources[0], top_k=10))
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,29 @@
+"""Observability: dataset/descriptor/partition statistics, result export."""
+
+from repro.analysis.export import (
+    reports_to_csv,
+    reports_to_json,
+    reports_to_rows,
+    write_csv,
+)
+from repro.analysis.stats import (
+    CommunityStats,
+    DescriptorStats,
+    PartitionStats,
+    community_stats,
+    descriptor_stats,
+    partition_stats,
+)
+
+__all__ = [
+    "CommunityStats",
+    "DescriptorStats",
+    "PartitionStats",
+    "community_stats",
+    "descriptor_stats",
+    "partition_stats",
+    "reports_to_csv",
+    "reports_to_json",
+    "reports_to_rows",
+    "write_csv",
+]

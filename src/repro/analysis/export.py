@@ -1,0 +1,58 @@
+"""Export experiment results as CSV / JSON for downstream analysis.
+
+The benches print paper-style tables; real experiment pipelines also want
+machine-readable output.  These helpers flatten
+:class:`~repro.evaluation.harness.EffectivenessReport` objects into rows.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from collections.abc import Sequence
+
+from repro.evaluation.harness import EffectivenessReport
+
+__all__ = ["reports_to_rows", "reports_to_csv", "reports_to_json", "write_csv"]
+
+
+def reports_to_rows(reports: Sequence[EffectivenessReport]) -> list[dict]:
+    """One flat dict per (method, top_k) combination."""
+    rows = []
+    for report in reports:
+        for row in report.rows:
+            rows.append(
+                {
+                    "method": row.method,
+                    "top_k": row.top_k,
+                    "ar": row.ar,
+                    "ac": row.ac,
+                    "map": row.map,
+                    "seconds": report.seconds,
+                }
+            )
+    return rows
+
+
+def reports_to_csv(reports: Sequence[EffectivenessReport]) -> str:
+    """CSV text with a header row."""
+    rows = reports_to_rows(reports)
+    if not rows:
+        raise ValueError("need at least one report")
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(rows[0].keys()))
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def reports_to_json(reports: Sequence[EffectivenessReport]) -> str:
+    """JSON array of flat rows."""
+    return json.dumps(reports_to_rows(reports), indent=2)
+
+
+def write_csv(reports: Sequence[EffectivenessReport], path) -> None:
+    """Write :func:`reports_to_csv` output to *path*."""
+    with open(path, "w", newline="") as handle:
+        handle.write(reports_to_csv(reports))

@@ -1,0 +1,128 @@
+"""Descriptive statistics over communities, descriptors and partitions.
+
+Operating a recommendation deployment needs observability: how active is
+the community, how heavy are the descriptors the social path must chew
+through, how healthy is the current sub-community partition.  These
+helpers compute the numbers the paper's Section 5 quotes about its crawl
+(descriptor sizes, comment volumes, sub-community size distribution) for
+any dataset / index pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.community.models import CommunityDataset
+from repro.social.descriptor import SocialDescriptor
+from repro.social.subcommunity import Partition
+import networkx as nx
+
+__all__ = [
+    "CommunityStats",
+    "DescriptorStats",
+    "PartitionStats",
+    "community_stats",
+    "descriptor_stats",
+    "partition_stats",
+]
+
+
+@dataclass(frozen=True)
+class CommunityStats:
+    """Headline numbers of one dataset."""
+
+    num_videos: int
+    num_masters: int
+    num_variants: int
+    num_users: int
+    num_comments: int
+    comments_per_video_mean: float
+    comments_per_video_max: int
+    videos_per_topic: dict[str, int]
+
+
+@dataclass(frozen=True)
+class DescriptorStats:
+    """Size distribution of the social descriptors."""
+
+    count: int
+    mean: float
+    median: float
+    p90: float
+    max: int
+
+
+@dataclass(frozen=True)
+class PartitionStats:
+    """Health of a sub-community partition."""
+
+    k: int
+    size_mean: float
+    size_max: int
+    singletons: int
+    largest_share: float
+    internal_edge_fraction: float
+
+
+def community_stats(dataset: CommunityDataset, up_to_month: int = 15) -> CommunityStats:
+    """Summarise *dataset* (comment stats through *up_to_month*)."""
+    counts = dataset.comment_counts(up_to_month=up_to_month)
+    values = list(counts.values())
+    masters = sum(1 for record in dataset.records.values() if record.lineage is None)
+    per_topic = {
+        name: len(dataset.videos_of_topic(topic))
+        for topic, name in enumerate(dataset.topics)
+    }
+    return CommunityStats(
+        num_videos=dataset.num_videos,
+        num_masters=masters,
+        num_variants=dataset.num_videos - masters,
+        num_users=dataset.num_users,
+        num_comments=sum(values),
+        comments_per_video_mean=float(np.mean(values)) if values else 0.0,
+        comments_per_video_max=int(max(values)) if values else 0,
+        videos_per_topic=per_topic,
+    )
+
+
+def descriptor_stats(descriptors: dict[str, SocialDescriptor]) -> DescriptorStats:
+    """Size distribution over a descriptor map."""
+    if not descriptors:
+        raise ValueError("need at least one descriptor")
+    sizes = np.array([len(descriptor) for descriptor in descriptors.values()])
+    return DescriptorStats(
+        count=int(sizes.size),
+        mean=float(sizes.mean()),
+        median=float(np.median(sizes)),
+        p90=float(np.percentile(sizes, 90)),
+        max=int(sizes.max()),
+    )
+
+
+def partition_stats(graph: nx.Graph, partition: Partition) -> PartitionStats:
+    """Health metrics of *partition* over its UIG.
+
+    ``internal_edge_fraction`` is the share of UIG edge weight falling
+    *inside* sub-communities — near 1.0 means the partition respects the
+    co-interest structure (the property SAR's approximation quality rides
+    on); a low value signals chaining damage.
+    """
+    sizes = partition.sizes()
+    total_weight = 0.0
+    internal_weight = 0.0
+    for source, target, weight in graph.edges(data="weight", default=1.0):
+        total_weight += weight
+        if partition.membership.get(source) == partition.membership.get(target):
+            internal_weight += weight
+    return PartitionStats(
+        k=partition.k,
+        size_mean=float(np.mean(sizes)),
+        size_max=int(max(sizes)),
+        singletons=sum(1 for size in sizes if size == 1),
+        largest_share=max(sizes) / max(sum(sizes), 1),
+        internal_edge_fraction=(
+            internal_weight / total_weight if total_weight > 0 else 1.0
+        ),
+    )

@@ -1,0 +1,27 @@
+"""Synthetic sharing-community substrate: dataset model, generator, workloads."""
+
+from repro.community.generator import QUERY_TOPICS, CommunityConfig, generate_community
+from repro.community.models import (
+    SOURCE_MONTHS,
+    TEST_MONTHS,
+    Comment,
+    CommunityDataset,
+    User,
+    VideoRecord,
+)
+from repro.community.workload import Workload, build_workload, select_source_videos
+
+__all__ = [
+    "QUERY_TOPICS",
+    "SOURCE_MONTHS",
+    "TEST_MONTHS",
+    "Comment",
+    "CommunityConfig",
+    "CommunityDataset",
+    "User",
+    "VideoRecord",
+    "Workload",
+    "build_workload",
+    "generate_community",
+    "select_source_videos",
+]

@@ -1,0 +1,353 @@
+"""Seeded generator for the synthetic sharing community.
+
+This is the data substrate that stands in for the paper's 200-hour YouTube
+crawl (see DESIGN.md's substitution table).  A generated community has:
+
+* **topics** — the paper's five query topics (Table 2) plus a few
+  background topics that pad the collection the way an organic crawl would;
+* **videos** — per topic, a set of *master* clips plus edited
+  near-duplicate variants (the content ground truth), owned by topic users;
+* **users** — per-topic pools with Dirichlet interest profiles; a fraction
+  are *multi-interest* (they comment across topics, injecting exactly the
+  social noise that makes pure social relevance imperfect and pushes the
+  optimal fusion weight below 1);
+* **comments** — a 16-month timestamped stream: months 0–11 form the
+  source year, months 12–15 the update window; a fraction of users *drift*
+  to a new home topic in the update window, forcing the sub-community
+  maintenance of Section 4.2.4 to actually reorganise things.
+
+Everything is reproducible from ``CommunityConfig.seed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.community.models import Comment, CommunityDataset, User, VideoRecord
+
+__all__ = ["CommunityConfig", "generate_community", "QUERY_TOPICS"]
+
+#: The five most popular YouTube queries of the paper's Table 2, in order.
+QUERY_TOPICS: tuple[str, ...] = (
+    "youtube",
+    "mariah carey",
+    "miley cyrus",
+    "american idol",
+    "wwe",
+)
+
+_SHARED_VOCAB = ("video", "official", "hd", "new", "live", "2014", "full", "best")
+
+
+@dataclass(frozen=True)
+class CommunityConfig:
+    """Knobs of the synthetic community.
+
+    The defaults are calibrated so the paper's qualitative results
+    reproduce (see EXPERIMENTS.md); benches override ``hours`` and
+    ``seed`` and occasionally the social noise parameters.
+
+    Attributes
+    ----------
+    hours:
+        Dataset size in "hours of video"; one hour is
+        ``videos_per_hour`` clips (the paper keeps clips under 10
+        minutes, so 12 five-minute clips approximate an hour).
+    videos_per_hour:
+        Clips per modelled hour.
+    background_topics:
+        Extra non-query topics padding the collection.
+    near_dup_fraction:
+        Fraction of videos that are edited variants of same-topic masters.
+    users_per_topic:
+        Registered users whose home is a given topic.
+    groups_per_topic:
+        Fan groups each topic's users split into; co-commenting is
+        concentrated within a group (micro-community structure).
+    group_boost:
+        How much more likely a user is to comment a video of their own
+        fan group than a same-topic video of another group.
+    multi_interest_fraction:
+        Fraction of users with spread interests (social noise).
+    drift_fraction:
+        Fraction of users that migrate to a new home topic during the
+        test months (months 12–15).
+    comments_mean, comments_sigma, comments_cap:
+        Per-video comment volume: a capped lognormal draw with location
+        ``log(comments_mean)`` and shape ``comments_sigma``.  A small
+        sigma keeps group members co-appearing consistently, which is
+        what gives intra-group UIG edges their weight margin.
+    test_comment_share:
+        Share of a video's comments landing in the test window.
+    seed:
+        Master seed; every video/user/comment derives from it.
+    clip_num_shots, clip_frames_per_shot, clip_height, clip_width:
+        Forwarded to the frame synthesiser on materialisation.
+    """
+
+    hours: float = 20.0
+    videos_per_hour: int = 12
+    background_topics: int = 3
+    near_dup_fraction: float = 0.3
+    users_per_topic: int = 24
+    groups_per_topic: int = 3
+    group_boost: float = 30.0
+    multi_interest_fraction: float = 0.25
+    drift_fraction: float = 0.08
+    comments_mean: float = 7.0
+    comments_sigma: float = 0.25
+    comments_cap: int = 16
+    test_comment_share: float = 0.15
+    seed: int = 2015
+    clip_num_shots: int = 3
+    clip_frames_per_shot: tuple[int, int] = (8, 16)
+    clip_height: int = 32
+    clip_width: int = 32
+
+    @property
+    def num_videos(self) -> int:
+        """Total clips implied by ``hours``."""
+        return max(1, int(round(self.hours * self.videos_per_hour)))
+
+    @property
+    def num_topics(self) -> int:
+        """Query topics plus background topics."""
+        return len(QUERY_TOPICS) + self.background_topics
+
+    @property
+    def topic_names(self) -> tuple[str, ...]:
+        """Names: Table-2 queries first, then ``background<i>``."""
+        return QUERY_TOPICS + tuple(
+            f"background{i}" for i in range(self.background_topics)
+        )
+
+    def clip_params(self) -> dict:
+        """Synthesiser kwargs stored on the dataset."""
+        return {
+            "num_shots": self.clip_num_shots,
+            "frames_per_shot": self.clip_frames_per_shot,
+            "height": self.clip_height,
+            "width": self.clip_width,
+        }
+
+
+def _topic_vocab(topic_name: str) -> list[str]:
+    """Topic vocabulary drawn from a shared global pool.
+
+    Real YouTube titles reuse a small common vocabulary across topics
+    ("official", "live", artist names bleeding between fandoms...), which
+    is exactly what caps the text modality's discrimination power.  Each
+    topic deterministically samples 12 of 36 global words, so any two
+    topics collide on roughly a third of their vocabulary.
+    """
+    pool = [f"word{i:02d}" for i in range(36)]
+    anchor = np.random.default_rng(sum(ord(c) for c in topic_name) * 31 + 7)
+    return [str(w) for w in anchor.choice(pool, size=12, replace=False)]
+
+
+def _make_users(config: CommunityConfig, rng: np.random.Generator) -> dict[str, User]:
+    users: dict[str, User] = {}
+    n_topics = config.num_topics
+    for topic in range(n_topics):
+        for index in range(config.users_per_topic):
+            user_id = f"user_t{topic}_{index:04d}"
+            if rng.random() < config.multi_interest_fraction:
+                # Spread interests over the home topic plus 1-2 others.
+                extra = rng.choice(
+                    [t for t in range(n_topics) if t != topic],
+                    size=int(rng.integers(1, 3)),
+                    replace=False,
+                )
+                raw = np.full(n_topics, 0.02)
+                raw[topic] = 1.0
+                # Cross interests are real but secondary: strong enough to
+                # put shared commenters on cross-topic videos (the SR noise
+                # that caps omega below 1), weak enough that repeated
+                # co-comment pairs — heavy UIG edges — stay intra-topic.
+                for other in extra:
+                    raw[other] = 0.35
+            else:
+                raw = np.full(n_topics, 0.02)
+                raw[topic] = 1.0
+            interests = raw / raw.sum()
+            drift_topic = None
+            if rng.random() < config.drift_fraction:
+                drift_topic = int(
+                    rng.choice([t for t in range(n_topics) if t != topic])
+                )
+            users[user_id] = User(
+                user_id=user_id,
+                home_topic=topic,
+                interests=tuple(float(x) for x in interests),
+                drift_topic=drift_topic,
+                group=index % config.groups_per_topic,
+            )
+    return users
+
+
+def _make_videos(
+    config: CommunityConfig,
+    users: dict[str, User],
+    rng: np.random.Generator,
+) -> dict[str, VideoRecord]:
+    records: dict[str, VideoRecord] = {}
+    n_topics = config.num_topics
+    topic_names = config.topic_names
+    owners_by_topic = {
+        topic: [u for u in sorted(users) if users[u].home_topic == topic]
+        for topic in range(n_topics)
+    }
+    masters_by_topic: dict[int, list[str]] = {t: [] for t in range(n_topics)}
+    # Query topics get a larger share of the collection than background
+    # topics, mimicking a crawl seeded from popular queries.  Shares are
+    # allocated proportionally (largest-remainder) rather than sampled so
+    # small datasets never starve a query topic, then shuffled.
+    weights = np.array(
+        [1.5 if t < len(QUERY_TOPICS) else 1.0 for t in range(n_topics)]
+    )
+    shares = weights / weights.sum() * config.num_videos
+    counts = np.floor(shares).astype(int)
+    remainder_order = np.argsort(-(shares - counts))
+    for position in range(config.num_videos - int(counts.sum())):
+        counts[remainder_order[position % n_topics]] += 1
+    topic_sequence = np.repeat(np.arange(n_topics), counts)
+    rng.shuffle(topic_sequence)
+
+    for index in range(config.num_videos):
+        topic = int(topic_sequence[index])
+        vocab = _topic_vocab(topic_names[topic])
+        title_words = [
+            *rng.choice(vocab, size=3, replace=False),
+            str(rng.choice(_SHARED_VOCAB)),
+        ]
+        tags = tuple(rng.choice(vocab, size=4, replace=False))
+        owner_pool = owners_by_topic[topic] or sorted(users)
+        owner = str(rng.choice(owner_pool))
+        video_id = f"v{index:05d}"
+        group = int(rng.integers(0, config.groups_per_topic))
+        make_variant = (
+            masters_by_topic[topic] and rng.random() < config.near_dup_fraction
+        )
+        if make_variant:
+            lineage = str(rng.choice(masters_by_topic[topic]))
+            records[video_id] = VideoRecord(
+                video_id=video_id,
+                topic=topic,
+                seed=int(rng.integers(0, 2**31)),
+                owner=owner,
+                title=" ".join(title_words),
+                tags=tags,
+                lineage=lineage,
+                edit_seed=int(rng.integers(0, 2**31)),
+                group=group,
+            )
+        else:
+            records[video_id] = VideoRecord(
+                video_id=video_id,
+                topic=topic,
+                seed=int(rng.integers(0, 2**31)),
+                owner=owner,
+                title=" ".join(title_words),
+                tags=tags,
+                group=group,
+            )
+            masters_by_topic[topic].append(video_id)
+    return records
+
+
+def _interest_in(user: User, topic: int, month: int) -> float:
+    """User's effective interest in *topic* at *month* (drift applied)."""
+    if month >= 12 and user.drift_topic is not None:
+        # After drifting, the old home cools down and the new one heats up.
+        if topic == user.drift_topic:
+            return max(user.interests[topic], 0.9)
+        if topic == user.home_topic:
+            return 0.05
+    return user.interests[topic]
+
+
+def _make_comments(
+    config: CommunityConfig,
+    records: dict[str, VideoRecord],
+    users: dict[str, User],
+    rng: np.random.Generator,
+) -> list[Comment]:
+    comments: list[Comment] = []
+    user_ids = sorted(users)
+    source_interest = np.array(
+        [[users[u].interests[t] for t in range(config.num_topics)] for u in user_ids]
+    )
+    test_interest = np.array(
+        [
+            [_interest_in(users[u], t, month=12) for t in range(config.num_topics)]
+            for u in user_ids
+        ]
+    )
+    # Per-user multiplier for each fan group: own-group videos are far
+    # more likely to attract the user's comment.
+    max_groups = config.groups_per_topic
+    group_multiplier = np.ones((len(user_ids), max_groups), dtype=np.float64)
+    for row, user_id in enumerate(user_ids):
+        group_multiplier[row, users[user_id].group] = config.group_boost
+
+    for video_id in sorted(records):
+        record = records[video_id]
+        volume = int(
+            min(
+                config.comments_cap,
+                max(2, rng.lognormal(np.log(config.comments_mean), config.comments_sigma)),
+            )
+        )
+        n_test = int(round(volume * config.test_comment_share))
+        n_source = volume - n_test
+        for phase, count in (("source", n_source), ("test", n_test)):
+            if count == 0:
+                continue
+            interest = source_interest if phase == "source" else test_interest
+            weights = interest[:, record.topic].astype(np.float64)
+            weights = weights * group_multiplier[:, record.group]
+            total = weights.sum()
+            if total <= 0:
+                continue
+            chosen = rng.choice(
+                len(user_ids),
+                size=min(count, len(user_ids)),
+                replace=False,
+                p=weights / total,
+            )
+            for user_index in chosen:
+                month = (
+                    int(rng.integers(0, 12))
+                    if phase == "source"
+                    else int(rng.integers(12, 16))
+                )
+                comments.append(
+                    Comment(
+                        user_id=user_ids[int(user_index)],
+                        video_id=video_id,
+                        month=month,
+                    )
+                )
+    comments.sort(key=lambda c: (c.month, c.video_id, c.user_id))
+    return comments
+
+
+def generate_community(config: CommunityConfig) -> CommunityDataset:
+    """Generate the full community dataset from *config*.
+
+    Deterministic in ``config.seed``; all downstream experiments share one
+    dataset object.
+    """
+    rng = np.random.default_rng(config.seed)
+    users = _make_users(config, rng)
+    records = _make_videos(config, users, rng)
+    comments = _make_comments(config, records, users, rng)
+    return CommunityDataset(
+        records=records,
+        users=users,
+        comments=comments,
+        topics=config.topic_names,
+        clip_params=config.clip_params(),
+    )

@@ -1,0 +1,228 @@
+"""Data model of the synthetic sharing community.
+
+Videos are stored as lightweight :class:`VideoRecord` entries carrying the
+*generation parameters* (seed, topic, lineage, edit seed) instead of raw
+frames; :meth:`CommunityDataset.clip` re-synthesises any clip on demand,
+deterministically.  This keeps a "200-hour" dataset (thousands of clips) in
+a few megabytes while still letting every experiment touch real frames.
+
+Time is modelled in *months*: the comment stream spans a 12-month source
+year (months ``0..11``) plus a 4-month test window (months ``12..15``),
+mirroring the paper's Sept. 2013 – Dec. 2014 crawl split used by the
+social-update experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.social.descriptor import SocialDescriptor
+from repro.video.clip import VideoClip
+from repro.video.synthesis import synthesize_clip
+from repro.video.transforms import derive_variant
+
+__all__ = [
+    "SOURCE_MONTHS",
+    "TEST_MONTHS",
+    "User",
+    "Comment",
+    "VideoRecord",
+    "CommunityDataset",
+]
+
+#: Months forming the source year of the comment stream.
+SOURCE_MONTHS = range(0, 12)
+#: Months forming the held-out update window (the paper's "recent 4 months").
+TEST_MONTHS = range(12, 16)
+
+
+@dataclass(frozen=True)
+class User:
+    """A registered social user.
+
+    Attributes
+    ----------
+    user_id:
+        Unique name (the string the chained hash table hashes).
+    home_topic:
+        The user's dominant interest topic.
+    interests:
+        Probability vector over topics; drives which videos the user
+        comments on.  Multi-interest users are the social noise source the
+        paper's ω < 1 optimum relies on.
+    drift_topic:
+        Topic the user drifts toward during the test months, or ``None``.
+        Drift is what makes sub-communities reorganise over time.
+    group:
+        Fan-group index within the home topic.  Topics are not socially
+        monolithic: users cluster into smaller co-commenting groups (the
+        micro-communities SAR's sub-community extraction recovers).
+    """
+
+    user_id: str
+    home_topic: int
+    interests: tuple[float, ...]
+    drift_topic: int | None = None
+    group: int = 0
+
+
+@dataclass(frozen=True)
+class Comment:
+    """One timestamped comment event."""
+
+    user_id: str
+    video_id: str
+    month: int
+
+
+@dataclass(frozen=True)
+class VideoRecord:
+    """Generation parameters of one video (frames are re-derivable).
+
+    ``lineage is None`` marks original ("master") content; otherwise the
+    record describes an edited near-duplicate of the master *lineage*,
+    reproduced by applying a seeded random edit chain.
+    """
+
+    video_id: str
+    topic: int
+    seed: int
+    owner: str
+    title: str
+    tags: tuple[str, ...]
+    lineage: str | None = None
+    edit_seed: int | None = None
+    group: int = 0
+
+    def __post_init__(self) -> None:
+        if (self.lineage is None) != (self.edit_seed is None):
+            raise ValueError("variants need both lineage and edit_seed; masters neither")
+
+
+@dataclass
+class CommunityDataset:
+    """The full synthetic sharing community.
+
+    Attributes
+    ----------
+    records:
+        ``video_id -> VideoRecord``.
+    users:
+        ``user_id -> User``.
+    comments:
+        The complete timestamped comment stream (source + test months).
+    topics:
+        Human-readable topic names; the first five are the Table-2 queries.
+    clip_params:
+        Keyword arguments forwarded to the synthesiser (frame size, shots,
+        fps...), so every materialisation is consistent.
+    """
+
+    records: dict[str, VideoRecord]
+    users: dict[str, User]
+    comments: list[Comment]
+    topics: tuple[str, ...]
+    clip_params: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Clip materialisation
+    # ------------------------------------------------------------------
+    def clip(self, video_id: str) -> VideoClip:
+        """Deterministically re-synthesise the frames of *video_id*."""
+        record = self.records[video_id]
+        if record.lineage is None:
+            return synthesize_clip(
+                video_id=record.video_id,
+                topic=record.topic,
+                rng=np.random.default_rng(record.seed),
+                title=record.title,
+                tags=record.tags,
+                **self.clip_params,
+            )
+        master = self.clip(record.lineage)
+        variant = derive_variant(
+            master, record.video_id, np.random.default_rng(record.edit_seed)
+        )
+        return VideoClip(
+            video_id=record.video_id,
+            frames=variant.frames,
+            fps=variant.fps,
+            title=record.title,
+            topic=record.topic,
+            lineage=record.lineage,
+            tags=record.tags,
+        )
+
+    # ------------------------------------------------------------------
+    # Social views
+    # ------------------------------------------------------------------
+    def comments_between(self, first_month: int, last_month: int) -> list[Comment]:
+        """Comments with ``first_month <= month <= last_month``."""
+        return [c for c in self.comments if first_month <= c.month <= last_month]
+
+    def descriptors(self, up_to_month: int = 11) -> dict[str, SocialDescriptor]:
+        """Social descriptors built from the owner plus comments through
+        *up_to_month* (inclusive).  Every video is present even when it has
+        no comments yet (the owner always counts)."""
+        users_by_video: dict[str, set[str]] = {
+            video_id: {record.owner} for video_id, record in self.records.items()
+        }
+        for comment in self.comments:
+            if comment.month <= up_to_month:
+                users_by_video.setdefault(comment.video_id, set()).add(comment.user_id)
+        return {
+            video_id: SocialDescriptor.from_users(video_id, members)
+            for video_id, members in users_by_video.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Ground truth
+    # ------------------------------------------------------------------
+    def relevance_grade(self, query_id: str, candidate_id: str) -> int:
+        """Ground-truth relevance grade used by the simulated judges.
+
+        * 2 — near-duplicate content (same lineage root);
+        * 1 — same topic (what human raters call "relevant" even when the
+          footage differs);
+        * 0 — unrelated.
+        """
+        if query_id == candidate_id:
+            return 2
+        query = self.records[query_id]
+        candidate = self.records[candidate_id]
+        query_root = query.lineage or query.video_id
+        candidate_root = candidate.lineage or candidate.video_id
+        if query_root == candidate_root:
+            return 2
+        if query.topic == candidate.topic:
+            return 1
+        return 0
+
+    # ------------------------------------------------------------------
+    # Convenience statistics
+    # ------------------------------------------------------------------
+    def comment_counts(self, up_to_month: int = 11) -> dict[str, int]:
+        """Number of comments per video through *up_to_month*."""
+        counts = {video_id: 0 for video_id in self.records}
+        for comment in self.comments:
+            if comment.month <= up_to_month:
+                counts[comment.video_id] = counts.get(comment.video_id, 0) + 1
+        return counts
+
+    def videos_of_topic(self, topic: int) -> list[str]:
+        """Ids of every video generated under *topic*, sorted."""
+        return sorted(
+            video_id for video_id, record in self.records.items() if record.topic == topic
+        )
+
+    @property
+    def num_videos(self) -> int:
+        """Total number of videos."""
+        return len(self.records)
+
+    @property
+    def num_users(self) -> int:
+        """Total number of registered users."""
+        return len(self.users)

@@ -1,0 +1,69 @@
+"""Experiment workloads: the Table-2 queries and source-video selection.
+
+The paper retrieves the top favourite videos of the five most popular
+YouTube queries (its Table 2) and, following [33], uses the top two videos
+of each query as recommendation sources — 10 source videos in total.  We
+mirror that: each query topic's two most-commented videos become sources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.community.generator import QUERY_TOPICS, CommunityConfig, generate_community
+from repro.community.models import CommunityDataset
+
+__all__ = ["QUERY_TOPICS", "Workload", "build_workload", "select_source_videos"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A dataset plus its query source videos.
+
+    Attributes
+    ----------
+    dataset:
+        The generated community.
+    sources:
+        The 10 source video ids (two per Table-2 query, in query order).
+    """
+
+    dataset: CommunityDataset
+    sources: tuple[str, ...]
+
+    @property
+    def queries(self) -> tuple[str, ...]:
+        """The Table-2 query strings."""
+        return QUERY_TOPICS
+
+
+def select_source_videos(
+    dataset: CommunityDataset, per_query: int = 2, up_to_month: int = 11
+) -> tuple[str, ...]:
+    """Pick each query topic's *per_query* most-commented videos.
+
+    Ties break on video id for determinism.  Only the five query topics
+    contribute sources; background topics never do (the paper's sources
+    come from its query crawl).
+    """
+    counts = dataset.comment_counts(up_to_month=up_to_month)
+    sources: list[str] = []
+    for topic in range(len(QUERY_TOPICS)):
+        candidates = dataset.videos_of_topic(topic)
+        if not candidates:
+            raise ValueError(f"query topic {topic} has no videos")
+        ranked = sorted(candidates, key=lambda vid: (-counts.get(vid, 0), vid))
+        sources.extend(ranked[:per_query])
+    return tuple(sources)
+
+
+def build_workload(
+    hours: float = 20.0,
+    seed: int = 2015,
+    per_query: int = 2,
+    **config_overrides,
+) -> Workload:
+    """Generate a community of *hours* hours and select its sources."""
+    config = CommunityConfig(hours=hours, seed=seed, **config_overrides)
+    dataset = generate_community(config)
+    return Workload(dataset=dataset, sources=select_source_videos(dataset, per_query))

@@ -1,0 +1,40 @@
+"""The paper's contribution: fusion, recommenders, index-backed KNN search."""
+
+from repro.core.affrf import AffrfRecommender
+from repro.core.baselines import PopularityRecommender, RandomRecommender
+from repro.core.config import RecommenderConfig
+from repro.core.explain import Explanation, SignatureMatch, explain_recommendation
+from repro.core.fusion import fuse_average, fuse_fj, fuse_max
+from repro.core.knn import KnnResult, KTopScoreVideoSearch
+from repro.core.pipeline import CommunityIndex, GlobalFeatures
+from repro.core.recommender import (
+    FusionRecommender,
+    content_recommender,
+    csf_recommender,
+    csf_sar_h_recommender,
+    csf_sar_recommender,
+    social_recommender,
+)
+
+__all__ = [
+    "AffrfRecommender",
+    "CommunityIndex",
+    "Explanation",
+    "PopularityRecommender",
+    "RandomRecommender",
+    "SignatureMatch",
+    "explain_recommendation",
+    "FusionRecommender",
+    "GlobalFeatures",
+    "KTopScoreVideoSearch",
+    "KnnResult",
+    "RecommenderConfig",
+    "content_recommender",
+    "csf_recommender",
+    "csf_sar_h_recommender",
+    "csf_sar_recommender",
+    "fuse_average",
+    "fuse_fj",
+    "fuse_max",
+    "social_recommender",
+]

@@ -1,0 +1,128 @@
+"""AFFRF baseline — multimodal fusion with relevance feedback [33].
+
+Yang et al.'s online video recommendation (the paper's main published
+competitor) fuses **textual**, **visual** and **aural** relevance with an
+attention fusion function and refines the result with relevance feedback.
+We reproduce its structure over the synthetic substrate's equivalents:
+
+* *text* — Jaccard over title/tag token sets;
+* *visual* — histogram intersection of global intensity histograms (the
+  color-histogram stand-in; deliberately brittle under the brightness /
+  contrast edits the near-duplicate transforms apply — that brittleness is
+  the paper's stated reason AFFRF loses on user-edited data);
+* *aural* — similarity of fixed-length frame-mean envelopes (our clips
+  carry no audio track; the envelope is the closest global temporal
+  profile, playing the same role in the fusion);
+* *attention fusion* — per-query adaptive weights proportional to each
+  modality's discrimination power (spread between its best and median
+  candidate scores), following the attention-fusion idea of [33];
+* *relevance feedback* — one pseudo-feedback round: the initial top
+  results act as positives and candidate scores are interpolated with
+  their average similarity to those positives.
+
+No social information is used anywhere — by construction, matching [33].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pipeline import CommunityIndex, GlobalFeatures
+
+__all__ = ["AffrfRecommender"]
+
+
+def _text_relevance(first: GlobalFeatures, second: GlobalFeatures) -> float:
+    union = first.tokens | second.tokens
+    if not union:
+        return 0.0
+    return len(first.tokens & second.tokens) / len(union)
+
+
+def _visual_relevance(first: GlobalFeatures, second: GlobalFeatures) -> float:
+    # Histogram intersection: 1 for identical distributions.
+    return float(np.minimum(first.histogram, second.histogram).sum())
+
+
+def _aural_relevance(first: GlobalFeatures, second: GlobalFeatures) -> float:
+    gap = float(np.mean(np.abs(first.envelope - second.envelope)))
+    return 1.0 / (1.0 + gap / 16.0)
+
+
+_MODALITIES = (_text_relevance, _visual_relevance, _aural_relevance)
+
+
+class AffrfRecommender:
+    """The AFFRF multimodal baseline over a :class:`CommunityIndex`.
+
+    Parameters
+    ----------
+    index:
+        Must have been built with ``build_global_features=True``.
+    feedback_depth:
+        Number of initial top results used as pseudo-positives.
+    feedback_weight:
+        Interpolation weight of the feedback term.
+    """
+
+    name = "AFFRF"
+
+    def __init__(
+        self,
+        index: CommunityIndex,
+        feedback_depth: int = 5,
+        feedback_weight: float = 0.4,
+    ) -> None:
+        if not index.features:
+            raise ValueError("AFFRF needs global features; rebuild the index with build_global_features=True")
+        if feedback_depth < 1:
+            raise ValueError("feedback_depth must be >= 1")
+        if not 0.0 <= feedback_weight <= 1.0:
+            raise ValueError("feedback_weight must be in [0, 1]")
+        self.index = index
+        self.feedback_depth = feedback_depth
+        self.feedback_weight = feedback_weight
+
+    def _modality_scores(self, query_id: str, candidates: list[str]) -> np.ndarray:
+        query = self.index.features[query_id]
+        scores = np.empty((len(_MODALITIES), len(candidates)), dtype=np.float64)
+        for row, relevance in enumerate(_MODALITIES):
+            for col, candidate_id in enumerate(candidates):
+                scores[row, col] = relevance(query, self.index.features[candidate_id])
+        return scores
+
+    @staticmethod
+    def _attention_weights(scores: np.ndarray) -> np.ndarray:
+        """Per-query modality weights from discrimination power.
+
+        A modality that separates its best candidates from its median one
+        carries signal for this query; a flat modality does not.  Weights
+        are the normalised (best − median) spreads.
+        """
+        best = scores.max(axis=1)
+        median = np.median(scores, axis=1)
+        spread = np.maximum(best - median, 1e-6)
+        return spread / spread.sum()
+
+    def recommend(self, query_id: str, top_k: int = 10) -> list[str]:
+        """Attention-fused multimodal ranking with one feedback round."""
+        if top_k < 1:
+            raise ValueError(f"top_k must be >= 1, got {top_k}")
+        candidates = [vid for vid in sorted(self.index.features) if vid != query_id]
+        if not candidates:
+            return []
+        scores = self._modality_scores(query_id, candidates)
+        weights = self._attention_weights(scores)
+        fused = weights @ scores
+
+        # Pseudo relevance feedback: re-score against the initial leaders.
+        leaders = np.argsort(-fused)[: self.feedback_depth]
+        feedback = np.zeros_like(fused)
+        for leader in leaders:
+            leader_scores = self._modality_scores(candidates[int(leader)], candidates)
+            feedback += weights @ leader_scores
+        feedback /= len(leaders)
+        final = (1.0 - self.feedback_weight) * fused + self.feedback_weight * feedback
+
+        order = sorted(range(len(candidates)), key=lambda i: (-final[i], candidates[i]))
+        return [candidates[i] for i in order[:top_k]]

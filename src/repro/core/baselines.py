@@ -1,0 +1,56 @@
+"""Trivial reference recommenders: random and comment-popularity.
+
+Neither appears in the paper's comparison, but every recommendation study
+needs a floor: a method that beats AFFRF but not random hasn't shown much.
+The evaluation harness accepts these exactly like the real systems.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.community.models import CommunityDataset
+
+__all__ = ["RandomRecommender", "PopularityRecommender"]
+
+
+class RandomRecommender:
+    """Uniformly random recommendations (seeded, query-independent noise floor)."""
+
+    name = "Random"
+
+    def __init__(self, dataset: CommunityDataset, seed: int = 0) -> None:
+        self._video_ids = sorted(dataset.records)
+        self._seed = seed
+
+    def recommend(self, query_id: str, top_k: int = 10) -> list[str]:
+        """A random sample of other videos (deterministic per query)."""
+        if top_k < 1:
+            raise ValueError(f"top_k must be >= 1, got {top_k}")
+        pool = [video_id for video_id in self._video_ids if video_id != query_id]
+        rng = np.random.default_rng(
+            self._seed + sum(ord(c) for c in query_id)
+        )
+        picks = rng.permutation(len(pool))[:top_k]
+        return [pool[int(i)] for i in picks]
+
+
+class PopularityRecommender:
+    """Most-commented-first — the classic non-personalised baseline.
+
+    Ignores the query entirely (every user sees the same list), which is
+    precisely the behaviour the paper's clicked-video relevance model
+    improves on.
+    """
+
+    name = "Popularity"
+
+    def __init__(self, dataset: CommunityDataset, up_to_month: int = 11) -> None:
+        counts = dataset.comment_counts(up_to_month=up_to_month)
+        self._ranked = sorted(counts, key=lambda vid: (-counts[vid], vid))
+
+    def recommend(self, query_id: str, top_k: int = 10) -> list[str]:
+        """The global popularity ranking, minus the query itself."""
+        if top_k < 1:
+            raise ValueError(f"top_k must be >= 1, got {top_k}")
+        return [vid for vid in self._ranked if vid != query_id][:top_k]

@@ -1,0 +1,91 @@
+"""Configuration of the content-social recommender.
+
+Defaults mirror the paper's tuned values: fusion weight ``omega = 0.7``
+(its Figure 8) and ``k = 60`` sub-communities (its Figure 9).  The content
+pipeline defaults (8x8 block grid, bigram signatures) follow Section 4.1's
+simplifications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RecommenderConfig"]
+
+
+@dataclass(frozen=True)
+class RecommenderConfig:
+    """All knobs of the recommendation system in one immutable bundle.
+
+    Attributes
+    ----------
+    omega:
+        Weight of the social relevance in the FJ fusion (Eq. 9).
+    k:
+        Number of sub-communities for SAR.
+    grid:
+        Block lattice resolution per keyframe.
+    merge_threshold:
+        Intensity tolerance of the spatial block merge.
+    q:
+        q-gram length (the paper uses bigrams).
+    keyframes_per_segment:
+        Keyframes sampled per shot segment.
+    match_threshold:
+        Minimum SimC for a signature pair to count as matched in κJ.
+    embedding_range:
+        ``(lo, hi)`` value range of the EMD -> L1 embedding grid.
+    embedding_resolution:
+        Bins of the embedding grid.
+    lsh_projections, lsh_bits, lsh_width, lsh_trees:
+        LSB index parameters (see :class:`repro.index.lsb.LsbIndex`).
+    knn_content_budget:
+        Candidate entries pulled from the LSB index per query signature.
+    knn_social_budget:
+        Social candidates pulled from the inverted file per query.
+    uig_pair_cap:
+        Optional cap on per-video UIG edge generation for very dense
+        comment volumes (``None`` = exact, the paper's definition).
+    """
+
+    omega: float = 0.7
+    k: int = 60
+    grid: int = 8
+    merge_threshold: float = 6.0
+    q: int = 2
+    keyframes_per_segment: int = 3
+    match_threshold: float = 0.2
+    embedding_range: tuple[float, float] = (-64.0, 64.0)
+    embedding_resolution: int = 64
+    lsh_projections: int = 4
+    lsh_bits: int = 8
+    lsh_width: float = 2.0
+    lsh_trees: int = 2
+    knn_content_budget: int = 24
+    knn_social_budget: int = 64
+    uig_pair_cap: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.omega <= 1.0:
+            raise ValueError(f"omega must be in [0, 1], got {self.omega}")
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if self.grid < 1:
+            raise ValueError(f"grid must be >= 1, got {self.grid}")
+        if self.q < 2:
+            raise ValueError(f"q must be >= 2, got {self.q}")
+        lo, hi = self.embedding_range
+        if not lo < hi:
+            raise ValueError(f"empty embedding range {self.embedding_range}")
+
+    def with_omega(self, omega: float) -> "RecommenderConfig":
+        """Copy with a different fusion weight (for the ω sweep)."""
+        from dataclasses import replace
+
+        return replace(self, omega=omega)
+
+    def with_k(self, k: int) -> "RecommenderConfig":
+        """Copy with a different sub-community count (for the k sweep)."""
+        from dataclasses import replace
+
+        return replace(self, k=k)

@@ -1,0 +1,42 @@
+"""Content-social relevance fusion (paper Section 4.3).
+
+The paper's final relevance is the weighted late fusion
+
+    FJ(V, Q) = (1 - ω) κJ(S_V, S_Q) + ω sJ(D_V, D_Q)         (Eq. 9)
+
+and Section 4.3 discusses — and rejects — two simpler combiners borrowed
+from search fusion: the plain average (ignores that the two signals matter
+differently) and the maximum (discards one signal entirely).  Both are kept
+here for the fusion ablation bench.
+"""
+
+from __future__ import annotations
+
+__all__ = ["fuse_fj", "fuse_average", "fuse_max"]
+
+
+def _check(content: float, social: float) -> None:
+    if not 0.0 <= content <= 1.0 + 1e-9:
+        raise ValueError(f"content relevance must be in [0, 1], got {content}")
+    if not 0.0 <= social <= 1.0 + 1e-9:
+        raise ValueError(f"social relevance must be in [0, 1], got {social}")
+
+
+def fuse_fj(content: float, social: float, omega: float) -> float:
+    """The FJ weighted fusion (Eq. 9)."""
+    if not 0.0 <= omega <= 1.0:
+        raise ValueError(f"omega must be in [0, 1], got {omega}")
+    _check(content, social)
+    return (1.0 - omega) * content + omega * social
+
+
+def fuse_average(content: float, social: float) -> float:
+    """Unweighted mean — the 'average' alternative of Section 4.3."""
+    _check(content, social)
+    return 0.5 * (content + social)
+
+
+def fuse_max(content: float, social: float) -> float:
+    """Retain the higher relevance — the 'max' alternative of Section 4.3."""
+    _check(content, social)
+    return max(content, social)

@@ -1,0 +1,145 @@
+"""K-top-score video search — the index-backed KNN of the paper's Figure 6.
+
+The exhaustive recommenders in :mod:`repro.core.recommender` score every
+video; ``KTopScoreVideoSearch`` instead drives the two indexes:
+
+1. **social step** — vectorize the query's social descriptor through the
+   chained hash table, pull candidates from the ``k`` inverted files, rank
+   them by the SAR approximation s̃J;
+2. **content step** — for each query signature, pull the entries with the
+   next longest common Z-order prefix from the LSB index;
+3. **refinement loop** — interleave the two candidate streams, compute the
+   full FJ relevance (κJ + s̃J) for each new candidate, and maintain the
+   running top-K; stop when both streams are exhausted or the configured
+   budgets are spent and the top-K is stable.
+
+This trades a bounded amount of recall (it only scores candidates the
+indexes surface) for sub-linear query cost, exactly the deal the paper's
+Section 4.4 describes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.core.fusion import fuse_fj
+from repro.core.pipeline import CommunityIndex
+from repro.measures.content import kappa_j
+from repro.social.sar import approx_jaccard
+
+__all__ = ["KnnResult", "KTopScoreVideoSearch"]
+
+
+@dataclass(frozen=True)
+class KnnResult:
+    """One scored recommendation."""
+
+    video_id: str
+    score: float
+    content: float
+    social: float
+
+
+class KTopScoreVideoSearch:
+    """Index-backed top-K search over a :class:`CommunityIndex`.
+
+    Parameters
+    ----------
+    index:
+        Must have been built with ``build_lsb=True``.
+    omega:
+        Fusion weight; defaults to the index configuration's value.
+    """
+
+    def __init__(self, index: CommunityIndex, omega: float | None = None) -> None:
+        if index.lsb is None:
+            raise ValueError("KTopScoreVideoSearch needs the LSB index built")
+        self.index = index
+        self.omega = index.config.omega if omega is None else float(omega)
+        if not 0.0 <= self.omega <= 1.0:
+            raise ValueError(f"omega must be in [0, 1], got {self.omega}")
+
+    # ------------------------------------------------------------------
+    def _social_candidates(self, query_id: str) -> list[str]:
+        """Step 1 of Figure 6: inverted-file candidates ranked by s̃J."""
+        query_vector = self.index.social.vectorize_users(
+            self.index.descriptor(query_id).users
+        )
+        candidates = self.index.social.inverted.candidates(query_vector)
+        budget = self.index.config.knn_social_budget
+        scored = sorted(
+            (
+                (
+                    -approx_jaccard(query_vector, self.index.social_vector(vid)),
+                    vid,
+                )
+                for vid in candidates[: budget * 2]
+                if vid != query_id
+            ),
+        )
+        return [vid for _, vid in scored[:budget]]
+
+    def _content_candidates(self, query_id: str) -> list[str]:
+        """Step 2 of Figure 6: LSB longest-common-prefix candidates."""
+        budget = self.index.config.knn_content_budget
+        ordered: list[str] = []
+        seen: set[str] = set()
+        for signature in self.index.series[query_id]:
+            for vid in self.index.lsb.candidate_videos(signature, budget):
+                if vid != query_id and vid not in seen:
+                    seen.add(vid)
+                    ordered.append(vid)
+        return ordered
+
+    def _full_score(self, query_id: str, candidate_id: str) -> KnnResult:
+        content = kappa_j(
+            self.index.series[query_id],
+            self.index.series[candidate_id],
+            match_threshold=self.index.config.match_threshold,
+        )
+        social = approx_jaccard(
+            self.index.social.vectorize_users(self.index.descriptor(query_id).users),
+            self.index.social_vector(candidate_id),
+        )
+        return KnnResult(
+            video_id=candidate_id,
+            score=fuse_fj(min(content, 1.0), min(social, 1.0), self.omega),
+            content=content,
+            social=social,
+        )
+
+    # ------------------------------------------------------------------
+    def search(self, query_id: str, top_k: int = 10) -> list[KnnResult]:
+        """Figure 6's loop: interleave candidate streams, refine, return K."""
+        if top_k < 1:
+            raise ValueError(f"top_k must be >= 1, got {top_k}")
+        if query_id not in self.index.series:
+            raise KeyError(f"unknown video {query_id!r}")
+        social_stream = iter(self._social_candidates(query_id))
+        content_stream = iter(self._content_candidates(query_id))
+        heap: list[tuple[float, str]] = []  # min-heap of (score, vid)
+        results: dict[str, KnnResult] = {}
+        exhausted = {"social": False, "content": False}
+        while not (exhausted["social"] and exhausted["content"]):
+            for label, stream in (("content", content_stream), ("social", social_stream)):
+                if exhausted[label]:
+                    continue
+                candidate = next(stream, None)
+                if candidate is None:
+                    exhausted[label] = True
+                    continue
+                if candidate in results:
+                    continue
+                result = self._full_score(query_id, candidate)
+                results[candidate] = result
+                if len(heap) < top_k:
+                    heapq.heappush(heap, (result.score, candidate))
+                elif result.score > heap[0][0]:
+                    heapq.heapreplace(heap, (result.score, candidate))
+        ranked = sorted(heap, key=lambda pair: (-pair[0], pair[1]))
+        return [results[vid] for _, vid in ranked]
+
+    def recommend(self, query_id: str, top_k: int = 10) -> list[str]:
+        """Harness-compatible wrapper returning only the ranked ids."""
+        return [result.video_id for result in self.search(query_id, top_k)]

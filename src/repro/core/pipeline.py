@@ -1,0 +1,173 @@
+"""End-to-end index construction: the :class:`CommunityIndex`.
+
+One pass over the community materialises each clip, extracts its cuboid
+signature series (plus the global features the AFFRF baseline needs), and
+drops the frames again; the social side builds the UIG, the sub-community
+partition, the chained hash table, the SAR vectors, and the inverted file
+(via :class:`repro.social.updates.DynamicSocialIndex`); the content side
+builds the LSB index.  Everything the recommenders and the KNN search need
+lives here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.community.models import CommunityDataset
+from repro.core.config import RecommenderConfig
+from repro.emd.embedding import EmdEmbedding
+from repro.index.lsb import LsbIndex
+from repro.signatures.series import SignatureSeries, extract_signature_series
+from repro.social.sar import SarVectorizer, SortedUserDictionary
+from repro.social.subcommunity import Partition
+from repro.social.updates import DynamicSocialIndex
+
+__all__ = ["GlobalFeatures", "CommunityIndex"]
+
+
+@dataclass(frozen=True)
+class GlobalFeatures:
+    """Whole-clip global features consumed by the AFFRF baseline.
+
+    Attributes
+    ----------
+    histogram:
+        Normalised global intensity histogram (the stand-in for the color
+        histogram of [33]; brittle under photometric edits by design).
+    envelope:
+        Fixed-length per-frame mean-intensity envelope (the aural-track
+        stand-in; our clips carry no audio, and the envelope plays the
+        same role: a cheap global temporal profile).
+    tokens:
+        Title + tag token set (the text modality).
+    """
+
+    histogram: np.ndarray
+    envelope: np.ndarray
+    tokens: frozenset[str]
+
+
+def _global_features(clip, histogram_bins: int = 16, envelope_length: int = 24) -> GlobalFeatures:
+    histogram, _ = np.histogram(clip.frames, bins=histogram_bins, range=(0.0, 255.0))
+    histogram = histogram.astype(np.float64)
+    histogram /= max(histogram.sum(), 1.0)
+    means = clip.frames.mean(axis=(1, 2))
+    positions = np.linspace(0, len(means) - 1, envelope_length)
+    envelope = np.interp(positions, np.arange(len(means)), means)
+    tokens = frozenset(clip.title.split()) | frozenset(clip.tags)
+    return GlobalFeatures(histogram=histogram, envelope=envelope, tokens=tokens)
+
+
+class CommunityIndex:
+    """All per-video features and indexes for one community snapshot.
+
+    Attributes
+    ----------
+    dataset:
+        The underlying community.
+    config:
+        The recommender configuration used for extraction.
+    series:
+        ``video_id -> SignatureSeries`` (the content features).
+    features:
+        ``video_id -> GlobalFeatures`` (AFFRF's modalities).
+    social:
+        The dynamic social index (descriptors, partition, hash table,
+        SAR vectors, inverted file) — mutable under updates.
+    sorted_dictionary / sar / sar_h:
+        The plain-SAR sorted user dictionary and the two SAR vectorizer
+        flavours (sorted-dictionary vs chained-hash backend).
+    lsb:
+        The LSB content index over every signature.
+    """
+
+    def __init__(
+        self,
+        dataset: CommunityDataset,
+        config: RecommenderConfig,
+        up_to_month: int = 11,
+        build_lsb: bool = True,
+        build_global_features: bool = True,
+    ) -> None:
+        self.dataset = dataset
+        self.config = config
+        self.series: dict[str, SignatureSeries] = {}
+        self.features: dict[str, GlobalFeatures] = {}
+
+        embedding = EmdEmbedding(
+            lo=config.embedding_range[0],
+            hi=config.embedding_range[1],
+            resolution=config.embedding_resolution,
+        )
+        self.lsb: LsbIndex | None = (
+            LsbIndex(
+                embedding,
+                num_projections=config.lsh_projections,
+                bits_per_dim=config.lsh_bits,
+                bucket_width=config.lsh_width,
+                num_trees=config.lsh_trees,
+            )
+            if build_lsb
+            else None
+        )
+
+        for video_id in sorted(dataset.records):
+            clip = dataset.clip(video_id)
+            series = extract_signature_series(
+                clip,
+                grid=config.grid,
+                merge_threshold=config.merge_threshold,
+                q=config.q,
+                keyframes_per_segment=config.keyframes_per_segment,
+            )
+            self.series[video_id] = series
+            if build_global_features:
+                self.features[video_id] = _global_features(clip)
+            if self.lsb is not None:
+                for position, signature in enumerate(series):
+                    self.lsb.insert(video_id, position, signature)
+            del clip  # frames are re-derivable; keep memory flat
+
+        descriptors = dataset.descriptors(up_to_month=up_to_month)
+        self.social = DynamicSocialIndex.build(
+            descriptors.values(), config.k, uig_pair_cap=config.uig_pair_cap
+        )
+        self.rebuild_sorted_dictionary()
+
+    # ------------------------------------------------------------------
+    # SAR dictionaries
+    # ------------------------------------------------------------------
+    def rebuild_sorted_dictionary(self) -> None:
+        """(Re)derive the plain-SAR sorted dictionary from the live state.
+
+        The sorted dictionary is a static snapshot — after social updates
+        it must be rebuilt, whereas the chained hash table inside
+        ``self.social`` is maintained incrementally (that asymmetry is one
+        of SAR-H's selling points).
+        """
+        membership = {
+            user: cno
+            for cno, members in self.social.communities.items()
+            for user in members
+        }
+        self.sorted_dictionary = SortedUserDictionary(membership)
+        self.sar = SarVectorizer(self.sorted_dictionary, self.social.k)
+        self.sar_h = SarVectorizer(self.social.hash_table, self.social.k)
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def video_ids(self) -> list[str]:
+        """All indexed video ids, sorted."""
+        return sorted(self.series)
+
+    def descriptor(self, video_id: str):
+        """The live social descriptor of *video_id*."""
+        return self.social.descriptors[video_id]
+
+    def social_vector(self, video_id: str) -> np.ndarray:
+        """The maintained SAR vector of *video_id*."""
+        return self.social.vectors[video_id]

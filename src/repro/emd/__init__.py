@@ -1,0 +1,19 @@
+"""Earth Mover's Distance substrate.
+
+Three interchangeable solvers:
+
+* :func:`repro.emd.one_dim.emd_1d` — ``O(n log n)`` closed form for the
+  scalar cluster values the paper actually uses (production path);
+* :func:`repro.emd.transportation.emd_exact` — from-scratch transportation
+  simplex for arbitrary ground distances;
+* :func:`repro.emd.transportation.emd_linprog` — scipy LP cross-check.
+
+Plus :class:`repro.emd.embedding.EmdEmbedding`, the EMD -> L1 embedding the
+LSB content index hashes.
+"""
+
+from repro.emd.embedding import EmdEmbedding
+from repro.emd.one_dim import emd_1d
+from repro.emd.transportation import emd_exact, emd_linprog, normalize_weights
+
+__all__ = ["EmdEmbedding", "emd_1d", "emd_exact", "emd_linprog", "normalize_weights"]

@@ -1,0 +1,64 @@
+"""Closed-form Earth Mover's Distance for scalar (1-D) cluster values.
+
+The paper simplifies cuboid signatures so that each cluster value ``v`` is a
+single scalar (Section 4.1: "we use bigrams and each v is a single value").
+With ground distance ``|v_i - v_j|`` the transportation problem has the
+classic closed form
+
+    EMD(A, B) = integral over v of |CDF_A(v) - CDF_B(v)| dv
+
+which evaluates exactly by sorting the merged support — ``O(n log n)``
+instead of a simplex solve.  This is the production EMD path; the simplex
+solver in :mod:`repro.emd.transportation` validates it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.emd.transportation import normalize_weights
+
+__all__ = ["emd_1d"]
+
+
+def emd_1d(
+    values_a: np.ndarray,
+    weights_a: np.ndarray,
+    values_b: np.ndarray,
+    weights_b: np.ndarray,
+) -> float:
+    """Exact 1-D EMD between two weighted scalar distributions.
+
+    Both weight vectors are normalised to unit mass first (Definition 1 of
+    the paper requires equal total mass).
+
+    Parameters
+    ----------
+    values_a, values_b:
+        1-D arrays of scalar cluster values.
+    weights_a, weights_b:
+        Matching non-negative masses.
+
+    Returns
+    -------
+    float
+        ``integral |CDF_A - CDF_B| dv`` over the merged support.
+    """
+    va = np.asarray(values_a, dtype=np.float64).reshape(-1)
+    vb = np.asarray(values_b, dtype=np.float64).reshape(-1)
+    wa = normalize_weights(weights_a)
+    wb = normalize_weights(weights_b)
+    if va.size != wa.size or vb.size != wb.size:
+        raise ValueError("values and weights must have matching lengths")
+
+    # Merge supports; accumulate signed mass (+ for A, - for B) at each
+    # support point, then integrate the absolute running sum between
+    # consecutive support points.
+    support = np.concatenate([va, vb])
+    signed = np.concatenate([wa, -wb])
+    order = np.argsort(support, kind="stable")
+    support = support[order]
+    signed = signed[order]
+    cdf_gap = np.cumsum(signed)[:-1]
+    dv = np.diff(support)
+    return float(np.sum(np.abs(cdf_gap) * dv))

@@ -1,0 +1,269 @@
+"""Exact Earth Mover's Distance via the transportation simplex.
+
+Definition 1 of the paper casts EMD between two cuboid signatures as a
+balanced transportation problem: minimise ``sum c_ij f_ij`` subject to
+positivity, source (row sums equal the first signature's weights) and target
+(column sums equal the second's) constraints.
+
+This module implements the classic solution from scratch:
+
+* an initial basic feasible solution by the **north-west corner rule**;
+* optimality testing and improvement by the **MODI (u-v) method**, locating
+  the improvement cycle with a depth-first search over basic cells;
+* Bland-style tie-breaking plus an iteration cap for robustness against
+  degenerate cycling.
+
+A :func:`emd_linprog` cross-check built on :func:`scipy.optimize.linprog`
+is provided for validation in the test suite; production code paths use
+either this simplex solver or, for the scalar cuboid values the paper
+actually uses, the ``O(n log n)`` closed form in :mod:`repro.emd.one_dim`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linprog
+
+__all__ = ["emd_exact", "emd_linprog", "normalize_weights"]
+
+_EPSILON = 1e-12
+
+
+def normalize_weights(weights: np.ndarray) -> np.ndarray:
+    """Normalise *weights* to unit total mass.
+
+    Raises
+    ------
+    ValueError
+        If any weight is negative or the total mass is zero.
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    if w.ndim != 1 or w.size == 0:
+        raise ValueError("weights must be a non-empty 1-D array")
+    if np.any(w < 0):
+        raise ValueError("weights must be non-negative")
+    total = w.sum()
+    if total <= 0:
+        raise ValueError("total mass must be positive")
+    return w / total
+
+
+def _northwest_corner(supply: np.ndarray, demand: np.ndarray):
+    """Initial basic feasible solution for the balanced problem.
+
+    Returns ``(flow, basis)`` where *basis* is the list of basic cells.
+    Degenerate steps keep zero-flow cells basic so the basis always has
+    ``m + n - 1`` members.
+    """
+    m, n = supply.size, demand.size
+    flow = np.zeros((m, n), dtype=np.float64)
+    basis: list[tuple[int, int]] = []
+    s = supply.copy()
+    d = demand.copy()
+    i = j = 0
+    while i < m and j < n:
+        amount = min(s[i], d[j])
+        flow[i, j] = amount
+        basis.append((i, j))
+        s[i] -= amount
+        d[j] -= amount
+        if i == m - 1 and j == n - 1:
+            break
+        if s[i] <= _EPSILON and i < m - 1:
+            i += 1
+        else:
+            j += 1
+    return flow, basis
+
+
+def _compute_potentials(cost: np.ndarray, basis: list[tuple[int, int]], m: int, n: int):
+    """Solve ``u_i + v_j = c_ij`` over the basic cells (MODI potentials)."""
+    u = np.full(m, np.nan)
+    v = np.full(n, np.nan)
+    u[0] = 0.0
+    remaining = set(basis)
+    # Iteratively propagate; the basis forms a spanning tree so this
+    # terminates in at most m + n - 1 sweeps.
+    for _ in range(m + n):
+        progressed = False
+        for (i, j) in list(remaining):
+            if not np.isnan(u[i]) and np.isnan(v[j]):
+                v[j] = cost[i, j] - u[i]
+                remaining.discard((i, j))
+                progressed = True
+            elif np.isnan(u[i]) and not np.isnan(v[j]):
+                u[i] = cost[i, j] - v[j]
+                remaining.discard((i, j))
+                progressed = True
+            elif not np.isnan(u[i]) and not np.isnan(v[j]):
+                remaining.discard((i, j))
+                progressed = True
+        if not remaining:
+            break
+        if not progressed:
+            # Disconnected spanning forest (extreme degeneracy): anchor an
+            # arbitrary unresolved row and continue.
+            for (i, j) in remaining:
+                if np.isnan(u[i]):
+                    u[i] = 0.0
+                    break
+                if np.isnan(v[j]):
+                    v[j] = 0.0
+                    break
+    u = np.nan_to_num(u, nan=0.0)
+    v = np.nan_to_num(v, nan=0.0)
+    return u, v
+
+
+def _find_cycle(basis: list[tuple[int, int]], entering: tuple[int, int]):
+    """Find the unique alternating cycle the entering cell closes.
+
+    The cycle alternates horizontal and vertical moves through basic cells.
+    Returned as the ordered list of cells starting with *entering*.
+    """
+    cells = set(basis)
+    cells.add(entering)
+    by_row: dict[int, list[tuple[int, int]]] = {}
+    by_col: dict[int, list[tuple[int, int]]] = {}
+    for cell in cells:
+        by_row.setdefault(cell[0], []).append(cell)
+        by_col.setdefault(cell[1], []).append(cell)
+
+    def search(path: list[tuple[int, int]], move_row: bool):
+        head = path[-1]
+        neighbours = by_row[head[0]] if move_row else by_col[head[1]]
+        for nxt in neighbours:
+            if nxt == head:
+                continue
+            if nxt == entering and len(path) >= 4 and not move_row:
+                return path
+            if nxt == entering:
+                continue
+            if nxt in path:
+                continue
+            result = search(path + [nxt], not move_row)
+            if result is not None:
+                return result
+        return None
+
+    cycle = search([entering], move_row=True)
+    if cycle is None:
+        cycle = search([entering], move_row=False)
+    return cycle
+
+
+def emd_exact(
+    values_a: np.ndarray,
+    weights_a: np.ndarray,
+    values_b: np.ndarray,
+    weights_b: np.ndarray,
+    cost_matrix: np.ndarray | None = None,
+    max_iterations: int = 10_000,
+) -> float:
+    """Exact EMD between weighted point sets via the transportation simplex.
+
+    Parameters
+    ----------
+    values_a, values_b:
+        Cluster representatives.  1-D arrays of scalars by default; ignored
+        when *cost_matrix* is given.
+    weights_a, weights_b:
+        Non-negative cluster masses; normalised to total mass 1 (Definition
+        1 requires equal total mass).
+    cost_matrix:
+        Optional explicit ground-distance matrix ``c[i, j]``; defaults to
+        ``|values_a[i] - values_b[j]|``.
+    max_iterations:
+        Safety cap on simplex pivots.
+
+    Returns
+    -------
+    float
+        The minimal transport cost.
+    """
+    wa = normalize_weights(weights_a)
+    wb = normalize_weights(weights_b)
+    if cost_matrix is None:
+        va = np.asarray(values_a, dtype=np.float64).reshape(-1)
+        vb = np.asarray(values_b, dtype=np.float64).reshape(-1)
+        if va.size != wa.size or vb.size != wb.size:
+            raise ValueError("values and weights must have matching lengths")
+        cost = np.abs(va[:, None] - vb[None, :])
+    else:
+        cost = np.asarray(cost_matrix, dtype=np.float64)
+        if cost.shape != (wa.size, wb.size):
+            raise ValueError(
+                f"cost matrix shape {cost.shape} does not match "
+                f"({wa.size}, {wb.size})"
+            )
+        if np.any(cost < 0):
+            raise ValueError("ground distances must be non-negative")
+
+    m, n = wa.size, wb.size
+    if m == 1 and n == 1:
+        return float(cost[0, 0])
+
+    flow, basis = _northwest_corner(wa, wb)
+    for _ in range(max_iterations):
+        u, v = _compute_potentials(cost, basis, m, n)
+        reduced = cost - u[:, None] - v[None, :]
+        basic_set = set(basis)
+        best_cell = None
+        best_value = -1e-9
+        for i in range(m):
+            for j in range(n):
+                if (i, j) in basic_set:
+                    continue
+                if reduced[i, j] < best_value:
+                    best_value = reduced[i, j]
+                    best_cell = (i, j)
+        if best_cell is None:
+            break
+        cycle = _find_cycle(basis, best_cell)
+        if cycle is None:  # pragma: no cover - spanning-tree invariant
+            break
+        # Odd positions of the cycle lose flow.
+        losers = cycle[1::2]
+        theta = min(flow[c] for c in losers)
+        leaving = min(
+            (c for c in losers if abs(flow[c] - theta) <= _EPSILON),
+            key=lambda c: (c[0], c[1]),
+        )
+        for idx, cell in enumerate(cycle):
+            flow[cell] += theta if idx % 2 == 0 else -theta
+        basis.remove(leaving)
+        basis.append(best_cell)
+    return float(np.sum(flow * cost))
+
+
+def emd_linprog(
+    values_a: np.ndarray,
+    weights_a: np.ndarray,
+    values_b: np.ndarray,
+    weights_b: np.ndarray,
+    cost_matrix: np.ndarray | None = None,
+) -> float:
+    """Reference EMD via :func:`scipy.optimize.linprog` (HiGHS backend).
+
+    Used by the test suite to validate :func:`emd_exact` and the 1-D closed
+    form; intentionally straightforward rather than fast.
+    """
+    wa = normalize_weights(weights_a)
+    wb = normalize_weights(weights_b)
+    if cost_matrix is None:
+        va = np.asarray(values_a, dtype=np.float64).reshape(-1)
+        vb = np.asarray(values_b, dtype=np.float64).reshape(-1)
+        cost = np.abs(va[:, None] - vb[None, :])
+    else:
+        cost = np.asarray(cost_matrix, dtype=np.float64)
+    m, n = wa.size, wb.size
+    a_eq = np.zeros((m + n, m * n))
+    for i in range(m):
+        a_eq[i, i * n:(i + 1) * n] = 1.0
+    for j in range(n):
+        a_eq[m + j, j::n] = 1.0
+    b_eq = np.concatenate([wa, wb])
+    result = linprog(cost.reshape(-1), A_eq=a_eq, b_eq=b_eq, bounds=(0, None), method="highs")
+    if not result.success:  # pragma: no cover - HiGHS is reliable on feasible LPs
+        raise RuntimeError(f"linprog failed: {result.message}")
+    return float(result.fun)

@@ -1,0 +1,32 @@
+"""Evaluation: AR/AC/MAP metrics, the simulated judge panel, the harness."""
+
+from repro.evaluation.harness import (
+    EffectivenessReport,
+    MetricsRow,
+    Timer,
+    evaluate_method,
+    format_table,
+)
+from repro.evaluation.judges import DEFAULT_GRADE_RATINGS, JudgePanel
+from repro.evaluation.metrics import (
+    RELEVANT_THRESHOLD,
+    average_accuracy,
+    average_precision,
+    average_rating,
+    mean_average_precision,
+)
+
+__all__ = [
+    "DEFAULT_GRADE_RATINGS",
+    "EffectivenessReport",
+    "JudgePanel",
+    "MetricsRow",
+    "RELEVANT_THRESHOLD",
+    "Timer",
+    "average_accuracy",
+    "average_precision",
+    "average_rating",
+    "evaluate_method",
+    "format_table",
+    "mean_average_precision",
+]

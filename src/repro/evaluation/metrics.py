@@ -1,0 +1,79 @@
+"""Effectiveness metrics: AR, AC, AP and MAP (paper Eqs. 10–12).
+
+* **AR** — average rating score of the returned videos (Eq. 10a);
+* **AC** — average accuracy: the proportion of returned videos whose
+  rating exceeds 4 (Eq. 10b);
+* **AP / MAP** — non-interpolated average precision, the TRECVID metric.
+  The paper's Eq. 11 writes ``AP = sum P(γ) rel(γ)`` and separately defines
+  ``N`` as the number of retrieved videos rated above 4; the standard
+  TRECVID AP divides that sum by ``N``.  We follow the standard
+  normalisation (documented here because the paper's equation omits it —
+  almost certainly a typesetting slip, since an unnormalised AP is not a
+  precision and cannot lie in [0, 1]).
+
+Ratings are the per-video mean scores of the simulated judge panel, so
+they are continuous in ``[1, 5]``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["average_rating", "average_accuracy", "average_precision", "mean_average_precision", "RELEVANT_THRESHOLD"]
+
+#: A returned video counts as relevant when its rating exceeds this value
+#: ("rating score bigger than 4", Section 5.2).
+RELEVANT_THRESHOLD = 4.0
+
+
+def _validate(ratings: Sequence[float]) -> list[float]:
+    values = [float(r) for r in ratings]
+    if not values:
+        raise ValueError("need at least one rating")
+    for value in values:
+        if not 1.0 <= value <= 5.0:
+            raise ValueError(f"ratings live in [1, 5], got {value}")
+    return values
+
+
+def average_rating(ratings: Sequence[float]) -> float:
+    """AR (Eq. 10a): mean rating of the returned videos."""
+    values = _validate(ratings)
+    return sum(values) / len(values)
+
+
+def average_accuracy(ratings: Sequence[float], threshold: float = RELEVANT_THRESHOLD) -> float:
+    """AC (Eq. 10b): share of returned videos rated above *threshold*."""
+    values = _validate(ratings)
+    relevant = sum(1 for value in values if value > threshold)
+    return relevant / len(values)
+
+
+def average_precision(ratings: Sequence[float], threshold: float = RELEVANT_THRESHOLD) -> float:
+    """Non-interpolated AP over a ranked rating list (Eqs. 11).
+
+    ``rel(γ)`` is 1 when the video at rank γ is rated above *threshold*;
+    ``P(γ)`` is the precision of the prefix ending at γ.  Returns 0 when
+    nothing relevant was retrieved.
+    """
+    values = _validate(ratings)
+    hits = 0
+    precision_sum = 0.0
+    for rank, value in enumerate(values, start=1):
+        if value > threshold:
+            hits += 1
+            precision_sum += hits / rank
+    if hits == 0:
+        return 0.0
+    return precision_sum / hits
+
+
+def mean_average_precision(
+    rating_lists: Sequence[Sequence[float]], threshold: float = RELEVANT_THRESHOLD
+) -> float:
+    """MAP (Eq. 12): mean of per-query APs."""
+    if not rating_lists:
+        raise ValueError("need at least one query")
+    return sum(average_precision(ratings, threshold) for ratings in rating_lists) / len(
+        rating_lists
+    )

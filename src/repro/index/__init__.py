@@ -1,0 +1,19 @@
+"""Indexing substrates: chained hashing, Z-order, B+-tree, LSB, inverted files."""
+
+from repro.index.bptree import BPlusTree
+from repro.index.hashing import ChainedHashTable, shift_add_xor
+from repro.index.inverted import InvertedFile
+from repro.index.lsb import LsbEntry, LsbIndex
+from repro.index.zorder import common_prefix_length, zorder_decode, zorder_encode
+
+__all__ = [
+    "BPlusTree",
+    "ChainedHashTable",
+    "InvertedFile",
+    "LsbEntry",
+    "LsbIndex",
+    "common_prefix_length",
+    "shift_add_xor",
+    "zorder_decode",
+    "zorder_encode",
+]

@@ -1,0 +1,247 @@
+"""A from-scratch B+-tree keyed by integers.
+
+The LSB index of Tao et al. [28] is "a B+-tree-based hash index ... for
+Z-order values of hash keys"; Section 4.4 of the paper reuses it for the
+content-relevance KNN.  This tree supports:
+
+* duplicate keys (several signatures can share one Z-order value);
+* leftmost-position search (`seek`), used to anchor prefix scans;
+* doubly linked leaves so searches can expand outward in both directions —
+  the access pattern of "continuously finding the next longest common
+  prefix with the query".
+
+It is intentionally a textbook implementation: sorted key arrays inside
+nodes, top-down descent with bisect, bottom-up splits.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Iterator
+from typing import Any
+
+__all__ = ["BPlusTree"]
+
+
+class _Leaf:
+    __slots__ = ("keys", "values", "next", "prev")
+
+    def __init__(self) -> None:
+        self.keys: list[int] = []
+        self.values: list[Any] = []
+        self.next: _Leaf | None = None
+        self.prev: _Leaf | None = None
+
+
+class _Internal:
+    __slots__ = ("keys", "children")
+
+    def __init__(self) -> None:
+        self.keys: list[int] = []
+        self.children: list[Any] = []
+
+
+class BPlusTree:
+    """Order-configurable B+-tree with linked leaves and duplicate keys.
+
+    Parameters
+    ----------
+    order:
+        Maximum number of keys per node; nodes split when they exceed it.
+        Must be at least 3.
+    """
+
+    def __init__(self, order: int = 32) -> None:
+        if order < 3:
+            raise ValueError(f"order must be >= 3, got {order}")
+        self._order = order
+        self._root: Any = _Leaf()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def order(self) -> int:
+        """Maximum keys per node."""
+        return self._order
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert(self, key: int, value: Any) -> None:
+        """Insert ``(key, value)``; duplicate keys are kept side by side."""
+        split = self._insert(self._root, key, value)
+        if split is not None:
+            separator, right = split
+            new_root = _Internal()
+            new_root.keys = [separator]
+            new_root.children = [self._root, right]
+            self._root = new_root
+        self._size += 1
+
+    def _insert(self, node: Any, key: int, value: Any):
+        if isinstance(node, _Leaf):
+            index = bisect.bisect_right(node.keys, key)
+            node.keys.insert(index, key)
+            node.values.insert(index, value)
+            if len(node.keys) > self._order:
+                return self._split_leaf(node)
+            return None
+        index = bisect.bisect_right(node.keys, key)
+        split = self._insert(node.children[index], key, value)
+        if split is None:
+            return None
+        separator, right = split
+        node.keys.insert(index, separator)
+        node.children.insert(index + 1, right)
+        if len(node.keys) > self._order:
+            return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, leaf: _Leaf):
+        middle = len(leaf.keys) // 2
+        right = _Leaf()
+        right.keys = leaf.keys[middle:]
+        right.values = leaf.values[middle:]
+        leaf.keys = leaf.keys[:middle]
+        leaf.values = leaf.values[:middle]
+        right.next = leaf.next
+        if right.next is not None:
+            right.next.prev = right
+        right.prev = leaf
+        leaf.next = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Internal):
+        middle = len(node.keys) // 2
+        separator = node.keys[middle]
+        right = _Internal()
+        right.keys = node.keys[middle + 1:]
+        right.children = node.children[middle + 1:]
+        node.keys = node.keys[:middle]
+        node.children = node.children[:middle + 1]
+        return separator, right
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def _leftmost_leaf(self) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[0]
+        return node
+
+    def seek(self, key: int) -> tuple[_Leaf, int]:
+        """Position of the first entry with key ``>= key``.
+
+        Returns ``(leaf, index)``; when every stored key is smaller, the
+        position is past the end of the last leaf (``index ==
+        len(leaf.keys)``).
+        """
+        node = self._root
+        while isinstance(node, _Internal):
+            # Descend left on separator ties: duplicates of the separator
+            # may straddle a split, and we want the leftmost occurrence.
+            index = bisect.bisect_left(node.keys, key)
+            node = node.children[index]
+        leaf: _Leaf = node
+        index = bisect.bisect_left(leaf.keys, key)
+        if index == len(leaf.keys) and leaf.next is not None:
+            # The tie-descent can land one leaf early; the true successor
+            # is then the first entry of the next leaf.
+            return leaf.next, 0
+        return leaf, index
+
+    def get(self, key: int) -> list[Any]:
+        """All values stored under exactly *key* (empty list when absent)."""
+        leaf, index = self.seek(key)
+        results: list[Any] = []
+        while leaf is not None:
+            while index < len(leaf.keys):
+                if leaf.keys[index] != key:
+                    return results
+                results.append(leaf.values[index])
+                index += 1
+            leaf = leaf.next
+            index = 0
+        return results
+
+    def items(self) -> Iterator[tuple[int, Any]]:
+        """All entries in ascending key order."""
+        leaf: _Leaf | None = self._leftmost_leaf()
+        while leaf is not None:
+            yield from zip(leaf.keys, leaf.values)
+            leaf = leaf.next
+
+    def range(self, low: int, high: int) -> Iterator[tuple[int, Any]]:
+        """Entries with ``low <= key <= high`` in ascending order."""
+        if low > high:
+            return
+        leaf, index = self.seek(low)
+        while leaf is not None:
+            while index < len(leaf.keys):
+                if leaf.keys[index] > high:
+                    return
+                yield leaf.keys[index], leaf.values[index]
+                index += 1
+            leaf = leaf.next
+            index = 0
+
+    @staticmethod
+    def _scan_forward(leaf: _Leaf | None, index: int) -> Iterator[tuple[int, Any]]:
+        while leaf is not None:
+            while index < len(leaf.keys):
+                yield leaf.keys[index], leaf.values[index]
+                index += 1
+            leaf = leaf.next
+            index = 0
+
+    @staticmethod
+    def _scan_backward(leaf: _Leaf | None, index: int) -> Iterator[tuple[int, Any]]:
+        while leaf is not None:
+            while index >= 0:
+                yield leaf.keys[index], leaf.values[index]
+                index -= 1
+            leaf = leaf.prev
+            index = len(leaf.keys) - 1 if leaf is not None else -1
+
+    def neighbourhood(self, key: int) -> Iterator[tuple[int, Any]]:
+        """Entries in order of increasing key distance from *key*.
+
+        Alternates between the next entry to the right and the next to the
+        left of the seek position — the outward bidirectional leaf walk the
+        LSB search performs to find "the next longest common prefix".
+        """
+        anchor_leaf, anchor_index = self.seek(key)
+        forward = self._scan_forward(anchor_leaf, anchor_index)
+        if anchor_index > 0:
+            backward = self._scan_backward(anchor_leaf, anchor_index - 1)
+        else:
+            backward = self._scan_backward(anchor_leaf.prev,
+                                           len(anchor_leaf.prev.keys) - 1
+                                           if anchor_leaf.prev is not None else -1)
+        pending_right = next(forward, None)
+        pending_left = next(backward, None)
+        while pending_right is not None or pending_left is not None:
+            if pending_left is None:
+                take_right = True
+            elif pending_right is None:
+                take_right = False
+            else:
+                take_right = abs(pending_right[0] - key) <= abs(key - pending_left[0])
+            if take_right:
+                yield pending_right
+                pending_right = next(forward, None)
+            else:
+                yield pending_left
+                pending_left = next(backward, None)
+
+    def depth(self) -> int:
+        """Tree height (1 for a lone leaf)."""
+        depth = 1
+        node = self._root
+        while isinstance(node, _Internal):
+            depth += 1
+            node = node.children[0]
+        return depth

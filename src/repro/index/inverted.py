@@ -1,0 +1,87 @@
+"""Inverted files from sub-community ids to video ids (paper Section 4.4).
+
+"To quickly identify the social relevance, we use k inverted files, each of
+which stores a sub-community id and a list of its corresponding videos."
+
+A video is listed under sub-community ``c`` when at least one of its social
+users belongs to ``c`` (i.e. its SAR vector has a positive count in
+dimension ``c``).  Given a query vector, the candidate set is the union of
+the postings of the query's non-zero dimensions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["InvertedFile"]
+
+
+class InvertedFile:
+    """k postings lists: sub-community id -> video ids."""
+
+    def __init__(self, num_communities: int) -> None:
+        if num_communities < 1:
+            raise ValueError("need at least one sub-community")
+        self._postings: list[list[str]] = [[] for _ in range(num_communities)]
+        self._memberships: dict[str, set[int]] = {}
+
+    @property
+    def num_communities(self) -> int:
+        """Number of postings lists (the SAR dimensionality k)."""
+        return len(self._postings)
+
+    def add_video(self, video_id: str, vector: Sequence[float] | np.ndarray) -> None:
+        """Register *video_id* under every community its vector touches."""
+        vector = np.asarray(vector)
+        if vector.shape != (self.num_communities,):
+            raise ValueError(
+                f"vector length {vector.shape} does not match k={self.num_communities}"
+            )
+        communities = {int(c) for c in np.nonzero(vector > 0)[0]}
+        previous = self._memberships.get(video_id, set())
+        for community in communities - previous:
+            self._postings[community].append(video_id)
+        for community in previous - communities:
+            self._postings[community].remove(video_id)
+        self._memberships[video_id] = communities
+
+    def postings(self, community: int) -> list[str]:
+        """The videos listed under *community* (a copy)."""
+        return list(self._postings[community])
+
+    def candidates(self, query_vector: Sequence[float] | np.ndarray) -> list[str]:
+        """Union of postings over the query vector's non-zero dimensions.
+
+        Order: first occurrence while scanning communities by descending
+        query count, so videos sharing the query's dominant communities
+        surface first.
+        """
+        query_vector = np.asarray(query_vector)
+        if query_vector.shape != (self.num_communities,):
+            raise ValueError(
+                f"query length {query_vector.shape} does not match k={self.num_communities}"
+            )
+        order = np.argsort(query_vector)[::-1]
+        results: list[str] = []
+        seen: set[str] = set()
+        for community in order:
+            if query_vector[community] <= 0:
+                break
+            for video_id in self._postings[int(community)]:
+                if video_id not in seen:
+                    seen.add(video_id)
+                    results.append(video_id)
+        return results
+
+    def remove_video(self, video_id: str) -> None:
+        """Remove every posting of *video_id* (no-op when absent)."""
+        for community in self._memberships.pop(video_id, set()):
+            self._postings[community].remove(video_id)
+
+    def __contains__(self, video_id: str) -> bool:
+        return video_id in self._memberships
+
+    def __len__(self) -> int:
+        return len(self._memberships)

@@ -1,0 +1,157 @@
+"""The LSB content index: LSH over the EMD->L1 embedding, Z-order keys,
+B+-tree storage, longest-common-prefix KNN (paper Section 4.4, refs [28, 35]).
+
+Pipeline per signature:
+
+1. embed the cuboid signature into L1 space (:class:`~repro.emd.EmdEmbedding`);
+2. hash the embedding with ``m`` 1-stable (Cauchy) LSH projections
+   ``h_i(x) = floor((a_i . x + b_i) / W)`` — the standard family for the L1
+   metric;
+3. clamp each hash into ``[0, 2^bits)`` and interleave into a Z-order key;
+4. store ``(zkey, entry)`` in a B+-tree.
+
+A query walks the tree outward from its own Z-order key, yielding the
+entries with the *next longest common prefix* first — the access pattern of
+the paper's Figure 6 content step.  Multiple independent trees can be used
+to boost recall, as in the original LSB forest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.emd.embedding import EmdEmbedding
+from repro.index.bptree import BPlusTree
+from repro.index.zorder import common_prefix_length, zorder_encode
+from repro.signatures.cuboid import CuboidSignature
+
+__all__ = ["LsbEntry", "LsbIndex"]
+
+
+@dataclass(frozen=True)
+class LsbEntry:
+    """One indexed signature: its owning video and position in the series."""
+
+    video_id: str
+    signature_index: int
+    signature: CuboidSignature
+
+
+class LsbIndex:
+    """LSB forest over cuboid signatures.
+
+    Parameters
+    ----------
+    embedding:
+        The EMD -> L1 embedding shared by every signature.
+    num_projections:
+        ``m``, the number of LSH hash functions per tree (the Z-order
+        dimensionality).
+    bits_per_dim:
+        Bits used to clamp each hash coordinate.
+    bucket_width:
+        ``W`` of the p-stable family; larger widths hash more aggressively
+        (more collisions, higher recall, lower precision).
+    num_trees:
+        Independent LSB-trees; query results interleave across trees.
+    seed:
+        Seed for the Cauchy projection vectors.
+    """
+
+    def __init__(
+        self,
+        embedding: EmdEmbedding,
+        num_projections: int = 4,
+        bits_per_dim: int = 8,
+        bucket_width: float = 2.0,
+        num_trees: int = 2,
+        seed: int = 7,
+        tree_order: int = 32,
+    ) -> None:
+        if num_projections < 1:
+            raise ValueError("need at least one projection")
+        if bits_per_dim < 1:
+            raise ValueError("bits_per_dim must be >= 1")
+        if bucket_width <= 0:
+            raise ValueError("bucket_width must be positive")
+        if num_trees < 1:
+            raise ValueError("need at least one tree")
+        self._embedding = embedding
+        self._m = num_projections
+        self._bits = bits_per_dim
+        self._width = bucket_width
+        rng = np.random.default_rng(seed)
+        # 1-stable (Cauchy) projections: the LSH family for L1.
+        self._projections = [
+            rng.standard_cauchy(size=(num_projections, embedding.resolution))
+            for _ in range(num_trees)
+        ]
+        self._offsets = [
+            rng.uniform(0.0, bucket_width, size=num_projections)
+            for _ in range(num_trees)
+        ]
+        self._trees = [BPlusTree(order=tree_order) for _ in range(num_trees)]
+        self._size = 0
+
+    @property
+    def total_bits(self) -> int:
+        """Bit length of every Z-order key."""
+        return self._m * self._bits
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _zkey(self, tree_index: int, signature: CuboidSignature) -> int:
+        vector = self._embedding.embed(signature.values, signature.weights)
+        raw = (self._projections[tree_index] @ vector + self._offsets[tree_index]) / self._width
+        half = 1 << (self._bits - 1)
+        coords = np.clip(np.floor(raw).astype(np.int64) + half, 0, (1 << self._bits) - 1)
+        return zorder_encode([int(c) for c in coords], self._bits)
+
+    def insert(self, video_id: str, signature_index: int, signature: CuboidSignature) -> None:
+        """Index one signature of one video in every tree."""
+        entry = LsbEntry(video_id, signature_index, signature)
+        for tree_index, tree in enumerate(self._trees):
+            tree.insert(self._zkey(tree_index, signature), entry)
+        self._size += 1
+
+    def probe(self, signature: CuboidSignature, budget: int) -> list[tuple[int, LsbEntry]]:
+        """Return up to *budget* candidate entries for *signature*.
+
+        Candidates are collected by walking each tree outward from the
+        query key and merged by descending common-prefix length, so the
+        first results are those sharing the smallest Z-order quadrant with
+        the query — "the next longest common prefix" order.
+        """
+        if budget < 1:
+            raise ValueError("budget must be >= 1")
+        scored: list[tuple[int, LsbEntry]] = []
+        per_tree = max(1, budget // len(self._trees))
+        seen: set[tuple[str, int]] = set()
+        for tree_index, tree in enumerate(self._trees):
+            query_key = self._zkey(tree_index, signature)
+            taken = 0
+            for key, entry in tree.neighbourhood(query_key):
+                identity = (entry.video_id, entry.signature_index)
+                if identity in seen:
+                    continue
+                seen.add(identity)
+                lcp = common_prefix_length(key, query_key, self.total_bits)
+                scored.append((lcp, entry))
+                taken += 1
+                if taken >= per_tree:
+                    break
+        scored.sort(key=lambda pair: -pair[0])
+        return scored[:budget]
+
+    def candidate_videos(self, signature: CuboidSignature, budget: int) -> list[str]:
+        """Distinct video ids among the probe results, best-prefix first."""
+        ordered: list[str] = []
+        seen: set[str] = set()
+        for _, entry in self.probe(signature, budget):
+            if entry.video_id not in seen:
+                seen.add(entry.video_id)
+                ordered.append(entry.video_id)
+        return ordered

@@ -1,0 +1,76 @@
+"""Z-order (Morton) encoding for the LSB content index.
+
+The LSB-tree of Tao et al. [28] stores each LSH-hashed point by the Z-order
+value of its ``m`` integer hash coordinates and answers approximate nearest
+neighbour queries by scanning entries whose Z-order keys share the longest
+common prefix with the query.  This module provides bit interleaving,
+decoding and the common-prefix primitive that search relies on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["zorder_encode", "zorder_decode", "common_prefix_length"]
+
+
+def zorder_encode(coordinates: Sequence[int], bits_per_dim: int) -> int:
+    """Interleave *coordinates* into a single Morton code.
+
+    Bit ``b`` of dimension ``d`` (with ``b = bits_per_dim - 1`` the most
+    significant) lands at output position ``b * ndim + (ndim - 1 - d)`` so
+    that the most significant output bits cycle through the dimensions'
+    most significant bits — the standard Z-order layout.
+
+    Raises
+    ------
+    ValueError
+        If any coordinate is negative or needs more than *bits_per_dim*
+        bits.
+    """
+    if bits_per_dim < 1:
+        raise ValueError(f"bits_per_dim must be >= 1, got {bits_per_dim}")
+    if not coordinates:
+        raise ValueError("need at least one coordinate")
+    limit = 1 << bits_per_dim
+    ndim = len(coordinates)
+    code = 0
+    for bit in range(bits_per_dim - 1, -1, -1):
+        for dim, value in enumerate(coordinates):
+            if not 0 <= value < limit:
+                raise ValueError(
+                    f"coordinate {value} out of range [0, {limit}) for "
+                    f"{bits_per_dim}-bit encoding"
+                )
+            code = (code << 1) | ((value >> bit) & 1)
+    return code
+
+
+def zorder_decode(code: int, ndim: int, bits_per_dim: int) -> list[int]:
+    """Invert :func:`zorder_encode`."""
+    if code < 0:
+        raise ValueError("Morton codes are non-negative")
+    if ndim < 1 or bits_per_dim < 1:
+        raise ValueError("ndim and bits_per_dim must be >= 1")
+    coordinates = [0] * ndim
+    position = ndim * bits_per_dim - 1
+    for bit in range(bits_per_dim - 1, -1, -1):
+        for dim in range(ndim):
+            coordinates[dim] |= ((code >> position) & 1) << bit
+            position -= 1
+    return coordinates
+
+
+def common_prefix_length(first: int, second: int, total_bits: int) -> int:
+    """Number of leading bits shared by two Morton codes of *total_bits*.
+
+    The LSB-tree ranks candidate entries by this value: a longer common
+    prefix means the two points share a smaller Z-order quadrant and are
+    therefore likely closer.
+    """
+    if total_bits < 1:
+        raise ValueError("total_bits must be >= 1")
+    difference = (first ^ second) & ((1 << total_bits) - 1)
+    if difference == 0:
+        return total_bits
+    return total_bits - difference.bit_length()

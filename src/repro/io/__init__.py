@@ -1,0 +1,20 @@
+"""Persistence: gzipped-JSON save/load for datasets and built indexes."""
+
+from repro.io.index_store import load_index, save_index
+from repro.io.serialize import (
+    SCHEMA_VERSION,
+    dataset_from_dict,
+    dataset_to_dict,
+    load_dataset,
+    save_dataset,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "dataset_from_dict",
+    "dataset_to_dict",
+    "load_dataset",
+    "load_index",
+    "save_dataset",
+    "save_index",
+]

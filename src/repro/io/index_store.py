@@ -1,0 +1,155 @@
+"""Persistence for built community indexes.
+
+Re-extracting signatures for a large community takes minutes; loading the
+extracted state takes milliseconds.  This module serialises the expensive,
+deterministic parts of a :class:`~repro.core.pipeline.CommunityIndex` —
+the signature series, global features and social descriptors — together
+with the dataset and configuration, and rebuilds the cheap derived
+structures (UIG partition, hash table, SAR vectors, inverted file, LSB
+forest) on load.
+
+Format: a single ``.npz``-style archive is avoided in favour of gzipped
+JSON (arrays here are small; the payload stays portable and diffable).
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import pathlib
+from dataclasses import asdict
+
+import numpy as np
+
+from repro.core.config import RecommenderConfig
+from repro.core.pipeline import CommunityIndex, GlobalFeatures
+from repro.io.serialize import SCHEMA_VERSION, dataset_from_dict, dataset_to_dict
+from repro.signatures.cuboid import CuboidSignature
+from repro.signatures.series import SignatureSeries
+
+__all__ = ["save_index", "load_index"]
+
+
+def _series_to_dict(series: SignatureSeries) -> list[dict]:
+    return [
+        {"values": signature.values.tolist(), "weights": signature.weights.tolist()}
+        for signature in series
+    ]
+
+
+def _series_from_dict(video_id: str, entries: list[dict]) -> SignatureSeries:
+    return SignatureSeries(
+        video_id=video_id,
+        signatures=tuple(
+            CuboidSignature(
+                values=np.asarray(entry["values"]),
+                weights=np.asarray(entry["weights"]),
+            )
+            for entry in entries
+        ),
+    )
+
+
+def _features_to_dict(features: GlobalFeatures) -> dict:
+    return {
+        "histogram": features.histogram.tolist(),
+        "envelope": features.envelope.tolist(),
+        "tokens": sorted(features.tokens),
+    }
+
+
+def _features_from_dict(entry: dict) -> GlobalFeatures:
+    return GlobalFeatures(
+        histogram=np.asarray(entry["histogram"]),
+        envelope=np.asarray(entry["envelope"]),
+        tokens=frozenset(entry["tokens"]),
+    )
+
+
+def save_index(index: CommunityIndex, path: str | pathlib.Path) -> None:
+    """Serialise *index* (dataset + config + extracted features)."""
+    config = asdict(index.config)
+    config["embedding_range"] = list(config["embedding_range"])
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "kind": "community-index",
+        "dataset": dataset_to_dict(index.dataset),
+        "config": config,
+        "series": {
+            video_id: _series_to_dict(series)
+            for video_id, series in index.series.items()
+        },
+        "features": {
+            video_id: _features_to_dict(features)
+            for video_id, features in index.features.items()
+        },
+        "has_lsb": index.lsb is not None,
+    }
+    with gzip.open(pathlib.Path(path), "wt") as handle:
+        handle.write(json.dumps(payload, separators=(",", ":")))
+
+
+def load_index(path: str | pathlib.Path, up_to_month: int = 11) -> CommunityIndex:
+    """Rebuild a :class:`CommunityIndex` from a :func:`save_index` archive.
+
+    The stored signature series and global features are injected instead
+    of re-extracted; derived structures (social index, SAR dictionaries,
+    LSB forest) are rebuilt deterministically from them.
+    """
+    with gzip.open(pathlib.Path(path), "rt") as handle:
+        payload = json.loads(handle.read())
+    if payload.get("kind") != "community-index":
+        raise ValueError(f"not a community index payload: kind={payload.get('kind')!r}")
+    version = str(payload.get("schema", ""))
+    if version.split(".")[0] != SCHEMA_VERSION.split(".")[0]:
+        raise ValueError(
+            f"incompatible schema version {version!r} (supported: {SCHEMA_VERSION})"
+        )
+
+    dataset = dataset_from_dict(payload["dataset"])
+    config_dict = dict(payload["config"])
+    config_dict["embedding_range"] = tuple(config_dict["embedding_range"])
+    config = RecommenderConfig(**config_dict)
+
+    index = CommunityIndex.__new__(CommunityIndex)
+    index.dataset = dataset
+    index.config = config
+    index.series = {
+        video_id: _series_from_dict(video_id, entries)
+        for video_id, entries in payload["series"].items()
+    }
+    index.features = {
+        video_id: _features_from_dict(entry)
+        for video_id, entry in payload["features"].items()
+    }
+
+    if payload.get("has_lsb", False):
+        from repro.emd.embedding import EmdEmbedding
+        from repro.index.lsb import LsbIndex
+
+        embedding = EmdEmbedding(
+            lo=config.embedding_range[0],
+            hi=config.embedding_range[1],
+            resolution=config.embedding_resolution,
+        )
+        index.lsb = LsbIndex(
+            embedding,
+            num_projections=config.lsh_projections,
+            bits_per_dim=config.lsh_bits,
+            bucket_width=config.lsh_width,
+            num_trees=config.lsh_trees,
+        )
+        for video_id in sorted(index.series):
+            for position, signature in enumerate(index.series[video_id]):
+                index.lsb.insert(video_id, position, signature)
+    else:
+        index.lsb = None
+
+    from repro.social.updates import DynamicSocialIndex
+
+    descriptors = dataset.descriptors(up_to_month=up_to_month)
+    index.social = DynamicSocialIndex.build(
+        descriptors.values(), config.k, uig_pair_cap=config.uig_pair_cap
+    )
+    index.rebuild_sorted_dictionary()
+    return index

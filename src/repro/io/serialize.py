@@ -1,0 +1,140 @@
+"""JSON-based persistence for community datasets.
+
+A generated :class:`~repro.community.models.CommunityDataset` is tiny on
+disk — video *records* store generation seeds, not frames — so plain
+gzipped JSON is the right format: diffable, portable, dependency-free.
+
+The schema is versioned; loaders refuse payloads from a different major
+version rather than mis-parse them.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import pathlib
+
+from repro.community.models import Comment, CommunityDataset, User, VideoRecord
+
+__all__ = ["SCHEMA_VERSION", "dataset_to_dict", "dataset_from_dict", "save_dataset", "load_dataset"]
+
+#: Bump the major component on breaking schema changes.
+SCHEMA_VERSION = "1.0"
+
+
+def dataset_to_dict(dataset: CommunityDataset) -> dict:
+    """Serialise *dataset* into plain JSON-compatible structures."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "community-dataset",
+        "topics": list(dataset.topics),
+        "clip_params": dict(dataset.clip_params),
+        "records": [
+            {
+                "video_id": record.video_id,
+                "topic": record.topic,
+                "seed": record.seed,
+                "owner": record.owner,
+                "title": record.title,
+                "tags": list(record.tags),
+                "lineage": record.lineage,
+                "edit_seed": record.edit_seed,
+                "group": record.group,
+            }
+            for record in dataset.records.values()
+        ],
+        "users": [
+            {
+                "user_id": user.user_id,
+                "home_topic": user.home_topic,
+                "interests": list(user.interests),
+                "drift_topic": user.drift_topic,
+                "group": user.group,
+            }
+            for user in dataset.users.values()
+        ],
+        "comments": [
+            [comment.user_id, comment.video_id, comment.month]
+            for comment in dataset.comments
+        ],
+    }
+
+
+def dataset_from_dict(payload: dict) -> CommunityDataset:
+    """Inverse of :func:`dataset_to_dict`.
+
+    Raises
+    ------
+    ValueError
+        On a wrong ``kind`` or an incompatible schema major version.
+    """
+    if payload.get("kind") != "community-dataset":
+        raise ValueError(f"not a community dataset payload: kind={payload.get('kind')!r}")
+    version = str(payload.get("schema", ""))
+    if version.split(".")[0] != SCHEMA_VERSION.split(".")[0]:
+        raise ValueError(
+            f"incompatible schema version {version!r} (supported: {SCHEMA_VERSION})"
+        )
+    records = {
+        entry["video_id"]: VideoRecord(
+            video_id=entry["video_id"],
+            topic=entry["topic"],
+            seed=entry["seed"],
+            owner=entry["owner"],
+            title=entry["title"],
+            tags=tuple(entry["tags"]),
+            lineage=entry["lineage"],
+            edit_seed=entry["edit_seed"],
+            group=entry.get("group", 0),
+        )
+        for entry in payload["records"]
+    }
+    users = {
+        entry["user_id"]: User(
+            user_id=entry["user_id"],
+            home_topic=entry["home_topic"],
+            interests=tuple(entry["interests"]),
+            drift_topic=entry["drift_topic"],
+            group=entry.get("group", 0),
+        )
+        for entry in payload["users"]
+    }
+    comments = [
+        Comment(user_id=user_id, video_id=video_id, month=month)
+        for user_id, video_id, month in payload["comments"]
+    ]
+    clip_params = dict(payload.get("clip_params", {}))
+    if "frames_per_shot" in clip_params:
+        clip_params["frames_per_shot"] = tuple(clip_params["frames_per_shot"])
+    return CommunityDataset(
+        records=records,
+        users=users,
+        comments=comments,
+        topics=tuple(payload["topics"]),
+        clip_params=clip_params,
+    )
+
+
+def save_dataset(dataset: CommunityDataset, path: str | pathlib.Path) -> None:
+    """Write *dataset* as gzipped JSON to *path*.
+
+    A ``.json`` suffix writes plain JSON; anything else gzips.
+    """
+    path = pathlib.Path(path)
+    payload = json.dumps(dataset_to_dict(dataset), separators=(",", ":"))
+    if path.suffix == ".json":
+        path.write_text(payload)
+    else:
+        with gzip.open(path, "wt") as handle:
+            handle.write(payload)
+
+
+def load_dataset(path: str | pathlib.Path) -> CommunityDataset:
+    """Read a dataset written by :func:`save_dataset`."""
+    path = pathlib.Path(path)
+    if path.suffix == ".json":
+        text = path.read_text()
+    else:
+        with gzip.open(path, "rt") as handle:
+            text = handle.read()
+    return dataset_from_dict(json.loads(text))

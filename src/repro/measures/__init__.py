@@ -1,0 +1,25 @@
+"""Content similarity measures: SimC / κJ (paper's choice), ERP and DTW."""
+
+from repro.measures.content import (
+    kappa_j,
+    kappa_j_all_pairs,
+    pairwise_sim_matrix,
+    sim_c,
+)
+from repro.measures.sequence import (
+    dtw_distance,
+    dtw_similarity,
+    erp_distance,
+    erp_similarity,
+)
+
+__all__ = [
+    "dtw_distance",
+    "dtw_similarity",
+    "erp_distance",
+    "erp_similarity",
+    "kappa_j",
+    "kappa_j_all_pairs",
+    "pairwise_sim_matrix",
+    "sim_c",
+]

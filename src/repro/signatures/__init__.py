@@ -1,0 +1,26 @@
+"""Compact content signatures: the cuboid model plus literature baselines."""
+
+from repro.signatures.baselines import (
+    centroid_distance,
+    centroid_signature,
+    color_shift_distance,
+    color_shift_signature,
+    ordinal_distance,
+    ordinal_signature,
+)
+from repro.signatures.cuboid import CuboidSignature, merge_blocks, signature_from_qgram
+from repro.signatures.series import SignatureSeries, extract_signature_series
+
+__all__ = [
+    "CuboidSignature",
+    "SignatureSeries",
+    "centroid_distance",
+    "centroid_signature",
+    "color_shift_distance",
+    "color_shift_signature",
+    "extract_signature_series",
+    "merge_blocks",
+    "ordinal_distance",
+    "ordinal_signature",
+    "signature_from_qgram",
+]

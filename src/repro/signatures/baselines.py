@@ -1,0 +1,105 @@
+"""Baseline compact signatures from the near-duplicate-detection literature.
+
+Section 2.2 / 4.1 of the paper surveys the alternatives to the cuboid
+signature — ordinal signatures [14], color-shift signatures [40] and
+centroid signatures [40] — and argues each has a weakness the cuboid model
+avoids.  We implement them so the ablation benches can demonstrate those
+weaknesses on the synthetic substrate:
+
+* **ordinal**: per-keyframe rank matrix of block means — invariant to global
+  photometric change, broken by spatial editing (crops shift the ranks);
+* **color shift**: per-step global mean-intensity difference — robust but
+  barely discriminative (a single scalar per frame step);
+* **centroid**: movement of the lightest and darkest block centroids between
+  adjacent keyframes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.video.clip import VideoClip
+from repro.video.frame import block_means
+from repro.video.keyframes import select_keyframes
+from repro.video.shots import segment_clip
+
+__all__ = [
+    "ordinal_signature",
+    "ordinal_distance",
+    "color_shift_signature",
+    "color_shift_distance",
+    "centroid_signature",
+    "centroid_distance",
+]
+
+
+def ordinal_signature(frame: np.ndarray, grid: int = 4) -> np.ndarray:
+    """Rank matrix of block mean intensities (flattened, ranks from 0)."""
+    means = block_means(frame, grid).reshape(-1)
+    ranks = np.empty_like(means, dtype=np.int64)
+    ranks[np.argsort(means, kind="stable")] = np.arange(means.size)
+    return ranks
+
+
+def ordinal_distance(first: np.ndarray, second: np.ndarray) -> float:
+    """Normalised L1 distance between two rank matrices (in ``[0, 1]``)."""
+    if first.shape != second.shape:
+        raise ValueError("ordinal signatures must share a shape")
+    n = first.size
+    # Max L1 distance between two permutations of {0..n-1} is floor(n^2 / 2).
+    worst = max((n * n) // 2, 1)
+    return float(np.sum(np.abs(first - second))) / worst
+
+
+def color_shift_signature(clip: VideoClip, samples: int = 16) -> np.ndarray:
+    """Sequence of global mean-intensity differences between sampled frames."""
+    if samples < 2:
+        raise ValueError("need at least two samples")
+    indices = np.linspace(0, clip.num_frames - 1, samples).astype(int)
+    means = np.array([float(clip.frames[i].mean()) for i in indices])
+    return np.diff(means)
+
+
+def color_shift_distance(first: np.ndarray, second: np.ndarray) -> float:
+    """Mean absolute difference between two color-shift sequences."""
+    n = min(first.size, second.size)
+    if n == 0:
+        raise ValueError("empty color-shift signature")
+    return float(np.mean(np.abs(first[:n] - second[:n])))
+
+
+def centroid_signature(clip: VideoClip, grid: int = 4, samples: int = 8) -> np.ndarray:
+    """Track the (row, col) of the lightest and darkest blocks over time.
+
+    Returns a ``(samples, 4)`` array: lightest row/col then darkest row/col
+    per sampled keyframe, in block coordinates.
+    """
+    indices = np.linspace(0, clip.num_frames - 1, samples).astype(int)
+    track = np.empty((samples, 4), dtype=np.float64)
+    for row, frame_index in enumerate(indices):
+        means = block_means(clip.frames[frame_index], grid)
+        light = np.unravel_index(int(np.argmax(means)), means.shape)
+        dark = np.unravel_index(int(np.argmin(means)), means.shape)
+        track[row] = (light[0], light[1], dark[0], dark[1])
+    return track
+
+
+def centroid_distance(first: np.ndarray, second: np.ndarray) -> float:
+    """Mean Euclidean displacement between two centroid tracks."""
+    n = min(first.shape[0], second.shape[0])
+    if n == 0:
+        raise ValueError("empty centroid signature")
+    gap = first[:n] - second[:n]
+    light = np.linalg.norm(gap[:, :2], axis=1)
+    dark = np.linalg.norm(gap[:, 2:], axis=1)
+    return float(np.mean(light + dark))
+
+
+def segment_color_shift_series(clip: VideoClip, samples_per_segment: int = 4) -> list[np.ndarray]:
+    """Per-segment color-shift signatures (segment-level baseline variant)."""
+    series = []
+    for segment in segment_clip(clip):
+        keyframes = select_keyframes(clip, segment, samples_per_segment)
+        means = np.array([float(frame.mean()) for frame in keyframes])
+        series.append(np.diff(means))
+    return series

@@ -1,0 +1,73 @@
+"""Whole-video content features: series of cuboid signatures.
+
+A video's content feature ``q_f`` is its *signature series*: one cuboid
+signature per shot segment q-gram (Section 4.1).  This module runs the full
+extraction pipeline — shot detection, keyframe selection, q-gram grouping,
+cuboid extraction — and wraps the result in :class:`SignatureSeries`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.signatures.cuboid import CuboidSignature, signature_from_qgram
+from repro.video.clip import VideoClip
+from repro.video.keyframes import segment_qgrams
+from repro.video.shots import segment_clip
+
+__all__ = ["SignatureSeries", "extract_signature_series"]
+
+
+@dataclass(frozen=True)
+class SignatureSeries:
+    """The ordered cuboid signatures of one video.
+
+    κJ (Eq. 4) treats the series as a *set* — temporal order across
+    segments deliberately does not matter — but order is preserved here
+    because the ERP/DTW baseline measures (Fig. 7) need it.
+    """
+
+    video_id: str
+    signatures: tuple[CuboidSignature, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.signatures:
+            raise ValueError("a signature series must be non-empty")
+
+    def __len__(self) -> int:
+        return len(self.signatures)
+
+    def __iter__(self):
+        return iter(self.signatures)
+
+    def __getitem__(self, index: int) -> CuboidSignature:
+        return self.signatures[index]
+
+
+def extract_signature_series(
+    clip: VideoClip,
+    grid: int = 8,
+    merge_threshold: float = 6.0,
+    q: int = 2,
+    keyframes_per_segment: int = 3,
+    cut_median_factor: float = 3.0,
+    cut_min_difference: float = 8.0,
+) -> SignatureSeries:
+    """Run the full content pipeline on *clip*.
+
+    Segments come from the adaptive cut detector; each segment contributes
+    ``keyframes_per_segment - q + 1`` q-grams (at least one), each of which
+    becomes one cuboid signature.
+    """
+    segments = segment_clip(
+        clip,
+        median_factor=cut_median_factor,
+        min_abs_difference=cut_min_difference,
+    )
+    signatures: list[CuboidSignature] = []
+    for segment in segments:
+        for qgram in segment_qgrams(clip, segment, q=q, keyframes_per_segment=keyframes_per_segment):
+            signatures.append(
+                signature_from_qgram(qgram, grid=grid, merge_threshold=merge_threshold)
+            )
+    return SignatureSeries(video_id=clip.video_id, signatures=tuple(signatures))

@@ -1,0 +1,47 @@
+"""Social relevance: descriptors, UIG, sub-communities, SAR, dynamics."""
+
+from repro.social.descriptor import SocialDescriptor, jaccard, jaccard_naive
+from repro.social.sar import (
+    SarVectorizer,
+    SortedUserDictionary,
+    approx_jaccard,
+    hash_dictionary_from_partition,
+)
+from repro.social.silhouette import (
+    partition_silhouette,
+    silhouette_coefficient,
+    uig_distance_matrix,
+)
+from repro.social.spectral import kmeans, spectral_partition
+from repro.social.subcommunity import (
+    Partition,
+    extract_subcommunities,
+    extract_subcommunities_literal,
+    lightest_internal_edge,
+)
+from repro.social.uig import build_uig, user_video_map
+from repro.social.updates import Connection, DynamicSocialIndex, MaintenanceStats
+
+__all__ = [
+    "Connection",
+    "DynamicSocialIndex",
+    "MaintenanceStats",
+    "Partition",
+    "SarVectorizer",
+    "SocialDescriptor",
+    "SortedUserDictionary",
+    "approx_jaccard",
+    "build_uig",
+    "extract_subcommunities",
+    "extract_subcommunities_literal",
+    "hash_dictionary_from_partition",
+    "jaccard",
+    "jaccard_naive",
+    "kmeans",
+    "lightest_internal_edge",
+    "partition_silhouette",
+    "silhouette_coefficient",
+    "spectral_partition",
+    "uig_distance_matrix",
+    "user_video_map",
+]

@@ -1,0 +1,100 @@
+"""Spectral clustering baseline for sub-community extraction (§4.2.2).
+
+The paper motivates its lightest-edge partition by comparing against
+spectral clustering ("the best practice") and reporting a much better
+Silhouette Coefficient (0.498 vs 0.242 on a 2000-video sample).  This
+module implements normalized spectral clustering (Ng–Jordan–Weiss variant,
+following von Luxburg's tutorial, the paper's reference [30]) from scratch
+on top of numpy/scipy:
+
+1. build the weighted adjacency matrix of the UIG;
+2. form the symmetric normalized Laplacian ``L = I - D^-1/2 W D^-1/2``;
+3. take the ``k`` eigenvectors of the smallest eigenvalues;
+4. row-normalize and cluster with (seeded) k-means.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+from scipy.linalg import eigh
+
+from repro.social.subcommunity import Partition
+
+__all__ = ["spectral_partition", "kmeans"]
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+    max_iterations: int = 100,
+) -> np.ndarray:
+    """Plain Lloyd's k-means with k-means++ seeding.
+
+    Returns the label array.  Empty clusters are re-seeded on the point
+    farthest from its centroid.
+    """
+    n = points.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    # k-means++ seeding.
+    centroids = [points[int(rng.integers(n))]]
+    for _ in range(k - 1):
+        distances = np.min(
+            [np.sum((points - c) ** 2, axis=1) for c in centroids], axis=0
+        )
+        total = distances.sum()
+        if total <= 0:
+            centroids.append(points[int(rng.integers(n))])
+            continue
+        centroids.append(points[int(rng.choice(n, p=distances / total))])
+    centers = np.stack(centroids)
+
+    labels = np.zeros(n, dtype=np.int64)
+    for _ in range(max_iterations):
+        distances = np.stack(
+            [np.sum((points - center) ** 2, axis=1) for center in centers]
+        )
+        new_labels = np.argmin(distances, axis=0)
+        if np.array_equal(new_labels, labels) and _ > 0:
+            break
+        labels = new_labels
+        for cluster in range(k):
+            members = points[labels == cluster]
+            if len(members) == 0:
+                farthest = int(np.argmax(np.min(distances, axis=0)))
+                centers[cluster] = points[farthest]
+            else:
+                centers[cluster] = members.mean(axis=0)
+    return labels
+
+
+def spectral_partition(graph: nx.Graph, k: int, seed: int = 0) -> Partition:
+    """Normalized spectral clustering of the UIG into *k* sub-communities.
+
+    Operates on the dense Laplacian — intended for the evaluation-scale
+    graphs of the Silhouette comparison (thousands of users), not for the
+    full community.
+    """
+    nodes = sorted(graph.nodes())
+    n = len(nodes)
+    if n == 0:
+        raise ValueError("cannot partition an empty graph")
+    k = min(k, n)
+    index = {node: i for i, node in enumerate(nodes)}
+    weights = np.zeros((n, n), dtype=np.float64)
+    for source, target, weight in graph.edges(data="weight", default=1.0):
+        weights[index[source], index[target]] = weight
+        weights[index[target], index[source]] = weight
+    degrees = weights.sum(axis=1)
+    inv_sqrt = np.where(degrees > 0, 1.0 / np.sqrt(np.maximum(degrees, 1e-12)), 0.0)
+    laplacian = np.eye(n) - inv_sqrt[:, None] * weights * inv_sqrt[None, :]
+    _, vectors = eigh(laplacian, subset_by_index=(0, k - 1))
+    norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+    embedding = vectors / np.maximum(norms, 1e-12)
+    labels = kmeans(embedding, k, np.random.default_rng(seed))
+    communities: dict[int, set[str]] = {}
+    for node, label in zip(nodes, labels):
+        communities.setdefault(int(label), set()).add(node)
+    return Partition(list(communities.values()))

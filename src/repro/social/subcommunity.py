@@ -1,0 +1,170 @@
+"""Sub-community extraction by lightest-edge removal (paper Figure 3).
+
+The paper's ``SubgraphExtraction`` procedure:
+
+1. collect the graph's already-disconnected components;
+2. while there are fewer than ``k`` components, remove the globally
+   lightest edge; every removal that disconnects its endpoints creates a
+   new component;
+3. return the connected components as sub-communities.
+
+Two implementations:
+
+* :func:`extract_subcommunities_literal` — the algorithm exactly as
+  written, removing one edge at a time and re-checking connectivity;
+* :func:`extract_subcommunities` — an equivalent fast path: compute a
+  *maximum* spanning forest and cut its lightest edges.  Removing
+  non-forest edges never splits anything, so the literal process ends up
+  cutting exactly the forest's lightest edges; with distinct edge weights
+  the two partitions coincide (single-linkage clustering), which the test
+  suite verifies property-style.
+
+Community ids are assigned deterministically: communities sorted by their
+smallest member get ids ``0..n-1``.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+__all__ = [
+    "Partition",
+    "extract_subcommunities",
+    "extract_subcommunities_literal",
+    "internal_edges",
+    "lightest_internal_edge",
+]
+
+
+class Partition:
+    """A partition of users into sub-communities.
+
+    Attributes
+    ----------
+    communities:
+        ``cno -> set of user ids``.
+    membership:
+        ``user id -> cno``.
+    """
+
+    def __init__(self, communities: list[set[str]]) -> None:
+        if not communities:
+            raise ValueError("a partition needs at least one community")
+        ordered = sorted(communities, key=lambda community: min(community))
+        self.communities: dict[int, set[str]] = {
+            cno: set(community) for cno, community in enumerate(ordered)
+        }
+        self.membership: dict[str, int] = {}
+        for cno, community in self.communities.items():
+            for user in community:
+                if user in self.membership:
+                    raise ValueError(f"user {user!r} appears in two communities")
+                self.membership[user] = cno
+
+    @property
+    def k(self) -> int:
+        """Number of sub-communities."""
+        return len(self.communities)
+
+    def community_of(self, user: str) -> int | None:
+        """The sub-community id of *user*, or ``None`` for unknown users."""
+        return self.membership.get(user)
+
+    def sizes(self) -> list[int]:
+        """Community sizes in id order."""
+        return [len(self.communities[cno]) for cno in sorted(self.communities)]
+
+    def __len__(self) -> int:
+        return self.k
+
+
+def _sorted_components(graph: nx.Graph) -> list[set[str]]:
+    return [set(component) for component in nx.connected_components(graph)]
+
+
+def extract_subcommunities_literal(graph: nx.Graph, k: int) -> Partition:
+    """The paper's Figure-3 algorithm, executed literally.
+
+    Removes the globally lightest remaining edge until the graph has at
+    least ``k`` connected components (or runs out of edges).  Ties on
+    weight break deterministically on the sorted endpoint pair.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if graph.number_of_nodes() == 0:
+        raise ValueError("cannot partition an empty graph")
+    working = graph.copy()
+    edges = sorted(
+        working.edges(data="weight"),
+        key=lambda edge: (edge[2], tuple(sorted((edge[0], edge[1])))),
+    )
+    components = nx.number_connected_components(working)
+    for source, target, _ in edges:
+        if components >= k:
+            break
+        working.remove_edge(source, target)
+        if not nx.has_path(working, source, target):
+            components += 1
+    return Partition(_sorted_components(working))
+
+
+def extract_subcommunities(graph: nx.Graph, k: int) -> Partition:
+    """Fast equivalent of the literal algorithm via maximum-spanning-forest.
+
+    Builds the maximum spanning forest (Kruskal over descending weights,
+    ties broken identically to the literal variant) and removes its
+    ``k - c0`` lightest edges, where ``c0`` is the number of original
+    components.  Single-linkage equivalence makes this produce the same
+    partition as the literal edge-removal process whenever edge weights at
+    the cut boundary are distinct.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if graph.number_of_nodes() == 0:
+        raise ValueError("cannot partition an empty graph")
+    forest = nx.maximum_spanning_tree(
+        graph, weight="weight", algorithm="kruskal"
+    ) if graph.number_of_edges() else graph.copy()
+    forest_edges = sorted(
+        forest.edges(data="weight"),
+        key=lambda edge: (edge[2], tuple(sorted((edge[0], edge[1])))),
+    )
+    components = nx.number_connected_components(graph)
+    cuts_needed = max(0, k - components)
+    forest.remove_edges_from(
+        (source, target) for source, target, _ in forest_edges[:cuts_needed]
+    )
+    # Single-linkage equivalence: the components of the cut forest are the
+    # components the literal edge-removal process converges to.
+    return Partition(_sorted_components(forest))
+
+
+def internal_edges(graph: nx.Graph, community: set[str]):
+    """Iterate ``(source, target, weight)`` over *community*'s internal edges.
+
+    Walks adjacency dicts directly — an order of magnitude cheaper than a
+    ``graph.subgraph(...)`` view, which re-filters membership on every
+    access (this sits on the hot path of update maintenance).
+    """
+    adjacency = graph.adj
+    for source in community:
+        if source not in adjacency:
+            continue
+        for target, data in adjacency[source].items():
+            if source < target and target in community:
+                yield source, target, data.get("weight", 1)
+
+
+def lightest_internal_edge(graph: nx.Graph, community: set[str]):
+    """The lightest edge inside *community*'s induced subgraph.
+
+    Returns ``(source, target, weight)`` or ``None`` when the community has
+    no internal edges.  Used both to track the paper's ``w`` threshold and
+    to pick split points during update maintenance.
+    """
+    best = None
+    for source, target, weight in internal_edges(graph, community):
+        candidate = (weight, (source, target))
+        if best is None or candidate < best[0]:
+            best = (candidate, (source, target, weight))
+    return None if best is None else best[1]

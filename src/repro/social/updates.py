@@ -1,0 +1,442 @@
+"""Dynamic maintenance of sub-communities under social updates (§4.2.4–4.2.5).
+
+Sharing communities are highly dynamic: new comments create or strengthen
+user-user connections, and interests drift.  The paper's
+``SocialUpdatesMaintenance`` (its Figure 5) processes a batch of new
+connections in three steps:
+
+1. for every new connection heavier than ``w`` — the lightest edge weight
+   inside the current sub-communities — **union** the two endpoint
+   sub-communities when they differ, or flag the shared one as a split
+   candidate when they coincide;
+2. while fewer than ``k`` sub-communities remain, **split** the flagged /
+   lightest-bound sub-community at its lightest internal edge
+   (single-linkage style);
+3. update the chained hash index and the SAR descriptor vectors of every
+   video touched by a relabelled user.
+
+:class:`DynamicSocialIndex` owns all coupled state — the UIG, the
+partition, the chained hash table, the per-video SAR vectors and the
+inverted file — and keeps them mutually consistent through updates.  It
+also records the cost counters of the paper's Eq. 8 cost model
+(:class:`MaintenanceStats`).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+import networkx as nx
+import numpy as np
+
+from repro.index.hashing import ChainedHashTable
+from repro.index.inverted import InvertedFile
+from repro.social.descriptor import SocialDescriptor
+from repro.social.subcommunity import (
+    Partition,
+    extract_subcommunities,
+    internal_edges,
+    lightest_internal_edge,
+)
+from repro.social.uig import build_uig
+
+__all__ = ["Connection", "MaintenanceStats", "DynamicSocialIndex"]
+
+
+@dataclass(frozen=True)
+class Connection:
+    """One new user-user connection: *delta* additional shared videos."""
+
+    first: str
+    second: str
+    delta: int = 1
+
+
+@dataclass
+class MaintenanceStats:
+    """Counters matching the Eq. 8 cost model.
+
+    ``hash_ops`` counts user -> sub-community mappings (the ``|E| * c_h``
+    term), ``index_updates`` the per-element hash rewrites (``t_1``),
+    ``descriptor_updates`` the per-dimension vector touches (``t_2``) and
+    ``split_checks`` the element checks during community splits (``t_3``).
+    """
+
+    connections: int = 0
+    hash_ops: int = 0
+    unions: int = 0
+    splits: int = 0
+    index_updates: int = 0
+    descriptor_updates: int = 0
+    split_checks: int = 0
+    new_users: int = 0
+    seconds: float = 0.0
+
+    def merge(self, other: "MaintenanceStats") -> None:
+        """Accumulate *other* into this instance."""
+        self.connections += other.connections
+        self.hash_ops += other.hash_ops
+        self.unions += other.unions
+        self.splits += other.splits
+        self.index_updates += other.index_updates
+        self.descriptor_updates += other.descriptor_updates
+        self.split_checks += other.split_checks
+        self.new_users += other.new_users
+        self.seconds += other.seconds
+
+
+class DynamicSocialIndex:
+    """All social-side state, kept consistent under streaming updates.
+
+    Build once from the source descriptors with :meth:`build`, then feed
+    update batches through :meth:`apply_comments` (comment-level API) or
+    :meth:`maintain` (connection-level API, the paper's Figure 5 input).
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        partition: Partition,
+        descriptors: dict[str, SocialDescriptor],
+    ) -> None:
+        self.graph = graph
+        self._k = partition.k
+        self.communities: dict[int, set[str]] = {
+            cno: set(members) for cno, members in partition.communities.items()
+        }
+        self.hash_table = ChainedHashTable(
+            num_buckets=max(16, len(partition.membership))
+        )
+        for user, cno in partition.membership.items():
+            self.hash_table.insert(user, cno)
+        self.descriptors: dict[str, SocialDescriptor] = dict(descriptors)
+        self._user_videos: dict[str, set[str]] = {}
+        for descriptor in descriptors.values():
+            for user in descriptor.users:
+                self._user_videos.setdefault(user, set()).add(descriptor.video_id)
+        self.vectors: dict[str, np.ndarray] = {}
+        self.inverted = InvertedFile(self._k)
+        for video_id, descriptor in self.descriptors.items():
+            vector = self._vectorize(descriptor.users)
+            self.vectors[video_id] = vector
+            self.inverted.add_video(video_id, vector)
+        self._free_cnos: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        descriptors: Iterable[SocialDescriptor],
+        k: int,
+        uig_pair_cap: int | None = None,
+    ) -> "DynamicSocialIndex":
+        """Build the index from scratch: UIG, partition, hash, vectors.
+
+        ``uig_pair_cap`` bounds the quadratic edge generation on very
+        dense descriptors (see :func:`repro.social.uig.build_uig`).
+        """
+        descriptor_map = {d.video_id: d for d in descriptors}
+        graph = build_uig(descriptor_map.values(), pair_cap=uig_pair_cap)
+        partition = extract_subcommunities(graph, k)
+        return cls(graph, partition, descriptor_map)
+
+    @property
+    def k(self) -> int:
+        """Number of sub-communities (the SAR dimensionality)."""
+        return self._k
+
+    def community_of(self, user: str) -> int | None:
+        """Sub-community id of *user* via the chained hash table."""
+        return self.hash_table.lookup(user)
+
+    def _vectorize(self, users: Iterable[str]) -> np.ndarray:
+        vector = np.zeros(self._k, dtype=np.float64)
+        for user in users:
+            cno = self.hash_table.lookup(user)
+            if cno is not None and 0 <= cno < self._k:
+                vector[cno] += 1.0
+        return vector
+
+    def vectorize_users(self, users: Iterable[str]) -> np.ndarray:
+        """Public query-time vectorization against the live hash table."""
+        return self._vectorize(users)
+
+    def lightest_weight(self) -> float:
+        """``w`` — the lightest edge weight inside any sub-community."""
+        lightest = None
+        for members in self.communities.values():
+            edge = lightest_internal_edge(self.graph, members)
+            if edge is not None and (lightest is None or edge[2] < lightest):
+                lightest = edge[2]
+        return 0.0 if lightest is None else float(lightest)
+
+    # ------------------------------------------------------------------
+    # Update maintenance (paper Figure 5)
+    # ------------------------------------------------------------------
+    def maintain(self, connections: Iterable[Connection]) -> MaintenanceStats:
+        """Process a batch of new connections; returns cost counters."""
+        stats = MaintenanceStats()
+        started = time.perf_counter()
+        threshold = self.lightest_weight()
+        split_candidates: set[int] = set()
+
+        for connection in connections:
+            stats.connections += 1
+            self._bump_edge(connection, stats)
+            id_first = self._ensure_user(connection.first, stats)
+            id_second = self._ensure_user(connection.second, stats)
+            stats.hash_ops += 2
+            weight = self.graph[connection.first][connection.second]["weight"]
+            if weight > threshold:
+                if id_first != id_second:
+                    merged = self._union(id_first, id_second, stats)
+                    split_candidates.discard(id_first)
+                    split_candidates.discard(id_second)
+                    split_candidates.add(merged)
+                else:
+                    split_candidates.add(id_first)
+
+        unsplittable: set[int] = set()
+        while len(self.communities) < self._k:
+            target = self._pick_split_target(split_candidates, unsplittable, stats)
+            if target is None:
+                # Every community is atomic; the partition stays smaller
+                # than k until future updates add internal structure.
+                break
+            if self._split(target, stats):
+                unsplittable.clear()
+            else:
+                split_candidates.discard(target)
+                unsplittable.add(target)
+        stats.seconds = time.perf_counter() - started
+        return stats
+
+    def apply_comments(self, comments: Iterable[tuple[str, str]]) -> MaintenanceStats:
+        """Comment-level update API: ``(user_id, video_id)`` pairs.
+
+        Derives the induced descriptor changes and user-user connections,
+        then runs :meth:`maintain` on the connection batch.
+        """
+        connections: dict[tuple[str, str], int] = {}
+        touched_videos: set[str] = set()
+        for user, video_id in comments:
+            descriptor = self.descriptors.get(video_id)
+            existing = set(descriptor.users) if descriptor is not None else set()
+            if user in existing:
+                continue
+            for other in existing:
+                key = (user, other) if user < other else (other, user)
+                connections[key] = connections.get(key, 0) + 1
+            if descriptor is None:
+                self.descriptors[video_id] = SocialDescriptor.from_users(video_id, [user])
+            else:
+                self.descriptors[video_id] = descriptor.with_users([user])
+            self._user_videos.setdefault(user, set()).add(video_id)
+            touched_videos.add(video_id)
+
+        stats = self.maintain(
+            Connection(first, second, delta)
+            for (first, second), delta in sorted(connections.items())
+        )
+        started = time.perf_counter()
+        for video_id in touched_videos:
+            self._refresh_video(video_id, stats)
+        stats.seconds += time.perf_counter() - started
+        return stats
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _bump_edge(self, connection: Connection, stats: MaintenanceStats) -> None:
+        if connection.delta < 1:
+            raise ValueError("connection delta must be >= 1")
+        first, second = connection.first, connection.second
+        if first == second:
+            raise ValueError("self-connections are not allowed")
+        if self.graph.has_edge(first, second):
+            self.graph[first][second]["weight"] += connection.delta
+        else:
+            self.graph.add_edge(first, second, weight=connection.delta)
+
+    def _ensure_user(self, user: str, stats: MaintenanceStats) -> int:
+        """Assign brand-new users to the community of their heaviest link."""
+        cno = self.hash_table.lookup(user)
+        if cno is not None:
+            return cno
+        stats.new_users += 1
+        best_cno = None
+        best_weight = -1.0
+        for neighbour in self.graph.neighbors(user):
+            neighbour_cno = self.hash_table.lookup(neighbour)
+            stats.hash_ops += 1
+            if neighbour_cno is None:
+                continue
+            weight = self.graph[user][neighbour]["weight"]
+            if weight > best_weight:
+                best_weight = weight
+                best_cno = neighbour_cno
+        if best_cno is None:
+            best_cno = min(
+                self.communities, key=lambda c: len(self.communities[c])
+            )
+        self.communities[best_cno].add(user)
+        self.hash_table.insert(user, best_cno)
+        stats.index_updates += 1
+        self._shift_user_vectors(user, None, best_cno, stats)
+        return best_cno
+
+    def _union(self, id_first: int, id_second: int, stats: MaintenanceStats) -> int:
+        """Merge two sub-communities; the larger one's id survives."""
+        keep, absorb = (
+            (id_first, id_second)
+            if len(self.communities[id_first]) >= len(self.communities[id_second])
+            else (id_second, id_first)
+        )
+        moved = self.communities.pop(absorb)
+        for user in moved:
+            self.hash_table.insert(user, keep)
+            stats.index_updates += 1
+            self._shift_user_vectors(user, absorb, keep, stats)
+        self.communities[keep] |= moved
+        self._free_cnos.append(absorb)
+        stats.unions += 1
+        return keep
+
+    def _pick_split_target(
+        self, candidates: set[int], unsplittable: set[int], stats: MaintenanceStats
+    ) -> int | None:
+        """The splittable community with the lightest internal edge."""
+        pool = [c for c in (candidates or self.communities.keys()) if c in self.communities]
+        if not pool:
+            pool = list(self.communities.keys())
+        pool = [c for c in pool if c not in unsplittable]
+        if not pool:
+            pool = [c for c in self.communities if c not in unsplittable]
+        best = None
+        best_key = None
+        for cno in pool:
+            members = self.communities[cno]
+            stats.split_checks += len(members)
+            if len(members) < 2:
+                continue
+            edge = lightest_internal_edge(self.graph, members)
+            if edge is None and len(self._community_components(members)) < 2:
+                continue
+            key = (edge[2] if edge is not None else -1.0, cno)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = cno
+        return best
+
+    def _community_components(self, members: set[str]) -> list[set[str]]:
+        """Connected components of the subgraph induced by *members*.
+
+        BFS over the live adjacency with a membership filter — avoids
+        materialising networkx subgraph views on the maintenance hot path.
+        """
+        adjacency = self.graph.adj
+        remaining = set(members)
+        components: list[set[str]] = []
+        while remaining:
+            seed = remaining.pop()
+            component = {seed}
+            frontier = [seed]
+            while frontier:
+                node = frontier.pop()
+                if node not in adjacency:
+                    continue
+                for neighbour in adjacency[node]:
+                    if neighbour in remaining:
+                        remaining.discard(neighbour)
+                        component.add(neighbour)
+                        frontier.append(neighbour)
+            components.append(component)
+        return components
+
+    def _split(self, cno: int, stats: MaintenanceStats) -> bool:
+        """Split *cno* at its lightest internal boundary; False if atomic."""
+        members = self.communities[cno]
+        if len(members) < 2:
+            return False
+        edges = list(internal_edges(self.graph, members))
+        stats.split_checks += len(edges)
+        components = self._community_components(members)
+        if len(components) < 2:
+            if not edges:
+                return False
+            # Kruskal maximum spanning forest via union-find, then cut the
+            # forest's lightest edge — single-linkage split, no nx copies.
+            parent: dict[str, str] = {user: user for user in members}
+
+            def find(node: str) -> str:
+                root = node
+                while parent[root] != root:
+                    root = parent[root]
+                while parent[node] != root:
+                    parent[node], node = root, parent[node]
+                return root
+
+            edges.sort(key=lambda edge: (-edge[2], edge[0], edge[1]))
+            forest_edges: list[tuple[str, str, float]] = []
+            for source, target, weight in edges:
+                root_s, root_t = find(source), find(target)
+                if root_s != root_t:
+                    parent[root_s] = root_t
+                    forest_edges.append((source, target, weight))
+            # The last forest edge accepted by descending-weight Kruskal is
+            # the lightest one; cutting it splits the forest in two.
+            forest_edges.pop()
+            parent = {user: user for user in members}
+            for source, target, _ in forest_edges:
+                root_s, root_t = find(source), find(target)
+                if root_s != root_t:
+                    parent[root_s] = root_t
+            groups: dict[str, set[str]] = {}
+            for user in members:
+                groups.setdefault(find(user), set()).add(user)
+            components = list(groups.values())
+        # Keep the largest part under the old id; spin the rest off.
+        components.sort(key=len, reverse=True)
+        self.communities[cno] = set(components[0])
+        for part in components[1:]:
+            new_cno = self._free_cnos.pop() if self._free_cnos else None
+            if new_cno is None:
+                # No free slot: merge the remainder back (cannot exceed k).
+                self.communities[cno] |= set(part)
+                continue
+            self.communities[new_cno] = set(part)
+            for user in part:
+                self.hash_table.insert(user, new_cno)
+                stats.index_updates += 1
+                self._shift_user_vectors(user, cno, new_cno, stats)
+            stats.splits += 1
+            if len(self.communities) >= self._k:
+                break
+        return True
+
+    def _shift_user_vectors(
+        self, user: str, old_cno: int | None, new_cno: int, stats: MaintenanceStats
+    ) -> None:
+        """Move *user*'s unit of mass between dimensions in every video."""
+        for video_id in self._user_videos.get(user, ()):
+            vector = self.vectors.get(video_id)
+            if vector is None:
+                continue
+            if old_cno is not None and 0 <= old_cno < self._k and vector[old_cno] > 0:
+                vector[old_cno] -= 1.0
+            if 0 <= new_cno < self._k:
+                vector[new_cno] += 1.0
+            stats.descriptor_updates += 1
+            self.inverted.add_video(video_id, vector)
+
+    def _refresh_video(self, video_id: str, stats: MaintenanceStats) -> None:
+        """Recompute one video's vector from its descriptor (post-update)."""
+        descriptor = self.descriptors[video_id]
+        vector = self._vectorize(descriptor.users)
+        self.vectors[video_id] = vector
+        self.inverted.add_video(video_id, vector)
+        stats.descriptor_updates += self._k

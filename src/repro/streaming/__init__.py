@@ -1,0 +1,5 @@
+"""Online near-duplicate monitoring over frame streams (extension of [35])."""
+
+from repro.streaming.monitor import DuplicateAlert, ReferenceCatalogue, StreamMonitor
+
+__all__ = ["DuplicateAlert", "ReferenceCatalogue", "StreamMonitor"]

@@ -1,0 +1,227 @@
+"""Online near-duplicate monitoring over a frame stream.
+
+The cuboid-signature substrate the paper builds on was introduced for
+*monitoring near duplicates over video streams* (its reference [35]).
+This module provides that online setting as an extension: a
+:class:`StreamMonitor` watches an unbounded frame stream, segments it at
+cuts on the fly, extracts cuboid signatures per closed segment, probes an
+LSB index of reference videos, and raises an alert once a reference has
+accumulated enough matched segments.
+
+Typical use: a sharing community screening uploads against a catalogue of
+known (e.g. copyrighted) clips without ever buffering the whole upload.
+
+Scope: per-segment signature matching reliably catches *replays* and
+*photometric* variants (brightness / re-encoding), whose cuboid values
+are invariant.  Heavy spatio-temporal edits shift segment boundaries and
+keyframe spacing, which dilutes per-segment SimC below what separates a
+true variant from background — those cases belong to the offline κJ path
+over whole signature series, where the set-level aggregation recovers
+them (the paper's Figure 7 setting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.emd.embedding import EmdEmbedding
+from repro.index.lsb import LsbIndex
+from repro.measures.content import sim_c
+from repro.signatures.cuboid import CuboidSignature, signature_from_qgram
+from repro.signatures.series import SignatureSeries
+from repro.video.frame import frame_difference
+
+__all__ = ["DuplicateAlert", "ReferenceCatalogue", "StreamMonitor"]
+
+
+@dataclass(frozen=True)
+class DuplicateAlert:
+    """A reference video matched by the live stream.
+
+    Attributes
+    ----------
+    reference_id:
+        The matched catalogue video.
+    frame_position:
+        Stream frame index at which the alert fired.
+    matched_segments:
+        Number of stream segments that matched this reference so far.
+    score:
+        Accumulated SimC evidence over the matched segments.
+    """
+
+    reference_id: str
+    frame_position: int
+    matched_segments: int
+    score: float
+
+
+class ReferenceCatalogue:
+    """An LSB-indexed catalogue of reference signature series."""
+
+    def __init__(
+        self,
+        embedding: EmdEmbedding | None = None,
+        lsh_seed: int = 11,
+    ) -> None:
+        self._embedding = embedding or EmdEmbedding(lo=-64.0, hi=64.0, resolution=64)
+        self._lsb = LsbIndex(self._embedding, seed=lsh_seed)
+        self._sizes: dict[str, int] = {}
+
+    def add(self, series: SignatureSeries) -> None:
+        """Index every signature of a reference video."""
+        if series.video_id in self._sizes:
+            raise ValueError(f"reference {series.video_id!r} already indexed")
+        for position, signature in enumerate(series):
+            self._lsb.insert(series.video_id, position, signature)
+        self._sizes[series.video_id] = len(series)
+
+    def __len__(self) -> int:
+        return len(self._sizes)
+
+    def __contains__(self, video_id: str) -> bool:
+        return video_id in self._sizes
+
+    def size_of(self, video_id: str) -> int:
+        """Number of indexed signatures of *video_id*."""
+        return self._sizes[video_id]
+
+    def probe(self, signature: CuboidSignature, budget: int = 16):
+        """LSB candidates for one stream signature."""
+        return self._lsb.probe(signature, budget)
+
+
+class StreamMonitor:
+    """Segment an unbounded frame stream and match it against a catalogue.
+
+    Parameters
+    ----------
+    catalogue:
+        The reference videos to screen against.
+    grid, merge_threshold, q:
+        Cuboid signature parameters (match the catalogue's extraction!).
+    cut_threshold:
+        Absolute mean-difference threshold closing a segment (streaming
+        cannot use the offline median heuristic — no lookahead).
+    max_segment_frames:
+        Segments are force-closed at this length so evidence keeps
+        flowing through long static shots.
+    min_similarity:
+        SimC floor for a probe hit to count as a matched segment.
+    alert_evidence:
+        Accumulated SimC mass needed before alerting on a reference.
+    probe_budget:
+        LSB candidates pulled per stream signature.
+    """
+
+    def __init__(
+        self,
+        catalogue: ReferenceCatalogue,
+        grid: int = 8,
+        merge_threshold: float = 6.0,
+        q: int = 2,
+        keyframes_per_segment: int = 3,
+        cut_threshold: float = 12.0,
+        max_segment_frames: int = 24,
+        min_similarity: float = 0.7,
+        alert_evidence: float = 2.0,
+        probe_budget: int = 16,
+    ) -> None:
+        if max_segment_frames < 2:
+            raise ValueError("max_segment_frames must be >= 2")
+        if not 0.0 < min_similarity <= 1.0:
+            raise ValueError("min_similarity must be in (0, 1]")
+        if alert_evidence <= 0:
+            raise ValueError("alert_evidence must be positive")
+        if keyframes_per_segment < q:
+            raise ValueError("keyframes_per_segment must be >= q")
+        self._catalogue = catalogue
+        self._grid = grid
+        self._merge_threshold = merge_threshold
+        self._q = q
+        self._keyframes = keyframes_per_segment
+        self._cut_threshold = cut_threshold
+        self._max_segment = max_segment_frames
+        self._min_similarity = min_similarity
+        self._alert_evidence = alert_evidence
+        self._probe_budget = probe_budget
+
+        self._buffer: list[np.ndarray] = []
+        self._position = 0
+        self._evidence: dict[str, float] = {}
+        self._matches: dict[str, int] = {}
+        self._alerted: set[str] = set()
+
+    @property
+    def frames_seen(self) -> int:
+        """Total frames pushed so far."""
+        return self._position
+
+    def evidence(self) -> dict[str, float]:
+        """Current accumulated evidence per reference (a copy)."""
+        return dict(self._evidence)
+
+    def push(self, frame: np.ndarray) -> list[DuplicateAlert]:
+        """Feed one frame; returns any alerts the frame triggered."""
+        alerts: list[DuplicateAlert] = []
+        if self._buffer and (
+            frame_difference(self._buffer[-1], frame) > self._cut_threshold
+            or len(self._buffer) >= self._max_segment
+        ):
+            alerts.extend(self._close_segment())
+        self._buffer.append(np.asarray(frame, dtype=np.float32))
+        self._position += 1
+        return alerts
+
+    def finish(self) -> list[DuplicateAlert]:
+        """Flush the trailing segment at end of stream."""
+        return self._close_segment()
+
+    # ------------------------------------------------------------------
+    def _close_segment(self) -> list[DuplicateAlert]:
+        if len(self._buffer) < self._q:
+            self._buffer = []
+            return []
+        # Mirror the offline extractor exactly: sample keyframes_per_segment
+        # keyframes evenly, group into overlapping q-grams, one signature
+        # each.  (Signature values scale with keyframe spacing, so the
+        # streaming and catalogue extractions must sample identically.)
+        indices = np.linspace(0, len(self._buffer) - 1, self._keyframes)
+        keyframes = [self._buffer[int(round(i))] for i in indices]
+        self._buffer = []
+        signatures = [
+            signature_from_qgram(
+                keyframes[i:i + self._q],
+                grid=self._grid,
+                merge_threshold=self._merge_threshold,
+            )
+            for i in range(len(keyframes) - self._q + 1)
+        ]
+        alerts: list[DuplicateAlert] = []
+        best_per_reference: dict[str, float] = {}
+        for signature in signatures:
+            for _, entry in self._catalogue.probe(signature, self._probe_budget):
+                similarity = sim_c(signature, entry.signature)
+                if similarity < self._min_similarity:
+                    continue
+                previous = best_per_reference.get(entry.video_id, 0.0)
+                best_per_reference[entry.video_id] = max(previous, similarity)
+        for reference_id, similarity in best_per_reference.items():
+            self._evidence[reference_id] = self._evidence.get(reference_id, 0.0) + similarity
+            self._matches[reference_id] = self._matches.get(reference_id, 0) + 1
+            if (
+                self._evidence[reference_id] >= self._alert_evidence
+                and reference_id not in self._alerted
+            ):
+                self._alerted.add(reference_id)
+                alerts.append(
+                    DuplicateAlert(
+                        reference_id=reference_id,
+                        frame_position=self._position,
+                        matched_segments=self._matches[reference_id],
+                        score=self._evidence[reference_id],
+                    )
+                )
+        return alerts

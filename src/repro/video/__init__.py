@@ -1,0 +1,39 @@
+"""Synthetic video substrate: frames, clips, synthesis, editing, shots.
+
+This subpackage replaces the paper's crawled YouTube footage with a seeded,
+topic-structured generator (see ``DESIGN.md``, substitution table) and
+provides the shot detection / keyframe machinery the signature layer
+consumes.
+"""
+
+from repro.video.clip import VideoClip
+from repro.video.frame import INTENSITY_MAX, as_frame, block_means, frame_difference
+from repro.video.keyframes import qgrams, segment_qgrams, select_keyframes
+from repro.video.shots import Segment, detect_cuts, segment_clip
+from repro.video.synthesis import SceneSpec, ShotSpec, render_shot, synthesize_clip
+from repro.video.transforms import (
+    DEFAULT_TRANSFORMS,
+    derive_variant,
+    random_edit_chain,
+)
+
+__all__ = [
+    "INTENSITY_MAX",
+    "DEFAULT_TRANSFORMS",
+    "SceneSpec",
+    "Segment",
+    "ShotSpec",
+    "VideoClip",
+    "as_frame",
+    "block_means",
+    "derive_variant",
+    "detect_cuts",
+    "frame_difference",
+    "qgrams",
+    "random_edit_chain",
+    "render_shot",
+    "segment_clip",
+    "segment_qgrams",
+    "select_keyframes",
+    "synthesize_clip",
+]

@@ -1,0 +1,101 @@
+"""The :class:`VideoClip` container — a video and its sharing-community metadata.
+
+A clip bundles the raw frame volume with the identifiers the rest of the
+system needs: the community-wide ``video_id``, the generating ``topic``, and
+the *lineage* pointer used by the synthetic substrate to mark near-duplicate
+or edited variants of a master clip (this is the ground truth that replaces
+the paper's human near-duplicate judgements).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.video.frame import INTENSITY_MAX
+
+__all__ = ["VideoClip"]
+
+
+@dataclass
+class VideoClip:
+    """A video clip plus its community metadata.
+
+    Attributes
+    ----------
+    video_id:
+        Unique identifier within the community.
+    frames:
+        ``(T, H, W)`` ``float32`` array of grayscale frames in
+        ``[0, 255]``.
+    fps:
+        Nominal frame rate; only used to convert frame counts into the
+        "hours of video" dataset sizing the paper reports.
+    title:
+        Human-readable title (consumed by the AFFRF text modality).
+    topic:
+        Index of the generating topic, or ``-1`` when unknown.
+    lineage:
+        ``video_id`` of the master this clip was derived from via editing
+        transforms, or ``None`` for original content.
+    tags:
+        Free-form text tokens (AFFRF text modality).
+    """
+
+    video_id: str
+    frames: np.ndarray
+    fps: float = 12.0
+    title: str = ""
+    topic: int = -1
+    lineage: str | None = None
+    tags: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        frames = np.asarray(self.frames, dtype=np.float32)
+        if frames.ndim != 3:
+            raise ValueError(
+                f"frames must be a (T, H, W) volume, got shape {frames.shape}"
+            )
+        if frames.shape[0] == 0:
+            raise ValueError("a clip must contain at least one frame")
+        if self.fps <= 0:
+            raise ValueError(f"fps must be positive, got {self.fps}")
+        self.frames = np.clip(frames, 0.0, INTENSITY_MAX)
+
+    @property
+    def num_frames(self) -> int:
+        """Number of frames in the clip."""
+        return int(self.frames.shape[0])
+
+    @property
+    def frame_shape(self) -> tuple[int, int]:
+        """``(height, width)`` of every frame."""
+        return (int(self.frames.shape[1]), int(self.frames.shape[2]))
+
+    @property
+    def duration_seconds(self) -> float:
+        """Clip duration implied by ``num_frames`` and ``fps``."""
+        return self.num_frames / self.fps
+
+    def frame(self, index: int) -> np.ndarray:
+        """Return frame *index* (supports negative indexing)."""
+        return self.frames[index]
+
+    def is_derived(self) -> bool:
+        """True when this clip is an edited/near-duplicate variant."""
+        return self.lineage is not None
+
+    def root_id(self) -> str:
+        """The lineage root: the master's id for variants, else our own id."""
+        return self.lineage if self.lineage is not None else self.video_id
+
+    def __len__(self) -> int:
+        return self.num_frames
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"VideoClip(id={self.video_id!r}, frames={self.num_frames}, "
+            f"shape={self.frame_shape}, topic={self.topic}, "
+            f"lineage={self.lineage!r})"
+        )

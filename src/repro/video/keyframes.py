@@ -1,0 +1,58 @@
+"""Keyframe selection and q-gram construction over shot segments.
+
+The cuboid signature of Section 4.1 is built over a *video q-gram*: ``q``
+temporally consecutive keyframes (the paper simplifies to bigrams, q = 2).
+This module selects evenly spaced keyframes from a segment and groups them
+into q-grams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.video.clip import VideoClip
+from repro.video.shots import Segment
+
+__all__ = ["select_keyframes", "qgrams", "segment_qgrams"]
+
+
+def select_keyframes(
+    clip: VideoClip, segment: Segment, count: int
+) -> list[np.ndarray]:
+    """Select *count* evenly spaced keyframes from *segment* of *clip*.
+
+    When the segment has fewer frames than *count*, frames are repeated (the
+    q-gram machinery still needs ``q`` keyframes); even spacing otherwise.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    indices = np.linspace(segment.start, segment.end - 1, count)
+    return [clip.frames[int(round(i))] for i in indices]
+
+
+def qgrams(keyframes: list[np.ndarray], q: int) -> list[list[np.ndarray]]:
+    """Group *keyframes* into overlapping runs of length *q*.
+
+    A list of ``len(keyframes) - q + 1`` q-grams; if there are fewer than
+    ``q`` keyframes the single available q-gram pads by repeating the last
+    keyframe.
+    """
+    if q < 2:
+        raise ValueError(f"q must be >= 2, got {q}")
+    if not keyframes:
+        raise ValueError("need at least one keyframe")
+    if len(keyframes) < q:
+        padded = list(keyframes) + [keyframes[-1]] * (q - len(keyframes))
+        return [padded]
+    return [keyframes[i:i + q] for i in range(len(keyframes) - q + 1)]
+
+
+def segment_qgrams(
+    clip: VideoClip,
+    segment: Segment,
+    q: int = 2,
+    keyframes_per_segment: int = 3,
+) -> list[list[np.ndarray]]:
+    """Convenience: keyframes of *segment* grouped into q-grams."""
+    frames = select_keyframes(clip, segment, keyframes_per_segment)
+    return qgrams(frames, q)

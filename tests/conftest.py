@@ -1,0 +1,38 @@
+"""Shared fixtures: one small community + built index reused session-wide.
+
+Building a CommunityIndex materialises every clip and extracts signatures,
+so the expensive fixtures are session-scoped; tests must treat them as
+read-only (tests that mutate social state build their own index).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.community import build_workload
+from repro.core import CommunityIndex, RecommenderConfig
+
+
+@pytest.fixture(scope="session")
+def workload():
+    """A small (4-hour, 48-video) community with its 10 source videos."""
+    return build_workload(hours=4.0, seed=11)
+
+
+@pytest.fixture(scope="session")
+def config():
+    """Recommender config scaled to the small test community."""
+    return RecommenderConfig(k=12)
+
+
+@pytest.fixture(scope="session")
+def index(workload, config):
+    """A fully built CommunityIndex (LSB + global features included)."""
+    return CommunityIndex(workload.dataset, config)
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic RNG per test."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,58 @@
+"""Tests for the AFFRF multimodal baseline."""
+
+import pytest
+
+from repro.core.affrf import AffrfRecommender
+from repro.core.config import RecommenderConfig
+from repro.core.pipeline import CommunityIndex
+
+
+class TestConstruction:
+    def test_requires_global_features(self, workload):
+        slim = CommunityIndex(
+            workload.dataset, RecommenderConfig(k=8),
+            build_lsb=False, build_global_features=False,
+        )
+        with pytest.raises(ValueError, match="global features"):
+            AffrfRecommender(slim)
+
+    def test_parameter_validation(self, index):
+        with pytest.raises(ValueError, match="feedback_depth"):
+            AffrfRecommender(index, feedback_depth=0)
+        with pytest.raises(ValueError, match="feedback_weight"):
+            AffrfRecommender(index, feedback_weight=1.5)
+
+
+class TestRecommend:
+    def test_returns_requested_count(self, workload, index):
+        results = AffrfRecommender(index).recommend(workload.sources[0], top_k=6)
+        assert len(results) == 6
+
+    def test_never_recommends_the_query(self, workload, index):
+        recommender = AffrfRecommender(index)
+        for source in workload.sources[:3]:
+            assert source not in recommender.recommend(source, top_k=10)
+
+    def test_deterministic(self, workload, index):
+        recommender = AffrfRecommender(index)
+        first = recommender.recommend(workload.sources[0], 10)
+        second = recommender.recommend(workload.sources[0], 10)
+        assert first == second
+
+    def test_invalid_top_k(self, workload, index):
+        with pytest.raises(ValueError, match="top_k"):
+            AffrfRecommender(index).recommend(workload.sources[0], 0)
+
+    def test_beats_random_on_average(self, workload, index):
+        """AFFRF is weak but must be meaningfully better than chance."""
+        dataset = workload.dataset
+        recommender = AffrfRecommender(index)
+        mean_grade = 0.0
+        baseline = 0.0
+        all_videos = sorted(dataset.records)
+        for source in workload.sources:
+            top = recommender.recommend(source, 10)
+            mean_grade += sum(dataset.relevance_grade(source, v) for v in top) / 10
+            others = [v for v in all_videos if v != source]
+            baseline += sum(dataset.relevance_grade(source, v) for v in others) / len(others)
+        assert mean_grade > baseline

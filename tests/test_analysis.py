@@ -1,0 +1,108 @@
+"""Tests for the analysis/observability helpers."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis import (
+    community_stats,
+    descriptor_stats,
+    partition_stats,
+    reports_to_csv,
+    reports_to_json,
+    reports_to_rows,
+    write_csv,
+)
+from repro.evaluation.harness import EffectivenessReport, MetricsRow
+from repro.social.subcommunity import Partition, extract_subcommunities
+from repro.social.uig import build_uig
+
+
+class TestCommunityStats:
+    def test_counts_add_up(self, workload):
+        stats = community_stats(workload.dataset)
+        assert stats.num_videos == workload.dataset.num_videos
+        assert stats.num_masters + stats.num_variants == stats.num_videos
+        assert stats.num_comments == len(workload.dataset.comments)
+        assert sum(stats.videos_per_topic.values()) == stats.num_videos
+
+    def test_comment_bounds(self, workload):
+        stats = community_stats(workload.dataset)
+        assert 0 < stats.comments_per_video_mean <= stats.comments_per_video_max
+
+    def test_month_cutoff_reduces_counts(self, workload):
+        early = community_stats(workload.dataset, up_to_month=2)
+        late = community_stats(workload.dataset, up_to_month=15)
+        assert early.num_comments < late.num_comments
+
+
+class TestDescriptorStats:
+    def test_statistics_ordering(self, workload):
+        stats = descriptor_stats(workload.dataset.descriptors(11))
+        assert stats.count == workload.dataset.num_videos
+        assert stats.median <= stats.p90 <= stats.max
+        assert stats.mean > 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            descriptor_stats({})
+
+
+class TestPartitionStats:
+    def test_clean_partition_scores_high(self, workload):
+        descriptors = workload.dataset.descriptors(11)
+        graph = build_uig(descriptors.values())
+        partition = extract_subcommunities(graph, 12)
+        stats = partition_stats(graph, partition)
+        assert stats.k == partition.k
+        assert 0.0 <= stats.largest_share <= 1.0
+        assert 0.0 <= stats.internal_edge_fraction <= 1.0
+        assert stats.size_max >= stats.size_mean
+
+    def test_shattered_partition_has_low_internal_fraction(self, workload):
+        descriptors = workload.dataset.descriptors(11)
+        graph = build_uig(descriptors.values())
+        shattered = Partition([{node} for node in graph.nodes()])
+        stats = partition_stats(graph, shattered)
+        assert stats.internal_edge_fraction == 0.0
+        assert stats.singletons == stats.k
+
+
+def make_report(method="m", seconds=1.5):
+    return EffectivenessReport(
+        method=method,
+        rows=(
+            MetricsRow(method=method, top_k=5, ar=4.0, ac=0.8, map=0.9),
+            MetricsRow(method=method, top_k=10, ar=3.5, ac=0.7, map=0.8),
+        ),
+        seconds=seconds,
+    )
+
+
+class TestExport:
+    def test_rows_flatten_all_cutoffs(self):
+        rows = reports_to_rows([make_report("a"), make_report("b")])
+        assert len(rows) == 4
+        assert {row["method"] for row in rows} == {"a", "b"}
+
+    def test_csv_parses_back(self):
+        text = reports_to_csv([make_report()])
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == 2
+        assert float(parsed[0]["ar"]) == 4.0
+
+    def test_csv_requires_reports(self):
+        with pytest.raises(ValueError, match="at least one"):
+            reports_to_csv([])
+
+    def test_json_roundtrip(self):
+        payload = json.loads(reports_to_json([make_report()]))
+        assert payload[0]["top_k"] == 5
+        assert payload[1]["map"] == 0.8
+
+    def test_write_csv(self, tmp_path):
+        path = tmp_path / "results.csv"
+        write_csv([make_report()], path)
+        assert path.read_text().startswith("method,")

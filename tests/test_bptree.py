@@ -1,0 +1,123 @@
+"""Tests for the B+-tree, including model-based property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.index.bptree import BPlusTree
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert list(tree.items()) == []
+        assert tree.get(5) == []
+
+    def test_insert_and_get(self):
+        tree = BPlusTree(order=4)
+        tree.insert(10, "a")
+        assert tree.get(10) == ["a"]
+        assert len(tree) == 1
+
+    def test_duplicate_keys_all_retrievable(self):
+        tree = BPlusTree(order=3)
+        for i in range(10):
+            tree.insert(5, i)
+        assert sorted(tree.get(5)) == list(range(10))
+
+    def test_order_below_three_rejected(self):
+        with pytest.raises(ValueError, match="order"):
+            BPlusTree(order=2)
+
+    def test_depth_grows_with_inserts(self):
+        tree = BPlusTree(order=3)
+        assert tree.depth() == 1
+        for i in range(50):
+            tree.insert(i, i)
+        assert tree.depth() >= 3
+
+
+class TestOrderedAccess:
+    def test_items_sorted(self):
+        rng = np.random.default_rng(0)
+        keys = [int(k) for k in rng.integers(0, 10_000, size=300)]
+        tree = BPlusTree(order=8)
+        for key in keys:
+            tree.insert(key, None)
+        assert [k for k, _ in tree.items()] == sorted(keys)
+
+    def test_range_query(self):
+        tree = BPlusTree(order=4)
+        for key in range(0, 100, 3):
+            tree.insert(key, key)
+        result = [k for k, _ in tree.range(10, 30)]
+        assert result == [k for k in range(0, 100, 3) if 10 <= k <= 30]
+
+    def test_empty_range(self):
+        tree = BPlusTree()
+        tree.insert(5, "x")
+        assert list(tree.range(10, 3)) == []
+
+    def test_seek_positions_at_first_geq(self):
+        tree = BPlusTree(order=3)
+        for key in (2, 4, 6, 8, 10, 12):
+            tree.insert(key, key)
+        leaf, index = tree.seek(7)
+        assert leaf.keys[index] == 8
+        leaf, index = tree.seek(8)
+        assert leaf.keys[index] == 8
+
+
+class TestNeighbourhood:
+    def test_orders_by_distance(self):
+        tree = BPlusTree(order=4)
+        for key in (0, 10, 20, 30, 40, 50):
+            tree.insert(key, key)
+        walked = [k for k, _ in tree.neighbourhood(22)]
+        gaps = [abs(k - 22) for k in walked]
+        assert gaps == sorted(gaps)
+        assert len(walked) == 6
+
+    def test_query_beyond_max_walks_backwards(self):
+        tree = BPlusTree(order=4)
+        for key in (1, 2, 3):
+            tree.insert(key, key)
+        assert [k for k, _ in tree.neighbourhood(100)] == [3, 2, 1]
+
+    def test_query_before_min_walks_forwards(self):
+        tree = BPlusTree(order=4)
+        for key in (5, 6, 7):
+            tree.insert(key, key)
+        assert [k for k, _ in tree.neighbourhood(0)] == [5, 6, 7]
+
+    def test_empty_tree_neighbourhood(self):
+        assert list(BPlusTree().neighbourhood(3)) == []
+
+
+class TestModelBased:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=200), max_size=120),
+           st.integers(min_value=3, max_value=16))
+    def test_matches_sorted_list_model(self, keys, order):
+        tree = BPlusTree(order=order)
+        for position, key in enumerate(keys):
+            tree.insert(key, position)
+        assert len(tree) == len(keys)
+        assert [k for k, _ in tree.items()] == sorted(keys)
+        # Every key's payload multiset matches the model.
+        for key in set(keys):
+            expected = [p for p, k in enumerate(keys) if k == key]
+            assert sorted(tree.get(key)) == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=80),
+           st.integers(min_value=0, max_value=100))
+    def test_neighbourhood_visits_everything_in_distance_order(self, keys, probe):
+        tree = BPlusTree(order=4)
+        for key in keys:
+            tree.insert(key, None)
+        walked = [k for k, _ in tree.neighbourhood(probe)]
+        assert sorted(walked) == sorted(keys)
+        gaps = [abs(k - probe) for k in walked]
+        assert gaps == sorted(gaps)

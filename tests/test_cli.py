@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def dataset_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "community.json.gz"
+    assert main(["generate", str(path), "--hours", "2", "--seed", "5"]) == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def index_path(dataset_path, tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli-index") / "index.json.gz"
+    assert main(["index", str(dataset_path), str(path), "--k", "8"]) == 0
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "out.json.gz"])
+        assert args.hours == 10.0
+        assert args.seed == 2015
+
+    def test_recommend_method_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["recommend", "i", "v", "--method", "bogus"])
+
+
+class TestGenerate:
+    def test_creates_file(self, dataset_path):
+        assert dataset_path.exists()
+        assert dataset_path.stat().st_size > 0
+
+    def test_output_loadable(self, dataset_path):
+        from repro.io import load_dataset
+
+        dataset = load_dataset(dataset_path)
+        assert dataset.num_videos == 24
+
+
+class TestIndex:
+    def test_creates_index(self, index_path):
+        assert index_path.exists()
+
+
+class TestRecommend:
+    def test_recommend_prints_ranked_list(self, index_path, capsys):
+        from repro.io import load_index
+
+        video = load_index(index_path).video_ids[0]
+        assert main(["recommend", str(index_path), video, "--top-k", "5"]) == 0
+        output = capsys.readouterr().out
+        assert "query" in output
+        assert output.count(". v") == 5
+
+    def test_unknown_video_fails(self, index_path, capsys):
+        assert main(["recommend", str(index_path), "ghost"]) == 2
+        assert "unknown video" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("method", ["csf", "cr", "sr", "knn", "affrf"])
+    def test_all_methods_run(self, index_path, method, capsys):
+        from repro.io import load_index
+
+        video = load_index(index_path).video_ids[0]
+        assert main(["recommend", str(index_path), video, "--method", method, "--top-k", "3"]) == 0
+
+
+class TestExplain:
+    def test_explains_pair(self, index_path, capsys):
+        from repro.io import load_index
+
+        ids = load_index(index_path).video_ids
+        assert main(["explain", str(index_path), ids[0], ids[1]]) == 0
+        output = capsys.readouterr().out
+        assert "scored" in output
+
+    def test_unknown_candidate_fails(self, index_path, capsys):
+        from repro.io import load_index
+
+        video = load_index(index_path).video_ids[0]
+        assert main(["explain", str(index_path), video, "ghost"]) == 2
+
+
+class TestEvaluate:
+    def test_reports_table(self, index_path, capsys):
+        assert main(["evaluate", str(index_path), "--methods", "cr,sr"]) == 0
+        output = capsys.readouterr().out
+        assert "CR" in output
+        assert "SR" in output
+        assert "MAP@20" in output

@@ -1,0 +1,65 @@
+"""Unit tests for the VideoClip container."""
+
+import numpy as np
+import pytest
+
+from repro.video.clip import VideoClip
+
+
+def make_clip(**overrides):
+    defaults = dict(
+        video_id="clip",
+        frames=np.zeros((5, 4, 4), dtype=np.float32),
+        fps=10.0,
+    )
+    defaults.update(overrides)
+    return VideoClip(**defaults)
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        clip = make_clip()
+        assert clip.num_frames == 5
+        assert clip.frame_shape == (4, 4)
+        assert clip.duration_seconds == pytest.approx(0.5)
+        assert len(clip) == 5
+
+    def test_frames_clipped_to_intensity_range(self):
+        clip = make_clip(frames=np.full((2, 3, 3), 400.0))
+        assert clip.frames.max() <= 255.0
+
+    def test_rejects_2d_frames(self):
+        with pytest.raises(ValueError, match="volume"):
+            make_clip(frames=np.zeros((4, 4)))
+
+    def test_rejects_empty_clip(self):
+        with pytest.raises(ValueError, match="at least one frame"):
+            make_clip(frames=np.zeros((0, 4, 4)))
+
+    def test_rejects_nonpositive_fps(self):
+        with pytest.raises(ValueError, match="fps"):
+            make_clip(fps=0.0)
+
+    def test_frames_converted_to_float32(self):
+        clip = make_clip(frames=np.zeros((2, 2, 2), dtype=np.float64))
+        assert clip.frames.dtype == np.float32
+
+
+class TestLineage:
+    def test_master_is_not_derived(self):
+        clip = make_clip()
+        assert not clip.is_derived()
+        assert clip.root_id() == "clip"
+
+    def test_variant_roots_to_master(self):
+        clip = make_clip(lineage="master7")
+        assert clip.is_derived()
+        assert clip.root_id() == "master7"
+
+
+class TestFrameAccess:
+    def test_frame_indexing(self):
+        frames = np.stack([np.full((2, 2), i, dtype=np.float32) for i in range(4)])
+        clip = make_clip(frames=frames)
+        assert clip.frame(2)[0, 0] == 2.0
+        assert clip.frame(-1)[0, 0] == 3.0

@@ -1,0 +1,153 @@
+"""Tests for the community dataset model and generator."""
+
+import numpy as np
+import pytest
+
+from repro.community.generator import QUERY_TOPICS, CommunityConfig, generate_community
+from repro.community.models import SOURCE_MONTHS, TEST_MONTHS, Comment, VideoRecord
+from repro.community.workload import build_workload, select_source_videos
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_community(CommunityConfig(hours=4.0, seed=21))
+
+
+class TestConfig:
+    def test_num_videos_scales_with_hours(self):
+        assert CommunityConfig(hours=2.0, videos_per_hour=10).num_videos == 20
+
+    def test_topic_names_start_with_queries(self):
+        names = CommunityConfig().topic_names
+        assert names[: len(QUERY_TOPICS)] == QUERY_TOPICS
+
+    def test_num_topics(self):
+        assert CommunityConfig(background_topics=2).num_topics == 7
+
+
+class TestVideoRecord:
+    def test_variant_requires_both_fields(self):
+        with pytest.raises(ValueError, match="lineage"):
+            VideoRecord(
+                video_id="v", topic=0, seed=1, owner="u", title="t",
+                tags=(), lineage="m", edit_seed=None,
+            )
+
+
+class TestGeneratedDataset:
+    def test_video_count(self, dataset):
+        assert dataset.num_videos == 48
+
+    def test_every_topic_represented(self, dataset):
+        topics = {record.topic for record in dataset.records.values()}
+        assert topics == set(range(8))
+
+    def test_variants_reference_existing_masters(self, dataset):
+        for record in dataset.records.values():
+            if record.lineage is not None:
+                master = dataset.records[record.lineage]
+                assert master.lineage is None
+                assert master.topic == record.topic
+
+    def test_owners_are_registered_users(self, dataset):
+        for record in dataset.records.values():
+            assert record.owner in dataset.users
+
+    def test_comments_cover_both_windows(self, dataset):
+        months = {comment.month for comment in dataset.comments}
+        assert months & set(SOURCE_MONTHS)
+        assert months & set(TEST_MONTHS)
+
+    def test_commenters_are_registered(self, dataset):
+        assert all(comment.user_id in dataset.users for comment in dataset.comments)
+
+    def test_generation_is_deterministic(self):
+        first = generate_community(CommunityConfig(hours=2.0, seed=5))
+        second = generate_community(CommunityConfig(hours=2.0, seed=5))
+        assert first.records.keys() == second.records.keys()
+        assert first.comments == second.comments
+
+    def test_different_seeds_differ(self):
+        first = generate_community(CommunityConfig(hours=2.0, seed=5))
+        second = generate_community(CommunityConfig(hours=2.0, seed=6))
+        assert first.comments != second.comments
+
+
+class TestClipMaterialisation:
+    def test_clip_is_deterministic(self, dataset):
+        video_id = sorted(dataset.records)[0]
+        first = dataset.clip(video_id)
+        second = dataset.clip(video_id)
+        assert np.array_equal(first.frames, second.frames)
+
+    def test_variant_clip_has_lineage(self, dataset):
+        variant_ids = [v for v, r in dataset.records.items() if r.lineage]
+        clip = dataset.clip(variant_ids[0])
+        assert clip.lineage == dataset.records[variant_ids[0]].lineage
+
+    def test_clip_uses_configured_shape(self, dataset):
+        video_id = sorted(dataset.records)[0]
+        clip = dataset.clip(video_id)
+        assert clip.frame_shape == (32, 32)
+
+
+class TestRelevanceGrades:
+    def test_self_is_near_duplicate(self, dataset):
+        video_id = sorted(dataset.records)[0]
+        assert dataset.relevance_grade(video_id, video_id) == 2
+
+    def test_variant_of_same_master_grades_two(self, dataset):
+        by_master: dict[str, list[str]] = {}
+        for video_id, record in dataset.records.items():
+            if record.lineage:
+                by_master.setdefault(record.lineage, []).append(video_id)
+        master, variants = next(iter(by_master.items()))
+        assert dataset.relevance_grade(master, variants[0]) == 2
+
+    def test_same_topic_grades_one(self, dataset):
+        by_topic: dict[int, list[str]] = {}
+        for video_id, record in dataset.records.items():
+            if record.lineage is None:
+                by_topic.setdefault(record.topic, []).append(video_id)
+        videos = next(v for v in by_topic.values() if len(v) >= 2)
+        assert dataset.relevance_grade(videos[0], videos[1]) == 1
+
+    def test_cross_topic_grades_zero(self, dataset):
+        by_topic: dict[int, str] = {}
+        for video_id, record in dataset.records.items():
+            by_topic.setdefault(record.topic, video_id)
+        topics = sorted(by_topic)
+        assert dataset.relevance_grade(by_topic[topics[0]], by_topic[topics[1]]) == 0
+
+
+class TestDescriptors:
+    def test_owner_always_included(self, dataset):
+        descriptors = dataset.descriptors(up_to_month=-1)  # before any comment
+        for video_id, descriptor in descriptors.items():
+            assert dataset.records[video_id].owner in descriptor.users
+
+    def test_descriptors_grow_with_time(self, dataset):
+        early = dataset.descriptors(up_to_month=2)
+        late = dataset.descriptors(up_to_month=15)
+        assert sum(map(len, late.values())) > sum(map(len, early.values()))
+
+
+class TestWorkload:
+    def test_ten_sources_two_per_query(self, dataset):
+        sources = select_source_videos(dataset, per_query=2)
+        assert len(sources) == 10
+        topics = [dataset.records[source].topic for source in sources]
+        assert topics == [0, 0, 1, 1, 2, 2, 3, 3, 4, 4]
+
+    def test_sources_are_most_commented(self, dataset):
+        sources = select_source_videos(dataset, per_query=1)
+        counts = dataset.comment_counts(up_to_month=11)
+        for source in sources:
+            topic = dataset.records[source].topic
+            peers = dataset.videos_of_topic(topic)
+            assert counts[source] == max(counts[p] for p in peers)
+
+    def test_build_workload_end_to_end(self):
+        workload = build_workload(hours=2.0, seed=9)
+        assert len(workload.sources) == 10
+        assert workload.queries == QUERY_TOPICS

@@ -1,0 +1,85 @@
+"""Tests for RecommenderConfig and the fusion functions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.config import RecommenderConfig
+from repro.core.fusion import fuse_average, fuse_fj, fuse_max
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        config = RecommenderConfig()
+        assert config.omega == pytest.approx(0.7)
+        assert config.k == 60
+        assert config.q == 2
+
+    def test_invalid_omega(self):
+        with pytest.raises(ValueError, match="omega"):
+            RecommenderConfig(omega=1.5)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError, match="k must be"):
+            RecommenderConfig(k=0)
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError, match="q must be"):
+            RecommenderConfig(q=1)
+
+    def test_invalid_embedding_range(self):
+        with pytest.raises(ValueError, match="embedding range"):
+            RecommenderConfig(embedding_range=(3.0, 3.0))
+
+    def test_with_omega_copies(self):
+        config = RecommenderConfig()
+        changed = config.with_omega(0.2)
+        assert changed.omega == pytest.approx(0.2)
+        assert config.omega == pytest.approx(0.7)
+        assert changed.k == config.k
+
+    def test_with_k_copies(self):
+        changed = RecommenderConfig().with_k(33)
+        assert changed.k == 33
+
+
+class TestFuseFj:
+    def test_omega_zero_is_pure_content(self):
+        assert fuse_fj(0.8, 0.1, omega=0.0) == pytest.approx(0.8)
+
+    def test_omega_one_is_pure_social(self):
+        assert fuse_fj(0.8, 0.1, omega=1.0) == pytest.approx(0.1)
+
+    def test_weighted_blend(self):
+        assert fuse_fj(1.0, 0.0, omega=0.7) == pytest.approx(0.3)
+
+    def test_invalid_omega(self):
+        with pytest.raises(ValueError, match="omega"):
+            fuse_fj(0.5, 0.5, omega=-0.1)
+
+    def test_invalid_relevance(self):
+        with pytest.raises(ValueError, match="content relevance"):
+            fuse_fj(1.5, 0.5, omega=0.5)
+        with pytest.raises(ValueError, match="social relevance"):
+            fuse_fj(0.5, -0.1, omega=0.5)
+
+    @given(unit, unit, unit)
+    def test_result_bounded_and_monotone(self, content, social, omega):
+        value = fuse_fj(content, social, omega)
+        assert 0.0 <= value <= 1.0 + 1e-9
+        assert min(content, social) - 1e-9 <= value <= max(content, social) + 1e-9
+
+
+class TestAlternativeFusions:
+    def test_average(self):
+        assert fuse_average(0.2, 0.8) == pytest.approx(0.5)
+
+    def test_max(self):
+        assert fuse_max(0.2, 0.8) == pytest.approx(0.8)
+
+    @given(unit, unit)
+    def test_average_equals_fj_half(self, content, social):
+        assert fuse_average(content, social) == pytest.approx(
+            fuse_fj(content, social, omega=0.5)
+        )

@@ -1,0 +1,115 @@
+"""Tests for SimC and κJ content relevance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.measures.content import kappa_j, kappa_j_all_pairs, pairwise_sim_matrix, sim_c
+from repro.signatures.cuboid import CuboidSignature
+from repro.signatures.series import SignatureSeries
+
+
+def sig(values, weights=None):
+    values = np.asarray(values, dtype=float)
+    weights = np.ones_like(values) if weights is None else np.asarray(weights, dtype=float)
+    return CuboidSignature(values=values, weights=weights)
+
+
+def series(*signatures):
+    return SignatureSeries("s", tuple(signatures))
+
+
+class TestSimC:
+    def test_identical_signatures_have_similarity_one(self):
+        signature = sig([1.0, -3.0], [0.4, 0.6])
+        assert sim_c(signature, signature) == pytest.approx(1.0)
+
+    def test_decreases_with_distance(self):
+        base = sig([0.0])
+        assert sim_c(base, sig([1.0])) > sim_c(base, sig([10.0]))
+
+    def test_known_value(self):
+        # EMD between point masses at 0 and 1 is 1 => SimC = 0.5.
+        assert sim_c(sig([0.0]), sig([1.0])) == pytest.approx(0.5)
+
+    def test_bounded(self):
+        assert 0.0 < sim_c(sig([0.0]), sig([100.0])) <= 1.0
+
+
+class TestPairwiseMatrix:
+    def test_shape_and_symmetry_block(self):
+        s1 = series(sig([0.0]), sig([5.0]))
+        s2 = series(sig([0.0]), sig([5.0]), sig([9.0]))
+        matrix = pairwise_sim_matrix(s1, s2)
+        assert matrix.shape == (2, 3)
+        assert matrix[0, 0] == pytest.approx(1.0)
+        assert matrix[1, 1] == pytest.approx(1.0)
+
+
+class TestKappaJ:
+    def test_self_similarity_is_one(self):
+        s = series(sig([0.0]), sig([5.0]), sig([-2.0]))
+        assert kappa_j(s, s) == pytest.approx(1.0)
+
+    def test_disjoint_series_score_zero(self):
+        s1 = series(sig([0.0]))
+        s2 = series(sig([100.0]))
+        assert kappa_j(s1, s2) == 0.0
+
+    def test_partial_overlap(self):
+        s1 = series(sig([0.0]), sig([50.0]))
+        s2 = series(sig([0.0]), sig([-50.0]))
+        # One perfect match out of |union| = 3.
+        assert kappa_j(s1, s2) == pytest.approx(1.0 / 3.0)
+
+    def test_symmetry(self):
+        s1 = series(sig([0.0]), sig([3.0]))
+        s2 = series(sig([1.0]), sig([8.0]), sig([-4.0]))
+        assert kappa_j(s1, s2) == pytest.approx(kappa_j(s2, s1))
+
+    def test_matching_is_one_to_one(self):
+        # Two identical query signatures cannot both match the single
+        # candidate signature.
+        s1 = series(sig([0.0]), sig([0.0]))
+        s2 = series(sig([0.0]))
+        assert kappa_j(s1, s2) == pytest.approx(1.0 / 2.0)
+
+    def test_threshold_filters_weak_matches(self):
+        s1 = series(sig([0.0]))
+        s2 = series(sig([3.0]))  # SimC = 0.25
+        assert kappa_j(s1, s2, match_threshold=0.5) == 0.0
+        assert kappa_j(s1, s2, match_threshold=0.2) > 0.0
+
+    def test_invalid_threshold_rejected(self):
+        s = series(sig([0.0]))
+        with pytest.raises(ValueError, match="match_threshold"):
+            kappa_j(s, s, match_threshold=1.5)
+
+    def test_precomputed_matrix_used(self):
+        s1 = series(sig([0.0]))
+        s2 = series(sig([0.0]))
+        fake = np.array([[0.1]])
+        assert kappa_j(s1, s2, match_threshold=0.0, sim_matrix=fake) == pytest.approx(
+            0.1 / 1.0
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(-20, 20), min_size=1, max_size=4),
+           st.lists(st.floats(-20, 20), min_size=1, max_size=4))
+    def test_bounded_between_zero_and_one(self, values_a, values_b):
+        s1 = series(*[sig([v]) for v in values_a])
+        s2 = series(*[sig([v]) for v in values_b])
+        score = kappa_j(s1, s2)
+        assert 0.0 <= score <= 1.0
+
+
+class TestKappaJAllPairs:
+    def test_upper_bounds_check(self):
+        s1 = series(sig([0.0]), sig([1.0]))
+        s2 = series(sig([0.0]))
+        value = kappa_j_all_pairs(s1, s2)
+        assert 0.0 < value <= 1.0
+
+    def test_identical_series(self):
+        s = series(sig([0.0]))
+        assert kappa_j_all_pairs(s, s) == pytest.approx(0.5)

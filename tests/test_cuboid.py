@@ -1,0 +1,121 @@
+"""Unit and property tests for the video cuboid signature."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.signatures.cuboid import CuboidSignature, merge_blocks, signature_from_qgram
+
+
+class TestCuboidSignature:
+    def test_weights_are_normalised(self):
+        signature = CuboidSignature(values=np.array([1.0, 2.0]), weights=np.array([3.0, 1.0]))
+        assert signature.weights.sum() == pytest.approx(1.0)
+        assert signature.weights[0] == pytest.approx(0.75)
+
+    def test_size(self):
+        signature = CuboidSignature(values=np.array([0.0, 1.0, 2.0]), weights=np.ones(3))
+        assert signature.size == 3
+        assert len(signature) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one cuboid"):
+            CuboidSignature(values=np.array([]), weights=np.array([]))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="matching lengths"):
+            CuboidSignature(values=np.array([1.0]), weights=np.array([0.5, 0.5]))
+
+    def test_nonpositive_weights_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            CuboidSignature(values=np.array([1.0, 2.0]), weights=np.array([1.0, 0.0]))
+
+
+class TestMergeBlocks:
+    def test_uniform_frame_merges_to_one_region(self):
+        labels = merge_blocks(np.full((4, 4), 100.0), merge_threshold=5.0)
+        assert labels.max() == 0
+
+    def test_distinct_halves_produce_two_regions(self):
+        means = np.zeros((4, 4))
+        means[:, 2:] = 200.0
+        labels = merge_blocks(means, merge_threshold=10.0)
+        assert labels.max() == 1
+        assert len(np.unique(labels[:, :2])) == 1
+        assert len(np.unique(labels[:, 2:])) == 1
+
+    def test_zero_threshold_keeps_distinct_blocks_apart(self):
+        means = np.arange(16, dtype=np.float64).reshape(4, 4) * 10
+        labels = merge_blocks(means, merge_threshold=0.0)
+        assert labels.max() == 15
+
+    def test_labels_are_contiguous_from_zero(self):
+        rng = np.random.default_rng(3)
+        means = rng.uniform(0, 255, (6, 6))
+        labels = merge_blocks(means, merge_threshold=20.0)
+        unique = np.unique(labels)
+        assert unique[0] == 0
+        assert np.array_equal(unique, np.arange(unique.size))
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            merge_blocks(np.zeros((2, 2)), merge_threshold=-1.0)
+
+    def test_diagonal_blocks_not_merged(self):
+        # 4-connectivity: diagonal similarity alone must not merge.
+        means = np.array([[0.0, 100.0], [100.0, 0.0]])
+        labels = merge_blocks(means, merge_threshold=5.0)
+        assert labels[0, 0] != labels[0, 1]
+        assert len(np.unique(labels)) == 4
+
+
+class TestSignatureFromQgram:
+    def test_static_qgram_has_zero_values(self):
+        frame = np.full((16, 16), 120.0, dtype=np.float32)
+        signature = signature_from_qgram([frame, frame], grid=4)
+        assert np.allclose(signature.values, 0.0)
+        assert signature.weights.sum() == pytest.approx(1.0)
+
+    def test_uniform_drift_is_captured(self):
+        first = np.full((16, 16), 100.0, dtype=np.float32)
+        second = np.full((16, 16), 110.0, dtype=np.float32)
+        signature = signature_from_qgram([first, second], grid=4)
+        assert signature.size == 1
+        assert signature.values[0] == pytest.approx(10.0)
+
+    def test_split_drift_produces_two_cuboids(self):
+        first = np.full((16, 16), 100.0, dtype=np.float32)
+        second = first.copy()
+        second[:, 8:] += 40.0  # right half brightens
+        signature = signature_from_qgram([first, second], grid=4, merge_threshold=5.0)
+        assert signature.size == 1  # reference frame is uniform: one region
+        # With a non-uniform reference the regions split:
+        third = first.copy()
+        third[:, 8:] += 80.0
+        signature2 = signature_from_qgram([third, third + 10.0], grid=4, merge_threshold=5.0)
+        assert signature2.size == 2
+
+    def test_trigram_averages_consecutive_changes(self):
+        frames = [np.full((8, 8), level, dtype=np.float32) for level in (100.0, 110.0, 130.0)]
+        signature = signature_from_qgram(frames, grid=2)
+        # Total drift 30 over 2 steps: mean change 15.
+        assert signature.values[0] == pytest.approx(15.0)
+
+    def test_single_keyframe_rejected(self):
+        with pytest.raises(ValueError, match="at least two"):
+            signature_from_qgram([np.zeros((8, 8), dtype=np.float32)])
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError, match="share one shape"):
+            signature_from_qgram(
+                [np.zeros((8, 8), dtype=np.float32), np.zeros((4, 4), dtype=np.float32)]
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=2, max_value=4), st.integers(min_value=2, max_value=8))
+    def test_mass_always_normalised(self, q, grid):
+        rng = np.random.default_rng(q * 100 + grid)
+        frames = [rng.uniform(0, 255, (16, 16)).astype(np.float32) for _ in range(q)]
+        signature = signature_from_qgram(frames, grid=grid, merge_threshold=10.0)
+        assert signature.weights.sum() == pytest.approx(1.0)
+        assert signature.size <= grid * grid

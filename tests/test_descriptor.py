@@ -1,0 +1,59 @@
+"""Tests for social descriptors and exact Jaccard relevance."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.social.descriptor import SocialDescriptor, jaccard, jaccard_naive
+
+user_sets = st.sets(st.text(alphabet="abcdefgh", min_size=1, max_size=4), max_size=12)
+
+
+class TestSocialDescriptor:
+    def test_from_users_deduplicates(self):
+        descriptor = SocialDescriptor.from_users("v", ["a", "b", "a"])
+        assert len(descriptor) == 2
+
+    def test_with_users_is_immutable_extension(self):
+        base = SocialDescriptor.from_users("v", ["a"])
+        extended = base.with_users(["b"])
+        assert len(base) == 1
+        assert len(extended) == 2
+        assert extended.video_id == "v"
+
+
+class TestJaccard:
+    def test_identical_sets(self):
+        descriptor = SocialDescriptor.from_users("v", ["a", "b"])
+        assert jaccard(descriptor, descriptor) == 1.0
+
+    def test_disjoint_sets(self):
+        a = SocialDescriptor.from_users("v", ["a"])
+        b = SocialDescriptor.from_users("w", ["b"])
+        assert jaccard(a, b) == 0.0
+
+    def test_known_overlap(self):
+        a = SocialDescriptor.from_users("v", ["a", "b", "c"])
+        b = SocialDescriptor.from_users("w", ["b", "c", "d"])
+        assert jaccard(a, b) == pytest.approx(2.0 / 4.0)
+
+    def test_both_empty_scores_zero(self):
+        a = SocialDescriptor.from_users("v", [])
+        b = SocialDescriptor.from_users("w", [])
+        assert jaccard(a, b) == 0.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(user_sets, user_sets)
+    def test_naive_matches_set_based(self, users_a, users_b):
+        """The quadratic nested-loop version must be semantically identical."""
+        a = SocialDescriptor.from_users("v", users_a)
+        b = SocialDescriptor.from_users("w", users_b)
+        assert jaccard_naive(a, b) == pytest.approx(jaccard(a, b))
+
+    @settings(max_examples=40, deadline=None)
+    @given(user_sets, user_sets)
+    def test_symmetric_and_bounded(self, users_a, users_b):
+        a = SocialDescriptor.from_users("v", users_a)
+        b = SocialDescriptor.from_users("w", users_b)
+        value = jaccard(a, b)
+        assert 0.0 <= value <= 1.0
+        assert value == pytest.approx(jaccard(b, a))

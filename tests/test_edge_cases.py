@@ -1,0 +1,83 @@
+"""Cross-cutting edge cases: tiny communities, degenerate inputs, overrides."""
+
+import numpy as np
+import pytest
+
+from repro.community import CommunityConfig, generate_community
+from repro.community.workload import select_source_videos
+from repro.core import CommunityIndex, KTopScoreVideoSearch, RecommenderConfig
+from repro.core.recommender import FusionRecommender
+from repro.signatures import extract_signature_series
+from repro.video.clip import VideoClip
+
+
+class TestTinyCommunities:
+    def test_one_hour_community_builds_and_recommends(self):
+        dataset = generate_community(CommunityConfig(hours=1.0, seed=77))
+        index = CommunityIndex(dataset, RecommenderConfig(k=4))
+        recommender = FusionRecommender(index, omega=0.7, social_mode="sar-h")
+        video_id = index.video_ids[0]
+        results = recommender.recommend(video_id, top_k=5)
+        assert len(results) == 5
+        assert video_id not in results
+
+    def test_source_selection_fails_cleanly_without_topic_videos(self):
+        dataset = generate_community(CommunityConfig(hours=1.0, seed=77))
+        # Remove every video of topic 0 to hit the error path.
+        dataset.records = {
+            vid: record for vid, record in dataset.records.items() if record.topic != 0
+        }
+        with pytest.raises(ValueError, match="has no videos"):
+            select_source_videos(dataset)
+
+
+class TestDegenerateClips:
+    def test_two_frame_clip_extracts_a_signature(self):
+        frames = np.stack([
+            np.full((16, 16), 90.0, dtype=np.float32),
+            np.full((16, 16), 110.0, dtype=np.float32),
+        ])
+        series = extract_signature_series(VideoClip("tiny", frames))
+        assert len(series) >= 1
+
+    def test_constant_black_clip(self):
+        frames = np.zeros((8, 16, 16), dtype=np.float32)
+        series = extract_signature_series(VideoClip("black", frames))
+        assert all(np.allclose(s.values, 0.0) for s in series)
+
+    def test_max_intensity_clip(self):
+        frames = np.full((8, 16, 16), 255.0, dtype=np.float32)
+        series = extract_signature_series(VideoClip("white", frames))
+        assert len(series) >= 1
+
+
+class TestOverrides:
+    def test_knn_omega_override_changes_ranking_basis(self, workload, index):
+        content_only = KTopScoreVideoSearch(index, omega=0.0)
+        social_only = KTopScoreVideoSearch(index, omega=1.0)
+        query = workload.sources[0]
+        content_results = content_only.search(query, 5)
+        social_results = social_only.search(query, 5)
+        # Scores must reflect the respective single component.
+        for result in content_results:
+            assert result.score == pytest.approx(min(result.content, 1.0))
+        for result in social_results:
+            assert result.score == pytest.approx(min(result.social, 1.0))
+
+    def test_recommender_omega_override_beats_config(self, index):
+        recommender = FusionRecommender(index, omega=0.25)
+        assert recommender.omega == pytest.approx(0.25)
+        assert index.config.omega == pytest.approx(0.7)
+
+    def test_index_respects_month_cutoff(self, workload):
+        early = CommunityIndex(
+            workload.dataset, RecommenderConfig(k=8),
+            up_to_month=0, build_lsb=False, build_global_features=False,
+        )
+        late = CommunityIndex(
+            workload.dataset, RecommenderConfig(k=8),
+            up_to_month=15, build_lsb=False, build_global_features=False,
+        )
+        early_total = sum(len(d.users) for d in early.social.descriptors.values())
+        late_total = sum(len(d.users) for d in late.social.descriptors.values())
+        assert early_total < late_total

@@ -1,0 +1,80 @@
+"""Tests for the EMD -> L1 embedding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.emd import EmdEmbedding, emd_1d
+
+distribution = st.integers(min_value=1, max_value=5).flatmap(
+    lambda n: st.tuples(
+        st.lists(st.floats(min_value=-30, max_value=30, allow_nan=False), min_size=n, max_size=n),
+        st.lists(st.floats(min_value=0.1, max_value=3.0, allow_nan=False), min_size=n, max_size=n),
+    )
+)
+
+
+class TestConstruction:
+    def test_rejects_tiny_resolution(self):
+        with pytest.raises(ValueError, match="resolution"):
+            EmdEmbedding(lo=0, hi=1, resolution=1)
+
+    def test_rejects_empty_range(self):
+        with pytest.raises(ValueError, match="range"):
+            EmdEmbedding(lo=1.0, hi=1.0)
+
+    def test_bin_width(self):
+        assert EmdEmbedding(lo=0, hi=64, resolution=64).bin_width == pytest.approx(1.0)
+
+
+class TestEmbed:
+    def test_output_dimension(self):
+        embedding = EmdEmbedding(lo=-10, hi=10, resolution=32)
+        vector = embedding.embed(np.array([0.0]), np.array([1.0]))
+        assert vector.shape == (32,)
+
+    def test_cdf_is_monotone(self):
+        embedding = EmdEmbedding(lo=-10, hi=10, resolution=32)
+        vector = embedding.embed(np.array([-5.0, 2.0]), np.array([0.3, 0.7]))
+        assert np.all(np.diff(vector) >= -1e-12)
+
+    def test_total_mass_reaches_range_width_scaled(self):
+        embedding = EmdEmbedding(lo=0, hi=8, resolution=8)
+        vector = embedding.embed(np.array([1.0]), np.array([1.0]))
+        assert vector[-1] == pytest.approx(embedding.bin_width * 1.0 / embedding.bin_width * 1.0)
+
+    def test_out_of_range_values_clamped(self):
+        embedding = EmdEmbedding(lo=0, hi=1, resolution=4)
+        vector = embedding.embed(np.array([100.0]), np.array([1.0]))
+        assert np.isfinite(vector).all()
+
+    def test_identical_distributions_embed_identically(self):
+        embedding = EmdEmbedding(lo=-5, hi=5, resolution=16)
+        a = embedding.embed(np.array([1.0, -1.0]), np.array([0.5, 0.5]))
+        b = embedding.embed(np.array([-1.0, 1.0]), np.array([0.5, 0.5]))
+        assert np.allclose(a, b)
+
+
+class TestL1ApproximatesEmd:
+    def test_exact_on_grid_points(self):
+        embedding = EmdEmbedding(lo=0.0, hi=8.0, resolution=8)
+        # Values at bin centers 0.5 and 2.5: EMD = 2, L1 of embeddings = 2.
+        va, wa = np.array([0.5]), np.array([1.0])
+        vb, wb = np.array([2.5]), np.array([1.0])
+        l1 = EmdEmbedding.l1_distance(embedding.embed(va, wa), embedding.embed(vb, wb))
+        assert l1 == pytest.approx(emd_1d(va, wa, vb, wb), abs=1e-9)
+
+    @settings(max_examples=50, deadline=None)
+    @given(distribution, distribution)
+    def test_l1_close_to_emd(self, first, second):
+        embedding = EmdEmbedding(lo=-32.0, hi=32.0, resolution=256)
+        va, wa = np.asarray(first[0]), np.asarray(first[1])
+        vb, wb = np.asarray(second[0]), np.asarray(second[1])
+        true = emd_1d(va, wa, vb, wb)
+        l1 = EmdEmbedding.l1_distance(embedding.embed(va, wa), embedding.embed(vb, wb))
+        # Quantisation error is bounded by one bin width per unit mass.
+        assert abs(l1 - true) <= 2 * embedding.bin_width + 1e-9
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="dimensions differ"):
+            EmdEmbedding.l1_distance(np.zeros(4), np.zeros(5))

@@ -1,0 +1,130 @@
+"""Tests for the EMD solvers: closed form, simplex, and LP cross-checks.
+
+The property tests are the heart of this module: on random weighted scalar
+distributions all three solvers must agree, and EMD must behave like a
+metric on normalised distributions.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.emd import emd_1d, emd_exact, emd_linprog, normalize_weights
+
+distribution = st.integers(min_value=1, max_value=6).flatmap(
+    lambda n: st.tuples(
+        st.lists(
+            st.floats(min_value=-50, max_value=50, allow_nan=False),
+            min_size=n, max_size=n,
+        ),
+        st.lists(
+            st.floats(min_value=0.05, max_value=5.0, allow_nan=False),
+            min_size=n, max_size=n,
+        ),
+    )
+)
+
+
+class TestNormalizeWeights:
+    def test_normalises_to_unit_mass(self):
+        assert normalize_weights(np.array([2.0, 2.0])).sum() == pytest.approx(1.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            normalize_weights(np.array([1.0, -0.1]))
+
+    def test_rejects_zero_mass(self):
+        with pytest.raises(ValueError, match="positive"):
+            normalize_weights(np.array([0.0, 0.0]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            normalize_weights(np.array([]))
+
+
+class TestClosedForm:
+    def test_identical_distributions_have_zero_emd(self):
+        values = np.array([1.0, 3.0, -2.0])
+        weights = np.array([0.2, 0.5, 0.3])
+        assert emd_1d(values, weights, values, weights) == pytest.approx(0.0)
+
+    def test_point_masses(self):
+        assert emd_1d([0.0], [1.0], [5.0], [1.0]) == pytest.approx(5.0)
+
+    def test_split_mass(self):
+        # Half the mass moves distance 2, half stays: EMD = 1.
+        assert emd_1d([0.0, 2.0], [0.5, 0.5], [0.0], [1.0]) == pytest.approx(1.0)
+
+    def test_weight_normalisation_is_applied(self):
+        assert emd_1d([0.0], [10.0], [3.0], [0.1]) == pytest.approx(3.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="matching lengths"):
+            emd_1d([0.0, 1.0], [1.0], [0.0], [1.0])
+
+
+class TestSimplexSolver:
+    def test_matches_hand_computed(self):
+        assert emd_exact([0.0], [1.0], [4.0], [1.0]) == pytest.approx(4.0)
+
+    def test_explicit_cost_matrix(self):
+        cost = np.array([[0.0, 10.0], [10.0, 0.0]])
+        result = emd_exact([0, 1], [0.5, 0.5], [0, 1], [0.5, 0.5], cost_matrix=cost)
+        assert result == pytest.approx(0.0)
+
+    def test_cost_matrix_shape_validated(self):
+        with pytest.raises(ValueError, match="cost matrix shape"):
+            emd_exact([0.0], [1.0], [1.0], [1.0], cost_matrix=np.zeros((2, 2)))
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            emd_exact([0.0], [1.0], [1.0], [1.0], cost_matrix=np.array([[-1.0]]))
+
+
+class TestSolverAgreement:
+    @settings(max_examples=60, deadline=None)
+    @given(distribution, distribution)
+    def test_closed_form_matches_linprog(self, first, second):
+        va, wa = first
+        vb, wb = second
+        fast = emd_1d(va, wa, vb, wb)
+        reference = emd_linprog(va, wa, vb, wb)
+        assert fast == pytest.approx(reference, abs=1e-8)
+
+    @settings(max_examples=40, deadline=None)
+    @given(distribution, distribution)
+    def test_simplex_matches_linprog(self, first, second):
+        va, wa = first
+        vb, wb = second
+        simplex = emd_exact(va, wa, vb, wb)
+        reference = emd_linprog(va, wa, vb, wb)
+        assert simplex == pytest.approx(reference, abs=1e-7)
+
+
+class TestMetricProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(distribution, distribution)
+    def test_non_negative_and_symmetric(self, first, second):
+        va, wa = first
+        vb, wb = second
+        forward = emd_1d(va, wa, vb, wb)
+        backward = emd_1d(vb, wb, va, wa)
+        assert forward >= 0.0
+        assert forward == pytest.approx(backward, abs=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(distribution, distribution, distribution)
+    def test_triangle_inequality(self, first, second, third):
+        va, wa = first
+        vb, wb = second
+        vc, wc = third
+        ab = emd_1d(va, wa, vb, wb)
+        bc = emd_1d(vb, wb, vc, wc)
+        ac = emd_1d(va, wa, vc, wc)
+        assert ac <= ab + bc + 1e-8
+
+    @settings(max_examples=30, deadline=None)
+    @given(distribution)
+    def test_self_distance_zero(self, dist):
+        values, weights = dist
+        assert emd_1d(values, weights, values, weights) == pytest.approx(0.0, abs=1e-10)

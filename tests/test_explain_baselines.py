@@ -1,0 +1,109 @@
+"""Tests for recommendation explanations and the trivial baselines."""
+
+import pytest
+
+from repro.core.baselines import PopularityRecommender, RandomRecommender
+from repro.core.explain import explain_recommendation
+from repro.core.fusion import fuse_fj
+from repro.core.recommender import csf_sar_h_recommender
+
+
+class TestExplain:
+    def test_components_match_fused_score(self, workload, index):
+        query, candidate = workload.sources[0], workload.sources[1]
+        explanation = explain_recommendation(index, query, candidate)
+        assert explanation.fused_score == pytest.approx(
+            fuse_fj(explanation.content_score, explanation.social_score, explanation.omega)
+        )
+
+    def test_self_explanation_is_maximal(self, workload, index):
+        query = workload.sources[0]
+        other = workload.sources[5]
+        self_exp = explain_recommendation(index, query, query)
+        other_exp = explain_recommendation(index, query, other)
+        assert self_exp.content_score == pytest.approx(1.0)
+        assert self_exp.social_score == pytest.approx(1.0)
+        assert self_exp.fused_score >= other_exp.fused_score
+
+    def test_matches_are_one_to_one_and_sorted(self, workload, index):
+        query, candidate = workload.sources[0], workload.sources[1]
+        explanation = explain_recommendation(index, query, candidate)
+        rows = [m.query_position for m in explanation.matches]
+        cols = [m.candidate_position for m in explanation.matches]
+        assert len(rows) == len(set(rows))
+        assert len(cols) == len(set(cols))
+        sims = [m.similarity for m in explanation.matches]
+        assert sims == sorted(sims, reverse=True)
+
+    def test_shared_users_are_real(self, workload, index):
+        query, candidate = workload.sources[0], workload.sources[1]
+        explanation = explain_recommendation(index, query, candidate)
+        query_users = index.descriptor(query).users
+        candidate_users = index.descriptor(candidate).users
+        for user in explanation.shared_users:
+            assert user in query_users
+            assert user in candidate_users
+
+    def test_summary_is_text(self, workload, index):
+        explanation = explain_recommendation(
+            index, workload.sources[0], workload.sources[1]
+        )
+        summary = explanation.summary()
+        assert workload.sources[1] in summary
+        assert "scored" in summary
+
+    def test_unknown_video_rejected(self, index):
+        with pytest.raises(KeyError, match="unknown video"):
+            explain_recommendation(index, "ghost", index.video_ids[0])
+
+    def test_explanation_score_matches_recommender(self, workload, index):
+        """The explanation must reconstruct the SAR-H score exactly."""
+        recommender = csf_sar_h_recommender(index)
+        query = workload.sources[2]
+        candidate = recommender.recommend(query, 1)[0]
+        explanation = explain_recommendation(index, query, candidate)
+        assert explanation.fused_score == pytest.approx(
+            recommender.score(query, candidate), abs=1e-9
+        )
+
+
+class TestRandomRecommender:
+    def test_deterministic_per_query(self, workload):
+        recommender = RandomRecommender(workload.dataset, seed=1)
+        query = workload.sources[0]
+        assert recommender.recommend(query, 5) == recommender.recommend(query, 5)
+
+    def test_never_returns_query(self, workload):
+        recommender = RandomRecommender(workload.dataset)
+        for source in workload.sources:
+            assert source not in recommender.recommend(source, 10)
+
+    def test_different_queries_differ(self, workload):
+        recommender = RandomRecommender(workload.dataset)
+        lists = {tuple(recommender.recommend(s, 10)) for s in workload.sources[:4]}
+        assert len(lists) > 1
+
+    def test_invalid_top_k(self, workload):
+        with pytest.raises(ValueError, match="top_k"):
+            RandomRecommender(workload.dataset).recommend(workload.sources[0], 0)
+
+
+class TestPopularityRecommender:
+    def test_ranked_by_comment_count(self, workload):
+        dataset = workload.dataset
+        recommender = PopularityRecommender(dataset)
+        counts = dataset.comment_counts(up_to_month=11)
+        results = recommender.recommend(workload.sources[0], 10)
+        values = [counts[v] for v in results]
+        assert values == sorted(values, reverse=True)
+
+    def test_query_excluded(self, workload):
+        recommender = PopularityRecommender(workload.dataset)
+        top_video = recommender.recommend("not-a-video", 1)[0]
+        assert top_video not in recommender.recommend(top_video, 50)
+
+    def test_query_independent_tail(self, workload):
+        recommender = PopularityRecommender(workload.dataset)
+        a = recommender.recommend(workload.sources[0], 10)
+        b = recommender.recommend(workload.sources[1], 10)
+        assert len(set(a) & set(b)) >= 8  # near-identical global list

@@ -1,0 +1,117 @@
+"""Unit tests for frame primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.video.frame import (
+    INTENSITY_MAX,
+    as_frame,
+    block_means,
+    frame_difference,
+    mean_intensity,
+    resize_nearest,
+)
+
+
+class TestAsFrame:
+    def test_clips_out_of_range_values(self):
+        frame = as_frame([[300.0, -5.0], [10.0, 255.0]])
+        assert frame.max() <= INTENSITY_MAX
+        assert frame.min() >= 0.0
+
+    def test_converts_to_float32(self):
+        frame = as_frame(np.ones((3, 3), dtype=np.int64))
+        assert frame.dtype == np.float32
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(ValueError, match="2-D"):
+            as_frame(np.ones(5))
+
+    def test_rejects_3d_input(self):
+        with pytest.raises(ValueError, match="2-D"):
+            as_frame(np.ones((2, 2, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one pixel"):
+            as_frame(np.empty((0, 4)))
+
+
+class TestMeanIntensity:
+    def test_constant_frame(self):
+        assert mean_intensity(np.full((4, 4), 7.0)) == pytest.approx(7.0)
+
+    def test_returns_python_float(self):
+        assert isinstance(mean_intensity(np.ones((2, 2))), float)
+
+
+class TestFrameDifference:
+    def test_identical_frames_have_zero_difference(self):
+        frame = np.arange(16, dtype=np.float32).reshape(4, 4)
+        assert frame_difference(frame, frame) == 0.0
+
+    def test_constant_offset(self):
+        frame = np.zeros((4, 4))
+        assert frame_difference(frame, frame + 9.0) == pytest.approx(9.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="shapes differ"):
+            frame_difference(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    def test_symmetry(self):
+        a = np.random.default_rng(0).uniform(0, 255, (5, 5))
+        b = np.random.default_rng(1).uniform(0, 255, (5, 5))
+        assert frame_difference(a, b) == pytest.approx(frame_difference(b, a))
+
+
+class TestBlockMeans:
+    def test_exact_division(self):
+        frame = np.arange(16, dtype=np.float64).reshape(4, 4)
+        means = block_means(frame, 2)
+        assert means.shape == (2, 2)
+        assert means[0, 0] == pytest.approx(frame[:2, :2].mean())
+        assert means[1, 1] == pytest.approx(frame[2:, 2:].mean())
+
+    def test_uneven_division_covers_all_pixels(self):
+        frame = np.ones((7, 5))
+        means = block_means(frame, 3)
+        assert means.shape == (3, 3)
+        assert np.allclose(means, 1.0)
+
+    def test_grid_one_is_global_mean(self):
+        frame = np.random.default_rng(2).uniform(0, 255, (6, 6))
+        assert block_means(frame, 1)[0, 0] == pytest.approx(frame.mean())
+
+    def test_grid_zero_rejected(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            block_means(np.ones((4, 4)), 0)
+
+    def test_grid_larger_than_frame_rejected(self):
+        with pytest.raises(ValueError, match="exceeds frame dimensions"):
+            block_means(np.ones((4, 4)), 5)
+
+    @given(st.integers(min_value=1, max_value=8))
+    def test_block_means_bounded_by_frame_extremes(self, grid):
+        frame = np.random.default_rng(grid).uniform(0, 255, (16, 16))
+        means = block_means(frame, grid)
+        assert means.min() >= frame.min() - 1e-9
+        assert means.max() <= frame.max() + 1e-9
+
+
+class TestResizeNearest:
+    def test_identity_resize(self):
+        frame = np.random.default_rng(3).uniform(0, 255, (8, 8)).astype(np.float32)
+        out = resize_nearest(frame, 8, 8)
+        assert np.array_equal(out, frame)
+
+    def test_upscale_shape(self):
+        assert resize_nearest(np.ones((4, 4), dtype=np.float32), 9, 7).shape == (9, 7)
+
+    def test_downscale_values_come_from_source(self):
+        frame = np.arange(64, dtype=np.float32).reshape(8, 8)
+        out = resize_nearest(frame, 3, 3)
+        assert set(out.reshape(-1)).issubset(set(frame.reshape(-1)))
+
+    def test_rejects_nonpositive_target(self):
+        with pytest.raises(ValueError, match="positive"):
+            resize_nearest(np.ones((4, 4), dtype=np.float32), 0, 4)

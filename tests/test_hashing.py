@@ -1,0 +1,111 @@
+"""Tests for shift-add-xor hashing and the chained hash table."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.index.hashing import ChainedHashTable, shift_add_xor
+
+names = st.text(alphabet=st.characters(min_codepoint=33, max_codepoint=126), min_size=1, max_size=20)
+
+
+class TestShiftAddXor:
+    def test_deterministic(self):
+        assert shift_add_xor("alice") == shift_add_xor("alice")
+
+    def test_different_strings_usually_differ(self):
+        values = {shift_add_xor(f"user{i}") for i in range(1000)}
+        assert len(values) == 1000  # 64-bit space: no collisions expected
+
+    def test_seed_changes_hash(self):
+        assert shift_add_xor("bob", seed=1) != shift_add_xor("bob", seed=2)
+
+    def test_empty_string_returns_seed(self):
+        assert shift_add_xor("", seed=31) == 31
+
+    @given(names)
+    def test_fits_in_64_bits(self, name):
+        assert 0 <= shift_add_xor(name) < 2**64
+
+
+class TestChainedHashTable:
+    def test_insert_and_lookup(self):
+        table = ChainedHashTable(num_buckets=8)
+        table.insert("alice", 3)
+        assert table.lookup("alice") == 3
+        assert "alice" in table
+
+    def test_missing_key_returns_none(self):
+        table = ChainedHashTable()
+        assert table.lookup("ghost") is None
+        assert "ghost" not in table
+
+    def test_insert_overwrites_existing_key(self):
+        table = ChainedHashTable(num_buckets=4)
+        table.insert("alice", 1)
+        table.insert("alice", 9)
+        assert table.lookup("alice") == 9
+        assert len(table) == 1
+
+    def test_delete(self):
+        table = ChainedHashTable(num_buckets=4)
+        table.insert("a", 1)
+        assert table.delete("a") is True
+        assert table.lookup("a") is None
+        assert table.delete("a") is False
+        assert len(table) == 0
+
+    def test_delete_middle_of_chain(self):
+        table = ChainedHashTable(num_buckets=1)  # force one chain
+        for i in range(5):
+            table.insert(f"u{i}", i)
+        assert table.delete("u2")
+        assert table.lookup("u2") is None
+        for i in (0, 1, 3, 4):
+            assert table.lookup(f"u{i}") == i
+
+    def test_relabel(self):
+        table = ChainedHashTable(num_buckets=4)
+        for i in range(10):
+            table.insert(f"u{i}", i % 2)
+        changed = table.relabel(0, 7)
+        assert changed == 5
+        assert all(cno in (7, 1) for _, cno in table.items())
+
+    def test_items_yields_every_entry(self):
+        table = ChainedHashTable(num_buckets=4)
+        expected = {f"u{i}": i for i in range(20)}
+        for key, cno in expected.items():
+            table.insert(key, cno)
+        assert dict(table.items()) == expected
+
+    def test_chain_lengths_sum_to_size(self):
+        table = ChainedHashTable(num_buckets=8)
+        for i in range(50):
+            table.insert(f"u{i}", 0)
+        assert sum(table.chain_lengths()) == 50
+
+    def test_average_collisions_zero_when_empty(self):
+        assert ChainedHashTable().average_collisions() == 0.0
+
+    def test_average_collisions_single_bucket(self):
+        table = ChainedHashTable(num_buckets=1)
+        for i in range(4):
+            table.insert(f"u{i}", 0)
+        # Every probe scans the 3 other entries on average.
+        assert table.average_collisions() == pytest.approx(3.0)
+
+    def test_invalid_bucket_count(self):
+        with pytest.raises(ValueError, match="num_buckets"):
+            ChainedHashTable(num_buckets=0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.dictionaries(names, st.integers(min_value=0, max_value=100), max_size=40))
+    def test_matches_dict_semantics(self, mapping):
+        """Property: the chained table behaves exactly like a dict."""
+        table = ChainedHashTable(num_buckets=7)
+        for key, value in mapping.items():
+            table.insert(key, value)
+        assert len(table) == len(mapping)
+        for key, value in mapping.items():
+            assert table.lookup(key) == value
+        assert dict(table.items()) == mapping

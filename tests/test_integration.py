@@ -1,0 +1,133 @@
+"""End-to-end integration tests across the whole stack.
+
+These verify the *shape* claims of the paper on a small community:
+fusion beats its components, the SAR approximation tracks exact social
+relevance, social updates keep effectiveness steady, and the paper's
+partition beats spectral clustering on sampled sparse communities.
+"""
+
+import numpy as np
+import pytest
+
+from repro.community import build_workload
+from repro.core import (
+    CommunityIndex,
+    RecommenderConfig,
+    content_recommender,
+    csf_recommender,
+    csf_sar_h_recommender,
+    social_recommender,
+)
+from repro.core.affrf import AffrfRecommender
+from repro.evaluation import JudgePanel, evaluate_method
+from repro.social import (
+    SocialDescriptor,
+    build_uig,
+    extract_subcommunities,
+    partition_silhouette,
+    spectral_partition,
+)
+
+
+@pytest.fixture(scope="module")
+def medium_workload():
+    return build_workload(hours=10.0, seed=17)
+
+
+@pytest.fixture(scope="module")
+def medium_index(medium_workload):
+    # k = 60 is the paper's tuned value; smaller k degrades SAR (Fig. 9).
+    return CommunityIndex(
+        medium_workload.dataset, RecommenderConfig(k=60), build_lsb=False
+    )
+
+
+@pytest.fixture(scope="module")
+def medium_panel(medium_workload):
+    return JudgePanel(medium_workload.dataset)
+
+
+class TestEffectivenessShape:
+    def test_fusion_beats_components_and_affrf(
+        self, medium_workload, medium_index, medium_panel
+    ):
+        """The paper's Figure 10 ordering: CSF on top."""
+        sources = medium_workload.sources
+        csf = evaluate_method(
+            "CSF", csf_recommender(medium_index).recommend, sources, medium_panel
+        )
+        sr = evaluate_method(
+            "SR", social_recommender(medium_index).recommend, sources, medium_panel
+        )
+        cr = evaluate_method(
+            "CR", content_recommender(medium_index).recommend, sources, medium_panel
+        )
+        affrf = evaluate_method(
+            "AFFRF", AffrfRecommender(medium_index).recommend, sources, medium_panel
+        )
+        for top_k in (10, 20):
+            assert csf.row(top_k).ar >= sr.row(top_k).ar - 0.05
+            assert csf.row(top_k).ar > cr.row(top_k).ar
+            assert csf.row(top_k).ar > affrf.row(top_k).ar
+
+    def test_sar_approximation_tracks_exact(self, medium_workload, medium_index, medium_panel):
+        sources = medium_workload.sources
+        exact = evaluate_method(
+            "CSF", csf_recommender(medium_index).recommend, sources, medium_panel
+        )
+        approx = evaluate_method(
+            "CSF-SAR-H", csf_sar_h_recommender(medium_index).recommend, sources, medium_panel
+        )
+        # SAR loses effectiveness to the histogram approximation; at this
+        # deliberately small test scale (10 h) the sub-community partition
+        # is under-trained, so the bound is loose — the 20 h benches show
+        # the gap shrinking to a few tenths (paper Fig. 9's k=60 regime).
+        assert approx.row(10).ar >= exact.row(10).ar - 1.5
+        assert approx.row(10).ar >= 2.5  # still far above the ~1.8 noise floor
+
+
+class TestSocialUpdateStability:
+    def test_effectiveness_steady_under_updates(self, medium_workload, medium_panel):
+        """The paper's Figure 11: updates do not degrade recommendations."""
+        dataset = medium_workload.dataset
+        index = CommunityIndex(
+            dataset, RecommenderConfig(k=40),
+            build_lsb=False, build_global_features=False,
+        )
+        sources = medium_workload.sources
+        before = evaluate_method(
+            "before", csf_sar_h_recommender(index).recommend, sources, medium_panel,
+            top_ks=(10,),
+        )
+        for month in (12, 13):
+            batch = [
+                (comment.user_id, comment.video_id)
+                for comment in dataset.comments_between(month, month)
+            ]
+            index.social.apply_comments(batch)
+        index.rebuild_sorted_dictionary()
+        after = evaluate_method(
+            "after", csf_sar_h_recommender(index).recommend, sources, medium_panel,
+            top_ks=(10,),
+        )
+        assert after.row(10).ar >= before.row(10).ar - 0.4
+
+
+class TestPartitionQuality:
+    def test_subgraph_extraction_beats_spectral_on_sampled_community(self):
+        """Section 4.2.2's claim, on a sparse sampled community."""
+        rng = np.random.default_rng(23)
+        n_groups = 30
+        sizes = [int(rng.integers(3, 9)) for _ in range(n_groups)]
+        descriptors = []
+        vid = 0
+        for group, size in enumerate(sizes):
+            members = [f"u{group}_{i}" for i in range(size)]
+            for _ in range(size * 4):
+                users = rng.choice(members, size=min(3, size), replace=False)
+                descriptors.append(SocialDescriptor.from_users(f"v{vid}", users))
+                vid += 1
+        graph = build_uig(descriptors)
+        ours = extract_subcommunities(graph, 12)
+        spectral = spectral_partition(graph, 12, seed=1)
+        assert partition_silhouette(graph, ours) > partition_silhouette(graph, spectral)

@@ -1,0 +1,77 @@
+"""Tests for the sub-community inverted file."""
+
+import numpy as np
+import pytest
+
+from repro.index.inverted import InvertedFile
+
+
+class TestAddVideo:
+    def test_video_listed_under_touched_communities(self):
+        inverted = InvertedFile(4)
+        inverted.add_video("a", [2, 0, 1, 0])
+        assert "a" in inverted.postings(0)
+        assert "a" in inverted.postings(2)
+        assert "a" not in inverted.postings(1)
+
+    def test_re_add_moves_postings(self):
+        inverted = InvertedFile(3)
+        inverted.add_video("a", [1, 0, 0])
+        inverted.add_video("a", [0, 1, 0])
+        assert inverted.postings(0) == []
+        assert inverted.postings(1) == ["a"]
+        assert len(inverted) == 1
+
+    def test_wrong_dimension_rejected(self):
+        inverted = InvertedFile(3)
+        with pytest.raises(ValueError, match="does not match"):
+            inverted.add_video("a", [1, 0])
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError, match="at least one"):
+            InvertedFile(0)
+
+
+class TestCandidates:
+    def test_union_over_nonzero_dimensions(self):
+        inverted = InvertedFile(3)
+        inverted.add_video("a", [1, 0, 0])
+        inverted.add_video("b", [0, 1, 0])
+        inverted.add_video("c", [1, 1, 0])
+        assert set(inverted.candidates([1, 1, 0])) == {"a", "b", "c"}
+
+    def test_zero_query_returns_nothing(self):
+        inverted = InvertedFile(2)
+        inverted.add_video("a", [1, 0])
+        assert inverted.candidates([0, 0]) == []
+
+    def test_dominant_community_first(self):
+        inverted = InvertedFile(2)
+        inverted.add_video("a", [1, 0])
+        inverted.add_video("b", [0, 1])
+        assert inverted.candidates([1, 5])[0] == "b"
+
+    def test_no_duplicates(self):
+        inverted = InvertedFile(2)
+        inverted.add_video("a", [1, 1])
+        assert inverted.candidates([1, 1]) == ["a"]
+
+    def test_query_dimension_validated(self):
+        inverted = InvertedFile(2)
+        with pytest.raises(ValueError, match="does not match"):
+            inverted.candidates([1.0])
+
+
+class TestRemove:
+    def test_remove_clears_postings(self):
+        inverted = InvertedFile(2)
+        inverted.add_video("a", [1, 1])
+        inverted.remove_video("a")
+        assert "a" not in inverted
+        assert inverted.postings(0) == []
+        assert len(inverted) == 0
+
+    def test_remove_missing_is_noop(self):
+        inverted = InvertedFile(2)
+        inverted.remove_video("ghost")
+        assert len(inverted) == 0

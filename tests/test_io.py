@@ -1,0 +1,118 @@
+"""Tests for dataset and index persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.community import CommunityConfig, generate_community
+from repro.core import CommunityIndex, RecommenderConfig, csf_sar_h_recommender
+from repro.io import (
+    SCHEMA_VERSION,
+    dataset_from_dict,
+    dataset_to_dict,
+    load_dataset,
+    load_index,
+    save_dataset,
+    save_index,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_community(CommunityConfig(hours=2.0, seed=33))
+
+
+class TestDatasetRoundtrip:
+    def test_dict_roundtrip_preserves_everything(self, dataset):
+        restored = dataset_from_dict(dataset_to_dict(dataset))
+        assert restored.records == dataset.records
+        assert restored.users == dataset.users
+        assert restored.comments == dataset.comments
+        assert restored.topics == dataset.topics
+        assert restored.clip_params == dataset.clip_params
+
+    def test_clips_rematerialise_identically(self, dataset):
+        restored = dataset_from_dict(dataset_to_dict(dataset))
+        video_id = sorted(dataset.records)[0]
+        assert np.array_equal(
+            restored.clip(video_id).frames, dataset.clip(video_id).frames
+        )
+
+    def test_file_roundtrip_gzipped(self, dataset, tmp_path):
+        path = tmp_path / "community.json.gz"
+        save_dataset(dataset, path)
+        restored = load_dataset(path)
+        assert restored.records == dataset.records
+        assert path.stat().st_size > 0
+
+    def test_file_roundtrip_plain_json(self, dataset, tmp_path):
+        path = tmp_path / "community.json"
+        save_dataset(dataset, path)
+        # Plain JSON is human-readable.
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == SCHEMA_VERSION
+        assert load_dataset(path).comments == dataset.comments
+
+    def test_wrong_kind_rejected(self, dataset):
+        payload = dataset_to_dict(dataset)
+        payload["kind"] = "something-else"
+        with pytest.raises(ValueError, match="not a community dataset"):
+            dataset_from_dict(payload)
+
+    def test_incompatible_schema_rejected(self, dataset):
+        payload = dataset_to_dict(dataset)
+        payload["schema"] = "999.0"
+        with pytest.raises(ValueError, match="incompatible schema"):
+            dataset_from_dict(payload)
+
+
+class TestIndexRoundtrip:
+    @pytest.fixture(scope="class")
+    def built(self, dataset):
+        return CommunityIndex(dataset, RecommenderConfig(k=8))
+
+    def test_roundtrip_preserves_series(self, built, tmp_path):
+        path = tmp_path / "index.json.gz"
+        save_index(built, path)
+        restored = load_index(path)
+        assert set(restored.series) == set(built.series)
+        for video_id in built.series:
+            for original, loaded in zip(built.series[video_id], restored.series[video_id]):
+                assert np.allclose(original.values, loaded.values)
+                assert np.allclose(original.weights, loaded.weights)
+
+    def test_roundtrip_preserves_features(self, built, tmp_path):
+        path = tmp_path / "index.json.gz"
+        save_index(built, path)
+        restored = load_index(path)
+        for video_id in built.features:
+            assert np.allclose(
+                built.features[video_id].histogram,
+                restored.features[video_id].histogram,
+            )
+            assert built.features[video_id].tokens == restored.features[video_id].tokens
+
+    def test_roundtrip_preserves_config_and_lsb(self, built, tmp_path):
+        path = tmp_path / "index.json.gz"
+        save_index(built, path)
+        restored = load_index(path)
+        assert restored.config == built.config
+        assert restored.lsb is not None
+        assert len(restored.lsb) == len(built.lsb)
+
+    def test_loaded_index_recommends_identically(self, built, tmp_path):
+        path = tmp_path / "index.json.gz"
+        save_index(built, path)
+        restored = load_index(path)
+        query = built.video_ids[0]
+        assert (
+            csf_sar_h_recommender(built).recommend(query, 5)
+            == csf_sar_h_recommender(restored).recommend(query, 5)
+        )
+
+    def test_wrong_kind_rejected(self, dataset, tmp_path):
+        path = tmp_path / "dataset.json.gz"
+        save_dataset(dataset, path)
+        with pytest.raises(ValueError, match="not a community index"):
+            load_index(path)

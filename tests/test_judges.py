@@ -1,0 +1,74 @@
+"""Tests for the simulated judge panel."""
+
+import pytest
+
+from repro.evaluation.judges import JudgePanel
+
+
+@pytest.fixture(scope="module")
+def panel(workload):
+    return JudgePanel(workload.dataset, seed=5)
+
+
+def grade_examples(dataset):
+    """One (query, candidate) pair per relevance grade."""
+    records = dataset.records
+    examples = {}
+    for query_id, query in records.items():
+        for candidate_id, candidate in records.items():
+            if candidate_id == query_id:
+                continue
+            grade = dataset.relevance_grade(query_id, candidate_id)
+            examples.setdefault(grade, (query_id, candidate_id))
+        if len(examples) == 3:
+            break
+    return examples
+
+
+class TestRatings:
+    def test_ratings_in_range(self, workload, panel):
+        sources = workload.sources[:2]
+        for source in sources:
+            for video_id in list(workload.dataset.records)[:10]:
+                assert 1.0 <= panel.rate(source, video_id) <= 5.0
+
+    def test_ratings_deterministic_across_calls(self, workload, panel):
+        source = workload.sources[0]
+        video_id = next(iter(workload.dataset.records))
+        assert panel.rate(source, video_id) == panel.rate(source, video_id)
+
+    def test_ratings_deterministic_across_panels(self, workload):
+        first = JudgePanel(workload.dataset, seed=5)
+        second = JudgePanel(workload.dataset, seed=5)
+        source = workload.sources[0]
+        video_id = sorted(workload.dataset.records)[3]
+        assert first.rate(source, video_id) == second.rate(source, video_id)
+
+    def test_panel_seed_changes_ratings(self, workload):
+        first = JudgePanel(workload.dataset, seed=5)
+        second = JudgePanel(workload.dataset, seed=6)
+        source = workload.sources[0]
+        video_ids = sorted(workload.dataset.records)[:10]
+        assert any(
+            first.rate(source, v) != second.rate(source, v) for v in video_ids
+        )
+
+    def test_grade_ordering_respected(self, workload, panel):
+        examples = grade_examples(workload.dataset)
+        if len(examples) == 3:
+            near_dup = panel.rate(*examples[2])
+            same_topic = panel.rate(*examples[1])
+            unrelated = panel.rate(*examples[0])
+            assert near_dup > unrelated
+            assert same_topic > unrelated
+
+    def test_rate_list_matches_individual_calls(self, workload, panel):
+        source = workload.sources[0]
+        video_ids = sorted(workload.dataset.records)[:5]
+        assert panel.rate_list(source, video_ids) == [
+            panel.rate(source, v) for v in video_ids
+        ]
+
+    def test_invalid_panel_size(self, workload):
+        with pytest.raises(ValueError, match="at least one judge"):
+            JudgePanel(workload.dataset, num_judges=0)

@@ -1,0 +1,70 @@
+"""Unit tests for keyframe selection and q-gram grouping."""
+
+import numpy as np
+import pytest
+
+from repro.video.clip import VideoClip
+from repro.video.keyframes import qgrams, segment_qgrams, select_keyframes
+from repro.video.shots import Segment
+
+
+@pytest.fixture()
+def indexed_clip():
+    """Frames whose [0, 0] pixel equals their index — easy identification."""
+    frames = np.stack(
+        [np.full((4, 4), i, dtype=np.float32) for i in range(20)]
+    )
+    return VideoClip("c", frames)
+
+
+class TestSelectKeyframes:
+    def test_even_spacing(self, indexed_clip):
+        frames = select_keyframes(indexed_clip, Segment(0, 20), 3)
+        assert [int(f[0, 0]) for f in frames] == [0, 10, 19]
+
+    def test_single_keyframe_is_segment_start(self, indexed_clip):
+        frames = select_keyframes(indexed_clip, Segment(5, 10), 1)
+        assert int(frames[0][0, 0]) == 5
+
+    def test_more_keyframes_than_frames_repeats(self, indexed_clip):
+        frames = select_keyframes(indexed_clip, Segment(3, 5), 5)
+        assert len(frames) == 5
+        assert {int(f[0, 0]) for f in frames} <= {3, 4}
+
+    def test_invalid_count(self, indexed_clip):
+        with pytest.raises(ValueError, match=">= 1"):
+            select_keyframes(indexed_clip, Segment(0, 5), 0)
+
+
+class TestQgrams:
+    def test_bigrams_overlap(self):
+        frames = [np.full((2, 2), i) for i in range(4)]
+        grams = qgrams(frames, 2)
+        assert len(grams) == 3
+        assert int(grams[1][0][0, 0]) == 1
+        assert int(grams[1][1][0, 0]) == 2
+
+    def test_exact_length_gives_single_gram(self):
+        frames = [np.zeros((2, 2))] * 3
+        assert len(qgrams(frames, 3)) == 1
+
+    def test_too_few_keyframes_pads(self):
+        frames = [np.full((2, 2), 7.0)]
+        grams = qgrams(frames, 2)
+        assert len(grams) == 1
+        assert len(grams[0]) == 2
+
+    def test_q_below_two_rejected(self):
+        with pytest.raises(ValueError, match="q must be >= 2"):
+            qgrams([np.zeros((2, 2))], 1)
+
+    def test_empty_keyframes_rejected(self):
+        with pytest.raises(ValueError, match="at least one keyframe"):
+            qgrams([], 2)
+
+
+class TestSegmentQgrams:
+    def test_default_counts(self, indexed_clip):
+        grams = segment_qgrams(indexed_clip, Segment(0, 20), q=2, keyframes_per_segment=3)
+        assert len(grams) == 2
+        assert all(len(gram) == 2 for gram in grams)

@@ -1,0 +1,74 @@
+"""Tests for the index-backed K-top-score video search (Fig. 6)."""
+
+import pytest
+
+from repro.core.knn import KTopScoreVideoSearch
+from repro.core.pipeline import CommunityIndex
+from repro.core.config import RecommenderConfig
+from repro.core.recommender import csf_sar_h_recommender
+
+
+class TestConstruction:
+    def test_requires_lsb_index(self, workload):
+        slim = CommunityIndex(
+            workload.dataset, RecommenderConfig(k=8),
+            build_lsb=False, build_global_features=False,
+        )
+        with pytest.raises(ValueError, match="LSB"):
+            KTopScoreVideoSearch(slim)
+
+    def test_omega_defaults_to_config(self, index):
+        assert KTopScoreVideoSearch(index).omega == pytest.approx(index.config.omega)
+
+    def test_invalid_omega(self, index):
+        with pytest.raises(ValueError, match="omega"):
+            KTopScoreVideoSearch(index, omega=-1.0)
+
+
+class TestSearch:
+    def test_returns_k_results(self, workload, index):
+        search = KTopScoreVideoSearch(index)
+        results = search.search(workload.sources[0], top_k=5)
+        assert len(results) == 5
+
+    def test_results_sorted_by_score(self, workload, index):
+        search = KTopScoreVideoSearch(index)
+        results = search.search(workload.sources[0], top_k=8)
+        scores = [result.score for result in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_never_returns_the_query(self, workload, index):
+        search = KTopScoreVideoSearch(index)
+        for source in workload.sources[:3]:
+            assert all(r.video_id != source for r in search.search(source, 10))
+
+    def test_components_recorded(self, workload, index):
+        result = KTopScoreVideoSearch(index).search(workload.sources[0], 3)[0]
+        assert 0.0 <= result.content <= 1.0
+        assert 0.0 <= result.social <= 1.0
+
+    def test_unknown_query_rejected(self, index):
+        with pytest.raises(KeyError, match="unknown video"):
+            KTopScoreVideoSearch(index).search("ghost", 5)
+
+    def test_invalid_top_k(self, workload, index):
+        with pytest.raises(ValueError, match="top_k"):
+            KTopScoreVideoSearch(index).search(workload.sources[0], 0)
+
+    def test_recall_against_exhaustive_scan(self, workload, index):
+        """The index-backed search should substantially agree with the
+        exhaustive SAR-H scan at the same fusion weight."""
+        search = KTopScoreVideoSearch(index)
+        exhaustive = csf_sar_h_recommender(index)
+        agreements = []
+        for source in workload.sources:
+            fast = set(search.recommend(source, 10))
+            full = set(exhaustive.recommend(source, 10))
+            agreements.append(len(fast & full) / 10)
+        assert sum(agreements) / len(agreements) >= 0.6
+
+    def test_recommend_wrapper_returns_ids(self, workload, index):
+        search = KTopScoreVideoSearch(index)
+        ids = search.recommend(workload.sources[0], 4)
+        assert len(ids) == 4
+        assert all(isinstance(video_id, str) for video_id in ids)

@@ -1,0 +1,95 @@
+"""Tests for the LSB content index."""
+
+import numpy as np
+import pytest
+
+from repro.emd import EmdEmbedding
+from repro.index.lsb import LsbIndex
+from repro.signatures.cuboid import CuboidSignature
+
+
+def sig(center, rng, n=4):
+    return CuboidSignature(
+        values=rng.normal(center, 1.5, size=n),
+        weights=rng.uniform(0.2, 1.0, size=n),
+    )
+
+
+@pytest.fixture()
+def embedding():
+    return EmdEmbedding(lo=-50.0, hi=50.0, resolution=32)
+
+
+class TestConstruction:
+    def test_parameter_validation(self, embedding):
+        with pytest.raises(ValueError, match="projection"):
+            LsbIndex(embedding, num_projections=0)
+        with pytest.raises(ValueError, match="bits"):
+            LsbIndex(embedding, bits_per_dim=0)
+        with pytest.raises(ValueError, match="width"):
+            LsbIndex(embedding, bucket_width=0)
+        with pytest.raises(ValueError, match="tree"):
+            LsbIndex(embedding, num_trees=0)
+
+    def test_total_bits(self, embedding):
+        index = LsbIndex(embedding, num_projections=3, bits_per_dim=6)
+        assert index.total_bits == 18
+
+    def test_len_counts_inserts(self, embedding, rng):
+        index = LsbIndex(embedding)
+        for i in range(5):
+            index.insert(f"v{i}", 0, sig(0.0, rng))
+        assert len(index) == 5
+
+
+class TestProbe:
+    def test_returns_at_most_budget(self, embedding, rng):
+        index = LsbIndex(embedding, num_trees=2)
+        for i in range(30):
+            index.insert(f"v{i}", 0, sig(0.0, rng))
+        assert len(index.probe(sig(0.0, rng), budget=8)) <= 8
+
+    def test_budget_validation(self, embedding, rng):
+        index = LsbIndex(embedding)
+        with pytest.raises(ValueError, match="budget"):
+            index.probe(sig(0.0, rng), budget=0)
+
+    def test_prefers_nearby_cluster(self, embedding):
+        rng = np.random.default_rng(5)
+        index = LsbIndex(embedding, num_projections=3, bits_per_dim=6, num_trees=2)
+        for i in range(40):
+            center = -25.0 if i < 20 else 25.0
+            index.insert(f"v{i}", 0, sig(center, rng))
+        candidates = index.candidate_videos(sig(-25.0, rng), budget=12)
+        near = sum(1 for vid in candidates if int(vid[1:]) < 20)
+        assert near >= len(candidates) * 0.7
+
+    def test_results_sorted_by_prefix_length(self, embedding):
+        rng = np.random.default_rng(6)
+        index = LsbIndex(embedding)
+        for i in range(20):
+            index.insert(f"v{i}", 0, sig(rng.uniform(-40, 40), rng))
+        scored = index.probe(sig(0.0, rng), budget=10)
+        prefixes = [lcp for lcp, _ in scored]
+        assert prefixes == sorted(prefixes, reverse=True)
+
+    def test_candidate_videos_deduplicates(self, embedding):
+        rng = np.random.default_rng(7)
+        index = LsbIndex(embedding)
+        for position in range(6):
+            index.insert("same", position, sig(0.0, rng))
+        candidates = index.candidate_videos(sig(0.0, rng), budget=12)
+        assert candidates == ["same"]
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(8)
+        signatures = [sig(rng.uniform(-30, 30), rng) for _ in range(15)]
+        query = sig(0.0, rng)
+        results = []
+        for _ in range(2):
+            embedding = EmdEmbedding(lo=-50.0, hi=50.0, resolution=32)
+            index = LsbIndex(embedding, seed=3)
+            for i, signature in enumerate(signatures):
+                index.insert(f"v{i}", 0, signature)
+            results.append(index.candidate_videos(query, budget=8))
+        assert results[0] == results[1]

@@ -1,0 +1,77 @@
+"""Tests for AR / AC / AP / MAP metrics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.evaluation.metrics import (
+    average_accuracy,
+    average_precision,
+    average_rating,
+    mean_average_precision,
+)
+
+ratings = st.lists(st.floats(min_value=1.0, max_value=5.0, allow_nan=False), min_size=1, max_size=20)
+
+
+class TestAverageRating:
+    def test_mean(self):
+        assert average_rating([5.0, 3.0, 4.0]) == pytest.approx(4.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            average_rating([])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match=r"\[1, 5\]"):
+            average_rating([0.5])
+
+    @given(ratings)
+    def test_bounded(self, values):
+        assert 1.0 <= average_rating(values) <= 5.0
+
+
+class TestAverageAccuracy:
+    def test_counts_strictly_above_threshold(self):
+        assert average_accuracy([4.5, 4.0, 5.0, 1.0]) == pytest.approx(0.5)
+
+    def test_all_relevant(self):
+        assert average_accuracy([4.1, 4.9]) == 1.0
+
+    def test_none_relevant(self):
+        assert average_accuracy([1.0, 4.0]) == 0.0
+
+    @given(ratings)
+    def test_bounded(self, values):
+        assert 0.0 <= average_accuracy(values) <= 1.0
+
+
+class TestAveragePrecision:
+    def test_all_relevant_is_one(self):
+        assert average_precision([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_nothing_relevant_is_zero(self):
+        assert average_precision([1.0, 2.0]) == 0.0
+
+    def test_relevance_early_beats_late(self):
+        early = average_precision([5.0, 1.0, 1.0])
+        late = average_precision([1.0, 1.0, 5.0])
+        assert early > late
+
+    def test_known_value(self):
+        # Relevant at ranks 1 and 3: AP = (1/1 + 2/3) / 2.
+        assert average_precision([5.0, 1.0, 5.0]) == pytest.approx((1.0 + 2.0 / 3.0) / 2.0)
+
+    @given(ratings)
+    def test_bounded(self, values):
+        assert 0.0 <= average_precision(values) <= 1.0
+
+
+class TestMap:
+    def test_mean_of_aps(self):
+        queries = [[5.0, 1.0], [1.0, 5.0]]
+        expected = (average_precision(queries[0]) + average_precision(queries[1])) / 2
+        assert mean_average_precision(queries) == pytest.approx(expected)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one query"):
+            mean_average_precision([])

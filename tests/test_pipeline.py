@@ -1,0 +1,69 @@
+"""Tests for CommunityIndex construction."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import CommunityIndex
+from repro.core.config import RecommenderConfig
+
+
+class TestBuild:
+    def test_series_for_every_video(self, workload, index):
+        assert set(index.series) == set(workload.dataset.records)
+        assert all(len(series) >= 1 for series in index.series.values())
+
+    def test_global_features_for_every_video(self, index):
+        assert set(index.features) == set(index.series)
+        for features in index.features.values():
+            assert features.histogram.sum() == pytest.approx(1.0, abs=1e-6)
+            assert features.envelope.shape == (24,)
+            assert features.tokens
+
+    def test_lsb_indexed_every_signature(self, index):
+        assert len(index.lsb) == sum(len(series) for series in index.series.values())
+
+    def test_social_index_built_with_k(self, index, config):
+        assert index.social.k <= max(config.k, index.social.k)
+        assert len(index.social.descriptors) == len(index.series)
+
+    def test_sar_backends_agree(self, index):
+        descriptor = next(iter(index.social.descriptors.values()))
+        assert np.array_equal(
+            index.sar.vectorize(descriptor), index.sar_h.vectorize(descriptor)
+        )
+
+    def test_maintained_vectors_match_sar(self, index):
+        for video_id in list(index.video_ids)[:10]:
+            maintained = index.social_vector(video_id)
+            fresh = index.sar_h.vectorize(index.descriptor(video_id))
+            assert np.allclose(maintained, fresh)
+
+    def test_optional_builds_can_be_skipped(self, workload):
+        slim = CommunityIndex(
+            workload.dataset,
+            RecommenderConfig(k=8),
+            build_lsb=False,
+            build_global_features=False,
+        )
+        assert slim.lsb is None
+        assert slim.features == {}
+        assert len(slim.series) == len(workload.dataset.records)
+
+    def test_rebuild_sorted_dictionary_after_updates(self, workload):
+        fresh = CommunityIndex(
+            workload.dataset,
+            RecommenderConfig(k=8),
+            build_lsb=False,
+            build_global_features=False,
+        )
+        comments = [
+            (user_id, video_id)
+            for user_id in list(fresh.social._user_videos)[:3]
+            for video_id in list(fresh.video_ids)[:2]
+        ]
+        fresh.social.apply_comments(comments)
+        fresh.rebuild_sorted_dictionary()
+        descriptor = fresh.descriptor(fresh.video_ids[0])
+        assert np.array_equal(
+            fresh.sar.vectorize(descriptor), fresh.sar_h.vectorize(descriptor)
+        )

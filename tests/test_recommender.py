@@ -1,0 +1,120 @@
+"""Tests for the fusion recommenders (CR / SR / CSF and SAR variants)."""
+
+import pytest
+
+from repro.core.recommender import (
+    FusionRecommender,
+    content_recommender,
+    csf_recommender,
+    csf_sar_h_recommender,
+    csf_sar_recommender,
+    rank_components,
+    social_recommender,
+)
+
+
+class TestConstruction:
+    def test_named_constructors(self, index):
+        assert content_recommender(index).name == "CR"
+        assert social_recommender(index).name == "SR"
+        assert csf_recommender(index).name == "CSF"
+        assert csf_sar_recommender(index).name == "CSF-SAR"
+        assert csf_sar_h_recommender(index).name == "CSF-SAR-H"
+
+    def test_omega_defaults_to_config(self, index):
+        assert csf_recommender(index).omega == pytest.approx(index.config.omega)
+
+    def test_invalid_social_mode(self, index):
+        with pytest.raises(ValueError, match="social mode"):
+            FusionRecommender(index, social_mode="bogus")
+
+    def test_invalid_content_measure(self, index):
+        with pytest.raises(ValueError, match="content measure"):
+            FusionRecommender(index, content_measure="bogus")
+
+    def test_invalid_omega(self, index):
+        with pytest.raises(ValueError, match="omega"):
+            FusionRecommender(index, omega=2.0)
+
+
+class TestRecommend:
+    def test_returns_requested_count(self, workload, index):
+        recommender = csf_sar_h_recommender(index)
+        results = recommender.recommend(workload.sources[0], top_k=7)
+        assert len(results) == 7
+
+    def test_never_recommends_the_query(self, workload, index):
+        recommender = csf_recommender(index)
+        for source in workload.sources[:3]:
+            assert source not in recommender.recommend(source, top_k=10)
+
+    def test_results_sorted_by_score(self, workload, index):
+        recommender = csf_sar_h_recommender(index)
+        query = workload.sources[0]
+        results = recommender.recommend(query, top_k=10)
+        scores = [recommender.score(query, candidate) for candidate in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_unknown_query_rejected(self, index):
+        with pytest.raises(KeyError, match="unknown video"):
+            csf_recommender(index).recommend("ghost")
+
+    def test_invalid_top_k(self, workload, index):
+        with pytest.raises(ValueError, match="top_k"):
+            csf_recommender(index).recommend(workload.sources[0], top_k=0)
+
+    def test_exact_and_naive_social_agree_on_ranking(self, workload, index):
+        exact = FusionRecommender(index, omega=1.0, social_mode="exact")
+        naive = FusionRecommender(index, omega=1.0, social_mode="naive")
+        query = workload.sources[0]
+        assert exact.recommend(query, 10) == naive.recommend(query, 10)
+
+    def test_sar_and_sar_h_agree_on_ranking(self, workload, index):
+        sar = csf_sar_recommender(index)
+        sar_h = csf_sar_h_recommender(index)
+        query = workload.sources[1]
+        assert sar.recommend(query, 10) == sar_h.recommend(query, 10)
+
+    def test_content_only_finds_near_duplicates_first(self, workload, index):
+        dataset = workload.dataset
+        recommender = content_recommender(index)
+        hits = 0
+        opportunities = 0
+        for source in workload.sources:
+            near_dups = {
+                v for v in dataset.records
+                if v != source and dataset.relevance_grade(source, v) == 2
+            }
+            if not near_dups:
+                continue
+            opportunities += 1
+            top = set(recommender.recommend(source, top_k=10))
+            if near_dups & top:
+                hits += 1
+        if opportunities:
+            assert hits / opportunities >= 0.5
+
+
+class TestComponentScores:
+    def test_components_cover_all_candidates(self, workload, index):
+        recommender = csf_recommender(index)
+        components = recommender.component_scores(workload.sources[0])
+        assert len(components) == len(index.video_ids) - 1
+        for content, social in components.values():
+            assert 0.0 <= content <= 1.0
+            assert 0.0 <= social <= 1.0
+
+    def test_rank_components_extremes(self, workload, index):
+        recommender = FusionRecommender(index, omega=0.5, social_mode="exact")
+        query = workload.sources[0]
+        components = recommender.component_scores(query)
+        content_rank = rank_components(components, omega=0.0, top_k=5)
+        social_rank = rank_components(components, omega=1.0, top_k=5)
+        expected_content = sorted(
+            components, key=lambda v: (-components[v][0], v)
+        )[:5]
+        expected_social = sorted(
+            components, key=lambda v: (-components[v][1], v)
+        )[:5]
+        assert content_rank == expected_content
+        assert social_rank == expected_social

@@ -1,0 +1,156 @@
+"""Tests for SAR: dictionaries, vectorization and the s̃J approximation."""
+
+import bisect
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.social.descriptor import SocialDescriptor, jaccard
+from repro.social.sar import (
+    SarVectorizer,
+    SortedUserDictionary,
+    approx_jaccard,
+    hash_dictionary_from_partition,
+)
+from repro.social.subcommunity import Partition
+
+
+@pytest.fixture()
+def partition():
+    return Partition([
+        {"a1", "a2", "a3"},
+        {"b1", "b2"},
+        {"c1"},
+    ])
+
+
+class TestSortedUserDictionary:
+    def test_lookup(self, partition):
+        dictionary = SortedUserDictionary(partition.membership)
+        for user, cno in partition.membership.items():
+            assert dictionary.lookup(user) == cno
+
+    def test_missing_user(self, partition):
+        dictionary = SortedUserDictionary(partition.membership)
+        assert dictionary.lookup("zzz") is None
+        assert dictionary.lookup("") is None
+
+    def test_len(self, partition):
+        assert len(SortedUserDictionary(partition.membership)) == 6
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.dictionaries(
+            st.text(alphabet="abcxyz", min_size=1, max_size=5),
+            st.integers(min_value=0, max_value=9),
+            max_size=20,
+        ),
+        st.text(alphabet="abcxyz", min_size=1, max_size=5),
+    )
+    def test_manual_binary_search_matches_bisect(self, membership, probe):
+        """The hand-rolled search must agree with bisect semantics."""
+        dictionary = SortedUserDictionary(membership)
+        expected = membership.get(probe)
+        assert dictionary.lookup(probe) == expected
+        names = sorted(membership)
+        index = bisect.bisect_left(names, probe)
+        found = index < len(names) and names[index] == probe
+        assert (dictionary.lookup(probe) is not None) == found
+
+
+class TestHashDictionary:
+    def test_agrees_with_sorted_dictionary(self, partition):
+        sorted_dict = SortedUserDictionary(partition.membership)
+        hashed = hash_dictionary_from_partition(partition)
+        for user in partition.membership:
+            assert hashed.lookup(user) == sorted_dict.lookup(user)
+
+    def test_bucket_count_scales_with_users(self, partition):
+        hashed = hash_dictionary_from_partition(partition)
+        assert hashed.num_buckets >= len(partition.membership)
+
+
+class TestVectorizer:
+    def test_counts_users_per_community(self, partition):
+        vectorizer = SarVectorizer(SortedUserDictionary(partition.membership), partition.k)
+        descriptor = SocialDescriptor.from_users("v", ["a1", "a2", "b1", "c1"])
+        vector = vectorizer.vectorize(descriptor)
+        assert vector.tolist() == [2.0, 1.0, 1.0]
+
+    def test_unknown_users_skipped(self, partition):
+        vectorizer = SarVectorizer(SortedUserDictionary(partition.membership), partition.k)
+        vector = vectorizer.vectorize(SocialDescriptor.from_users("v", ["nobody"]))
+        assert vector.sum() == 0.0
+
+    def test_backends_vectorize_identically(self, partition):
+        sorted_vec = SarVectorizer(SortedUserDictionary(partition.membership), partition.k)
+        hashed_vec = SarVectorizer(hash_dictionary_from_partition(partition), partition.k)
+        descriptor = SocialDescriptor.from_users("v", ["a1", "b2", "c1", "ghost"])
+        assert np.array_equal(sorted_vec.vectorize(descriptor), hashed_vec.vectorize(descriptor))
+
+    def test_invalid_k(self, partition):
+        with pytest.raises(ValueError, match="k must be"):
+            SarVectorizer(SortedUserDictionary(partition.membership), 0)
+
+
+class TestApproxJaccard:
+    def test_identical_histograms(self):
+        assert approx_jaccard(np.array([1.0, 2.0]), np.array([1.0, 2.0])) == 1.0
+
+    def test_disjoint_histograms(self):
+        assert approx_jaccard(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == 0.0
+
+    def test_known_value(self):
+        assert approx_jaccard(np.array([2.0, 1.0]), np.array([1.0, 3.0])) == pytest.approx(2.0 / 5.0)
+
+    def test_both_empty(self):
+        assert approx_jaccard(np.zeros(3), np.zeros(3)) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shapes differ"):
+            approx_jaccard(np.zeros(2), np.zeros(3))
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            approx_jaccard(np.array([-1.0]), np.array([1.0]))
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.sets(st.sampled_from([f"u{i}" for i in range(18)]), max_size=12),
+        st.sets(st.sampled_from([f"u{i}" for i in range(18)]), max_size=12),
+        st.integers(min_value=1, max_value=6),
+    )
+    def test_sar_upper_bounds_exact_jaccard(self, users_a, users_b, k):
+        """Theorem: s̃J >= sJ for any partition of the user space.
+
+        Histogram intersection over-counts set intersection and histogram
+        union under-counts set union, so the approximation can only err
+        upward — the paper's information-loss direction.
+        """
+        universe = sorted(users_a | users_b | {"pad"})
+        communities: list[set[str]] = [set() for _ in range(k)]
+        for i, user in enumerate(universe):
+            communities[i % k].add(user)
+        partition = Partition([c for c in communities if c])
+        vectorizer = SarVectorizer(
+            SortedUserDictionary(partition.membership), partition.k
+        )
+        da = SocialDescriptor.from_users("a", users_a)
+        db = SocialDescriptor.from_users("b", users_b)
+        approx = approx_jaccard(vectorizer.vectorize(da), vectorizer.vectorize(db))
+        exact = jaccard(da, db)
+        assert approx >= exact - 1e-12
+        assert 0.0 <= approx <= 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.sets(st.sampled_from([f"u{i}" for i in range(12)]), min_size=1, max_size=10))
+    def test_singleton_communities_recover_exact_jaccard(self, users):
+        """With one user per community, s̃J degenerates to exact sJ."""
+        universe = [f"u{i}" for i in range(12)]
+        partition = Partition([{user} for user in universe])
+        vectorizer = SarVectorizer(SortedUserDictionary(partition.membership), partition.k)
+        da = SocialDescriptor.from_users("a", users)
+        db = SocialDescriptor.from_users("b", set(universe) - users)
+        approx = approx_jaccard(vectorizer.vectorize(da), vectorizer.vectorize(db))
+        assert approx == pytest.approx(jaccard(da, db))

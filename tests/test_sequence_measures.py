@@ -1,0 +1,78 @@
+"""Tests for the ERP and DTW sequence measures (Fig. 7 baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.measures.sequence import dtw_distance, dtw_similarity, erp_distance, erp_similarity
+from repro.signatures.cuboid import CuboidSignature
+from repro.signatures.series import SignatureSeries
+
+
+def sig(value):
+    return CuboidSignature(values=np.array([float(value)]), weights=np.array([1.0]))
+
+
+def series(*values):
+    return SignatureSeries("s", tuple(sig(v) for v in values))
+
+
+class TestErp:
+    def test_identical_series_distance_zero(self):
+        s = series(1.0, -2.0, 3.0)
+        assert erp_distance(s, s) == pytest.approx(0.0)
+
+    def test_gap_penalty_is_distance_to_zero(self):
+        long = series(5.0, 7.0)
+        short = series(5.0)
+        # Aligning 7 against a gap costs |7 - 0| = 7.
+        assert erp_distance(long, short) == pytest.approx(7.0)
+
+    def test_symmetry(self):
+        s1 = series(1.0, 2.0, 3.0)
+        s2 = series(2.0, 4.0)
+        assert erp_distance(s1, s2) == pytest.approx(erp_distance(s2, s1))
+
+    def test_triangle_inequality_examples(self):
+        s1, s2, s3 = series(0.0, 1.0), series(2.0), series(5.0, 5.0)
+        assert erp_distance(s1, s3) <= erp_distance(s1, s2) + erp_distance(s2, s3) + 1e-9
+
+    def test_similarity_in_unit_interval(self):
+        assert 0.0 < erp_similarity(series(0.0), series(50.0)) <= 1.0
+
+    def test_sensitive_to_reordering(self):
+        """The property that loses Fig. 7 for ERP: reordering hurts it."""
+        original = series(0.0, 10.0, 20.0, 30.0)
+        reordered = series(20.0, 30.0, 0.0, 10.0)
+        assert erp_distance(original, reordered) > 0.0
+
+
+class TestDtw:
+    def test_identical_series_distance_zero(self):
+        s = series(1.0, 5.0)
+        assert dtw_distance(s, s) == pytest.approx(0.0)
+
+    def test_warping_absorbs_repeats(self):
+        s1 = series(3.0, 7.0)
+        s2 = series(3.0, 3.0, 3.0, 7.0)  # stuttered start
+        assert dtw_distance(s1, s2, normalize=False) == pytest.approx(0.0)
+
+    def test_normalisation_divides_by_total_length(self):
+        s1 = series(0.0)
+        s2 = series(4.0)
+        assert dtw_distance(s1, s2, normalize=False) == pytest.approx(4.0)
+        assert dtw_distance(s1, s2, normalize=True) == pytest.approx(2.0)
+
+    def test_symmetry(self):
+        s1 = series(1.0, 2.0)
+        s2 = series(0.0, 5.0, 6.0)
+        assert dtw_distance(s1, s2) == pytest.approx(dtw_distance(s2, s1))
+
+    def test_similarity_monotone_in_distance(self):
+        near = dtw_similarity(series(0.0), series(1.0))
+        far = dtw_similarity(series(0.0), series(30.0))
+        assert near > far
+
+    def test_sensitive_to_reordering(self):
+        original = series(0.0, 10.0, 20.0, 30.0)
+        reordered = series(30.0, 20.0, 10.0, 0.0)
+        assert dtw_distance(original, reordered) > 0.0

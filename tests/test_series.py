@@ -1,0 +1,54 @@
+"""Tests for signature-series extraction."""
+
+import numpy as np
+import pytest
+
+from repro.signatures.cuboid import CuboidSignature
+from repro.signatures.series import SignatureSeries, extract_signature_series
+from repro.video import synthesize_clip
+from repro.video.clip import VideoClip
+
+
+def make_signature(value=0.0):
+    return CuboidSignature(values=np.array([value]), weights=np.array([1.0]))
+
+
+class TestSignatureSeries:
+    def test_iteration_and_indexing(self):
+        series = SignatureSeries("v", (make_signature(1.0), make_signature(2.0)))
+        assert len(series) == 2
+        assert series[1].values[0] == 2.0
+        assert [s.values[0] for s in series] == [1.0, 2.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            SignatureSeries("v", ())
+
+
+class TestExtraction:
+    def test_series_has_one_signature_per_qgram(self, rng):
+        clip = synthesize_clip("v", 0, rng, num_shots=3, frames_per_shot=(8, 12))
+        series = extract_signature_series(clip, keyframes_per_segment=3, q=2)
+        # Each detected segment contributes keyframes - q + 1 = 2 q-grams.
+        assert len(series) % 2 == 0
+        assert len(series) >= 2
+
+    def test_extraction_is_deterministic(self, rng):
+        clip = synthesize_clip("v", 1, np.random.default_rng(4))
+        a = extract_signature_series(clip)
+        b = extract_signature_series(clip)
+        for sig_a, sig_b in zip(a, b):
+            assert np.array_equal(sig_a.values, sig_b.values)
+            assert np.array_equal(sig_a.weights, sig_b.weights)
+
+    def test_single_shot_clip_yields_series(self):
+        frames = np.stack([np.full((16, 16), 100.0 + i, dtype=np.float32) for i in range(10)])
+        clip = VideoClip("flat", frames)
+        series = extract_signature_series(clip)
+        assert len(series) >= 1
+        assert series.video_id == "flat"
+
+    def test_grid_controls_max_cuboids(self, rng):
+        clip = synthesize_clip("v", 2, rng)
+        series = extract_signature_series(clip, grid=4, merge_threshold=0.001)
+        assert all(signature.size <= 16 for signature in series)

@@ -1,0 +1,101 @@
+"""Unit tests for shot-boundary detection and segmentation."""
+
+import numpy as np
+import pytest
+
+from repro.video.clip import VideoClip
+from repro.video.shots import Segment, detect_cuts, difference_profile, segment_clip
+from repro.video.synthesis import synthesize_clip
+
+
+def constant_clip(levels, frames_per_level=6, size=8):
+    """A clip of constant-intensity blocks: cuts exactly between levels."""
+    frames = np.concatenate(
+        [np.full((frames_per_level, size, size), level, dtype=np.float32) for level in levels]
+    )
+    return VideoClip(video_id="c", frames=frames)
+
+
+class TestSegment:
+    def test_length(self):
+        assert Segment(2, 7).length == 5
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError, match="segment bounds"):
+            Segment(5, 5)
+        with pytest.raises(ValueError, match="segment bounds"):
+            Segment(-1, 3)
+
+    def test_frames_of(self):
+        clip = constant_clip([10.0], frames_per_level=5)
+        assert Segment(1, 4).frames_of(clip).shape == (3, 8, 8)
+
+
+class TestDifferenceProfile:
+    def test_length_is_frames_minus_one(self):
+        clip = constant_clip([10.0, 200.0])
+        assert difference_profile(clip).size == clip.num_frames - 1
+
+    def test_single_frame_clip_has_empty_profile(self):
+        clip = VideoClip("c", np.zeros((1, 4, 4), dtype=np.float32))
+        assert difference_profile(clip).size == 0
+
+
+class TestDetectCuts:
+    def test_detects_hard_cut(self):
+        clip = constant_clip([10.0, 200.0], frames_per_level=6)
+        assert detect_cuts(clip) == [6]
+
+    def test_static_clip_has_no_cuts(self):
+        clip = constant_clip([100.0], frames_per_level=12)
+        assert detect_cuts(clip) == []
+
+    def test_multiple_cuts(self):
+        clip = constant_clip([10.0, 200.0, 60.0], frames_per_level=5)
+        assert detect_cuts(clip) == [5, 10]
+
+    def test_min_abs_difference_suppresses_small_jumps(self):
+        clip = constant_clip([100.0, 103.0], frames_per_level=6)
+        assert detect_cuts(clip, min_abs_difference=8.0) == []
+
+    def test_single_frame_clip(self):
+        clip = VideoClip("c", np.zeros((1, 4, 4), dtype=np.float32))
+        assert detect_cuts(clip) == []
+
+
+class TestSegmentClip:
+    def test_segments_cover_whole_clip(self, rng):
+        clip = synthesize_clip("v", 0, rng, num_shots=3)
+        segments = segment_clip(clip)
+        assert segments[0].start == 0
+        assert segments[-1].end == clip.num_frames
+        for before, after in zip(segments[:-1], segments[1:]):
+            assert before.end == after.start
+
+    def test_segments_are_nonoverlapping_and_nonempty(self, rng):
+        clip = synthesize_clip("v", 1, rng, num_shots=4)
+        for segment in segment_clip(clip):
+            assert segment.length >= 1
+
+    def test_recovers_synthetic_shot_count_approximately(self, rng):
+        clip = synthesize_clip("v", 0, rng, num_shots=4, frames_per_shot=(8, 12))
+        segments = segment_clip(clip)
+        assert 2 <= len(segments) <= 6
+
+    def test_static_clip_yields_single_segment(self):
+        clip = constant_clip([120.0], frames_per_level=10)
+        segments = segment_clip(clip)
+        assert len(segments) == 1
+        assert (segments[0].start, segments[0].end) == (0, 10)
+
+    def test_short_segments_are_merged(self):
+        # Level pattern producing a 1-frame middle segment.
+        frames = np.concatenate([
+            np.full((6, 8, 8), 10.0, dtype=np.float32),
+            np.full((1, 8, 8), 200.0, dtype=np.float32),
+            np.full((6, 8, 8), 90.0, dtype=np.float32),
+        ])
+        clip = VideoClip("c", frames)
+        segments = segment_clip(clip, min_segment_length=2)
+        assert all(s.length >= 2 for s in segments)
+        assert segments[-1].end == clip.num_frames

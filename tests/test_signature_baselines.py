@@ -1,0 +1,91 @@
+"""Tests for the literature baseline signatures (ordinal, color shift, centroid)."""
+
+import numpy as np
+import pytest
+
+from repro.signatures.baselines import (
+    centroid_distance,
+    centroid_signature,
+    color_shift_distance,
+    color_shift_signature,
+    ordinal_distance,
+    ordinal_signature,
+)
+from repro.video import synthesize_clip
+from repro.video.transforms import adjust_brightness
+
+
+class TestOrdinal:
+    def test_is_a_permutation(self):
+        frame = np.random.default_rng(0).uniform(0, 255, (16, 16))
+        ranks = ordinal_signature(frame, grid=4)
+        assert sorted(ranks) == list(range(16))
+
+    def test_invariant_to_global_brightness(self):
+        frame = np.random.default_rng(1).uniform(0, 200, (16, 16))
+        assert np.array_equal(
+            ordinal_signature(frame, 4), ordinal_signature(frame + 30.0, 4)
+        )
+
+    def test_distance_zero_for_identical(self):
+        frame = np.random.default_rng(2).uniform(0, 255, (16, 16))
+        ranks = ordinal_signature(frame, 4)
+        assert ordinal_distance(ranks, ranks) == 0.0
+
+    def test_distance_in_unit_interval(self):
+        a = ordinal_signature(np.random.default_rng(3).uniform(0, 255, (16, 16)), 4)
+        b = ordinal_signature(np.random.default_rng(4).uniform(0, 255, (16, 16)), 4)
+        assert 0.0 <= ordinal_distance(a, b) <= 1.0
+
+    def test_reversed_ranks_hit_max_distance(self):
+        ranks = np.arange(16)
+        assert ordinal_distance(ranks, ranks[::-1]) == pytest.approx(1.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="share a shape"):
+            ordinal_distance(np.arange(4), np.arange(9))
+
+
+class TestColorShift:
+    def test_length(self, rng):
+        clip = synthesize_clip("v", 0, rng)
+        assert color_shift_signature(clip, samples=10).size == 9
+
+    def test_brightness_invariance(self, rng):
+        clip = synthesize_clip("v", 0, rng)
+        bright = adjust_brightness(clip, np.random.default_rng(7))
+        a = color_shift_signature(clip, samples=8)
+        b = color_shift_signature(bright, samples=8)
+        # Differences of means cancel the constant offset exactly.
+        assert color_shift_distance(a, b) == pytest.approx(0.0, abs=1e-3)
+
+    def test_too_few_samples_rejected(self, rng):
+        clip = synthesize_clip("v", 0, rng)
+        with pytest.raises(ValueError, match="two samples"):
+            color_shift_signature(clip, samples=1)
+
+    def test_distance_of_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            color_shift_distance(np.array([]), np.array([]))
+
+
+class TestCentroid:
+    def test_shape(self, rng):
+        clip = synthesize_clip("v", 0, rng)
+        track = centroid_signature(clip, grid=4, samples=6)
+        assert track.shape == (6, 4)
+
+    def test_coordinates_within_grid(self, rng):
+        clip = synthesize_clip("v", 1, rng)
+        track = centroid_signature(clip, grid=4, samples=6)
+        assert track.min() >= 0
+        assert track.max() <= 3
+
+    def test_self_distance_zero(self, rng):
+        clip = synthesize_clip("v", 2, rng)
+        track = centroid_signature(clip)
+        assert centroid_distance(track, track) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            centroid_distance(np.empty((0, 4)), np.empty((0, 4)))

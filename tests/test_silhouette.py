@@ -1,0 +1,104 @@
+"""Tests for the Silhouette Coefficient over UIG partitions."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.social.silhouette import (
+    partition_silhouette,
+    silhouette_coefficient,
+    uig_distance_matrix,
+)
+from repro.social.subcommunity import Partition
+
+
+class TestDistanceMatrix:
+    def test_diagonal_zero_and_nonadjacent_one(self):
+        graph = nx.Graph()
+        graph.add_edge("a", "b", weight=2)
+        graph.add_node("c")
+        matrix, nodes = uig_distance_matrix(graph)
+        index = {node: i for i, node in enumerate(nodes)}
+        assert matrix[index["a"], index["a"]] == 0.0
+        assert matrix[index["a"], index["c"]] == 1.0
+
+    def test_heavier_edges_are_closer(self):
+        graph = nx.Graph()
+        graph.add_edge("a", "b", weight=4)
+        graph.add_edge("b", "c", weight=1)
+        matrix, nodes = uig_distance_matrix(graph)
+        index = {node: i for i, node in enumerate(nodes)}
+        assert matrix[index["a"], index["b"]] < matrix[index["b"], index["c"]]
+
+    def test_max_weight_edge_has_zero_distance(self):
+        graph = nx.Graph()
+        graph.add_edge("a", "b", weight=3)
+        matrix, nodes = uig_distance_matrix(graph)
+        assert matrix[0, 1] == pytest.approx(0.0)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            uig_distance_matrix(nx.Graph())
+
+
+class TestSilhouetteCoefficient:
+    def test_perfect_separation_scores_high(self):
+        distances = np.ones((4, 4))
+        np.fill_diagonal(distances, 0.0)
+        distances[0, 1] = distances[1, 0] = 0.05
+        distances[2, 3] = distances[3, 2] = 0.05
+        labels = np.array([0, 0, 1, 1])
+        assert silhouette_coefficient(labels, distances) > 0.9
+
+    def test_bad_clustering_scores_lower_than_good(self):
+        distances = np.ones((4, 4))
+        np.fill_diagonal(distances, 0.0)
+        distances[0, 1] = distances[1, 0] = 0.05
+        distances[2, 3] = distances[3, 2] = 0.05
+        good = silhouette_coefficient(np.array([0, 0, 1, 1]), distances)
+        bad = silhouette_coefficient(np.array([0, 1, 0, 1]), distances)
+        assert good > bad
+
+    def test_singletons_contribute_zero(self):
+        distances = np.ones((3, 3))
+        np.fill_diagonal(distances, 0.0)
+        labels = np.array([0, 1, 2])
+        assert silhouette_coefficient(labels, distances) == 0.0
+
+    def test_single_cluster_rejected(self):
+        with pytest.raises(ValueError, match="two clusters"):
+            silhouette_coefficient(np.zeros(3, dtype=int), np.zeros((3, 3)))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="does not match"):
+            silhouette_coefficient(np.array([0, 1]), np.zeros((3, 3)))
+
+    def test_bounded_in_minus_one_one(self, rng):
+        n = 10
+        raw = rng.uniform(0.1, 1.0, size=(n, n))
+        distances = (raw + raw.T) / 2
+        np.fill_diagonal(distances, 0.0)
+        labels = rng.integers(0, 3, size=n)
+        if len(set(labels.tolist())) >= 2:
+            value = silhouette_coefficient(labels, distances)
+            assert -1.0 <= value <= 1.0
+
+
+class TestPartitionSilhouette:
+    def test_natural_partition_beats_random(self):
+        graph = nx.Graph()
+        for base in ("a", "b"):
+            members = [f"{base}{i}" for i in range(4)]
+            for i, u in enumerate(members):
+                for v in members[i + 1:]:
+                    graph.add_edge(u, v, weight=5)
+        graph.add_edge("a0", "b0", weight=1)
+        natural = Partition([
+            {f"a{i}" for i in range(4)},
+            {f"b{i}" for i in range(4)},
+        ])
+        mixed = Partition([
+            {"a0", "a1", "b0", "b1"},
+            {"a2", "a3", "b2", "b3"},
+        ])
+        assert partition_silhouette(graph, natural) > partition_silhouette(graph, mixed)

@@ -1,0 +1,72 @@
+"""Tests for the spectral-clustering baseline and k-means."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.social.spectral import kmeans, spectral_partition
+
+
+class TestKmeans:
+    def test_separates_obvious_clusters(self, rng):
+        points = np.concatenate([
+            rng.normal(0.0, 0.1, size=(20, 2)),
+            rng.normal(5.0, 0.1, size=(20, 2)),
+        ])
+        labels = kmeans(points, 2, rng)
+        assert len(set(labels[:20])) == 1
+        assert len(set(labels[20:])) == 1
+        assert labels[0] != labels[-1]
+
+    def test_k_one_gives_single_cluster(self, rng):
+        points = rng.normal(size=(10, 3))
+        assert set(kmeans(points, 1, rng)) == {0}
+
+    def test_k_equal_n(self, rng):
+        points = rng.normal(size=(5, 2)) * 10
+        labels = kmeans(points, 5, rng)
+        assert len(set(labels)) == 5
+
+    def test_invalid_k(self, rng):
+        with pytest.raises(ValueError, match="k must be"):
+            kmeans(np.zeros((3, 2)), 4, rng)
+
+
+def two_cliques(weight_internal=5, weight_bridge=1):
+    graph = nx.Graph()
+    for group, members in enumerate((["a", "b", "c", "d"], ["x", "y", "z", "w"])):
+        for i, u in enumerate(members):
+            for v in members[i + 1:]:
+                graph.add_edge(u, v, weight=weight_internal)
+    graph.add_edge("d", "x", weight=weight_bridge)
+    return graph
+
+
+class TestSpectralPartition:
+    def test_recovers_two_cliques(self):
+        partition = spectral_partition(two_cliques(), 2, seed=1)
+        assert partition.k == 2
+        assert partition.community_of("a") == partition.community_of("d")
+        assert partition.community_of("x") == partition.community_of("z")
+        assert partition.community_of("a") != partition.community_of("x")
+
+    def test_k_clamped_to_node_count(self):
+        graph = nx.Graph()
+        graph.add_edge("a", "b", weight=1)
+        partition = spectral_partition(graph, 10, seed=0)
+        assert partition.k <= 2
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            spectral_partition(nx.Graph(), 2)
+
+    def test_deterministic_for_fixed_seed(self):
+        first = spectral_partition(two_cliques(), 2, seed=3)
+        second = spectral_partition(two_cliques(), 2, seed=3)
+        assert first.membership == second.membership
+
+    def test_handles_isolated_nodes(self):
+        graph = two_cliques()
+        graph.add_node("loner")
+        partition = spectral_partition(graph, 3, seed=0)
+        assert "loner" in partition.membership

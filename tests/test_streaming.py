@@ -1,0 +1,114 @@
+"""Tests for the streaming near-duplicate monitor."""
+
+import numpy as np
+import pytest
+
+from repro.signatures import extract_signature_series
+from repro.streaming import DuplicateAlert, ReferenceCatalogue, StreamMonitor
+from repro.video import derive_variant, synthesize_clip
+
+
+@pytest.fixture(scope="module")
+def reference_clip():
+    return synthesize_clip(
+        "reference", topic=1, rng=np.random.default_rng(100),
+        num_shots=4, frames_per_shot=(10, 14),
+    )
+
+
+@pytest.fixture(scope="module")
+def catalogue(reference_clip):
+    catalogue = ReferenceCatalogue()
+    catalogue.add(extract_signature_series(reference_clip))
+    other = synthesize_clip(
+        "other", topic=2, rng=np.random.default_rng(200),
+        num_shots=4, frames_per_shot=(10, 14),
+    )
+    catalogue.add(extract_signature_series(other))
+    return catalogue
+
+
+def stream_clip(monitor, clip):
+    alerts = []
+    for frame in clip.frames:
+        alerts.extend(monitor.push(frame))
+    alerts.extend(monitor.finish())
+    return alerts
+
+
+class TestReferenceCatalogue:
+    def test_membership_and_sizes(self, catalogue, reference_clip):
+        assert "reference" in catalogue
+        assert len(catalogue) == 2
+        assert catalogue.size_of("reference") >= 1
+
+    def test_duplicate_reference_rejected(self, catalogue, reference_clip):
+        with pytest.raises(ValueError, match="already indexed"):
+            catalogue.add(extract_signature_series(reference_clip))
+
+
+class TestStreamMonitor:
+    def test_detects_replayed_reference(self, catalogue, reference_clip):
+        monitor = StreamMonitor(catalogue)
+        alerts = stream_clip(monitor, reference_clip)
+        assert any(alert.reference_id == "reference" for alert in alerts)
+
+    def test_detects_photometric_variant(self, catalogue, reference_clip):
+        from repro.video.transforms import adjust_brightness
+
+        variant = derive_variant(
+            reference_clip, "variant", np.random.default_rng(7),
+            chain=[adjust_brightness],
+        )
+        monitor = StreamMonitor(catalogue)
+        alerts = stream_clip(monitor, variant)
+        assert any(alert.reference_id == "reference" for alert in alerts)
+
+    def test_unrelated_stream_stays_quiet(self, catalogue):
+        unrelated = synthesize_clip(
+            "unrelated", topic=5, rng=np.random.default_rng(300),
+            num_shots=4, frames_per_shot=(10, 14),
+        )
+        monitor = StreamMonitor(catalogue)
+        alerts = stream_clip(monitor, unrelated)
+        assert alerts == []
+
+    def test_alerts_fire_once_per_reference(self, catalogue, reference_clip):
+        monitor = StreamMonitor(catalogue)
+        alerts = stream_clip(monitor, reference_clip)
+        alerts += stream_clip(monitor, reference_clip)  # replay again
+        fired = [a.reference_id for a in alerts if a.reference_id == "reference"]
+        assert len(fired) == 1
+
+    def test_frames_seen_counts_pushes(self, catalogue, reference_clip):
+        monitor = StreamMonitor(catalogue)
+        stream_clip(monitor, reference_clip)
+        assert monitor.frames_seen == reference_clip.num_frames
+
+    def test_evidence_accumulates(self, catalogue, reference_clip):
+        monitor = StreamMonitor(catalogue, alert_evidence=99.0)
+        stream_clip(monitor, reference_clip)
+        evidence = monitor.evidence()
+        assert evidence.get("reference", 0.0) > evidence.get("other", 0.0)
+
+    def test_short_stream_no_crash(self, catalogue):
+        monitor = StreamMonitor(catalogue)
+        assert monitor.push(np.zeros((32, 32), dtype=np.float32)) == []
+        assert monitor.finish() == []
+
+    def test_parameter_validation(self, catalogue):
+        with pytest.raises(ValueError, match="max_segment_frames"):
+            StreamMonitor(catalogue, max_segment_frames=1)
+        with pytest.raises(ValueError, match="min_similarity"):
+            StreamMonitor(catalogue, min_similarity=0.0)
+        with pytest.raises(ValueError, match="alert_evidence"):
+            StreamMonitor(catalogue, alert_evidence=0.0)
+
+    def test_alert_payload(self, catalogue, reference_clip):
+        monitor = StreamMonitor(catalogue)
+        alerts = stream_clip(monitor, reference_clip)
+        alert = next(a for a in alerts if a.reference_id == "reference")
+        assert isinstance(alert, DuplicateAlert)
+        assert alert.matched_segments >= 1
+        assert alert.score >= 2.0
+        assert 0 < alert.frame_position <= reference_clip.num_frames

@@ -1,0 +1,127 @@
+"""Tests for sub-community extraction (literal and fast paths)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.social.subcommunity import (
+    Partition,
+    extract_subcommunities,
+    extract_subcommunities_literal,
+    lightest_internal_edge,
+)
+
+
+def weighted_graph(edges):
+    graph = nx.Graph()
+    for source, target, weight in edges:
+        graph.add_edge(source, target, weight=weight)
+    return graph
+
+
+class TestPartition:
+    def test_membership_and_sizes(self):
+        partition = Partition([{"b", "c"}, {"a"}])
+        assert partition.k == 2
+        assert partition.community_of("a") != partition.community_of("b")
+        assert partition.community_of("b") == partition.community_of("c")
+        assert sorted(partition.sizes()) == [1, 2]
+
+    def test_deterministic_ids(self):
+        first = Partition([{"b"}, {"a"}])
+        second = Partition([{"a"}, {"b"}])
+        assert first.membership == second.membership
+
+    def test_unknown_user(self):
+        assert Partition([{"a"}]).community_of("zz") is None
+
+    def test_overlapping_communities_rejected(self):
+        with pytest.raises(ValueError, match="two communities"):
+            Partition([{"a"}, {"a", "b"}])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Partition([])
+
+
+class TestLiteralExtraction:
+    def test_cuts_lightest_bridge(self):
+        # Two triangles joined by a weight-1 bridge.
+        graph = weighted_graph([
+            ("a", "b", 5), ("b", "c", 5), ("a", "c", 5),
+            ("x", "y", 5), ("y", "z", 5), ("x", "z", 5),
+            ("c", "x", 1),
+        ])
+        partition = extract_subcommunities_literal(graph, 2)
+        assert partition.k == 2
+        assert partition.community_of("a") == partition.community_of("c")
+        assert partition.community_of("x") == partition.community_of("z")
+        assert partition.community_of("a") != partition.community_of("x")
+
+    def test_pre_disconnected_components_count(self):
+        graph = weighted_graph([("a", "b", 1), ("c", "d", 1)])
+        partition = extract_subcommunities_literal(graph, 2)
+        assert partition.k == 2
+
+    def test_more_components_than_k_returned_as_is(self):
+        graph = weighted_graph([("a", "b", 1), ("c", "d", 1), ("e", "f", 1)])
+        partition = extract_subcommunities_literal(graph, 2)
+        assert partition.k == 3  # step 1 keeps natural components
+
+    def test_k_larger_than_nodes_saturates(self):
+        graph = weighted_graph([("a", "b", 1)])
+        partition = extract_subcommunities_literal(graph, 10)
+        assert partition.k == 2
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError, match="empty graph"):
+            extract_subcommunities_literal(nx.Graph(), 2)
+
+    def test_invalid_k(self):
+        graph = weighted_graph([("a", "b", 1)])
+        with pytest.raises(ValueError, match="k must be"):
+            extract_subcommunities_literal(graph, 0)
+
+
+class TestFastExtraction:
+    def test_matches_literal_on_example(self):
+        graph = weighted_graph([
+            ("a", "b", 9), ("b", "c", 8), ("c", "d", 2), ("d", "e", 7), ("e", "f", 6),
+        ])
+        for k in (1, 2, 3):
+            literal = extract_subcommunities_literal(graph, k)
+            fast = extract_subcommunities(graph, k)
+            assert literal.membership == fast.membership
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=1, max_value=6))
+    def test_fast_equals_literal_on_random_graphs(self, seed, k):
+        """Single-linkage equivalence holds whenever weights are distinct."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 14))
+        graph = nx.gnp_random_graph(n, 0.4, seed=seed)
+        graph.add_nodes_from(range(n))
+        weights = rng.permutation(graph.number_of_edges() * 2 + 1)
+        for index, (source, target) in enumerate(graph.edges()):
+            graph[source][target]["weight"] = int(weights[index]) + 1
+        relabelled = nx.relabel_nodes(graph, {node: f"u{node}" for node in graph})
+        literal = extract_subcommunities_literal(relabelled, k)
+        fast = extract_subcommunities(relabelled, k)
+        assert literal.membership == fast.membership
+
+
+class TestLightestInternalEdge:
+    def test_finds_minimum(self):
+        graph = weighted_graph([("a", "b", 3), ("b", "c", 1), ("a", "c", 2)])
+        edge = lightest_internal_edge(graph, {"a", "b", "c"})
+        assert edge[2] == 1
+
+    def test_ignores_external_edges(self):
+        graph = weighted_graph([("a", "b", 5), ("b", "x", 1)])
+        edge = lightest_internal_edge(graph, {"a", "b"})
+        assert edge[2] == 5
+
+    def test_none_when_no_internal_edges(self):
+        graph = weighted_graph([("a", "x", 1)])
+        assert lightest_internal_edge(graph, {"a", "b"}) is None

@@ -1,0 +1,103 @@
+"""Unit tests for synthetic video synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.video.synthesis import (
+    SceneSpec,
+    ShotSpec,
+    render_shot,
+    synthesize_clip,
+    topic_scene_spec,
+)
+
+
+class TestTopicSceneSpec:
+    def test_same_topic_specs_cluster(self, rng):
+        spec_a = topic_scene_spec(3, np.random.default_rng(1))
+        spec_b = topic_scene_spec(3, np.random.default_rng(2))
+        # Strongly anchored dynamics stay close within a topic.
+        assert abs(spec_a.motion - spec_b.motion) < 1.5
+        assert abs(spec_a.drift - spec_b.drift) < 1.0
+
+    def test_negative_topic_rejected(self, rng):
+        with pytest.raises(ValueError, match="non-negative"):
+            topic_scene_spec(-1, rng)
+
+    def test_deterministic_given_rng_state(self):
+        a = topic_scene_spec(0, np.random.default_rng(5))
+        b = topic_scene_spec(0, np.random.default_rng(5))
+        assert a == b
+
+
+class TestRenderShot:
+    def test_output_shape_and_range(self, rng):
+        spec = ShotSpec(scene=topic_scene_spec(0, rng), num_frames=6)
+        frames = render_shot(spec, 16, 16, rng)
+        assert frames.shape == (6, 16, 16)
+        assert frames.min() >= 0.0
+        assert frames.max() <= 255.0
+
+    def test_single_frame_shot(self, rng):
+        spec = ShotSpec(scene=topic_scene_spec(1, rng), num_frames=1)
+        assert render_shot(spec, 8, 8, rng).shape == (1, 8, 8)
+
+    def test_zero_frames_rejected(self, rng):
+        spec = ShotSpec(scene=topic_scene_spec(0, rng), num_frames=0)
+        with pytest.raises(ValueError, match="at least one frame"):
+            render_shot(spec, 8, 8, rng)
+
+    def test_motion_changes_frames_over_time(self, rng):
+        scene = SceneSpec(
+            base_intensity=120.0,
+            texture_scale=5.0,
+            n_objects=2,
+            object_intensity=60.0,
+            motion=2.0,
+            drift=0.0,
+        )
+        frames = render_shot(ShotSpec(scene, 10), 24, 24, rng, noise_scale=0.0)
+        assert not np.array_equal(frames[0], frames[-1])
+
+
+class TestSynthesizeClip:
+    def test_clip_metadata(self, rng):
+        clip = synthesize_clip("vid", topic=2, rng=rng, num_shots=2, title="t", tags=("a",))
+        assert clip.video_id == "vid"
+        assert clip.topic == 2
+        assert clip.title == "t"
+        assert clip.lineage is None
+
+    def test_frame_count_within_shot_bounds(self, rng):
+        clip = synthesize_clip("vid", 0, rng, num_shots=3, frames_per_shot=(4, 8))
+        assert 3 * 4 <= clip.num_frames <= 3 * 7
+
+    def test_deterministic_for_same_seed(self):
+        a = synthesize_clip("v", 1, np.random.default_rng(9))
+        b = synthesize_clip("v", 1, np.random.default_rng(9))
+        assert np.array_equal(a.frames, b.frames)
+
+    def test_different_seeds_differ(self):
+        a = synthesize_clip("v", 1, np.random.default_rng(9))
+        b = synthesize_clip("v", 1, np.random.default_rng(10))
+        assert not np.array_equal(a.frames, b.frames)
+
+    def test_shot_boundaries_have_large_differences(self, rng):
+        """Cuts must be visible to the shot detector: the mean difference at
+        a shot boundary should dwarf the within-shot differences."""
+        clip = synthesize_clip("v", 0, rng, num_shots=4, frames_per_shot=(8, 12))
+        diffs = [
+            float(np.mean(np.abs(clip.frames[i].astype(float) - clip.frames[i + 1].astype(float))))
+            for i in range(clip.num_frames - 1)
+        ]
+        top = sorted(diffs, reverse=True)
+        # At least 3 boundary jumps exist and are well above the median.
+        assert top[2] > 3 * float(np.median(diffs))
+
+    def test_invalid_shot_count(self, rng):
+        with pytest.raises(ValueError, match="at least one shot"):
+            synthesize_clip("v", 0, rng, num_shots=0)
+
+    def test_invalid_frame_range(self, rng):
+        with pytest.raises(ValueError, match="frames_per_shot"):
+            synthesize_clip("v", 0, rng, frames_per_shot=(5, 5))

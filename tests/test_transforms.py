@@ -1,0 +1,114 @@
+"""Unit tests for near-duplicate editing transforms."""
+
+import numpy as np
+import pytest
+
+from repro.video import synthesize_clip
+from repro.video.transforms import (
+    DEFAULT_TRANSFORMS,
+    add_noise,
+    adjust_brightness,
+    adjust_contrast,
+    crop_and_rescale,
+    derive_variant,
+    frame_drop,
+    frame_insert,
+    letterbox,
+    random_edit_chain,
+    shuffle_shots_noop_safe,
+    temporal_crop,
+)
+
+
+@pytest.fixture()
+def clip(rng):
+    return synthesize_clip("master", topic=0, rng=rng, num_shots=2, frames_per_shot=(8, 12))
+
+
+class TestIndividualTransforms:
+    def test_brightness_preserves_shape(self, clip, rng):
+        out = adjust_brightness(clip, rng)
+        assert out.frames.shape == clip.frames.shape
+        assert out.lineage == "master"
+
+    def test_brightness_shifts_mean(self, clip):
+        rng = np.random.default_rng(42)
+        out = adjust_brightness(clip, rng)
+        assert abs(float(out.frames.mean()) - float(clip.frames.mean())) > 0.5
+
+    def test_contrast_preserves_shape(self, clip, rng):
+        assert adjust_contrast(clip, rng).frames.shape == clip.frames.shape
+
+    def test_noise_changes_pixels(self, clip, rng):
+        out = add_noise(clip, rng)
+        assert not np.array_equal(out.frames, clip.frames)
+
+    def test_crop_keeps_resolution(self, clip, rng):
+        out = crop_and_rescale(clip, rng)
+        assert out.frames.shape == clip.frames.shape
+
+    def test_letterbox_zeroes_bands(self, clip, rng):
+        out = letterbox(clip, rng)
+        assert np.all(out.frames[:, 0, :] == 0.0)
+        assert np.all(out.frames[:, -1, :] == 0.0)
+
+    def test_temporal_crop_keeps_at_least_half(self, clip, rng):
+        out = temporal_crop(clip, rng)
+        assert out.num_frames >= clip.num_frames // 2
+        assert out.num_frames <= clip.num_frames
+
+    def test_frame_drop_never_empties_clip(self, clip, rng):
+        out = frame_drop(clip, rng)
+        assert out.num_frames >= 2
+
+    def test_frame_insert_grows_clip(self, clip, rng):
+        out = frame_insert(clip, rng)
+        assert out.num_frames > clip.num_frames
+
+    def test_reorder_preserves_frame_multiset(self, clip, rng):
+        out = shuffle_shots_noop_safe(clip, rng)
+        assert out.num_frames == clip.num_frames
+        assert float(out.frames.sum()) == pytest.approx(float(clip.frames.sum()), rel=1e-5)
+
+    def test_transforms_do_not_mutate_input(self, clip, rng):
+        original = clip.frames.copy()
+        for transform in DEFAULT_TRANSFORMS:
+            transform(clip, rng)
+        assert np.array_equal(clip.frames, original)
+
+
+class TestEditChains:
+    def test_chain_length_bounds(self, rng):
+        for _ in range(20):
+            chain = random_edit_chain(rng, min_ops=1, max_ops=3)
+            assert 1 <= len(chain) <= 3
+
+    def test_chain_has_distinct_operations(self, rng):
+        chain = random_edit_chain(rng, min_ops=3, max_ops=3)
+        assert len(set(chain)) == 3
+
+    def test_invalid_bounds(self, rng):
+        with pytest.raises(ValueError, match="op-count"):
+            random_edit_chain(rng, min_ops=0, max_ops=2)
+
+
+class TestDeriveVariant:
+    def test_variant_identity_and_lineage(self, clip, rng):
+        variant = derive_variant(clip, "variant1", rng)
+        assert variant.video_id == "variant1"
+        assert variant.lineage == "master"
+        assert variant.topic == clip.topic
+
+    def test_variant_of_variant_roots_to_original(self, clip, rng):
+        first = derive_variant(clip, "var1", rng)
+        second = derive_variant(first, "var2", rng)
+        assert second.lineage == "master"
+
+    def test_explicit_chain(self, clip, rng):
+        variant = derive_variant(clip, "v", rng, chain=[adjust_brightness])
+        assert variant.frames.shape == clip.frames.shape
+
+    def test_deterministic_given_seed(self, clip):
+        a = derive_variant(clip, "v", np.random.default_rng(7))
+        b = derive_variant(clip, "v", np.random.default_rng(7))
+        assert np.array_equal(a.frames, b.frames)

@@ -1,0 +1,62 @@
+"""Tests for user interest graph construction."""
+
+from repro.social.descriptor import SocialDescriptor
+from repro.social.uig import build_uig, user_video_map
+
+
+def descriptors(*user_lists):
+    return [
+        SocialDescriptor.from_users(f"v{i}", users)
+        for i, users in enumerate(user_lists)
+    ]
+
+
+class TestUserVideoMap:
+    def test_inversion(self):
+        mapping = user_video_map(descriptors(["a", "b"], ["b", "c"]))
+        assert mapping == {"a": {"v0"}, "b": {"v0", "v1"}, "c": {"v1"}}
+
+
+class TestBuildUig:
+    def test_paper_example(self):
+        """The worked example of the paper's Figure 2."""
+        interests = {
+            "u1": ["V1", "V3", "V8"],
+            "u2": ["V3", "V8"],
+            "u3": ["V2", "V4", "V5"],
+            "u4": ["V1", "V4", "V5"],
+            "u5": ["V4", "V5", "V6", "V7"],
+        }
+        by_video: dict[str, list[str]] = {}
+        for user, videos in interests.items():
+            for video in videos:
+                by_video.setdefault(video, []).append(user)
+        graph = build_uig(
+            SocialDescriptor.from_users(video, users) for video, users in by_video.items()
+        )
+        # u1-u2 share V3 and V8 => weight 2.
+        assert graph["u1"]["u2"]["weight"] == 2
+        # u3-u4 share V4, V5 => 2; u4-u5 share V4, V5 => 2; u3-u5 share V4, V5 => 2.
+        assert graph["u3"]["u4"]["weight"] == 2
+        assert graph["u4"]["u5"]["weight"] == 2
+        # u1-u4 share V1 only.
+        assert graph["u1"]["u4"]["weight"] == 1
+        # u2 and u3 share nothing.
+        assert not graph.has_edge("u2", "u3")
+
+    def test_edge_weight_counts_shared_videos(self):
+        graph = build_uig(descriptors(["a", "b"], ["a", "b"], ["a", "b"]))
+        assert graph["a"]["b"]["weight"] == 3
+
+    def test_isolated_users_kept_as_nodes(self):
+        graph = build_uig(descriptors(["solo"], ["a", "b"]))
+        assert "solo" in graph
+        assert graph.degree("solo") == 0
+
+    def test_no_self_loops(self):
+        graph = build_uig(descriptors(["a", "b", "c"]))
+        assert not any(u == v for u, v in graph.edges())
+
+    def test_empty_collection(self):
+        graph = build_uig([])
+        assert graph.number_of_nodes() == 0

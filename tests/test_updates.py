@@ -1,0 +1,146 @@
+"""Tests for the dynamic social index and update maintenance (Fig. 5).
+
+The property test at the bottom is the load-bearing one: after arbitrary
+randomised comment batches, every coupled structure (graph, communities,
+chained hash, SAR vectors, inverted file) must remain mutually consistent.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.social.descriptor import SocialDescriptor
+from repro.social.updates import Connection, DynamicSocialIndex, MaintenanceStats
+
+
+def group_descriptors():
+    """Three tight user groups across nine videos."""
+    groups = {
+        0: ["a1", "a2", "a3"],
+        1: ["b1", "b2", "b3"],
+        2: ["c1", "c2", "c3"],
+    }
+    descriptors = []
+    for video in range(9):
+        users = groups[video % 3]
+        descriptors.append(SocialDescriptor.from_users(f"v{video}", users))
+    return descriptors
+
+
+@pytest.fixture()
+def index():
+    return DynamicSocialIndex.build(group_descriptors(), k=3)
+
+
+def assert_consistent(index: DynamicSocialIndex) -> None:
+    """All coupled structures agree with each other."""
+    # Communities partition exactly the users known to the hash table.
+    seen: set[str] = set()
+    for cno, members in index.communities.items():
+        for user in members:
+            assert user not in seen, f"user {user} in two communities"
+            seen.add(user)
+            assert index.hash_table.lookup(user) == cno
+    assert seen == {key for key, _ in index.hash_table.items()}
+    # Vectors match a fresh vectorization of their descriptors.
+    for video_id, descriptor in index.descriptors.items():
+        expected = index.vectorize_users(descriptor.users)
+        assert np.allclose(index.vectors[video_id], expected), video_id
+        assert video_id in index.inverted
+
+
+class TestBuild:
+    def test_finds_three_groups(self, index):
+        assert index.k == 3
+        assert sorted(len(m) for m in index.communities.values()) == [3, 3, 3]
+        assert index.community_of("a1") == index.community_of("a2")
+        assert index.community_of("a1") != index.community_of("b1")
+
+    def test_initial_consistency(self, index):
+        assert_consistent(index)
+
+    def test_vectors_concentrated(self, index):
+        vector = index.vectors["v0"]
+        assert vector.max() == 3.0
+        assert vector.sum() == 3.0
+
+
+class TestConnections:
+    def test_connection_validation(self, index):
+        with pytest.raises(ValueError, match="self-connections"):
+            index.maintain([Connection("a1", "a1")])
+        with pytest.raises(ValueError, match="delta"):
+            index.maintain([Connection("a1", "b1", delta=0)])
+
+    def test_light_connection_changes_nothing(self, index):
+        before = {c: set(m) for c, m in index.communities.items()}
+        index.maintain([Connection("a1", "b1", delta=1)])
+        assert {c: set(m) for c, m in index.communities.items()} == before
+        assert_consistent(index)
+
+    def test_heavy_connection_triggers_union_and_resplit(self, index):
+        stats = index.maintain([Connection("a1", "b1", delta=50)])
+        assert stats.unions >= 1
+        assert len(index.communities) == 3  # k restored by a split
+        assert index.community_of("a1") == index.community_of("b1")
+        assert_consistent(index)
+
+    def test_new_user_assigned_to_neighbour_community(self, index):
+        stats = index.apply_comments([("newbie", "v0")])
+        assert stats.new_users == 1
+        assert index.community_of("newbie") == index.community_of("a1")
+        assert_consistent(index)
+
+    def test_new_video_gets_descriptor_and_vector(self, index):
+        index.apply_comments([("a1", "v_new"), ("a2", "v_new")])
+        assert "v_new" in index.descriptors
+        assert index.vectors["v_new"].sum() == 2.0
+        assert_consistent(index)
+
+    def test_duplicate_comment_ignored(self, index):
+        before = len(index.descriptors["v0"].users)
+        index.apply_comments([("a1", "v0")])
+        assert len(index.descriptors["v0"].users) == before
+        assert_consistent(index)
+
+
+class TestStats:
+    def test_merge_accumulates(self):
+        first = MaintenanceStats(connections=1, hash_ops=2, seconds=0.5)
+        second = MaintenanceStats(connections=2, unions=1, seconds=0.25)
+        first.merge(second)
+        assert first.connections == 3
+        assert first.unions == 1
+        assert first.seconds == pytest.approx(0.75)
+
+    def test_costs_scale_with_batch(self, index):
+        small = index.maintain([Connection("a1", "b1")])
+        large_batch = [
+            Connection(u, v)
+            for u in ("a1", "a2", "a3")
+            for v in ("b1", "b2", "c1")
+        ]
+        large = index.maintain(large_batch)
+        assert large.connections > small.connections
+        assert large.hash_ops > small.hash_ops
+
+
+class TestRandomisedConsistency:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["a1", "a2", "b1", "b2", "c1", "n1", "n2"]),
+                st.sampled_from([f"v{i}" for i in range(9)] + ["vx", "vy"]),
+            ),
+            max_size=25,
+        )
+    )
+    def test_invariants_hold_after_arbitrary_batches(self, comments):
+        index = DynamicSocialIndex.build(group_descriptors(), k=3)
+        # Feed the batch in two chunks to exercise repeated maintenance.
+        half = len(comments) // 2
+        index.apply_comments(comments[:half])
+        index.apply_comments(comments[half:])
+        assert_consistent(index)
+        assert len(index.communities) <= 3 + 1  # transiently bounded by k

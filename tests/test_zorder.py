@@ -1,0 +1,72 @@
+"""Tests for Z-order (Morton) encoding."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.index.zorder import common_prefix_length, zorder_decode, zorder_encode
+
+
+class TestEncode:
+    def test_known_2d_interleaving(self):
+        # x=0b11, y=0b00 with 2 bits: bits interleave x1 y1 x0 y0 = 1010.
+        assert zorder_encode([0b11, 0b00], 2) == 0b1010
+
+    def test_single_dimension_is_identity(self):
+        assert zorder_encode([13], 4) == 13
+
+    def test_out_of_range_coordinate_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            zorder_encode([4], 2)
+
+    def test_negative_coordinate_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            zorder_encode([-1], 4)
+
+    def test_empty_coordinates_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            zorder_encode([], 4)
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError, match="bits_per_dim"):
+            zorder_encode([0], 0)
+
+
+class TestRoundtrip:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=5).flatmap(
+            lambda ndim: st.tuples(
+                st.lists(st.integers(min_value=0, max_value=255), min_size=ndim, max_size=ndim),
+                st.just(8),
+            )
+        )
+    )
+    def test_decode_inverts_encode(self, case):
+        coordinates, bits = case
+        code = zorder_encode(coordinates, bits)
+        assert zorder_decode(code, len(coordinates), bits) == coordinates
+
+    def test_locality_example(self):
+        """Nearby points share longer prefixes than distant ones."""
+        total_bits = 16
+        origin = zorder_encode([10, 10], 8)
+        near = zorder_encode([10, 11], 8)
+        far = zorder_encode([200, 200], 8)
+        assert common_prefix_length(origin, near, total_bits) > common_prefix_length(
+            origin, far, total_bits
+        )
+
+
+class TestCommonPrefix:
+    def test_identical_codes_share_all_bits(self):
+        assert common_prefix_length(42, 42, 16) == 16
+
+    def test_differing_top_bit_shares_nothing(self):
+        assert common_prefix_length(0b1000, 0b0000, 4) == 0
+
+    def test_partial_prefix(self):
+        assert common_prefix_length(0b1100, 0b1101, 4) == 3
+
+    def test_invalid_total_bits(self):
+        with pytest.raises(ValueError, match="total_bits"):
+            common_prefix_length(0, 0, 0)
