@@ -1,0 +1,165 @@
+"""Exhaustive-scan throughput: scalar vs batch vs batch+workers.
+
+Measures recommendation queries/second of :class:`FusionRecommender` over
+a seeded generator community for the three engine configurations the
+batch scoring work introduced:
+
+* ``scalar`` — the original per-pair Python scan;
+* ``batch`` — array-level kernels (SignatureBank κJ + precomputed SAR
+  matrix, see ``repro.core.recommender``);
+* ``batch+Nw`` — the batch engine with a thread fan-out over candidate
+  blocks for the κJ stage.
+
+Besides the human-readable table, the run writes a machine-readable
+``BENCH_scan_throughput.json`` at the repo root so future PRs can track
+the throughput trajectory.
+
+Runs standalone (``PYTHONPATH=src python benchmarks/bench_scan_throughput.py
+[--smoke]``) or under pytest (``pytest benchmarks/bench_scan_throughput.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+
+from repro.community import build_workload
+from repro.core import CommunityIndex, RecommenderConfig
+from repro.core.recommender import FusionRecommender
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_scan_throughput.json"
+
+#: Default generator community (the acceptance target measures this one).
+DEFAULT_HOURS = 10.0
+DEFAULT_SEED = 5
+DEFAULT_QUERIES = 5
+DEFAULT_WORKERS = 4
+
+
+def run_throughput(
+    hours: float = DEFAULT_HOURS,
+    seed: int = DEFAULT_SEED,
+    queries: int = DEFAULT_QUERIES,
+    top_k: int = 10,
+    num_workers: int = DEFAULT_WORKERS,
+    json_path: pathlib.Path | None = JSON_PATH,
+) -> dict:
+    """Time the three engine configurations and return the result payload."""
+    workload = build_workload(hours=hours, seed=seed)
+    index = CommunityIndex(
+        workload.dataset,
+        RecommenderConfig(),
+        build_lsb=False,
+        build_global_features=False,
+    )
+    sources = workload.sources[: max(1, queries)]
+
+    configurations = {
+        "scalar": {"engine": "scalar"},
+        "batch": {"engine": "batch"},
+        f"batch+{num_workers}w": {"engine": "batch", "num_workers": num_workers},
+    }
+    engines: dict[str, dict] = {}
+    rankings: dict[str, list[str]] = {}
+    for label, kwargs in configurations.items():
+        recommender = FusionRecommender(
+            index, social_mode="sar-h", content_measure="kj", **kwargs
+        )
+        rankings[label] = recommender.recommend(sources[0], top_k)  # warm-up
+        started = time.perf_counter()
+        for source in sources:
+            recommender.recommend(source, top_k)
+        elapsed = time.perf_counter() - started
+        engines[label] = {
+            "seconds_per_query": elapsed / len(sources),
+            "queries_per_second": len(sources) / elapsed,
+        }
+
+    # Batch is only a valid optimisation if it returns the scalar ranking.
+    baseline = rankings["scalar"]
+    parity = all(ranked == baseline for ranked in rankings.values())
+
+    scalar_spq = engines["scalar"]["seconds_per_query"]
+    payload = {
+        "bench": "scan_throughput",
+        "unix_time": time.time(),
+        "community": {
+            "hours": hours,
+            "seed": seed,
+            "videos": len(index.video_ids),
+            "queries_timed": len(sources),
+            "top_k": top_k,
+        },
+        "engines": engines,
+        "speedup_batch_vs_scalar": scalar_spq / engines["batch"]["seconds_per_query"],
+        "speedup_batch_workers_vs_scalar": scalar_spq
+        / engines[f"batch+{num_workers}w"]["seconds_per_query"],
+        "ranking_parity": parity,
+    }
+    if json_path is not None:
+        with open(json_path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    return payload
+
+
+def format_table(payload: dict) -> str:
+    lines = [
+        f"{'engine':>12} {'s/query':>10} {'queries/s':>10}",
+        "-" * 34,
+    ]
+    for label, row in payload["engines"].items():
+        lines.append(
+            f"{label:>12} {row['seconds_per_query']:>10.4f} "
+            f"{row['queries_per_second']:>10.2f}"
+        )
+    lines.append(
+        f"\nbatch speedup: {payload['speedup_batch_vs_scalar']:.1f}x; "
+        f"batch+workers speedup: {payload['speedup_batch_workers_vs_scalar']:.1f}x; "
+        f"ranking parity: {payload['ranking_parity']}"
+    )
+    return "\n".join(lines)
+
+
+def test_scan_throughput(report):
+    payload = run_throughput()
+    report(format_table(payload), engine="scalar|batch")
+    assert payload["ranking_parity"]
+    # The acceptance bar is 5x on the default community; leave headroom
+    # for loaded CI machines without letting a real regression through.
+    assert payload["speedup_batch_vs_scalar"] >= 3.0
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--hours", type=float, default=DEFAULT_HOURS)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--queries", type=int, default=DEFAULT_QUERIES)
+    parser.add_argument("--workers", type=int, default=DEFAULT_WORKERS)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny community, no JSON output — CI sanity run of both engines",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        payload = run_throughput(
+            hours=2.0, queries=2, num_workers=2, json_path=None
+        )
+    else:
+        payload = run_throughput(
+            hours=args.hours,
+            seed=args.seed,
+            queries=args.queries,
+            num_workers=args.workers,
+        )
+    print(format_table(payload))
+    if not payload["ranking_parity"]:
+        raise SystemExit("engine rankings diverged")
+
+
+if __name__ == "__main__":
+    main()

@@ -108,20 +108,36 @@ def dense_efficiency_index(paper_hours: float, k: int = 60) -> CommunityIndex:
 
 @pytest.fixture()
 def report(request):
-    """Print a figure table bypassing pytest capture + persist it to disk."""
+    """Print a figure table bypassing pytest capture + persist it to disk.
+
+    Every persisted result file ends with a provenance footer recording
+    which scoring engine produced the numbers (pass ``engine=`` from the
+    bench; defaults to the config default) and the bench's wall-clock
+    seconds up to the report call — so the Figure-12 result files state
+    unambiguously which path they measured.
+    """
+    import time
+
+    from repro.core import RecommenderConfig
+
     manager = request.config.pluginmanager.getplugin("capturemanager")
     RESULTS_DIR.mkdir(exist_ok=True)
     bench_name = request.node.name
+    started = time.perf_counter()
 
-    def _report(text: str) -> None:
-        banner = f"\n===== {bench_name} =====\n{text}\n"
+    def _report(text: str, engine: str | None = None) -> None:
+        footer = (
+            f"-- engine={engine or RecommenderConfig().engine} "
+            f"wall_clock_s={time.perf_counter() - started:.3f}"
+        )
+        banner = f"\n===== {bench_name} =====\n{text}\n{footer}\n"
         if manager is not None:
             with manager.global_and_fixture_disabled():
                 print(banner)
         else:  # pragma: no cover - capture always available under pytest
             print(banner)
         with open(RESULTS_DIR / f"{bench_name}.txt", "w") as handle:
-            handle.write(text + "\n")
+            handle.write(text + "\n" + footer + "\n")
 
     return _report
 

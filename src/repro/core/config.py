@@ -46,6 +46,14 @@ class RecommenderConfig:
     uig_pair_cap:
         Optional cap on per-video UIG edge generation for very dense
         comment volumes (``None`` = exact, the paper's definition).
+    engine:
+        Default scoring engine of :class:`repro.core.recommender.FusionRecommender`:
+        ``"batch"`` (vectorized array kernels, the production path) or
+        ``"scalar"`` (per-pair Python calls, kept for parity testing and
+        the Figure-12 wall-clock benches).
+    num_workers:
+        Worker threads for the batch engine's chunked κJ fan-out over
+        candidate blocks; 0 or 1 means single-threaded.
     """
 
     omega: float = 0.7
@@ -64,8 +72,16 @@ class RecommenderConfig:
     knn_content_budget: int = 24
     knn_social_budget: int = 64
     uig_pair_cap: int | None = None
+    engine: str = "batch"
+    num_workers: int = 0
 
     def __post_init__(self) -> None:
+        if self.engine not in ("scalar", "batch"):
+            raise ValueError(
+                f"engine must be 'scalar' or 'batch', got {self.engine!r}"
+            )
+        if self.num_workers < 0:
+            raise ValueError(f"num_workers must be >= 0, got {self.num_workers}")
         if not 0.0 <= self.omega <= 1.0:
             raise ValueError(f"omega must be in [0, 1], got {self.omega}")
         if self.k < 1:

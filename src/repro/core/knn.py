@@ -13,6 +13,12 @@ video; ``KTopScoreVideoSearch`` instead drives the two indexes:
    running top-K; stop when both streams are exhausted or the configured
    budgets are spent and the top-K is stable.
 
+Refinement scores candidates in **per-round blocks** through the batch
+kernels (one vectorized EMD call per query signature covers a whole
+block, and one ``minimum``/``maximum`` reduction covers the block's s̃J),
+and memoizes per-candidate component scores so interleaved streams — and
+repeated searches of the same query — never rescore a video.
+
 This trades a bounded amount of recall (it only scores candidates the
 indexes surface) for sub-linear query cost, exactly the deal the paper's
 Section 4.4 describes.
@@ -23,10 +29,11 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.fusion import fuse_fj
 from repro.core.pipeline import CommunityIndex
-from repro.measures.content import kappa_j
-from repro.social.sar import approx_jaccard
+from repro.social.sar import approx_jaccard_batch
 
 __all__ = ["KnnResult", "KTopScoreVideoSearch"]
 
@@ -50,35 +57,48 @@ class KTopScoreVideoSearch:
         Must have been built with ``build_lsb=True``.
     omega:
         Fusion weight; defaults to the index configuration's value.
+    block_size:
+        Candidates accumulated from the interleaved streams before each
+        batch-scoring round of the refinement loop.
     """
 
-    def __init__(self, index: CommunityIndex, omega: float | None = None) -> None:
+    def __init__(
+        self,
+        index: CommunityIndex,
+        omega: float | None = None,
+        block_size: int = 16,
+    ) -> None:
         if index.lsb is None:
             raise ValueError("KTopScoreVideoSearch needs the LSB index built")
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
         self.index = index
         self.omega = index.config.omega if omega is None else float(omega)
         if not 0.0 <= self.omega <= 1.0:
             raise ValueError(f"omega must be in [0, 1], got {self.omega}")
+        self.block_size = block_size
+        #: (query_id, candidate_id) -> (content, social); survives across
+        #: searches so repeated or overlapping queries reuse components.
+        self._component_memo: dict[tuple[str, str], tuple[float, float]] = {}
+
+    def clear_memo(self) -> None:
+        """Drop memoized component scores (call after social updates)."""
+        self._component_memo.clear()
 
     # ------------------------------------------------------------------
-    def _social_candidates(self, query_id: str) -> list[str]:
+    def _social_candidates(self, query_id: str, query_vector: np.ndarray) -> list[str]:
         """Step 1 of Figure 6: inverted-file candidates ranked by s̃J."""
-        query_vector = self.index.social.vectorize_users(
-            self.index.descriptor(query_id).users
-        )
         candidates = self.index.social.inverted.candidates(query_vector)
         budget = self.index.config.knn_social_budget
-        scored = sorted(
-            (
-                (
-                    -approx_jaccard(query_vector, self.index.social_vector(vid)),
-                    vid,
-                )
-                for vid in candidates[: budget * 2]
-                if vid != query_id
-            ),
+        shortlist = [vid for vid in candidates[: budget * 2] if vid != query_id]
+        if not shortlist:
+            return []
+        scores = approx_jaccard_batch(
+            query_vector,
+            np.stack([self.index.social_vector(vid) for vid in shortlist]),
         )
-        return [vid for _, vid in scored[:budget]]
+        ranked = sorted(zip(-scores, shortlist))
+        return [vid for _, vid in ranked[:budget]]
 
     def _content_candidates(self, query_id: str) -> list[str]:
         """Step 2 of Figure 6: LSB longest-common-prefix candidates."""
@@ -92,22 +112,39 @@ class KTopScoreVideoSearch:
                     ordered.append(vid)
         return ordered
 
-    def _full_score(self, query_id: str, candidate_id: str) -> KnnResult:
-        content = kappa_j(
-            self.index.series[query_id],
-            self.index.series[candidate_id],
-            match_threshold=self.index.config.match_threshold,
-        )
-        social = approx_jaccard(
-            self.index.social.vectorize_users(self.index.descriptor(query_id).users),
-            self.index.social_vector(candidate_id),
-        )
-        return KnnResult(
-            video_id=candidate_id,
-            score=fuse_fj(min(content, 1.0), min(social, 1.0), self.omega),
-            content=content,
-            social=social,
-        )
+    def _score_block(
+        self, query_id: str, query_vector: np.ndarray, block: list[str]
+    ) -> list[KnnResult]:
+        """FJ components for a block of candidates via the batch kernels."""
+        fresh = [
+            vid for vid in block if (query_id, vid) not in self._component_memo
+        ]
+        if fresh:
+            content = self.index.signature_bank().kappa_j_scores(
+                self.index.series[query_id],
+                fresh,
+                self.index.config.match_threshold,
+            )
+            social = approx_jaccard_batch(
+                query_vector,
+                np.stack([self.index.social_vector(vid) for vid in fresh]),
+            )
+            for vid, c, s in zip(fresh, content, social):
+                self._component_memo[(query_id, vid)] = (float(c), float(s))
+        results = []
+        for vid in block:
+            content_score, social_score = self._component_memo[(query_id, vid)]
+            results.append(
+                KnnResult(
+                    video_id=vid,
+                    score=fuse_fj(
+                        min(content_score, 1.0), min(social_score, 1.0), self.omega
+                    ),
+                    content=content_score,
+                    social=social_score,
+                )
+            )
+        return results
 
     # ------------------------------------------------------------------
     def search(self, query_id: str, top_k: int = 10) -> list[KnnResult]:
@@ -116,27 +153,39 @@ class KTopScoreVideoSearch:
             raise ValueError(f"top_k must be >= 1, got {top_k}")
         if query_id not in self.index.series:
             raise KeyError(f"unknown video {query_id!r}")
-        social_stream = iter(self._social_candidates(query_id))
+        # Query-side work happens exactly once per search.
+        query_vector = self.index.social.vectorize_users(
+            self.index.descriptor(query_id).users
+        )
+        social_stream = iter(self._social_candidates(query_id, query_vector))
         content_stream = iter(self._content_candidates(query_id))
         heap: list[tuple[float, str]] = []  # min-heap of (score, vid)
         results: dict[str, KnnResult] = {}
         exhausted = {"social": False, "content": False}
         while not (exhausted["social"] and exhausted["content"]):
-            for label, stream in (("content", content_stream), ("social", social_stream)):
-                if exhausted[label]:
-                    continue
-                candidate = next(stream, None)
-                if candidate is None:
-                    exhausted[label] = True
-                    continue
-                if candidate in results:
-                    continue
-                result = self._full_score(query_id, candidate)
-                results[candidate] = result
+            block: list[str] = []
+            while len(block) < self.block_size and not (
+                exhausted["social"] and exhausted["content"]
+            ):
+                for label, stream in (
+                    ("content", content_stream),
+                    ("social", social_stream),
+                ):
+                    if exhausted[label]:
+                        continue
+                    candidate = next(stream, None)
+                    if candidate is None:
+                        exhausted[label] = True
+                        continue
+                    if candidate in results or candidate in block:
+                        continue
+                    block.append(candidate)
+            for result in self._score_block(query_id, query_vector, block):
+                results[result.video_id] = result
                 if len(heap) < top_k:
-                    heapq.heappush(heap, (result.score, candidate))
+                    heapq.heappush(heap, (result.score, result.video_id))
                 elif result.score > heap[0][0]:
-                    heapq.heapreplace(heap, (result.score, candidate))
+                    heapq.heapreplace(heap, (result.score, result.video_id))
         ranked = sorted(heap, key=lambda pair: (-pair[0], pair[1]))
         return [results[vid] for _, vid in ranked]
 

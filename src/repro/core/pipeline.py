@@ -19,6 +19,7 @@ from repro.community.models import CommunityDataset
 from repro.core.config import RecommenderConfig
 from repro.emd.embedding import EmdEmbedding
 from repro.index.lsb import LsbIndex
+from repro.measures.content import SignatureBank
 from repro.signatures.series import SignatureSeries, extract_signature_series
 from repro.social.sar import SarVectorizer, SortedUserDictionary
 from repro.social.subcommunity import Partition
@@ -155,14 +156,65 @@ class CommunityIndex:
         self.sorted_dictionary = SortedUserDictionary(membership)
         self.sar = SarVectorizer(self.sorted_dictionary, self.social.k)
         self.sar_h = SarVectorizer(self.social.hash_table, self.social.k)
+        # Rebuilding invalidates the materialized batch-engine matrices:
+        # descriptors or sub-community labels may have changed.
+        self._sar_matrices: dict[str, tuple[int, np.ndarray]] = {}
+
+    # ------------------------------------------------------------------
+    # Batch-engine materializations
+    # ------------------------------------------------------------------
+    def sar_matrix(self, backend: str) -> np.ndarray:
+        """The ``(N, k)`` SAR histogram matrix of every video, per backend.
+
+        Rows follow :attr:`video_ids` order; *backend* is ``"sar"``
+        (sorted-dictionary vectorizer) or ``"sar-h"`` (chained-hash
+        vectorizer).  Materialized once per backend and cached until
+        :meth:`rebuild_sorted_dictionary` — or a social maintenance batch
+        bumping ``self.social.revision`` — invalidates it, so batch-engine
+        queries never pay the per-candidate re-vectorization the scalar
+        path (and the Figure 12(a) bench) performs.  The revision check
+        matters for ``sar-h``: its hash table is maintained incrementally,
+        so after ``social.maintain()`` the scalar path already sees fresh
+        labels even before the sorted dictionary is rebuilt.
+        """
+        if backend not in ("sar", "sar-h"):
+            raise ValueError(f"unknown SAR backend {backend!r}")
+        revision = self.social.revision
+        cached = self._sar_matrices.get(backend)
+        if cached is None or cached[0] != revision:
+            vectorizer = self.sar if backend == "sar" else self.sar_h
+            matrix = np.stack(
+                [
+                    vectorizer.vectorize(self.descriptor(video_id))
+                    for video_id in self.video_ids
+                ]
+            )
+            self._sar_matrices[backend] = cached = (revision, matrix)
+        return cached[1]
+
+    def signature_bank(self) -> SignatureBank:
+        """The stacked signature matrices of the whole community.
+
+        Built once on first use (series are immutable after construction)
+        and shared by every batch-engine recommender over this index.
+        """
+        bank = getattr(self, "_signature_bank", None)
+        if bank is None:
+            bank = SignatureBank(self.series)
+            self._signature_bank = bank
+        return bank
 
     # ------------------------------------------------------------------
     # Convenience accessors
     # ------------------------------------------------------------------
     @property
     def video_ids(self) -> list[str]:
-        """All indexed video ids, sorted."""
-        return sorted(self.series)
+        """All indexed video ids, sorted (cached; series are immutable)."""
+        cached = getattr(self, "_video_ids", None)
+        if cached is None:
+            cached = sorted(self.series)
+            self._video_ids = cached
+        return cached
 
     def descriptor(self, video_id: str):
         """The live social descriptor of *video_id*."""

@@ -10,22 +10,42 @@ K — and differ exactly along the two axes the paper evaluates:
   (sorted-dictionary vectorization + Eq. 6), or ``sar-h`` (chained-hash
   vectorization + Eq. 6) — Figure 12(a)'s three curves.
 
+Two **scoring engines** drive the exhaustive scan:
+
+* ``"batch"`` (the default) — one query is scored against *all*
+  candidates with array-level kernels: the community-wide
+  :class:`repro.measures.content.SignatureBank` turns the κJ SimC
+  matrices into a handful of vectorized EMD calls, and the materialized
+  ``(N, k)`` SAR matrix turns s̃J into one ``minimum``/``maximum``
+  reduction (:func:`repro.social.sar.approx_jaccard_batch`).  An optional
+  ``num_workers`` fans the κJ stage out over candidate blocks.
+* ``"scalar"`` — the original per-pair Python calls, kept for parity
+  testing and for the Figure-12 wall-clock benches whose whole point is
+  measuring the per-candidate cost the batch engine amortises away.
+
+Both engines produce identical rankings (scores agree to float rounding);
+the parity suite in ``tests/test_batch_engine.py`` pins this for every
+``social_mode`` × ``content_measure`` combination.
+
 The named constructors at the bottom produce the four systems of the
 paper's Figure 10 plus the two optimised CSF flavours of Figure 12.
 """
 
 from __future__ import annotations
 
+import bisect
 from collections.abc import Callable
+from concurrent.futures import ThreadPoolExecutor
 
-from repro.core.config import RecommenderConfig
+import numpy as np
+
 from repro.core.fusion import fuse_fj
 from repro.core.pipeline import CommunityIndex
 from repro.measures.content import kappa_j
 from repro.measures.sequence import dtw_similarity, erp_similarity
 from repro.signatures.series import SignatureSeries
 from repro.social.descriptor import SocialDescriptor, jaccard, jaccard_naive
-from repro.social.sar import approx_jaccard
+from repro.social.sar import approx_jaccard, approx_jaccard_batch
 
 __all__ = [
     "FusionRecommender",
@@ -46,6 +66,13 @@ CONTENT_MEASURES: dict[str, Callable[[SignatureSeries, SignatureSeries], float]]
 #: Social relevance modes (None disables the social term entirely).
 SOCIAL_MODES = ("exact", "naive", "sar", "sar-h")
 
+#: Scoring engines of the exhaustive scan.
+ENGINES = ("scalar", "batch")
+
+#: Minimum candidates per worker chunk — below this the thread fan-out
+#: costs more than it saves.
+_MIN_CHUNK = 16
+
 
 class FusionRecommender:
     """Exhaustive-scan recommender over a :class:`CommunityIndex`.
@@ -60,12 +87,24 @@ class FusionRecommender:
         One of :data:`SOCIAL_MODES`; irrelevant when ``omega == 0``.
     content_measure:
         Key into :data:`CONTENT_MEASURES`; irrelevant when ``omega == 1``.
+    engine:
+        ``"batch"`` or ``"scalar"``; defaults to the index configuration's
+        :attr:`~repro.core.config.RecommenderConfig.engine`.
+    num_workers:
+        Worker threads for the batch engine's chunked κJ fan-out; defaults
+        to the index configuration's value.  0/1 = single-threaded.
+    precomputed:
+        Batch engine only: when ``False``, SAR candidate histograms are
+        re-vectorized through the dictionary backend at query time (the
+        scalar path's cost model) instead of read from the index's
+        materialized SAR matrix — this keeps Figure 12(a)'s wall-clock
+        semantics available under the batch kernels.
 
-    SAR modes vectorize candidate descriptors *at query time* through the
-    configured dictionary backend, so a wall-clock measurement of
-    :meth:`recommend` exposes exactly the cost difference the paper's
-    Figure 12(a) reports (quadratic set Jaccard vs binary-search
-    vectorization vs chained-hash vectorization).
+    SAR modes on the **scalar** engine vectorize candidate descriptors *at
+    query time* through the configured dictionary backend, so a wall-clock
+    measurement of :meth:`recommend` exposes exactly the cost difference
+    the paper's Figure 12(a) reports (quadratic set Jaccard vs
+    binary-search vectorization vs chained-hash vectorization).
     """
 
     def __init__(
@@ -75,6 +114,9 @@ class FusionRecommender:
         social_mode: str = "sar-h",
         content_measure: str = "kj",
         name: str | None = None,
+        engine: str | None = None,
+        num_workers: int | None = None,
+        precomputed: bool = True,
     ) -> None:
         if social_mode not in SOCIAL_MODES:
             raise ValueError(
@@ -89,6 +131,17 @@ class FusionRecommender:
         self.omega = index.config.omega if omega is None else float(omega)
         if not 0.0 <= self.omega <= 1.0:
             raise ValueError(f"omega must be in [0, 1], got {self.omega}")
+        self.engine = index.config.engine if engine is None else engine
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINES}"
+            )
+        self.num_workers = (
+            index.config.num_workers if num_workers is None else int(num_workers)
+        )
+        if self.num_workers < 0:
+            raise ValueError(f"num_workers must be >= 0, got {self.num_workers}")
+        self.precomputed = bool(precomputed)
         self.social_mode = social_mode
         self.content_measure_name = content_measure
         if content_measure == "kj":
@@ -100,10 +153,11 @@ class FusionRecommender:
             self._content = _kj
         else:
             self._content = CONTENT_MEASURES[content_measure]
+        self._pool: ThreadPoolExecutor | None = None
         self.name = name or f"fusion(omega={self.omega}, {social_mode}, {content_measure})"
 
     # ------------------------------------------------------------------
-    # Relevance components
+    # Relevance components (per-pair public API)
     # ------------------------------------------------------------------
     def content_relevance(self, query: SignatureSeries, candidate: SignatureSeries) -> float:
         """The configured content similarity between two series."""
@@ -137,40 +191,147 @@ class FusionRecommender:
         return fuse_fj(min(content, 1.0), min(social, 1.0), self.omega)
 
     # ------------------------------------------------------------------
+    # Scalar engine: per-pair calls with hoisted query-side work
+    # ------------------------------------------------------------------
+    def _content_scores_scalar(
+        self, query_id: str, candidates: list[str]
+    ) -> np.ndarray:
+        query_series = self.index.series[query_id]
+        return np.array(
+            [
+                self._content(query_series, self.index.series[candidate_id])
+                for candidate_id in candidates
+            ],
+            dtype=np.float64,
+        )
+
+    def _social_scores_scalar(
+        self, query_id: str, candidates: list[str]
+    ) -> np.ndarray:
+        # The query-side descriptor work — including SAR vectorization —
+        # happens once per query, not once per candidate; the per-candidate
+        # cost (the quantity Figure 12(a) measures) is untouched.
+        query_descriptor = self.index.descriptor(query_id)
+        if self.social_mode == "exact":
+            one = lambda vid: jaccard(query_descriptor, self.index.descriptor(vid))
+        elif self.social_mode == "naive":
+            one = lambda vid: jaccard_naive(query_descriptor, self.index.descriptor(vid))
+        else:
+            vectorizer = (
+                self.index.sar if self.social_mode == "sar" else self.index.sar_h
+            )
+            query_vector = vectorizer.vectorize(query_descriptor)
+            one = lambda vid: approx_jaccard(
+                query_vector, vectorizer.vectorize(self.index.descriptor(vid))
+            )
+        return np.array([one(vid) for vid in candidates], dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # Batch engine: array kernels over all candidates at once
+    # ------------------------------------------------------------------
+    def _worker_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.num_workers)
+        return self._pool
+
+    def _content_scores_batch(
+        self, query_id: str, candidates: list[str]
+    ) -> np.ndarray:
+        query_series = self.index.series[query_id]
+        if self.content_measure_name != "kj":
+            # ERP/DTW are order-sensitive sequence alignments with no
+            # array-level one-vs-many form; they stay per-pair.
+            return self._content_scores_scalar(query_id, candidates)
+        bank = self.index.signature_bank()
+        threshold = self.index.config.match_threshold
+        if self.num_workers > 1 and len(candidates) >= 2 * _MIN_CHUNK:
+            chunks = [
+                list(chunk)
+                for chunk in np.array_split(
+                    np.asarray(candidates, dtype=object),
+                    min(self.num_workers, len(candidates) // _MIN_CHUNK),
+                )
+                if len(chunk)
+            ]
+            parts = self._worker_pool().map(
+                lambda chunk: bank.kappa_j_scores(query_series, chunk, threshold),
+                chunks,
+            )
+            return np.concatenate(list(parts))
+        return bank.kappa_j_scores(query_series, candidates, threshold)
+
+    def _social_scores_batch(
+        self, query_id: str, candidates: list[str]
+    ) -> np.ndarray:
+        query_descriptor = self.index.descriptor(query_id)
+        if self.social_mode in ("exact", "naive"):
+            # Set-based Jaccard has no histogram matrix to batch over; the
+            # scalar path (with hoisted query descriptor) is already it.
+            return self._social_scores_scalar(query_id, candidates)
+        vectorizer = self.index.sar if self.social_mode == "sar" else self.index.sar_h
+        query_vector = vectorizer.vectorize(query_descriptor)
+        if self.precomputed:
+            matrix = self.index.sar_matrix(self.social_mode)
+            scores = approx_jaccard_batch(query_vector, matrix)
+            position = bisect.bisect_left(self.index.video_ids, query_id)
+            return np.delete(scores, position)
+        matrix = np.stack(
+            [vectorizer.vectorize(self.index.descriptor(vid)) for vid in candidates]
+        )
+        return approx_jaccard_batch(query_vector, matrix)
+
+    # ------------------------------------------------------------------
     # Recommendation
     # ------------------------------------------------------------------
+    def component_scores(self, query_id: str) -> dict[str, tuple[float, float]]:
+        """Both relevance components for every candidate, in one pass.
+
+        Returns ``candidate_id -> (content, social)``.  Parameter sweeps
+        (the ω bench) reuse this to re-rank under many fusion weights
+        without recomputing any EMD.  Routed through the configured
+        engine; both engines agree to float rounding.
+        """
+        if query_id not in self.index.series:
+            raise KeyError(f"unknown video {query_id!r}")
+        candidates = [vid for vid in self.index.video_ids if vid != query_id]
+        zeros = np.zeros(len(candidates), dtype=np.float64)
+        if self.engine == "batch":
+            content = (
+                self._content_scores_batch(query_id, candidates)
+                if self.omega < 1.0
+                else zeros
+            )
+            social = (
+                self._social_scores_batch(query_id, candidates)
+                if self.omega > 0.0
+                else zeros
+            )
+        else:
+            content = (
+                self._content_scores_scalar(query_id, candidates)
+                if self.omega < 1.0
+                else zeros
+            )
+            social = (
+                self._social_scores_scalar(query_id, candidates)
+                if self.omega > 0.0
+                else zeros
+            )
+        content = np.minimum(content, 1.0)
+        social = np.minimum(social, 1.0)
+        return {
+            vid: (float(c), float(s))
+            for vid, c, s in zip(candidates, content, social)
+        }
+
     def recommend(self, query_id: str, top_k: int = 10) -> list[str]:
         """Rank every other video by FJ and return the best *top_k* ids."""
         if top_k < 1:
             raise ValueError(f"top_k must be >= 1, got {top_k}")
         if query_id not in self.index.series:
             raise KeyError(f"unknown video {query_id!r}")
-        scored = [
-            (self.score(query_id, candidate_id), candidate_id)
-            for candidate_id in self.index.video_ids
-            if candidate_id != query_id
-        ]
-        scored.sort(key=lambda pair: (-pair[0], pair[1]))
-        return [candidate_id for _, candidate_id in scored[:top_k]]
-
-    def component_scores(self, query_id: str) -> dict[str, tuple[float, float]]:
-        """Both relevance components for every candidate, in one pass.
-
-        Returns ``candidate_id -> (content, social)``.  Parameter sweeps
-        (the ω bench) reuse this to re-rank under many fusion weights
-        without recomputing any EMD.
-        """
-        query_series = self.index.series[query_id]
-        query_descriptor = self.index.descriptor(query_id)
-        components: dict[str, tuple[float, float]] = {}
-        for candidate_id in self.index.video_ids:
-            if candidate_id == query_id:
-                continue
-            components[candidate_id] = (
-                min(self.content_relevance(query_series, self.index.series[candidate_id]), 1.0),
-                min(self.social_relevance(query_descriptor, self.index.descriptor(candidate_id)), 1.0),
-            )
-        return components
+        components = self.component_scores(query_id)
+        return rank_components(components, self.omega, top_k)
 
 
 def rank_components(
@@ -185,28 +346,44 @@ def rank_components(
     return [candidate_id for _, candidate_id in scored[:top_k]]
 
 
-def content_recommender(index: CommunityIndex, content_measure: str = "kj") -> FusionRecommender:
+def content_recommender(
+    index: CommunityIndex, content_measure: str = "kj", engine: str | None = None
+) -> FusionRecommender:
     """CR — content relevance only [35]."""
     return FusionRecommender(
-        index, omega=0.0, content_measure=content_measure, name="CR"
+        index, omega=0.0, content_measure=content_measure, name="CR", engine=engine
     )
 
 
-def social_recommender(index: CommunityIndex) -> FusionRecommender:
+def social_recommender(index: CommunityIndex, engine: str | None = None) -> FusionRecommender:
     """SR — social relevance only (exact sJ)."""
-    return FusionRecommender(index, omega=1.0, social_mode="exact", name="SR")
+    return FusionRecommender(
+        index, omega=1.0, social_mode="exact", name="SR", engine=engine
+    )
 
 
-def csf_recommender(index: CommunityIndex, omega: float | None = None) -> FusionRecommender:
+def csf_recommender(
+    index: CommunityIndex, omega: float | None = None, engine: str | None = None
+) -> FusionRecommender:
     """CSF — content-social fusion with exact (naive-cost) social relevance."""
-    return FusionRecommender(index, omega=omega, social_mode="naive", name="CSF")
+    return FusionRecommender(
+        index, omega=omega, social_mode="naive", name="CSF", engine=engine
+    )
 
 
-def csf_sar_recommender(index: CommunityIndex, omega: float | None = None) -> FusionRecommender:
+def csf_sar_recommender(
+    index: CommunityIndex, omega: float | None = None, engine: str | None = None
+) -> FusionRecommender:
     """CSF-SAR — fusion with sorted-dictionary SAR approximation."""
-    return FusionRecommender(index, omega=omega, social_mode="sar", name="CSF-SAR")
+    return FusionRecommender(
+        index, omega=omega, social_mode="sar", name="CSF-SAR", engine=engine
+    )
 
 
-def csf_sar_h_recommender(index: CommunityIndex, omega: float | None = None) -> FusionRecommender:
+def csf_sar_h_recommender(
+    index: CommunityIndex, omega: float | None = None, engine: str | None = None
+) -> FusionRecommender:
     """CSF-SAR-H — fusion with chained-hash SAR approximation."""
-    return FusionRecommender(index, omega=omega, social_mode="sar-h", name="CSF-SAR-H")
+    return FusionRecommender(
+        index, omega=omega, social_mode="sar-h", name="CSF-SAR-H", engine=engine
+    )

@@ -13,7 +13,21 @@ LSB content index hashes.
 """
 
 from repro.emd.embedding import EmdEmbedding
-from repro.emd.one_dim import emd_1d
+from repro.emd.one_dim import (
+    PackedDistributions,
+    emd_1d,
+    emd_1d_one_vs_many,
+    pack_distributions,
+)
 from repro.emd.transportation import emd_exact, emd_linprog, normalize_weights
 
-__all__ = ["EmdEmbedding", "emd_1d", "emd_exact", "emd_linprog", "normalize_weights"]
+__all__ = [
+    "EmdEmbedding",
+    "PackedDistributions",
+    "emd_1d",
+    "emd_1d_one_vs_many",
+    "emd_exact",
+    "emd_linprog",
+    "normalize_weights",
+    "pack_distributions",
+]

@@ -9,7 +9,9 @@ cuboid extraction — and wraps the result in :class:`SignatureSeries`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
+from repro.emd.one_dim import PackedDistributions, pack_distributions
 from repro.signatures.cuboid import CuboidSignature, signature_from_qgram
 from repro.video.clip import VideoClip
 from repro.video.keyframes import segment_qgrams
@@ -42,6 +44,20 @@ class SignatureSeries:
 
     def __getitem__(self, index: int) -> CuboidSignature:
         return self.signatures[index]
+
+    @cached_property
+    def packed(self) -> PackedDistributions:
+        """The series' signatures as contiguous padded value/weight matrices.
+
+        Computed once (typically at index-build time) and cached on the
+        instance; the batch scoring engine feeds these matrices straight
+        into :func:`repro.emd.one_dim.emd_1d_one_vs_many` instead of
+        re-reading per-signature arrays on every query.
+        """
+        return pack_distributions(
+            [signature.values for signature in self.signatures],
+            [signature.weights for signature in self.signatures],
+        )
 
 
 def extract_signature_series(

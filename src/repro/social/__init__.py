@@ -5,6 +5,7 @@ from repro.social.sar import (
     SarVectorizer,
     SortedUserDictionary,
     approx_jaccard,
+    approx_jaccard_batch,
     hash_dictionary_from_partition,
 )
 from repro.social.silhouette import (
@@ -31,6 +32,7 @@ __all__ = [
     "SocialDescriptor",
     "SortedUserDictionary",
     "approx_jaccard",
+    "approx_jaccard_batch",
     "build_uig",
     "extract_subcommunities",
     "extract_subcommunities_literal",

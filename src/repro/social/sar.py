@@ -40,6 +40,7 @@ __all__ = [
     "hash_dictionary_from_partition",
     "SarVectorizer",
     "approx_jaccard",
+    "approx_jaccard_batch",
 ]
 
 
@@ -139,6 +140,20 @@ class SarVectorizer:
         return self.vectorize(SocialDescriptor.from_users("_query", users))
 
 
+def _approx_jaccard_fast(first: np.ndarray, second: np.ndarray) -> float:
+    """s̃J without the asarray copies and validation of :func:`approx_jaccard`.
+
+    Hot-path variant for callers that already hold trusted float64
+    histograms of matching shape (the batch engine and the vectorizers
+    produce exactly those); the validating public function remains the
+    API for everything else.
+    """
+    denominator = float(np.maximum(first, second).sum())
+    if denominator == 0:
+        return 0.0
+    return float(np.minimum(first, second).sum()) / denominator
+
+
 def approx_jaccard(first: np.ndarray, second: np.ndarray) -> float:
     """The SAR social relevance approximation s̃J (Eq. 6).
 
@@ -151,7 +166,26 @@ def approx_jaccard(first: np.ndarray, second: np.ndarray) -> float:
         raise ValueError(f"histogram shapes differ: {first.shape} vs {second.shape}")
     if np.any(first < 0) or np.any(second < 0):
         raise ValueError("histograms must be non-negative")
-    denominator = float(np.maximum(first, second).sum())
-    if denominator == 0:
-        return 0.0
-    return float(np.minimum(first, second).sum()) / denominator
+    return _approx_jaccard_fast(first, second)
+
+
+def approx_jaccard_batch(query: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+    """s̃J of one query histogram against every row of *matrix* (Eq. 6).
+
+    One ``minimum`` / ``maximum`` reduction pair over the ``(N, k)``
+    candidate matrix replaces N scalar :func:`approx_jaccard` calls; rows
+    whose union mass is zero score 0 (matching the scalar convention).
+    """
+    query = np.asarray(query, dtype=np.float64).reshape(-1)
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[1] != query.size:
+        raise ValueError(
+            f"matrix must be (N, {query.size}), got {matrix.shape}"
+        )
+    if np.any(query < 0):
+        raise ValueError("histograms must be non-negative")
+    intersections = np.minimum(matrix, query).sum(axis=1)
+    unions = np.maximum(matrix, query).sum(axis=1)
+    scores = np.zeros(matrix.shape[0], dtype=np.float64)
+    np.divide(intersections, unions, out=scores, where=unions > 0)
+    return scores

@@ -123,6 +123,10 @@ class DynamicSocialIndex:
             self.vectors[video_id] = vector
             self.inverted.add_video(video_id, vector)
         self._free_cnos: list[int] = []
+        #: Monotone update counter — bumped by every maintenance batch so
+        #: derived caches (e.g. the batch engine's SAR matrices) can detect
+        #: staleness without subscribing to individual mutations.
+        self.revision: int = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -213,6 +217,7 @@ class DynamicSocialIndex:
                 split_candidates.discard(target)
                 unsplittable.add(target)
         stats.seconds = time.perf_counter() - started
+        self.revision += 1
         return stats
 
     def apply_comments(self, comments: Iterable[tuple[str, str]]) -> MaintenanceStats:
