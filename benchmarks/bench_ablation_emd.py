@@ -7,7 +7,7 @@ all three agree on real cuboid signatures and quantifies the speed gap
 that justifies the closed-form default.
 """
 
-import numpy as np
+
 from conftest import effectiveness_index
 
 from repro.emd import emd_1d, emd_exact, emd_linprog

@@ -1,0 +1,184 @@
+"""Live-maintenance throughput: incremental ingest vs full rebuild.
+
+The store refactor's economic claim: indexing one new video through
+:class:`~repro.core.pipeline.LiveCommunityIndex` costs a small constant
+amount of extraction plus a deterministic social re-derivation, instead of
+the full N-video rebuild a frozen index forces.  This bench measures, on a
+seeded generator community:
+
+* the wall-clock cost of one cold :class:`CommunityIndex` build (with the
+  serving structures — signature bank, SAR matrix — materialised);
+* the per-video cost of incremental ``ingest_video`` with the same
+  serving structures refreshed after every ingest (the worst case: no
+  batching of the social re-derivation);
+* the per-video cost of ``retire_video`` under the same regime;
+* ranking parity between the churned live index and the cold rebuild.
+
+Besides the human-readable table, the run writes a machine-readable
+``BENCH_ingest_throughput.json`` at the repo root so future PRs can track
+the maintenance-cost trajectory.
+
+Runs standalone (``PYTHONPATH=src python benchmarks/bench_ingest_throughput.py
+[--smoke]``) or under pytest (``pytest benchmarks/bench_ingest_throughput.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+
+from repro.community import build_workload
+from repro.core import CommunityIndex, LiveCommunityIndex, RecommenderConfig
+from repro.core.recommender import FusionRecommender
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_ingest_throughput.json"
+
+#: The acceptance target measures the N=200 community.
+DEFAULT_VIDEOS = 200
+DEFAULT_SEED = 5
+DEFAULT_CHURN = 10
+#: The generator produces 12 videos per community-hour.
+VIDEOS_PER_HOUR = 12
+
+
+def _materialize(index: CommunityIndex) -> None:
+    """Force every lazily derived serving structure to exist."""
+    index.signature_bank()
+    index.sar_matrix("sar-h")
+
+
+def _leaf_ids(dataset) -> list[str]:
+    parents = {
+        record.lineage for record in dataset.records.values() if record.lineage
+    }
+    return sorted(vid for vid in dataset.records if vid not in parents)
+
+
+def run_ingest_throughput(
+    videos: int = DEFAULT_VIDEOS,
+    seed: int = DEFAULT_SEED,
+    churn: int = DEFAULT_CHURN,
+    json_path: pathlib.Path | None = JSON_PATH,
+) -> dict:
+    """Time rebuild vs incremental maintenance; return the result payload."""
+    workload = build_workload(hours=videos / VIDEOS_PER_HOUR, seed=seed)
+    dataset = workload.dataset
+    config = RecommenderConfig(k=12)
+    pending = _leaf_ids(dataset)[-churn:]
+    initial = sorted(set(dataset.records) - set(pending))
+
+    # Cold rebuild of the FULL community — the cost a frozen index pays for
+    # every catalogue change, and the parity reference for the live run.
+    started = time.perf_counter()
+    cold = CommunityIndex(dataset, config)
+    _materialize(cold)
+    rebuild_seconds = time.perf_counter() - started
+
+    # Live path: start one churn-batch short, then ingest video by video,
+    # refreshing the serving structures after every single ingest.
+    live = LiveCommunityIndex(dataset.subset(initial), config)
+    live.dataset.comments = list(dataset.comments)
+    _materialize(live)
+    started = time.perf_counter()
+    for video_id in pending:
+        live.ingest_video(dataset.records[video_id])
+        _materialize(live)
+    ingest_seconds = time.perf_counter() - started
+
+    recommender = FusionRecommender(live, social_mode="sar-h", engine="batch")
+    reference = FusionRecommender(cold, social_mode="sar-h", engine="batch")
+    parity = all(
+        recommender.recommend(query, 10) == reference.recommend(query, 10)
+        for query in cold.video_ids[:: max(1, len(cold.video_ids) // 3)]
+    )
+
+    started = time.perf_counter()
+    for video_id in pending:
+        live.retire_video(video_id)
+        _materialize(live)
+    retire_seconds = time.perf_counter() - started
+
+    payload = {
+        "bench": "ingest_throughput",
+        "unix_time": time.time(),
+        "community": {
+            "videos": len(dataset.records),
+            "seed": seed,
+            "churn_batch": len(pending),
+        },
+        "rebuild_seconds": rebuild_seconds,
+        "ingest": {
+            "seconds_per_video": ingest_seconds / len(pending),
+            "videos_per_second": len(pending) / ingest_seconds,
+        },
+        "retire": {
+            "seconds_per_video": retire_seconds / len(pending),
+            "videos_per_second": len(pending) / retire_seconds,
+        },
+        "speedup_ingest_vs_rebuild": rebuild_seconds
+        / (ingest_seconds / len(pending)),
+        "ranking_parity": parity,
+    }
+    if json_path is not None:
+        with open(json_path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    return payload
+
+
+def format_table(payload: dict) -> str:
+    ingest = payload["ingest"]
+    retire = payload["retire"]
+    lines = [
+        f"{'operation':>16} {'s/video':>10} {'videos/s':>10}",
+        "-" * 38,
+        f"{'full rebuild':>16} {payload['rebuild_seconds']:>10.3f} {'-':>10}",
+        f"{'ingest':>16} {ingest['seconds_per_video']:>10.3f} "
+        f"{ingest['videos_per_second']:>10.2f}",
+        f"{'retire':>16} {retire['seconds_per_video']:>10.3f} "
+        f"{retire['videos_per_second']:>10.2f}",
+        f"\ningest speedup vs rebuild: "
+        f"{payload['speedup_ingest_vs_rebuild']:.1f}x; "
+        f"ranking parity: {payload['ranking_parity']}",
+    ]
+    return "\n".join(lines)
+
+
+def test_ingest_throughput(report):
+    # Smoke scale: the acceptance JSON is produced by the standalone run at
+    # N=200; here we only pin the shape (parity + a conservative speedup).
+    payload = run_ingest_throughput(videos=48, churn=6, json_path=None)
+    report(format_table(payload), engine="batch")
+    assert payload["ranking_parity"]
+    assert payload["speedup_ingest_vs_rebuild"] >= 5.0
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--videos", type=int, default=DEFAULT_VIDEOS)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--churn", type=int, default=DEFAULT_CHURN)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny community, no JSON output — CI sanity run",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        payload = run_ingest_throughput(videos=36, churn=4, json_path=None)
+    else:
+        payload = run_ingest_throughput(
+            videos=args.videos, seed=args.seed, churn=args.churn
+        )
+    print(format_table(payload))
+    if not payload["ranking_parity"]:
+        raise SystemExit("live index rankings diverged from cold rebuild")
+    if payload["speedup_ingest_vs_rebuild"] < 5.0:
+        raise SystemExit("incremental ingest slower than the 5x acceptance bar")
+
+
+if __name__ == "__main__":
+    main()

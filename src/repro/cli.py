@@ -6,6 +6,8 @@ registered so offline legacy installs stay trivial).  Subcommands:
 * ``generate``  — create a synthetic sharing community and save it;
 * ``index``     — build a CommunityIndex over a saved dataset and save it;
 * ``recommend`` — top-K recommendations for a clicked video;
+* ``ingest``    — apply live updates (add/retire videos, comment batches)
+  to a saved index and save the result;
 * ``explain``   — the evidence behind one (query, candidate) pair;
 * ``evaluate``  — AR/AC/MAP of a chosen method over the Table-2 workload.
 
@@ -49,6 +51,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--method",
         choices=("csf-sar-h", "csf-sar", "csf", "cr", "sr", "knn", "affrf"),
         default="csf-sar-h",
+    )
+
+    ingest = commands.add_parser(
+        "ingest", help="apply live updates (add/retire/comments) to a saved index"
+    )
+    ingest.add_argument("index", help="index file from `index`")
+    ingest.add_argument("output", help="output path for the updated index")
+    ingest.add_argument(
+        "--add",
+        default="",
+        help="comma-separated video ids to ingest (requires --add-from)",
+    )
+    ingest.add_argument(
+        "--add-from",
+        help="dataset file providing the records of the --add videos",
+    )
+    ingest.add_argument(
+        "--retire", default="", help="comma-separated video ids to retire"
+    )
+    ingest.add_argument(
+        "--apply-months",
+        help="fold the dataset's comment log for months A-B (e.g. 12-15) "
+        "into the social state and advance the watermark",
+    )
+    ingest.add_argument(
+        "--incremental",
+        action="store_true",
+        help="apply comments via Figure-5 incremental maintenance instead of "
+        "exact re-derivation",
     )
 
     explain = commands.add_parser("explain", help="explain one recommendation")
@@ -135,6 +166,58 @@ def _cmd_recommend(args) -> int:
     return 0
 
 
+def _cmd_ingest(args) -> int:
+    from repro.io import load_dataset, load_index, save_index
+
+    index = load_index(args.index)
+    added = retired = applied = 0
+    add_ids = [vid for vid in args.add.split(",") if vid]
+    if add_ids and not args.add_from:
+        print("error: --add requires --add-from DATASET", file=sys.stderr)
+        return 2
+    try:
+        if add_ids:
+            source = load_dataset(args.add_from)
+            for video_id in add_ids:
+                if video_id not in source.records:
+                    print(
+                        f"error: unknown video {video_id!r} in {args.add_from}",
+                        file=sys.stderr,
+                    )
+                    return 2
+                # Carry the video's comment history along so its social
+                # descriptor matches what a cold build would derive.
+                index.dataset.comments.extend(
+                    c for c in source.comments if c.video_id == video_id
+                )
+                index.ingest_video(source.records[video_id])
+                added += 1
+        for video_id in (vid for vid in args.retire.split(",") if vid):
+            index.retire_video(video_id)
+            retired += 1
+        if args.apply_months:
+            first, _, last = args.apply_months.partition("-")
+            first, last = int(first), int(last or first)
+            pairs = [
+                (c.user_id, c.video_id)
+                for c in index.dataset.comments
+                if first <= c.month <= last and c.video_id in index.series
+            ]
+            index.apply_comments(pairs, incremental=args.incremental)
+            index.social_store.up_to_month = max(index.up_to_month, last)
+            applied = len(pairs)
+    except (KeyError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    save_index(index, args.output)
+    print(
+        f"ingested {added}, retired {retired}, applied {applied} comments -> "
+        f"{args.output} ({len(index.series)} videos, watermark month "
+        f"{index.up_to_month}, revisions {index.revisions})"
+    )
+    return 0
+
+
 def _cmd_explain(args) -> int:
     from repro.core.explain import explain_recommendation
     from repro.io import load_index
@@ -172,6 +255,7 @@ _HANDLERS = {
     "generate": _cmd_generate,
     "index": _cmd_index,
     "recommend": _cmd_recommend,
+    "ingest": _cmd_ingest,
     "explain": _cmd_explain,
     "evaluate": _cmd_evaluate,
 }

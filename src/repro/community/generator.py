@@ -21,7 +21,7 @@ Everything is reproducible from ``CommunityConfig.seed``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -165,17 +165,49 @@ class CommunityDataset:
     def descriptors(self, up_to_month: int = 11) -> dict[str, SocialDescriptor]:
         """Social descriptors built from the owner plus comments through
         *up_to_month* (inclusive).  Every video is present even when it has
-        no comments yet (the owner always counts)."""
+        no comments yet (the owner always counts); comments referencing
+        videos without a record are ignored — only catalogued videos get
+        descriptors, so a dataset subset stays self-consistent."""
         users_by_video: dict[str, set[str]] = {
             video_id: {record.owner} for video_id, record in self.records.items()
         }
         for comment in self.comments:
-            if comment.month <= up_to_month:
-                users_by_video.setdefault(comment.video_id, set()).add(comment.user_id)
+            if comment.month <= up_to_month and comment.video_id in users_by_video:
+                users_by_video[comment.video_id].add(comment.user_id)
         return {
             video_id: SocialDescriptor.from_users(video_id, members)
             for video_id, members in users_by_video.items()
         }
+
+    def subset(self, video_ids) -> "CommunityDataset":
+        """A copy restricted to *video_ids* (records and their comments).
+
+        Used to build the "final community" reference state that live
+        ingest/retire sequences are checked against.
+        """
+        keep = set(video_ids)
+        missing = keep - set(self.records)
+        if missing:
+            raise KeyError(f"unknown videos {sorted(missing)!r}")
+        orphaned = {
+            vid
+            for vid in keep
+            if self.records[vid].lineage is not None
+            and self.records[vid].lineage not in keep
+        }
+        if orphaned:
+            # A variant's frames are derived from its master's; a subset
+            # that drops the master could never re-materialise the clip.
+            raise ValueError(
+                f"variants {sorted(orphaned)!r} need their lineage masters"
+            )
+        return CommunityDataset(
+            records={vid: self.records[vid] for vid in keep},
+            users=dict(self.users),
+            comments=[c for c in self.comments if c.video_id in keep],
+            topics=self.topics,
+            clip_params=dict(self.clip_params),
+        )
 
     # ------------------------------------------------------------------
     # Ground truth

@@ -6,7 +6,7 @@ from repro.core.config import RecommenderConfig
 from repro.core.explain import Explanation, SignatureMatch, explain_recommendation
 from repro.core.fusion import fuse_average, fuse_fj, fuse_max
 from repro.core.knn import KnnResult, KTopScoreVideoSearch
-from repro.core.pipeline import CommunityIndex, GlobalFeatures
+from repro.core.pipeline import CommunityIndex, GlobalFeatures, LiveCommunityIndex
 from repro.core.recommender import (
     FusionRecommender,
     content_recommender,
@@ -15,10 +15,12 @@ from repro.core.recommender import (
     csf_sar_recommender,
     social_recommender,
 )
+from repro.core.stores import ContentStore, SocialStore
 
 __all__ = [
     "AffrfRecommender",
     "CommunityIndex",
+    "ContentStore",
     "Explanation",
     "PopularityRecommender",
     "RandomRecommender",
@@ -28,7 +30,9 @@ __all__ = [
     "GlobalFeatures",
     "KTopScoreVideoSearch",
     "KnnResult",
+    "LiveCommunityIndex",
     "RecommenderConfig",
+    "SocialStore",
     "content_recommender",
     "csf_recommender",
     "csf_sar_h_recommender",

@@ -80,10 +80,17 @@ class KTopScoreVideoSearch:
         #: (query_id, candidate_id) -> (content, social); survives across
         #: searches so repeated or overlapping queries reuse components.
         self._component_memo: dict[tuple[str, str], tuple[float, float]] = {}
+        self._memo_revisions = index.revisions
 
     def clear_memo(self) -> None:
-        """Drop memoized component scores (call after social updates)."""
+        """Drop memoized component scores.
+
+        Called automatically by :meth:`search` whenever the index's store
+        revisions move (ingest, retire, comment maintenance), so memoized
+        components can never leak across index mutations.
+        """
         self._component_memo.clear()
+        self._memo_revisions = self.index.revisions
 
     # ------------------------------------------------------------------
     def _social_candidates(self, query_id: str, query_vector: np.ndarray) -> list[str]:
@@ -153,6 +160,8 @@ class KTopScoreVideoSearch:
             raise ValueError(f"top_k must be >= 1, got {top_k}")
         if query_id not in self.index.series:
             raise KeyError(f"unknown video {query_id!r}")
+        if self._memo_revisions != self.index.revisions:
+            self.clear_memo()
         # Query-side work happens exactly once per search.
         query_vector = self.index.social.vectorize_users(
             self.index.descriptor(query_id).users

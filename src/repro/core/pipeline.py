@@ -1,64 +1,36 @@
-"""End-to-end index construction: the :class:`CommunityIndex`.
+"""The community index facade: bulk build and live maintenance.
 
-One pass over the community materialises each clip, extracts its cuboid
-signature series (plus the global features the AFFRF baseline needs), and
-drops the frames again; the social side builds the UIG, the sub-community
-partition, the chained hash table, the SAR vectors, and the inverted file
-(via :class:`repro.social.updates.DynamicSocialIndex`); the content side
-builds the LSB index.  Everything the recommenders and the KNN search need
-lives here.
+:class:`CommunityIndex` fronts two layered mutable stores
+(:class:`~repro.core.stores.ContentStore` and
+:class:`~repro.core.stores.SocialStore`): the content side extracts each
+clip's cuboid signature series (plus the global features the AFFRF
+baseline needs) and feeds the LSB forest and the signature bank; the
+social side wraps the dynamic social index (UIG, sub-community partition,
+chained hash table, SAR vectors, inverted file) and the SAR dictionaries.
+The constructor is a thin bulk-load loop over the same per-video ingest
+path :class:`LiveCommunityIndex` uses online, so batch build and
+streaming maintenance share one code path.
+
+Every derived cache (signature bank, materialised SAR matrices, SAR
+dictionaries, KNN component memos) keys on the stores' monotonic revision
+counters, so mutation can never serve stale results.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections.abc import Iterable
 
 import numpy as np
 
-from repro.community.models import CommunityDataset
+from repro.community.models import CommunityDataset, VideoRecord
 from repro.core.config import RecommenderConfig
-from repro.emd.embedding import EmdEmbedding
-from repro.index.lsb import LsbIndex
+from repro.core.stores import ContentStore, GlobalFeatures, SocialStore
 from repro.measures.content import SignatureBank
-from repro.signatures.series import SignatureSeries, extract_signature_series
-from repro.social.sar import SarVectorizer, SortedUserDictionary
-from repro.social.subcommunity import Partition
-from repro.social.updates import DynamicSocialIndex
+from repro.social.descriptor import SocialDescriptor
+from repro.social.updates import MaintenanceStats
+from repro.video.clip import VideoClip
 
-__all__ = ["GlobalFeatures", "CommunityIndex"]
-
-
-@dataclass(frozen=True)
-class GlobalFeatures:
-    """Whole-clip global features consumed by the AFFRF baseline.
-
-    Attributes
-    ----------
-    histogram:
-        Normalised global intensity histogram (the stand-in for the color
-        histogram of [33]; brittle under photometric edits by design).
-    envelope:
-        Fixed-length per-frame mean-intensity envelope (the aural-track
-        stand-in; our clips carry no audio, and the envelope plays the
-        same role: a cheap global temporal profile).
-    tokens:
-        Title + tag token set (the text modality).
-    """
-
-    histogram: np.ndarray
-    envelope: np.ndarray
-    tokens: frozenset[str]
-
-
-def _global_features(clip, histogram_bins: int = 16, envelope_length: int = 24) -> GlobalFeatures:
-    histogram, _ = np.histogram(clip.frames, bins=histogram_bins, range=(0.0, 255.0))
-    histogram = histogram.astype(np.float64)
-    histogram /= max(histogram.sum(), 1.0)
-    means = clip.frames.mean(axis=(1, 2))
-    positions = np.linspace(0, len(means) - 1, envelope_length)
-    envelope = np.interp(positions, np.arange(len(means)), means)
-    tokens = frozenset(clip.title.split()) | frozenset(clip.tags)
-    return GlobalFeatures(histogram=histogram, envelope=envelope, tokens=tokens)
+__all__ = ["GlobalFeatures", "CommunityIndex", "LiveCommunityIndex"]
 
 
 class CommunityIndex:
@@ -70,18 +42,16 @@ class CommunityIndex:
         The underlying community.
     config:
         The recommender configuration used for extraction.
-    series:
-        ``video_id -> SignatureSeries`` (the content features).
-    features:
-        ``video_id -> GlobalFeatures`` (AFFRF's modalities).
-    social:
-        The dynamic social index (descriptors, partition, hash table,
-        SAR vectors, inverted file) — mutable under updates.
-    sorted_dictionary / sar / sar_h:
-        The plain-SAR sorted user dictionary and the two SAR vectorizer
-        flavours (sorted-dictionary vs chained-hash backend).
-    lsb:
-        The LSB content index over every signature.
+    content:
+        The :class:`ContentStore` (series, global features, LSB forest,
+        signature bank) — mutable, revision-counted.
+    social_store:
+        The :class:`SocialStore` (dynamic social index, SAR dictionaries,
+        comment watermark) — mutable, revision-counted.
+
+    The classic accessors (``series``, ``features``, ``lsb``, ``social``,
+    ``sorted_dictionary``, ``sar``, ``sar_h``) are live views over the
+    stores, so existing callers keep working unchanged.
     """
 
     def __init__(
@@ -94,48 +64,92 @@ class CommunityIndex:
     ) -> None:
         self.dataset = dataset
         self.config = config
-        self.series: dict[str, SignatureSeries] = {}
-        self.features: dict[str, GlobalFeatures] = {}
-
-        embedding = EmdEmbedding(
-            lo=config.embedding_range[0],
-            hi=config.embedding_range[1],
-            resolution=config.embedding_resolution,
+        self.content = ContentStore(
+            config, build_lsb=build_lsb, build_global_features=build_global_features
         )
-        self.lsb: LsbIndex | None = (
-            LsbIndex(
-                embedding,
-                num_projections=config.lsh_projections,
-                bits_per_dim=config.lsh_bits,
-                bucket_width=config.lsh_width,
-                num_trees=config.lsh_trees,
-            )
-            if build_lsb
-            else None
-        )
-
+        # Bulk load IS the ingest path, one video at a time; frames are
+        # re-derivable, so each clip is dropped right after extraction.
         for video_id in sorted(dataset.records):
-            clip = dataset.clip(video_id)
-            series = extract_signature_series(
-                clip,
-                grid=config.grid,
-                merge_threshold=config.merge_threshold,
-                q=config.q,
-                keyframes_per_segment=config.keyframes_per_segment,
-            )
-            self.series[video_id] = series
-            if build_global_features:
-                self.features[video_id] = _global_features(clip)
-            if self.lsb is not None:
-                for position, signature in enumerate(series):
-                    self.lsb.insert(video_id, position, signature)
-            del clip  # frames are re-derivable; keep memory flat
-
-        descriptors = dataset.descriptors(up_to_month=up_to_month)
-        self.social = DynamicSocialIndex.build(
-            descriptors.values(), config.k, uig_pair_cap=config.uig_pair_cap
+            self.content.ingest_clip(dataset.clip(video_id))
+        self.social_store = SocialStore(
+            dataset.descriptors(up_to_month=up_to_month),
+            k=config.k,
+            uig_pair_cap=config.uig_pair_cap,
+            up_to_month=up_to_month,
         )
-        self.rebuild_sorted_dictionary()
+        self._sar_matrices: dict[str, tuple[tuple[int, int], np.ndarray]] = {}
+
+    @classmethod
+    def _from_parts(
+        cls,
+        dataset: CommunityDataset,
+        config: RecommenderConfig,
+        content: ContentStore,
+        social_store: SocialStore,
+    ) -> "CommunityIndex":
+        """Assemble a facade over pre-built stores (snapshot loads)."""
+        index = cls.__new__(cls)
+        index.dataset = dataset
+        index.config = config
+        index.content = content
+        index.social_store = social_store
+        index._sar_matrices = {}
+        return index
+
+    # ------------------------------------------------------------------
+    # Revision protocol
+    # ------------------------------------------------------------------
+    @property
+    def revisions(self) -> tuple[int, int]:
+        """``(content revision, social revision)`` — the staleness key.
+
+        Any cache derived from this index should record this pair and
+        invalidate when it moves; both counters are monotonic.
+        """
+        return (self.content.revision, self.social_store.revision)
+
+    # ------------------------------------------------------------------
+    # Store views (back-compat accessors)
+    # ------------------------------------------------------------------
+    @property
+    def series(self):
+        """``video_id -> SignatureSeries`` (the live content features)."""
+        return self.content.series
+
+    @property
+    def features(self):
+        """``video_id -> GlobalFeatures`` (AFFRF's modalities)."""
+        return self.content.features
+
+    @property
+    def lsb(self):
+        """The LSB content index (``None`` when built without it)."""
+        return self.content.lsb
+
+    @property
+    def social(self):
+        """The dynamic social index — mutable under updates."""
+        return self.social_store.index
+
+    @property
+    def up_to_month(self) -> int:
+        """The social comment watermark the index was built through."""
+        return self.social_store.up_to_month
+
+    @property
+    def sorted_dictionary(self):
+        """The plain-SAR sorted user dictionary (static snapshot)."""
+        return self.social_store.dictionaries()[0]
+
+    @property
+    def sar(self):
+        """The sorted-dictionary SAR vectorizer."""
+        return self.social_store.dictionaries()[1]
+
+    @property
+    def sar_h(self):
+        """The chained-hash SAR vectorizer (reads the live hash table)."""
+        return self.social_store.dictionaries()[2]
 
     # ------------------------------------------------------------------
     # SAR dictionaries
@@ -143,22 +157,17 @@ class CommunityIndex:
     def rebuild_sorted_dictionary(self) -> None:
         """(Re)derive the plain-SAR sorted dictionary from the live state.
 
-        The sorted dictionary is a static snapshot — after social updates
-        it must be rebuilt, whereas the chained hash table inside
-        ``self.social`` is maintained incrementally (that asymmetry is one
-        of SAR-H's selling points).
+        The sorted dictionary is a static snapshot — after incremental
+        social maintenance it must be refreshed explicitly, whereas the
+        chained hash table inside ``self.social`` is maintained in place
+        (that asymmetry is one of SAR-H's selling points).  Structural
+        changes (ingest/retire/exact comment application) refresh it
+        automatically through the store's invalidation.
         """
-        membership = {
-            user: cno
-            for cno, members in self.social.communities.items()
-            for user in members
-        }
-        self.sorted_dictionary = SortedUserDictionary(membership)
-        self.sar = SarVectorizer(self.sorted_dictionary, self.social.k)
-        self.sar_h = SarVectorizer(self.social.hash_table, self.social.k)
-        # Rebuilding invalidates the materialized batch-engine matrices:
+        self.social_store.refresh_dictionaries()
+        # Refreshing invalidates the materialized batch-engine matrices:
         # descriptors or sub-community labels may have changed.
-        self._sar_matrices: dict[str, tuple[int, np.ndarray]] = {}
+        self._sar_matrices.clear()
 
     # ------------------------------------------------------------------
     # Batch-engine materializations
@@ -168,20 +177,20 @@ class CommunityIndex:
 
         Rows follow :attr:`video_ids` order; *backend* is ``"sar"``
         (sorted-dictionary vectorizer) or ``"sar-h"`` (chained-hash
-        vectorizer).  Materialized once per backend and cached until
-        :meth:`rebuild_sorted_dictionary` — or a social maintenance batch
-        bumping ``self.social.revision`` — invalidates it, so batch-engine
-        queries never pay the per-candidate re-vectorization the scalar
-        path (and the Figure 12(a) bench) performs.  The revision check
-        matters for ``sar-h``: its hash table is maintained incrementally,
-        so after ``social.maintain()`` the scalar path already sees fresh
-        labels even before the sorted dictionary is rebuilt.
+        vectorizer).  Materialized once per backend and cached until either
+        store revision moves — a social maintenance batch, a video ingest
+        or retire, or a dictionary rebuild — so batch-engine queries never
+        pay the per-candidate re-vectorization the scalar path (and the
+        Figure 12(a) bench) performs.  The revision check matters for
+        ``sar-h``: its hash table is maintained incrementally, so after
+        ``social.maintain()`` the scalar path already sees fresh labels
+        even before the sorted dictionary is rebuilt.
         """
         if backend not in ("sar", "sar-h"):
             raise ValueError(f"unknown SAR backend {backend!r}")
-        revision = self.social.revision
+        key = self.revisions
         cached = self._sar_matrices.get(backend)
-        if cached is None or cached[0] != revision:
+        if cached is None or cached[0] != key:
             vectorizer = self.sar if backend == "sar" else self.sar_h
             matrix = np.stack(
                 [
@@ -189,32 +198,25 @@ class CommunityIndex:
                     for video_id in self.video_ids
                 ]
             )
-            self._sar_matrices[backend] = cached = (revision, matrix)
+            self._sar_matrices[backend] = cached = (key, matrix)
         return cached[1]
 
     def signature_bank(self) -> SignatureBank:
-        """The stacked signature matrices of the whole community.
+        """The stacked signature matrices of the whole live community.
 
-        Built once on first use (series are immutable after construction)
-        and shared by every batch-engine recommender over this index.
+        Maintained in lockstep with content mutations (append on ingest,
+        tombstone on retire), so — unlike the old build-once cache — it can
+        never serve a stale bank.
         """
-        bank = getattr(self, "_signature_bank", None)
-        if bank is None:
-            bank = SignatureBank(self.series)
-            self._signature_bank = bank
-        return bank
+        return self.content.signature_bank()
 
     # ------------------------------------------------------------------
     # Convenience accessors
     # ------------------------------------------------------------------
     @property
     def video_ids(self) -> list[str]:
-        """All indexed video ids, sorted (cached; series are immutable)."""
-        cached = getattr(self, "_video_ids", None)
-        if cached is None:
-            cached = sorted(self.series)
-            self._video_ids = cached
-        return cached
+        """All indexed video ids, sorted (cached per content revision)."""
+        return self.content.video_ids
 
     def descriptor(self, video_id: str):
         """The live social descriptor of *video_id*."""
@@ -223,3 +225,132 @@ class CommunityIndex:
     def social_vector(self, video_id: str) -> np.ndarray:
         """The maintained SAR vector of *video_id*."""
         return self.social.vectors[video_id]
+
+
+def _private_dataset(dataset: CommunityDataset) -> CommunityDataset:
+    """A shallow copy whose containers the live index can mutate freely."""
+    return CommunityDataset(
+        records=dict(dataset.records),
+        users=dict(dataset.users),
+        comments=list(dataset.comments),
+        topics=dataset.topics,
+        clip_params=dict(dataset.clip_params),
+    )
+
+
+class LiveCommunityIndex(CommunityIndex):
+    """A community index that stays correct while the catalogue churns.
+
+    Adds the online maintenance API on top of the shared stores:
+
+    * :meth:`ingest_video` — extract and index a new clip or record;
+    * :meth:`retire_video` — drop a video from every layer (LSB
+      tombstones, bank tombstones, social re-derivation);
+    * :meth:`apply_comments` — fold a comment batch into the social state,
+      either exactly (deterministic re-derivation, bit-identical to a cold
+      rebuild) or incrementally (the paper's Figure-5 maintenance).
+
+    The constructor takes a private copy of the dataset's containers, so
+    ingest/retire never mutate the caller's dataset.  After any sequence
+    of mutations, recommendations match a cold
+    :class:`CommunityIndex` built over the final community.
+    """
+
+    def __init__(
+        self,
+        dataset: CommunityDataset,
+        config: RecommenderConfig,
+        up_to_month: int = 11,
+        build_lsb: bool = True,
+        build_global_features: bool = True,
+    ) -> None:
+        super().__init__(
+            _private_dataset(dataset),
+            config,
+            up_to_month=up_to_month,
+            build_lsb=build_lsb,
+            build_global_features=build_global_features,
+        )
+
+    # ------------------------------------------------------------------
+    # Online maintenance
+    # ------------------------------------------------------------------
+    def ingest_video(
+        self,
+        clip_or_record: VideoClip | VideoRecord,
+        owner: str | None = None,
+        users: Iterable[str] = (),
+    ) -> str:
+        """Index a new video online; returns its id.
+
+        Accepts either a :class:`VideoRecord` (re-derivable from the
+        dataset's generation parameters — the bulk-load currency) or a
+        materialised :class:`VideoClip` (e.g. a fresh upload).  Clip
+        ingests get a bookkeeping record whose frames are *not*
+        re-derivable; their extracted features are what snapshots carry.
+
+        The initial social descriptor is the owner, plus any *users*
+        passed in, plus the dataset's comments for this video up to the
+        watermark — exactly what a cold build of the enlarged community
+        would derive.
+        """
+        if isinstance(clip_or_record, VideoRecord):
+            record = clip_or_record
+            if record.video_id in self.content.series:
+                raise ValueError(f"video {record.video_id!r} is already indexed")
+            self.dataset.records[record.video_id] = record
+            clip = self.dataset.clip(record.video_id)
+        else:
+            clip = clip_or_record
+            if clip.video_id in self.content.series:
+                raise ValueError(f"video {clip.video_id!r} is already indexed")
+            record = VideoRecord(
+                video_id=clip.video_id,
+                topic=clip.topic,
+                seed=0,
+                owner=owner or f"owner_{clip.video_id}",
+                title=clip.title,
+                tags=tuple(clip.tags),
+            )
+            self.dataset.records[record.video_id] = record
+        self.content.ingest_clip(clip)
+        members = {record.owner, *users}
+        members.update(
+            comment.user_id
+            for comment in self.dataset.comments
+            if comment.video_id == record.video_id
+            and comment.month <= self.up_to_month
+        )
+        self.social_store.add_video(
+            SocialDescriptor.from_users(record.video_id, members)
+        )
+        return record.video_id
+
+    def retire_video(self, video_id: str) -> None:
+        """Remove *video_id* from every layer of the index."""
+        if video_id not in self.content.series:
+            raise KeyError(f"unknown video {video_id!r}")
+        self.dataset.records.pop(video_id, None)
+        self.content.retire(video_id)
+        self.social_store.retire_video(video_id)
+
+    def apply_comments(
+        self,
+        comments: Iterable[tuple[str, str]],
+        incremental: bool = False,
+    ) -> MaintenanceStats | None:
+        """Fold ``(user_id, video_id)`` comment pairs into the index.
+
+        The default exact mode updates descriptors and re-derives the
+        partition deterministically (bit-identical to a cold rebuild of
+        the final community); ``incremental=True`` streams the batch
+        through the wrapped index's Figure-5 maintenance and returns its
+        cost counters.  The dataset's historical comment log is left
+        untouched — live social state is tracked by the store and carried
+        by snapshots.
+        """
+        pairs = list(comments)
+        for _, video_id in pairs:
+            if video_id not in self.content.series:
+                raise KeyError(f"unknown video {video_id!r}")
+        return self.social_store.apply_comments(pairs, incremental=incremental)

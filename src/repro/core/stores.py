@@ -1,0 +1,354 @@
+"""Layered mutable stores behind the community index facade.
+
+The original :class:`~repro.core.pipeline.CommunityIndex` froze the whole
+content side (signature extraction, LSB inserts, the signature bank, the
+materialised SAR matrices) at ``__init__`` while only the social side
+streamed updates.  This module splits the state into two stores, each with
+a **monotonic revision counter** that derived caches key on:
+
+* :class:`ContentStore` — per-video signature series, global features, the
+  LSB forest and the community :class:`~repro.measures.content.SignatureBank`.
+  Videos are ingested (extracted + appended) and retired (tombstoned) one
+  at a time; the bank and the LSB forest are maintained incrementally, so
+  a bulk build is literally N ingests.
+* :class:`SocialStore` — the live :class:`~repro.social.updates.DynamicSocialIndex`
+  plus the SAR vectorizer triple (sorted dictionary, plain SAR, SAR-H) and
+  the ``up_to_month`` comment watermark.  Comment batches stream through
+  the wrapped index's Figure-5 maintenance; *structural* changes (videos
+  entering or leaving the community, or exact-mode comment application)
+  invalidate the wrapped index, which is then re-derived deterministically
+  from the live descriptors — descriptor order is normalised so the result
+  is bit-identical to a cold build of the same community.
+
+The revision protocol is the contract every consumer relies on: any cache
+derived from a store (signature bank, SAR matrices, KNN component memos,
+SAR dictionaries) records the revision it was built at and rebuilds when
+the store's revision moves.  A revision never decreases, and every
+mutation — including maintenance batches applied directly to the wrapped
+social index — moves it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import RecommenderConfig
+from repro.emd.embedding import EmdEmbedding
+from repro.index.lsb import LsbIndex
+from repro.measures.content import SignatureBank
+from repro.signatures.series import SignatureSeries, extract_signature_series
+from repro.social.descriptor import SocialDescriptor
+from repro.social.sar import SarVectorizer, SortedUserDictionary
+from repro.social.updates import DynamicSocialIndex, MaintenanceStats
+from repro.video.clip import VideoClip
+
+__all__ = ["GlobalFeatures", "ContentStore", "SocialStore", "global_features"]
+
+
+@dataclass(frozen=True)
+class GlobalFeatures:
+    """Whole-clip global features consumed by the AFFRF baseline.
+
+    Attributes
+    ----------
+    histogram:
+        Normalised global intensity histogram (the stand-in for the color
+        histogram of [33]; brittle under photometric edits by design).
+    envelope:
+        Fixed-length per-frame mean-intensity envelope (the aural-track
+        stand-in; our clips carry no audio, and the envelope plays the
+        same role: a cheap global temporal profile).
+    tokens:
+        Title + tag token set (the text modality).
+    """
+
+    histogram: np.ndarray
+    envelope: np.ndarray
+    tokens: frozenset[str]
+
+
+def global_features(
+    clip: VideoClip, histogram_bins: int = 16, envelope_length: int = 24
+) -> GlobalFeatures:
+    """Extract the AFFRF global features of one clip."""
+    histogram, _ = np.histogram(clip.frames, bins=histogram_bins, range=(0.0, 255.0))
+    histogram = histogram.astype(np.float64)
+    histogram /= max(histogram.sum(), 1.0)
+    means = clip.frames.mean(axis=(1, 2))
+    positions = np.linspace(0, len(means) - 1, envelope_length)
+    envelope = np.interp(positions, np.arange(len(means)), means)
+    tokens = frozenset(clip.title.split()) | frozenset(clip.tags)
+    return GlobalFeatures(histogram=histogram, envelope=envelope, tokens=tokens)
+
+
+class ContentStore:
+    """Mutable content-side state: series, features, LSB forest, bank.
+
+    Parameters
+    ----------
+    config:
+        Extraction and LSB parameters.
+    build_lsb:
+        Whether to maintain the LSB forest (KNN search needs it).
+    build_global_features:
+        Whether to extract AFFRF's global features on ingest.
+    """
+
+    def __init__(
+        self,
+        config: RecommenderConfig,
+        build_lsb: bool = True,
+        build_global_features: bool = True,
+    ) -> None:
+        self.config = config
+        self.series: dict[str, SignatureSeries] = {}
+        self.features: dict[str, GlobalFeatures] = {}
+        self.build_global_features = build_global_features
+        self.lsb: LsbIndex | None = None
+        if build_lsb:
+            embedding = EmdEmbedding(
+                lo=config.embedding_range[0],
+                hi=config.embedding_range[1],
+                resolution=config.embedding_resolution,
+            )
+            self.lsb = LsbIndex(
+                embedding,
+                num_projections=config.lsh_projections,
+                bits_per_dim=config.lsh_bits,
+                bucket_width=config.lsh_width,
+                num_trees=config.lsh_trees,
+            )
+        #: Monotonic mutation counter; every ingest/retire bumps it.
+        self.revision: int = 0
+        self._bank: SignatureBank | None = None
+        self._video_ids: tuple[int, list[str]] | None = None
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def extract(self, clip: VideoClip) -> SignatureSeries:
+        """Extract a clip's cuboid signature series (no state change)."""
+        return extract_signature_series(
+            clip,
+            grid=self.config.grid,
+            merge_threshold=self.config.merge_threshold,
+            q=self.config.q,
+            keyframes_per_segment=self.config.keyframes_per_segment,
+        )
+
+    def ingest_clip(self, clip: VideoClip) -> SignatureSeries:
+        """Extract *clip* and add it to every content structure."""
+        series = self.extract(clip)
+        features = global_features(clip) if self.build_global_features else None
+        self.add_series(clip.video_id, series, features)
+        return series
+
+    def add_series(
+        self,
+        video_id: str,
+        series: SignatureSeries,
+        features: GlobalFeatures | None = None,
+    ) -> None:
+        """Register pre-extracted state (snapshot loads, bulk injection)."""
+        if video_id in self.series:
+            raise ValueError(f"video {video_id!r} is already indexed")
+        self.series[video_id] = series
+        if features is not None:
+            self.features[video_id] = features
+        if self.lsb is not None:
+            for position, signature in enumerate(series):
+                self.lsb.insert(video_id, position, signature)
+        if self._bank is not None:
+            self._bank.append(video_id, series)
+        self.revision += 1
+
+    def retire(self, video_id: str) -> None:
+        """Drop *video_id* from every content structure (LSB tombstones)."""
+        if video_id not in self.series:
+            raise KeyError(f"unknown video {video_id!r}")
+        del self.series[video_id]
+        self.features.pop(video_id, None)
+        if self.lsb is not None:
+            self.lsb.remove(video_id)
+        if self._bank is not None:
+            self._bank.remove(video_id)
+        self.revision += 1
+
+    # ------------------------------------------------------------------
+    # Derived views (revision-keyed)
+    # ------------------------------------------------------------------
+    @property
+    def video_ids(self) -> list[str]:
+        """All live video ids, sorted (cached per revision)."""
+        cached = self._video_ids
+        if cached is None or cached[0] != self.revision:
+            self._video_ids = cached = (self.revision, sorted(self.series))
+        return cached[1]
+
+    def signature_bank(self) -> SignatureBank:
+        """The live community signature bank.
+
+        Built lazily on first use, then maintained in lockstep with
+        :meth:`add_series` / :meth:`retire` — it can never be stale.
+        """
+        if self._bank is None:
+            if not self.series:
+                raise ValueError("cannot build a SignatureBank from no series")
+            self._bank = SignatureBank(self.series)
+        return self._bank
+
+
+class SocialStore:
+    """Mutable social-side state wrapping :class:`DynamicSocialIndex`.
+
+    Comment batches stream through the wrapped index's incremental
+    maintenance (the paper's Figure 5).  Structural changes — videos
+    entering or leaving, or exact-mode comment application — mark the
+    wrapped index dirty; it is then re-derived deterministically from the
+    live descriptors on next access, with descriptors sorted by video id
+    so the rebuild is bit-identical to a cold build of the same community.
+
+    The :attr:`revision` counter is monotonic across both kinds of change:
+    it is the structural base plus the wrapped index's own maintenance
+    revision, and the base absorbs the inner counter whenever the index is
+    invalidated.
+    """
+
+    def __init__(
+        self,
+        descriptors: dict[str, SocialDescriptor],
+        k: int,
+        uig_pair_cap: int | None = None,
+        up_to_month: int = 11,
+    ) -> None:
+        self._descriptors: dict[str, SocialDescriptor] = dict(descriptors)
+        self._k = k
+        self._uig_pair_cap = uig_pair_cap
+        #: Last comment month folded into the descriptors (persisted by
+        #: snapshots; the paper's source year ends at month 11).
+        self.up_to_month = up_to_month
+        self._index: DynamicSocialIndex | None = None
+        self._base_revision = 0
+        self._dicts: tuple[SortedUserDictionary, SarVectorizer, SarVectorizer] | None = None
+
+    # ------------------------------------------------------------------
+    # Revision protocol
+    # ------------------------------------------------------------------
+    @property
+    def revision(self) -> int:
+        """Monotonic revision covering structural and maintenance changes."""
+        inner = 0 if self._index is None else self._index.revision
+        return self._base_revision + inner
+
+    def _invalidate(self) -> None:
+        """Mark the wrapped index stale; adopt its live descriptor state."""
+        if self._index is not None:
+            self._descriptors = self._index.descriptors
+            self._base_revision += self._index.revision + 1
+            self._index = None
+        else:
+            self._base_revision += 1
+        self._dicts = None
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def k(self) -> int:
+        """Number of sub-communities (the SAR dimensionality)."""
+        return self._k
+
+    @property
+    def descriptors(self) -> dict[str, SocialDescriptor]:
+        """The live ``video_id -> SocialDescriptor`` mapping."""
+        if self._index is not None:
+            return self._index.descriptors
+        return self._descriptors
+
+    @property
+    def index(self) -> DynamicSocialIndex:
+        """The wrapped dynamic social index (re-derived when dirty).
+
+        The rebuild feeds descriptors in sorted video-id order, making the
+        UIG (and therefore the partition, hash table, SAR vectors and
+        inverted file) independent of the mutation history — only the
+        final descriptor set matters.
+        """
+        if self._index is None:
+            ordered = [
+                self._descriptors[video_id] for video_id in sorted(self._descriptors)
+            ]
+            self._index = DynamicSocialIndex.build(
+                ordered, self._k, uig_pair_cap=self._uig_pair_cap
+            )
+        return self._index
+
+    def dictionaries(self) -> tuple[SortedUserDictionary, SarVectorizer, SarVectorizer]:
+        """``(sorted_dictionary, sar, sar_h)`` over the current partition.
+
+        The sorted dictionary is a static snapshot: it survives incremental
+        maintenance batches (that asymmetry is SAR-H's selling point — the
+        chained-hash vectorizer reads the live hash table) and refreshes on
+        structural invalidation or :meth:`refresh_dictionaries`.
+        """
+        if self._dicts is None:
+            index = self.index
+            membership = {
+                user: cno
+                for cno, members in index.communities.items()
+                for user in members
+            }
+            dictionary = SortedUserDictionary(membership)
+            self._dicts = (
+                dictionary,
+                SarVectorizer(dictionary, index.k),
+                SarVectorizer(index.hash_table, index.k),
+            )
+        return self._dicts
+
+    def refresh_dictionaries(self) -> None:
+        """Re-derive the SAR dictionaries from the live partition."""
+        self._dicts = None
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_video(self, descriptor: SocialDescriptor) -> None:
+        """Register a new video's social descriptor (structural change)."""
+        if descriptor.video_id in self.descriptors:
+            raise ValueError(f"video {descriptor.video_id!r} already has a descriptor")
+        self._invalidate()
+        self._descriptors[descriptor.video_id] = descriptor
+
+    def retire_video(self, video_id: str) -> None:
+        """Drop a video's descriptor (structural change)."""
+        if video_id not in self.descriptors:
+            raise KeyError(f"unknown video {video_id!r}")
+        self._invalidate()
+        del self._descriptors[video_id]
+
+    def apply_comments(
+        self, comments: list[tuple[str, str]], incremental: bool = False
+    ) -> MaintenanceStats | None:
+        """Fold ``(user_id, video_id)`` comment pairs into the social state.
+
+        ``incremental=True`` streams the batch through the wrapped index's
+        Figure-5 maintenance (unions/splits, cost counters returned);
+        the default exact mode updates the descriptors and re-derives the
+        partition deterministically, so the result matches a cold build of
+        the final community bit for bit.
+        """
+        if incremental:
+            return self.index.apply_comments(comments)
+        self._invalidate()
+        for user, video_id in comments:
+            descriptor = self._descriptors.get(video_id)
+            if descriptor is None:
+                self._descriptors[video_id] = SocialDescriptor.from_users(
+                    video_id, [user]
+                )
+            elif user not in descriptor.users:
+                self._descriptors[video_id] = descriptor.with_users([user])
+        return None

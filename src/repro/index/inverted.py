@@ -11,7 +11,7 @@ the postings of the query's non-zero dimensions.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

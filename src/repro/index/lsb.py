@@ -14,6 +14,13 @@ A query walks the tree outward from its own Z-order key, yielding the
 entries with the *next longest common prefix* first — the access pattern of
 the paper's Figure 6 content step.  Multiple independent trees can be used
 to boost recall, as in the original LSB forest.
+
+Deletion is tombstone-based: the B+-tree is append-only, so
+:meth:`LsbIndex.remove` marks a video dead and probes skip its entries;
+:meth:`LsbIndex.compact` rebuilds the trees without the dead entries, and
+runs automatically once tombstones exceed a fraction of the live size.
+This is what lets a live community retire videos without rebuilding the
+whole forest.
 """
 
 from __future__ import annotations
@@ -93,7 +100,15 @@ class LsbIndex:
             for _ in range(num_trees)
         ]
         self._trees = [BPlusTree(order=tree_order) for _ in range(num_trees)]
+        self._tree_order = tree_order
         self._size = 0
+        #: Per-video live entry counts (for O(1) tombstoning).
+        self._video_entries: dict[str, int] = {}
+        #: Tombstoned videos whose entries still sit in the trees.
+        self._dead: set[str] = set()
+        self._dead_entries = 0
+        #: Dead fraction above which mutation triggers auto-compaction.
+        self.compact_threshold = 0.5
 
     @property
     def total_bits(self) -> int:
@@ -102,6 +117,14 @@ class LsbIndex:
 
     def __len__(self) -> int:
         return self._size
+
+    def __contains__(self, video_id: str) -> bool:
+        return video_id in self._video_entries
+
+    @property
+    def dead_entries(self) -> int:
+        """Tombstoned entries still physically present in the trees."""
+        return self._dead_entries
 
     def _zkey(self, tree_index: int, signature: CuboidSignature) -> int:
         vector = self._embedding.embed(signature.values, signature.weights)
@@ -112,10 +135,46 @@ class LsbIndex:
 
     def insert(self, video_id: str, signature_index: int, signature: CuboidSignature) -> None:
         """Index one signature of one video in every tree."""
+        if video_id in self._dead:
+            # A retired id is being re-ingested: purge its tombstoned
+            # entries first so they cannot resurrect alongside the new ones.
+            self.compact()
         entry = LsbEntry(video_id, signature_index, signature)
         for tree_index, tree in enumerate(self._trees):
             tree.insert(self._zkey(tree_index, signature), entry)
+        self._video_entries[video_id] = self._video_entries.get(video_id, 0) + 1
         self._size += 1
+
+    def remove(self, video_id: str) -> int:
+        """Tombstone every entry of *video_id*; returns the entry count.
+
+        The B+-trees are append-only, so the entries stay physically in
+        place but stop appearing in probe results immediately.  When the
+        tombstone fraction exceeds :attr:`compact_threshold`, the trees are
+        compacted automatically.  Removing an unknown video is a no-op.
+        """
+        count = self._video_entries.pop(video_id, 0)
+        if count == 0:
+            return 0
+        self._dead.add(video_id)
+        self._dead_entries += count
+        self._size -= count
+        if self._dead_entries > self.compact_threshold * max(1, self._size):
+            self.compact()
+        return count
+
+    def compact(self) -> None:
+        """Rebuild every tree without the tombstoned entries."""
+        if not self._dead:
+            return
+        for tree_index, tree in enumerate(self._trees):
+            fresh = BPlusTree(order=self._tree_order)
+            for key, entry in tree.items():
+                if entry.video_id not in self._dead:
+                    fresh.insert(key, entry)
+            self._trees[tree_index] = fresh
+        self._dead.clear()
+        self._dead_entries = 0
 
     def probe(self, signature: CuboidSignature, budget: int) -> list[tuple[int, LsbEntry]]:
         """Return up to *budget* candidate entries for *signature*.
@@ -134,6 +193,8 @@ class LsbIndex:
             query_key = self._zkey(tree_index, signature)
             taken = 0
             for key, entry in tree.neighbourhood(query_key):
+                if entry.video_id in self._dead:
+                    continue
                 identity = (entry.video_id, entry.signature_index)
                 if identity in seen:
                     continue

@@ -33,7 +33,6 @@ def zorder_encode(coordinates: Sequence[int], bits_per_dim: int) -> int:
     if not coordinates:
         raise ValueError("need at least one coordinate")
     limit = 1 << bits_per_dim
-    ndim = len(coordinates)
     code = 0
     for bit in range(bits_per_dim - 1, -1, -1):
         for dim, value in enumerate(coordinates):

@@ -3,10 +3,15 @@
 Re-extracting signatures for a large community takes minutes; loading the
 extracted state takes milliseconds.  This module serialises the expensive,
 deterministic parts of a :class:`~repro.core.pipeline.CommunityIndex` —
-the signature series, global features and social descriptors — together
-with the dataset and configuration, and rebuilds the cheap derived
-structures (UIG partition, hash table, SAR vectors, inverted file, LSB
-forest) on load.
+the signature series, global features and the **live social state** (the
+descriptors plus the ``up_to_month`` comment watermark, which may have
+diverged from the dataset's historical log under online maintenance) —
+together with the dataset, configuration and store revisions, and rebuilds
+the cheap derived structures (UIG partition, hash table, SAR vectors,
+inverted file, LSB forest) on load.
+
+Loads return a :class:`~repro.core.pipeline.LiveCommunityIndex`, so a
+restored snapshot can keep ingesting and retiring right away.
 
 Format: a single ``.npz``-style archive is avoided in favour of gzipped
 JSON (arrays here are small; the payload stays portable and diffable).
@@ -22,10 +27,12 @@ from dataclasses import asdict
 import numpy as np
 
 from repro.core.config import RecommenderConfig
-from repro.core.pipeline import CommunityIndex, GlobalFeatures
+from repro.core.pipeline import CommunityIndex, GlobalFeatures, LiveCommunityIndex
+from repro.core.stores import ContentStore, SocialStore
 from repro.io.serialize import SCHEMA_VERSION, dataset_from_dict, dataset_to_dict
 from repro.signatures.cuboid import CuboidSignature
 from repro.signatures.series import SignatureSeries
+from repro.social.descriptor import SocialDescriptor
 
 __all__ = ["save_index", "load_index"]
 
@@ -67,7 +74,7 @@ def _features_from_dict(entry: dict) -> GlobalFeatures:
 
 
 def save_index(index: CommunityIndex, path: str | pathlib.Path) -> None:
-    """Serialise *index* (dataset + config + extracted features)."""
+    """Serialise *index* (dataset + config + extracted features + social state)."""
     config = asdict(index.config)
     config["embedding_range"] = list(config["embedding_range"])
     payload = {
@@ -84,17 +91,34 @@ def save_index(index: CommunityIndex, path: str | pathlib.Path) -> None:
             for video_id, features in index.features.items()
         },
         "has_lsb": index.lsb is not None,
+        # Live social state: what the index actually serves, which under
+        # online maintenance is NOT re-derivable from the dataset log.
+        "social": {
+            "up_to_month": index.up_to_month,
+            "descriptors": {
+                video_id: sorted(descriptor.users)
+                for video_id, descriptor in index.social_store.descriptors.items()
+            },
+        },
+        "revisions": list(index.revisions),
     }
     with gzip.open(pathlib.Path(path), "wt") as handle:
         handle.write(json.dumps(payload, separators=(",", ":")))
 
 
-def load_index(path: str | pathlib.Path, up_to_month: int = 11) -> CommunityIndex:
-    """Rebuild a :class:`CommunityIndex` from a :func:`save_index` archive.
+def load_index(
+    path: str | pathlib.Path, up_to_month: int | None = None
+) -> LiveCommunityIndex:
+    """Rebuild a :class:`LiveCommunityIndex` from a :func:`save_index` archive.
 
-    The stored signature series and global features are injected instead
-    of re-extracted; derived structures (social index, SAR dictionaries,
-    LSB forest) are rebuilt deterministically from them.
+    The stored signature series, global features and social descriptors are
+    injected instead of re-extracted; derived structures (social index, SAR
+    dictionaries, LSB forest) are rebuilt deterministically from them.
+
+    ``up_to_month=None`` (the default) restores the snapshot's saved
+    watermark and descriptors exactly.  Passing an explicit month discards
+    the saved social state and re-derives descriptors from the dataset's
+    comment log through that month instead.
     """
     with gzip.open(pathlib.Path(path), "rt") as handle:
         payload = json.loads(handle.read())
@@ -111,45 +135,46 @@ def load_index(path: str | pathlib.Path, up_to_month: int = 11) -> CommunityInde
     config_dict["embedding_range"] = tuple(config_dict["embedding_range"])
     config = RecommenderConfig(**config_dict)
 
-    index = CommunityIndex.__new__(CommunityIndex)
-    index.dataset = dataset
-    index.config = config
-    index.series = {
-        video_id: _series_from_dict(video_id, entries)
-        for video_id, entries in payload["series"].items()
-    }
-    index.features = {
+    features = {
         video_id: _features_from_dict(entry)
         for video_id, entry in payload["features"].items()
     }
-
-    if payload.get("has_lsb", False):
-        from repro.emd.embedding import EmdEmbedding
-        from repro.index.lsb import LsbIndex
-
-        embedding = EmdEmbedding(
-            lo=config.embedding_range[0],
-            hi=config.embedding_range[1],
-            resolution=config.embedding_resolution,
-        )
-        index.lsb = LsbIndex(
-            embedding,
-            num_projections=config.lsh_projections,
-            bits_per_dim=config.lsh_bits,
-            bucket_width=config.lsh_width,
-            num_trees=config.lsh_trees,
-        )
-        for video_id in sorted(index.series):
-            for position, signature in enumerate(index.series[video_id]):
-                index.lsb.insert(video_id, position, signature)
-    else:
-        index.lsb = None
-
-    from repro.social.updates import DynamicSocialIndex
-
-    descriptors = dataset.descriptors(up_to_month=up_to_month)
-    index.social = DynamicSocialIndex.build(
-        descriptors.values(), config.k, uig_pair_cap=config.uig_pair_cap
+    content = ContentStore(
+        config,
+        build_lsb=payload.get("has_lsb", False),
+        build_global_features=bool(features),
     )
-    index.rebuild_sorted_dictionary()
-    return index
+    for video_id in sorted(payload["series"]):
+        content.add_series(
+            video_id,
+            _series_from_dict(video_id, payload["series"][video_id]),
+            features.get(video_id),
+        )
+
+    social_payload = payload.get("social")
+    if up_to_month is not None or social_payload is None:
+        # Explicit watermark (or a pre-watermark archive): re-derive the
+        # social state from the dataset's historical comment log.
+        watermark = 11 if up_to_month is None else up_to_month
+        descriptors = dataset.descriptors(up_to_month=watermark)
+    else:
+        watermark = int(social_payload["up_to_month"])
+        descriptors = {
+            video_id: SocialDescriptor.from_users(video_id, users)
+            for video_id, users in social_payload["descriptors"].items()
+        }
+    social_store = SocialStore(
+        descriptors,
+        k=config.k,
+        uig_pair_cap=config.uig_pair_cap,
+        up_to_month=watermark,
+    )
+
+    # Restore the staleness clocks so consumers spanning a save/load cycle
+    # (same process, e.g. A/B harnesses) never see a revision go backwards.
+    saved_revisions = payload.get("revisions")
+    if saved_revisions is not None:
+        content.revision = max(content.revision, int(saved_revisions[0]))
+        social_store._base_revision = int(saved_revisions[1])
+
+    return LiveCommunityIndex._from_parts(dataset, config, content, social_store)

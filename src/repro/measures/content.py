@@ -28,6 +28,8 @@ identical by construction.
 
 from __future__ import annotations
 
+import bisect
+
 import numpy as np
 
 from repro.emd.one_dim import PackedDistributions, emd_1d, emd_1d_one_vs_many
@@ -158,39 +160,178 @@ class SignatureBank:
     against *every* candidate, after which the per-candidate greedy
     matching runs on column slices.  This is the content kernel of the
     batch recommendation engine.
+
+    The bank is **incrementally maintainable**: :meth:`append` adds a
+    video's rows at the tail (amortised-O(rows) via capacity doubling),
+    :meth:`remove` tombstones a video's rows in place, and
+    :meth:`compact` reclaims dead rows and re-packs to the live maximum
+    signature width.  Removal compacts automatically when the dead
+    fraction exceeds 50% *or* when the padded width could shrink — the
+    latter keeps batch scores bit-identical to a bank built cold from the
+    same live series (padding width perturbs float reduction order).
     """
 
     def __init__(self, series: dict[str, SignatureSeries]) -> None:
         if not series:
             raise ValueError("cannot build a SignatureBank from no series")
-        self.video_ids: list[str] = sorted(series)
-        self._series = series
+        self.video_ids: list[str] = []
+        self._series: dict[str, SignatureSeries] = {}
         self._row_slices: dict[str, slice] = {}
-        values_list: list[np.ndarray] = []
-        weights_list: list[np.ndarray] = []
-        start = 0
-        for video_id in self.video_ids:
-            one = series[video_id]
-            self._row_slices[video_id] = slice(start, start + len(one))
-            start += len(one)
-            for signature in one:
-                values_list.append(signature.values)
-                weights_list.append(signature.weights)
-        width = max(v.size for v in values_list)
-        self.values = np.empty((start, width), dtype=np.float64)
-        self.weights = np.zeros((start, width), dtype=np.float64)
-        for row, (v, w) in enumerate(zip(values_list, weights_list)):
-            n = v.size
-            self.values[row, :n] = v
-            self.values[row, n:] = v.max()
-            self.weights[row, :n] = w / w.sum()
+        self._count = 0
+        self._dead_rows = 0
+        self._width = 0
+        self._values = np.empty((0, 0), dtype=np.float64)
+        self._weights = np.empty((0, 0), dtype=np.float64)
+        self._lengths = np.empty(0, dtype=np.int64)
+        self._pads = np.empty(0, dtype=np.float64)
+        for video_id in sorted(series):
+            self.append(video_id, series[video_id])
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def values(self) -> np.ndarray:
+        """``(rows, width)`` padded value matrix (live + tombstoned rows)."""
+        return self._values[: self._count]
+
+    @property
+    def weights(self) -> np.ndarray:
+        """``(rows, width)`` normalised weight matrix matching :attr:`values`."""
+        return self._weights[: self._count]
+
+    @property
+    def width(self) -> int:
+        """Current padded signature width."""
+        return self._width
+
+    @property
+    def dead_rows(self) -> int:
+        """Tombstoned rows not yet reclaimed by :meth:`compact`."""
+        return self._dead_rows
 
     def __len__(self) -> int:
         return len(self.video_ids)
 
+    def __contains__(self, video_id: str) -> bool:
+        return video_id in self._row_slices
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def _grow(self, extra_rows: int, width: int) -> None:
+        capacity = self._values.shape[0]
+        needed = self._count + extra_rows
+        if needed > capacity or width > self._width:
+            new_capacity = max(needed, 2 * capacity)
+            new_width = max(width, self._width)
+            values = np.empty((new_capacity, new_width), dtype=np.float64)
+            weights = np.zeros((new_capacity, new_width), dtype=np.float64)
+            lengths = np.empty(new_capacity, dtype=np.int64)
+            pads = np.empty(new_capacity, dtype=np.float64)
+            count = self._count
+            values[:count, : self._width] = self._values[:count]
+            # Widening extends every existing row with its own pad value,
+            # exactly as a cold build at the new width would.
+            if new_width > self._width and count:
+                values[:count, self._width :] = self._pads[:count, None]
+            weights[:count, : self._width] = self._weights[:count]
+            lengths[:count] = self._lengths[:count]
+            pads[:count] = self._pads[:count]
+            self._values, self._weights = values, weights
+            self._lengths, self._pads = lengths, pads
+            self._width = new_width
+
+    def append(self, video_id: str, series: SignatureSeries) -> None:
+        """Add *series* under *video_id* without rebuilding existing rows."""
+        if video_id in self._row_slices:
+            raise ValueError(f"video {video_id!r} is already in the bank")
+        if len(series) == 0:
+            raise ValueError(f"cannot append an empty series for {video_id!r}")
+        rows = len(series)
+        width = max(signature.values.size for signature in series)
+        self._grow(rows, width)
+        start = self._count
+        for offset, signature in enumerate(series):
+            v, w = signature.values, signature.weights
+            n = v.size
+            row = start + offset
+            pad = v.max()
+            self._values[row, :n] = v
+            self._values[row, n:] = pad
+            self._weights[row, :n] = w / w.sum()
+            self._weights[row, n:] = 0.0
+            self._lengths[row] = n
+            self._pads[row] = pad
+        self._row_slices[video_id] = slice(start, start + rows)
+        bisect.insort(self.video_ids, video_id)
+        self._series[video_id] = series
+        self._count += rows
+
+    def remove(self, video_id: str) -> None:
+        """Tombstone *video_id*'s rows; compacts when width can shrink."""
+        block = self._row_slices.pop(video_id, None)
+        if block is None:
+            raise KeyError(f"video {video_id!r} is not in the bank")
+        self.video_ids.remove(video_id)
+        del self._series[video_id]
+        self._dead_rows += block.stop - block.start
+        live_width = max(
+            (
+                int(self._lengths[s.start : s.stop].max())
+                for s in self._row_slices.values()
+            ),
+            default=0,
+        )
+        if live_width < self._width or self._dead_rows > 0.5 * max(1, self._count):
+            self.compact()
+
+    def compact(self) -> None:
+        """Reclaim tombstoned rows and re-pack at the live maximum width.
+
+        The result is bit-identical (rows, padding and order) to a bank
+        built cold from the surviving series.
+        """
+        live_rows = self._count - self._dead_rows
+        live_width = max(
+            (
+                int(self._lengths[s.start : s.stop].max())
+                for s in self._row_slices.values()
+            ),
+            default=0,
+        )
+        values = np.empty((live_rows, live_width), dtype=np.float64)
+        weights = np.zeros((live_rows, live_width), dtype=np.float64)
+        lengths = np.empty(live_rows, dtype=np.int64)
+        pads = np.empty(live_rows, dtype=np.float64)
+        slices: dict[str, slice] = {}
+        start = 0
+        for video_id in self.video_ids:
+            old = self._row_slices[video_id]
+            rows = old.stop - old.start
+            # Narrower rows carry their pad value in the trailing columns
+            # already, so a plain truncating copy preserves the padding.
+            values[start : start + rows] = self._values[old, :live_width]
+            weights[start : start + rows] = self._weights[old, :live_width]
+            lengths[start : start + rows] = self._lengths[old]
+            pads[start : start + rows] = self._pads[old]
+            slices[video_id] = slice(start, start + rows)
+            start += rows
+        self._values, self._weights = values, weights
+        self._lengths, self._pads = lengths, pads
+        self._row_slices = slices
+        self._count = live_rows
+        self._dead_rows = 0
+        self._width = live_width
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
     def sim_matrix(self, query: SignatureSeries) -> np.ndarray:
-        """``(len(query), total_signatures)`` SimC matrix vs every row."""
-        matrix = np.empty((len(query), self.values.shape[0]), dtype=np.float64)
+        """``(len(query), live_signatures)`` SimC matrix vs every live row."""
+        if self._dead_rows:
+            self.compact()
+        matrix = np.empty((len(query), self._count), dtype=np.float64)
         for i, signature in enumerate(query):
             matrix[i] = emd_1d_one_vs_many(
                 signature.values, signature.weights, self.values, self.weights

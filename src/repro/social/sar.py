@@ -24,7 +24,7 @@ lower-bounds set union.
 
 from __future__ import annotations
 
-import bisect
+
 from collections.abc import Iterable
 from typing import Protocol
 

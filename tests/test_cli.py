@@ -89,6 +89,64 @@ class TestExplain:
         assert main(["explain", str(index_path), video, "ghost"]) == 2
 
 
+class TestIngest:
+    def test_retire_and_apply_comments(self, index_path, tmp_path, capsys):
+        from repro.io import load_index
+
+        before = load_index(index_path)
+        victim = before.video_ids[-1]
+        out = tmp_path / "updated.json.gz"
+        assert (
+            main(
+                [
+                    "ingest",
+                    str(index_path),
+                    str(out),
+                    "--retire",
+                    victim,
+                    "--apply-months",
+                    "12-15",
+                ]
+            )
+            == 0
+        )
+        assert "retired 1" in capsys.readouterr().out
+        updated = load_index(out)
+        assert victim not in updated.video_ids
+        assert len(updated.video_ids) == len(before.video_ids) - 1
+        assert updated.up_to_month == 15
+
+    def test_add_requires_source_dataset(self, index_path, tmp_path, capsys):
+        out = tmp_path / "updated.json.gz"
+        assert main(["ingest", str(index_path), str(out), "--add", "v00001"]) == 2
+        assert "--add-from" in capsys.readouterr().err
+
+    def test_add_round_trips_video(self, dataset_path, index_path, tmp_path):
+        from repro.io import load_index
+
+        # Retire a video, then re-add it from the source dataset.
+        first = tmp_path / "without.json.gz"
+        second = tmp_path / "with.json.gz"
+        victim = load_index(index_path).video_ids[0]
+        assert main(["ingest", str(index_path), str(first), "--retire", victim]) == 0
+        assert (
+            main(
+                [
+                    "ingest",
+                    str(first),
+                    str(second),
+                    "--add",
+                    victim,
+                    "--add-from",
+                    str(dataset_path),
+                ]
+            )
+            == 0
+        )
+        restored = load_index(second)
+        assert victim in restored.video_ids
+
+
 class TestEvaluate:
     def test_reports_table(self, index_path, capsys):
         assert main(["evaluate", str(index_path), "--methods", "cr,sr"]) == 0

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.community.generator import QUERY_TOPICS, CommunityConfig, generate_community
-from repro.community.models import SOURCE_MONTHS, TEST_MONTHS, Comment, VideoRecord
+from repro.community.models import SOURCE_MONTHS, TEST_MONTHS, VideoRecord
 from repro.community.workload import build_workload, select_source_videos
 
 

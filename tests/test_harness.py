@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.evaluation.harness import MetricsRow, Timer, evaluate_method, format_table
+from repro.evaluation.harness import Timer, evaluate_method, format_table
 from repro.evaluation.judges import JudgePanel
 
 

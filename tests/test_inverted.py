@@ -1,6 +1,6 @@
 """Tests for the sub-community inverted file."""
 
-import numpy as np
+
 import pytest
 
 from repro.index.inverted import InvertedFile

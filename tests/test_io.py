@@ -116,3 +116,69 @@ class TestIndexRoundtrip:
         save_dataset(dataset, path)
         with pytest.raises(ValueError, match="not a community index"):
             load_index(path)
+
+
+class TestLiveStateRoundtrip:
+    def test_watermark_round_trips(self, dataset, tmp_path):
+        built = CommunityIndex(dataset, RecommenderConfig(k=8), up_to_month=14)
+        path = tmp_path / "index.json.gz"
+        save_index(built, path)
+        restored = load_index(path)
+        assert restored.up_to_month == 14
+        # The watermark shapes the descriptors, so parity must hold too.
+        query = built.video_ids[0]
+        assert (
+            csf_sar_h_recommender(built).recommend(query, 5)
+            == csf_sar_h_recommender(restored).recommend(query, 5)
+        )
+
+    def test_explicit_watermark_overrides_snapshot(self, dataset, tmp_path):
+        built = CommunityIndex(dataset, RecommenderConfig(k=8), up_to_month=14)
+        path = tmp_path / "index.json.gz"
+        save_index(built, path)
+        rederived = load_index(path, up_to_month=11)
+        assert rederived.up_to_month == 11
+        reference = CommunityIndex(dataset, RecommenderConfig(k=8), up_to_month=11)
+        for video_id in reference.video_ids:
+            assert (
+                rederived.descriptor(video_id).users
+                == reference.descriptor(video_id).users
+            )
+
+    def test_live_descriptors_survive_roundtrip(self, dataset, tmp_path):
+        from repro.core import LiveCommunityIndex
+
+        live = LiveCommunityIndex(dataset, RecommenderConfig(k=8))
+        target = live.video_ids[0]
+        live.apply_comments([(f"late_user_{i}", target) for i in range(4)])
+        path = tmp_path / "index.json.gz"
+        save_index(live, path)
+        restored = load_index(path)
+        assert restored.descriptor(target).users == live.descriptor(target).users
+        query = live.video_ids[1]
+        assert (
+            csf_sar_h_recommender(live).recommend(query, 5)
+            == csf_sar_h_recommender(restored).recommend(query, 5)
+        )
+
+    def test_revisions_do_not_regress_after_load(self, dataset, tmp_path):
+        from repro.core import LiveCommunityIndex
+
+        live = LiveCommunityIndex(dataset, RecommenderConfig(k=8))
+        live.retire_video(live.video_ids[-1])
+        live.apply_comments([("someone", live.video_ids[0])])
+        path = tmp_path / "index.json.gz"
+        save_index(live, path)
+        restored = load_index(path)
+        assert restored.revisions[0] >= live.revisions[0]
+        assert restored.revisions[1] >= live.revisions[1]
+
+    def test_loaded_index_is_live(self, dataset, tmp_path):
+        built = CommunityIndex(dataset, RecommenderConfig(k=8))
+        path = tmp_path / "index.json.gz"
+        save_index(built, path)
+        restored = load_index(path)
+        victim = restored.video_ids[-1]
+        restored.retire_video(victim)
+        assert victim not in restored.video_ids
+        assert victim not in restored.signature_bank().video_ids

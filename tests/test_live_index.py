@@ -1,0 +1,243 @@
+"""Live-index maintenance: ingest/retire/comment parity with cold rebuilds.
+
+The acceptance bar for the store refactor: after a randomized sequence of
+video ingests, retirements and comment batches, a
+:class:`~repro.core.pipeline.LiveCommunityIndex` must produce bit-identical
+recommendations to a :class:`~repro.core.pipeline.CommunityIndex` built
+cold over the final community, across every ``social_mode`` x ``engine``
+combination.  Churn only ever touches "leaf" videos (no other record's
+lineage master), so every intermediate community stays clip-derivable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.community.models import Comment, CommunityDataset
+from repro.core import (
+    CommunityIndex,
+    FusionRecommender,
+    KTopScoreVideoSearch,
+    LiveCommunityIndex,
+)
+from repro.core.recommender import ENGINES, SOCIAL_MODES
+
+
+def leaf_ids(dataset: CommunityDataset) -> list[str]:
+    """Videos that are nobody's lineage master (safe to add/remove)."""
+    parents = {
+        record.lineage for record in dataset.records.values() if record.lineage
+    }
+    return sorted(vid for vid in dataset.records if vid not in parents)
+
+
+def spare_masters(live: LiveCommunityIndex, dataset: CommunityDataset) -> list[str]:
+    """Master videos not yet indexed (always ingestable, no lineage needs)."""
+    return sorted(
+        vid
+        for vid, record in dataset.records.items()
+        if record.lineage is None and vid not in live.series
+    )
+
+
+def cold_reference(
+    dataset: CommunityDataset, config, video_ids, extra_pairs=()
+) -> CommunityIndex:
+    """A from-scratch index over *video_ids* with *extra_pairs* folded in."""
+    final = dataset.subset(video_ids)
+    final.comments.extend(
+        Comment(user_id=user, video_id=vid, month=11)
+        for user, vid in extra_pairs
+        if vid in final.records
+    )
+    return CommunityIndex(final, config)
+
+
+@pytest.fixture(scope="module")
+def churned(workload, config):
+    """One randomized churn run: the live index, its applied comment pairs,
+    and the cold rebuild of the identical final community."""
+    dataset = workload.dataset
+    rng = np.random.default_rng(2015)
+    leaves = leaf_ids(dataset)
+    pending = [leaves[i] for i in rng.choice(len(leaves), size=10, replace=False)]
+    initial = sorted(set(dataset.records) - set(pending))
+
+    live = LiveCommunityIndex(dataset.subset(initial), config)
+    # The live dataset's comment log must cover the videos it will ingest,
+    # exactly as the CLI's --add path carries history along.
+    live.dataset.comments = list(dataset.comments)
+
+    test_comments = [c for c in dataset.comments if c.month >= 12]
+    applied: list[tuple[str, str]] = []
+    retired: list[str] = []
+    for step, video_id in enumerate(pending):
+        live.ingest_video(dataset.records[video_id])
+        if step % 3 == 1:
+            candidates = [
+                vid for vid in leaf_ids(live.dataset) if vid in live.series
+            ]
+            target = candidates[int(rng.integers(len(candidates)))]
+            live.retire_video(target)
+            retired.append(target)
+            # Retirement wipes the video's live social state, so comment
+            # pairs applied to it must not reach the cold reference either.
+            applied = [(user, vid) for user, vid in applied if vid != target]
+        if step % 4 == 2:
+            pool = [c for c in test_comments if c.video_id in live.series]
+            picks = rng.choice(len(pool), size=min(8, len(pool)), replace=False)
+            batch = [(pool[i].user_id, pool[i].video_id) for i in picks]
+            live.apply_comments(batch)
+            applied.extend(batch)
+    # Resurrect one retired video: tombstoned LSB/bank rows must not leak.
+    live.ingest_video(dataset.records[retired[0]])
+
+    cold = cold_reference(dataset, config, live.video_ids, applied)
+    return {"live": live, "cold": cold}
+
+
+class TestIncrementalParity:
+    def test_final_video_sets_match(self, churned):
+        assert churned["live"].video_ids == churned["cold"].video_ids
+
+    def test_descriptors_match(self, churned):
+        live, cold = churned["live"], churned["cold"]
+        for video_id in cold.video_ids:
+            assert (
+                live.descriptor(video_id).users == cold.descriptor(video_id).users
+            )
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("social_mode", SOCIAL_MODES)
+    def test_bit_identical_recommendations(self, churned, social_mode, engine):
+        live, cold = churned["live"], churned["cold"]
+        queries = cold.video_ids[::17]
+        for query in queries:
+            assert FusionRecommender(
+                live, social_mode=social_mode, engine=engine
+            ).recommend(query, 10) == FusionRecommender(
+                cold, social_mode=social_mode, engine=engine
+            ).recommend(query, 10)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_component_scores_bit_identical(self, churned, engine):
+        live, cold = churned["live"], churned["cold"]
+        query = cold.video_ids[5]
+        mine = FusionRecommender(live, social_mode="sar", engine=engine)
+        theirs = FusionRecommender(cold, social_mode="sar", engine=engine)
+        for (vid_a, live_scores), (vid_b, cold_scores) in zip(
+            sorted(mine.component_scores(query).items()),
+            sorted(theirs.component_scores(query).items()),
+        ):
+            assert vid_a == vid_b
+            assert live_scores == cold_scores  # exact, not approximate
+
+    def test_signature_bank_tracks_live_set(self, churned):
+        live = churned["live"]
+        assert sorted(live.signature_bank().video_ids) == live.video_ids
+
+    def test_lsb_serves_only_live_videos(self, churned):
+        live = churned["live"]
+        for video_id in live.video_ids:
+            assert video_id in live.lsb
+        probe_sig = live.series[live.video_ids[0]][0]
+        hits = {entry.video_id for _, entry in live.lsb.probe(probe_sig, 200)}
+        assert hits <= set(live.video_ids)
+
+
+@pytest.fixture()
+def small_live(workload, config):
+    """A fresh, mutable live index over the community's master videos."""
+    dataset = workload.dataset
+    masters = sorted(
+        vid for vid, record in dataset.records.items() if record.lineage is None
+    )[:14]
+    live = LiveCommunityIndex(dataset.subset(masters), config)
+    live.dataset.comments = list(dataset.comments)
+    return live
+
+
+class TestLiveMutations:
+    def test_ingest_bumps_content_revision(self, small_live, workload):
+        new_id = spare_masters(small_live, workload.dataset)[-1]
+        before = small_live.revisions
+        small_live.ingest_video(workload.dataset.records[new_id])
+        after = small_live.revisions
+        assert after[0] > before[0]
+        assert after[1] > before[1]
+        assert new_id in small_live.video_ids
+        assert new_id in small_live.signature_bank().video_ids
+
+    def test_retire_then_recommend_never_returns_ghost(self, small_live):
+        ghost = small_live.video_ids[3]
+        small_live.retire_video(ghost)
+        query = small_live.video_ids[0]
+        for engine in ENGINES:
+            ranked = FusionRecommender(
+                small_live, social_mode="sar-h", engine=engine
+            ).recommend(query, len(small_live.video_ids) - 1)
+            assert ghost not in ranked
+
+    def test_duplicate_ingest_rejected(self, small_live, workload):
+        existing = small_live.video_ids[0]
+        with pytest.raises(ValueError, match="already indexed"):
+            small_live.ingest_video(workload.dataset.records[existing])
+
+    def test_retire_unknown_rejected(self, small_live):
+        with pytest.raises(KeyError, match="unknown video"):
+            small_live.retire_video("nope")
+
+    def test_comments_for_unknown_video_rejected(self, small_live):
+        with pytest.raises(KeyError, match="unknown video"):
+            small_live.apply_comments([("someone", "nope")])
+
+    def test_clip_ingest_path(self, small_live, workload):
+        new_id = spare_masters(small_live, workload.dataset)[-2]
+        clip = workload.dataset.clip(new_id)
+        small_live.ingest_video(clip, owner="uploader", users=["fan_a", "fan_b"])
+        assert new_id in small_live.series
+        members = small_live.descriptor(new_id).users
+        assert {"uploader", "fan_a", "fan_b"} <= members
+
+    def test_incremental_mode_returns_stats(self, small_live):
+        video_id = small_live.video_ids[0]
+        stats = small_live.apply_comments(
+            [("fresh_user", video_id)], incremental=True
+        )
+        assert stats is not None
+        assert "fresh_user" in small_live.descriptor(video_id).users
+
+    def test_knn_memo_invalidates_on_mutation(self, small_live):
+        knn = KTopScoreVideoSearch(small_live)
+        query = small_live.video_ids[0]
+        knn.search(query, top_k=5)
+        # Pull a whole sub-community's worth of new users onto one video so
+        # the partition genuinely changes under the memoized components.
+        target = small_live.video_ids[-1]
+        small_live.apply_comments(
+            [(f"brigade_{i}", target) for i in range(6)]
+        )
+        stale_checked = knn.search(query, top_k=5)
+        fresh = KTopScoreVideoSearch(small_live).search(query, top_k=5)
+        assert stale_checked == fresh
+
+    def test_revisions_monotonic_over_random_ops(self, small_live, workload):
+        rng = np.random.default_rng(7)
+        seen = [small_live.revisions]
+        spare = spare_masters(small_live, workload.dataset)
+        for step in range(6):
+            op = int(rng.integers(3))
+            if op == 0 and spare:
+                small_live.ingest_video(workload.dataset.records[spare.pop()])
+            elif op == 1 and len(small_live.video_ids) > 2:
+                small_live.retire_video(small_live.video_ids[-1])
+            else:
+                small_live.apply_comments(
+                    [(f"u{step}", small_live.video_ids[0])]
+                )
+            seen.append(small_live.revisions)
+        for before, after in zip(seen, seen[1:]):
+            assert after[0] >= before[0]
+            assert after[1] >= before[1]
+            assert after != before

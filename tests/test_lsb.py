@@ -81,6 +81,16 @@ class TestProbe:
         candidates = index.candidate_videos(sig(0.0, rng), budget=12)
         assert candidates == ["same"]
 
+    def test_probe_skips_tombstoned_entries(self, embedding):
+        rng = np.random.default_rng(9)
+        index = LsbIndex(embedding)
+        for i in range(20):
+            index.insert(f"v{i}", 0, sig(0.0, rng))
+        index.remove("v3")
+        index.remove("v7")
+        for _, entry in index.probe(sig(0.0, rng), budget=40):
+            assert entry.video_id not in ("v3", "v7")
+
     def test_deterministic_given_seed(self):
         rng = np.random.default_rng(8)
         signatures = [sig(rng.uniform(-30, 30), rng) for _ in range(15)]
@@ -93,3 +103,68 @@ class TestProbe:
                 index.insert(f"v{i}", 0, signature)
             results.append(index.candidate_videos(query, budget=8))
         assert results[0] == results[1]
+
+
+class TestRemove:
+    def fill(self, index, rng, count=12, positions=3):
+        for i in range(count):
+            for position in range(positions):
+                index.insert(f"v{i}", position, sig(0.0, rng))
+
+    def test_remove_tombstones_and_shrinks_len(self, embedding, rng):
+        index = LsbIndex(embedding)
+        self.fill(index, rng)
+        assert "v4" in index
+        removed = index.remove("v4")
+        assert removed == 3
+        assert "v4" not in index
+        assert len(index) == 11 * 3
+
+    def test_remove_unknown_is_noop(self, embedding, rng):
+        index = LsbIndex(embedding)
+        self.fill(index, rng, count=3)
+        assert index.remove("nope") == 0
+        assert len(index) == 9
+
+    def test_candidates_exclude_removed_video(self, embedding, rng):
+        index = LsbIndex(embedding)
+        self.fill(index, rng)
+        index.remove("v2")
+        candidates = index.candidate_videos(sig(0.0, rng), budget=60)
+        assert "v2" not in candidates
+
+    def test_compact_purges_dead_entries(self, embedding, rng):
+        index = LsbIndex(embedding)
+        index.compact_threshold = 10.0  # keep auto-compaction out of the way
+        self.fill(index, rng)
+        index.remove("v0")
+        assert index.dead_entries == 3
+        query = sig(0.0, rng)
+        before = index.candidate_videos(query, budget=60)
+        index.compact()
+        assert index.dead_entries == 0
+        assert index.candidate_videos(query, budget=60) == before
+
+    def test_auto_compaction_when_mostly_dead(self, embedding, rng):
+        index = LsbIndex(embedding)
+        self.fill(index, rng, count=4)
+        for i in range(3):
+            index.remove(f"v{i}")
+        # 9 tombstones against 3 live entries is far past the threshold.
+        assert index.dead_entries == 0
+
+    def test_reinsert_after_remove_resurrects_cleanly(self, embedding, rng):
+        index = LsbIndex(embedding)
+        index.compact_threshold = 10.0
+        self.fill(index, rng, count=5)
+        index.remove("v1")
+        index.insert("v1", 0, sig(0.0, rng))
+        assert "v1" in index
+        assert index.dead_entries == 0
+        entries = [
+            entry
+            for _, entry in index.probe(sig(0.0, rng), budget=60)
+            if entry.video_id == "v1"
+        ]
+        # Only the fresh entry is visible, not the three tombstoned ones.
+        assert len(entries) == 1

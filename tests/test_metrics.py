@@ -1,7 +1,7 @@
 """Tests for AR / AC / AP / MAP metrics."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.evaluation.metrics import (
     average_accuracy,
