@@ -13,7 +13,10 @@ and every substrate it depends on:
 * :mod:`repro.community` — the synthetic sharing-community dataset;
 * :mod:`repro.core` — fusion, recommenders (CR/SR/CSF/SAR/SAR-H/AFFRF), KNN;
 * :mod:`repro.evaluation` — AR/AC/MAP metrics, judge panel, harness;
-* :mod:`repro.io` — gzipped-JSON persistence for datasets and indexes;
+* :mod:`repro.io` — crash-safe persistence: checksummed atomic snapshots,
+  the write-ahead log, and ``recover``;
+* :mod:`repro.errors` — the typed durability/serving exception hierarchy;
+* :mod:`repro.testing` — crash-point registry and fault-injection plans;
 * :mod:`repro.streaming` — online near-duplicate monitoring (extension);
 * :mod:`repro.cli` — ``python -m repro.cli`` command-line interface.
 

@@ -7,12 +7,16 @@ registered so offline legacy installs stay trivial).  Subcommands:
 * ``index``     — build a CommunityIndex over a saved dataset and save it;
 * ``recommend`` — top-K recommendations for a clicked video;
 * ``ingest``    — apply live updates (add/retire videos, comment batches)
-  to a saved index and save the result;
+  to a saved index and save the result; ``--wal`` journals every mutation
+  to a write-ahead log first, so a crash mid-session loses nothing;
+* ``recover``   — rebuild an index from a snapshot plus its WAL and save
+  the repaired checkpoint;
 * ``explain``   — the evidence behind one (query, candidate) pair;
 * ``evaluate``  — AR/AC/MAP of a chosen method over the Table-2 workload.
 
 Every command is deterministic given the dataset/seed, so CLI sessions
-are reproducible end to end.
+are reproducible end to end.  Missing or corrupt snapshot/WAL files exit
+with code 2 and a one-line typed error instead of a traceback.
 """
 
 from __future__ import annotations
@@ -81,6 +85,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="apply comments via Figure-5 incremental maintenance instead of "
         "exact re-derivation",
     )
+    ingest.add_argument(
+        "--wal",
+        help="append every mutation to this write-ahead log before applying "
+        "it (crash mid-ingest -> `recover` rebuilds the exact state)",
+    )
+
+    recover = commands.add_parser(
+        "recover", help="rebuild an index from a snapshot plus its WAL"
+    )
+    recover.add_argument("snapshot", help="last good index snapshot")
+    recover.add_argument("wal", help="write-ahead log (may be missing or torn)")
+    recover.add_argument("output", help="output path for the recovered index")
 
     explain = commands.add_parser("explain", help="explain one recommendation")
     explain.add_argument("index", help="index file from `index`")
@@ -159,6 +175,9 @@ def _cmd_recommend(args) -> int:
     recommender = _make_recommender(index, args.method)
     results = recommender.recommend(args.video, args.top_k)
     record = index.dataset.records[args.video]
+    if getattr(results, "degraded", False):
+        for reason in results.reasons:
+            print(f"note: degraded serving ({reason})", file=sys.stderr)
     print(f"query {args.video} (topic {index.dataset.topics[record.topic]!r}):")
     for rank, video_id in enumerate(results, start=1):
         title = index.dataset.records[video_id].title
@@ -167,9 +186,13 @@ def _cmd_recommend(args) -> int:
 
 
 def _cmd_ingest(args) -> int:
-    from repro.io import load_dataset, load_index, save_index
+    from repro.io import WriteAheadLog, load_dataset, load_index, save_index
 
     index = load_index(args.index)
+    wal = None
+    if args.wal:
+        wal = WriteAheadLog(args.wal)
+        index.attach_wal(wal)
     added = retired = applied = 0
     add_ids = [vid for vid in args.add.split(",") if vid]
     if add_ids and not args.add_from:
@@ -187,7 +210,7 @@ def _cmd_ingest(args) -> int:
                     return 2
                 # Carry the video's comment history along so its social
                 # descriptor matches what a cold build would derive.
-                index.dataset.comments.extend(
+                index.add_comment_history(
                     c for c in source.comments if c.video_id == video_id
                 )
                 index.ingest_video(source.records[video_id])
@@ -204,16 +227,36 @@ def _cmd_ingest(args) -> int:
                 if first <= c.month <= last and c.video_id in index.series
             ]
             index.apply_comments(pairs, incremental=args.incremental)
-            index.social_store.up_to_month = max(index.up_to_month, last)
+            index.advance_watermark(last)
             applied = len(pairs)
     except (KeyError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    finally:
+        if wal is not None:
+            wal.close()
     save_index(index, args.output)
+    wal_note = f", wal seq {index.wal_seq}" if args.wal else ""
     print(
         f"ingested {added}, retired {retired}, applied {applied} comments -> "
         f"{args.output} ({len(index.series)} videos, watermark month "
-        f"{index.up_to_month}, revisions {index.revisions})"
+        f"{index.up_to_month}, revisions {index.revisions}{wal_note})"
+    )
+    return 0
+
+
+def _cmd_recover(args) -> int:
+    from repro.io import recover, save_index
+
+    index = recover(args.snapshot, args.wal)
+    info = index.recovery
+    save_index(index, args.output)
+    ops = ", ".join(f"{op} x{n}" for op, n in sorted(info.ops.items())) or "none"
+    torn = ", torn tail dropped" if info.torn_tail else ""
+    print(
+        f"recovered {len(index.series)} videos (replayed {info.replayed} WAL "
+        f"records, skipped {info.skipped} already in snapshot{torn}; "
+        f"ops: {ops}) -> {args.output}"
     )
     return 0
 
@@ -256,15 +299,27 @@ _HANDLERS = {
     "index": _cmd_index,
     "recommend": _cmd_recommend,
     "ingest": _cmd_ingest,
+    "recover": _cmd_recover,
     "explain": _cmd_explain,
     "evaluate": _cmd_evaluate,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Missing files and typed durability failures (corrupt snapshot or WAL,
+    incompatible schema, unavailable social store) print one ``error:``
+    line on stderr and exit 2 instead of dumping a traceback.
+    """
+    from repro.errors import ReproError
+
     args = build_parser().parse_args(argv)
-    return _HANDLERS[args.command](args)
+    try:
+        return _HANDLERS[args.command](args)
+    except (FileNotFoundError, ReproError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

@@ -2,6 +2,7 @@
 
 from repro.community.generator import QUERY_TOPICS, CommunityConfig, generate_community
 from repro.community.models import (
+    DEFAULT_UP_TO_MONTH,
     SOURCE_MONTHS,
     TEST_MONTHS,
     Comment,
@@ -12,6 +13,7 @@ from repro.community.models import (
 from repro.community.workload import Workload, build_workload, select_source_videos
 
 __all__ = [
+    "DEFAULT_UP_TO_MONTH",
     "QUERY_TOPICS",
     "SOURCE_MONTHS",
     "TEST_MONTHS",

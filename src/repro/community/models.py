@@ -24,6 +24,7 @@ from repro.video.synthesis import synthesize_clip
 from repro.video.transforms import derive_variant
 
 __all__ = [
+    "DEFAULT_UP_TO_MONTH",
     "SOURCE_MONTHS",
     "TEST_MONTHS",
     "User",
@@ -36,6 +37,10 @@ __all__ = [
 SOURCE_MONTHS = range(0, 12)
 #: Months forming the held-out update window (the paper's "recent 4 months").
 TEST_MONTHS = range(12, 16)
+#: Default comment watermark: the last source-year month.  Shared by the
+#: dataset's social views, the stores and the snapshot loader so "build
+#: through the source year" means the same thing everywhere.
+DEFAULT_UP_TO_MONTH = SOURCE_MONTHS[-1]
 
 
 @dataclass(frozen=True)
@@ -162,7 +167,9 @@ class CommunityDataset:
         """Comments with ``first_month <= month <= last_month``."""
         return [c for c in self.comments if first_month <= c.month <= last_month]
 
-    def descriptors(self, up_to_month: int = 11) -> dict[str, SocialDescriptor]:
+    def descriptors(
+        self, up_to_month: int = DEFAULT_UP_TO_MONTH
+    ) -> dict[str, SocialDescriptor]:
         """Social descriptors built from the owner plus comments through
         *up_to_month* (inclusive).  Every video is present even when it has
         no comments yet (the owner always counts); comments referencing
@@ -235,7 +242,7 @@ class CommunityDataset:
     # ------------------------------------------------------------------
     # Convenience statistics
     # ------------------------------------------------------------------
-    def comment_counts(self, up_to_month: int = 11) -> dict[str, int]:
+    def comment_counts(self, up_to_month: int = DEFAULT_UP_TO_MONTH) -> dict[str, int]:
         """Number of comments per video through *up_to_month*."""
         counts = {video_id: 0 for video_id in self.records}
         for comment in self.comments:

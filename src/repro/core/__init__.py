@@ -9,6 +9,7 @@ from repro.core.knn import KnnResult, KTopScoreVideoSearch
 from repro.core.pipeline import CommunityIndex, GlobalFeatures, LiveCommunityIndex
 from repro.core.recommender import (
     FusionRecommender,
+    Recommendations,
     content_recommender,
     csf_recommender,
     csf_sar_h_recommender,
@@ -31,6 +32,7 @@ __all__ = [
     "KTopScoreVideoSearch",
     "KnnResult",
     "LiveCommunityIndex",
+    "Recommendations",
     "RecommenderConfig",
     "SocialStore",
     "content_recommender",

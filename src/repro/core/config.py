@@ -54,6 +54,15 @@ class RecommenderConfig:
     num_workers:
         Worker threads for the batch engine's chunked κJ fan-out over
         candidate blocks; 0 or 1 means single-threaded.
+    max_social_staleness:
+        Degraded-serving bound: when the social store reports more than
+        this many skipped (lost) mutations, ``recommend`` serves
+        content-only results flagged ``degraded`` instead of fusing stale
+        social relevance.  ``None`` (default) never degrades on staleness.
+    time_budget:
+        Per-query wall-clock budget in seconds for ``recommend``; when the
+        candidate scan exceeds it, the best-effort partial ranking is
+        returned flagged ``partial``/``degraded``.  ``None`` = unlimited.
     """
 
     omega: float = 0.7
@@ -74,8 +83,16 @@ class RecommenderConfig:
     uig_pair_cap: int | None = None
     engine: str = "batch"
     num_workers: int = 0
+    max_social_staleness: int | None = None
+    time_budget: float | None = None
 
     def __post_init__(self) -> None:
+        if self.max_social_staleness is not None and self.max_social_staleness < 0:
+            raise ValueError(
+                f"max_social_staleness must be >= 0, got {self.max_social_staleness}"
+            )
+        if self.time_budget is not None and self.time_budget <= 0:
+            raise ValueError(f"time_budget must be > 0, got {self.time_budget}")
         if self.engine not in ("scalar", "batch"):
             raise ValueError(
                 f"engine must be 'scalar' or 'batch', got {self.engine!r}"

@@ -22,9 +22,14 @@ from collections.abc import Iterable
 
 import numpy as np
 
-from repro.community.models import CommunityDataset, VideoRecord
+from repro.community.models import (
+    DEFAULT_UP_TO_MONTH,
+    Comment,
+    CommunityDataset,
+    VideoRecord,
+)
 from repro.core.config import RecommenderConfig
-from repro.core.stores import ContentStore, GlobalFeatures, SocialStore
+from repro.core.stores import ContentStore, GlobalFeatures, SocialStore, global_features
 from repro.measures.content import SignatureBank
 from repro.social.descriptor import SocialDescriptor
 from repro.social.updates import MaintenanceStats
@@ -58,7 +63,7 @@ class CommunityIndex:
         self,
         dataset: CommunityDataset,
         config: RecommenderConfig,
-        up_to_month: int = 11,
+        up_to_month: int = DEFAULT_UP_TO_MONTH,
         build_lsb: bool = True,
         build_global_features: bool = True,
     ) -> None:
@@ -78,6 +83,11 @@ class CommunityIndex:
             up_to_month=up_to_month,
         )
         self._sar_matrices: dict[str, tuple[tuple[int, int], np.ndarray]] = {}
+        self._wal = None
+        #: Sequence number of the last WAL record reflected in this state
+        #: (0 = none).  Persisted by snapshots so recovery knows which log
+        #: prefix a checkpoint already covers.
+        self.wal_seq = 0
 
     @classmethod
     def _from_parts(
@@ -94,6 +104,8 @@ class CommunityIndex:
         index.content = content
         index.social_store = social_store
         index._sar_matrices = {}
+        index._wal = None
+        index.wal_seq = 0
         return index
 
     # ------------------------------------------------------------------
@@ -260,7 +272,7 @@ class LiveCommunityIndex(CommunityIndex):
         self,
         dataset: CommunityDataset,
         config: RecommenderConfig,
-        up_to_month: int = 11,
+        up_to_month: int = DEFAULT_UP_TO_MONTH,
         build_lsb: bool = True,
         build_global_features: bool = True,
     ) -> None:
@@ -271,6 +283,25 @@ class LiveCommunityIndex(CommunityIndex):
             build_lsb=build_lsb,
             build_global_features=build_global_features,
         )
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def attach_wal(self, wal) -> None:
+        """Log every mutation to *wal* before applying it.
+
+        *wal* is any object with the ``log_ingest`` / ``log_retire`` /
+        ``log_comments`` / ``log_watermark`` / ``log_comment_history``
+        protocol of :class:`repro.io.wal.WriteAheadLog`, each returning
+        the record's sequence number.  Appending **before** mutating is
+        what makes recovery exact: a mutation is either durable in the
+        log or was never acknowledged.
+        """
+        self._wal = wal
+
+    def detach_wal(self) -> None:
+        """Stop logging mutations (the log itself is left untouched)."""
+        self._wal = None
 
     # ------------------------------------------------------------------
     # Online maintenance
@@ -293,6 +324,11 @@ class LiveCommunityIndex(CommunityIndex):
         passed in, plus the dataset's comments for this video up to the
         watermark — exactly what a cold build of the enlarged community
         would derive.
+
+        With a WAL attached, the extracted series, features and descriptor
+        members are logged before any store mutates — replaying the record
+        reproduces this ingest bit for bit even for clips whose frames are
+        not re-derivable.
         """
         if isinstance(clip_or_record, VideoRecord):
             record = clip_or_record
@@ -313,7 +349,10 @@ class LiveCommunityIndex(CommunityIndex):
                 tags=tuple(clip.tags),
             )
             self.dataset.records[record.video_id] = record
-        self.content.ingest_clip(clip)
+        series = self.content.extract(clip)
+        features = (
+            global_features(clip) if self.content.build_global_features else None
+        )
         members = {record.owner, *users}
         members.update(
             comment.user_id
@@ -321,15 +360,20 @@ class LiveCommunityIndex(CommunityIndex):
             if comment.video_id == record.video_id
             and comment.month <= self.up_to_month
         )
+        if self._wal is not None:
+            self.wal_seq = self._wal.log_ingest(record, series, features, members)
+        self.content.add_series(record.video_id, series, features)
         self.social_store.add_video(
             SocialDescriptor.from_users(record.video_id, members)
         )
         return record.video_id
 
     def retire_video(self, video_id: str) -> None:
-        """Remove *video_id* from every layer of the index."""
+        """Remove *video_id* from every layer of the index (WAL-logged)."""
         if video_id not in self.content.series:
             raise KeyError(f"unknown video {video_id!r}")
+        if self._wal is not None:
+            self.wal_seq = self._wal.log_retire(video_id)
         self.dataset.records.pop(video_id, None)
         self.content.retire(video_id)
         self.social_store.retire_video(video_id)
@@ -347,10 +391,34 @@ class LiveCommunityIndex(CommunityIndex):
         through the wrapped index's Figure-5 maintenance and returns its
         cost counters.  The dataset's historical comment log is left
         untouched — live social state is tracked by the store and carried
-        by snapshots.
+        by snapshots.  The batch is WAL-logged before it applies.
         """
         pairs = list(comments)
         for _, video_id in pairs:
             if video_id not in self.content.series:
                 raise KeyError(f"unknown video {video_id!r}")
+        if self._wal is not None:
+            self.wal_seq = self._wal.log_comments(pairs, incremental)
         return self.social_store.apply_comments(pairs, incremental=incremental)
+
+    def advance_watermark(self, month: int) -> int:
+        """Advance the social comment watermark (WAL-logged, monotonic)."""
+        month = max(self.up_to_month, int(month))
+        if self._wal is not None:
+            self.wal_seq = self._wal.log_watermark(month)
+        self.social_store.up_to_month = month
+        return month
+
+    def add_comment_history(self, comments: Iterable[Comment]) -> int:
+        """Extend the dataset's historical comment log (WAL-logged).
+
+        Used when ingesting videos from another dataset: carrying their
+        comment history along keeps later ``apply_comments`` /
+        ``advance_watermark`` calls able to see it, and logging it keeps
+        recovery able to do the same.
+        """
+        batch = list(comments)
+        if self._wal is not None:
+            self.wal_seq = self._wal.log_comment_history(batch)
+        self.dataset.comments.extend(batch)
+        return len(batch)

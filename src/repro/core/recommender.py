@@ -27,13 +27,21 @@ Both engines produce identical rankings (scores agree to float rounding);
 the parity suite in ``tests/test_batch_engine.py`` pins this for every
 ``social_mode`` × ``content_measure`` combination.
 
+Serving degrades instead of failing: when the social store is marked
+unavailable (or has lost more maintenance batches than the configured
+staleness bound), :meth:`FusionRecommender.recommend` renormalises ω to
+zero and returns a content-only ranking flagged ``degraded``; a per-query
+``time_budget`` cuts the candidate scan short and returns the best-effort
+prefix flagged ``partial``.  The :class:`Recommendations` result is a
+``list`` subclass, so existing equality-based callers are unaffected.
+
 The named constructors at the bottom produce the four systems of the
 paper's Figure 10 plus the two optimised CSF flavours of Figure 12.
 """
 
 from __future__ import annotations
 
-import bisect
+import time
 from collections.abc import Callable
 from concurrent.futures import ThreadPoolExecutor
 
@@ -49,6 +57,7 @@ from repro.social.sar import approx_jaccard, approx_jaccard_batch
 
 __all__ = [
     "FusionRecommender",
+    "Recommendations",
     "content_recommender",
     "social_recommender",
     "csf_recommender",
@@ -73,6 +82,60 @@ ENGINES = ("scalar", "batch")
 #: costs more than it saves.
 _MIN_CHUNK = 16
 
+#: Candidates scored between deadline checks under a time budget.  Small
+#: enough that overrun past the budget stays bounded, large enough that
+#: the per-chunk bookkeeping doesn't dominate the array kernels.
+_BUDGET_CHUNK = 32
+
+
+class Recommendations(list):
+    """A ranked id list plus how it was served.
+
+    A ``list`` subclass: equality, iteration and indexing behave exactly
+    like the plain list :meth:`FusionRecommender.recommend` used to
+    return, so callers that compare against expected id lists keep
+    working.  The extra attributes say whether the ranking was served in
+    degraded mode and why.
+
+    Attributes
+    ----------
+    degraded:
+        True when the ranking deviates from full fused service — social
+        relevance dropped, or the candidate scan cut short.
+    partial:
+        True when the per-query time budget expired before every
+        candidate was scored (``scored < total``).
+    reasons:
+        Human-readable explanations, one per degradation cause.
+    scored / total:
+        Candidates actually scored vs. the full candidate count.
+    """
+
+    def __init__(
+        self,
+        ids=(),
+        *,
+        degraded: bool = False,
+        partial: bool = False,
+        reasons=(),
+        scored: int = 0,
+        total: int = 0,
+    ) -> None:
+        super().__init__(ids)
+        self.degraded = bool(degraded)
+        self.partial = bool(partial)
+        self.reasons = tuple(reasons)
+        self.scored = int(scored)
+        self.total = int(total)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = ""
+        if self.degraded:
+            flags = f", degraded=True, reasons={list(self.reasons)!r}"
+        if self.partial:
+            flags += f", partial={self.scored}/{self.total}"
+        return f"Recommendations({list(self)!r}{flags})"
+
 
 class FusionRecommender:
     """Exhaustive-scan recommender over a :class:`CommunityIndex`.
@@ -93,6 +156,13 @@ class FusionRecommender:
     num_workers:
         Worker threads for the batch engine's chunked κJ fan-out; defaults
         to the index configuration's value.  0/1 = single-threaded.
+    time_budget:
+        Per-query wall-clock budget (seconds) for :meth:`recommend`;
+        ``None`` (the config default) scans every candidate.
+    max_social_staleness:
+        Skipped-social-mutation bound beyond which :meth:`recommend`
+        serves content-only; ``None`` (the config default) only degrades
+        when the store is marked unavailable outright.
     precomputed:
         Batch engine only: when ``False``, SAR candidate histograms are
         re-vectorized through the dictionary backend at query time (the
@@ -116,6 +186,8 @@ class FusionRecommender:
         name: str | None = None,
         engine: str | None = None,
         num_workers: int | None = None,
+        time_budget: float | None = None,
+        max_social_staleness: int | None = None,
         precomputed: bool = True,
     ) -> None:
         if social_mode not in SOCIAL_MODES:
@@ -141,6 +213,20 @@ class FusionRecommender:
         )
         if self.num_workers < 0:
             raise ValueError(f"num_workers must be >= 0, got {self.num_workers}")
+        self.time_budget = (
+            index.config.time_budget if time_budget is None else float(time_budget)
+        )
+        if self.time_budget is not None and self.time_budget <= 0:
+            raise ValueError(f"time_budget must be > 0, got {self.time_budget}")
+        self.max_social_staleness = (
+            index.config.max_social_staleness
+            if max_social_staleness is None
+            else int(max_social_staleness)
+        )
+        if self.max_social_staleness is not None and self.max_social_staleness < 0:
+            raise ValueError(
+                f"max_social_staleness must be >= 0, got {self.max_social_staleness}"
+            )
         self.precomputed = bool(precomputed)
         self.social_mode = social_mode
         self.content_measure_name = content_measure
@@ -271,10 +357,14 @@ class FusionRecommender:
         vectorizer = self.index.sar if self.social_mode == "sar" else self.index.sar_h
         query_vector = vectorizer.vectorize(query_descriptor)
         if self.precomputed:
+            # Rows of the materialized matrix follow the sorted video_ids
+            # order; searchsorted maps any candidate subset (the full scan
+            # or a budget chunk) onto its rows without re-vectorizing.
             matrix = self.index.sar_matrix(self.social_mode)
-            scores = approx_jaccard_batch(query_vector, matrix)
-            position = bisect.bisect_left(self.index.video_ids, query_id)
-            return np.delete(scores, position)
+            rows = np.searchsorted(
+                np.asarray(self.index.video_ids), np.asarray(candidates)
+            )
+            return approx_jaccard_batch(query_vector, matrix[rows])
         matrix = np.stack(
             [vectorizer.vectorize(self.index.descriptor(vid)) for vid in candidates]
         )
@@ -283,55 +373,128 @@ class FusionRecommender:
     # ------------------------------------------------------------------
     # Recommendation
     # ------------------------------------------------------------------
+    def _score_arrays(
+        self, query_id: str, candidates: list[str], omega: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(content, social)`` score arrays for *candidates*, clipped to 1.
+
+        Components a weight of *omega* would ignore are left as zeros, so
+        a degraded (ω-renormalised) scan never touches the social store.
+        """
+        zeros = np.zeros(len(candidates), dtype=np.float64)
+        if not candidates:
+            return zeros, zeros
+        if self.engine == "batch":
+            content_of, social_of = self._content_scores_batch, self._social_scores_batch
+        else:
+            content_of, social_of = self._content_scores_scalar, self._social_scores_scalar
+        content = content_of(query_id, candidates) if omega < 1.0 else zeros
+        social = social_of(query_id, candidates) if omega > 0.0 else zeros
+        return np.minimum(content, 1.0), np.minimum(social, 1.0)
+
+    def _degradation_reasons(self) -> list[str]:
+        """Why (if at all) the social term must be dropped for this query."""
+        if self.omega <= 0.0:
+            return []
+        store = self.index.social_store
+        if not store.available:
+            reason = store.unavailable_reason
+            suffix = f" ({reason})" if reason else ""
+            return [f"social store unavailable{suffix}; serving content-only ranking"]
+        bound = self.max_social_staleness
+        if bound is not None and store.skipped_mutations > bound:
+            return [
+                f"social store stale: {store.skipped_mutations} skipped "
+                f"mutations exceed the bound of {bound}; "
+                "serving content-only ranking"
+            ]
+        return []
+
     def component_scores(self, query_id: str) -> dict[str, tuple[float, float]]:
         """Both relevance components for every candidate, in one pass.
 
         Returns ``candidate_id -> (content, social)``.  Parameter sweeps
         (the ω bench) reuse this to re-rank under many fusion weights
         without recomputing any EMD.  Routed through the configured
-        engine; both engines agree to float rounding.
+        engine; both engines agree to float rounding.  This is the
+        non-degrading API: an unavailable social store raises
+        :class:`~repro.errors.SocialStoreUnavailableError` (use
+        :meth:`recommend` for graceful content-only fallback).
         """
         if query_id not in self.index.series:
             raise KeyError(f"unknown video {query_id!r}")
         candidates = [vid for vid in self.index.video_ids if vid != query_id]
-        zeros = np.zeros(len(candidates), dtype=np.float64)
-        if self.engine == "batch":
-            content = (
-                self._content_scores_batch(query_id, candidates)
-                if self.omega < 1.0
-                else zeros
-            )
-            social = (
-                self._social_scores_batch(query_id, candidates)
-                if self.omega > 0.0
-                else zeros
-            )
-        else:
-            content = (
-                self._content_scores_scalar(query_id, candidates)
-                if self.omega < 1.0
-                else zeros
-            )
-            social = (
-                self._social_scores_scalar(query_id, candidates)
-                if self.omega > 0.0
-                else zeros
-            )
-        content = np.minimum(content, 1.0)
-        social = np.minimum(social, 1.0)
+        content, social = self._score_arrays(query_id, candidates, self.omega)
         return {
             vid: (float(c), float(s))
             for vid, c, s in zip(candidates, content, social)
         }
 
-    def recommend(self, query_id: str, top_k: int = 10) -> list[str]:
-        """Rank every other video by FJ and return the best *top_k* ids."""
+    def recommend(self, query_id: str, top_k: int = 10) -> "Recommendations":
+        """Rank every other video by FJ and return the best *top_k* ids.
+
+        Serving never fails soft-dependency checks hard: with ω > 0 and
+        the social store unavailable (or staler than
+        ``max_social_staleness``), ω is renormalised to zero and the
+        content-only ranking is returned flagged ``degraded``.  With a
+        ``time_budget``, candidates are scored in chunks until the
+        deadline; an expired budget returns the best-effort ranking over
+        the scored prefix flagged ``partial`` (at least one chunk is
+        always scored).  The result compares equal to the plain id list.
+        """
         if top_k < 1:
             raise ValueError(f"top_k must be >= 1, got {top_k}")
         if query_id not in self.index.series:
             raise KeyError(f"unknown video {query_id!r}")
-        components = self.component_scores(query_id)
-        return rank_components(components, self.omega, top_k)
+        reasons = self._degradation_reasons()
+        omega = 0.0 if reasons else self.omega
+        candidates = [vid for vid in self.index.video_ids if vid != query_id]
+        total = len(candidates)
+        if self.time_budget is None:
+            scored = candidates
+            content, social = self._score_arrays(query_id, candidates, omega)
+        else:
+            deadline = time.monotonic() + self.time_budget
+            scored = []
+            content_parts: list[np.ndarray] = []
+            social_parts: list[np.ndarray] = []
+            for start in range(0, total, _BUDGET_CHUNK):
+                chunk = candidates[start : start + _BUDGET_CHUNK]
+                chunk_content, chunk_social = self._score_arrays(
+                    query_id, chunk, omega
+                )
+                content_parts.append(chunk_content)
+                social_parts.append(chunk_social)
+                scored.extend(chunk)
+                if len(scored) < total and time.monotonic() >= deadline:
+                    reasons = reasons + [
+                        f"time budget of {self.time_budget}s expired after "
+                        f"{len(scored)}/{total} candidates; ranking the "
+                        "scored prefix"
+                    ]
+                    break
+            content = (
+                np.concatenate(content_parts)
+                if content_parts
+                else np.zeros(0, dtype=np.float64)
+            )
+            social = (
+                np.concatenate(social_parts)
+                if social_parts
+                else np.zeros(0, dtype=np.float64)
+            )
+        components = {
+            vid: (float(c), float(s))
+            for vid, c, s in zip(scored, content, social)
+        }
+        return Recommendations(
+            rank_components(components, omega, top_k),
+            degraded=bool(reasons),
+            partial=len(scored) < total,
+            reasons=reasons,
+            scored=len(scored),
+            total=total,
+        )
 
 
 def rank_components(

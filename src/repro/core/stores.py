@@ -34,8 +34,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.community.models import DEFAULT_UP_TO_MONTH
 from repro.core.config import RecommenderConfig
 from repro.emd.embedding import EmdEmbedding
+from repro.errors import SocialStoreUnavailableError
 from repro.index.lsb import LsbIndex
 from repro.measures.content import SignatureBank
 from repro.signatures.series import SignatureSeries, extract_signature_series
@@ -176,6 +178,14 @@ class ContentStore:
             self._bank.remove(video_id)
         self.revision += 1
 
+    def restore_revision(self, revision: int) -> None:
+        """Fast-forward the revision clock to at least *revision*.
+
+        Used by snapshot loads so consumers spanning a save/load cycle in
+        one process never see the monotonic counter go backwards.
+        """
+        self.revision = max(self.revision, int(revision))
+
     # ------------------------------------------------------------------
     # Derived views (revision-keyed)
     # ------------------------------------------------------------------
@@ -221,7 +231,7 @@ class SocialStore:
         descriptors: dict[str, SocialDescriptor],
         k: int,
         uig_pair_cap: int | None = None,
-        up_to_month: int = 11,
+        up_to_month: int = DEFAULT_UP_TO_MONTH,
     ) -> None:
         self._descriptors: dict[str, SocialDescriptor] = dict(descriptors)
         self._k = k
@@ -232,6 +242,11 @@ class SocialStore:
         self._index: DynamicSocialIndex | None = None
         self._base_revision = 0
         self._dicts: tuple[SortedUserDictionary, SarVectorizer, SarVectorizer] | None = None
+        self._available = True
+        self._unavailable_reason = ""
+        #: Mutations known to be lost (recovery gaps, failed updates);
+        #: recommenders compare this against their staleness bound.
+        self.skipped_mutations = 0
 
     # ------------------------------------------------------------------
     # Revision protocol
@@ -241,6 +256,53 @@ class SocialStore:
         """Monotonic revision covering structural and maintenance changes."""
         inner = 0 if self._index is None else self._index.revision
         return self._base_revision + inner
+
+    def restore_revision(self, revision: int) -> None:
+        """Fast-forward the revision clock to at least *revision*.
+
+        The public snapshot-restore API (previously loaders poked the
+        private structural base directly): after the call,
+        :attr:`revision` is ``>= revision``, and monotonicity is preserved
+        — an already-ahead clock is left untouched.
+        """
+        inner = 0 if self._index is None else self._index.revision
+        self._base_revision = max(self._base_revision, int(revision) - inner)
+
+    # ------------------------------------------------------------------
+    # Availability (degraded-mode serving)
+    # ------------------------------------------------------------------
+    @property
+    def available(self) -> bool:
+        """Whether derived social structures may be served."""
+        return self._available
+
+    @property
+    def unavailable_reason(self) -> str:
+        """Why the store was marked unavailable (empty when available)."""
+        return self._unavailable_reason
+
+    def mark_unavailable(self, reason: str = "") -> None:
+        """Take the social side out of serving (recovery found it damaged,
+        an operator disabled it, ...).  Derived views and mutations raise
+        :class:`SocialStoreUnavailableError` until :meth:`mark_available`."""
+        self._available = False
+        self._unavailable_reason = reason
+
+    def mark_available(self) -> None:
+        """Return the store to serving (staleness bookkeeping is kept)."""
+        self._available = True
+        self._unavailable_reason = ""
+
+    def record_skipped_mutations(self, count: int = 1) -> None:
+        """Note *count* mutations that could not be applied to this store."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        self.skipped_mutations += count
+
+    def _require_available(self) -> None:
+        if not self._available:
+            suffix = f": {self._unavailable_reason}" if self._unavailable_reason else ""
+            raise SocialStoreUnavailableError(f"social store unavailable{suffix}")
 
     def _invalidate(self) -> None:
         """Mark the wrapped index stale; adopt its live descriptor state."""
@@ -276,6 +338,7 @@ class SocialStore:
         inverted file) independent of the mutation history — only the
         final descriptor set matters.
         """
+        self._require_available()
         if self._index is None:
             ordered = [
                 self._descriptors[video_id] for video_id in sorted(self._descriptors)
@@ -293,6 +356,7 @@ class SocialStore:
         chained-hash vectorizer reads the live hash table) and refreshes on
         structural invalidation or :meth:`refresh_dictionaries`.
         """
+        self._require_available()
         if self._dicts is None:
             index = self.index
             membership = {
@@ -317,6 +381,7 @@ class SocialStore:
     # ------------------------------------------------------------------
     def add_video(self, descriptor: SocialDescriptor) -> None:
         """Register a new video's social descriptor (structural change)."""
+        self._require_available()
         if descriptor.video_id in self.descriptors:
             raise ValueError(f"video {descriptor.video_id!r} already has a descriptor")
         self._invalidate()
@@ -324,6 +389,7 @@ class SocialStore:
 
     def retire_video(self, video_id: str) -> None:
         """Drop a video's descriptor (structural change)."""
+        self._require_available()
         if video_id not in self.descriptors:
             raise KeyError(f"unknown video {video_id!r}")
         self._invalidate()
@@ -340,6 +406,7 @@ class SocialStore:
         partition deterministically, so the result matches a cold build of
         the final community bit for bit.
         """
+        self._require_available()
         if incremental:
             return self.index.apply_comments(comments)
         self._invalidate()

@@ -1,0 +1,53 @@
+"""Typed exception hierarchy for durability and serving failures.
+
+Persistence and recovery problems used to surface as raw ``json`` /
+``gzip`` / ``KeyError`` tracebacks; callers (the CLI in particular) had no
+way to tell "the snapshot file is damaged" apart from "the code is buggy".
+Every durability failure now raises a subclass of :class:`DurabilityError`
+carrying a one-line, operator-readable message.
+
+The corruption errors also subclass :class:`ValueError` so code (and
+tests) written against the old ``raise ValueError`` behaviour keeps
+working unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "DurabilityError",
+    "SnapshotCorruptionError",
+    "WalCorruptionError",
+    "SchemaMismatchError",
+    "SocialStoreUnavailableError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every typed error raised by this package."""
+
+
+class DurabilityError(ReproError):
+    """A snapshot or write-ahead-log problem (corruption, schema drift)."""
+
+
+class SnapshotCorruptionError(DurabilityError, ValueError):
+    """A snapshot archive is unreadable: truncated gzip stream, flipped
+    payload bytes (checksum mismatch), undecodable JSON, or a payload of
+    the wrong kind."""
+
+
+class WalCorruptionError(DurabilityError, ValueError):
+    """A write-ahead log is damaged beyond the torn-tail tolerance: a bad
+    record (checksum or sequence mismatch) appears *before* valid ones, so
+    truncating the tail would silently drop acknowledged mutations."""
+
+
+class SchemaMismatchError(DurabilityError, ValueError):
+    """An archive was written under an incompatible schema major version."""
+
+
+class SocialStoreUnavailableError(ReproError, RuntimeError):
+    """The social store was marked unavailable; derived social structures
+    cannot be served.  :class:`~repro.core.recommender.FusionRecommender`
+    degrades to content-only serving instead of propagating this."""

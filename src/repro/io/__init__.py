@@ -1,5 +1,6 @@
-"""Persistence: gzipped-JSON save/load for datasets and built indexes."""
+"""Persistence: crash-safe gzipped-JSON archives, the WAL, and recovery."""
 
+from repro.io.atomic import atomic_write_bytes
 from repro.io.index_store import load_index, save_index
 from repro.io.serialize import (
     SCHEMA_VERSION,
@@ -8,13 +9,28 @@ from repro.io.serialize import (
     load_dataset,
     save_dataset,
 )
+from repro.io.wal import (
+    RecoveryInfo,
+    WalRecord,
+    WalScan,
+    WriteAheadLog,
+    read_wal,
+    recover,
+)
 
 __all__ = [
     "SCHEMA_VERSION",
+    "RecoveryInfo",
+    "WalRecord",
+    "WalScan",
+    "WriteAheadLog",
+    "atomic_write_bytes",
     "dataset_from_dict",
     "dataset_to_dict",
     "load_dataset",
     "load_index",
+    "read_wal",
+    "recover",
     "save_dataset",
     "save_index",
 ]

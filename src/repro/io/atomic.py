@@ -1,0 +1,77 @@
+"""Crash-safe file replacement: temp file + fsync + ``os.replace``.
+
+The old snapshot writer opened the destination in place — a crash
+mid-write destroyed the only copy.  Every archive writer now goes through
+:func:`atomic_write_bytes`: the bytes land in a same-directory temp file,
+the file is fsynced, then atomically renamed over the destination, then
+the directory entry is fsynced.  At no instant does the destination hold
+anything but either the complete old or the complete new content.
+
+The write path fires the ``snapshot.*`` crash points so the fault suite
+can kill the process model at each step and assert the invariant.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+from repro.testing.faults import NO_FAULTS, FaultPlan, register_crash_point
+
+__all__ = ["atomic_write_bytes"]
+
+#: Before anything is written (the destination is untouched).
+POINT_BEFORE_WRITE = register_crash_point(
+    "snapshot.before_write", "before the temp file is created"
+)
+#: Half the payload is in the temp file (a torn temp file on crash).
+POINT_TORN_WRITE = register_crash_point(
+    "snapshot.torn_write", "half the payload written to the temp file"
+)
+#: The temp file is complete and fsynced but not yet renamed.
+POINT_BEFORE_REPLACE = register_crash_point(
+    "snapshot.before_replace", "temp file durable, rename pending"
+)
+#: The rename happened but the directory entry is not yet fsynced.
+POINT_AFTER_REPLACE = register_crash_point(
+    "snapshot.after_replace", "renamed over the destination, dir fsync pending"
+)
+
+
+def _fsync_directory(directory: pathlib.Path) -> None:
+    """Persist the directory entry of a just-renamed file (best effort)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open support
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(
+    path: str | pathlib.Path, data: bytes, faults: FaultPlan | None = None
+) -> None:
+    """Atomically replace *path* with *data* (never a partial file).
+
+    Crash at any point leaves either the previous complete content (or no
+    file) or the new complete content at *path*; a leftover ``*.tmp``
+    neighbour is the only possible residue and is overwritten by the next
+    write.
+    """
+    faults = NO_FAULTS if faults is None else faults
+    path = pathlib.Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    faults.fire(POINT_BEFORE_WRITE, path=tmp)
+    with open(tmp, "wb") as handle:
+        handle.write(data[: len(data) // 2])
+        handle.flush()
+        faults.fire(POINT_TORN_WRITE, path=tmp)
+        handle.write(data[len(data) // 2 :])
+        handle.flush()
+        os.fsync(handle.fileno())
+    faults.fire(POINT_BEFORE_REPLACE, path=tmp)
+    os.replace(tmp, path)
+    faults.fire(POINT_AFTER_REPLACE, path=path)
+    _fsync_directory(path.parent)

@@ -4,8 +4,10 @@ A generated :class:`~repro.community.models.CommunityDataset` is tiny on
 disk — video *records* store generation seeds, not frames — so plain
 gzipped JSON is the right format: diffable, portable, dependency-free.
 
-The schema is versioned; loaders refuse payloads from a different major
-version rather than mis-parse them.
+The schema is versioned; loaders raise a typed
+:class:`~repro.errors.SchemaMismatchError` on payloads from a different
+major version rather than mis-parse them.  Writes go through the atomic
+replace path, so a crash mid-save never destroys an existing dataset.
 """
 
 from __future__ import annotations
@@ -15,11 +17,61 @@ import json
 import pathlib
 
 from repro.community.models import Comment, CommunityDataset, User, VideoRecord
+from repro.errors import SchemaMismatchError
+from repro.io.atomic import atomic_write_bytes
 
-__all__ = ["SCHEMA_VERSION", "dataset_to_dict", "dataset_from_dict", "save_dataset", "load_dataset"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "check_schema",
+    "dataset_from_dict",
+    "dataset_to_dict",
+    "load_dataset",
+    "record_from_dict",
+    "record_to_dict",
+    "save_dataset",
+]
 
 #: Bump the major component on breaking schema changes.
 SCHEMA_VERSION = "1.0"
+
+
+def check_schema(payload: dict, supported: str = SCHEMA_VERSION) -> None:
+    """Raise :class:`SchemaMismatchError` on a foreign major version."""
+    version = str(payload.get("schema", ""))
+    if version.split(".")[0] != supported.split(".")[0]:
+        raise SchemaMismatchError(
+            f"incompatible schema version {version!r} (supported: {supported})"
+        )
+
+
+def record_to_dict(record: VideoRecord) -> dict:
+    """Serialise one :class:`VideoRecord` (shared with the WAL)."""
+    return {
+        "video_id": record.video_id,
+        "topic": record.topic,
+        "seed": record.seed,
+        "owner": record.owner,
+        "title": record.title,
+        "tags": list(record.tags),
+        "lineage": record.lineage,
+        "edit_seed": record.edit_seed,
+        "group": record.group,
+    }
+
+
+def record_from_dict(entry: dict) -> VideoRecord:
+    """Inverse of :func:`record_to_dict`."""
+    return VideoRecord(
+        video_id=entry["video_id"],
+        topic=entry["topic"],
+        seed=entry["seed"],
+        owner=entry["owner"],
+        title=entry["title"],
+        tags=tuple(entry["tags"]),
+        lineage=entry["lineage"],
+        edit_seed=entry["edit_seed"],
+        group=entry.get("group", 0),
+    )
 
 
 def dataset_to_dict(dataset: CommunityDataset) -> dict:
@@ -29,20 +81,7 @@ def dataset_to_dict(dataset: CommunityDataset) -> dict:
         "kind": "community-dataset",
         "topics": list(dataset.topics),
         "clip_params": dict(dataset.clip_params),
-        "records": [
-            {
-                "video_id": record.video_id,
-                "topic": record.topic,
-                "seed": record.seed,
-                "owner": record.owner,
-                "title": record.title,
-                "tags": list(record.tags),
-                "lineage": record.lineage,
-                "edit_seed": record.edit_seed,
-                "group": record.group,
-            }
-            for record in dataset.records.values()
-        ],
+        "records": [record_to_dict(record) for record in dataset.records.values()],
         "users": [
             {
                 "user_id": user.user_id,
@@ -66,28 +105,14 @@ def dataset_from_dict(payload: dict) -> CommunityDataset:
     Raises
     ------
     ValueError
-        On a wrong ``kind`` or an incompatible schema major version.
+        On a wrong ``kind``; :class:`SchemaMismatchError` (a
+        :class:`ValueError` subclass) on an incompatible major version.
     """
     if payload.get("kind") != "community-dataset":
         raise ValueError(f"not a community dataset payload: kind={payload.get('kind')!r}")
-    version = str(payload.get("schema", ""))
-    if version.split(".")[0] != SCHEMA_VERSION.split(".")[0]:
-        raise ValueError(
-            f"incompatible schema version {version!r} (supported: {SCHEMA_VERSION})"
-        )
+    check_schema(payload)
     records = {
-        entry["video_id"]: VideoRecord(
-            video_id=entry["video_id"],
-            topic=entry["topic"],
-            seed=entry["seed"],
-            owner=entry["owner"],
-            title=entry["title"],
-            tags=tuple(entry["tags"]),
-            lineage=entry["lineage"],
-            edit_seed=entry["edit_seed"],
-            group=entry.get("group", 0),
-        )
-        for entry in payload["records"]
+        entry["video_id"]: record_from_dict(entry) for entry in payload["records"]
     }
     users = {
         entry["user_id"]: User(
@@ -116,17 +141,16 @@ def dataset_from_dict(payload: dict) -> CommunityDataset:
 
 
 def save_dataset(dataset: CommunityDataset, path: str | pathlib.Path) -> None:
-    """Write *dataset* as gzipped JSON to *path*.
+    """Write *dataset* as gzipped JSON to *path* (atomic replace).
 
     A ``.json`` suffix writes plain JSON; anything else gzips.
     """
     path = pathlib.Path(path)
     payload = json.dumps(dataset_to_dict(dataset), separators=(",", ":"))
     if path.suffix == ".json":
-        path.write_text(payload)
+        atomic_write_bytes(path, payload.encode("utf-8"))
     else:
-        with gzip.open(path, "wt") as handle:
-            handle.write(payload)
+        atomic_write_bytes(path, gzip.compress(payload.encode("utf-8"), mtime=0))
 
 
 def load_dataset(path: str | pathlib.Path) -> CommunityDataset:

@@ -1,0 +1,369 @@
+"""Append-only write-ahead log for live index mutations, plus recovery.
+
+Snapshots are checkpoints; everything between two checkpoints used to be
+volatile — process death lost every acknowledged ingest/retire/comment
+batch since the last ``save_index``.  The WAL closes that window:
+
+* Every :class:`~repro.core.pipeline.LiveCommunityIndex` mutation appends
+  one JSONL record **before** any store mutates.  A record carries a
+  monotonically increasing sequence number and a CRC32 over its canonical
+  body, so replay can tell "the tail was torn by a crash" (tolerated:
+  truncate at the first bad record) from "the middle of an acknowledged
+  log is damaged" (refused: :class:`WalCorruptionError`).
+* Ingest records log the extracted signature series, global features and
+  descriptor members, so replay never re-extracts — recovery is exact
+  even for uploaded clips whose frames are not re-derivable.
+* Snapshots persist ``wal_seq``, the last record they cover; replay skips
+  that prefix, making :func:`recover` idempotent whichever side of a
+  checkpoint the crash landed on.
+
+:func:`recover(snapshot, wal) <recover>` therefore yields a live index
+bit-identical to the uninterrupted run for any crash at a registered
+point — the fault-injection suite asserts exactly that.
+
+Record format (one per line, UTF-8)::
+
+    {"crc": <crc32>, "op": "...", "payload": {...}, "seq": <n>}
+
+where ``crc`` is computed over the canonical (sorted-key, no-whitespace)
+encoding of ``{"op", "payload", "seq"}``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import zlib
+from dataclasses import dataclass, field
+
+from repro.community.models import Comment
+from repro.core.pipeline import LiveCommunityIndex
+from repro.core.stores import GlobalFeatures
+from repro.errors import WalCorruptionError
+from repro.io.index_store import (
+    features_from_dict,
+    features_to_dict,
+    load_index,
+    series_from_dict,
+    series_to_dict,
+)
+from repro.io.serialize import record_from_dict, record_to_dict
+from repro.signatures.series import SignatureSeries
+from repro.social.descriptor import SocialDescriptor
+from repro.testing.faults import NO_FAULTS, FaultPlan, register_crash_point
+
+__all__ = [
+    "WalRecord",
+    "WalScan",
+    "WriteAheadLog",
+    "read_wal",
+    "recover",
+    "RecoveryInfo",
+]
+
+#: Before any byte of the record is written.
+POINT_BEFORE_APPEND = register_crash_point(
+    "wal.before_append", "record not yet written"
+)
+#: Half the record line is on disk (a torn tail on crash).
+POINT_TORN_APPEND = register_crash_point(
+    "wal.torn_append", "half the record line written"
+)
+#: The full line is written but not yet fsynced.
+POINT_BEFORE_FSYNC = register_crash_point(
+    "wal.before_fsync", "record written, fsync pending"
+)
+#: The record is durable; the in-memory mutation has not yet applied.
+POINT_AFTER_APPEND = register_crash_point(
+    "wal.after_append", "record durable, mutation pending"
+)
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One validated log record."""
+
+    seq: int
+    op: str
+    payload: dict
+
+
+@dataclass(frozen=True)
+class WalScan:
+    """Result of scanning a log file."""
+
+    records: list[WalRecord]
+    torn_tail: bool
+    valid_bytes: int
+
+
+def _record_crc(seq: int, op: str, payload: dict) -> int:
+    body = json.dumps(
+        {"op": op, "payload": payload, "seq": seq},
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode("utf-8")
+    return zlib.crc32(body)
+
+
+def _parse_line(line: bytes, expected_seq: int | None) -> WalRecord | None:
+    """A validated record, or ``None`` if *line* is damaged in any way."""
+    try:
+        doc = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    if not isinstance(doc, dict):
+        return None
+    try:
+        seq, op, payload, crc = doc["seq"], doc["op"], doc["payload"], doc["crc"]
+    except KeyError:
+        return None
+    if not isinstance(seq, int) or not isinstance(op, str) or not isinstance(payload, dict):
+        return None
+    if crc != _record_crc(seq, op, payload):
+        return None
+    if expected_seq is not None and seq != expected_seq:
+        return None
+    if expected_seq is None and seq < 1:
+        return None
+    return WalRecord(seq=seq, op=op, payload=payload)
+
+
+def read_wal(path: str | pathlib.Path, missing_ok: bool = False) -> WalScan:
+    """Scan a WAL, tolerating a torn tail.
+
+    Records are validated line by line (JSON shape, CRC32, contiguous
+    sequence numbers).  The first bad line and everything after it is
+    dropped **only if** nothing after it validates — a crash can tear the
+    tail, but it cannot damage the middle of an acknowledged log, so a
+    valid record after a bad one means real corruption and raises
+    :class:`WalCorruptionError`.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        if missing_ok:
+            return WalScan(records=[], torn_tail=False, valid_bytes=0)
+        raise FileNotFoundError(f"no write-ahead log at {path}")
+    raw = path.read_bytes()
+    records: list[WalRecord] = []
+    offset = 0
+    valid_bytes = 0
+    bad_at: int | None = None
+    for line in raw.split(b"\n"):
+        advance = len(line) + 1
+        if offset + len(line) >= len(raw):
+            # Final fragment without a trailing newline: an append in
+            # flight when the process died.  Empty means a clean end.
+            if line and bad_at is None:
+                bad_at = offset
+            break
+        expected = records[-1].seq + 1 if records else None
+        record = None if bad_at is not None else _parse_line(line, expected)
+        if bad_at is None and record is None:
+            bad_at = offset
+        elif bad_at is not None and _parse_line(line, None) is not None:
+            raise WalCorruptionError(
+                f"WAL {path} is corrupt: invalid record at byte {bad_at} is "
+                "followed by valid ones (not a torn tail); refusing to "
+                "silently drop acknowledged mutations"
+            )
+        elif record is not None:
+            records.append(record)
+            valid_bytes = offset + advance
+        offset += advance
+    return WalScan(records=records, torn_tail=bad_at is not None, valid_bytes=valid_bytes)
+
+
+class WriteAheadLog:
+    """Append-only JSONL log with per-record sequence numbers and CRC32.
+
+    Opening an existing log scans it (repairing a torn tail by truncating
+    to the last valid record) and continues the sequence.  Each append is
+    flushed and fsynced before it returns, so an acknowledged mutation is
+    durable; the ``wal.*`` crash points let the fault suite kill the
+    process model at every step of that path.
+    """
+
+    def __init__(
+        self,
+        path: str | pathlib.Path,
+        faults: FaultPlan | None = None,
+        sync: bool = True,
+    ) -> None:
+        self.path = pathlib.Path(path)
+        self.faults = NO_FAULTS if faults is None else faults
+        self.sync = sync
+        self._handle = None
+        scan = read_wal(self.path, missing_ok=True)
+        self.seq = scan.records[-1].seq if scan.records else 0
+        if scan.torn_tail:
+            with open(self.path, "r+b") as handle:
+                handle.truncate(scan.valid_bytes)
+
+    # ------------------------------------------------------------------
+    # Raw append path
+    # ------------------------------------------------------------------
+    def _open(self):
+        if self._handle is None:
+            self._handle = open(self.path, "ab")
+        return self._handle
+
+    def append(self, op: str, payload: dict) -> int:
+        """Durably append one record; returns its sequence number."""
+        seq = self.seq + 1
+        line = json.dumps(
+            {
+                "crc": _record_crc(seq, op, payload),
+                "op": op,
+                "payload": payload,
+                "seq": seq,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("utf-8") + b"\n"
+        self.faults.fire(POINT_BEFORE_APPEND, path=self.path)
+        handle = self._open()
+        handle.write(line[: len(line) // 2])
+        handle.flush()
+        self.faults.fire(POINT_TORN_APPEND, path=self.path)
+        handle.write(line[len(line) // 2 :])
+        handle.flush()
+        self.faults.fire(POINT_BEFORE_FSYNC, path=self.path)
+        if self.sync:
+            os.fsync(handle.fileno())
+        self.faults.fire(POINT_AFTER_APPEND, path=self.path)
+        self.seq = seq
+        return seq
+
+    def close(self) -> None:
+        """Close the underlying file handle (reopened on next append)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Mutation records (the LiveCommunityIndex logging protocol)
+    # ------------------------------------------------------------------
+    def log_ingest(
+        self,
+        record,
+        series: SignatureSeries,
+        features: GlobalFeatures | None,
+        members,
+    ) -> int:
+        """Log one video ingest: record, extracted state, social members."""
+        return self.append(
+            "ingest",
+            {
+                "record": record_to_dict(record),
+                "series": series_to_dict(series),
+                "features": None if features is None else features_to_dict(features),
+                "members": sorted(members),
+            },
+        )
+
+    def log_retire(self, video_id: str) -> int:
+        """Log one video retirement."""
+        return self.append("retire", {"video_id": video_id})
+
+    def log_comments(self, pairs, incremental: bool) -> int:
+        """Log one comment batch (exact or incremental application)."""
+        return self.append(
+            "comments",
+            {
+                "pairs": [[user, video_id] for user, video_id in pairs],
+                "incremental": bool(incremental),
+            },
+        )
+
+    def log_watermark(self, month: int) -> int:
+        """Log a watermark advance."""
+        return self.append("watermark", {"month": int(month)})
+
+    def log_comment_history(self, comments) -> int:
+        """Log an extension of the dataset's historical comment log."""
+        return self.append(
+            "comment_history",
+            {"comments": [[c.user_id, c.video_id, c.month] for c in comments]},
+        )
+
+
+@dataclass
+class RecoveryInfo:
+    """What :func:`recover` did (attached to the returned index)."""
+
+    replayed: int = 0
+    skipped: int = 0
+    torn_tail: bool = False
+    ops: dict[str, int] = field(default_factory=dict)
+
+
+def _replay_record(index: LiveCommunityIndex, record: WalRecord) -> None:
+    payload = record.payload
+    if record.op == "ingest":
+        video_record = record_from_dict(payload["record"])
+        index.dataset.records[video_record.video_id] = video_record
+        index.content.add_series(
+            video_record.video_id,
+            series_from_dict(video_record.video_id, payload["series"]),
+            None
+            if payload["features"] is None
+            else features_from_dict(payload["features"]),
+        )
+        index.social_store.add_video(
+            SocialDescriptor.from_users(video_record.video_id, payload["members"])
+        )
+    elif record.op == "retire":
+        index.retire_video(payload["video_id"])
+    elif record.op == "comments":
+        index.apply_comments(
+            [(user, video_id) for user, video_id in payload["pairs"]],
+            incremental=payload["incremental"],
+        )
+    elif record.op == "watermark":
+        index.advance_watermark(payload["month"])
+    elif record.op == "comment_history":
+        index.dataset.comments.extend(
+            Comment(user_id=user, video_id=video_id, month=month)
+            for user, video_id, month in payload["comments"]
+        )
+    else:
+        raise WalCorruptionError(f"unknown WAL op {record.op!r} (seq {record.seq})")
+
+
+def recover(
+    snapshot_path: str | pathlib.Path, wal_path: str | pathlib.Path
+) -> LiveCommunityIndex:
+    """Rebuild the live index from a snapshot plus its write-ahead log.
+
+    Loads the snapshot, then replays every WAL record with a sequence
+    number beyond the snapshot's ``wal_seq`` watermark.  A torn log tail
+    (the record a crash interrupted) is dropped — that mutation was never
+    acknowledged, so clients re-submit it; mid-log damage raises
+    :class:`WalCorruptionError` instead of silently dropping history.
+
+    The result is bit-identical (recommendations and component scores) to
+    the uninterrupted run, which the fault-injection suite pins for every
+    registered crash point.  A :class:`RecoveryInfo` lands on the returned
+    index's ``recovery`` attribute.
+    """
+    index = load_index(snapshot_path)
+    scan = read_wal(wal_path, missing_ok=True)
+    info = RecoveryInfo(torn_tail=scan.torn_tail)
+    for record in scan.records:
+        if record.seq <= index.wal_seq:
+            info.skipped += 1
+            continue
+        _replay_record(index, record)
+        index.wal_seq = record.seq
+        info.replayed += 1
+        info.ops[record.op] = info.ops.get(record.op, 0) + 1
+    index.recovery = info
+    return index

@@ -1,0 +1,19 @@
+"""Testing subsystem: fault injection for the durability layer."""
+
+from repro.testing.faults import (
+    CRASH_POINTS,
+    ByteCorruption,
+    FaultPlan,
+    InjectedCrashError,
+    register_crash_point,
+    registered_crash_points,
+)
+
+__all__ = [
+    "CRASH_POINTS",
+    "ByteCorruption",
+    "FaultPlan",
+    "InjectedCrashError",
+    "register_crash_point",
+    "registered_crash_points",
+]

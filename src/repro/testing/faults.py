@@ -1,0 +1,125 @@
+"""Crash-point registry and fault plans for durability testing.
+
+The WAL and snapshot writers thread a :class:`FaultPlan` through their IO
+paths and call :meth:`FaultPlan.fire` at every **registered crash point**
+— the instants where a real process death would leave interestingly
+partial on-disk state (half-written record, complete tmp file not yet
+renamed, renamed file not yet directory-fsynced, ...).
+
+A plan can, per point:
+
+* **abort** — raise :class:`InjectedCrashError`, modelling ``kill -9`` at
+  exactly that instant (the in-memory state is then discarded by the test
+  and recovery is exercised from the on-disk state alone);
+* **corrupt bytes** — XOR-flip a byte of the file being written,
+  modelling media corruption;
+* **slow IO** — sleep, modelling a saturated disk (used to exercise the
+  per-query time budget without fake clocks).
+
+Writers register their points at import time via
+:func:`register_crash_point`; :func:`registered_crash_points` is the
+matrix the fault-injection suite (and the CI crash-recovery job) iterates.
+This module imports nothing from the rest of the package, so it can sit
+below both ``repro.io`` and ``repro.core``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "CRASH_POINTS",
+    "ByteCorruption",
+    "FaultPlan",
+    "InjectedCrashError",
+    "register_crash_point",
+    "registered_crash_points",
+]
+
+#: ``name -> description`` of every registered crash point.
+CRASH_POINTS: dict[str, str] = {}
+
+
+def register_crash_point(name: str, description: str = "") -> str:
+    """Register a crash point (idempotent); returns *name* for reuse."""
+    CRASH_POINTS.setdefault(name, description)
+    return name
+
+
+def registered_crash_points() -> list[str]:
+    """All registered crash point names, sorted (the injection matrix)."""
+    return sorted(CRASH_POINTS)
+
+
+class InjectedCrashError(RuntimeError):
+    """Raised by :meth:`FaultPlan.fire` to simulate process death."""
+
+
+@dataclass(frozen=True)
+class ByteCorruption:
+    """XOR-flip one byte of a file (``offset`` may be negative = from end)."""
+
+    offset: int = -2
+    mask: int = 0xFF
+
+    def apply(self, path: str | os.PathLike) -> None:
+        with open(path, "r+b") as handle:
+            handle.seek(0, os.SEEK_END)
+            size = handle.tell()
+            if size == 0:
+                return
+            position = self.offset if self.offset >= 0 else size + self.offset
+            position = min(max(position, 0), size - 1)
+            handle.seek(position)
+            byte = handle.read(1)
+            handle.seek(position)
+            handle.write(bytes([byte[0] ^ self.mask]))
+
+
+@dataclass
+class FaultPlan:
+    """What to inject at which crash points.
+
+    Attributes
+    ----------
+    abort_at:
+        Points at which to raise :class:`InjectedCrashError`.
+    corrupt_at:
+        ``point -> ByteCorruption`` applied to the file being written.
+    slow_at:
+        ``point -> seconds`` to sleep before continuing.
+    fired:
+        Log of every point actually hit, in order (assertable by tests).
+    """
+
+    abort_at: frozenset[str] = frozenset()
+    corrupt_at: dict[str, ByteCorruption] = field(default_factory=dict)
+    slow_at: dict[str, float] = field(default_factory=dict)
+    fired: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.abort_at = frozenset(self.abort_at)
+
+    def fire(self, point: str, path: str | os.PathLike | None = None) -> None:
+        """Hit crash point *point*; injects whatever the plan prescribes.
+
+        Writers must only fire registered points — an unregistered name is
+        a programming error (the injection matrix would silently miss it).
+        """
+        if point not in CRASH_POINTS:
+            raise RuntimeError(f"unregistered crash point {point!r}")
+        self.fired.append(point)
+        delay = self.slow_at.get(point)
+        if delay:
+            time.sleep(delay)
+        corruption = self.corrupt_at.get(point)
+        if corruption is not None and path is not None and os.path.exists(path):
+            corruption.apply(path)
+        if point in self.abort_at:
+            raise InjectedCrashError(f"injected crash at {point}")
+
+
+#: Shared no-op plan used when callers pass ``faults=None``.
+NO_FAULTS = FaultPlan()

@@ -147,6 +147,99 @@ class TestIngest:
         assert victim in restored.video_ids
 
 
+class TestTypedErrorExits:
+    def test_missing_index_exits_with_one_line(self, tmp_path, capsys):
+        missing = tmp_path / "nowhere.json.gz"
+        assert main(["recommend", str(missing), "v00001"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_missing_index_for_ingest_exits_2(self, tmp_path, capsys):
+        missing = tmp_path / "nowhere.json.gz"
+        out = tmp_path / "out.json.gz"
+        assert main(["ingest", str(missing), str(out)]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_corrupt_index_exits_with_typed_error(self, index_path, tmp_path, capsys):
+        corrupt = tmp_path / "corrupt.json.gz"
+        corrupt.write_bytes(index_path.read_bytes()[:200])
+        assert main(["recommend", str(corrupt), "v00001"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "snapshot" in err
+
+    def test_missing_snapshot_for_recover_exits_2(self, tmp_path, capsys):
+        missing = tmp_path / "nowhere.json.gz"
+        assert (
+            main(
+                [
+                    "recover",
+                    str(missing),
+                    str(tmp_path / "log.jsonl"),
+                    str(tmp_path / "out.json.gz"),
+                ]
+            )
+            == 2
+        )
+        assert capsys.readouterr().err.startswith("error:")
+
+
+class TestWalAndRecover:
+    def test_ingest_with_wal_then_recover_round_trips(
+        self, index_path, tmp_path, capsys
+    ):
+        from repro.io import load_index
+
+        updated = tmp_path / "updated.json.gz"
+        recovered = tmp_path / "recovered.json.gz"
+        wal = tmp_path / "log.jsonl"
+        victim = load_index(index_path).video_ids[-1]
+        assert (
+            main(
+                [
+                    "ingest",
+                    str(index_path),
+                    str(updated),
+                    "--retire",
+                    victim,
+                    "--apply-months",
+                    "12-13",
+                    "--wal",
+                    str(wal),
+                ]
+            )
+            == 0
+        )
+        assert "wal seq" in capsys.readouterr().out
+        assert wal.exists()
+        # Recover from the PRE-ingest snapshot: the WAL alone must carry
+        # the session to the exact same state the ingest saved.
+        assert main(["recover", str(index_path), str(wal), str(recovered)]) == 0
+        assert "replayed" in capsys.readouterr().out
+        assert recovered.read_bytes() == updated.read_bytes()
+
+    def test_recover_without_wal_reproduces_snapshot(self, index_path, tmp_path, capsys):
+        from repro.io import load_index
+
+        out = tmp_path / "recovered.json.gz"
+        absent = tmp_path / "never-written.jsonl"
+        assert main(["recover", str(index_path), str(absent), str(out)]) == 0
+        assert "replayed 0" in capsys.readouterr().out
+        assert load_index(out).video_ids == load_index(index_path).video_ids
+
+    def test_degraded_recommend_prints_note(self, index_path, tmp_path, capsys, monkeypatch):
+        from repro.core.stores import SocialStore
+        from repro.io import load_index
+
+        video = load_index(index_path).video_ids[0]
+        monkeypatch.setattr(SocialStore, "available", property(lambda self: False))
+        assert main(["recommend", str(index_path), video, "--top-k", "3"]) == 0
+        captured = capsys.readouterr()
+        assert "degraded serving" in captured.err
+        assert captured.out.count(". v") == 3
+
+
 class TestEvaluate:
     def test_reports_table(self, index_path, capsys):
         assert main(["evaluate", str(index_path), "--methods", "cr,sr"]) == 0

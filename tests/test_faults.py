@@ -1,0 +1,173 @@
+"""Crash-injection matrix: every registered crash point x every mutation.
+
+The model under test: a process applies one mutation under the WAL, then
+checkpoints with ``save_index``; a fault kills it at one registered crash
+point.  Recovery (``recover`` on whatever the crash left on disk) plus a
+client retry of any never-acknowledged mutation must produce top-k
+recommendations and component scores identical to the uninterrupted run,
+for every social mode and both scoring engines.
+
+On a parity failure the offending snapshot/WAL pair is preserved to
+``$CRASH_ARTIFACT_DIR`` (the CI crash-recovery job uploads it).
+"""
+
+import os
+import shutil
+
+import pytest
+
+from repro.community import CommunityConfig, generate_community
+from repro.core import FusionRecommender, LiveCommunityIndex, RecommenderConfig
+from repro.core.recommender import ENGINES, SOCIAL_MODES
+from repro.errors import SnapshotCorruptionError
+from repro.io import WriteAheadLog, load_index, recover, save_index
+from repro.testing import (
+    ByteCorruption,
+    FaultPlan,
+    InjectedCrashError,
+    registered_crash_points,
+)
+
+MUTATIONS = ("ingest", "retire", "apply_comments")
+
+
+@pytest.fixture(scope="module")
+def community():
+    """Base state: a tiny live community with one video held out for ingest."""
+    dataset = generate_community(CommunityConfig(hours=1.0, seed=7))
+    held_out = sorted(dataset.records)[-1]
+    initial = sorted(set(dataset.records) - {held_out})
+    live = LiveCommunityIndex(dataset.subset(initial), RecommenderConfig(k=6))
+    live.dataset.comments = list(dataset.comments)
+    return live, dataset.records[held_out]
+
+
+@pytest.fixture(scope="module")
+def base_snapshot(community, tmp_path_factory):
+    path = tmp_path_factory.mktemp("faults") / "base.json.gz"
+    save_index(community[0], path)
+    return path
+
+
+def apply_mutation(index, mutation, held_out_record):
+    if mutation == "ingest":
+        index.ingest_video(held_out_record)
+    elif mutation == "retire":
+        index.retire_video(index.video_ids[-1])
+    else:
+        target = index.video_ids[0]
+        index.apply_comments([("crash_user_a", target), ("crash_user_b", target)])
+
+
+def fingerprint(index):
+    """Top-k + component scores under every social mode x engine combo."""
+    query = index.video_ids[0]
+    result = {}
+    for social_mode in SOCIAL_MODES:
+        for engine in ENGINES:
+            recommender = FusionRecommender(
+                index, omega=0.7, social_mode=social_mode, engine=engine
+            )
+            result[(social_mode, engine)] = (
+                list(recommender.recommend(query, 5)),
+                recommender.component_scores(query),
+            )
+    return result
+
+
+@pytest.fixture(scope="module")
+def references(community, base_snapshot):
+    """Uninterrupted-run fingerprints, one per mutation."""
+    _, held_out_record = community
+    result = {}
+    for mutation in MUTATIONS:
+        reference = load_index(base_snapshot)
+        apply_mutation(reference, mutation, held_out_record)
+        result[mutation] = fingerprint(reference)
+    return result
+
+
+def preserve_artifacts(snapshot, wal_path, label):
+    artifact_dir = os.environ.get("CRASH_ARTIFACT_DIR")
+    if not artifact_dir:
+        return
+    target = os.path.join(artifact_dir, label)
+    os.makedirs(target, exist_ok=True)
+    shutil.copy(snapshot, target)
+    if os.path.exists(wal_path):
+        shutil.copy(wal_path, target)
+
+
+@pytest.mark.parametrize("crash_point", registered_crash_points())
+@pytest.mark.parametrize("mutation", MUTATIONS)
+def test_crash_then_recover_matches_uninterrupted(
+    crash_point, mutation, community, base_snapshot, references, tmp_path
+):
+    _, held_out_record = community
+    snapshot = tmp_path / "snap.json.gz"
+    wal_path = tmp_path / "log.jsonl"
+    shutil.copy(base_snapshot, snapshot)
+    plan = FaultPlan(abort_at=frozenset({crash_point}))
+
+    # The doomed process: mutate under the WAL, then checkpoint.
+    crashed = False
+    index = load_index(snapshot)
+    wal = WriteAheadLog(wal_path, faults=plan)
+    try:
+        index.attach_wal(wal)
+        apply_mutation(index, mutation, held_out_record)
+        save_index(index, snapshot, faults=plan)
+    except InjectedCrashError:
+        crashed = True
+    finally:
+        wal.close()
+    assert crashed, f"{crash_point} never fired"
+    assert crash_point in plan.fired
+
+    # Recovery, then a client retry of any never-acknowledged mutation (a
+    # crash before the WAL record became durable means the caller never
+    # got an acknowledgement and re-submits).
+    recovered = recover(snapshot, wal_path)
+    if recovered.wal_seq < 1:
+        apply_mutation(recovered, mutation, held_out_record)
+
+    try:
+        assert fingerprint(recovered) == references[mutation]
+    except AssertionError:
+        preserve_artifacts(snapshot, wal_path, f"{mutation}-{crash_point}")
+        raise
+
+
+class TestFaultPrimitives:
+    def test_unregistered_point_refused(self):
+        with pytest.raises(RuntimeError, match="unregistered crash point"):
+            FaultPlan(abort_at=frozenset({"bogus.point"})).fire("bogus.point")
+
+    def test_corruption_fault_is_caught_at_load(self, community, tmp_path):
+        live, _ = community
+        path = tmp_path / "snap.json.gz"
+        save_index(live, path)
+        plan = FaultPlan(corrupt_at={"snapshot.after_replace": ByteCorruption()})
+        save_index(live, path, faults=plan)
+        assert "snapshot.after_replace" in plan.fired
+        with pytest.raises(SnapshotCorruptionError):
+            load_index(path)
+
+    def test_slow_io_fires_and_proceeds(self, community, tmp_path):
+        live, _ = community
+        path = tmp_path / "snap.json.gz"
+        plan = FaultPlan(slow_at={"snapshot.before_write": 0.01})
+        save_index(live, path, faults=plan)
+        assert "snapshot.before_write" in plan.fired
+        assert load_index(path).video_ids == live.video_ids
+
+    def test_crash_during_save_keeps_previous_snapshot(self, community, tmp_path):
+        live, _ = community
+        path = tmp_path / "snap.json.gz"
+        save_index(live, path)
+        before = path.read_bytes()
+        for point in ("snapshot.before_write", "snapshot.torn_write", "snapshot.before_replace"):
+            with pytest.raises(InjectedCrashError):
+                save_index(live, path, faults=FaultPlan(abort_at=frozenset({point})))
+            assert path.read_bytes() == before
+            assert load_index(path).video_ids == live.video_ids

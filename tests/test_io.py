@@ -1,12 +1,15 @@
 """Tests for dataset and index persistence."""
 
+import gzip
 import json
+import zlib
 
 import numpy as np
 import pytest
 
 from repro.community import CommunityConfig, generate_community
 from repro.core import CommunityIndex, RecommenderConfig, csf_sar_h_recommender
+from repro.errors import SchemaMismatchError, SnapshotCorruptionError
 from repro.io import (
     SCHEMA_VERSION,
     dataset_from_dict,
@@ -116,6 +119,73 @@ class TestIndexRoundtrip:
         save_dataset(dataset, path)
         with pytest.raises(ValueError, match="not a community index"):
             load_index(path)
+
+
+class TestSnapshotCorruption:
+    @pytest.fixture(scope="class")
+    def archive(self, dataset, tmp_path_factory):
+        path = tmp_path_factory.mktemp("corruption") / "index.json.gz"
+        save_index(CommunityIndex(dataset, RecommenderConfig(k=8)), path)
+        return path
+
+    def test_missing_file_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_index(tmp_path / "absent.json.gz")
+
+    def test_truncated_gzip_raises_typed_error(self, archive, tmp_path):
+        stunted = tmp_path / "truncated.json.gz"
+        stunted.write_bytes(archive.read_bytes()[: archive.stat().st_size // 2])
+        with pytest.raises(SnapshotCorruptionError, match="unreadable snapshot"):
+            load_index(stunted)
+
+    def test_flipped_payload_byte_fails_checksum(self, archive, tmp_path):
+        document = json.loads(gzip.decompress(archive.read_bytes()))
+        # Silent bit rot: change the payload without touching the stored
+        # CRC (a watermark of 99 parses fine but was never written).
+        document["payload"]["social"]["up_to_month"] = 99
+        flipped = tmp_path / "flipped.json.gz"
+        flipped.write_bytes(gzip.compress(json.dumps(document).encode()))
+        with pytest.raises(SnapshotCorruptionError, match="checksum"):
+            load_index(flipped)
+
+    def test_flipped_compressed_byte_raises_typed_error(self, archive, tmp_path):
+        raw = bytearray(archive.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        flipped = tmp_path / "flipped.json.gz"
+        flipped.write_bytes(bytes(raw))
+        with pytest.raises(SnapshotCorruptionError):
+            load_index(flipped)
+
+    def test_future_major_schema_raises_typed_error(self, archive, tmp_path):
+        document = json.loads(gzip.decompress(archive.read_bytes()))
+        document["schema"] = "999.0"
+        document["payload"]["schema"] = "999.0"
+        document["crc32"] = zlib.crc32(
+            json.dumps(
+                document["payload"], sort_keys=True, separators=(",", ":")
+            ).encode()
+        )
+        future = tmp_path / "future.json.gz"
+        future.write_bytes(gzip.compress(json.dumps(document).encode()))
+        with pytest.raises(SchemaMismatchError, match="incompatible schema"):
+            load_index(future)
+
+    def test_typed_errors_are_value_errors(self):
+        # Backward compatibility: callers catching ValueError keep working.
+        assert issubclass(SnapshotCorruptionError, ValueError)
+        assert issubclass(SchemaMismatchError, ValueError)
+
+    def test_identical_state_saves_byte_identical_archives(self, dataset, tmp_path):
+        built = CommunityIndex(dataset, RecommenderConfig(k=8))
+        first, second = tmp_path / "a.json.gz", tmp_path / "b.json.gz"
+        save_index(built, first)
+        save_index(built, second)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_save_leaves_no_temp_files(self, dataset, tmp_path):
+        built = CommunityIndex(dataset, RecommenderConfig(k=8))
+        save_index(built, tmp_path / "index.json.gz")
+        assert [p.name for p in tmp_path.iterdir()] == ["index.json.gz"]
 
 
 class TestLiveStateRoundtrip:

@@ -1,0 +1,194 @@
+"""Tests for the write-ahead log: format, torn tails, replay, recovery."""
+
+import json
+
+import pytest
+
+from repro.community import CommunityConfig, generate_community
+from repro.core import LiveCommunityIndex, RecommenderConfig, csf_sar_h_recommender
+from repro.errors import WalCorruptionError
+from repro.io import WriteAheadLog, read_wal, recover, save_index
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_community(CommunityConfig(hours=2.0, seed=33))
+
+
+@pytest.fixture()
+def live(dataset):
+    return LiveCommunityIndex(dataset, RecommenderConfig(k=8))
+
+
+class TestAppendAndScan:
+    def test_roundtrip_preserves_records(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with WriteAheadLog(path) as wal:
+            wal.append("retire", {"video_id": "v1"})
+            wal.append("watermark", {"month": 13})
+        scan = read_wal(path)
+        assert [(r.seq, r.op) for r in scan.records] == [(1, "retire"), (2, "watermark")]
+        assert scan.records[0].payload == {"video_id": "v1"}
+        assert not scan.torn_tail
+
+    def test_sequence_numbers_are_contiguous_from_one(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with WriteAheadLog(path) as wal:
+            assert [wal.append("retire", {"video_id": f"v{i}"}) for i in range(5)] == [
+                1, 2, 3, 4, 5,
+            ]
+
+    def test_reopen_continues_sequence(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with WriteAheadLog(path) as wal:
+            wal.append("retire", {"video_id": "v1"})
+        with WriteAheadLog(path) as wal:
+            assert wal.append("retire", {"video_id": "v2"}) == 2
+        assert [r.seq for r in read_wal(path).records] == [1, 2]
+
+    def test_missing_log(self, tmp_path):
+        path = tmp_path / "absent.jsonl"
+        with pytest.raises(FileNotFoundError):
+            read_wal(path)
+        scan = read_wal(path, missing_ok=True)
+        assert scan.records == [] and not scan.torn_tail
+
+    def test_every_line_carries_a_crc(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with WriteAheadLog(path) as wal:
+            wal.append("retire", {"video_id": "v1"})
+        entry = json.loads(path.read_text().splitlines()[0])
+        assert set(entry) == {"crc", "op", "payload", "seq"}
+
+
+class TestTornAndCorrupt:
+    def _write_two(self, path):
+        with WriteAheadLog(path) as wal:
+            wal.append("retire", {"video_id": "v1"})
+            wal.append("watermark", {"month": 13})
+
+    def test_torn_tail_is_dropped(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        self._write_two(path)
+        with open(path, "ab") as handle:
+            handle.write(b'{"crc": 0, "op": "retir')  # append cut mid-line
+        scan = read_wal(path)
+        assert [r.seq for r in scan.records] == [1, 2]
+        assert scan.torn_tail
+
+    def test_bad_crc_in_tail_is_dropped(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        self._write_two(path)
+        raw = path.read_bytes()
+        # Flip a payload byte of the LAST record: its CRC no longer matches.
+        path.write_bytes(raw[:-4] + bytes([raw[-4] ^ 0xFF]) + raw[-3:])
+        scan = read_wal(path)
+        assert [r.seq for r in scan.records] == [1]
+        assert scan.torn_tail
+
+    def test_mid_log_corruption_refused(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        self._write_two(path)
+        lines = path.read_bytes().splitlines(keepends=True)
+        damaged = lines[0][:10] + b"X" + lines[0][11:]
+        path.write_bytes(damaged + lines[1])
+        with pytest.raises(WalCorruptionError, match="not a torn tail"):
+            read_wal(path)
+
+    def test_reopen_physically_truncates_torn_tail(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        self._write_two(path)
+        intact = path.stat().st_size
+        with open(path, "ab") as handle:
+            handle.write(b"garbage with no newline")
+        with WriteAheadLog(path) as wal:
+            assert wal.seq == 2
+        assert path.stat().st_size == intact
+        assert not read_wal(path).torn_tail
+
+
+class TestRecovery:
+    def _mutate(self, index):
+        victim = index.video_ids[-1]
+        target = index.video_ids[0]
+        index.retire_video(victim)
+        index.apply_comments([("late_user_a", target), ("late_user_b", target)])
+        index.advance_watermark(13)
+
+    def test_recover_replays_to_identical_recommendations(self, live, tmp_path):
+        snapshot = tmp_path / "snap.json.gz"
+        wal_path = tmp_path / "log.jsonl"
+        save_index(live, snapshot)
+        with WriteAheadLog(wal_path) as wal:
+            live.attach_wal(wal)
+            self._mutate(live)
+        recovered = recover(snapshot, wal_path)
+        assert recovered.recovery.replayed == 3
+        assert recovered.recovery.skipped == 0
+        query = live.video_ids[0]
+        assert (
+            csf_sar_h_recommender(recovered).recommend(query, 8)
+            == csf_sar_h_recommender(live).recommend(query, 8)
+        )
+        assert recovered.up_to_month == live.up_to_month
+
+    def test_checkpoint_watermark_skips_replayed_prefix(self, live, tmp_path):
+        snapshot = tmp_path / "snap.json.gz"
+        wal_path = tmp_path / "log.jsonl"
+        save_index(live, snapshot)
+        with WriteAheadLog(wal_path) as wal:
+            live.attach_wal(wal)
+            self._mutate(live)
+        # Checkpoint after the mutations: recovery must not re-apply them.
+        save_index(live, snapshot)
+        recovered = recover(snapshot, wal_path)
+        assert recovered.recovery.replayed == 0
+        assert recovered.recovery.skipped == 3
+        query = live.video_ids[0]
+        assert (
+            csf_sar_h_recommender(recovered).recommend(query, 8)
+            == csf_sar_h_recommender(live).recommend(query, 8)
+        )
+
+    def test_ingest_replay_needs_no_reextraction(self, dataset, tmp_path):
+        # Hold one video out, snapshot, then ingest it under the WAL: the
+        # logged series/features/members must reproduce it exactly.
+        held_out = sorted(dataset.records)[-1]
+        initial = sorted(set(dataset.records) - {held_out})
+        live = LiveCommunityIndex(dataset.subset(initial), RecommenderConfig(k=8))
+        live.dataset.comments = list(dataset.comments)
+        snapshot = tmp_path / "snap.json.gz"
+        wal_path = tmp_path / "log.jsonl"
+        save_index(live, snapshot)
+        with WriteAheadLog(wal_path) as wal:
+            live.attach_wal(wal)
+            live.ingest_video(dataset.records[held_out])
+        recovered = recover(snapshot, wal_path)
+        assert held_out in recovered.video_ids
+        assert recovered.descriptor(held_out).users == live.descriptor(held_out).users
+        query = live.video_ids[0]
+        assert (
+            csf_sar_h_recommender(recovered).recommend(query, 8)
+            == csf_sar_h_recommender(live).recommend(query, 8)
+        )
+
+    def test_recover_without_wal_is_the_snapshot(self, live, tmp_path):
+        snapshot = tmp_path / "snap.json.gz"
+        save_index(live, snapshot)
+        recovered = recover(snapshot, tmp_path / "never-written.jsonl")
+        assert recovered.recovery.replayed == 0
+        assert recovered.video_ids == live.video_ids
+
+    def test_recovered_checkpoint_is_byte_identical(self, live, tmp_path):
+        snapshot = tmp_path / "snap.json.gz"
+        wal_path = tmp_path / "log.jsonl"
+        save_index(live, snapshot)
+        with WriteAheadLog(wal_path) as wal:
+            live.attach_wal(wal)
+            self._mutate(live)
+        live.detach_wal()
+        uninterrupted = tmp_path / "uninterrupted.json.gz"
+        save_index(live, uninterrupted)
+        recovered_path = tmp_path / "recovered.json.gz"
+        save_index(recover(snapshot, wal_path), recovered_path)
+        assert recovered_path.read_bytes() == uninterrupted.read_bytes()
