@@ -28,6 +28,7 @@ import time
 from repro.community import build_workload
 from repro.core import CommunityIndex, RecommenderConfig
 from repro.core.recommender import FusionRecommender
+from repro.obs import QueryTrace, percentiles
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 JSON_PATH = REPO_ROOT / "BENCH_scan_throughput.json"
@@ -65,17 +66,30 @@ def run_throughput(
     engines: dict[str, dict] = {}
     rankings: dict[str, list[str]] = {}
     for label, kwargs in configurations.items():
-        recommender = FusionRecommender(
+        with FusionRecommender(
             index, social_mode="sar-h", content_measure="kj", **kwargs
-        )
-        rankings[label] = recommender.recommend(sources[0], top_k)  # warm-up
-        started = time.perf_counter()
-        for source in sources:
-            recommender.recommend(source, top_k)
-        elapsed = time.perf_counter() - started
+        ) as recommender:
+            rankings[label] = recommender.recommend(sources[0], top_k)  # warm-up
+            started = time.perf_counter()
+            for source in sources:
+                recommender.recommend(source, top_k)
+            elapsed = time.perf_counter() - started
+            # A second, traced pass: per-stage latency percentiles.  Traced
+            # separately so the tracing clock reads never pollute the
+            # throughput numbers above.
+            stage_samples: dict[str, list[float]] = {}
+            for source in sources:
+                trace = QueryTrace("recommend")
+                recommender.recommend(source, top_k, trace=trace)
+                for stage, seconds in trace.stage_seconds().items():
+                    stage_samples.setdefault(stage, []).append(seconds)
         engines[label] = {
             "seconds_per_query": elapsed / len(sources),
             "queries_per_second": len(sources) / elapsed,
+            "stage_seconds": {
+                stage: percentiles(samples)
+                for stage, samples in sorted(stage_samples.items())
+            },
         }
 
     # Batch is only a valid optimisation if it returns the scalar ranking.
@@ -121,6 +135,15 @@ def format_table(payload: dict) -> str:
         f"batch+workers speedup: {payload['speedup_batch_workers_vs_scalar']:.1f}x; "
         f"ranking parity: {payload['ranking_parity']}"
     )
+    stages = payload["engines"].get("batch", {}).get("stage_seconds", {})
+    if stages:
+        lines.append("\nbatch per-stage latency (ms):")
+        lines.append(f"{'stage':>16} {'p50':>8} {'p90':>8} {'p99':>8}")
+        for stage, points in stages.items():
+            lines.append(
+                f"{stage:>16} {points['p50'] * 1e3:>8.3f} "
+                f"{points['p90'] * 1e3:>8.3f} {points['p99'] * 1e3:>8.3f}"
+            )
     return "\n".join(lines)
 
 

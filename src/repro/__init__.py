@@ -16,6 +16,7 @@ and every substrate it depends on:
 * :mod:`repro.io` — crash-safe persistence: checksummed atomic snapshots,
   the write-ahead log, and ``recover``;
 * :mod:`repro.errors` — the typed durability/serving exception hierarchy;
+* :mod:`repro.obs` — metrics registry (Prometheus exposition) + query tracing;
 * :mod:`repro.testing` — crash-point registry and fault-injection plans;
 * :mod:`repro.streaming` — online near-duplicate monitoring (extension);
 * :mod:`repro.cli` — ``python -m repro.cli`` command-line interface.

@@ -12,11 +12,18 @@ registered so offline legacy installs stay trivial).  Subcommands:
 * ``recover``   — rebuild an index from a snapshot plus its WAL and save
   the repaired checkpoint;
 * ``explain``   — the evidence behind one (query, candidate) pair;
-* ``evaluate``  — AR/AC/MAP of a chosen method over the Table-2 workload.
+* ``evaluate``  — AR/AC/MAP of a chosen method over the Table-2 workload;
+* ``stats``     — run sample queries and print the metrics snapshot
+  (Prometheus text exposition or JSON) plus index-level gauges.
+
+``recommend --trace`` additionally prints the per-query span tree — the
+Fig.-6-style breakdown of where the query spent its time (candidate
+generation, κJ scoring, SAR scoring, fusion/top-k).
 
 Every command is deterministic given the dataset/seed, so CLI sessions
-are reproducible end to end.  Missing or corrupt snapshot/WAL files exit
-with code 2 and a one-line typed error instead of a traceback.
+are reproducible end to end.  Missing or corrupt snapshot/WAL files —
+and unknown video/method ids surfacing as ``KeyError`` — exit with code
+2 and a one-line typed error instead of a traceback.
 """
 
 from __future__ import annotations
@@ -25,6 +32,9 @@ import argparse
 import sys
 
 __all__ = ["build_parser", "main"]
+
+#: Recommender factories selectable with ``--method``.
+METHOD_CHOICES = ("csf-sar-h", "csf-sar", "csf", "cr", "sr", "knn", "affrf")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -53,8 +63,14 @@ def build_parser() -> argparse.ArgumentParser:
     recommend.add_argument("--top-k", type=int, default=10)
     recommend.add_argument(
         "--method",
-        choices=("csf-sar-h", "csf-sar", "csf", "cr", "sr", "knn", "affrf"),
+        choices=METHOD_CHOICES,
         default="csf-sar-h",
+    )
+    recommend.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the per-stage span tree of the query (candidate "
+        "generation, content scoring, social scoring, fusion/top-k)",
     )
 
     ingest = commands.add_parser(
@@ -109,6 +125,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--methods",
         default="csf,sr,cr,affrf",
         help="comma-separated methods to compare",
+    )
+
+    stats = commands.add_parser(
+        "stats", help="metrics snapshot of an index (runs sample queries)"
+    )
+    stats.add_argument("index", help="index file from `index`")
+    stats.add_argument(
+        "--queries",
+        type=int,
+        default=3,
+        help="sample queries to run before snapshotting (0 = index gauges only)",
+    )
+    stats.add_argument("--top-k", type=int, default=10)
+    stats.add_argument("--method", choices=METHOD_CHOICES, default="csf-sar-h")
+    stats.add_argument(
+        "--format",
+        choices=("prom", "json"),
+        default="prom",
+        help="Prometheus text exposition (default) or the JSON snapshot",
+    )
+    stats.add_argument(
+        "--output", help="also write the JSON snapshot to this path"
     )
     return parser
 
@@ -166,6 +204,8 @@ def _cmd_index(args) -> int:
 
 
 def _cmd_recommend(args) -> int:
+    import inspect
+
     from repro.io import load_index
 
     index = load_index(args.index)
@@ -173,7 +213,26 @@ def _cmd_recommend(args) -> int:
         print(f"error: unknown video {args.video!r}", file=sys.stderr)
         return 2
     recommender = _make_recommender(index, args.method)
-    results = recommender.recommend(args.video, args.top_k)
+    trace = None
+    if args.trace:
+        if "trace" in inspect.signature(recommender.recommend).parameters:
+            from repro.obs import QueryTrace
+
+            trace = QueryTrace("recommend")
+        else:
+            print(
+                f"note: --trace is not supported by method {args.method!r}",
+                file=sys.stderr,
+            )
+    try:
+        if trace is not None:
+            results = recommender.recommend(args.video, args.top_k, trace=trace)
+        else:
+            results = recommender.recommend(args.video, args.top_k)
+    finally:
+        closer = getattr(recommender, "close", None)
+        if closer is not None:
+            closer()
     record = index.dataset.records[args.video]
     if getattr(results, "degraded", False):
         for reason in results.reasons:
@@ -182,6 +241,9 @@ def _cmd_recommend(args) -> int:
     for rank, video_id in enumerate(results, start=1):
         title = index.dataset.records[video_id].title
         print(f"{rank:>3}. {video_id}  {title}")
+    if trace is not None:
+        print()
+        print(trace.format_tree())
     return 0
 
 
@@ -283,14 +345,64 @@ def _cmd_evaluate(args) -> int:
     index = load_index(args.index)
     sources = select_source_videos(index.dataset)
     panel = JudgePanel(index.dataset)
+    methods = [method.strip().lower() for method in args.methods.split(",")]
+    for method in methods:
+        if method not in METHOD_CHOICES:
+            print(
+                f"error: unknown method {method!r}; "
+                f"expected one of {', '.join(METHOD_CHOICES)}",
+                file=sys.stderr,
+            )
+            return 2
     reports = []
-    for method in args.methods.split(","):
-        method = method.strip().lower()
+    for method in methods:
         recommender = _make_recommender(index, method)
         reports.append(
-            evaluate_method(method.upper(), recommender.recommend, sources, panel)
+            evaluate_method(method.upper(), recommender, sources, panel, close=True)
         )
     print(format_table(reports))
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    import json
+
+    from repro.io import load_index
+    from repro.obs import MetricsRegistry, use_metrics
+
+    index = load_index(args.index)
+    registry = MetricsRegistry()
+    with use_metrics(registry):
+        if args.queries > 0:
+            recommender = _make_recommender(index, args.method)
+            try:
+                for video_id in index.video_ids[: args.queries]:
+                    recommender.recommend(video_id, args.top_k)
+            finally:
+                closer = getattr(recommender, "close", None)
+                if closer is not None:
+                    closer()
+    registry.set_gauge("repro_index_videos", len(index.series))
+    registry.set_gauge(
+        "repro_index_signatures", sum(len(s) for s in index.series.values())
+    )
+    registry.set_gauge("repro_index_subcommunities", index.social_store.k)
+    registry.set_gauge("repro_index_content_revision", index.content.revision)
+    registry.set_gauge("repro_index_social_revision", index.social_store.revision)
+    registry.set_gauge(
+        "repro_social_available", 1 if index.social_store.available else 0
+    )
+    registry.set_gauge("repro_social_watermark_month", index.up_to_month)
+    registry.set_gauge("repro_wal_seq", index.wal_seq)
+    snapshot = registry.snapshot()
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.format == "json":
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        print(registry.to_prometheus(), end="")
     return 0
 
 
@@ -302,6 +414,7 @@ _HANDLERS = {
     "recover": _cmd_recover,
     "explain": _cmd_explain,
     "evaluate": _cmd_evaluate,
+    "stats": _cmd_stats,
 }
 
 
@@ -310,7 +423,9 @@ def main(argv: list[str] | None = None) -> int:
 
     Missing files and typed durability failures (corrupt snapshot or WAL,
     incompatible schema, unavailable social store) print one ``error:``
-    line on stderr and exit 2 instead of dumping a traceback.
+    line on stderr and exit 2 instead of dumping a traceback.  The same
+    goes for ``KeyError`` escaping a handler — an unknown query video id
+    (or method name) is a user error, not a crash.
     """
     from repro.errors import ReproError
 
@@ -319,6 +434,10 @@ def main(argv: list[str] | None = None) -> int:
         return _HANDLERS[args.command](args)
     except (FileNotFoundError, ReproError) as error:
         print(f"error: {error}", file=sys.stderr)
+        return 2
+    except KeyError as error:
+        detail = error.args[0] if error.args else error
+        print(f"error: {detail}", file=sys.stderr)
         return 2
 
 

@@ -31,6 +31,7 @@ from repro.community.models import (
 from repro.core.config import RecommenderConfig
 from repro.core.stores import ContentStore, GlobalFeatures, SocialStore, global_features
 from repro.measures.content import SignatureBank
+from repro.obs import get_metrics
 from repro.social.descriptor import SocialDescriptor
 from repro.social.updates import MaintenanceStats
 from repro.video.clip import VideoClip
@@ -330,6 +331,18 @@ class LiveCommunityIndex(CommunityIndex):
         reproduces this ingest bit for bit even for clips whose frames are
         not re-derivable.
         """
+        metrics = get_metrics()
+        with metrics.time("repro_ingest_seconds"):
+            video_id = self._ingest_video(clip_or_record, owner, users)
+        metrics.inc("repro_ingest_total")
+        return video_id
+
+    def _ingest_video(
+        self,
+        clip_or_record: VideoClip | VideoRecord,
+        owner: str | None,
+        users: Iterable[str],
+    ) -> str:
         if isinstance(clip_or_record, VideoRecord):
             record = clip_or_record
             if record.video_id in self.content.series:
@@ -372,11 +385,14 @@ class LiveCommunityIndex(CommunityIndex):
         """Remove *video_id* from every layer of the index (WAL-logged)."""
         if video_id not in self.content.series:
             raise KeyError(f"unknown video {video_id!r}")
-        if self._wal is not None:
-            self.wal_seq = self._wal.log_retire(video_id)
-        self.dataset.records.pop(video_id, None)
-        self.content.retire(video_id)
-        self.social_store.retire_video(video_id)
+        metrics = get_metrics()
+        with metrics.time("repro_retire_seconds"):
+            if self._wal is not None:
+                self.wal_seq = self._wal.log_retire(video_id)
+            self.dataset.records.pop(video_id, None)
+            self.content.retire(video_id)
+            self.social_store.retire_video(video_id)
+        metrics.inc("repro_retire_total")
 
     def apply_comments(
         self,
@@ -397,9 +413,14 @@ class LiveCommunityIndex(CommunityIndex):
         for _, video_id in pairs:
             if video_id not in self.content.series:
                 raise KeyError(f"unknown video {video_id!r}")
-        if self._wal is not None:
-            self.wal_seq = self._wal.log_comments(pairs, incremental)
-        return self.social_store.apply_comments(pairs, incremental=incremental)
+        metrics = get_metrics()
+        with metrics.time("repro_comments_seconds"):
+            if self._wal is not None:
+                self.wal_seq = self._wal.log_comments(pairs, incremental)
+            stats = self.social_store.apply_comments(pairs, incremental=incremental)
+        metrics.inc("repro_comment_batches_total")
+        metrics.inc("repro_comment_pairs_total", len(pairs))
+        return stats
 
     def advance_watermark(self, month: int) -> int:
         """Advance the social comment watermark (WAL-logged, monotonic)."""

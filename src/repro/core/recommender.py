@@ -44,6 +44,7 @@ from __future__ import annotations
 import time
 from collections.abc import Callable
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 
 import numpy as np
 
@@ -51,6 +52,7 @@ from repro.core.fusion import fuse_fj
 from repro.core.pipeline import CommunityIndex
 from repro.measures.content import kappa_j
 from repro.measures.sequence import dtw_similarity, erp_similarity
+from repro.obs import NULL_TRACE, MetricsRegistry, get_metrics
 from repro.signatures.series import SignatureSeries
 from repro.social.descriptor import SocialDescriptor, jaccard, jaccard_naive
 from repro.social.sar import approx_jaccard, approx_jaccard_batch
@@ -87,6 +89,17 @@ _MIN_CHUNK = 16
 #: the per-chunk bookkeeping doesn't dominate the array kernels.
 _BUDGET_CHUNK = 32
 
+#: Recording sink for untraced internal calls (``component_scores``, the
+#: parameter-sweep path) — disabled, so they pay no clock reads.
+_NO_METRICS = MetricsRegistry(enabled=False)
+
+
+@contextmanager
+def _stage(trace, metrics, name: str):
+    """Time one named stage into both the span tree and the registry."""
+    with trace.span(name), metrics.time("repro_stage_seconds", stage=name):
+        yield
+
 
 class Recommendations(list):
     """A ranked id list plus how it was served.
@@ -96,6 +109,11 @@ class Recommendations(list):
     return, so callers that compare against expected id lists keep
     working.  The extra attributes say whether the ranking was served in
     degraded mode and why.
+
+    Slicing (and :meth:`copy`) returns another :class:`Recommendations`
+    carrying the *same* metadata — ``recommend(...)[:5]`` stays
+    inspectable instead of silently decaying to a bare ``list`` and
+    dropping the degraded/partial flags callers must check.
 
     Attributes
     ----------
@@ -127,6 +145,26 @@ class Recommendations(list):
         self.reasons = tuple(reasons)
         self.scored = int(scored)
         self.total = int(total)
+
+    def _like(self, ids) -> "Recommendations":
+        """A new :class:`Recommendations` over *ids* with this metadata."""
+        return Recommendations(
+            ids,
+            degraded=self.degraded,
+            partial=self.partial,
+            reasons=self.reasons,
+            scored=self.scored,
+            total=self.total,
+        )
+
+    def __getitem__(self, item):
+        result = super().__getitem__(item)
+        if isinstance(item, slice):
+            return self._like(result)
+        return result
+
+    def copy(self) -> "Recommendations":
+        return self._like(list(self))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         flags = ""
@@ -240,7 +278,35 @@ class FusionRecommender:
         else:
             self._content = CONTENT_MEASURES[content_measure]
         self._pool: ThreadPoolExecutor | None = None
+        self._pool_revisions: tuple[int, int] | None = None
         self.name = name or f"fusion(omega={self.omega}, {social_mode}, {content_measure})"
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the κJ worker pool down (idempotent; a later query that
+        needs a pool lazily creates a fresh one).  Call this — or use the
+        recommender as a context manager — wherever recommenders are
+        constructed in bulk (benches, harness sweeps); an unclosed pool
+        leaks its worker threads until the recommender is collected.
+        """
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_revisions = None
+
+    def __enter__(self) -> "FusionRecommender":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------
     # Relevance components (per-pair public API)
@@ -316,8 +382,16 @@ class FusionRecommender:
     # Batch engine: array kernels over all candidates at once
     # ------------------------------------------------------------------
     def _worker_pool(self) -> ThreadPoolExecutor:
+        # Keyed on the index revision pair: a structural swap retires the
+        # old pool (and its threads) instead of accumulating executors.
+        revisions = self.index.revisions
+        if self._pool is not None and self._pool_revisions != revisions:
+            self.close()
         if self._pool is None:
-            self._pool = ThreadPoolExecutor(max_workers=self.num_workers)
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.num_workers, thread_name_prefix="repro-kj"
+            )
+            self._pool_revisions = revisions
         return self._pool
 
     def _content_scores_batch(
@@ -374,12 +448,19 @@ class FusionRecommender:
     # Recommendation
     # ------------------------------------------------------------------
     def _score_arrays(
-        self, query_id: str, candidates: list[str], omega: float
+        self,
+        query_id: str,
+        candidates: list[str],
+        omega: float,
+        trace=NULL_TRACE,
+        metrics: MetricsRegistry = _NO_METRICS,
     ) -> tuple[np.ndarray, np.ndarray]:
         """``(content, social)`` score arrays for *candidates*, clipped to 1.
 
         Components a weight of *omega* would ignore are left as zeros, so
         a degraded (ω-renormalised) scan never touches the social store.
+        The κJ and SAR stages are timed separately into *trace* and
+        *metrics* (both default to no-op sinks).
         """
         zeros = np.zeros(len(candidates), dtype=np.float64)
         if not candidates:
@@ -388,8 +469,16 @@ class FusionRecommender:
             content_of, social_of = self._content_scores_batch, self._social_scores_batch
         else:
             content_of, social_of = self._content_scores_scalar, self._social_scores_scalar
-        content = content_of(query_id, candidates) if omega < 1.0 else zeros
-        social = social_of(query_id, candidates) if omega > 0.0 else zeros
+        if omega < 1.0:
+            with _stage(trace, metrics, "content_scores"):
+                content = content_of(query_id, candidates)
+        else:
+            content = zeros
+        if omega > 0.0:
+            with _stage(trace, metrics, "social_scores"):
+                social = social_of(query_id, candidates)
+        else:
+            social = zeros
         return np.minimum(content, 1.0), np.minimum(social, 1.0)
 
     def _degradation_reasons(self) -> list[str]:
@@ -430,7 +519,9 @@ class FusionRecommender:
             for vid, c, s in zip(candidates, content, social)
         }
 
-    def recommend(self, query_id: str, top_k: int = 10) -> "Recommendations":
+    def recommend(
+        self, query_id: str, top_k: int = 10, trace=None
+    ) -> "Recommendations":
         """Rank every other video by FJ and return the best *top_k* ids.
 
         Serving never fails soft-dependency checks hard: with ω > 0 and
@@ -441,60 +532,83 @@ class FusionRecommender:
         deadline; an expired budget returns the best-effort ranking over
         the scored prefix flagged ``partial`` (at least one chunk is
         always scored).  The result compares equal to the plain id list.
+
+        Pass a :class:`~repro.obs.QueryTrace` as *trace* to collect the
+        per-stage span tree (``candidates`` / ``content_scores`` /
+        ``social_scores`` / ``fuse_topk``); the query is also recorded
+        into the process-wide :func:`~repro.obs.get_metrics` registry
+        (query/stage latency histograms, served/degraded/partial
+        counters) unless that registry is disabled.
         """
         if top_k < 1:
             raise ValueError(f"top_k must be >= 1, got {top_k}")
         if query_id not in self.index.series:
             raise KeyError(f"unknown video {query_id!r}")
-        reasons = self._degradation_reasons()
-        omega = 0.0 if reasons else self.omega
-        candidates = [vid for vid in self.index.video_ids if vid != query_id]
-        total = len(candidates)
-        if self.time_budget is None:
-            scored = candidates
-            content, social = self._score_arrays(query_id, candidates, omega)
-        else:
-            deadline = time.monotonic() + self.time_budget
-            scored = []
-            content_parts: list[np.ndarray] = []
-            social_parts: list[np.ndarray] = []
-            for start in range(0, total, _BUDGET_CHUNK):
-                chunk = candidates[start : start + _BUDGET_CHUNK]
-                chunk_content, chunk_social = self._score_arrays(
-                    query_id, chunk, omega
+        metrics = get_metrics()
+        if trace is None:
+            trace = NULL_TRACE
+        with trace, metrics.time("repro_query_seconds"):
+            with _stage(trace, metrics, "candidates"):
+                reasons = self._degradation_reasons()
+                omega = 0.0 if reasons else self.omega
+                candidates = [vid for vid in self.index.video_ids if vid != query_id]
+            total = len(candidates)
+            if self.time_budget is None:
+                scored = candidates
+                content, social = self._score_arrays(
+                    query_id, candidates, omega, trace=trace, metrics=metrics
                 )
-                content_parts.append(chunk_content)
-                social_parts.append(chunk_social)
-                scored.extend(chunk)
-                if len(scored) < total and time.monotonic() >= deadline:
-                    reasons = reasons + [
-                        f"time budget of {self.time_budget}s expired after "
-                        f"{len(scored)}/{total} candidates; ranking the "
-                        "scored prefix"
-                    ]
-                    break
-            content = (
-                np.concatenate(content_parts)
-                if content_parts
-                else np.zeros(0, dtype=np.float64)
-            )
-            social = (
-                np.concatenate(social_parts)
-                if social_parts
-                else np.zeros(0, dtype=np.float64)
-            )
-        components = {
-            vid: (float(c), float(s))
-            for vid, c, s in zip(scored, content, social)
-        }
-        return Recommendations(
-            rank_components(components, omega, top_k),
+            else:
+                deadline = time.monotonic() + self.time_budget
+                scored = []
+                content_parts: list[np.ndarray] = []
+                social_parts: list[np.ndarray] = []
+                for start in range(0, total, _BUDGET_CHUNK):
+                    chunk = candidates[start : start + _BUDGET_CHUNK]
+                    chunk_content, chunk_social = self._score_arrays(
+                        query_id, chunk, omega, trace=trace, metrics=metrics
+                    )
+                    content_parts.append(chunk_content)
+                    social_parts.append(chunk_social)
+                    scored.extend(chunk)
+                    if len(scored) < total and time.monotonic() >= deadline:
+                        reasons = reasons + [
+                            f"time budget of {self.time_budget}s expired after "
+                            f"{len(scored)}/{total} candidates; ranking the "
+                            "scored prefix"
+                        ]
+                        break
+                content = (
+                    np.concatenate(content_parts)
+                    if content_parts
+                    else np.zeros(0, dtype=np.float64)
+                )
+                social = (
+                    np.concatenate(social_parts)
+                    if social_parts
+                    else np.zeros(0, dtype=np.float64)
+                )
+            with _stage(trace, metrics, "fuse_topk"):
+                components = {
+                    vid: (float(c), float(s))
+                    for vid, c, s in zip(scored, content, social)
+                }
+                ranked = rank_components(components, omega, top_k)
+        results = Recommendations(
+            ranked,
             degraded=bool(reasons),
             partial=len(scored) < total,
             reasons=reasons,
             scored=len(scored),
             total=total,
         )
+        metrics.inc("repro_queries_total", engine=self.engine)
+        metrics.inc("repro_candidates_scored_total", len(scored))
+        if results.degraded:
+            metrics.inc("repro_queries_degraded_total")
+        if results.partial:
+            metrics.inc("repro_queries_partial_total")
+        return results
 
 
 def rank_components(

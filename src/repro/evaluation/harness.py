@@ -19,6 +19,7 @@ from repro.evaluation.metrics import (
     average_rating,
     mean_average_precision,
 )
+from repro.obs import get_metrics
 
 __all__ = ["MetricsRow", "EffectivenessReport", "evaluate_method", "format_table", "Timer"]
 
@@ -60,23 +61,49 @@ def evaluate_method(
     panel: JudgePanel,
     top_ks: Sequence[int] = (5, 10, 20),
     exclude_query: bool = True,
+    close: bool = False,
+    registry=None,
 ) -> EffectivenessReport:
     """Run *recommend* for every source and score the returned lists.
 
     The source video itself is dropped from its own recommendation list
     (recommending the clip the user is already watching is vacuous); one
     extra result is requested to compensate.
+
+    *recommend* may be the usual ``(query, top_k) -> ids`` callable or an
+    object exposing ``.recommend`` (e.g. a
+    :class:`~repro.core.recommender.FusionRecommender`).  Every query is
+    recorded into *registry* (the process-wide
+    :func:`~repro.obs.get_metrics` one by default) as the
+    ``repro_harness_query_seconds`` histogram and
+    ``repro_harness_queries_total`` counter.  With ``close=True`` the
+    recommender's ``close()`` (when it has one) is called afterwards, so
+    sweeps that construct one recommender per configuration do not leak
+    κJ worker pools.
     """
     if not sources:
         raise ValueError("need at least one source video")
+    metrics = get_metrics() if registry is None else registry
+    recommend_fn = getattr(recommend, "recommend", recommend)
     max_k = max(top_ks)
     ranked_lists: dict[str, list[str]] = {}
     started = time.perf_counter()
-    for source in sources:
-        results = list(recommend(source, max_k + (1 if exclude_query else 0)))
-        if exclude_query:
-            results = [video_id for video_id in results if video_id != source]
-        ranked_lists[source] = results[:max_k]
+    try:
+        for source in sources:
+            with metrics.time("repro_harness_query_seconds"):
+                results = list(
+                    recommend_fn(source, max_k + (1 if exclude_query else 0))
+                )
+            metrics.inc("repro_harness_queries_total")
+            if exclude_query:
+                results = [video_id for video_id in results if video_id != source]
+            ranked_lists[source] = results[:max_k]
+    finally:
+        if close:
+            owner = getattr(recommend, "__self__", recommend)
+            closer = getattr(owner, "close", None)
+            if closer is not None:
+                closer()
     seconds = time.perf_counter() - started
 
     rows = []

@@ -49,6 +49,7 @@ from repro.io.index_store import (
     series_to_dict,
 )
 from repro.io.serialize import record_from_dict, record_to_dict
+from repro.obs import get_metrics
 from repro.signatures.series import SignatureSeries
 from repro.social.descriptor import SocialDescriptor
 from repro.testing.faults import NO_FAULTS, FaultPlan, register_crash_point
@@ -230,10 +231,14 @@ class WriteAheadLog:
         handle.write(line[len(line) // 2 :])
         handle.flush()
         self.faults.fire(POINT_BEFORE_FSYNC, path=self.path)
+        metrics = get_metrics()
         if self.sync:
             os.fsync(handle.fileno())
+            metrics.inc("repro_wal_fsyncs_total")
         self.faults.fire(POINT_AFTER_APPEND, path=self.path)
         self.seq = seq
+        metrics.inc("repro_wal_appends_total")
+        metrics.inc("repro_wal_bytes_total", len(line))
         return seq
 
     def close(self) -> None:
@@ -366,4 +371,7 @@ def recover(
         info.replayed += 1
         info.ops[record.op] = info.ops.get(record.op, 0) + 1
     index.recovery = info
+    metrics = get_metrics()
+    metrics.inc("repro_wal_recoveries_total")
+    metrics.inc("repro_wal_replayed_total", info.replayed)
     return index

@@ -1,0 +1,43 @@
+"""Observability: deterministic metrics and per-query span traces.
+
+The subsystem the ROADMAP's production north-star still lacked after perf
+(PR 1), live stores (PR 2) and durability (PR 3): component-level
+measurement of the serve and ingest paths, zero-dependency and
+deterministic under an injected clock.
+
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` (counters, gauges,
+  fixed-bucket histograms), Prometheus text exposition + parser, the
+  process-wide registry (:func:`get_metrics` et al.);
+* :mod:`repro.obs.trace` — :class:`QueryTrace` span trees for per-stage
+  ``recommend`` breakdowns (Fig. 6's "where does a query spend time").
+
+This package imports nothing from the rest of ``repro``, so every layer
+(core, io, social, evaluation, cli, benchmarks) may instrument itself
+without dependency cycles.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    get_metrics,
+    parse_prometheus,
+    percentiles,
+    render_prometheus,
+    set_metrics,
+    use_metrics,
+)
+from repro.obs.trace import NULL_TRACE, QueryTrace, SpanNode
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "MetricsRegistry",
+    "NULL_TRACE",
+    "QueryTrace",
+    "SpanNode",
+    "get_metrics",
+    "parse_prometheus",
+    "percentiles",
+    "render_prometheus",
+    "set_metrics",
+    "use_metrics",
+]

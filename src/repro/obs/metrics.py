@@ -1,0 +1,421 @@
+"""Zero-dependency metrics: counters, gauges, fixed-bucket histograms.
+
+The paper's efficiency story (Fig. 6 ``KTopScoreVideoSearch``, Fig. 12
+SAR/update costs) is about *where time goes* per query — which this repo
+could not answer without ad-hoc bench footers.  :class:`MetricsRegistry`
+is the aggregation side of the answer (the per-query side is
+:mod:`repro.obs.trace`):
+
+* **Counters** — monotonically increasing totals (queries served, WAL
+  appends, sub-community unions);
+* **Gauges** — last-write-wins levels (indexed videos, watermark month);
+* **Histograms** — fixed-bucket latency distributions with cumulative
+  bucket counts, Prometheus-style (``le`` upper bounds, ``_sum`` and
+  ``_count`` series).
+
+Everything is deterministic by construction: bucket bounds are fixed at
+registration, series render in sorted order, and the clock used by
+:meth:`MetricsRegistry.time` is injectable — two identical seeded runs
+under an injected clock produce byte-identical expositions, which the
+golden-file test pins.
+
+The registry renders to a Prometheus text exposition
+(:meth:`MetricsRegistry.to_prometheus`) and to a plain-dict
+:meth:`~MetricsRegistry.snapshot` (JSON-ready);
+:func:`parse_prometheus` inverts the exposition, and
+``snapshot == parse_prometheus(to_prometheus())`` holds exactly.
+
+A process-wide default registry (:func:`get_metrics` /
+:func:`set_metrics` / :func:`use_metrics`) lets the serve and ingest
+paths record without threading a registry argument everywhere; a
+disabled registry (``enabled=False``) turns every recording call into an
+early return, so instrumentation can be switched off wholesale — the
+``bench_obs_overhead`` bench pins the enabled-vs-disabled cost.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager, nullcontext
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "MetricsRegistry",
+    "get_metrics",
+    "set_metrics",
+    "use_metrics",
+    "parse_prometheus",
+    "render_prometheus",
+    "percentiles",
+]
+
+#: Default histogram bucket upper bounds (seconds).  Spans sub-millisecond
+#: batch-engine queries up to multi-second cold rebuilds.
+DEFAULT_BUCKETS = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+_INF = float("inf")
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value so that ``float(rendered)`` round-trips."""
+    value = float(value)
+    if value == _INF:
+        return "+Inf"
+    if value == -_INF:
+        return "-Inf"
+    if value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _normalize(value: float) -> float | int:
+    """Ints stay ints in snapshots (JSON dumps read naturally)."""
+    value = float(value)
+    if value.is_integer() and abs(value) < 1e15:
+        return int(value)
+    return value
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _series_key(name: str, labels: dict[str, str]) -> str:
+    """The canonical ``name{k="v",...}`` series identity (sorted labels)."""
+    if not labels:
+        return name
+    inner = ",".join(
+        f'{key}="{_escape_label(str(value))}"' for key, value in sorted(labels.items())
+    )
+    return f"{name}{{{inner}}}"
+
+
+class _Histogram:
+    """Cumulative fixed-bucket histogram (one labelled series)."""
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, bounds: tuple[float, ...]) -> None:
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # final slot is +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        slot = len(self.bounds)
+        for position, bound in enumerate(self.bounds):
+            if value <= bound:
+                slot = position
+                break
+        self.counts[slot] += 1
+        self.sum += value
+        self.count += 1
+
+    def as_dict(self) -> dict:
+        buckets: dict[str, int] = {}
+        cumulative = 0
+        for bound, count in zip(self.bounds, self.counts):
+            cumulative += count
+            buckets[_format_value(bound)] = cumulative
+        buckets["+Inf"] = self.count
+        return {"buckets": buckets, "sum": _normalize(self.sum), "count": self.count}
+
+
+class MetricsRegistry:
+    """Deterministic in-process metrics with an injectable clock.
+
+    Parameters
+    ----------
+    enabled:
+        ``False`` turns every recording call into an early return — the
+        switch the overhead bench compares against.
+    clock:
+        The monotonic clock :meth:`time` reads; inject a fake for
+        deterministic latency histograms in tests.
+    buckets:
+        Default histogram bucket upper bounds (seconds).
+
+    All mutation is lock-protected, so worker threads may record freely.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        clock=time.perf_counter,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.enabled = enabled
+        self.clock = clock
+        self.buckets = tuple(sorted(float(bound) for bound in buckets))
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, _Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def inc(self, name: str, value: float = 1.0, **labels: str) -> None:
+        """Add *value* (default 1) to a counter series."""
+        if not self.enabled:
+            return
+        if value < 0:
+            raise ValueError(f"counter increments must be >= 0, got {value}")
+        key = _series_key(name, labels)
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0.0) + value
+
+    def set_gauge(self, name: str, value: float, **labels: str) -> None:
+        """Set a gauge series to *value* (last write wins)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._gauges[_series_key(name, labels)] = float(value)
+
+    def observe(self, name: str, value: float, **labels: str) -> None:
+        """Record one sample into a histogram series."""
+        if not self.enabled:
+            return
+        key = _series_key(name, labels)
+        with self._lock:
+            histogram = self._histograms.get(key)
+            if histogram is None:
+                histogram = self._histograms[key] = _Histogram(self.buckets)
+            histogram.observe(value)
+
+    def time(self, name: str, **labels: str):
+        """Context manager observing the block's duration into *name*."""
+        if not self.enabled:
+            return nullcontext()
+        return self._timed(name, labels)
+
+    @contextmanager
+    def _timed(self, name: str, labels: dict[str, str]):
+        started = self.clock()
+        try:
+            yield
+        finally:
+            self.observe(name, self.clock() - started, **labels)
+
+    def reset(self) -> None:
+        """Drop every recorded series (bucket config is kept)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def value(self, name: str, **labels: str) -> float:
+        """Current value of a counter or gauge series (0 when absent)."""
+        key = _series_key(name, labels)
+        with self._lock:
+            if key in self._counters:
+                return _normalize(self._counters[key])
+            return _normalize(self._gauges.get(key, 0.0))
+
+    def snapshot(self) -> dict:
+        """Plain-dict (JSON-ready) view of every series, sorted keys."""
+        with self._lock:
+            return {
+                "counters": {
+                    key: _normalize(value)
+                    for key, value in sorted(self._counters.items())
+                },
+                "gauges": {
+                    key: _normalize(value)
+                    for key, value in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    key: histogram.as_dict()
+                    for key, histogram in sorted(self._histograms.items())
+                },
+            }
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition of :meth:`snapshot`.
+
+        One ``# TYPE`` line per metric family (first appearance in sorted
+        series order), histogram series expanded into ``_bucket`` /
+        ``_sum`` / ``_count``.  ``parse_prometheus`` inverts this exactly.
+        """
+        return render_prometheus(self.snapshot())
+
+
+def _split_series_key(key: str) -> tuple[str, str]:
+    """``name{labels}`` -> ``(name, "labels")`` (labels may be empty)."""
+    brace = key.find("{")
+    if brace < 0:
+        return key, ""
+    return key[:brace], key[brace + 1 : -1]
+
+
+def _with_label(labels_text: str, extra: str) -> str:
+    """Append one rendered label pair to a rendered label body."""
+    return f"{labels_text},{extra}" if labels_text else extra
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` dict as text exposition."""
+    lines: list[str] = []
+    seen_types: set[str] = set()
+
+    def type_line(family: str, kind: str) -> None:
+        if family not in seen_types:
+            seen_types.add(family)
+            lines.append(f"# TYPE {family} {kind}")
+
+    for key, value in snapshot.get("counters", {}).items():
+        family, _ = _split_series_key(key)
+        type_line(family, "counter")
+        lines.append(f"{key} {_format_value(value)}")
+    for key, value in snapshot.get("gauges", {}).items():
+        family, _ = _split_series_key(key)
+        type_line(family, "gauge")
+        lines.append(f"{key} {_format_value(value)}")
+    for key, data in snapshot.get("histograms", {}).items():
+        family, labels_text = _split_series_key(key)
+        type_line(family, "histogram")
+        for bound, count in data["buckets"].items():
+            bucket_labels = _with_label(labels_text, f'le="{bound}"')
+            lines.append(f"{family}_bucket{{{bucket_labels}}} {_format_value(count)}")
+        suffix = f"{{{labels_text}}}" if labels_text else ""
+        lines.append(f"{family}_sum{suffix} {_format_value(data['sum'])}")
+        lines.append(f"{family}_count{suffix} {_format_value(data['count'])}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _parse_labels(text: str) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    position = 0
+    length = len(text)
+    while position < length:
+        equals = text.index("=", position)
+        key = text[position:equals]
+        if text[equals + 1] != '"':
+            raise ValueError(f"malformed label value in {text!r}")
+        cursor = equals + 2
+        buffer: list[str] = []
+        while text[cursor] != '"':
+            if text[cursor] == "\\":
+                cursor += 1
+                buffer.append({"n": "\n", "\\": "\\", '"': '"'}.get(text[cursor], text[cursor]))
+            else:
+                buffer.append(text[cursor])
+            cursor += 1
+        labels[key] = "".join(buffer)
+        position = cursor + 1
+        if position < length and text[position] == ",":
+            position += 1
+    return labels
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse a text exposition back into the :meth:`snapshot` dict shape.
+
+    Supports exactly the subset :func:`render_prometheus` emits (counter,
+    gauge and histogram families with optional labels), which is what the
+    round-trip contract requires — ``parse_prometheus(render(s)) == s``.
+    """
+    kinds: dict[str, str] = {}
+    counters: dict[str, float | int] = {}
+    gauges: dict[str, float | int] = {}
+    histograms: dict[str, dict] = {}
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            family, _, kind = rest.partition(" ")
+            kinds[family] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        series, _, value_text = line.rpartition(" ")
+        value = float(value_text)
+        name, labels_text = _split_series_key(series)
+        labels = _parse_labels(labels_text) if labels_text else {}
+        if name.endswith("_bucket") and kinds.get(name[: -len("_bucket")]) == "histogram":
+            family = name[: -len("_bucket")]
+            bound = labels.pop("le")
+            key = _series_key(family, labels)
+            entry = histograms.setdefault(
+                key, {"buckets": {}, "sum": 0, "count": 0}
+            )
+            entry["buckets"][bound] = _normalize(value)
+        elif name.endswith("_sum") and kinds.get(name[: -len("_sum")]) == "histogram":
+            key = _series_key(name[: -len("_sum")], labels)
+            histograms.setdefault(key, {"buckets": {}, "sum": 0, "count": 0})["sum"] = (
+                _normalize(value)
+            )
+        elif name.endswith("_count") and kinds.get(name[: -len("_count")]) == "histogram":
+            key = _series_key(name[: -len("_count")], labels)
+            histograms.setdefault(key, {"buckets": {}, "sum": 0, "count": 0})[
+                "count"
+            ] = _normalize(value)
+        elif kinds.get(name) == "gauge":
+            gauges[series] = _normalize(value)
+        else:
+            counters[series] = _normalize(value)
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+def percentiles(
+    values, points: tuple[float, ...] = (50.0, 90.0, 99.0)
+) -> dict[str, float]:
+    """Nearest-rank percentiles of *values* as ``{"p50": ...}`` (empty-safe)."""
+    ordered = sorted(float(v) for v in values)
+    if not ordered:
+        return {f"p{point:g}": 0.0 for point in points}
+    result = {}
+    for point in points:
+        rank = max(1, -(-len(ordered) * point // 100))  # ceil without math
+        result[f"p{point:g}"] = ordered[min(len(ordered), int(rank)) - 1]
+    return result
+
+
+#: The process-wide default registry the serve/ingest paths record into.
+_REGISTRY = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The current process-wide registry."""
+    return _REGISTRY
+
+
+def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide registry; returns the previous one."""
+    global _REGISTRY
+    previous = _REGISTRY
+    _REGISTRY = registry
+    return previous
+
+
+@contextmanager
+def use_metrics(registry: MetricsRegistry):
+    """Scoped :func:`set_metrics` (restores the previous registry)."""
+    previous = set_metrics(registry)
+    try:
+        yield registry
+    finally:
+        set_metrics(previous)

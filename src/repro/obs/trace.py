@@ -1,0 +1,174 @@
+"""Per-query span trees: where one ``recommend`` call spent its time.
+
+:class:`QueryTrace` is the per-query companion of
+:class:`~repro.obs.metrics.MetricsRegistry`'s aggregates — one trace per
+query, a tree of named spans per trace.  Spans with the same name under
+the same parent **aggregate** (seconds and hit count accumulate), so the
+time-budgeted scan's per-chunk scoring collapses into one
+``content_scores`` / ``social_scores`` node per query instead of one node
+per chunk.
+
+Usage::
+
+    trace = QueryTrace("recommend")
+    recommender.recommend(video_id, 10, trace=trace)
+    print(trace.format_tree())
+
+which prints the Fig.-6-style breakdown::
+
+    recommend                 1.842 ms 100.0%
+      candidates              0.011 ms   0.6%  x1
+      content_scores          1.433 ms  77.8%  x1
+      social_scores           0.262 ms  14.2%  x1
+      fuse_topk               0.119 ms   6.5%  x1
+
+The shared :data:`NULL_TRACE` sentinel makes instrumented code branch-free:
+its spans are no-ops that never read the clock, so the untraced hot path
+pays nothing for the tracing seams.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import nullcontext
+
+__all__ = ["SpanNode", "QueryTrace", "NULL_TRACE"]
+
+
+class SpanNode:
+    """One named node of the span tree (aggregated over repeat entries)."""
+
+    __slots__ = ("name", "seconds", "count", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.seconds = 0.0
+        self.count = 0
+        self.children: dict[str, SpanNode] = {}
+
+    def child(self, name: str) -> "SpanNode":
+        """The child span named *name* (created on first use)."""
+        node = self.children.get(name)
+        if node is None:
+            node = self.children[name] = SpanNode(name)
+        return node
+
+    def as_dict(self) -> dict:
+        """Plain-dict (JSON-ready) view of this subtree."""
+        return {
+            "name": self.name,
+            "seconds": self.seconds,
+            "count": self.count,
+            "children": [child.as_dict() for child in self.children.values()],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SpanNode({self.name!r}, seconds={self.seconds:.6f}, "
+            f"count={self.count}, children={list(self.children)})"
+        )
+
+
+class _Span:
+    """Context manager timing one entry into a :class:`SpanNode`."""
+
+    __slots__ = ("_trace", "_node", "_started")
+
+    def __init__(self, trace: "QueryTrace", node: SpanNode) -> None:
+        self._trace = trace
+        self._node = node
+
+    def __enter__(self) -> SpanNode:
+        self._trace._stack.append(self._node)
+        self._started = self._trace._clock()
+        return self._node
+
+    def __exit__(self, *exc_info) -> None:
+        self._node.seconds += self._trace._clock() - self._started
+        self._node.count += 1
+        self._trace._stack.pop()
+
+
+class QueryTrace:
+    """A span tree over one (or several aggregated) queries.
+
+    Enter the trace itself to time the root; open children with
+    :meth:`span`, which nests under whichever span is currently open.
+    The clock is injectable for deterministic tests.
+    """
+
+    def __init__(self, name: str = "recommend", clock=time.perf_counter) -> None:
+        self.root = SpanNode(name)
+        self._clock = clock
+        self._stack: list[SpanNode] = [self.root]
+        self._root_started: float | None = None
+
+    def span(self, name: str) -> _Span:
+        """A context manager timing one *name* span under the open span."""
+        return _Span(self, self._stack[-1].child(name))
+
+    def __enter__(self) -> "QueryTrace":
+        self._root_started = self._clock()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._root_started is not None:
+            self.root.seconds += self._clock() - self._root_started
+            self.root.count += 1
+            self._root_started = None
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    @property
+    def total_seconds(self) -> float:
+        """Total time under the root span."""
+        return self.root.seconds
+
+    def stage_seconds(self) -> dict[str, float]:
+        """``stage -> seconds`` for the root's direct children."""
+        return {name: node.seconds for name, node in self.root.children.items()}
+
+    def as_dict(self) -> dict:
+        """Plain-dict (JSON-ready) view of the whole tree."""
+        return self.root.as_dict()
+
+    def format_tree(self) -> str:
+        """The indented per-stage breakdown (ms and % of the root)."""
+        total = self.root.seconds
+        if total <= 0.0:
+            total = sum(node.seconds for node in self.root.children.values())
+        lines: list[str] = []
+
+        def walk(node: SpanNode, depth: int) -> None:
+            share = 100.0 * node.seconds / total if total > 0 else 0.0
+            label = "  " * depth + node.name
+            line = f"{label:<26} {node.seconds * 1000.0:>9.3f} ms {share:>5.1f}%"
+            if depth:
+                line += f"  x{node.count}"
+            lines.append(line)
+            for child in node.children.values():
+                walk(child, depth + 1)
+
+        walk(self.root, 0)
+        return "\n".join(lines)
+
+
+class _NullTrace:
+    """Shared no-op trace: zero clock reads on the untraced hot path."""
+
+    __slots__ = ()
+    _NULL_SPAN = nullcontext()
+
+    def span(self, name: str):
+        return self._NULL_SPAN
+
+    def __enter__(self) -> "_NullTrace":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+#: Branch-free sentinel for "no tracing requested".
+NULL_TRACE = _NullTrace()

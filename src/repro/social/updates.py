@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.index.hashing import ChainedHashTable
 from repro.index.inverted import InvertedFile
+from repro.obs import get_metrics
 from repro.social.descriptor import SocialDescriptor
 from repro.social.subcommunity import (
     Partition,
@@ -218,6 +219,16 @@ class DynamicSocialIndex:
                 unsplittable.add(target)
         stats.seconds = time.perf_counter() - started
         self.revision += 1
+        # Surface the Eq. 8 cost counters as process-wide metrics, so a
+        # maintenance-heavy run is diagnosable without holding on to the
+        # per-batch MaintenanceStats objects.
+        metrics = get_metrics()
+        metrics.inc("repro_social_maintenance_batches_total")
+        metrics.inc("repro_social_connections_total", stats.connections)
+        metrics.inc("repro_social_unions_total", stats.unions)
+        metrics.inc("repro_social_splits_total", stats.splits)
+        metrics.inc("repro_social_index_updates_total", stats.index_updates)
+        metrics.inc("repro_social_descriptor_updates_total", stats.descriptor_updates)
         return stats
 
     def apply_comments(self, comments: Iterable[tuple[str, str]]) -> MaintenanceStats:

@@ -247,3 +247,91 @@ class TestEvaluate:
         assert "CR" in output
         assert "SR" in output
         assert "MAP@20" in output
+
+
+class TestStats:
+    def test_prometheus_output_by_default(self, index_path, capsys):
+        assert main(["stats", str(index_path), "--queries", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "# TYPE repro_queries_total counter" in output
+        assert "# TYPE repro_index_videos gauge" in output
+        assert "repro_query_seconds_bucket" in output
+
+    def test_output_parses_back_to_snapshot(self, index_path, capsys):
+        from repro.obs import parse_prometheus
+
+        assert main(["stats", str(index_path), "--queries", "1"]) == 0
+        snapshot = parse_prometheus(capsys.readouterr().out)
+        assert snapshot["counters"]['repro_queries_total{engine="batch"}'] == 1
+        assert snapshot["gauges"]["repro_index_videos"] == 24
+
+    def test_json_format(self, index_path, capsys):
+        import json
+
+        assert main(["stats", str(index_path), "--format", "json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert set(snapshot) == {"counters", "gauges", "histograms"}
+
+    def test_output_file_written(self, index_path, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "metrics.json"
+        assert main(["stats", str(index_path), "--output", str(out)]) == 0
+        capsys.readouterr()
+        snapshot = json.loads(out.read_text())
+        assert "repro_index_videos" in snapshot["gauges"]
+
+    def test_zero_queries_still_reports_gauges(self, index_path, capsys):
+        assert main(["stats", str(index_path), "--queries", "0"]) == 0
+        output = capsys.readouterr().out
+        assert "repro_index_videos" in output
+        assert "repro_queries_total" not in output
+
+
+class TestTrace:
+    def test_trace_flag_prints_span_tree(self, index_path, capsys):
+        from repro.io import load_index
+
+        video = load_index(index_path).video_ids[0]
+        assert main(["recommend", str(index_path), video, "--trace"]) == 0
+        output = capsys.readouterr().out
+        assert "recommend" in output
+        for stage in ("candidates", "content_scores", "fuse_topk"):
+            assert stage in output
+        assert "%" in output
+
+    def test_trace_unsupported_method_notes_and_succeeds(self, index_path, capsys):
+        from repro.io import load_index
+
+        video = load_index(index_path).video_ids[0]
+        assert main(
+            ["recommend", str(index_path), video, "--method", "knn", "--trace"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "trace" in captured.err
+        assert captured.out.count(". v") > 0
+
+
+class TestKeyErrorExit:
+    def test_unknown_evaluate_method_exits_2(self, index_path, capsys):
+        assert main(["evaluate", str(index_path), "--methods", "cr,bogus"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "bogus" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_escaping_keyerror_maps_to_exit_2(self, index_path, capsys, monkeypatch):
+        from repro.core.recommender import FusionRecommender
+        from repro.io import load_index
+
+        video = load_index(index_path).video_ids[0]
+
+        def explode(self, *args, **kwargs):
+            raise KeyError(f"{video} vanished mid-query")
+
+        monkeypatch.setattr(FusionRecommender, "recommend", explode)
+        assert main(["recommend", str(index_path), video]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "vanished mid-query" in err
+        assert len(err.strip().splitlines()) == 1

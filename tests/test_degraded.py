@@ -168,3 +168,54 @@ class TestRecommendationsType:
         assert results.degraded and results.partial
         assert results.reasons == ("why",)
         assert (results.scored, results.total) == (2, 9)
+
+
+class TestSlicing:
+    """Slices and copies must not silently drop serving metadata."""
+
+    def test_degraded_slice_keeps_flags_and_reasons(self, live, query):
+        live.social_store.mark_unavailable("uig shard lost")
+        results = FusionRecommender(live, omega=0.7).recommend(query, 8)
+        top = results[:5]
+        assert isinstance(top, Recommendations)
+        assert top == list(results)[:5]
+        assert top.degraded is True
+        assert top.reasons == results.reasons
+        assert "uig shard lost" in top.reasons[0]
+        assert (top.scored, top.total) == (results.scored, results.total)
+
+    def test_partial_slice_keeps_flags(self):
+        big = generate_community(CommunityConfig(hours=4.0, seed=11))
+        live = LiveCommunityIndex(big, RecommenderConfig(k=8))
+        results = FusionRecommender(
+            live, omega=0.7, social_mode="sar-h", time_budget=1e-9
+        ).recommend(live.video_ids[0], 5)
+        assert results.partial
+        sliced = results[:3]
+        assert sliced.partial is True
+        assert sliced.scored == results.scored
+
+    def test_every_slice_shape_preserves_metadata(self):
+        results = Recommendations(
+            list("abcdef"), degraded=True, partial=True,
+            reasons=["why"], scored=4, total=9,
+        )
+        for sliced in (results[1:4], results[::2], results[::-1], results[:]):
+            assert isinstance(sliced, Recommendations)
+            assert sliced.degraded and sliced.partial
+            assert sliced.reasons == ("why",)
+            assert (sliced.scored, sliced.total) == (4, 9)
+
+    def test_copy_preserves_metadata_and_detaches(self):
+        results = Recommendations(["a", "b"], degraded=True, reasons=["r"], total=5)
+        duplicate = results.copy()
+        assert isinstance(duplicate, Recommendations)
+        assert duplicate == results
+        assert duplicate.degraded and duplicate.reasons == ("r",)
+        duplicate.append("c")
+        assert results == ["a", "b"]
+
+    def test_integer_index_returns_plain_item(self, live, query):
+        results = FusionRecommender(live, omega=0.7).recommend(query, 5)
+        assert isinstance(results[0], str)
+        assert results[0] == list(results)[0]

@@ -101,3 +101,50 @@ class TestTimer:
         with Timer() as timer:
             sum(range(100_000))
         assert timer.seconds > 0.0
+
+
+class TestObservability:
+    def test_queries_recorded_into_registry(self, workload, panel):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        sources = workload.sources[:3]
+        evaluate_method(
+            "perfect",
+            perfect_recommender(workload.dataset),
+            sources,
+            panel,
+            registry=registry,
+        )
+        assert registry.value("repro_harness_queries_total") == len(sources)
+        histogram = registry.snapshot()["histograms"]["repro_harness_query_seconds"]
+        assert histogram["count"] == len(sources)
+
+    def test_uses_process_registry_by_default(self, workload, panel):
+        from repro.obs import MetricsRegistry, use_metrics
+
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            evaluate_method(
+                "perfect",
+                perfect_recommender(workload.dataset),
+                workload.sources[:2],
+                panel,
+            )
+        assert registry.value("repro_harness_queries_total") == 2
+
+    def test_close_called_even_when_recommender_raises(self, workload, panel):
+        closed = []
+
+        class Exploding:
+            def recommend(self, query_id, top_k):
+                raise RuntimeError("boom")
+
+            def close(self):
+                closed.append(True)
+
+        with pytest.raises(RuntimeError, match="boom"):
+            evaluate_method(
+                "bad", Exploding(), workload.sources[:1], panel, close=True
+            )
+        assert closed == [True]

@@ -1,0 +1,111 @@
+"""Worker-pool lifecycle: no leaked threads, revision-keyed retirement."""
+
+import threading
+
+import pytest
+
+from repro.community import CommunityConfig, generate_community
+from repro.core import FusionRecommender, LiveCommunityIndex, RecommenderConfig
+from repro.evaluation import JudgePanel, evaluate_method
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_community(CommunityConfig(hours=2.0, seed=11))
+
+
+@pytest.fixture(scope="module")
+def live(dataset):
+    return LiveCommunityIndex(dataset, RecommenderConfig(k=8))
+
+
+class TestClose:
+    def test_no_thread_growth_across_50_constructions(self, live):
+        baseline = len(threading.enumerate())
+        for _ in range(50):
+            rec = FusionRecommender(live, num_workers=2)
+            pool = rec._worker_pool()
+            # Force the lazy executor to actually start its threads.
+            assert list(pool.map(lambda x: x + 1, [1, 2])) == [2, 3]
+            rec.close()
+        # close() joins the workers, so the thread count cannot trend up;
+        # allow a little slack for unrelated interpreter threads.
+        assert len(threading.enumerate()) <= baseline + 2
+
+    def test_close_shuts_down_pool(self, live):
+        rec = FusionRecommender(live, num_workers=2)
+        pool = rec._worker_pool()
+        rec.close()
+        assert rec._pool is None
+        with pytest.raises(RuntimeError):
+            pool.submit(lambda: None)
+
+    def test_close_is_idempotent(self, live):
+        rec = FusionRecommender(live, num_workers=2)
+        rec._worker_pool()
+        rec.close()
+        rec.close()  # must not raise
+        assert rec._pool is None
+
+    def test_close_without_pool_is_a_noop(self, live):
+        FusionRecommender(live).close()
+
+    def test_context_manager_closes(self, live):
+        with FusionRecommender(live, num_workers=2) as rec:
+            pool = rec._worker_pool()
+            assert rec.recommend(live.video_ids[0], 5)
+        assert rec._pool is None
+        with pytest.raises(RuntimeError):
+            pool.submit(lambda: None)
+
+    def test_recommend_usable_after_close(self, live):
+        rec = FusionRecommender(live, num_workers=2)
+        rec._worker_pool()
+        rec.close()
+        assert rec.recommend(live.video_ids[0], 5)
+        rec.close()
+
+
+class TestRevisionSwap:
+    def test_pool_retired_when_index_revisions_move(self, dataset):
+        live = LiveCommunityIndex(dataset, RecommenderConfig(k=8))
+        rec = FusionRecommender(live, num_workers=2)
+        first = rec._worker_pool()
+        assert rec._worker_pool() is first  # stable while the index is
+        live.retire_video(live.video_ids[-1])
+        second = rec._worker_pool()
+        assert second is not first
+        assert first._shutdown
+        assert rec._pool_revisions == live.revisions
+        rec.close()
+
+    def test_static_index_reuses_pool(self, live):
+        rec = FusionRecommender(live, num_workers=2)
+        assert rec._worker_pool() is rec._worker_pool()
+        rec.close()
+
+
+class TestHarnessIntegration:
+    def test_evaluate_method_close_shuts_recommender(self, dataset, live):
+        panel = JudgePanel(dataset, seed=5)
+        rec = FusionRecommender(live, num_workers=2)
+        rec._worker_pool()
+        report = evaluate_method(
+            "csf-sar-h", rec, live.video_ids[:2], panel, top_ks=(5,), close=True
+        )
+        assert report.rows
+        assert rec._pool is None
+
+    def test_evaluate_method_accepts_bound_method_with_close(self, dataset, live):
+        panel = JudgePanel(dataset, seed=5)
+        rec = FusionRecommender(live, num_workers=2)
+        rec._worker_pool()
+        evaluate_method(
+            "csf-sar-h",
+            rec.recommend,
+            live.video_ids[:2],
+            panel,
+            top_ks=(5,),
+            close=True,
+        )
+        assert rec._pool is None
