@@ -1,0 +1,155 @@
+"""Serving soak benchmark: latency and degradation under concurrent chaos.
+
+Runs the seeded chaos soak from :mod:`repro.testing.chaos` — concurrent
+writers publishing epochs, readers querying through the gateway's
+admission control, a fault schedule tripping the circuit breaker — and
+reports the serving-quality numbers the gateway is accountable for:
+p50/p99/max query latency, the shed rate (admission control), the
+degraded rate (breaker fallback to content-only), the partial count
+(deadline-bounded scans) and the oracle-parity verdict.
+
+Besides the human-readable summary, the run writes
+``BENCH_serving_soak.json`` at the repo root (the artifact CI uploads).
+A failing soak exits non-zero; the full seeded schedule lands in
+``$CHAOS_ARTIFACT_DIR`` if that is set.
+
+Runs standalone (``PYTHONPATH=src python benchmarks/bench_serving_soak.py
+[--smoke]``) or under pytest (``pytest benchmarks/bench_serving_soak.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+
+from repro.testing.chaos import SoakConfig, run_soak
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_serving_soak.json"
+
+DEFAULT_QUERIES = 12_000
+DEFAULT_SEED = 2015
+
+
+def run_bench(
+    queries: int = DEFAULT_QUERIES,
+    writers: int = 4,
+    readers: int = 16,
+    seed: int = DEFAULT_SEED,
+    verify: bool = True,
+    json_path: pathlib.Path | None = JSON_PATH,
+) -> dict:
+    """Run one soak and return (and optionally persist) the payload."""
+    config = SoakConfig(
+        queries=queries, writers=writers, readers=readers, seed=seed, verify=verify
+    )
+    report = run_soak(config)
+    payload = {
+        "bench": "serving_soak",
+        "unix_time": time.time(),
+        "soak": {
+            "writers": config.writers,
+            "readers": config.readers,
+            "queries_attempted": config.queries,
+            "top_k": config.top_k,
+            "seed": config.seed,
+            "hours": config.hours,
+            "base_videos": config.base_videos,
+            "verified": config.verify,
+        },
+        "queries_served": report.queries_total,
+        "queries_shed": report.queries_shed,
+        "queries_degraded": report.queries_degraded,
+        "queries_partial": report.queries_partial,
+        "shed_rate": report.shed_rate,
+        "degraded_rate": report.degraded_rate,
+        "latency_ms": report.latencies_ms,
+        "epochs_published": report.epochs_published,
+        "epochs_retired": report.epochs_retired,
+        "breaker_transitions": len(report.breaker_transitions),
+        "parity_checked": report.parity_checked,
+        "parity_failures": len(report.parity_failures),
+        "reader_errors": len(report.reader_errors),
+        "writer_errors": len(report.writer_errors),
+        "elapsed_seconds": report.elapsed_seconds,
+        "ok": report.ok,
+    }
+    if json_path is not None:
+        with open(json_path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    return payload
+
+
+def format_summary(payload: dict) -> str:
+    soak = payload["soak"]
+    latency = payload["latency_ms"]
+    parity = (
+        f"{payload['parity_checked'] - payload['parity_failures']}"
+        f"/{payload['parity_checked']}"
+        if soak["verified"]
+        else "skipped"
+    )
+    return (
+        f"writers={soak['writers']} readers={soak['readers']} "
+        f"attempted={soak['queries_attempted']} seed={soak['seed']}\n"
+        f"served={payload['queries_served']} "
+        f"shed={payload['queries_shed']} ({payload['shed_rate'] * 100:.1f}%) "
+        f"degraded={payload['queries_degraded']} "
+        f"({payload['degraded_rate'] * 100:.1f}%) "
+        f"partial={payload['queries_partial']}\n"
+        f"latency ms: p50={latency.get('p50', 0.0):.2f} "
+        f"p99={latency.get('p99', 0.0):.2f} max={latency.get('max', 0.0):.2f}\n"
+        f"epochs published={payload['epochs_published']} "
+        f"retired={payload['epochs_retired']} "
+        f"breaker transitions={payload['breaker_transitions']}\n"
+        f"oracle parity: {parity}  errors: "
+        f"{payload['reader_errors']} reader / {payload['writer_errors']} writer\n"
+        f"ok={payload['ok']} ({payload['elapsed_seconds']:.1f}s soak)"
+    )
+
+
+def test_serving_soak(report):
+    # Bench-sized, verified run; the acceptance-scale soak lives in
+    # tests/test_chaos_soak.py.
+    payload = run_bench(queries=2_000, json_path=None)
+    report(format_summary(payload), engine="batch")
+    assert payload["ok"], "soak failed; see parity/reader/writer error counts"
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--queries", type=int, default=DEFAULT_QUERIES)
+    parser.add_argument("--writers", type=int, default=4)
+    parser.add_argument("--readers", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the serial-oracle replay (timing-only run)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="scaled-down soak for CI: 3000 attempted queries, verified",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        payload = run_bench(queries=3_000, seed=args.seed)
+    else:
+        payload = run_bench(
+            queries=args.queries,
+            writers=args.writers,
+            readers=args.readers,
+            seed=args.seed,
+            verify=not args.no_verify,
+        )
+    print(format_summary(payload))
+    if not payload["ok"]:
+        raise SystemExit("serving soak failed")
+
+
+if __name__ == "__main__":
+    main()

@@ -14,7 +14,16 @@ registered so offline legacy installs stay trivial).  Subcommands:
 * ``explain``   — the evidence behind one (query, candidate) pair;
 * ``evaluate``  — AR/AC/MAP of a chosen method over the Table-2 workload;
 * ``stats``     — run sample queries and print the metrics snapshot
-  (Prometheus text exposition or JSON) plus index-level gauges.
+  (Prometheus text exposition or JSON) plus index-level gauges;
+* ``faults``    — list the registered crash points and injectable fault
+  classes (the durability + serving injection matrix);
+* ``serve-soak`` — run the seeded chaos soak (concurrent writers vs
+  readers over the serving gateway) and report its invariants.
+
+``recommend --deadline-ms`` bounds one query's candidate scan; an expired
+deadline exits 0 with the best-effort partial ranking and a stderr note.
+A request shed by the serving gateway's admission control surfaces as a
+typed :class:`~repro.errors.OverloadedError` -> exit code 2.
 
 ``recommend --trace`` additionally prints the per-query span tree — the
 Fig.-6-style breakdown of where the query spent its time (candidate
@@ -71,6 +80,44 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the per-stage span tree of the query (candidate "
         "generation, content scoring, social scoring, fusion/top-k)",
+    )
+    recommend.add_argument(
+        "--deadline-ms",
+        type=float,
+        help="per-request deadline in milliseconds; an expired deadline "
+        "returns the best-effort partial ranking (with a note on stderr) "
+        "instead of failing",
+    )
+
+    faults = commands.add_parser(
+        "faults", help="inspect the fault-injection surface"
+    )
+    faults.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_points",
+        help="print every registered crash point and the injectable "
+        "serving fault classes",
+    )
+
+    serve_soak = commands.add_parser(
+        "serve-soak",
+        help="run the seeded chaos soak (concurrent writers vs readers over "
+        "the serving gateway) and report its invariants",
+    )
+    serve_soak.add_argument("--writers", type=int, default=4)
+    serve_soak.add_argument("--readers", type=int, default=16)
+    serve_soak.add_argument(
+        "--queries", type=int, default=2000, help="attempted queries (total)"
+    )
+    serve_soak.add_argument("--seed", type=int, default=2015)
+    serve_soak.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the post-hoc serial-oracle parity verification",
+    )
+    serve_soak.add_argument(
+        "--output", help="also write the full soak report JSON to this path"
     )
 
     ingest = commands.add_parser(
@@ -213,9 +260,10 @@ def _cmd_recommend(args) -> int:
         print(f"error: unknown video {args.video!r}", file=sys.stderr)
         return 2
     recommender = _make_recommender(index, args.method)
+    supported = inspect.signature(recommender.recommend).parameters
     trace = None
     if args.trace:
-        if "trace" in inspect.signature(recommender.recommend).parameters:
+        if "trace" in supported:
             from repro.obs import QueryTrace
 
             trace = QueryTrace("recommend")
@@ -224,11 +272,21 @@ def _cmd_recommend(args) -> int:
                 f"note: --trace is not supported by method {args.method!r}",
                 file=sys.stderr,
             )
-    try:
-        if trace is not None:
-            results = recommender.recommend(args.video, args.top_k, trace=trace)
+    extra = {}
+    if trace is not None:
+        extra["trace"] = trace
+    if args.deadline_ms is not None:
+        if "deadline" in supported:
+            import time
+
+            extra["deadline"] = time.monotonic() + args.deadline_ms / 1000.0
         else:
-            results = recommender.recommend(args.video, args.top_k)
+            print(
+                f"note: --deadline-ms is not supported by method {args.method!r}",
+                file=sys.stderr,
+            )
+    try:
+        results = recommender.recommend(args.video, args.top_k, **extra)
     finally:
         closer = getattr(recommender, "close", None)
         if closer is not None:
@@ -237,6 +295,12 @@ def _cmd_recommend(args) -> int:
     if getattr(results, "degraded", False):
         for reason in results.reasons:
             print(f"note: degraded serving ({reason})", file=sys.stderr)
+    if getattr(results, "partial", False):
+        print(
+            f"note: partial ranking ({results.scored}/{results.total} "
+            "candidates scored before the deadline)",
+            file=sys.stderr,
+        )
     print(f"query {args.video} (topic {index.dataset.topics[record.topic]!r}):")
     for rank, video_id in enumerate(results, start=1):
         title = index.dataset.records[video_id].title
@@ -406,6 +470,97 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    # Import the modules that register crash points at import time — the
+    # durability writers and the serving gateway — so the listing is the
+    # full injection matrix regardless of what the process touched so far.
+    import repro.io.atomic  # noqa: F401
+    import repro.io.wal  # noqa: F401
+    import repro.serving.gateway  # noqa: F401
+    from repro.testing.faults import (
+        CRASH_POINTS,
+        InjectedCrashError,
+        InjectedFaultError,
+        registered_crash_points,
+    )
+
+    if not args.list_points:
+        print("nothing to do; try `faults --list`", file=sys.stderr)
+        return 2
+    points = registered_crash_points()
+    print(f"{len(points)} registered crash points:")
+    width = max(len(point) for point in points)
+    for point in points:
+        description = CRASH_POINTS.get(point, "")
+        print(f"  {point:<{width}}  {description}")
+    print()
+    print("injectable fault classes:")
+    for cls, meaning in (
+        (InjectedCrashError, "process death at the point (abort_at)"),
+        (InjectedFaultError, "transient dependency failure (fail_at; retryable)"),
+    ):
+        print(f"  {cls.__name__:<{width}}  {meaning}")
+    print()
+    print("serving fault handling (repro.errors):")
+    print(f"  {'OverloadedError':<{width}}  admission shed the request (exit code 2)")
+    print(f"  {'CircuitOpenError':<{width}}  social path short-circuited by the breaker")
+    print(f"  {'TransientServingError':<{width}}  retryable dependency hiccup")
+    return 0
+
+
+def _cmd_serve_soak(args) -> int:
+    import json
+
+    from repro.testing.chaos import SoakConfig, run_soak
+
+    report = run_soak(
+        SoakConfig(
+            writers=args.writers,
+            readers=args.readers,
+            queries=args.queries,
+            seed=args.seed,
+            verify=not args.no_verify,
+        )
+    )
+    summary = report.to_dict()
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    print(
+        f"soak seed {report.config_seed}: {report.queries_total} served, "
+        f"{report.queries_shed} shed ({report.shed_rate:.1%}), "
+        f"{report.queries_degraded} degraded ({report.degraded_rate:.1%}), "
+        f"{report.queries_partial} partial"
+    )
+    print(
+        f"epochs {report.epochs_published} published / {report.epochs_retired} "
+        f"retired / {report.epochs_live} live; breaker transitions "
+        f"{len(report.breaker_transitions)}"
+    )
+    if report.latencies_ms:
+        print(
+            f"latency p50 {report.latencies_ms['p50']:.2f} ms, "
+            f"p99 {report.latencies_ms['p99']:.2f} ms"
+        )
+    if report.parity_checked:
+        print(
+            f"oracle parity: {report.parity_checked - len(report.parity_failures)}"
+            f"/{report.parity_checked} bit-identical"
+        )
+    if not report.ok:
+        print(
+            f"SOAK FAILED: {len(report.reader_errors)} reader errors, "
+            f"{len(report.writer_errors)} writer errors, "
+            f"{len(report.parity_failures)} parity failures"
+            + (f" (schedule: {report.artifact_path})" if report.artifact_path else ""),
+            file=sys.stderr,
+        )
+        return 1
+    print("soak ok")
+    return 0
+
+
 _HANDLERS = {
     "generate": _cmd_generate,
     "index": _cmd_index,
@@ -415,6 +570,8 @@ _HANDLERS = {
     "explain": _cmd_explain,
     "evaluate": _cmd_evaluate,
     "stats": _cmd_stats,
+    "faults": _cmd_faults,
+    "serve-soak": _cmd_serve_soak,
 }
 
 

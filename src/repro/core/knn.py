@@ -82,15 +82,24 @@ class KTopScoreVideoSearch:
         self._component_memo: dict[tuple[str, str], tuple[float, float]] = {}
         self._memo_revisions = index.revisions
 
-    def clear_memo(self) -> None:
+    def clear_memo(self, revisions: tuple[int, int] | None = None) -> None:
         """Drop memoized component scores.
 
         Called automatically by :meth:`search` whenever the index's store
         revisions move (ingest, retire, comment maintenance), so memoized
         components can never leak across index mutations.
+
+        *revisions* is the snapshot the caller already compared against;
+        re-reading the counters here would race — a mutation landing
+        between :meth:`search`'s staleness check and this call would tag
+        the emptied memo with the *new* revision pair while the search
+        scores against pre-mutation state, mixing epochs on the next
+        search.  The check and the tag must come from one snapshot.
         """
         self._component_memo.clear()
-        self._memo_revisions = self.index.revisions
+        self._memo_revisions = (
+            self.index.revisions if revisions is None else revisions
+        )
 
     # ------------------------------------------------------------------
     def _social_candidates(self, query_id: str, query_vector: np.ndarray) -> list[str]:
@@ -160,8 +169,9 @@ class KTopScoreVideoSearch:
             raise ValueError(f"top_k must be >= 1, got {top_k}")
         if query_id not in self.index.series:
             raise KeyError(f"unknown video {query_id!r}")
-        if self._memo_revisions != self.index.revisions:
-            self.clear_memo()
+        revisions = self.index.revisions
+        if self._memo_revisions != revisions:
+            self.clear_memo(revisions)
         # Query-side work happens exactly once per search.
         query_vector = self.index.social.vectorize_users(
             self.index.descriptor(query_id).users

@@ -117,9 +117,19 @@ class CommunityIndex:
         """``(content revision, social revision)`` — the staleness key.
 
         Any cache derived from this index should record this pair and
-        invalidate when it moves; both counters are monotonic.
+        invalidate when it moves; both counters are monotonic.  The two
+        counters live in different stores, so a naive pair read races
+        with a concurrent mutation (content bumped, social not yet): the
+        read loops until two consecutive reads agree, which — because
+        both counters are monotonic — yields a pair that was actually
+        current at some instant between the reads.
         """
-        return (self.content.revision, self.social_store.revision)
+        pair = (self.content.revision, self.social_store.revision)
+        while True:
+            check = (self.content.revision, self.social_store.revision)
+            if check == pair:
+                return pair
+            pair = check
 
     # ------------------------------------------------------------------
     # Store views (back-compat accessors)

@@ -520,7 +520,7 @@ class FusionRecommender:
         }
 
     def recommend(
-        self, query_id: str, top_k: int = 10, trace=None
+        self, query_id: str, top_k: int = 10, trace=None, deadline: float | None = None
     ) -> "Recommendations":
         """Rank every other video by FJ and return the best *top_k* ids.
 
@@ -532,6 +532,14 @@ class FusionRecommender:
         deadline; an expired budget returns the best-effort ranking over
         the scored prefix flagged ``partial`` (at least one chunk is
         always scored).  The result compares equal to the plain id list.
+
+        *deadline* is an **absolute** ``time.monotonic()`` instant for
+        this one request (the serving gateway's per-request deadline,
+        minus whatever admission already spent).  It threads into the
+        same chunked scan as ``time_budget``; when both are set the
+        earlier instant wins.  A deadline that is already past still
+        scores one chunk — a request never pays admission only to return
+        nothing.
 
         Pass a :class:`~repro.obs.QueryTrace` as *trace* to collect the
         per-stage span tree (``candidates`` / ``content_scores`` /
@@ -547,19 +555,28 @@ class FusionRecommender:
         metrics = get_metrics()
         if trace is None:
             trace = NULL_TRACE
+        cutoff = None
+        cutoff_reason = ""
+        if self.time_budget is not None:
+            cutoff = time.monotonic() + self.time_budget
+            cutoff_reason = f"time budget of {self.time_budget}s expired"
+        if deadline is not None:
+            deadline = float(deadline)
+            if cutoff is None or deadline < cutoff:
+                cutoff = deadline
+                cutoff_reason = "request deadline expired"
         with trace, metrics.time("repro_query_seconds"):
             with _stage(trace, metrics, "candidates"):
                 reasons = self._degradation_reasons()
                 omega = 0.0 if reasons else self.omega
                 candidates = [vid for vid in self.index.video_ids if vid != query_id]
             total = len(candidates)
-            if self.time_budget is None:
+            if cutoff is None:
                 scored = candidates
                 content, social = self._score_arrays(
                     query_id, candidates, omega, trace=trace, metrics=metrics
                 )
             else:
-                deadline = time.monotonic() + self.time_budget
                 scored = []
                 content_parts: list[np.ndarray] = []
                 social_parts: list[np.ndarray] = []
@@ -571,9 +588,9 @@ class FusionRecommender:
                     content_parts.append(chunk_content)
                     social_parts.append(chunk_social)
                     scored.extend(chunk)
-                    if len(scored) < total and time.monotonic() >= deadline:
+                    if len(scored) < total and time.monotonic() >= cutoff:
                         reasons = reasons + [
-                            f"time budget of {self.time_budget}s expired after "
+                            f"{cutoff_reason} after "
                             f"{len(scored)}/{total} candidates; ranking the "
                             "scored prefix"
                         ]

@@ -30,6 +30,7 @@ social index — moves it.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -242,6 +243,13 @@ class SocialStore:
         self._index: DynamicSocialIndex | None = None
         self._base_revision = 0
         self._dicts: tuple[SortedUserDictionary, SarVectorizer, SarVectorizer] | None = None
+        #: Guards the lazy re-derivation of the wrapped index and the SAR
+        #: dictionaries.  Mutations are externally serialized (the serving
+        #: gateway's writer lock), but *reads* may race: two reader
+        #: threads hitting a dirty store at once must not both rebuild —
+        #: one wins, the other observes the finished structures, and
+        #: neither ever sees a half-derived index or torn SAR rows.
+        self._derive_lock = threading.RLock()
         self._available = True
         self._unavailable_reason = ""
         #: Mutations known to be lost (recovery gaps, failed updates);
@@ -306,13 +314,14 @@ class SocialStore:
 
     def _invalidate(self) -> None:
         """Mark the wrapped index stale; adopt its live descriptor state."""
-        if self._index is not None:
-            self._descriptors = self._index.descriptors
-            self._base_revision += self._index.revision + 1
-            self._index = None
-        else:
-            self._base_revision += 1
-        self._dicts = None
+        with self._derive_lock:
+            if self._index is not None:
+                self._descriptors = self._index.descriptors
+                self._base_revision += self._index.revision + 1
+                self._index = None
+            else:
+                self._base_revision += 1
+            self._dicts = None
 
     # ------------------------------------------------------------------
     # Views
@@ -339,14 +348,23 @@ class SocialStore:
         final descriptor set matters.
         """
         self._require_available()
-        if self._index is None:
-            ordered = [
-                self._descriptors[video_id] for video_id in sorted(self._descriptors)
-            ]
-            self._index = DynamicSocialIndex.build(
-                ordered, self._k, uig_pair_cap=self._uig_pair_cap
-            )
-        return self._index
+        index = self._index
+        if index is None:
+            with self._derive_lock:
+                index = self._index
+                if index is None:
+                    ordered = [
+                        self._descriptors[video_id]
+                        for video_id in sorted(self._descriptors)
+                    ]
+                    # Publish only the fully built index: concurrent
+                    # readers either see None (and wait on the lock) or a
+                    # finished structure, never a partial build.
+                    index = DynamicSocialIndex.build(
+                        ordered, self._k, uig_pair_cap=self._uig_pair_cap
+                    )
+                    self._index = index
+        return index
 
     def dictionaries(self) -> tuple[SortedUserDictionary, SarVectorizer, SarVectorizer]:
         """``(sorted_dictionary, sar, sar_h)`` over the current partition.
@@ -357,20 +375,25 @@ class SocialStore:
         structural invalidation or :meth:`refresh_dictionaries`.
         """
         self._require_available()
-        if self._dicts is None:
-            index = self.index
-            membership = {
-                user: cno
-                for cno, members in index.communities.items()
-                for user in members
-            }
-            dictionary = SortedUserDictionary(membership)
-            self._dicts = (
-                dictionary,
-                SarVectorizer(dictionary, index.k),
-                SarVectorizer(index.hash_table, index.k),
-            )
-        return self._dicts
+        dicts = self._dicts
+        if dicts is None:
+            with self._derive_lock:
+                dicts = self._dicts
+                if dicts is None:
+                    index = self.index
+                    membership = {
+                        user: cno
+                        for cno, members in index.communities.items()
+                        for user in members
+                    }
+                    dictionary = SortedUserDictionary(membership)
+                    dicts = (
+                        dictionary,
+                        SarVectorizer(dictionary, index.k),
+                        SarVectorizer(index.hash_table, index.k),
+                    )
+                    self._dicts = dicts
+        return dicts
 
     def refresh_dictionaries(self) -> None:
         """Re-derive the SAR dictionaries from the live partition."""

@@ -20,6 +20,10 @@ __all__ = [
     "WalCorruptionError",
     "SchemaMismatchError",
     "SocialStoreUnavailableError",
+    "ServingError",
+    "OverloadedError",
+    "CircuitOpenError",
+    "TransientServingError",
 ]
 
 
@@ -51,3 +55,26 @@ class SocialStoreUnavailableError(ReproError, RuntimeError):
     """The social store was marked unavailable; derived social structures
     cannot be served.  :class:`~repro.core.recommender.FusionRecommender`
     degrades to content-only serving instead of propagating this."""
+
+
+class ServingError(ReproError):
+    """A request-level failure of the concurrent serving gateway."""
+
+
+class OverloadedError(ServingError):
+    """Admission control shed the request: every serving slot was busy and
+    the bounded wait queue was full (or the queue wait outlived the
+    request deadline).  Retrying after backoff is the expected reaction;
+    the CLI maps this to a one-line typed exit with code 2."""
+
+
+class CircuitOpenError(ServingError):
+    """The social-path circuit breaker is open; the dependency call was
+    not attempted.  Gateway-internal — ``recommend`` converts it into a
+    content-only degraded ranking rather than failing the request."""
+
+
+class TransientServingError(ServingError):
+    """A retryable failure of a serving dependency (injected or real).
+    The gateway retries these with jittered exponential backoff before
+    counting a breaker failure; non-transient failures trip immediately."""

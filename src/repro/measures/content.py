@@ -325,6 +325,36 @@ class SignatureBank:
         self._width = live_width
 
     # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "SignatureBank":
+        """A copy-on-write snapshot sharing the padded matrices.
+
+        The containers (video ids, row slices, series map) are copied; the
+        value/weight/length/pad arrays are **shared**.  Sharing is safe
+        under the bank's append-only array discipline: live mutations only
+        ever (a) write rows at or beyond the current ``_count`` — which a
+        snapshot taken at that count never reads — or (b) swap in freshly
+        allocated arrays (``_grow`` widening, :meth:`compact`), which the
+        snapshot does not observe.  This is what gives the serving
+        gateway's epoch publication O(videos) cost instead of O(rows ×
+        width).  The snapshot itself must be treated as immutable except
+        for its own :meth:`compact` (which allocates fresh arrays and so
+        cannot disturb the live bank)."""
+        clone = SignatureBank.__new__(SignatureBank)
+        clone.video_ids = list(self.video_ids)
+        clone._series = dict(self._series)
+        clone._row_slices = dict(self._row_slices)
+        clone._count = self._count
+        clone._dead_rows = self._dead_rows
+        clone._width = self._width
+        clone._values = self._values
+        clone._weights = self._weights
+        clone._lengths = self._lengths
+        clone._pads = self._pads
+        return clone
+
+    # ------------------------------------------------------------------
     # Scoring
     # ------------------------------------------------------------------
     def sim_matrix(self, query: SignatureSeries) -> np.ndarray:

@@ -1,0 +1,29 @@
+"""Concurrent serving: epoch snapshot isolation, deadlines, load shedding.
+
+See DESIGN §11.  The entry point is :class:`ServingGateway`; the epoch
+and breaker machinery are public for tests and for callers that want the
+pieces without the facade.
+"""
+
+from repro.serving.breaker import CLOSED, HALF_OPEN, OPEN, STATE_CODES, CircuitBreaker
+from repro.serving.epoch import CommunityEpoch, EpochManager
+from repro.serving.gateway import (
+    SERVE_PUBLISH_POINT,
+    SERVE_SOCIAL_POINT,
+    GatewayConfig,
+    ServingGateway,
+)
+
+__all__ = [
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "STATE_CODES",
+    "CircuitBreaker",
+    "CommunityEpoch",
+    "EpochManager",
+    "GatewayConfig",
+    "ServingGateway",
+    "SERVE_PUBLISH_POINT",
+    "SERVE_SOCIAL_POINT",
+]

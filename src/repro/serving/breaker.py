@@ -1,0 +1,157 @@
+"""Circuit breaker for the serving gateway's social path.
+
+Classic three-state machine, deterministic under an injectable clock:
+
+* **closed** — calls flow; consecutive failures are counted, and
+  reaching ``failure_threshold`` trips the breaker open;
+* **open** — calls are refused outright (the gateway serves content-only
+  degraded rankings instead) until ``cooldown`` seconds have passed;
+* **half-open** — after the cooldown, up to ``half_open_probes`` calls
+  are admitted as probes.  ``half_open_successes`` consecutive probe
+  successes close the breaker; any probe failure re-opens it (and
+  restarts the cooldown).
+
+All transitions happen inside :meth:`allow` / :meth:`record_success` /
+:meth:`record_failure` under one lock, so concurrent reader threads see
+a consistent machine; the optional ``on_transition`` hook (the gateway
+wires metrics into it) is invoked outside the decision's hot path but
+still under the lock, keeping the observed transition order exact.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+#: Numeric gauge encoding of the states (stable, documented in DESIGN).
+STATE_CODES = {CLOSED: 0, OPEN: 1, HALF_OPEN: 2}
+
+
+class CircuitBreaker:
+    """Thread-safe three-state circuit breaker with an injectable clock.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures (while closed) that trip the breaker.
+    cooldown:
+        Seconds the breaker stays open before admitting probes.
+    half_open_probes:
+        Probe calls admitted concurrently while half-open.
+    half_open_successes:
+        Consecutive probe successes required to close again.
+    clock:
+        Monotonic clock (injectable for deterministic tests).
+    on_transition:
+        ``callback(old_state, new_state)`` invoked on every transition.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown: float = 1.0,
+        half_open_probes: int = 1,
+        half_open_successes: int = 1,
+        clock=time.monotonic,
+        on_transition=None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, got {failure_threshold}")
+        if cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {cooldown}")
+        if half_open_probes < 1:
+            raise ValueError(f"half_open_probes must be >= 1, got {half_open_probes}")
+        if half_open_successes < 1:
+            raise ValueError(
+                f"half_open_successes must be >= 1, got {half_open_successes}"
+            )
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.half_open_probes = half_open_probes
+        self.half_open_successes = half_open_successes
+        self._clock = clock
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._probe_successes = 0
+        self._probes_in_flight = 0
+        self._opened_at = 0.0
+        self.transitions: list[tuple[str, str]] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current state name (``closed`` / ``open`` / ``half-open``)."""
+        with self._lock:
+            return self._state
+
+    @property
+    def state_code(self) -> int:
+        """Gauge encoding: closed=0, open=1, half-open=2."""
+        return STATE_CODES[self.state]
+
+    def _transition(self, new_state: str) -> None:
+        old = self._state
+        if old == new_state:
+            return
+        self._state = new_state
+        self.transitions.append((old, new_state))
+        if self._on_transition is not None:
+            self._on_transition(old, new_state)
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """Whether this call may attempt the protected dependency.
+
+        While open, flips to half-open once the cooldown has elapsed and
+        admits up to ``half_open_probes`` concurrent probe calls.  Every
+        admitted call **must** be followed by exactly one
+        :meth:`record_success` or :meth:`record_failure`.
+        """
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                if self._clock() - self._opened_at < self.cooldown:
+                    return False
+                self._transition(HALF_OPEN)
+                self._probe_successes = 0
+                self._probes_in_flight = 0
+            # Half-open: admit a bounded number of concurrent probes.
+            if self._probes_in_flight >= self.half_open_probes:
+                return False
+            self._probes_in_flight += 1
+            return True
+
+    def record_success(self) -> None:
+        """Report a successful dependency call."""
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                self._probe_successes += 1
+                if self._probe_successes >= self.half_open_successes:
+                    self._transition(CLOSED)
+                    self._failures = 0
+            else:
+                self._failures = 0
+
+    def record_failure(self) -> None:
+        """Report a failed dependency call."""
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                self._transition(OPEN)
+                self._opened_at = self._clock()
+            elif self._state == CLOSED:
+                self._failures += 1
+                if self._failures >= self.failure_threshold:
+                    self._transition(OPEN)
+                    self._opened_at = self._clock()
+            # Already open: a late failure report changes nothing.

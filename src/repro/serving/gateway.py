@@ -1,0 +1,432 @@
+"""The concurrent serving gateway: one writer, many lock-free readers.
+
+:class:`ServingGateway` fronts a :class:`~repro.core.pipeline.LiveCommunityIndex`
+and gives every query an immutable epoch view while mutations stream in:
+
+* **writes** (`ingest_video` / `retire_video` / `apply_comments` /
+  `advance_watermark`) are serialized under one writer lock; each
+  mutation publishes a fresh :class:`~repro.serving.epoch.CommunityEpoch`
+  (copy-on-write snapshot, O(videos));
+* **reads** pin the current epoch and scan it without locks.  Admission
+  control bounds concurrency: beyond ``max_concurrency`` in-flight
+  queries, up to ``queue_depth`` requests wait (no longer than
+  ``queue_timeout`` or their own deadline); everything else is **shed**
+  with a typed :class:`~repro.errors.OverloadedError`;
+* each request carries a **deadline** that threads into the
+  recommender's chunked candidate scan — an expired deadline returns the
+  best-effort prefix flagged ``partial`` instead of blowing the budget;
+* the **social path** is guarded by a circuit breaker: repeated
+  failures (``FaultPlan``-injected at the registered
+  ``serve.social_scores`` point) trip it open, open requests serve
+  content-only rankings via ω-renormalisation flagged ``degraded``, and
+  half-open probes close it once the dependency recovers.  Transient
+  fault classes are retried with seeded jittered exponential backoff
+  before they count as breaker failures.
+
+Everything is instrumented into the process-wide
+:func:`repro.obs.get_metrics` registry under ``repro_serving_*`` names
+(see DESIGN §11 for the full list).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.core.recommender import FusionRecommender, Recommendations
+from repro.errors import OverloadedError
+from repro.obs import get_metrics
+from repro.serving.breaker import STATE_CODES, CircuitBreaker
+from repro.serving.epoch import CommunityEpoch, EpochManager
+from repro.testing.faults import (
+    NO_FAULTS,
+    InjectedCrashError,
+    InjectedFaultError,
+    register_crash_point,
+)
+
+__all__ = [
+    "GatewayConfig",
+    "ServingGateway",
+    "SERVE_SOCIAL_POINT",
+    "SERVE_PUBLISH_POINT",
+]
+
+#: The social dependency call of every fused query — transient faults
+#: armed here are retried, then charged to the circuit breaker.
+SERVE_SOCIAL_POINT = register_crash_point(
+    "serve.social_scores",
+    "serving gateway: social relevance dependency call (breaker-guarded)",
+)
+
+#: Epoch publication after a mutation — an abort here models a crash
+#: between applying a mutation and publishing it (readers keep serving
+#: the previous epoch until the next successful publish).
+SERVE_PUBLISH_POINT = register_crash_point(
+    "serve.publish_epoch",
+    "serving gateway: epoch snapshot publication after a mutation",
+)
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Serving knobs of :class:`ServingGateway`.
+
+    Attributes
+    ----------
+    max_concurrency:
+        Queries scanning concurrently; beyond this, requests queue.
+    queue_depth:
+        Bounded admission queue; a full queue sheds immediately.
+    queue_timeout:
+        Longest a queued request waits for a slot (its own deadline may
+        cut that shorter) before being shed.
+    default_deadline:
+        Per-request deadline in seconds applied when the caller passes
+        none (``None`` = unlimited scan).
+    breaker_failure_threshold / breaker_cooldown / breaker_probes /
+    breaker_successes:
+        Circuit-breaker tuning (see :class:`~repro.serving.breaker.CircuitBreaker`).
+    retry_attempts:
+        Retries of a *transient* social-path failure before it counts as
+        a breaker failure.
+    retry_backoff:
+        Base backoff delay in seconds (doubles per attempt).
+    retry_jitter:
+        Uniform jitter fraction added to each backoff delay (0 = none).
+    """
+
+    max_concurrency: int = 8
+    queue_depth: int = 16
+    queue_timeout: float = 0.25
+    default_deadline: float | None = None
+    breaker_failure_threshold: int = 5
+    breaker_cooldown: float = 0.5
+    breaker_probes: int = 1
+    breaker_successes: int = 1
+    retry_attempts: int = 2
+    retry_backoff: float = 0.002
+    retry_jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_concurrency < 1:
+            raise ValueError(f"max_concurrency must be >= 1, got {self.max_concurrency}")
+        if self.queue_depth < 0:
+            raise ValueError(f"queue_depth must be >= 0, got {self.queue_depth}")
+        if self.queue_timeout < 0:
+            raise ValueError(f"queue_timeout must be >= 0, got {self.queue_timeout}")
+        if self.default_deadline is not None and self.default_deadline <= 0:
+            raise ValueError(
+                f"default_deadline must be > 0, got {self.default_deadline}"
+            )
+        if self.retry_attempts < 0:
+            raise ValueError(f"retry_attempts must be >= 0, got {self.retry_attempts}")
+
+
+class ServingGateway:
+    """Thread-safe serving facade over a live community index.
+
+    Parameters
+    ----------
+    index:
+        The write master (a :class:`~repro.core.pipeline.CommunityIndex`
+        or live subclass).  The gateway owns its mutation path — apply
+        writes through the gateway, never directly, while serving.
+    omega / social_mode / content_measure / engine:
+        Recommender configuration of the served rankings (defaults follow
+        the index config, ``sar-h`` social mode).
+    config:
+        The :class:`GatewayConfig` serving knobs.
+    faults:
+        Optional :class:`~repro.testing.faults.FaultPlan` threaded into
+        the registered serving points (chaos tests arm failures here).
+    breaker_clock:
+        Clock of the circuit breaker only (injectable for deterministic
+        state-machine tests); deadlines and admission always use
+        ``time.monotonic`` because the scan's chunked cutoff does.
+    seed:
+        Seed of the retry-jitter RNG.
+    """
+
+    def __init__(
+        self,
+        index,
+        omega: float | None = None,
+        social_mode: str = "sar-h",
+        content_measure: str = "kj",
+        engine: str | None = None,
+        config: GatewayConfig | None = None,
+        faults=None,
+        breaker_clock=time.monotonic,
+        seed: int = 0,
+    ) -> None:
+        self._master = index
+        self._omega = index.config.omega if omega is None else float(omega)
+        self._social_mode = social_mode
+        self._content_measure = content_measure
+        self._engine = engine
+        self.config = config or GatewayConfig()
+        # fire() logs every hit into the plan; skip it entirely when no
+        # plan was supplied so the shared NO_FAULTS log can't grow
+        # unbounded under production query traffic.
+        self._fire_faults = faults is not None
+        self._faults = faults if faults is not None else NO_FAULTS
+        self._write_lock = threading.RLock()
+        self._epochs = EpochManager()
+        self._breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_failure_threshold,
+            cooldown=self.config.breaker_cooldown,
+            half_open_probes=self.config.breaker_probes,
+            half_open_successes=self.config.breaker_successes,
+            clock=breaker_clock,
+            on_transition=self._on_breaker_transition,
+        )
+        self._rng = random.Random(seed)
+        self._rng_lock = threading.Lock()
+        self._adm_cond = threading.Condition(threading.Lock())
+        self._inflight = 0
+        self._waiting = 0
+        # The initial epoch is published fault-free: a plan arming the
+        # publish point targets *mutations*, not construction.
+        self._publish(fire=False)
+
+    # ------------------------------------------------------------------
+    # Epoch publication (writer side)
+    # ------------------------------------------------------------------
+    def _build_recommenders(self, epoch: CommunityEpoch) -> None:
+        epoch.serving_recommenders = {
+            "full": epoch.recommender(
+                omega=self._omega,
+                social_mode=self._social_mode,
+                content_measure=self._content_measure,
+                engine=self._engine,
+            ),
+            "content": epoch.recommender(
+                omega=0.0,
+                social_mode=self._social_mode,
+                content_measure=self._content_measure,
+                engine=self._engine,
+            ),
+        }
+
+    def _publish(self, fire: bool = True) -> CommunityEpoch:
+        if fire and self._fire_faults:
+            self._faults.fire(SERVE_PUBLISH_POINT)
+        # The recommenders are attached in publish()'s prepare hook, i.e.
+        # before the epoch becomes visible — a reader must never pin an
+        # epoch that can't serve yet.
+        epoch = self._epochs.publish(self._master, prepare=self._build_recommenders)
+        metrics = get_metrics()
+        metrics.set_gauge("repro_serving_epoch_id", epoch.epoch_id)
+        metrics.set_gauge("repro_serving_epochs_live", self._epochs.live_count)
+        metrics.set_gauge("repro_serving_epochs_published", self._epochs.published_total)
+        metrics.set_gauge("repro_serving_epoch_videos", len(epoch.video_ids))
+        return epoch
+
+    @property
+    def current_epoch(self) -> CommunityEpoch:
+        """The epoch new queries pin."""
+        epoch = self._epochs.current
+        assert epoch is not None  # published in __init__
+        return epoch
+
+    @property
+    def epochs(self) -> EpochManager:
+        """The epoch lifecycle manager (refcounts, retire accounting)."""
+        return self._epochs
+
+    @property
+    def breaker(self) -> CircuitBreaker:
+        """The social-path circuit breaker."""
+        return self._breaker
+
+    # ------------------------------------------------------------------
+    # Mutations (serialized; each publishes a fresh epoch)
+    # ------------------------------------------------------------------
+    def ingest_video(self, clip_or_record, owner=None, users=()) -> str:
+        """Serialized :meth:`LiveCommunityIndex.ingest_video` + publish."""
+        with self._write_lock:
+            video_id = self._master.ingest_video(clip_or_record, owner, users)
+            self._publish()
+            return video_id
+
+    def retire_video(self, video_id: str) -> None:
+        """Serialized :meth:`LiveCommunityIndex.retire_video` + publish."""
+        with self._write_lock:
+            self._master.retire_video(video_id)
+            self._publish()
+
+    def apply_comments(self, comments, incremental: bool = False):
+        """Serialized :meth:`LiveCommunityIndex.apply_comments` + publish."""
+        with self._write_lock:
+            stats = self._master.apply_comments(comments, incremental=incremental)
+            self._publish()
+            return stats
+
+    def advance_watermark(self, month: int) -> int:
+        """Serialized watermark advance + publish."""
+        with self._write_lock:
+            month = self._master.advance_watermark(month)
+            self._publish()
+            return month
+
+    # ------------------------------------------------------------------
+    # Admission control
+    # ------------------------------------------------------------------
+    def _admit(self, deadline_at: float | None, metrics) -> None:
+        cfg = self.config
+        with self._adm_cond:
+            if self._inflight < cfg.max_concurrency:
+                self._inflight += 1
+                metrics.set_gauge("repro_serving_inflight", self._inflight)
+                return
+            if self._waiting >= cfg.queue_depth:
+                metrics.inc("repro_serving_shed_total", reason="queue_full")
+                raise OverloadedError(
+                    f"{self._inflight} queries in flight and the admission "
+                    f"queue of {cfg.queue_depth} is full"
+                )
+            self._waiting += 1
+            metrics.set_gauge("repro_serving_queue_depth", self._waiting)
+            try:
+                limit = time.monotonic() + cfg.queue_timeout
+                if deadline_at is not None:
+                    limit = min(limit, deadline_at)
+                while self._inflight >= cfg.max_concurrency:
+                    remaining = limit - time.monotonic()
+                    if remaining <= 0:
+                        metrics.inc("repro_serving_shed_total", reason="queue_timeout")
+                        raise OverloadedError(
+                            "queued request outwaited its admission budget "
+                            f"({self._waiting} queued, {self._inflight} in flight)"
+                        )
+                    self._adm_cond.wait(remaining)
+                self._inflight += 1
+                metrics.set_gauge("repro_serving_inflight", self._inflight)
+            finally:
+                self._waiting -= 1
+                metrics.set_gauge("repro_serving_queue_depth", self._waiting)
+
+    def _release(self, metrics) -> None:
+        with self._adm_cond:
+            self._inflight -= 1
+            metrics.set_gauge("repro_serving_inflight", self._inflight)
+            self._adm_cond.notify()
+
+    # ------------------------------------------------------------------
+    # Social path: breaker + retry/backoff
+    # ------------------------------------------------------------------
+    def _on_breaker_transition(self, old: str, new: str) -> None:
+        metrics = get_metrics()
+        metrics.inc("repro_serving_breaker_transitions_total", to=new)
+        metrics.set_gauge("repro_serving_breaker_state", STATE_CODES[new])
+
+    def _jitter(self) -> float:
+        with self._rng_lock:
+            return self._rng.random()
+
+    def _social_path(self, deadline_at: float | None, metrics) -> str | None:
+        """Attempt the social dependency; ``None`` on success, else the
+        degradation reason the ranking must carry."""
+        if not self._breaker.allow():
+            metrics.inc("repro_serving_breaker_short_circuit_total")
+            return (
+                "social path circuit breaker open; serving content-only ranking"
+            )
+        cfg = self.config
+        attempt = 0
+        while True:
+            try:
+                if self._fire_faults:
+                    self._faults.fire(SERVE_SOCIAL_POINT)
+            except InjectedFaultError as error:
+                metrics.inc("repro_serving_social_failures_total", kind="transient")
+                attempt += 1
+                if attempt <= cfg.retry_attempts:
+                    delay = cfg.retry_backoff * (2 ** (attempt - 1))
+                    delay *= 1.0 + cfg.retry_jitter * self._jitter()
+                    if deadline_at is None or time.monotonic() + delay < deadline_at:
+                        metrics.inc("repro_serving_retries_total")
+                        time.sleep(delay)
+                        continue
+                self._breaker.record_failure()
+                return f"social path failing ({error}); serving content-only ranking"
+            except InjectedCrashError as error:
+                # Non-transient fault class: no retry, straight to the
+                # breaker ledger.
+                metrics.inc("repro_serving_social_failures_total", kind="fatal")
+                self._breaker.record_failure()
+                return f"social path failed ({error}); serving content-only ranking"
+            else:
+                self._breaker.record_success()
+                return None
+
+    # ------------------------------------------------------------------
+    # Queries (reader side)
+    # ------------------------------------------------------------------
+    def recommend(
+        self,
+        query_id: str,
+        top_k: int = 10,
+        deadline: float | None = None,
+        trace=None,
+    ) -> Recommendations:
+        """Top-K recommendations from an immutable epoch view.
+
+        *deadline* is in **seconds from now** (defaults to the config's
+        ``default_deadline``); it bounds admission waiting *and* the
+        candidate scan.  The result is a
+        :class:`~repro.core.recommender.Recommendations` annotated with
+        ``epoch_id`` / ``epoch`` (the pinned view, kept alive as long as
+        the caller holds the result) and ``omega_served`` (0.0 when the
+        breaker dropped the social term).  Raises
+        :class:`~repro.errors.OverloadedError` when admission sheds the
+        request; everything else degrades instead of failing.
+        """
+        metrics = get_metrics()
+        if deadline is None:
+            deadline = self.config.default_deadline
+        deadline_at = None if deadline is None else time.monotonic() + float(deadline)
+        self._admit(deadline_at, metrics)
+        try:
+            with metrics.time("repro_serving_latency_seconds"):
+                epoch = self._epochs.pin()
+                try:
+                    metrics.set_gauge(
+                        "repro_serving_epoch_age_seconds", self._epochs.current_age()
+                    )
+                    reason = None
+                    if self._omega > 0.0 and epoch.social_store.available:
+                        reason = self._social_path(deadline_at, metrics)
+                    which = "content" if reason is not None else "full"
+                    recommender: FusionRecommender = epoch.serving_recommenders[which]
+                    result = recommender.recommend(
+                        query_id, top_k, trace=trace, deadline=deadline_at
+                    )
+                    if reason is not None:
+                        result = Recommendations(
+                            result,
+                            degraded=True,
+                            partial=result.partial,
+                            reasons=(*result.reasons, reason),
+                            scored=result.scored,
+                            total=result.total,
+                        )
+                    result.epoch_id = epoch.epoch_id
+                    result.epoch = epoch
+                    result.omega_served = 0.0 if reason is not None else self._omega
+                    metrics.inc("repro_serving_queries_total")
+                    if result.degraded:
+                        metrics.inc("repro_serving_degraded_total")
+                    if result.partial:
+                        metrics.inc("repro_serving_deadline_miss_total")
+                    return result
+                finally:
+                    self._epochs.unpin(epoch)
+                    metrics.set_gauge(
+                        "repro_serving_epochs_live", self._epochs.live_count
+                    )
+        finally:
+            self._release(metrics)

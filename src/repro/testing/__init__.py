@@ -1,10 +1,16 @@
-"""Testing subsystem: fault injection for the durability layer."""
+"""Testing subsystem: fault injection and the chaos soak harness.
+
+:mod:`repro.testing.chaos` is imported lazily (it pulls in the serving
+stack); the fault primitives stay import-light so the IO layer can depend
+on them.
+"""
 
 from repro.testing.faults import (
     CRASH_POINTS,
     ByteCorruption,
     FaultPlan,
     InjectedCrashError,
+    InjectedFaultError,
     register_crash_point,
     registered_crash_points,
 )
@@ -14,6 +20,18 @@ __all__ = [
     "ByteCorruption",
     "FaultPlan",
     "InjectedCrashError",
+    "InjectedFaultError",
+    "SoakConfig",
+    "SoakReport",
     "register_crash_point",
     "registered_crash_points",
+    "run_soak",
 ]
+
+
+def __getattr__(name):
+    if name in ("SoakConfig", "SoakReport", "run_soak"):
+        from repro.testing import chaos
+
+        return getattr(chaos, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

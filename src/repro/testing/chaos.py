@@ -1,0 +1,506 @@
+"""Seeded chaos soak: concurrent writers vs readers over the gateway.
+
+The harness stands up a :class:`~repro.serving.gateway.ServingGateway`
+over a small generated community and hammers it from three sides at once:
+
+* **writers** ingest, retire and comment (each from a private spare-video
+  pool, so mutations never conflict), publishing a fresh epoch per
+  mutation;
+* **readers** issue top-K queries against base videos that exist in every
+  epoch — a deterministic fraction with a deliberately tight deadline to
+  exercise partial results;
+* a **fault schedule** periodically arms bursts of transient failures at
+  the gateway's ``serve.social_scores`` point, driving the retry path and
+  tripping the circuit breaker into its open → half-open → closed cycle.
+
+Every query result carries the epoch it was served from (the reference
+keeps the frozen snapshot alive past retirement), so after the threads
+drain the harness replays each query against a **serial oracle** — a
+fresh single-threaded recommender over the pinned epoch — and demands a
+bit-identical ranking.  Partial results are checked against the oracle of
+their scored candidate *prefix* (the chunked scan is prefix-deterministic:
+``scored`` is always chunk-aligned).  Any reader exception, writer
+exception or parity mismatch fails the soak; a failing run dumps its full
+seeded schedule as JSON into ``$CHAOS_ARTIFACT_DIR`` so CI can attach it
+and anyone can replay the exact interleaving pressure.
+
+Everything is derived from one seed: thread schedules still interleave
+nondeterministically (that is the point of a soak), but the *workload* —
+who ingests what, which queries carry tight deadlines, when fault bursts
+arm — replays exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.community.workload import build_workload
+from repro.core.config import RecommenderConfig
+from repro.core.pipeline import LiveCommunityIndex
+from repro.core.recommender import FusionRecommender, rank_components
+from repro.errors import OverloadedError
+from repro.obs import MetricsRegistry, use_metrics
+from repro.serving import GatewayConfig, ServingGateway
+from repro.serving.gateway import SERVE_SOCIAL_POINT
+from repro.testing.faults import FaultPlan
+
+__all__ = ["SoakConfig", "SoakReport", "run_soak"]
+
+
+@dataclass(frozen=True)
+class SoakConfig:
+    """Knobs of one chaos soak run (everything keys off ``seed``).
+
+    The defaults satisfy the acceptance floor of the serving work: 4
+    writers x 16 readers x 10k queries.  Tests and the bench scale
+    ``queries`` (and the community ``hours``) up or down; everything else
+    usually stays put.
+    """
+
+    writers: int = 4
+    readers: int = 16
+    #: Attempted queries; with admission deliberately overloaded a soak
+    #: sheds 10-20%, so the default leaves ~10k actually *served*.
+    queries: int = 12_000
+    top_k: int = 10
+    seed: int = 2015
+    hours: float = 5.0
+    base_videos: int = 36
+    writer_ops: int = 25
+    writer_pause: float = 0.001
+    #: Every Nth query of each reader carries ``tight_deadline`` seconds.
+    tight_deadline_every: int = 17
+    tight_deadline: float = 1e-4
+    #: Seconds between armings of ``fault_burst`` transient social faults
+    #: (0 disables the fault schedule entirely).
+    fault_burst_every: float = 0.2
+    fault_burst: int = 8
+    gateway: GatewayConfig = field(
+        default_factory=lambda: GatewayConfig(
+            max_concurrency=8,
+            queue_depth=16,
+            queue_timeout=0.05,
+            breaker_failure_threshold=3,
+            breaker_cooldown=0.05,
+            retry_attempts=1,
+            retry_backoff=0.0005,
+        )
+    )
+    verify: bool = True
+
+    def __post_init__(self) -> None:
+        if self.writers < 1 or self.readers < 1:
+            raise ValueError("need at least one writer and one reader")
+        if self.queries < self.readers:
+            raise ValueError("need at least one query per reader")
+
+
+@dataclass
+class SoakReport:
+    """What one soak run did and whether it held up.
+
+    ``ok`` is the soak verdict: no reader/writer exceptions and (when
+    verification ran) zero oracle parity failures.  Shed queries are
+    *expected* under overload and never fail a soak on their own — tests
+    bound the shed/degraded **rates** instead.
+    """
+
+    config_seed: int
+    queries_total: int = 0
+    queries_shed: int = 0
+    queries_degraded: int = 0
+    queries_partial: int = 0
+    writer_ops: int = 0
+    epochs_published: int = 0
+    epochs_retired: int = 0
+    epochs_live: int = 0
+    breaker_transitions: list[tuple[str, str]] = field(default_factory=list)
+    parity_checked: int = 0
+    parity_failures: list[dict] = field(default_factory=list)
+    reader_errors: list[str] = field(default_factory=list)
+    writer_errors: list[str] = field(default_factory=list)
+    latencies_ms: dict[str, float] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+    metrics: dict = field(default_factory=dict)
+    artifact_path: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not (self.parity_failures or self.reader_errors or self.writer_errors)
+
+    @property
+    def shed_rate(self) -> float:
+        attempted = self.queries_total + self.queries_shed
+        return self.queries_shed / attempted if attempted else 0.0
+
+    @property
+    def degraded_rate(self) -> float:
+        return self.queries_degraded / self.queries_total if self.queries_total else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.config_seed,
+            "queries_total": self.queries_total,
+            "queries_shed": self.queries_shed,
+            "queries_degraded": self.queries_degraded,
+            "queries_partial": self.queries_partial,
+            "shed_rate": self.shed_rate,
+            "degraded_rate": self.degraded_rate,
+            "writer_ops": self.writer_ops,
+            "epochs_published": self.epochs_published,
+            "epochs_retired": self.epochs_retired,
+            "epochs_live": self.epochs_live,
+            "breaker_transitions": self.breaker_transitions,
+            "parity_checked": self.parity_checked,
+            "parity_failures": self.parity_failures,
+            "reader_errors": self.reader_errors,
+            "writer_errors": self.writer_errors,
+            "latencies_ms": self.latencies_ms,
+            "elapsed_seconds": self.elapsed_seconds,
+            "ok": self.ok,
+        }
+
+
+@dataclass
+class _QueryRecord:
+    """One served query, held for post-hoc oracle verification."""
+
+    reader: int
+    query_id: str
+    ids: list[str]
+    epoch: object
+    omega_served: float
+    scored: int
+    total: int
+    partial: bool
+    degraded: bool
+
+
+def _writer_pools(dataset, base_ids: list[str], writers: int) -> list[list[str]]:
+    """Disjoint spare-master pools, one per writer (round-robin split)."""
+    spares = sorted(
+        vid
+        for vid, record in dataset.records.items()
+        if record.lineage is None and vid not in base_ids
+    )
+    if len(spares) < writers:
+        raise ValueError(
+            f"community too small: {len(spares)} spare masters for {writers} writers"
+        )
+    pools: list[list[str]] = [[] for _ in range(writers)]
+    for position, vid in enumerate(spares):
+        pools[position % writers].append(vid)
+    return pools
+
+
+def _writer_loop(
+    gateway: ServingGateway,
+    dataset,
+    pool: list[str],
+    base_ids: list[str],
+    config: SoakConfig,
+    rng: np.random.Generator,
+    report: SoakReport,
+    lock: threading.Lock,
+) -> None:
+    users = sorted(dataset.users)
+    own_live: list[str] = []
+    ops = 0
+    for _ in range(config.writer_ops):
+        try:
+            spare = [vid for vid in pool if vid not in own_live]
+            choice = rng.integers(0, 4)
+            if not own_live or (choice == 0 and spare):
+                vid = spare[int(rng.integers(0, len(spare)))]
+                gateway.ingest_video(dataset.records[vid])
+                own_live.append(vid)
+            elif choice == 1 or not spare:
+                vid = own_live.pop(int(rng.integers(0, len(own_live))))
+                gateway.retire_video(vid)
+            elif choice == 2:
+                pairs = [
+                    (
+                        users[int(rng.integers(0, len(users)))],
+                        base_ids[int(rng.integers(0, len(base_ids)))],
+                    )
+                    for _ in range(int(rng.integers(1, 4)))
+                ]
+                gateway.apply_comments(pairs)
+            else:
+                gateway.advance_watermark(11)
+            ops += 1
+        except Exception as error:  # noqa: BLE001 - the soak records, never hides
+            with lock:
+                report.writer_errors.append(f"{type(error).__name__}: {error}")
+            return
+        if config.writer_pause:
+            time.sleep(config.writer_pause)
+    with lock:
+        report.writer_ops += ops
+
+
+def _reader_loop(
+    gateway: ServingGateway,
+    reader: int,
+    base_ids: list[str],
+    config: SoakConfig,
+    rng: np.random.Generator,
+    report: SoakReport,
+    records: list[_QueryRecord],
+    latencies: list[float],
+    lock: threading.Lock,
+) -> None:
+    count = config.queries // config.readers
+    if reader < config.queries % config.readers:
+        count += 1
+    for step in range(count):
+        query_id = base_ids[int(rng.integers(0, len(base_ids)))]
+        deadline = None
+        if config.tight_deadline_every and step % config.tight_deadline_every == 1:
+            deadline = config.tight_deadline
+        started = time.monotonic()
+        try:
+            result = gateway.recommend(query_id, top_k=config.top_k, deadline=deadline)
+        except OverloadedError:
+            with lock:
+                report.queries_shed += 1
+            continue
+        except Exception as error:  # noqa: BLE001 - torn read = soak failure
+            with lock:
+                report.reader_errors.append(
+                    f"reader {reader} {query_id!r}: {type(error).__name__}: {error}"
+                )
+            continue
+        elapsed = time.monotonic() - started
+        record = _QueryRecord(
+            reader=reader,
+            query_id=query_id,
+            ids=list(result),
+            epoch=result.epoch,
+            omega_served=result.omega_served,
+            scored=result.scored,
+            total=result.total,
+            partial=result.partial,
+            degraded=result.degraded,
+        )
+        with lock:
+            report.queries_total += 1
+            if result.degraded:
+                report.queries_degraded += 1
+            if result.partial:
+                report.queries_partial += 1
+            records.append(record)
+            latencies.append(elapsed)
+
+
+def _fault_loop(
+    plan: FaultPlan, config: SoakConfig, stop: threading.Event
+) -> None:
+    if not config.fault_burst_every or not config.fault_burst:
+        return
+    while not stop.wait(config.fault_burst_every):
+        plan.arm_failures(SERVE_SOCIAL_POINT, config.fault_burst)
+    # Recovery window: disarm so the breaker can close before the run ends.
+    plan.arm_failures(SERVE_SOCIAL_POINT, 0)
+
+
+def _verify(records: list[_QueryRecord], config: SoakConfig, report: SoakReport) -> None:
+    """Replay every query against a serial oracle on its pinned epoch.
+
+    The oracle is a fresh single-threaded recommender over the frozen
+    epoch; a result must be bit-identical to ranking the components of
+    its scored candidate prefix.  Results are cached per
+    ``(epoch, omega, query, scored)`` — under a handful of base queries
+    and bounded epochs the cache turns 10k verifications into a few
+    hundred oracle evaluations.
+    """
+    oracles: dict[tuple[int, float], FusionRecommender] = {}
+    cache: dict[tuple[int, float, str, int], list[str]] = {}
+    for record in records:
+        epoch = record.epoch
+        key = (epoch.epoch_id, record.omega_served, record.query_id, record.scored)
+        expected = cache.get(key)
+        if expected is None:
+            oracle = oracles.get(key[:2])
+            if oracle is None:
+                oracle = epoch.recommender(
+                    omega=record.omega_served, time_budget=None
+                )
+                oracles[key[:2]] = oracle
+            candidates = [vid for vid in epoch.video_ids if vid != record.query_id]
+            prefix = candidates[: record.scored]
+            content, social = oracle._score_arrays(
+                record.query_id, prefix, record.omega_served
+            )
+            components = {
+                vid: (float(c), float(s))
+                for vid, c, s in zip(prefix, content, social)
+            }
+            expected = rank_components(components, record.omega_served, config.top_k)
+            cache[key] = expected
+        report.parity_checked += 1
+        if record.ids != expected:
+            report.parity_failures.append(
+                {
+                    "reader": record.reader,
+                    "query_id": record.query_id,
+                    "epoch_id": epoch.epoch_id,
+                    "omega_served": record.omega_served,
+                    "scored": record.scored,
+                    "total": record.total,
+                    "got": record.ids,
+                    "expected": expected,
+                }
+            )
+
+
+def _dump_artifact(config: SoakConfig, report: SoakReport) -> str | None:
+    directory = os.environ.get("CHAOS_ARTIFACT_DIR")
+    if not directory:
+        return None
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"chaos_soak_seed{config.seed}.json")
+    schedule = {
+        "config": {
+            "writers": config.writers,
+            "readers": config.readers,
+            "queries": config.queries,
+            "top_k": config.top_k,
+            "seed": config.seed,
+            "hours": config.hours,
+            "base_videos": config.base_videos,
+            "writer_ops": config.writer_ops,
+            "tight_deadline_every": config.tight_deadline_every,
+            "tight_deadline": config.tight_deadline,
+            "fault_burst_every": config.fault_burst_every,
+            "fault_burst": config.fault_burst,
+        },
+        "report": report.to_dict(),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(schedule, handle, indent=2)
+    return path
+
+
+def run_soak(config: SoakConfig | None = None) -> SoakReport:
+    """Run one seeded chaos soak; see the module docstring for the shape.
+
+    Runs against a private :class:`~repro.obs.MetricsRegistry` (scoped via
+    :func:`~repro.obs.use_metrics`), whose snapshot lands in
+    ``report.metrics`` — a soak never pollutes the process registry.
+    """
+    config = config or SoakConfig()
+    report = SoakReport(config_seed=config.seed)
+    workload = build_workload(hours=config.hours, seed=config.seed % (2**31))
+    dataset = workload.dataset
+    masters = sorted(
+        vid for vid, record in dataset.records.items() if record.lineage is None
+    )
+    base_ids = masters[: config.base_videos]
+    if len(base_ids) < config.base_videos:
+        raise ValueError(
+            f"community too small: {len(base_ids)} masters for "
+            f"{config.base_videos} base videos"
+        )
+    pools = _writer_pools(dataset, base_ids, config.writers)
+    rec_config = RecommenderConfig(k=12)
+    live = LiveCommunityIndex(dataset.subset(base_ids), rec_config)
+    live.dataset.comments = list(dataset.comments)
+    plan = FaultPlan()
+    metrics = MetricsRegistry()
+    started = time.monotonic()
+    with use_metrics(metrics):
+        gateway = ServingGateway(
+            live, config=config.gateway, faults=plan, seed=config.seed
+        )
+        lock = threading.Lock()
+        records: list[_QueryRecord] = []
+        latencies: list[float] = []
+        stop = threading.Event()
+        fault_thread = threading.Thread(
+            target=_fault_loop, args=(plan, config, stop), name="chaos-faults"
+        )
+        writer_threads = [
+            threading.Thread(
+                target=_writer_loop,
+                args=(
+                    gateway,
+                    dataset,
+                    pools[i],
+                    base_ids,
+                    config,
+                    np.random.default_rng(config.seed + 1000 + i),
+                    report,
+                    lock,
+                ),
+                name=f"chaos-writer-{i}",
+            )
+            for i in range(config.writers)
+        ]
+        reader_threads = [
+            threading.Thread(
+                target=_reader_loop,
+                args=(
+                    gateway,
+                    i,
+                    base_ids,
+                    config,
+                    np.random.default_rng(config.seed + 2000 + i),
+                    report,
+                    records,
+                    latencies,
+                    lock,
+                ),
+                name=f"chaos-reader-{i}",
+            )
+            for i in range(config.readers)
+        ]
+        fault_thread.start()
+        for thread in writer_threads + reader_threads:
+            thread.start()
+        for thread in reader_threads:
+            thread.join()
+        for thread in writer_threads:
+            thread.join()
+        stop.set()
+        fault_thread.join()
+        # Snapshot serving metrics now: the breaker-recovery queries
+        # below are post-soak bookkeeping, not soak traffic, and must
+        # not skew the counters the tests reconcile against the report.
+        report.metrics = metrics.snapshot()
+        # Let the breaker recover (faults are disarmed) so the report can
+        # assert the full trip -> open -> half-open -> closed cycle.
+        deadline = time.monotonic() + 2.0
+        while (
+            gateway.breaker.state != "closed"
+            and report.queries_total
+            and time.monotonic() < deadline
+        ):
+            time.sleep(gateway.config.breaker_cooldown)
+            try:
+                gateway.recommend(base_ids[0], top_k=config.top_k)
+            except OverloadedError:  # pragma: no cover - drained by now
+                pass
+    report.elapsed_seconds = time.monotonic() - started
+    report.epochs_published = gateway.epochs.published_total
+    report.epochs_retired = gateway.epochs.retired_total
+    report.epochs_live = gateway.epochs.live_count
+    report.breaker_transitions = list(gateway.breaker.transitions)
+    if latencies:
+        ordered = np.sort(np.asarray(latencies))
+        report.latencies_ms = {
+            "p50": float(np.percentile(ordered, 50) * 1000),
+            "p99": float(np.percentile(ordered, 99) * 1000),
+            "max": float(ordered[-1] * 1000),
+        }
+    if config.verify:
+        _verify(records, config, report)
+    if not report.ok:
+        report.artifact_path = _dump_artifact(config, report)
+    return report

@@ -26,6 +26,7 @@ below both ``repro.io`` and ``repro.core``.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -34,6 +35,7 @@ __all__ = [
     "ByteCorruption",
     "FaultPlan",
     "InjectedCrashError",
+    "InjectedFaultError",
     "register_crash_point",
     "registered_crash_points",
 ]
@@ -55,6 +57,16 @@ def registered_crash_points() -> list[str]:
 
 class InjectedCrashError(RuntimeError):
     """Raised by :meth:`FaultPlan.fire` to simulate process death."""
+
+
+class InjectedFaultError(RuntimeError):
+    """Raised by :meth:`FaultPlan.fire` to simulate a *transient* failure.
+
+    Unlike :class:`InjectedCrashError` (process death: nothing after the
+    point runs), a transient fault models a dependency hiccup — the
+    caller survives and may retry.  The serving gateway maps this onto
+    :class:`~repro.errors.TransientServingError` semantics: retry with
+    backoff, then count a circuit-breaker failure."""
 
 
 @dataclass(frozen=True)
@@ -90,6 +102,13 @@ class FaultPlan:
         ``point -> ByteCorruption`` applied to the file being written.
     slow_at:
         ``point -> seconds`` to sleep before continuing.
+    fail_at:
+        ``point -> remaining count`` of :class:`InjectedFaultError` raises
+        (transient failures).  A positive count decrements per fire and
+        stops injecting at zero — "the dependency flaps N times, then
+        recovers"; ``-1`` never stops.  Re-arming a live plan is how the
+        chaos harness schedules failure bursts mid-soak, so the decrement
+        is lock-protected (plans may be fired from many serving threads).
     fired:
         Log of every point actually hit, in order (assertable by tests).
     """
@@ -97,10 +116,27 @@ class FaultPlan:
     abort_at: frozenset[str] = frozenset()
     corrupt_at: dict[str, ByteCorruption] = field(default_factory=dict)
     slow_at: dict[str, float] = field(default_factory=dict)
+    fail_at: dict[str, int] = field(default_factory=dict)
     fired: list[str] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         self.abort_at = frozenset(self.abort_at)
+        self._lock = threading.Lock()
+
+    def arm_failures(self, point: str, count: int) -> None:
+        """(Re)arm *count* transient failures at *point* (thread-safe)."""
+        with self._lock:
+            self.fail_at[point] = int(count)
+
+    def _take_failure(self, point: str) -> bool:
+        """Consume one armed transient failure at *point*, if any."""
+        with self._lock:
+            remaining = self.fail_at.get(point, 0)
+            if remaining == 0:
+                return False
+            if remaining > 0:
+                self.fail_at[point] = remaining - 1
+            return True
 
     def fire(self, point: str, path: str | os.PathLike | None = None) -> None:
         """Hit crash point *point*; injects whatever the plan prescribes.
@@ -117,6 +153,8 @@ class FaultPlan:
         corruption = self.corrupt_at.get(point)
         if corruption is not None and path is not None and os.path.exists(path):
             corruption.apply(path)
+        if self._take_failure(point):
+            raise InjectedFaultError(f"injected transient fault at {point}")
         if point in self.abort_at:
             raise InjectedCrashError(f"injected crash at {point}")
 

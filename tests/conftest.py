@@ -3,15 +3,84 @@
 Building a CommunityIndex materialises every clip and extracts signatures,
 so the expensive fixtures are session-scoped; tests must treat them as
 read-only (tests that mutate social state build their own index).
+
+The suite also carries a repo-wide per-test watchdog: the concurrency
+suites (gateway, chaos soak, obs stress) would hang forever on a real
+deadlock, and a hung CI job is a far worse failure report than a stack
+dump.  When ``pytest-timeout`` is installed (CI installs ``.[dev]``) it
+is used as-is; otherwise a ``faulthandler`` watchdog dumps every thread's
+stack and kills the process after ``REPRO_TEST_TIMEOUT`` seconds (0
+disables it).  The fallback keeps the bar enforceable in environments
+where only the core dependencies exist.
 """
 
 from __future__ import annotations
+
+import faulthandler
+import importlib.util
+import os
 
 import numpy as np
 import pytest
 
 from repro.community import build_workload
 from repro.core import CommunityIndex, RecommenderConfig
+
+TEST_TIMEOUT = float(os.environ.get("REPRO_TEST_TIMEOUT", "300"))
+_HAVE_PYTEST_TIMEOUT = importlib.util.find_spec("pytest_timeout") is not None
+
+#: The fallback watchdog kills the process with ``os._exit`` — pytest's
+#: fd-level capture would discard anything written to stderr at that
+#: moment, so the dump goes to a file that survives the kill (CI uploads
+#: it; a clean run removes it on session teardown).
+WATCHDOG_LOG = os.environ.get("REPRO_TEST_TIMEOUT_LOG", ".test-watchdog.log")
+_watchdog_log = None
+
+
+def pytest_configure(config):
+    if TEST_TIMEOUT > 0 and _HAVE_PYTEST_TIMEOUT:
+        # Repo-wide default only: an explicit --timeout still wins.
+        if not getattr(config.option, "timeout", None):
+            config.option.timeout = TEST_TIMEOUT
+
+
+def pytest_unconfigure(config):
+    global _watchdog_log
+    if _watchdog_log is not None:
+        # Reaching teardown means no test hung; drop the empty log.
+        _watchdog_log.close()
+        _watchdog_log = None
+        try:
+            os.remove(WATCHDOG_LOG)
+        except OSError:
+            pass
+
+
+def _arm_watchdog(item):
+    global _watchdog_log
+    if _watchdog_log is None:
+        _watchdog_log = open(WATCHDOG_LOG, "w", encoding="utf-8")
+    _watchdog_log.seek(0)
+    _watchdog_log.truncate()
+    _watchdog_log.write(
+        f"watchdog: {item.nodeid} exceeded {TEST_TIMEOUT:.0f}s "
+        f"(REPRO_TEST_TIMEOUT); dumping all thread stacks and exiting\n"
+    )
+    _watchdog_log.flush()
+    faulthandler.dump_traceback_later(TEST_TIMEOUT, exit=True, file=_watchdog_log)
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_protocol(item, nextitem):
+    if TEST_TIMEOUT > 0 and not _HAVE_PYTEST_TIMEOUT:
+        # Re-armed per test: a deadlocked test dies with a full stack
+        # dump of every thread instead of hanging the whole run.
+        _arm_watchdog(item)
+        try:
+            return (yield)
+        finally:
+            faulthandler.cancel_dump_traceback_later()
+    return (yield)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,103 @@
+"""The chaos soak acceptance bar: concurrent serving is torn-read free.
+
+One full seeded soak (4 writers x 16 readers, >= 10k served queries by
+default; ``CHAOS_SOAK_QUERIES`` scales attempts) runs module-scoped, and
+the tests assert its invariants: zero reader/writer exceptions, every
+query bit-identical to a serial oracle over its pinned epoch, bounded
+shed/degraded rates, epochs fully retired, and the breaker driven through
+its whole trip -> open -> half-open -> close cycle by the fault schedule.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.serving.breaker import CLOSED, HALF_OPEN, OPEN
+from repro.testing.chaos import SoakConfig, SoakReport, _dump_artifact, run_soak
+
+QUERIES = int(os.environ.get("CHAOS_SOAK_QUERIES", "12000"))
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_soak(SoakConfig(queries=QUERIES, seed=2015))
+
+
+class TestSoakInvariants:
+    def test_scale_floor(self, report):
+        # The acceptance floor: >= 4x16 for >= 10k served queries (scaled
+        # runs via CHAOS_SOAK_QUERIES keep the proportion).
+        assert report.queries_total >= min(10_000, int(QUERIES * 0.8))
+
+    def test_zero_torn_reads_or_exceptions(self, report):
+        assert report.reader_errors == []
+        assert report.writer_errors == []
+
+    def test_every_query_matches_serial_oracle(self, report):
+        assert report.parity_checked == report.queries_total
+        assert report.parity_failures == []
+        assert report.ok
+
+    def test_rates_bounded(self, report):
+        # Admission is deliberately overloaded, so shedding happens — but
+        # it must stay a minority, and most service stays full-fidelity.
+        assert 0.0 < report.shed_rate < 0.5
+        assert 0.0 < report.degraded_rate < 0.5
+
+    def test_deadlines_produced_partials(self, report):
+        assert report.queries_partial > 0
+
+    def test_mutations_landed_and_epochs_drained(self, report):
+        assert report.writer_ops == 4 * 25
+        assert report.epochs_published == report.writer_ops + 1
+        # Readers have drained: only the current epoch is still live.
+        assert report.epochs_live == 1
+        assert report.epochs_retired == report.epochs_published - 1
+
+    def test_breaker_cycled_and_recovered(self, report):
+        assert (CLOSED, OPEN) in report.breaker_transitions
+        assert (OPEN, HALF_OPEN) in report.breaker_transitions
+        assert (HALF_OPEN, CLOSED) in report.breaker_transitions
+        # Disarmed faults + recovery probes leave the breaker closed.
+        assert report.breaker_transitions[-1][1] == CLOSED
+
+    def test_metrics_instrumented(self, report):
+        counters = report.metrics["counters"]
+        gauges = report.metrics["gauges"]
+        assert counters["repro_serving_queries_total"] == report.queries_total
+        assert sum(
+            count
+            for name, count in counters.items()
+            if name.startswith("repro_serving_shed_total")
+        ) == report.queries_shed
+        assert counters["repro_serving_degraded_total"] == report.queries_degraded
+        assert counters["repro_serving_deadline_miss_total"] == report.queries_partial
+        assert counters["repro_serving_retries_total"] > 0
+        assert "repro_serving_breaker_state" in gauges
+        assert "repro_serving_epoch_age_seconds" in gauges
+        assert "repro_serving_queue_depth" in gauges
+
+    def test_latency_percentiles_reported(self, report):
+        assert 0 < report.latencies_ms["p50"] <= report.latencies_ms["p99"]
+
+
+class TestArtifacts:
+    def test_failing_run_dumps_replayable_schedule(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("CHAOS_ARTIFACT_DIR", str(tmp_path))
+        config = SoakConfig(queries=16, writers=1, readers=1, base_videos=8, hours=2.0)
+        failing = SoakReport(config_seed=config.seed)
+        failing.parity_failures.append({"query_id": "v0", "got": [], "expected": ["v1"]})
+        path = _dump_artifact(config, failing)
+        assert path is not None and os.path.exists(path)
+        with open(path, encoding="utf-8") as handle:
+            schedule = json.load(handle)
+        assert schedule["config"]["seed"] == config.seed
+        assert schedule["report"]["ok"] is False
+        assert schedule["report"]["parity_failures"]
+
+    def test_no_artifact_dir_is_a_noop(self, monkeypatch):
+        monkeypatch.delenv("CHAOS_ARTIFACT_DIR", raising=False)
+        assert _dump_artifact(SoakConfig(), SoakReport(config_seed=0)) is None

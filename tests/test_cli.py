@@ -335,3 +335,105 @@ class TestKeyErrorExit:
         assert err.startswith("error:")
         assert "vanished mid-query" in err
         assert len(err.strip().splitlines()) == 1
+
+
+class TestDeadline:
+    def test_deadline_partial_exits_zero_with_note(self, index_path, capsys, monkeypatch):
+        import repro.core.recommender as recommender_module
+        from repro.io import load_index
+
+        # Shrink the budget chunk so even this small index spans several
+        # chunks and a tiny deadline genuinely cuts the scan short.
+        monkeypatch.setattr(recommender_module, "_BUDGET_CHUNK", 4)
+        video = load_index(index_path).video_ids[0]
+        assert main(
+            ["recommend", str(index_path), video, "--top-k", "3",
+             "--deadline-ms", "0.001"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "partial ranking" in captured.err
+        assert "deadline" in captured.err
+        assert captured.out.count(". v") == 3
+
+    def test_generous_deadline_prints_no_note(self, index_path, capsys):
+        from repro.io import load_index
+
+        video = load_index(index_path).video_ids[0]
+        assert main(
+            ["recommend", str(index_path), video, "--deadline-ms", "60000"]
+        ) == 0
+        assert "partial" not in capsys.readouterr().err
+
+    def test_deadline_unsupported_method_notes_and_succeeds(self, index_path, capsys):
+        from repro.io import load_index
+
+        video = load_index(index_path).video_ids[0]
+        assert main(
+            ["recommend", str(index_path), video, "--method", "knn",
+             "--deadline-ms", "5", "--top-k", "3"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "deadline-ms" in captured.err
+        assert captured.out.count(". v") == 3
+
+
+class TestFaults:
+    def test_list_prints_every_registered_point(self, capsys):
+        assert main(["faults", "--list"]) == 0
+        output = capsys.readouterr().out
+        for point in (
+            "wal.before_append",
+            "wal.torn_append",
+            "wal.before_fsync",
+            "wal.after_append",
+            "snapshot.before_write",
+            "snapshot.torn_write",
+            "snapshot.before_replace",
+            "snapshot.after_replace",
+            "serve.social_scores",
+            "serve.publish_epoch",
+        ):
+            assert point in output, point
+        assert "InjectedCrashError" in output
+        assert "InjectedFaultError" in output
+        assert "OverloadedError" in output
+
+    def test_without_list_exits_2(self, capsys):
+        assert main(["faults"]) == 2
+        assert "faults --list" in capsys.readouterr().err
+
+
+class TestServeSoak:
+    def test_short_soak_reports_ok(self, tmp_path, capsys):
+        out = tmp_path / "soak.json"
+        assert main(
+            ["serve-soak", "--queries", "160", "--writers", "2",
+             "--readers", "4", "--seed", "7", "--output", str(out)]
+        ) == 0
+        captured = capsys.readouterr().out
+        assert "soak ok" in captured
+        assert "oracle parity" in captured
+        import json
+
+        report = json.loads(out.read_text())
+        assert report["ok"] is True
+        assert report["parity_failures"] == []
+
+
+class TestOverloadExit:
+    def test_overloaded_error_maps_to_typed_exit_2(self, index_path, capsys, monkeypatch):
+        from repro.core.recommender import FusionRecommender
+        from repro.errors import OverloadedError
+        from repro.io import load_index
+
+        video = load_index(index_path).video_ids[0]
+
+        def shed(self, *args, **kwargs):
+            raise OverloadedError("admission queue full")
+
+        monkeypatch.setattr(FusionRecommender, "recommend", shed)
+        assert main(["recommend", str(index_path), video]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "admission queue full" in err
+        assert len(err.strip().splitlines()) == 1

@@ -1,0 +1,182 @@
+"""Concurrency stress: metrics aggregation and lazy social re-derivation.
+
+Two single-purpose stress suites backing the serving work:
+
+* :class:`~repro.obs.MetricsRegistry` is hammered from many threads and
+  must lose nothing — counters land exactly, histogram counts match the
+  number of observations, snapshots taken mid-stress never tear;
+* :class:`~repro.core.stores.SocialStore`'s lazy re-derivation (the
+  wrapped :class:`DynamicSocialIndex` and the SAR dictionary triple) is
+  raced by many concurrent readers right after an invalidation: every
+  reader must observe the *same* fully built structures, and the SAR
+  rows they read must be bit-identical to a cold rebuild — no torn rows,
+  no double builds leaking half-initialised state.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.stores import SocialStore
+from repro.obs import MetricsRegistry
+
+THREADS = 8
+ROUNDS = 200
+
+
+def _run_threads(worker, count=THREADS):
+    barrier = threading.Barrier(count)
+
+    def wrapped(slot):
+        barrier.wait()
+        worker(slot)
+
+    threads = [threading.Thread(target=wrapped, args=(i,)) for i in range(count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+class TestMetricsRegistryConcurrency:
+    def test_no_lost_counter_increments(self):
+        registry = MetricsRegistry()
+
+        def worker(slot):
+            for _ in range(ROUNDS):
+                registry.inc("hits_total")
+                registry.inc("weighted_total", 2.5)
+                registry.inc("labelled_total", slot=str(slot % 2))
+
+        _run_threads(worker)
+        assert registry.value("hits_total") == THREADS * ROUNDS
+        assert registry.value("weighted_total") == pytest.approx(
+            2.5 * THREADS * ROUNDS
+        )
+        both = registry.value("labelled_total", slot="0") + registry.value(
+            "labelled_total", slot="1"
+        )
+        assert both == THREADS * ROUNDS
+
+    def test_histograms_count_every_observation(self):
+        registry = MetricsRegistry()
+
+        def worker(slot):
+            for step in range(ROUNDS):
+                registry.observe("latency_seconds", (slot + 1) * 1e-4 * (step + 1))
+
+        _run_threads(worker)
+        histogram = registry.snapshot()["histograms"]["latency_seconds"]
+        assert histogram["count"] == THREADS * ROUNDS
+        assert histogram["buckets"]["+Inf"] == THREADS * ROUNDS
+
+    def test_snapshots_under_write_load_never_tear(self):
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        torn: list[str] = []
+
+        def snapshotter():
+            while not stop.is_set():
+                snap = registry.snapshot()
+                counters = snap["counters"]
+                # Invariant maintained by the writers: a_total is bumped
+                # before b_total, so a view with b > a must be torn.
+                if counters.get("b_total", 0) > counters.get("a_total", 0):
+                    torn.append(str(counters))
+
+        reader = threading.Thread(target=snapshotter)
+        reader.start()
+
+        def worker(_slot):
+            for _ in range(ROUNDS):
+                registry.inc("a_total")
+                registry.inc("b_total")
+
+        _run_threads(worker)
+        stop.set()
+        reader.join()
+        assert torn == []
+        assert registry.value("a_total") == registry.value("b_total")
+
+
+class TestSocialStoreLazyDerivation:
+    @pytest.fixture()
+    def descriptors(self, workload):
+        return workload.dataset.descriptors(up_to_month=11)
+
+    def test_racing_readers_share_one_rebuild(self, descriptors, config):
+        store = SocialStore(descriptors, k=config.k)
+        video_ids = sorted(descriptors)
+        for round_number in range(6):
+            # Serialized mutation marks the store dirty...
+            store.apply_comments([(f"stress_user_{round_number}", video_ids[0])])
+            seen_indexes: list[object] = []
+            seen_dicts: list[object] = []
+            lock = threading.Lock()
+
+            def worker(_slot):
+                index = store.index
+                dicts = store.dictionaries()
+                with lock:
+                    seen_indexes.append(index)
+                    seen_dicts.append(dicts)
+
+            # ...then many readers race the lazy re-derivation.
+            _run_threads(worker)
+            assert len(set(map(id, seen_indexes))) == 1
+            assert len(set(map(id, seen_dicts))) == 1
+
+    def test_no_torn_sar_rows_under_racing_derivation(self, descriptors, config):
+        store = SocialStore(descriptors, k=config.k)
+        video_ids = sorted(descriptors)
+        probes = video_ids[:8]
+        for round_number in range(4):
+            store.apply_comments([(f"tear_user_{round_number}", video_ids[0])])
+            rows_by_thread: dict[int, np.ndarray] = {}
+            lock = threading.Lock()
+
+            def worker(slot):
+                _, _, sar_h = store.dictionaries()
+                rows = np.stack(
+                    [sar_h.vectorize(store.descriptors[vid]) for vid in probes]
+                )
+                with lock:
+                    rows_by_thread[slot] = rows
+
+            _run_threads(worker)
+            # Oracle: a cold store over the identical descriptor state.
+            oracle_store = SocialStore(dict(store.descriptors), k=config.k)
+            _, _, oracle = oracle_store.dictionaries()
+            expected = np.stack(
+                [oracle.vectorize(oracle_store.descriptors[vid]) for vid in probes]
+            )
+            for slot, rows in rows_by_thread.items():
+                np.testing.assert_array_equal(rows, expected, err_msg=f"thread {slot}")
+
+    def test_knn_memo_snapshot_isolated(self, workload, config):
+        """The KnnMemo staleness check and the memo tag come from one
+        revision snapshot (the satellite bugfix): a mutation between the
+        two must not leave the memo tagged with post-mutation revisions
+        while holding pre-mutation scores."""
+        from repro.core import KTopScoreVideoSearch, LiveCommunityIndex
+
+        dataset = workload.dataset
+        live = LiveCommunityIndex(dataset, config)
+        search = KTopScoreVideoSearch(live)
+        query = live.video_ids[0]
+        baseline = search.recommend(query, top_k=5)
+        # Interleave: a mutation lands right after the staleness check
+        # would have passed; clear_memo must adopt the *checked* snapshot,
+        # so the next search still detects the new mutation.
+        checked = live.revisions
+        live.apply_comments([("memo_user", query)])
+        search.clear_memo(checked)
+        assert search._memo_revisions == checked
+        assert search._memo_revisions != live.revisions
+        after = search.recommend(query, top_k=5)
+        assert search._memo_revisions == live.revisions
+        assert len(after) == 5
+        assert len(baseline) == 5
