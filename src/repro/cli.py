@@ -187,6 +187,15 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--top-k", type=int, default=10)
     stats.add_argument("--method", choices=METHOD_CHOICES, default="csf-sar-h")
     stats.add_argument(
+        "--serving",
+        action="store_true",
+        help=(
+            "route the sample queries through the ServingGateway twice "
+            "(second pass hits the query memo), so the snapshot includes "
+            "the repro_serving_* counters"
+        ),
+    )
+    stats.add_argument(
         "--format",
         choices=("prom", "json"),
         default="prom",
@@ -437,7 +446,17 @@ def _cmd_stats(args) -> int:
     index = load_index(args.index)
     registry = MetricsRegistry()
     with use_metrics(registry):
-        if args.queries > 0:
+        if args.queries > 0 and getattr(args, "serving", False):
+            from repro.serving.gateway import ServingGateway
+
+            gateway = ServingGateway(index)
+            # Two identical passes: the first misses the query memo and
+            # scans, the second hits it — both counter families land in
+            # the snapshot.
+            for _ in range(2):
+                for video_id in index.video_ids[: args.queries]:
+                    gateway.recommend(video_id, args.top_k)
+        elif args.queries > 0:
             recommender = _make_recommender(index, args.method)
             try:
                 for video_id in index.video_ids[: args.queries]:

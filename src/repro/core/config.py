@@ -63,6 +63,22 @@ class RecommenderConfig:
         Per-query wall-clock budget in seconds for ``recommend``; when the
         candidate scan exceeds it, the best-effort partial ranking is
         returned flagged ``partial``/``degraded``.  ``None`` = unlimited.
+    scan_dtype:
+        Arithmetic width of the batch engine's content kernel:
+        ``"float32"`` (default) scores against the packed float32
+        signature bank with the sorted-merge EMD kernel, ``"float64"``
+        keeps the full-precision reference path (what parity tests pin
+        against).  ``component_scores`` always reports float64.
+    prune:
+        Enable early-termination bounds in the batch full scan and the
+        KNN refinement loop: candidate blocks whose fused-score upper
+        bound cannot enter the current top-k are skipped.  Ranking is
+        provably unchanged (DESIGN §12); disable only for A/B benches.
+    knn_probes:
+        LSB multi-probe width — how many of the ``lsh_trees`` hash
+        tables each KNN candidate lookup probes.  ``None`` (default)
+        probes all trees; smaller values shrink the candidate set before
+        scoring at some recall cost (see the bench sweep).
     """
 
     omega: float = 0.7
@@ -85,6 +101,9 @@ class RecommenderConfig:
     num_workers: int = 0
     max_social_staleness: int | None = None
     time_budget: float | None = None
+    scan_dtype: str = "float32"
+    prune: bool = True
+    knn_probes: int | None = None
 
     def __post_init__(self) -> None:
         if self.max_social_staleness is not None and self.max_social_staleness < 0:
@@ -99,6 +118,12 @@ class RecommenderConfig:
             )
         if self.num_workers < 0:
             raise ValueError(f"num_workers must be >= 0, got {self.num_workers}")
+        if self.scan_dtype not in ("float32", "float64"):
+            raise ValueError(
+                f"scan_dtype must be 'float32' or 'float64', got {self.scan_dtype!r}"
+            )
+        if self.knn_probes is not None and self.knn_probes < 1:
+            raise ValueError(f"knn_probes must be >= 1, got {self.knn_probes}")
         if not 0.0 <= self.omega <= 1.0:
             raise ValueError(f"omega must be in [0, 1], got {self.omega}")
         if self.k < 1:

@@ -60,6 +60,15 @@ class KTopScoreVideoSearch:
     block_size:
         Candidates accumulated from the interleaved streams before each
         batch-scoring round of the refinement loop.
+    probes:
+        LSB trees consulted per content-candidate lookup; defaults to the
+        index configuration's ``knn_probes`` (``None`` = all trees).
+    prune:
+        Early-terminate candidates whose fused-score upper bound cannot
+        displace the current top-K floor (defaults to the index config).
+        Pruned candidates are skipped before the κJ kernel runs; the
+        returned top-K is provably unchanged (a pruned score can never
+        exceed the heap floor it would need to beat strictly).
     """
 
     def __init__(
@@ -67,6 +76,8 @@ class KTopScoreVideoSearch:
         index: CommunityIndex,
         omega: float | None = None,
         block_size: int = 16,
+        probes: int | None = None,
+        prune: bool | None = None,
     ) -> None:
         if index.lsb is None:
             raise ValueError("KTopScoreVideoSearch needs the LSB index built")
@@ -77,6 +88,14 @@ class KTopScoreVideoSearch:
         if not 0.0 <= self.omega <= 1.0:
             raise ValueError(f"omega must be in [0, 1], got {self.omega}")
         self.block_size = block_size
+        self.probes = index.config.knn_probes if probes is None else int(probes)
+        if self.probes is not None and self.probes < 1:
+            raise ValueError(f"probes must be >= 1, got {self.probes}")
+        self.prune = index.config.prune if prune is None else bool(prune)
+        self.scan_dtype = index.config.scan_dtype
+        #: Candidates skipped by the bound check in the most recent
+        #: :meth:`search` (the recall sweep reports this).
+        self.last_pruned = 0
         #: (query_id, candidate_id) -> (content, social); survives across
         #: searches so repeated or overlapping queries reuse components.
         self._component_memo: dict[tuple[str, str], tuple[float, float]] = {}
@@ -122,34 +141,68 @@ class KTopScoreVideoSearch:
         ordered: list[str] = []
         seen: set[str] = set()
         for signature in self.index.series[query_id]:
-            for vid in self.index.lsb.candidate_videos(signature, budget):
+            for vid in self.index.lsb.candidate_videos(
+                signature, budget, probes=self.probes
+            ):
                 if vid != query_id and vid not in seen:
                     seen.add(vid)
                     ordered.append(vid)
         return ordered
 
     def _score_block(
-        self, query_id: str, query_vector: np.ndarray, block: list[str]
+        self,
+        query_id: str,
+        query_vector: np.ndarray,
+        block: list[str],
+        kth: float | None = None,
     ) -> list[KnnResult]:
-        """FJ components for a block of candidates via the batch kernels."""
-        fresh = [
-            vid for vid in block if (query_id, vid) not in self._component_memo
-        ]
+        """FJ components for a block of candidates via the batch kernels.
+
+        *kth* is the current heap floor once the heap is full (``None``
+        before).  With pruning on, fresh candidates whose fused-score
+        upper bound — exact social plus the κJ count cap — is at most
+        *kth* are skipped entirely: displacing the floor needs a score
+        **strictly** above it, and a pruned score can never exceed its
+        bound.  Skipped candidates are not memoized (their components
+        were never computed) and yield no result.
+        """
+        memo = self._component_memo
+        fresh = [vid for vid in block if (query_id, vid) not in memo]
         if fresh:
-            content = self.index.signature_bank().kappa_j_scores(
-                self.index.series[query_id],
-                fresh,
-                self.index.config.match_threshold,
-            )
             social = approx_jaccard_batch(
                 query_vector,
                 np.stack([self.index.social_vector(vid) for vid in fresh]),
             )
-            for vid, c, s in zip(fresh, content, social):
-                self._component_memo[(query_id, vid)] = (float(c), float(s))
+            if self.prune and kth is not None:
+                n1 = len(self.index.series[query_id])
+                lengths = np.array(
+                    [len(self.index.series[vid]) for vid in fresh], dtype=np.int64
+                )
+                caps = np.minimum(n1, lengths) / np.maximum(n1, lengths)
+                caps *= 1.0 + 2e-6  # float32 kernel rounding headroom
+                np.minimum(caps, 1.0, out=caps)
+                bounds = (1.0 - self.omega) * caps
+                bounds += self.omega * np.minimum(social, 1.0)
+                keep = bounds > kth
+                if not keep.all():
+                    self.last_pruned += int((~keep).sum())
+                    fresh = [vid for vid, k in zip(fresh, keep) if k]
+                    social = social[keep]
+            if fresh:
+                content = self.index.signature_bank().kappa_j_scores(
+                    self.index.series[query_id],
+                    fresh,
+                    self.index.config.match_threshold,
+                    dtype=self.scan_dtype,
+                )
+                for vid, c, s in zip(fresh, content, social):
+                    memo[(query_id, vid)] = (float(c), float(s))
         results = []
         for vid in block:
-            content_score, social_score = self._component_memo[(query_id, vid)]
+            scores = memo.get((query_id, vid))
+            if scores is None:  # pruned this round
+                continue
+            content_score, social_score = scores
             results.append(
                 KnnResult(
                     video_id=vid,
@@ -180,6 +233,8 @@ class KTopScoreVideoSearch:
         content_stream = iter(self._content_candidates(query_id))
         heap: list[tuple[float, str]] = []  # min-heap of (score, vid)
         results: dict[str, KnnResult] = {}
+        seen: set[str] = set()  # includes pruned candidates (never rescored)
+        self.last_pruned = 0
         exhausted = {"social": False, "content": False}
         while not (exhausted["social"] and exhausted["content"]):
             block: list[str] = []
@@ -196,10 +251,12 @@ class KTopScoreVideoSearch:
                     if candidate is None:
                         exhausted[label] = True
                         continue
-                    if candidate in results or candidate in block:
+                    if candidate in seen or candidate in block:
                         continue
                     block.append(candidate)
-            for result in self._score_block(query_id, query_vector, block):
+            seen.update(block)
+            kth = heap[0][0] if len(heap) >= top_k else None
+            for result in self._score_block(query_id, query_vector, block, kth):
                 results[result.video_id] = result
                 if len(heap) < top_k:
                     heapq.heappush(heap, (result.score, result.video_id))

@@ -44,12 +44,12 @@ from __future__ import annotations
 import time
 from collections.abc import Callable
 from concurrent.futures import ThreadPoolExecutor
-from contextlib import contextmanager
 
 import numpy as np
 
 from repro.core.fusion import fuse_fj
 from repro.core.pipeline import CommunityIndex
+from repro.emd.one_dim import get_workspace
 from repro.measures.content import kappa_j
 from repro.measures.sequence import dtw_similarity, erp_similarity
 from repro.obs import NULL_TRACE, MetricsRegistry, get_metrics
@@ -93,12 +93,50 @@ _BUDGET_CHUNK = 32
 #: parameter-sweep path) — disabled, so they pay no clock reads.
 _NO_METRICS = MetricsRegistry(enabled=False)
 
+#: Ones vectors for the segment-bound gemv, keyed by segment count.
+_BOUND_ONES: dict = {}
 
-@contextmanager
-def _stage(trace, metrics, name: str):
-    """Time one named stage into both the span tree and the registry."""
-    with trace.span(name), metrics.time("repro_stage_seconds", stage=name):
-        yield
+
+def _bound_ones(segments: int) -> np.ndarray:
+    ones = _BOUND_ONES.get(segments)
+    if ones is None:
+        ones = np.ones(segments, dtype=np.float32)
+        _BOUND_ONES[segments] = ones
+    return ones
+
+
+class _stage:
+    """Time one named stage into both the span tree and the registry.
+
+    A slotted context manager rather than a ``@contextmanager`` generator:
+    the hot path enters several stages per query, and the generator
+    machinery (a contextlib frame plus two ``next`` calls per stage) is
+    measurable at sub-millisecond query latencies.
+    """
+
+    __slots__ = ("trace", "metrics", "name", "_span", "_started")
+
+    def __init__(self, trace, metrics, name: str) -> None:
+        self.trace = trace
+        self.metrics = metrics
+        self.name = name
+
+    def __enter__(self) -> "_stage":
+        self._span = self.trace.span(self.name)
+        self._span.__enter__()
+        metrics = self.metrics
+        self._started = metrics.clock() if metrics.enabled else 0.0
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        metrics = self.metrics
+        if metrics.enabled:
+            metrics.observe(
+                "repro_stage_seconds",
+                metrics.clock() - self._started,
+                stage=self.name,
+            )
+        return self._span.__exit__(exc_type, exc, tb)
 
 
 class Recommendations(list):
@@ -127,6 +165,9 @@ class Recommendations(list):
         Human-readable explanations, one per degradation cause.
     scored / total:
         Candidates actually scored vs. the full candidate count.
+    scores:
+        Fused FJ scores aligned with the ranked ids (``None`` when the
+        producing path did not attach them); sliced alongside the ids.
     """
 
     def __init__(
@@ -138,6 +179,7 @@ class Recommendations(list):
         reasons=(),
         scored: int = 0,
         total: int = 0,
+        scores=None,
     ) -> None:
         super().__init__(ids)
         self.degraded = bool(degraded)
@@ -145,8 +187,9 @@ class Recommendations(list):
         self.reasons = tuple(reasons)
         self.scored = int(scored)
         self.total = int(total)
+        self.scores = None if scores is None else list(scores)
 
-    def _like(self, ids) -> "Recommendations":
+    def _like(self, ids, scores=None) -> "Recommendations":
         """A new :class:`Recommendations` over *ids* with this metadata."""
         return Recommendations(
             ids,
@@ -155,16 +198,20 @@ class Recommendations(list):
             reasons=self.reasons,
             scored=self.scored,
             total=self.total,
+            scores=scores,
         )
 
     def __getitem__(self, item):
         result = super().__getitem__(item)
         if isinstance(item, slice):
-            return self._like(result)
+            sliced = None if self.scores is None else self.scores[item]
+            return self._like(result, sliced)
         return result
 
     def copy(self) -> "Recommendations":
-        return self._like(list(self))
+        return self._like(
+            list(self), None if self.scores is None else list(self.scores)
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         flags = ""
@@ -227,6 +274,9 @@ class FusionRecommender:
         time_budget: float | None = None,
         max_social_staleness: int | None = None,
         precomputed: bool = True,
+        scan_dtype: str | None = None,
+        prune: bool | None = None,
+        fast_scan: bool = True,
     ) -> None:
         if social_mode not in SOCIAL_MODES:
             raise ValueError(
@@ -266,6 +316,15 @@ class FusionRecommender:
                 f"max_social_staleness must be >= 0, got {self.max_social_staleness}"
             )
         self.precomputed = bool(precomputed)
+        self.scan_dtype = (
+            index.config.scan_dtype if scan_dtype is None else str(scan_dtype)
+        )
+        if self.scan_dtype not in ("float32", "float64"):
+            raise ValueError(
+                f"scan_dtype must be 'float32' or 'float64', got {self.scan_dtype!r}"
+            )
+        self.prune = index.config.prune if prune is None else bool(prune)
+        self.fast_scan = bool(fast_scan)
         self.social_mode = social_mode
         self.content_measure_name = content_measure
         if content_measure == "kj":
@@ -395,16 +454,22 @@ class FusionRecommender:
         return self._pool
 
     def _content_scores_batch(
-        self, query_id: str, candidates: list[str]
+        self, query_id: str, candidates: list[str], dtype: str | None = None
     ) -> np.ndarray:
         query_series = self.index.series[query_id]
         if self.content_measure_name != "kj":
             # ERP/DTW are order-sensitive sequence alignments with no
             # array-level one-vs-many form; they stay per-pair.
             return self._content_scores_scalar(query_id, candidates)
+        dtype = self.scan_dtype if dtype is None else dtype
         bank = self.index.signature_bank()
         threshold = self.index.config.match_threshold
         if self.num_workers > 1 and len(candidates) >= 2 * _MIN_CHUNK:
+            if dtype == "float32":
+                # Build (or reuse) the pack on the caller's thread; the
+                # workers then share it read-only instead of racing the
+                # lazy build.
+                bank.fast_pack()
             chunks = [
                 list(chunk)
                 for chunk in np.array_split(
@@ -414,11 +479,13 @@ class FusionRecommender:
                 if len(chunk)
             ]
             parts = self._worker_pool().map(
-                lambda chunk: bank.kappa_j_scores(query_series, chunk, threshold),
+                lambda chunk: bank.kappa_j_scores(
+                    query_series, chunk, threshold, dtype=dtype
+                ),
                 chunks,
             )
             return np.concatenate(list(parts))
-        return bank.kappa_j_scores(query_series, candidates, threshold)
+        return bank.kappa_j_scores(query_series, candidates, threshold, dtype=dtype)
 
     def _social_scores_batch(
         self, query_id: str, candidates: list[str]
@@ -435,9 +502,17 @@ class FusionRecommender:
             # order; searchsorted maps any candidate subset (the full scan
             # or a budget chunk) onto its rows without re-vectorizing.
             matrix = self.index.sar_matrix(self.social_mode)
-            rows = np.searchsorted(
-                np.asarray(self.index.video_ids), np.asarray(candidates)
-            )
+            video_ids = np.asarray(self.index.video_ids)
+            wanted = np.asarray(candidates)
+            rows = np.searchsorted(video_ids, wanted)
+            # searchsorted returns an *insertion point* — for an id absent
+            # from the index it silently lands on some other video's row.
+            # Clamp, verify, and raise instead of scoring the wrong video.
+            missing = video_ids[np.minimum(rows, len(video_ids) - 1)] != wanted
+            if missing.any():
+                raise KeyError(
+                    f"candidate {wanted[missing][0]!r} is not in the index"
+                )
             return approx_jaccard_batch(query_vector, matrix[rows])
         matrix = np.stack(
             [vectorizer.vectorize(self.index.descriptor(vid)) for vid in candidates]
@@ -454,19 +529,23 @@ class FusionRecommender:
         omega: float,
         trace=NULL_TRACE,
         metrics: MetricsRegistry = _NO_METRICS,
+        dtype: str | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """``(content, social)`` score arrays for *candidates*, clipped to 1.
 
         Components a weight of *omega* would ignore are left as zeros, so
         a degraded (ω-renormalised) scan never touches the social store.
         The κJ and SAR stages are timed separately into *trace* and
-        *metrics* (both default to no-op sinks).
+        *metrics* (both default to no-op sinks).  *dtype* overrides the
+        configured ``scan_dtype`` for the content kernel (batch engine
+        only; the scalar engine is float64 by construction).
         """
         zeros = np.zeros(len(candidates), dtype=np.float64)
         if not candidates:
             return zeros, zeros
         if self.engine == "batch":
-            content_of, social_of = self._content_scores_batch, self._social_scores_batch
+            content_of = lambda q, c: self._content_scores_batch(q, c, dtype=dtype)
+            social_of = self._social_scores_batch
         else:
             content_of, social_of = self._content_scores_scalar, self._social_scores_scalar
         if omega < 1.0:
@@ -513,7 +592,12 @@ class FusionRecommender:
         if query_id not in self.index.series:
             raise KeyError(f"unknown video {query_id!r}")
         candidates = [vid for vid in self.index.video_ids if vid != query_id]
-        content, social = self._score_arrays(query_id, candidates, self.omega)
+        # Always the full-precision path: this is the float64 oracle the
+        # parameter sweeps and parity tests build on, whatever scan_dtype
+        # the serving path uses.
+        content, social = self._score_arrays(
+            query_id, candidates, self.omega, dtype="float64"
+        )
         return {
             vid: (float(c), float(s))
             for vid, c, s in zip(candidates, content, social)
@@ -569,7 +653,38 @@ class FusionRecommender:
             with _stage(trace, metrics, "candidates"):
                 reasons = self._degradation_reasons()
                 omega = 0.0 if reasons else self.omega
-                candidates = [vid for vid in self.index.video_ids if vid != query_id]
+                fast = cutoff is None and self._fast_scan_applicable(omega)
+                if fast:
+                    bank = self.index.signature_bank()
+                    pack = bank.fast_pack()
+                    query_pos = pack.index_of.get(query_id)
+                    fast = query_pos is not None and len(pack.ids) == len(
+                        self.index.video_ids
+                    )
+                if not fast:
+                    candidates = [
+                        vid for vid in self.index.video_ids if vid != query_id
+                    ]
+            if fast:
+                ranked, ranked_scores, scanned, total = self._scan_pruned(
+                    query_id, query_pos, bank, pack, omega, top_k, trace, metrics
+                )
+                results = Recommendations(
+                    ranked,
+                    degraded=bool(reasons),
+                    partial=False,
+                    reasons=reasons,
+                    scored=total,
+                    total=total,
+                    scores=ranked_scores,
+                )
+                metrics.inc("repro_queries_total", engine=self.engine)
+                metrics.inc("repro_candidates_scored_total", scanned)
+                if total > scanned:
+                    metrics.inc("repro_candidates_pruned_total", total - scanned)
+                if results.degraded:
+                    metrics.inc("repro_queries_degraded_total")
+                return results
             total = len(candidates)
             if cutoff is None:
                 scored = candidates
@@ -610,7 +725,9 @@ class FusionRecommender:
                     vid: (float(c), float(s))
                     for vid, c, s in zip(scored, content, social)
                 }
-                ranked = rank_components(components, omega, top_k)
+                ranked, ranked_scores = rank_components_scored(
+                    components, omega, top_k
+                )
         results = Recommendations(
             ranked,
             degraded=bool(reasons),
@@ -618,6 +735,7 @@ class FusionRecommender:
             reasons=reasons,
             scored=len(scored),
             total=total,
+            scores=ranked_scores,
         )
         metrics.inc("repro_queries_total", engine=self.engine)
         metrics.inc("repro_candidates_scored_total", len(scored))
@@ -627,17 +745,241 @@ class FusionRecommender:
             metrics.inc("repro_queries_partial_total")
         return results
 
+    # ------------------------------------------------------------------
+    # Pruned fast scan (batch engine, no deadline)
+    # ------------------------------------------------------------------
+    def _fast_scan_applicable(self, omega: float) -> bool:
+        """Whether the position-addressed pruned scan can serve *omega*.
 
-def rank_components(
+        It needs array kernels end-to-end: the batch engine, κJ content
+        (unless ω = 1 skips content entirely), and the materialized SAR
+        matrix for the social term (unless ω = 0 skips it).  Anything
+        else falls back to the legacy per-id scan.  ``fast_scan=False``
+        forces the legacy scan unconditionally — the bench's honest
+        baseline, and an escape hatch should the fast path misbehave.
+        """
+        if not self.fast_scan:
+            return False
+        if self.engine != "batch":
+            return False
+        if omega < 1.0 and self.content_measure_name != "kj":
+            return False
+        if omega > 0.0 and not (
+            self.social_mode in ("sar", "sar-h") and self.precomputed
+        ):
+            return False
+        return True
+
+    def _scan_pruned(
+        self, query_id, query_pos, bank, pack, omega, top_k, trace, metrics
+    ):
+        """Bound-ordered top-k scan over pack positions.
+
+        Candidates are visited in descending order of a cheap fused-score
+        upper bound — exact social term plus a per-video κJ cap derived
+        from the segment-CDF EMD lower bound (DESIGN §12) — in doubling
+        blocks clipped to the qualifying prefix; the scan stops as soon
+        as every remaining bound falls strictly below the current k-th
+        best fused score.  Ties at the boundary are always scored, so the
+        returned ranking (ties broken by ascending id) is identical to
+        the exhaustive scan's.
+
+        Returns ``(ranked ids, their fused scores, candidates actually
+        scored, total candidates)``.
+        """
+        index = self.index
+        n = len(pack.ids)
+        positions = np.empty(n - 1, dtype=np.int64) if n else np.empty(0, np.int64)
+        positions[:query_pos] = np.arange(query_pos)
+        positions[query_pos:] = np.arange(query_pos + 1, n)
+        m = positions.size
+        if m == 0:
+            return [], [], 0, 0
+
+        if omega > 0.0:
+            with _stage(trace, metrics, "social_scores"):
+                # The query is itself an indexed video, so its SAR vector
+                # is a row of the precomputed matrix (rows follow pack
+                # position order, as the candidate gather relies on) — no
+                # per-query descriptor vectorization.
+                matrix = index.sar_matrix(self.social_mode)
+                social = approx_jaccard_batch(matrix[query_pos], matrix[positions])
+                np.minimum(social, 1.0, out=social)
+        else:
+            social = np.zeros(m, dtype=np.float64)
+
+        def _rank_top(selection, fused):
+            # (-score, id) order; positions ascend with ids, so the
+            # position itself is the tie-break key.
+            order = np.lexsort((positions[selection], -fused))[:top_k]
+            chosen = selection[order]
+            return pack.ids[positions[chosen]].tolist(), fused[order].tolist()
+
+        if omega >= 1.0:
+            # Pure social ranking: no content arithmetic at all, exactly
+            # like the legacy path's zero-content fusion.
+            with _stage(trace, metrics, "fuse_topk"):
+                fused = (1.0 - omega) * np.zeros(m, dtype=np.float64)
+                fused += omega * social
+                ranked, ranked_scores = _rank_top(np.arange(m), fused)
+            return ranked, ranked_scores, m, m
+
+        series = index.series[query_id]
+        threshold = index.config.match_threshold
+        with _stage(trace, metrics, "content_scores"):
+            counts = pack.counts[positions]
+            n1 = len(series)
+            # The query is an indexed video, so its sorted/normalised/
+            # key-encoded rows and its bound integrals are pack slices —
+            # no per-query packing work at all.
+            query_keys, query_rows = pack.query_keys_at(query_pos)
+            if self.prune:
+                # κJ cap per candidate from the segment-CDF EMD lower
+                # bound (DESIGN §12).  For any grid segmentation,
+                # EMD(A, B) = ∫|F - G| >= Σ_t |∫_t F - ∫_t G|, so each
+                # (query sig, bank row) pair gets a SimC ceiling
+                # 1 / (1 + LB); pairs whose ceiling misses the match
+                # threshold can never be matched.  Per candidate video:
+                # matched pairs M <= min(#query sigs with any eligible
+                # partner, n2), matched SimC total <= min(Σ_i
+                # best-ceiling_i, M), and κJ = total/union <=
+                # total_cap / (n1 + n2 - M).
+                query_integrals = pack.seg_integrals[query_rows]
+                seg = pack.seg_integrals
+                segments = seg.shape[1]
+                workspace = get_workspace()
+                lower = workspace.get("bound_lower", (n1, seg.shape[0]), np.float32)
+                # Chunked so the (n1, chunk, SEGMENTS) float32 scratch
+                # stays cache-sized at large community scale; explicit
+                # out= buffers keep the per-query path allocation-free.
+                step = 8192
+                scratch = workspace.get(
+                    "bound_scratch", (n1, min(step, seg.shape[0]), segments), np.float32
+                )
+                for chunk_start in range(0, seg.shape[0], step):
+                    chunk_stop = min(seg.shape[0], chunk_start + step)
+                    part = scratch[:, : chunk_stop - chunk_start]
+                    np.subtract(
+                        query_integrals[:, None, :],
+                        seg[None, chunk_start:chunk_stop, :],
+                        out=part,
+                    )
+                    np.abs(part, out=part)
+                    # Segment-sum as a BLAS gemv against a ones vector —
+                    # ~3x faster than np.sum over the tiny last axis.
+                    np.matmul(
+                        part,
+                        _bound_ones(segments),
+                        out=lower[:, chunk_start:chunk_stop],
+                    )
+                # The SimC ceiling 1 / (1 + max(LB - 1e-3, 0)) decreases
+                # monotonically in LB, so per-pair arithmetic reduces
+                # first (min LB per video) and maps after — three passes
+                # over the (n1, rows) matrix instead of a dozen.  The
+                # eligibility cut inverts "ceiling >= threshold" into LB
+                # space; the 1e-3 slack absorbs float32 drift of both
+                # sides' integrals and kernel rounding of computed EMDs.
+                cut = (
+                    np.float32(1.0 / threshold - 1.0 + 1e-3)
+                    if threshold > 0.0
+                    else np.float32(np.inf)
+                )
+                best_lower = np.minimum.reduceat(lower, pack.starts, axis=1)
+                best = 1.0 / (1.0 + np.maximum(best_lower - 1e-3, 0.0))
+                best[best_lower > cut] = 0.0
+                sig_edges = (best > 0.0).sum(axis=0)
+                matched_cap = np.minimum(sig_edges, pack.counts)
+                total_cap = np.minimum(best.sum(axis=0), matched_cap)
+                caps = (total_cap / (n1 + pack.counts - matched_cap))[positions]
+                # Inflate by the kernel's relative error budget so a
+                # float32 EMD rounding up can never push a computed κJ
+                # past its cap (float64 rounding is covered a fortiori).
+                caps *= 1.0 + 2e-6
+                np.minimum(caps, 1.0, out=caps)
+                bounds = (1.0 - omega) * caps
+                if omega > 0.0:
+                    bounds += omega * social
+                order = np.argsort(-bounds, kind="stable")
+            else:
+                bounds = None
+                order = np.arange(m)
+
+            if self.scan_dtype == "float32":
+
+                def content_block(block_positions):
+                    return bank.kappa_j_scores_at(
+                        query_keys, block_positions, threshold, pack=pack
+                    )
+
+            else:
+
+                def content_block(block_positions):
+                    return bank.kappa_j_scores(
+                        series,
+                        pack.ids[block_positions].tolist(),
+                        threshold,
+                        dtype="float64",
+                    )
+
+            scores = np.empty(m, dtype=np.float64)
+            scanned = 0
+            limit = m
+            if bounds is not None:
+                descending = -bounds[order]
+            # The first block is sized so the typical query's qualifying
+            # prefix (~2-3x top_k in practice) fits in ONE kernel call —
+            # a handful of extra vectorized EMD rows cost far less than a
+            # second block's worth of gather/kernel/greedy dispatch.
+            block = max(32, 2 * top_k)
+            while scanned < limit:
+                selection = order[scanned : min(scanned + block, limit)]
+                content = content_block(positions[selection])
+                np.minimum(content, 1.0, out=content)
+                fused = (1.0 - omega) * content
+                if omega > 0.0:
+                    fused += omega * social[selection]
+                scores[scanned : scanned + selection.size] = fused
+                scanned += selection.size
+                if bounds is not None and scanned >= top_k:
+                    kth = np.partition(scores[:scanned], scanned - top_k)[
+                        scanned - top_k
+                    ]
+                    # bounds[order] descends, so bisection finds the
+                    # qualifying prefix (bound >= kth; boundary ties are
+                    # kept and scored) — nothing past it can displace the
+                    # current k-th best, and later blocks never score it.
+                    limit = max(
+                        scanned,
+                        int(np.searchsorted(descending, -kth, side="right")),
+                    )
+                # 1024 candidates x ~6 rows x 2 sides of merge scratch
+                # keeps the kernel's working set inside L2/L3; bigger
+                # blocks trade cache locality for no fewer numpy calls.
+                block = min(2 * block, 1024)
+
+        with _stage(trace, metrics, "fuse_topk"):
+            ranked, ranked_scores = _rank_top(order[:scanned], scores[:scanned])
+        return ranked, ranked_scores, scanned, m
+
+
+def rank_components_scored(
     components: dict[str, tuple[float, float]], omega: float, top_k: int
-) -> list[str]:
-    """Rank precomputed component scores under fusion weight *omega*."""
+) -> tuple[list[str], list[float]]:
+    """Rank precomputed component scores; returns ``(ids, fused scores)``."""
     scored = sorted(
         ((fuse_fj(content, social, omega), candidate_id)
          for candidate_id, (content, social) in components.items()),
         key=lambda pair: (-pair[0], pair[1]),
     )
-    return [candidate_id for _, candidate_id in scored[:top_k]]
+    top = scored[:top_k]
+    return [candidate_id for _, candidate_id in top], [score for score, _ in top]
+
+
+def rank_components(
+    components: dict[str, tuple[float, float]], omega: float, top_k: int
+) -> list[str]:
+    """Rank precomputed component scores under fusion weight *omega*."""
+    return rank_components_scored(components, omega, top_k)[0]
 
 
 def content_recommender(

@@ -14,13 +14,26 @@ solver in :mod:`repro.emd.transportation` validates it.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.emd.transportation import normalize_weights
 
-__all__ = ["emd_1d", "emd_1d_one_vs_many", "PackedDistributions", "pack_distributions"]
+__all__ = [
+    "emd_1d",
+    "emd_1d_one_vs_many",
+    "emd_1d_sorted_one_vs_many",
+    "emd_1d_sorted_many_vs_many",
+    "emd_1d_sorted_keys_many_vs_many",
+    "pack_emd_keys",
+    "EMD_KEY_WEIGHT_SIGN",
+    "EmdWorkspace",
+    "get_workspace",
+    "PackedDistributions",
+    "pack_distributions",
+]
 
 
 def emd_1d(
@@ -179,3 +192,265 @@ def emd_1d_one_vs_many(
     cdf_gap = np.cumsum(signed, axis=1)[:, :-1]
     dv = np.diff(support, axis=1)
     return np.sum(np.abs(cdf_gap) * dv, axis=1)
+
+
+class EmdWorkspace:
+    """Reusable scratch buffers for the sorted-merge EMD kernel.
+
+    The batched kernel needs three ``(M, L + nq)``-shaped scratch
+    matrices per call; allocating them fresh for every query block is a
+    measurable slice of the sub-millisecond budget.  A workspace keeps
+    one growable flat buffer per (name, dtype) and hands out reshaped
+    views, so steady-state queries allocate nothing.  Workspaces are NOT
+    thread-safe — use :func:`get_workspace` for a thread-local one.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: dict[tuple[str, np.dtype], np.ndarray] = {}
+
+    def get(self, name: str, shape: tuple[int, ...], dtype) -> np.ndarray:
+        """A ``shape``-shaped scratch view named *name* (contents garbage)."""
+        key = (name, np.dtype(dtype))
+        need = 1
+        for dim in shape:
+            need *= int(dim)
+        buffer = self._buffers.get(key)
+        if buffer is None or buffer.size < need:
+            capacity = max(need, 2 * (0 if buffer is None else buffer.size), 1024)
+            buffer = np.empty(capacity, dtype=dtype)
+            self._buffers[key] = buffer
+        return buffer[:need].reshape(shape)
+
+
+_LOCAL = threading.local()
+
+
+def get_workspace() -> EmdWorkspace:
+    """The calling thread's private :class:`EmdWorkspace`."""
+    workspace = getattr(_LOCAL, "workspace", None)
+    if workspace is None:
+        workspace = _LOCAL.workspace = EmdWorkspace()
+    return workspace
+
+
+def emd_1d_sorted_one_vs_many(
+    query_values: np.ndarray,
+    query_weights: np.ndarray,
+    cand_values: np.ndarray,
+    cand_weights: np.ndarray,
+    workspace: EmdWorkspace | None = None,
+) -> np.ndarray:
+    """Exact 1-D EMD of one sorted query against *M* row-sorted candidates.
+
+    The fast-path counterpart of :func:`emd_1d_one_vs_many`: because both
+    sides arrive **sorted ascending**, the merged support order is
+    computed analytically (a ``searchsorted`` for the candidate elements,
+    a broadcast rank count for the query elements) instead of a full
+    ``argsort`` per call — O(M·L·log nq) instead of O(M·(L+nq)·log(L+nq))
+    — and every intermediate lands in *workspace* scratch instead of a
+    fresh allocation.  Works in whatever dtype the candidate matrices
+    carry (the production path feeds float32 signature banks; float64
+    inputs reproduce the reference kernel to ~1e-15).
+
+    Parameters
+    ----------
+    query_values, query_weights:
+        The query distribution, **sorted ascending by value**, weights
+        already normalised to unit mass and aligned with the sort.
+    cand_values, cand_weights:
+        ``(M, L)`` padded candidate matrices, **each row sorted
+        ascending**, weights normalised per row with zero-weight padding
+        (pads equal the row maximum, so sorting leaves them trailing).
+    workspace:
+        Scratch buffers; defaults to the calling thread's workspace.
+
+    Returns
+    -------
+    np.ndarray
+        ``(M,)`` vector of EMD values in the candidates' dtype.
+    """
+    if workspace is None:
+        workspace = get_workspace()
+    many, width = cand_values.shape
+    nq = query_values.size
+    total = width + nq
+    dtype = cand_values.dtype
+    support = workspace.get("support", (many, total), dtype)
+    signed = workspace.get("signed", (many, total), dtype)
+    dv = workspace.get("dv", (many, total - 1), dtype)
+    free = workspace.get("free", (many, total), np.bool_)
+    rows = np.arange(many)[:, None]
+    # Merged-order positions, ties resolved query-first for candidate
+    # elements — any consistent rule yields the same integral (equal
+    # support points bound zero-width intervals).
+    pos_c = np.searchsorted(query_values, cand_values.ravel(), side="left")
+    pos_c = pos_c.reshape(many, width) + np.arange(width)[None, :]
+    free.fill(True)
+    free[rows, pos_c] = False
+    support[rows, pos_c] = cand_values
+    signed[rows, pos_c] = cand_weights
+    # One vectorized pass flips the candidate masses negative; the query
+    # fill below then overwrites its own (negated-garbage) slots.
+    np.negative(signed, out=signed)
+    # Each row's query elements land in exactly the slots the candidates
+    # left free, in ascending column order (both sides are sorted), so a
+    # row-major boolean fill IS the merge — no rank computation needed.
+    support[free] = np.broadcast_to(query_values, (many, nq)).reshape(-1)
+    signed[free] = np.broadcast_to(query_weights, (many, nq)).reshape(-1)
+    np.cumsum(signed, axis=1, out=signed)
+    np.subtract(support[:, 1:], support[:, :-1], out=dv)
+    gap = signed[:, :-1]
+    np.abs(gap, out=gap)
+    np.multiply(gap, dv, out=gap)
+    return gap.sum(axis=1)
+
+
+#: XOR mask that flips an encoded key's weight sign (the float32 sign bit
+#: of the low payload half) — turns candidate-side keys into query-side
+#: keys in one vectorized op when a query's rows already live in a pack.
+EMD_KEY_WEIGHT_SIGN = np.int64(0x80000000)
+
+#: Upper-triangular prefix-sum matrices keyed by merged width — tiny,
+#: reused on every kernel call so block scoring never reallocates them.
+_tri_cache: dict[int, np.ndarray] = {}
+
+
+def pack_emd_keys(
+    values: np.ndarray,
+    weights: np.ndarray,
+    negate: bool = False,
+    offset: float | None = None,
+) -> np.ndarray:
+    """Encode float32 (value, weight) pairs as SIMD-sortable int64 keys.
+
+    Values are shifted by *offset* so every encoded value is strictly
+    positive; positive IEEE-754 floats compare identically as unsigned
+    bit patterns, so the value bits go into the high 32 bits verbatim and
+    ascending int64 order is ascending value order — ``np.sort`` on
+    int64 dispatches to the vectorized SIMD qsort, ~6x faster than any
+    comparison-based dtype at kernel block sizes, and decoding is a pure
+    bit view.  (1-D EMD is translation-invariant, so the shared shift
+    never reaches the result.)  Low 32 bits: the IEEE bits of the float32
+    weight — negated first when *negate* is set (the candidate side of
+    the signed-mass merge) — which ride along through the sort and are
+    recovered verbatim afterwards.  Ordering among equal values falls to
+    the weight bits; any tie order is harmless, because equal support
+    points bound zero-width integration intervals.
+
+    *offset* defaults to ``values.min() - 1``; both sides of a merge MUST
+    be encoded with the same offset (pass the pack's offset explicitly),
+    and every value must exceed it.
+    """
+    if offset is None:
+        offset = float(np.asarray(values).min()) - 1.0
+    v = np.asarray(values, dtype=np.float32) - np.float32(offset)
+    if not (v > 0).all():
+        raise ValueError(
+            "pack_emd_keys offset must lie strictly below every value"
+        )
+    w = np.asarray(weights, dtype=np.float32)
+    if negate:
+        w = -w
+    value_bits = np.ascontiguousarray(v).view(np.uint32)
+    weight_bits = np.ascontiguousarray(w).view(np.uint32)
+    keys = (value_bits.astype(np.uint64) << np.uint64(32)) | weight_bits.astype(
+        np.uint64
+    )
+    return keys.view(np.int64)
+
+
+def emd_1d_sorted_keys_many_vs_many(
+    query_keys: np.ndarray,
+    cand_keys: np.ndarray,
+    workspace: EmdWorkspace | None = None,
+) -> np.ndarray:
+    """Exact 1-D EMD of *n1* queries against *M* candidates, key-encoded.
+
+    The full cross product in **one kernel invocation** over int64 merge
+    keys (:func:`pack_emd_keys`): two broadcast copies lay every (query
+    row, candidate row) pair side by side, one SIMD int64 ``sort`` per
+    merged row produces the merged support with its signed masses riding
+    along in the low key bits, and a triangular sgemm computes all
+    running CDF sums at once (numpy's ``cumsum`` is a scalar loop; BLAS
+    is ~4x faster at block sizes).  No fancy indexing, no per-signature
+    ``searchsorted`` loop — the op count is constant in both ``n1`` and
+    ``M``, which is what keeps small pruned blocks overhead-bound rather
+    than op-count-bound.
+
+    Parameters
+    ----------
+    query_keys:
+        ``(n1, nq)`` int64 keys with **positive** weight payloads.
+    cand_keys:
+        ``(M, L)`` int64 keys with **negated** weight payloads
+        (``pack_emd_keys(..., negate=True)``).
+    workspace:
+        Scratch buffers; defaults to the calling thread's workspace.
+
+    Returns
+    -------
+    np.ndarray
+        ``(n1, M)`` float32 EMD matrix.
+
+    Zero-weight pads on either side add support points of zero mass:
+    they split integration intervals without changing the integrand, so
+    the integral — and the returned EMD — is unaffected.
+    """
+    if workspace is None:
+        workspace = get_workspace()
+    n1, nq = query_keys.shape
+    many, width = cand_keys.shape
+    pairs = n1 * many
+    total = width + nq
+    merged = workspace.get("merged", (pairs, total), np.int64)
+    np.copyto(merged[:, :nq].reshape(n1, many, nq), query_keys[:, None, :])
+    np.copyto(merged[:, nq:].reshape(n1, many, width), cand_keys[None, :, :])
+    merged.sort(axis=1)
+    # Decode is pure bit views: keys hold strictly positive values, whose
+    # IEEE bits need no transform, so the high half IS the (shifted)
+    # support float and the low half IS the signed weight float
+    # (little-endian: low half first).
+    halves = merged.view(np.uint32).reshape(pairs, total, 2)
+    support = halves[..., 1].view(np.float32)
+    signed = workspace.get("signed", (pairs, total), np.float32)
+    np.copyto(signed, halves[..., 0].view(np.float32))
+    tri = _tri_cache.get(total)
+    if tri is None:
+        tri = np.triu(np.ones((total, total - 1), dtype=np.float32))
+        _tri_cache[total] = tri
+    gap = workspace.get("gap", (pairs, total - 1), np.float32)
+    np.matmul(signed, tri, out=gap)
+    dv = workspace.get("dv", (pairs, total - 1), np.float32)
+    np.subtract(support[:, 1:], support[:, :-1], out=dv)
+    np.abs(gap, out=gap)
+    np.multiply(gap, dv, out=gap)
+    return gap.sum(axis=1).reshape(n1, many)
+
+
+def emd_1d_sorted_many_vs_many(
+    query_values: np.ndarray,
+    query_weights: np.ndarray,
+    cand_values: np.ndarray,
+    cand_weights: np.ndarray,
+    workspace: EmdWorkspace | None = None,
+) -> np.ndarray:
+    """Exact 1-D EMD of *n1* sorted queries against *M* sorted candidates.
+
+    Convenience wrapper over :func:`emd_1d_sorted_keys_many_vs_many` for
+    callers holding plain padded value/weight matrices (each row sorted
+    ascending, weights normalised per row with zero-weight pads equal to
+    the row maximum).  Inputs are key-encoded via float32
+    (:func:`pack_emd_keys`) and the result is float32 regardless of the
+    input dtype.  Hot paths that score many blocks per query should
+    pre-encode with :func:`pack_emd_keys` instead and skip the per-call
+    key construction.
+    """
+    offset = (
+        min(float(np.asarray(query_values).min()), float(np.asarray(cand_values).min()))
+        - 1.0
+    )
+    return emd_1d_sorted_keys_many_vs_many(
+        pack_emd_keys(query_values, query_weights, offset=offset),
+        pack_emd_keys(cand_values, cand_weights, negate=True, offset=offset),
+        workspace,
+    )

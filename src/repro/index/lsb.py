@@ -176,20 +176,34 @@ class LsbIndex:
         self._dead.clear()
         self._dead_entries = 0
 
-    def probe(self, signature: CuboidSignature, budget: int) -> list[tuple[int, LsbEntry]]:
+    def probe(
+        self,
+        signature: CuboidSignature,
+        budget: int,
+        probes: int | None = None,
+    ) -> list[tuple[int, LsbEntry]]:
         """Return up to *budget* candidate entries for *signature*.
 
         Candidates are collected by walking each tree outward from the
         query key and merged by descending common-prefix length, so the
         first results are those sharing the smallest Z-order quadrant with
         the query — "the next longest common prefix" order.
+
+        *probes* limits how many of the forest's trees are consulted
+        (``None`` = all).  Fewer probes mean fewer, more concentrated
+        candidates — the recall-vs-candidates trade the bench sweeps.
         """
         if budget < 1:
             raise ValueError("budget must be >= 1")
+        if probes is not None and probes < 1:
+            raise ValueError("probes must be >= 1")
+        trees = self._trees
+        if probes is not None:
+            trees = trees[: min(probes, len(trees))]
         scored: list[tuple[int, LsbEntry]] = []
-        per_tree = max(1, budget // len(self._trees))
+        per_tree = max(1, budget // len(trees))
         seen: set[tuple[str, int]] = set()
-        for tree_index, tree in enumerate(self._trees):
+        for tree_index, tree in enumerate(trees):
             query_key = self._zkey(tree_index, signature)
             taken = 0
             for key, entry in tree.neighbourhood(query_key):
@@ -207,11 +221,16 @@ class LsbIndex:
         scored.sort(key=lambda pair: -pair[0])
         return scored[:budget]
 
-    def candidate_videos(self, signature: CuboidSignature, budget: int) -> list[str]:
+    def candidate_videos(
+        self,
+        signature: CuboidSignature,
+        budget: int,
+        probes: int | None = None,
+    ) -> list[str]:
         """Distinct video ids among the probe results, best-prefix first."""
         ordered: list[str] = []
         seen: set[str] = set()
-        for _, entry in self.probe(signature, budget):
+        for _, entry in self.probe(signature, budget, probes=probes):
             if entry.video_id not in seen:
                 seen.add(entry.video_id)
                 ordered.append(entry.video_id)

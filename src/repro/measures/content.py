@@ -32,7 +32,15 @@ import bisect
 
 import numpy as np
 
-from repro.emd.one_dim import PackedDistributions, emd_1d, emd_1d_one_vs_many
+from repro.emd.one_dim import (
+    EMD_KEY_WEIGHT_SIGN,
+    PackedDistributions,
+    emd_1d,
+    emd_1d_one_vs_many,
+    emd_1d_sorted_keys_many_vs_many,
+    get_workspace,
+    pack_emd_keys,
+)
 from repro.signatures.cuboid import CuboidSignature
 from repro.signatures.series import SignatureSeries
 
@@ -42,6 +50,7 @@ __all__ = [
     "kappa_j_all_pairs",
     "pairwise_sim_matrix",
     "SignatureBank",
+    "SignatureFastPack",
 ]
 
 
@@ -108,6 +117,234 @@ def _greedy_match(matrix: np.ndarray, match_threshold: float) -> tuple[float, in
         matched_total += float(value)
         matched_count += 1
     return matched_total, matched_count
+
+
+def _greedy_match_many(
+    blocks: np.ndarray, match_threshold: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized greedy matching over a stack of SimC blocks.
+
+    *blocks* is a ``(B, n1, n2max)`` stack — one padded SimC matrix per
+    candidate, pad cells set to ``-1`` (below any reachable SimC, which
+    is always positive) — stored with BOTH signature axes reversed:
+    cell ``[b, i, j]`` holds the SimC of query signature ``n1-1-i`` vs
+    candidate signature ``n2max-1-j``.  Reversing the layout turns
+    :func:`_greedy_match`'s tie rule (descending value, then descending
+    flat index in natural order) into a plain first-occurrence ``argmax``
+    over contiguous memory — an argmax over a negative-stride reverse
+    view is several times slower.  Each round takes every candidate's
+    current maximum, accepts it when it clears *match_threshold*, and
+    masks its row and column; all candidates advance together, so the
+    Python-level loop runs at most ``min(n1, n2max)`` times regardless
+    of B.  *blocks* is consumed (mutated).
+
+    Returns ``(matched totals, matched counts)`` as ``(B,)`` vectors;
+    totals accumulate in float64 in the same descending-value order as
+    the scalar matcher.
+    """
+    many, n1, n2 = blocks.shape
+    flat = blocks.reshape(many, n1 * n2)
+    totals = np.zeros(many, dtype=np.float64)
+    counts = np.zeros(many, dtype=np.int64)
+    batch = np.arange(many)
+    for _ in range(min(n1, n2)):
+        # First flat maximum in reversed layout == last in natural
+        # layout — _greedy_match's reversed-stable-argsort tie order.
+        index = flat.argmax(axis=1)
+        values = flat[batch, index]
+        active = values >= match_threshold
+        if not active.any():
+            break
+        # Exhausted candidates ride along unfiltered: masking their
+        # current (sub-threshold) maximum changes nothing they could
+        # still match, and skipping the fancy-index subsetting keeps the
+        # round at a fixed handful of full-batch ops.
+        np.add(totals, values, out=totals, where=active)
+        counts += active
+        row, col = np.divmod(index, n2)
+        blocks[batch, row, :] = -1.0
+        blocks[batch, :, col] = -1.0
+    return totals, counts
+
+
+def _segment_integrals(
+    values: np.ndarray,
+    weights: np.ndarray,
+    grid: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row CDF integrals over a uniform grid — the EMD bound precompute.
+
+    For a step CDF ``G`` with atoms ``(v_k, w_k)``, the integral over a
+    segment ``[a, b]`` is ``Σ_k w_k · (b - clip(v_k, a, b))``.  Returns
+    ``(grid, integrals)`` with *integrals* shaped ``(rows, SEGMENTS)`` —
+    accumulated in float64, stored float32 (the bound arithmetic runs in
+    float32; the scan's 1e-3 slack dwarfs the rounding).  When *grid* is
+    omitted it spans the value range of *values* (a degenerate range
+    yields all-zero integrals, which makes the bound vacuous but still
+    valid).  Chunked over rows to bound the temporary
+    ``(chunk, width, SEGMENTS)`` broadcast.
+    """
+    segments = SignatureFastPack.SEGMENTS
+    if grid is None:
+        grid = np.linspace(
+            float(values.min()), float(values.max()), segments + 1
+        )
+    rows = values.shape[0]
+    integrals = np.empty((rows, segments), dtype=np.float32)
+    lower = grid[None, None, :-1]
+    upper = grid[None, None, 1:]
+    chunk = max(1, (1 << 22) // max(1, values.shape[1] * segments))
+    for start in range(0, rows, chunk):
+        stop = min(rows, start + chunk)
+        v = values[start:stop, :, None].astype(np.float64)
+        w = weights[start:stop, :, None].astype(np.float64)
+        integrals[start:stop] = (w * (upper - np.clip(v, lower, upper))).sum(axis=1)
+    return grid, integrals
+
+
+class SignatureFastPack:
+    """Float32 scoring view of a :class:`SignatureBank`, packed per epoch.
+
+    Rows are gathered live-only in sorted video-id order and **row-sorted
+    ascending by value** (weights permuted alongside), so the sorted-merge
+    EMD kernel never re-sorts candidate rows at query time.  Built lazily
+    by :meth:`SignatureBank.fast_pack` and keyed on the bank's mutation
+    version — one pack per published epoch, shared by every query and by
+    copy-on-write bank snapshots.
+
+    Attributes
+    ----------
+    version:
+        The bank mutation version this pack reflects.
+    values / weights:
+        ``(live_rows, width)`` float32 row-sorted matrices.
+    starts / counts:
+        ``(N,)`` int64 per-video row offsets/lengths, aligned with
+        :attr:`ids` (sorted video-id order).
+    ids:
+        ``(N,)`` numpy string array of the packed video ids.
+    index_of:
+        ``video_id -> position`` into :attr:`ids`.
+    keys / offset:
+        ``(live_rows, width)`` int64 candidate-side merge keys
+        (:func:`repro.emd.one_dim.pack_emd_keys`, weights negated),
+        encoded once per pack so block scoring gathers a single array
+        and skips per-call key construction; *offset* is the value shift
+        the keys were encoded under (``pack min - 1``), which any
+        query-side encoding must share.
+    row_sizes:
+        ``(live_rows,)`` int64 count of nonzero-weight entries per row.
+        Zero-weight pads never move an EMD, so scoring trims each block's
+        trailing pad columns to the block's widest real row — merge-sort
+        cost follows actual signature sizes, not the pack-wide maximum.
+    grid / seg_integrals:
+        Pruning-bound precompute: *grid* is a ``(SEGMENTS + 1,)`` float64
+        uniform grid over the pack's value range and *seg_integrals* a
+        ``(live_rows, SEGMENTS)`` float32 matrix of per-row CDF integrals
+        over each grid segment.  1-D EMD is ``∫|F - G|``, so for any
+        segmentation ``Σ_t |∫_t F - ∫_t G|`` is a lower bound (triangle
+        inequality per segment); the pruned scan turns it into per-pair
+        SimC caps and per-video κJ caps (DESIGN §12).
+    """
+
+    #: Grid segments of the pruning bound.  More segments tighten the
+    #: EMD lower bound (SEGMENTS = 1 degenerates to the mean-gap bound)
+    #: at O(rows * SEGMENTS) per-query bound cost.
+    SEGMENTS = 8
+
+    __slots__ = (
+        "version",
+        "values",
+        "weights",
+        "starts",
+        "counts",
+        "ids",
+        "index_of",
+        "keys",
+        "offset",
+        "row_sizes",
+        "grid",
+        "seg_integrals",
+    )
+
+    def __init__(
+        self,
+        version,
+        values,
+        weights,
+        starts,
+        counts,
+        ids,
+        index_of,
+        keys,
+        offset,
+        row_sizes,
+        grid,
+        seg_integrals,
+    ):
+        self.version = version
+        self.values = values
+        self.weights = weights
+        self.starts = starts
+        self.counts = counts
+        self.ids = ids
+        self.index_of = index_of
+        self.keys = keys
+        self.offset = offset
+        self.row_sizes = row_sizes
+        self.grid = grid
+        self.seg_integrals = seg_integrals
+
+    def query_keys_at(self, position: int) -> tuple[np.ndarray, slice]:
+        """Query-side merge keys for the packed video at *position*.
+
+        The hot path's queries are themselves indexed videos, so their
+        rows already sit in the pack — sorted, normalised, float32 and
+        key-encoded.  Candidate-side keys differ from query-side keys
+        only in the weight sign, so one vectorized XOR of the float32
+        sign bit in the low payload half turns the video's pack rows
+        into query keys; no per-signature Python loop, no re-encoding.
+        Returns ``(keys, rows)`` with *rows* the pack row slice (the
+        pruned scan reads :attr:`seg_integrals` through it).
+        """
+        start = int(self.starts[position])
+        rows = slice(start, start + int(self.counts[position]))
+        width = int(self.row_sizes[rows].max())
+        return self.keys[rows, :width] ^ EMD_KEY_WEIGHT_SIGN, rows
+
+    def pack_query(
+        self, query: SignatureSeries
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Query-side ``(keys, values, weights)`` matrices for *query*.
+
+        All three are ``(n1, max_cuboids)`` and row-padded to the
+        bank-pack layout (pads equal each row's maximum and carry zero
+        weight): *keys* are int64 merge keys for the batched merge-sort
+        kernel (:func:`repro.emd.one_dim.pack_emd_keys`), *values* /
+        *weights* the float32 matrices they encode (the pruned scan
+        derives its query-side CDF segment integrals from them).  The
+        query-side sort, weight normalisation and key encoding happen
+        once here and are reused by every scoring block of the query's
+        scan.  Keys share the pack's value offset, so every query value
+        must exceed ``pack min - 1`` (any value inside the pack's range
+        qualifies; :func:`repro.emd.one_dim.pack_emd_keys` raises
+        otherwise).  Indexed queries should prefer :meth:`query_keys_at`,
+        which skips this construction entirely.
+        """
+        n1 = len(query)
+        nq = max(signature.size for signature in query)
+        values = np.empty((n1, nq), dtype=np.float32)
+        weights = np.zeros((n1, nq), dtype=np.float32)
+        for i, signature in enumerate(query):
+            order = np.argsort(signature.values, kind="stable")
+            row_values = np.asarray(signature.values, dtype=np.float64).reshape(-1)
+            row_weights = np.asarray(signature.weights, dtype=np.float64).reshape(-1)
+            row_weights = row_weights / row_weights.sum()
+            size = row_values.size
+            values[i, :size] = row_values[order]
+            weights[i, :size] = row_weights[order]
+            values[i, size:] = values[i, size - 1]
+        return pack_emd_keys(values, weights, offset=self.offset), values, weights
 
 
 def kappa_j(
@@ -184,6 +421,8 @@ class SignatureBank:
         self._weights = np.empty((0, 0), dtype=np.float64)
         self._lengths = np.empty(0, dtype=np.int64)
         self._pads = np.empty(0, dtype=np.float64)
+        self._version = 0
+        self._fast_pack: SignatureFastPack | None = None
         for video_id in sorted(series):
             self.append(video_id, series[video_id])
 
@@ -267,6 +506,8 @@ class SignatureBank:
         bisect.insort(self.video_ids, video_id)
         self._series[video_id] = series
         self._count += rows
+        self._version += 1
+        self._fast_pack = None
 
     def remove(self, video_id: str) -> None:
         """Tombstone *video_id*'s rows; compacts when width can shrink."""
@@ -276,6 +517,8 @@ class SignatureBank:
         self.video_ids.remove(video_id)
         del self._series[video_id]
         self._dead_rows += block.stop - block.start
+        self._version += 1
+        self._fast_pack = None
         live_width = max(
             (
                 int(self._lengths[s.start : s.stop].max())
@@ -323,6 +566,8 @@ class SignatureBank:
         self._count = live_rows
         self._dead_rows = 0
         self._width = live_width
+        self._version += 1
+        self._fast_pack = None
 
     # ------------------------------------------------------------------
     # Snapshots
@@ -352,6 +597,10 @@ class SignatureBank:
         clone._weights = self._weights
         clone._lengths = self._lengths
         clone._pads = self._pads
+        # The pack is immutable and version-keyed, so a snapshot can share
+        # it outright — epoch publication inherits an already-warm pack.
+        clone._version = self._version
+        clone._fast_pack = self._fast_pack
         return clone
 
     # ------------------------------------------------------------------
@@ -369,11 +618,135 @@ class SignatureBank:
         np.reciprocal(1.0 + matrix, out=matrix)
         return matrix
 
+    def fast_pack(self) -> SignatureFastPack:
+        """The bank's float32 scoring pack, rebuilt only after mutations.
+
+        Compacts first (the pack is live-rows-only), then reuses the
+        cached pack while the bank's mutation version is unchanged —
+        "pack once per epoch" in steady-state serving.
+        """
+        if self._dead_rows:
+            self.compact()
+        pack = self._fast_pack
+        if pack is not None and pack.version == self._version:
+            return pack
+        counts = np.array(
+            [
+                self._row_slices[video_id].stop - self._row_slices[video_id].start
+                for video_id in self.video_ids
+            ],
+            dtype=np.int64,
+        )
+        starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+        rows = np.concatenate(
+            [
+                np.arange(self._row_slices[v].start, self._row_slices[v].stop)
+                for v in self.video_ids
+            ]
+        )
+        values = self.values[rows]
+        weights = self.weights[rows]
+        # Row-sort ascending once at pack time; pads equal each row's
+        # maximum so they stay trailing (with zero weight) after the sort.
+        order = np.argsort(values, axis=1, kind="stable")
+        values = np.take_along_axis(values, order, axis=1).astype(np.float32)
+        weights = np.take_along_axis(weights, order, axis=1).astype(np.float32)
+        grid, seg_integrals = _segment_integrals(values, weights)
+        offset = float(values.min()) - 1.0 if values.size else -1.0
+        pack = SignatureFastPack(
+            version=self._version,
+            values=values,
+            weights=weights,
+            starts=starts,
+            counts=counts,
+            ids=np.array(self.video_ids),
+            index_of={v: i for i, v in enumerate(self.video_ids)},
+            keys=pack_emd_keys(values, weights, negate=True, offset=offset),
+            offset=offset,
+            row_sizes=np.count_nonzero(weights, axis=1).astype(np.int64),
+            grid=grid,
+            seg_integrals=seg_integrals,
+        )
+        self._fast_pack = pack
+        return pack
+
+    def kappa_j_scores_at(
+        self,
+        query_keys: np.ndarray,
+        positions: np.ndarray,
+        match_threshold: float,
+        pack: SignatureFastPack | None = None,
+    ) -> np.ndarray:
+        """Float32 κJ of a key-packed query against pack *positions*.
+
+        The fast-path counterpart of :meth:`kappa_j_scores`: the query
+        arrives as ``(n1, nq)`` int64 merge keys — from
+        :meth:`SignatureFastPack.query_keys_at` for indexed queries or
+        :meth:`SignatureFastPack.pack_query` otherwise —
+        candidates are addressed by position into the :meth:`fast_pack`
+        (as the pruned scan's block loop does), the SimC matrix comes
+        from the merge-sort EMD kernel in float32 scratch, and the
+        per-candidate greedy matching is vectorized over the whole block.  Scores
+        return as float64 (the fusion arithmetic stays float64 either
+        way); agreement with the reference path is within float32
+        rounding of the EMD sums.
+        """
+        if pack is None:
+            pack = self.fast_pack()
+        workspace = get_workspace()
+        counts = pack.counts[positions]
+        starts = pack.starts[positions]
+        many = positions.size
+        n1 = query_keys.shape[0]
+        total_rows = int(counts.sum())
+        n2max = int(counts.max())
+        # Gathered row index: for each selected video its contiguous pack
+        # rows, concatenated (repeat/cumsum trick, no Python loop).
+        offsets = np.cumsum(counts) - counts
+        row_index = np.repeat(starts - offsets, counts) + np.arange(total_rows)
+        # Candidate rows keep the full pack width rather than trimming to
+        # the block's widest real row: the merged width then depends only
+        # on (query, pack), never on how candidates were batched, so the
+        # float32 EMD of a pair is bit-identical across block sizes (the
+        # gap sgemm's summation order is fixed by the reduction width).
+        # Trailing pads duplicate each row's max value at zero weight, so
+        # they contribute exact zeros.
+        cand_keys = pack.keys[row_index]
+
+        # SimC of every query signature vs every gathered row — the whole
+        # cross product in one batched kernel call — plus one trailing
+        # sentinel column that padded block cells map onto.
+        sim = workspace.get("sim", (n1, total_rows + 1), np.float32)
+        sim[:, :total_rows] = emd_1d_sorted_keys_many_vs_many(
+            query_keys, cand_keys, workspace
+        )
+        body = sim[:, :total_rows]
+        np.add(body, np.float32(1.0), out=body)
+        np.reciprocal(body, out=body)
+        sim[:, total_rows] = -1.0
+
+        # Per-candidate padded SimC blocks (B, n1, n2max); pad cells read
+        # the sentinel column (-1, below any real SimC).  Both signature
+        # axes are reversed during the gather — the layout
+        # _greedy_match_many wants for its contiguous tie-break argmax.
+        cols = offsets[:, None] + np.arange(n2max)[None, :]
+        invalid = np.arange(n2max)[None, :] >= counts[:, None]
+        cols[invalid] = total_rows
+        blocks = workspace.get("blocks", (many, n1, n2max), np.float32)
+        np.copyto(blocks, sim[::-1, cols[:, ::-1]].transpose(1, 0, 2))
+
+        totals, matched = _greedy_match_many(blocks, match_threshold)
+        union = n1 + counts - matched
+        scores = np.zeros(many, dtype=np.float64)
+        np.divide(totals, union, out=scores, where=union > 0)
+        return scores
+
     def kappa_j_scores(
         self,
         query: SignatureSeries,
         video_ids: list[str],
         match_threshold: float,
+        dtype: str = "float64",
     ) -> np.ndarray:
         """κJ of *query* against each listed video, batch-computed.
 
@@ -382,7 +755,22 @@ class SignatureBank:
         column slices of the shared SimC matrix.  When *video_ids* is a
         strict subset (KNN refinement blocks, worker chunks) only the
         relevant signature rows are gathered and scored.
+
+        ``dtype="float32"`` routes through the packed fast path
+        (:meth:`fast_pack` + :meth:`kappa_j_scores_at`); ``"float64"`` is
+        the reference path that parity tests pin against.
         """
+        if dtype == "float32":
+            pack = self.fast_pack()
+            positions = np.array(
+                [pack.index_of[video_id] for video_id in video_ids],
+                dtype=np.int64,
+            )
+            return self.kappa_j_scores_at(
+                pack.pack_query(query)[0], positions, match_threshold, pack=pack
+            )
+        if dtype != "float64":
+            raise ValueError(f"dtype must be 'float32' or 'float64', got {dtype!r}")
         slices = [self._row_slices[video_id] for video_id in video_ids]
         total_rows = self.values.shape[0]
         if sum(s.stop - s.start for s in slices) == total_rows:

@@ -35,6 +35,7 @@ early return, so instrumentation can be switched off wholesale — the
 
 from __future__ import annotations
 
+import bisect
 import threading
 import time
 from contextlib import contextmanager, nullcontext
@@ -98,14 +99,33 @@ def _escape_label(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
+#: Rendered series keys, memoized — hot-path recorders re-emit the same
+#: few (name, labels) shapes every query, so the string build runs once
+#: per distinct series instead of per sample.  Bounded defensively; the
+#: hit path is a plain dict probe (thread-safe under the GIL).
+_KEY_CACHE: dict[tuple, str] = {}
+_KEY_CACHE_MAX = 8192
+
+
 def _series_key(name: str, labels: dict[str, str]) -> str:
     """The canonical ``name{k="v",...}`` series identity (sorted labels)."""
     if not labels:
         return name
-    inner = ",".join(
-        f'{key}="{_escape_label(str(value))}"' for key, value in sorted(labels.items())
-    )
-    return f"{name}{{{inner}}}"
+    try:
+        cache_key = (name, *labels.items())
+        key = _KEY_CACHE.get(cache_key)
+    except TypeError:  # unhashable label value — render uncached
+        cache_key = None
+        key = None
+    if key is None:
+        inner = ",".join(
+            f'{label}="{_escape_label(str(value))}"'
+            for label, value in sorted(labels.items())
+        )
+        key = f"{name}{{{inner}}}"
+        if cache_key is not None and len(_KEY_CACHE) < _KEY_CACHE_MAX:
+            _KEY_CACHE[cache_key] = key
+    return key
 
 
 class _Histogram:
@@ -120,11 +140,8 @@ class _Histogram:
         self.count = 0
 
     def observe(self, value: float) -> None:
-        slot = len(self.bounds)
-        for position, bound in enumerate(self.bounds):
-            if value <= bound:
-                slot = position
-                break
+        # First bound >= value; past the end lands in the +Inf slot.
+        slot = bisect.bisect_left(self.bounds, value)
         self.counts[slot] += 1
         self.sum += value
         self.count += 1

@@ -33,6 +33,7 @@ from __future__ import annotations
 import random
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.core.recommender import FusionRecommender, Recommendations
@@ -96,6 +97,12 @@ class GatewayConfig:
         Base backoff delay in seconds (doubles per attempt).
     retry_jitter:
         Uniform jitter fraction added to each backoff delay (0 = none).
+    memo_capacity:
+        Entries of the epoch-keyed query-result memo (LRU-evicted; 0
+        disables memoization).  A repeated ``(query, top_k, ω,
+        deadline-class)`` on an unchanged epoch is answered from the memo
+        without rescanning; any epoch publication invalidates the whole
+        memo, so a hit can never serve pre-mutation rankings.
     """
 
     max_concurrency: int = 8
@@ -109,6 +116,7 @@ class GatewayConfig:
     retry_attempts: int = 2
     retry_backoff: float = 0.002
     retry_jitter: float = 0.5
+    memo_capacity: int = 1024
 
     def __post_init__(self) -> None:
         if self.max_concurrency < 1:
@@ -123,6 +131,58 @@ class GatewayConfig:
             )
         if self.retry_attempts < 0:
             raise ValueError(f"retry_attempts must be >= 0, got {self.retry_attempts}")
+        if self.memo_capacity < 0:
+            raise ValueError(f"memo_capacity must be >= 0, got {self.memo_capacity}")
+
+
+class _QueryMemo:
+    """Bounded LRU memo of fully-served query results, epoch-keyed.
+
+    Keys are ``(epoch_id, query_id, top_k, omega_served, deadline_class)``;
+    values are finished :class:`Recommendations`.  Only *clean* results
+    belong here — the gateway never inserts partial or degraded rankings,
+    and :meth:`invalidate` drops everything at each epoch publication, so
+    a hit is always the exact answer the scan would recompute.  All
+    operations take one small lock; a hit is a dict move-to-end, which is
+    what makes repeated heavy-hitter queries O(1).
+    """
+
+    __slots__ = ("_capacity", "_entries", "_lock")
+
+    def __init__(self, capacity: int) -> None:
+        self._capacity = int(capacity)
+        self._entries: OrderedDict[tuple, object] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: tuple):
+        """The memoized result for *key* (refreshing LRU), or ``None``."""
+        if self._capacity == 0:
+            return None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+            return entry
+
+    def put(self, key: tuple, value, metrics) -> None:
+        """Insert *value*; evicts the least-recently-used entry when full."""
+        if self._capacity == 0:
+            return
+        with self._lock:
+            if key not in self._entries and len(self._entries) >= self._capacity:
+                self._entries.popitem(last=False)
+                metrics.inc("repro_serving_memo_evict_total")
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+
+    def invalidate(self) -> None:
+        """Drop every entry (called at each epoch publication)."""
+        with self._lock:
+            self._entries.clear()
 
 
 class ServingGateway:
@@ -188,6 +248,7 @@ class ServingGateway:
         self._adm_cond = threading.Condition(threading.Lock())
         self._inflight = 0
         self._waiting = 0
+        self._memo = _QueryMemo(self.config.memo_capacity)
         # The initial epoch is published fault-free: a plan arming the
         # publish point targets *mutations*, not construction.
         self._publish(fire=False)
@@ -196,6 +257,11 @@ class ServingGateway:
     # Epoch publication (writer side)
     # ------------------------------------------------------------------
     def _build_recommenders(self, epoch: CommunityEpoch) -> None:
+        if self._content_measure == "kj":
+            # Warm the bank's float32 scoring pack before the epoch is
+            # visible: "pack once per epoch" — every reader then shares
+            # the immutable pack instead of racing a lazy build.
+            epoch.signature_bank().fast_pack()
         epoch.serving_recommenders = {
             "full": epoch.recommender(
                 omega=self._omega,
@@ -218,6 +284,10 @@ class ServingGateway:
         # before the epoch becomes visible — a reader must never pin an
         # epoch that can't serve yet.
         epoch = self._epochs.publish(self._master, prepare=self._build_recommenders)
+        # Invalidate *after* the pointer swap: queries racing the publish
+        # either memoized against the previous epoch (dropped here) or pin
+        # the new epoch (whose results are valid to keep).
+        self._memo.invalidate()
         metrics = get_metrics()
         metrics.set_gauge("repro_serving_epoch_id", epoch.epoch_id)
         metrics.set_gauge("repro_serving_epochs_live", self._epochs.live_count)
@@ -401,6 +471,28 @@ class ServingGateway:
                     if self._omega > 0.0 and epoch.social_store.available:
                         reason = self._social_path(deadline_at, metrics)
                     which = "content" if reason is not None else "full"
+                    omega_served = 0.0 if reason is not None else self._omega
+                    # Memo key: everything that determines the ranking on a
+                    # fixed epoch.  The deadline *class* (not the absolute
+                    # monotonic instant) keys it, so repeated queries with
+                    # the same budget share an entry.
+                    memo_key = (
+                        epoch.epoch_id,
+                        query_id,
+                        int(top_k),
+                        omega_served,
+                        "none" if deadline is None else f"{deadline:g}",
+                    )
+                    cached = self._memo.get(memo_key)
+                    if cached is not None:
+                        metrics.inc("repro_serving_memo_hit_total")
+                        result = cached.copy()
+                        result.epoch_id = epoch.epoch_id
+                        result.epoch = epoch
+                        result.omega_served = omega_served
+                        metrics.inc("repro_serving_queries_total")
+                        return result
+                    metrics.inc("repro_serving_memo_miss_total")
                     recommender: FusionRecommender = epoch.serving_recommenders[which]
                     result = recommender.recommend(
                         query_id, top_k, trace=trace, deadline=deadline_at
@@ -413,10 +505,16 @@ class ServingGateway:
                             reasons=(*result.reasons, reason),
                             scored=result.scored,
                             total=result.total,
+                            scores=getattr(result, "scores", None),
                         )
+                    elif not result.partial and not result.degraded:
+                        # Only clean full-scan rankings are memoized: a
+                        # partial or degraded answer must never shadow the
+                        # real one on the next identical query.
+                        self._memo.put(memo_key, result.copy(), metrics)
                     result.epoch_id = epoch.epoch_id
                     result.epoch = epoch
-                    result.omega_served = 0.0 if reason is not None else self._omega
+                    result.omega_served = omega_served
                     metrics.inc("repro_serving_queries_total")
                     if result.degraded:
                         metrics.inc("repro_serving_degraded_total")
