@@ -1,0 +1,386 @@
+"""Scatter-gather serving cost: the sharded gateway vs the single index.
+
+Builds one synthetic ``N~2k`` community (same shape statistics as the
+``bench_scan_throughput`` scaling sweep), serves the same query list
+through a single-index :class:`~repro.serving.ServingGateway` (the
+oracle baseline) and through a :class:`~repro.sharding.ShardedGateway`
+at ``S = 1, 2, 4, 8`` hash shards, and reports per-S:
+
+* seconds/query and queries/second (best-of-``reps`` with the baseline
+  and every shard count timed back to back each round, so machine-load
+  bursts cancel out of the overhead ratio; memoization is off on both
+  sides so every query pays the full scatter + merge);
+* ``overhead_vs_single`` — the scatter-gather tax relative to the
+  single-index gateway (the acceptance budget is <= 25% at ``S=4``);
+* bitwise parity — merged ids *and* scores must equal the oracle's.
+
+Only the deadline-free sequential scatter is timed: that is the hot
+path (a deadline routes every shard through the legacy chunked scan for
+cutoff support, which would measure the wrong engine).  Per-shard
+placement balance lands in the payload as ``shard_sizes``.
+
+Besides the human-readable table, a full run writes machine-readable
+``BENCH_sharded_scan.json`` at the repo root.  ``--smoke`` runs a tiny
+community (CI sanity; fixed per-query gateway costs dominate at that
+scale, so the 25% budget only applies to full runs); ``--ci``
+additionally fails if ``seconds_per_query`` regresses more than 2x over
+the checked-in ``benchmarks/perf_floor.json``.
+
+Runs standalone (``PYTHONPATH=src python benchmarks/bench_sharded_scan.py
+[--smoke] [--ci]``) or under pytest (``pytest benchmarks/bench_sharded_scan.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from repro.community.models import CommunityDataset
+from repro.core import LiveCommunityIndex, RecommenderConfig
+from repro.core.stores import ContentStore, SocialStore
+from repro.serving import GatewayConfig, ServingGateway
+from repro.sharding import ShardedGateway, ShardedIndex, ShardIndex, make_router
+from repro.signatures.cuboid import CuboidSignature
+from repro.signatures.series import SignatureSeries
+from repro.social.descriptor import SocialDescriptor
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_sharded_scan.json"
+FLOOR_PATH = REPO_ROOT / "benchmarks" / "perf_floor.json"
+
+DEFAULT_VIDEOS = 2000
+DEFAULT_SHARDS = (1, 2, 4, 8)
+DEFAULT_QUERIES = 24
+DEFAULT_REPS = 15
+DEFAULT_SEED = 7
+#: The acceptance budget: scatter-gather tax at S=4 on the N~2k community.
+OVERHEAD_BUDGET_AT_4 = 0.25
+
+
+#: Alternation granularity for :func:`run_bench`'s timing loop — each
+#: cycle times this many consecutive passes per configuration before
+#: moving on (consecutive passes keep a configuration's scratch
+#: workspace and cache working set warm; cycling shares machine-load
+#: drift across configurations so it cancels out of the ratio).
+_PASSES_PER_CYCLE = 3
+
+
+def _time_block(recommend, queries, passes: int) -> float:
+    """Best mean seconds/query over *passes* back-to-back passes."""
+    best = float("inf")
+    for _ in range(max(1, passes)):
+        started = time.perf_counter()
+        for query in queries:
+            recommend(query)
+        best = min(best, (time.perf_counter() - started) / len(queries))
+    return best
+
+
+def synthesize_community(
+    num_videos: int, seed: int = DEFAULT_SEED
+) -> tuple[dict, dict]:
+    """``(series, descriptors)`` with the scaling-sweep shape statistics.
+
+    One generation pass feeds both the oracle and every sharded build,
+    so any ranking divergence is the serving path's fault, never the
+    data's.
+    """
+    rng = np.random.default_rng(seed)
+    num_users = max(60, num_videos // 8)
+    users = [f"u{j:05d}" for j in range(num_users)]
+    series: dict[str, SignatureSeries] = {}
+    descriptors: dict[str, SocialDescriptor] = {}
+    for i in range(num_videos):
+        vid = f"v{i:06d}"
+        sigs = []
+        for _ in range(int(rng.integers(2, 9))):
+            ncub = int(rng.integers(3, 24))
+            sigs.append(
+                CuboidSignature(
+                    values=rng.normal(0.0, 8.0, ncub),
+                    weights=rng.random(ncub) + 0.05,
+                )
+            )
+        series[vid] = SignatureSeries(video_id=vid, signatures=tuple(sigs))
+        fans = rng.choice(num_users, size=int(rng.integers(2, 7)), replace=False)
+        descriptors[vid] = SocialDescriptor.from_users(vid, (users[f] for f in fans))
+    return series, descriptors
+
+
+def _empty_dataset() -> CommunityDataset:
+    return CommunityDataset(records={}, users={}, comments=[], topics=())
+
+
+def build_oracle(series: dict, descriptors: dict, config: RecommenderConfig):
+    content = ContentStore(config, build_lsb=False, build_global_features=False)
+    for vid in sorted(series):
+        content.add_series(vid, series[vid])
+    social = SocialStore(descriptors, k=config.k)
+    return LiveCommunityIndex._from_parts(_empty_dataset(), config, content, social)
+
+
+def build_sharded(
+    series: dict, descriptors: dict, config: RecommenderConfig, shards: int
+) -> ShardedIndex:
+    """Partition the synthetic content across *shards* hash shards.
+
+    Mirrors :meth:`ShardedIndex.build` minus the clip-extraction pass
+    (the synthetic community is born as signature series): content is
+    routed per video, social descriptors replicate to every shard.
+    """
+    router = make_router("hash", shards, config)
+    owned: list[list[str]] = [[] for _ in range(shards)]
+    for vid in sorted(series):
+        owned[router.route(vid)].append(vid)
+    built = []
+    for shard_id in range(shards):
+        content = ContentStore(config, build_lsb=False, build_global_features=False)
+        for vid in owned[shard_id]:
+            content.add_series(vid, series[vid])
+        social = SocialStore(descriptors, k=config.k)
+        shard = ShardIndex._from_parts(_empty_dataset(), config, content, social)
+        shard.shard_id = shard_id
+        shard.num_shards = shards
+        built.append(shard)
+    return ShardedIndex(built, router)
+
+
+def run_bench(
+    num_videos: int = DEFAULT_VIDEOS,
+    shard_counts=DEFAULT_SHARDS,
+    queries: int = DEFAULT_QUERIES,
+    reps: int = DEFAULT_REPS,
+    seed: int = DEFAULT_SEED,
+    top_k: int = 10,
+    json_path: pathlib.Path | None = JSON_PATH,
+) -> dict:
+    """Time the single-index baseline and every sharded configuration."""
+    series, descriptors = synthesize_community(num_videos, seed=seed)
+    config = RecommenderConfig(k=12)
+    gateway_config = GatewayConfig(default_deadline=None, memo_capacity=0)
+
+    stride = max(1, num_videos // max(1, queries))
+    query_ids = sorted(series)[::stride][: max(1, queries)]
+
+    oracle = build_oracle(series, descriptors, config)
+    baseline = ServingGateway(oracle, config=gateway_config)
+    baseline.recommend(query_ids[0], top_k)  # warm epoch artifacts
+    expected = {
+        q: (list(r), list(r.scores))
+        for q in query_ids
+        for r in (baseline.recommend(q, top_k),)
+    }
+
+    built = []
+    for shards in shard_counts:
+        sharded = build_sharded(series, descriptors, config, shards)
+        gateway = ShardedGateway(sharded, config=gateway_config)
+        gateway.recommend(query_ids[0], top_k)  # warm every shard
+        parity = all(
+            (list(r), list(r.scores)) == expected[q]
+            for q in query_ids
+            for r in (gateway.recommend(q, top_k),)
+        )
+        built.append((shards, sharded, gateway, parity))
+
+    # Cycled timing: the budget gates a *ratio*, so the baseline and
+    # every shard count are timed in alternating blocks rather than one
+    # long block each — a machine-load burst then lands on the same
+    # cycle for every configuration and best-of discards it everywhere,
+    # instead of skewing whichever configuration it happened to hit.
+    # Blocks of consecutive passes (not single-pass interleaving) keep
+    # each configuration's scratch workspace and cache set warm.
+    base_spq = float("inf")
+    best = dict.fromkeys((shards for shards, *_ in built), float("inf"))
+    cycles = max(1, -(-reps // _PASSES_PER_CYCLE))  # ceil division
+    try:
+        for _ in range(cycles):
+            base_spq = min(
+                base_spq,
+                _time_block(
+                    lambda q: baseline.recommend(q, top_k),
+                    query_ids,
+                    _PASSES_PER_CYCLE,
+                ),
+            )
+            for shards, _sharded, gateway, _parity in built:
+                best[shards] = min(
+                    best[shards],
+                    _time_block(
+                        lambda q, gw=gateway: gw.recommend(q, top_k),
+                        query_ids,
+                        _PASSES_PER_CYCLE,
+                    ),
+                )
+    finally:
+        for _shards, _sharded, gateway, _parity in built:
+            gateway.close()
+
+    rows = [
+        {
+            "shards": shards,
+            "seconds_per_query": best[shards],
+            "queries_per_second": 1.0 / best[shards],
+            "overhead_vs_single": best[shards] / base_spq - 1.0,
+            "parity": parity,
+            "shard_sizes": sharded.shard_sizes(),
+        }
+        for shards, sharded, _gateway, parity in built
+    ]
+
+    by_shards = {row["shards"]: row for row in rows}
+    payload = {
+        "bench": "sharded_scan",
+        "unix_time": time.time(),
+        "community": {
+            "videos": num_videos,
+            "seed": seed,
+            "queries_timed": len(query_ids),
+            "reps": reps,
+            "top_k": top_k,
+        },
+        "single_seconds_per_query": base_spq,
+        "scaling": rows,
+        "overhead_at_4": (
+            by_shards[4]["overhead_vs_single"] if 4 in by_shards else None
+        ),
+        "overhead_budget_at_4": OVERHEAD_BUDGET_AT_4,
+        "parity": all(row["parity"] for row in rows),
+    }
+    if json_path is not None:
+        with open(json_path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    return payload
+
+
+def format_table(payload: dict) -> str:
+    base = payload["single_seconds_per_query"]
+    lines = [
+        f"single-index gateway: {base * 1e3:.3f} ms/query "
+        f"({1.0 / base:.0f} q/s) over {payload['community']['videos']} videos",
+        "",
+        f"{'shards':>7} {'ms/query':>9} {'q/s':>8} {'overhead':>9} "
+        f"{'parity':>7}  shard sizes",
+        "-" * 60,
+    ]
+    for row in payload["scaling"]:
+        lines.append(
+            f"{row['shards']:>7} {row['seconds_per_query'] * 1e3:>9.3f} "
+            f"{row['queries_per_second']:>8.0f} "
+            f"{row['overhead_vs_single'] * 100:>8.1f}% "
+            f"{str(row['parity']):>7}  {row['shard_sizes']}"
+        )
+    if payload["overhead_at_4"] is not None:
+        lines.append(
+            f"\nscatter-gather overhead at S=4: "
+            f"{payload['overhead_at_4'] * 100:.1f}% "
+            f"(budget {payload['overhead_budget_at_4'] * 100:.0f}%)"
+        )
+    return "\n".join(lines)
+
+
+def check_floor(payload: dict, floor_path: pathlib.Path = FLOOR_PATH) -> list[str]:
+    """Regression check against the checked-in floor (``--ci``)."""
+    floors = json.loads(floor_path.read_text())["floors"]
+    by_shards = {row["shards"]: row for row in payload["scaling"]}
+    observed = {
+        f"sharded_s{shards}_seconds_per_query": row["seconds_per_query"]
+        for shards, row in by_shards.items()
+    }
+    observed["sharded_single_seconds_per_query"] = payload[
+        "single_seconds_per_query"
+    ]
+    violations = []
+    for name, floor in floors.items():
+        value = observed.get(name)
+        if value is not None and value > 2.0 * floor:
+            violations.append(
+                f"{name}: {value:.6f}s is more than 2x the floor {floor:.6f}s"
+            )
+    return violations
+
+
+def test_sharded_scan(report):
+    # Reduced scale under pytest: parity is the contract at every scale;
+    # the 25% overhead budget only binds at the full N~2k size (fixed
+    # per-query gateway costs dominate tiny communities).
+    payload = run_bench(
+        num_videos=300, shard_counts=(1, 2, 4), queries=8, reps=2, json_path=None
+    )
+    report(format_table(payload), engine="batch")
+    assert payload["parity"]
+    assert all(
+        sum(row["shard_sizes"]) == payload["community"]["videos"]
+        for row in payload["scaling"]
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--videos", type=int, default=DEFAULT_VIDEOS)
+    parser.add_argument(
+        "--shards",
+        type=lambda text: tuple(int(part) for part in text.split(",")),
+        default=DEFAULT_SHARDS,
+        help="comma-separated shard counts to sweep (default 1,2,4,8)",
+    )
+    parser.add_argument("--queries", type=int, default=DEFAULT_QUERIES)
+    parser.add_argument("--reps", type=int, default=DEFAULT_REPS)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--json", type=pathlib.Path, default=None,
+        help="write the payload JSON here (default: repo-root BENCH file "
+        "on full runs, nowhere on --smoke)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny community — CI sanity run (parity + floor, no budget)",
+    )
+    parser.add_argument(
+        "--ci",
+        action="store_true",
+        help="fail if seconds_per_query regresses >2x over benchmarks/perf_floor.json",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        payload = run_bench(
+            num_videos=300,
+            shard_counts=(1, 2, 4),
+            queries=8,
+            reps=2,
+            json_path=args.json,
+        )
+    else:
+        payload = run_bench(
+            num_videos=args.videos,
+            shard_counts=args.shards,
+            queries=args.queries,
+            reps=args.reps,
+            seed=args.seed,
+            json_path=args.json or JSON_PATH,
+        )
+    print(format_table(payload))
+    if not payload["parity"]:
+        raise SystemExit("sharded rankings diverged from the single-index oracle")
+    if not args.smoke and payload["overhead_at_4"] is not None:
+        if payload["overhead_at_4"] > OVERHEAD_BUDGET_AT_4:
+            raise SystemExit(
+                f"scatter-gather overhead at S=4 is "
+                f"{payload['overhead_at_4'] * 100:.1f}% "
+                f"(budget {OVERHEAD_BUDGET_AT_4 * 100:.0f}%)"
+            )
+    if args.ci:
+        violations = check_floor(payload)
+        if violations:
+            raise SystemExit("perf floor regression:\n  " + "\n  ".join(violations))
+        print("perf floor check: ok")
+
+
+if __name__ == "__main__":
+    main()

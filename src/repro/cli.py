@@ -5,20 +5,29 @@ registered so offline legacy installs stay trivial).  Subcommands:
 
 * ``generate``  — create a synthetic sharing community and save it;
 * ``index``     — build a CommunityIndex over a saved dataset and save it;
+  ``--shards S`` instead partitions the catalogue across S shards
+  (``--router hash|zorder``) and writes a sharded deployment directory;
 * ``recommend`` — top-K recommendations for a clicked video;
 * ``ingest``    — apply live updates (add/retire videos, comment batches)
   to a saved index and save the result; ``--wal`` journals every mutation
-  to a write-ahead log first, so a crash mid-session loses nothing;
+  to a write-ahead log first, so a crash mid-session loses nothing.
+  Pointed at a sharded deployment directory (or with ``--shards``),
+  mutations route through the shard facade and log to the per-shard WALs;
 * ``recover``   — rebuild an index from a snapshot plus its WAL and save
-  the repaired checkpoint;
+  the repaired checkpoint; ``--shards`` recovers a whole sharded
+  deployment (every shard replays its own WAL, in parallel);
 * ``explain``   — the evidence behind one (query, candidate) pair;
 * ``evaluate``  — AR/AC/MAP of a chosen method over the Table-2 workload;
 * ``stats``     — run sample queries and print the metrics snapshot
-  (Prometheus text exposition or JSON) plus index-level gauges;
+  (Prometheus text exposition or JSON) plus index-level gauges; on a
+  sharded deployment the snapshot carries the per-shard breakdown
+  (``repro_shard_videos{shard=...}`` et al.);
 * ``faults``    — list the registered crash points and injectable fault
   classes (the durability + serving injection matrix);
 * ``serve-soak`` — run the seeded chaos soak (concurrent writers vs
-  readers over the serving gateway) and report its invariants.
+  readers over the serving gateway) and report its invariants;
+  ``--shards S`` soaks the scatter-gather gateway instead (writer skew,
+  one-shard fault bursts, per-shard breakers).
 
 ``recommend --deadline-ms`` bounds one query's candidate scan; an expired
 deadline exits 0 with the best-effort partial ranking and a stderr note.
@@ -65,6 +74,19 @@ def build_parser() -> argparse.ArgumentParser:
     index.add_argument("--omega", type=float, default=0.7, help="fusion weight")
     index.add_argument("--k", type=int, default=60, help="number of sub-communities")
     index.add_argument("--no-lsb", action="store_true", help="skip the LSB content index")
+    index.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition the catalogue across this many shards and write a "
+        "sharded deployment directory instead of one index file",
+    )
+    index.add_argument(
+        "--router",
+        choices=("hash", "zorder"),
+        default="hash",
+        help="shard placement: video-id hash (default) or Z-order key range",
+    )
 
     recommend = commands.add_parser("recommend", help="recommend for a clicked video")
     recommend.add_argument("index", help="index file from `index`")
@@ -112,6 +134,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_soak.add_argument("--seed", type=int, default=2015)
     serve_soak.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="soak a sharded scatter-gather gateway over this many shards "
+        "(writer skew, one-shard fault bursts, per-shard breakers)",
+    )
+    serve_soak.add_argument(
+        "--router",
+        choices=("hash", "zorder"),
+        default="hash",
+        help="shard placement for --shards > 1",
+    )
+    serve_soak.add_argument(
         "--no-verify",
         action="store_true",
         help="skip the post-hoc serial-oracle parity verification",
@@ -151,15 +186,40 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument(
         "--wal",
         help="append every mutation to this write-ahead log before applying "
-        "it (crash mid-ingest -> `recover` rebuilds the exact state)",
+        "it (crash mid-ingest -> `recover` rebuilds the exact state); "
+        "sharded deployments log to their per-shard WALs instead",
+    )
+    ingest.add_argument(
+        "--shards",
+        action="store_true",
+        help="treat INDEX and OUTPUT as sharded deployment directories "
+        "(auto-detected when INDEX holds a deployment manifest)",
     )
 
     recover = commands.add_parser(
         "recover", help="rebuild an index from a snapshot plus its WAL"
     )
-    recover.add_argument("snapshot", help="last good index snapshot")
-    recover.add_argument("wal", help="write-ahead log (may be missing or torn)")
-    recover.add_argument("output", help="output path for the recovered index")
+    recover.add_argument(
+        "snapshot",
+        help="last good index snapshot, or (with --shards) the sharded "
+        "deployment directory",
+    )
+    recover.add_argument(
+        "wal",
+        help="write-ahead log (may be missing or torn), or (with --shards) "
+        "the output deployment directory",
+    )
+    recover.add_argument(
+        "output",
+        nargs="?",
+        help="output path for the recovered index (omit with --shards)",
+    )
+    recover.add_argument(
+        "--shards",
+        action="store_true",
+        help="recover a whole sharded deployment: every shard loads its "
+        "snapshot and replays its own WAL, in parallel",
+    )
 
     explain = commands.add_parser("explain", help="explain one recommendation")
     explain.add_argument("index", help="index file from `index`")
@@ -249,6 +309,23 @@ def _cmd_index(args) -> int:
 
     dataset = load_dataset(args.dataset)
     config = RecommenderConfig(omega=args.omega, k=args.k)
+    if args.shards > 1:
+        from repro.sharding import ShardedIndex, save_shards
+
+        sharded = ShardedIndex.build(
+            dataset,
+            config,
+            args.shards,
+            router=args.router,
+            build_lsb=not args.no_lsb,
+        )
+        save_shards(sharded, args.output)
+        sizes = sharded.shard_sizes()
+        print(
+            f"indexed {sum(sizes)} videos across {args.shards} "
+            f"{args.router} shards {sizes} -> {args.output}"
+        )
+        return 0
     index = CommunityIndex(dataset, config, build_lsb=not args.no_lsb)
     save_index(index, args.output)
     print(
@@ -320,9 +397,93 @@ def _cmd_recommend(args) -> int:
     return 0
 
 
+def _cmd_ingest_sharded(args) -> int:
+    """Apply live updates to a sharded deployment directory.
+
+    The deployment is recovered (snapshot + per-shard WAL replay), the
+    mutations route through the :class:`~repro.sharding.ShardedIndex`
+    facade — content to its owner shard, social state everywhere — with
+    every mutation logged to the owning shard's WAL, and the result is
+    checkpointed to the output deployment.
+    """
+    from repro.io import load_dataset
+    from repro.sharding import attach_wals, recover_shards, save_shards
+
+    if args.wal:
+        print(
+            "error: --wal applies to single-index files; a sharded "
+            "deployment logs to its per-shard WALs",
+            file=sys.stderr,
+        )
+        return 2
+    sharded = recover_shards(args.index)
+    wals = attach_wals(sharded, args.index)
+    added = retired = applied = 0
+    add_ids = [vid for vid in args.add.split(",") if vid]
+    if add_ids and not args.add_from:
+        print("error: --add requires --add-from DATASET", file=sys.stderr)
+        return 2
+    try:
+        if add_ids:
+            source = load_dataset(args.add_from)
+            for video_id in add_ids:
+                if video_id not in source.records:
+                    print(
+                        f"error: unknown video {video_id!r} in {args.add_from}",
+                        file=sys.stderr,
+                    )
+                    return 2
+                history = [
+                    c for c in source.comments if c.video_id == video_id
+                ]
+                for shard in sharded.shards:
+                    shard.add_comment_history(history)
+                sharded.ingest_video(source.records[video_id])
+                added += 1
+        for video_id in (vid for vid in args.retire.split(",") if vid):
+            sharded.retire_video(video_id)
+            retired += 1
+        if args.apply_months:
+            first, _, last = args.apply_months.partition("-")
+            first, last = int(first), int(last or first)
+            indexed = set(sharded.video_ids)
+            pairs = [
+                (c.user_id, c.video_id)
+                for c in sharded.shards[0].dataset.comments
+                if first <= c.month <= last and c.video_id in indexed
+            ]
+            sharded.apply_comments(pairs, incremental=args.incremental)
+            sharded.advance_watermark(last)
+            applied = len(pairs)
+    except (KeyError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    finally:
+        for wal in wals:
+            wal.close()
+    save_shards(sharded, args.output)
+    sizes = sharded.shard_sizes()
+    seqs = [shard.wal_seq for shard in sharded.shards]
+    print(
+        f"ingested {added}, retired {retired}, applied {applied} comments -> "
+        f"{args.output} ({sum(sizes)} videos across {sharded.num_shards} "
+        f"shards {sizes}, wal seqs {seqs})"
+    )
+    return 0
+
+
 def _cmd_ingest(args) -> int:
     from repro.io import WriteAheadLog, load_dataset, load_index, save_index
+    from repro.sharding import is_sharded_deployment
 
+    if args.shards or is_sharded_deployment(args.index):
+        if not is_sharded_deployment(args.index):
+            print(
+                f"error: {args.index!r} is not a sharded deployment directory",
+                file=sys.stderr,
+            )
+            return 2
+        return _cmd_ingest_sharded(args)
     index = load_index(args.index)
     wal = None
     if args.wal:
@@ -383,6 +544,39 @@ def _cmd_ingest(args) -> int:
 def _cmd_recover(args) -> int:
     from repro.io import recover, save_index
 
+    if args.shards:
+        if args.output is not None:
+            print(
+                "error: --shards takes DEPLOYMENT and OUTPUT directories "
+                "only (omit the third argument)",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.sharding import recover_shards, save_shards
+
+        sharded = recover_shards(args.snapshot)
+        save_shards(sharded, args.wal)
+        for shard in sharded.shards:
+            info = shard.recovery
+            ops = (
+                ", ".join(f"{op} x{n}" for op, n in sorted(info.ops.items()))
+                or "none"
+            )
+            torn = ", torn tail dropped" if info.torn_tail else ""
+            print(
+                f"shard {shard.shard_id}: {len(shard.content.series)} videos "
+                f"(replayed {info.replayed}, skipped {info.skipped}{torn}; "
+                f"ops: {ops})"
+            )
+        sizes = sharded.shard_sizes()
+        print(
+            f"recovered {sum(sizes)} videos across {sharded.num_shards} "
+            f"shards -> {args.wal}"
+        )
+        return 0
+    if args.output is None:
+        print("error: recover SNAPSHOT WAL OUTPUT", file=sys.stderr)
+        return 2
     index = recover(args.snapshot, args.wal)
     info = index.recovery
     save_index(index, args.output)
@@ -437,12 +631,68 @@ def _cmd_evaluate(args) -> int:
     return 0
 
 
+def _cmd_stats_sharded(args) -> int:
+    """Metrics snapshot of a sharded deployment: per-shard breakdown.
+
+    Sample queries run through the scatter-gather gateway, so the
+    snapshot carries the ``repro_sharded_*`` serving counters plus the
+    per-shard ``repro_shard_epoch_id`` / ``repro_shard_videos`` gauges;
+    index-level gauges get a ``repro_shard_wal_seq{shard=...}`` family
+    on top.
+    """
+    import json
+
+    from repro.obs import MetricsRegistry, use_metrics
+    from repro.sharding import ShardedGateway, recover_shards
+
+    sharded = recover_shards(args.index)
+    registry = MetricsRegistry()
+    with use_metrics(registry):
+        if args.queries > 0:
+            gateway = ShardedGateway(sharded)
+            try:
+                # Two identical passes, like --serving: miss then hit
+                # the scatter memo.
+                for _ in range(2):
+                    for video_id in sharded.video_ids[: args.queries]:
+                        gateway.recommend(video_id, args.top_k)
+            finally:
+                gateway.close()
+    registry.set_gauge("repro_index_videos", len(sharded.video_ids))
+    registry.set_gauge("repro_index_shards", sharded.num_shards)
+    registry.set_gauge(
+        "repro_index_subcommunities", sharded.shards[0].social_store.k
+    )
+    for shard in sharded.shards:
+        label = str(shard.shard_id)
+        registry.set_gauge(
+            "repro_shard_videos", len(shard.content.series), shard=label
+        )
+        registry.set_gauge("repro_shard_wal_seq", shard.wal_seq, shard=label)
+        registry.set_gauge(
+            "repro_shard_watermark_month", shard.up_to_month, shard=label
+        )
+    snapshot = registry.snapshot()
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.format == "json":
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        print(registry.to_prometheus(), end="")
+    return 0
+
+
 def _cmd_stats(args) -> int:
     import json
 
     from repro.io import load_index
     from repro.obs import MetricsRegistry, use_metrics
+    from repro.sharding import is_sharded_deployment
 
+    if is_sharded_deployment(args.index):
+        return _cmd_stats_sharded(args)
     index = load_index(args.index)
     registry = MetricsRegistry()
     with use_metrics(registry):
@@ -538,6 +788,8 @@ def _cmd_serve_soak(args) -> int:
             readers=args.readers,
             queries=args.queries,
             seed=args.seed,
+            shards=args.shards,
+            router=args.router,
             verify=not args.no_verify,
         )
     )
@@ -557,6 +809,18 @@ def _cmd_serve_soak(args) -> int:
         f"retired / {report.epochs_live} live; breaker transitions "
         f"{len(report.breaker_transitions)}"
     )
+    if report.shard_sizes:
+        per_shard = ", ".join(
+            f"shard {i}: {size} videos / {len(transitions)} breaker "
+            "transitions"
+            for i, (size, transitions) in enumerate(
+                zip(report.shard_sizes, report.shard_breaker_transitions)
+            )
+        )
+        print(
+            f"{len(report.shard_sizes)} shards ({per_shard}); "
+            f"{report.queries_memoized} memoized"
+        )
     if report.latencies_ms:
         print(
             f"latency p50 {report.latencies_ms['p50']:.2f} ms, "

@@ -421,8 +421,7 @@ class LiveCommunityIndex(CommunityIndex):
         """
         pairs = list(comments)
         for _, video_id in pairs:
-            if video_id not in self.content.series:
-                raise KeyError(f"unknown video {video_id!r}")
+            self._validate_comment_target(video_id)
         metrics = get_metrics()
         with metrics.time("repro_comments_seconds"):
             if self._wal is not None:
@@ -431,6 +430,17 @@ class LiveCommunityIndex(CommunityIndex):
         metrics.inc("repro_comment_batches_total")
         metrics.inc("repro_comment_pairs_total", len(pairs))
         return stats
+
+    def _validate_comment_target(self, video_id: str) -> None:
+        """Reject comments for videos this index knows nothing about.
+
+        The base index owns all content, so "indexed" means "in the
+        content store"; a shard overrides this to validate against its
+        replicated social descriptors (comments apply to every shard,
+        including non-owners of the video).
+        """
+        if video_id not in self.content.series:
+            raise KeyError(f"unknown video {video_id!r}")
 
     def advance_watermark(self, month: int) -> int:
         """Advance the social comment watermark (WAL-logged, monotonic)."""

@@ -50,7 +50,7 @@ import numpy as np
 from repro.core.fusion import fuse_fj
 from repro.core.pipeline import CommunityIndex
 from repro.emd.one_dim import get_workspace
-from repro.measures.content import kappa_j
+from repro.measures.content import _segment_integrals, kappa_j
 from repro.measures.sequence import dtw_similarity, erp_similarity
 from repro.obs import NULL_TRACE, MetricsRegistry, get_metrics
 from repro.signatures.series import SignatureSeries
@@ -405,9 +405,10 @@ class FusionRecommender:
     # Scalar engine: per-pair calls with hoisted query-side work
     # ------------------------------------------------------------------
     def _content_scores_scalar(
-        self, query_id: str, candidates: list[str]
+        self, query_id: str, candidates: list[str], query_series=None
     ) -> np.ndarray:
-        query_series = self.index.series[query_id]
+        if query_series is None:
+            query_series = self.index.series[query_id]
         return np.array(
             [
                 self._content(query_series, self.index.series[candidate_id])
@@ -417,11 +418,14 @@ class FusionRecommender:
         )
 
     def _social_scores_scalar(
-        self, query_id: str, candidates: list[str]
+        self, query_id: str, candidates: list[str], query_vector=None
     ) -> np.ndarray:
         # The query-side descriptor work — including SAR vectorization —
         # happens once per query, not once per candidate; the per-candidate
-        # cost (the quantity Figure 12(a) measures) is untouched.
+        # cost (the quantity Figure 12(a) measures) is untouched.  A
+        # *query_vector* bypasses the query-side vectorization entirely
+        # (sharded scatter passes the owner shard's precomputed row, which
+        # a non-owner's row-backed epoch vectorizer could not produce).
         query_descriptor = self.index.descriptor(query_id)
         if self.social_mode == "exact":
             one = lambda vid: jaccard(query_descriptor, self.index.descriptor(vid))
@@ -431,7 +435,8 @@ class FusionRecommender:
             vectorizer = (
                 self.index.sar if self.social_mode == "sar" else self.index.sar_h
             )
-            query_vector = vectorizer.vectorize(query_descriptor)
+            if query_vector is None:
+                query_vector = vectorizer.vectorize(query_descriptor)
             one = lambda vid: approx_jaccard(
                 query_vector, vectorizer.vectorize(self.index.descriptor(vid))
             )
@@ -454,13 +459,20 @@ class FusionRecommender:
         return self._pool
 
     def _content_scores_batch(
-        self, query_id: str, candidates: list[str], dtype: str | None = None
+        self,
+        query_id: str,
+        candidates: list[str],
+        dtype: str | None = None,
+        query_series=None,
     ) -> np.ndarray:
-        query_series = self.index.series[query_id]
+        if query_series is None:
+            query_series = self.index.series[query_id]
         if self.content_measure_name != "kj":
             # ERP/DTW are order-sensitive sequence alignments with no
             # array-level one-vs-many form; they stay per-pair.
-            return self._content_scores_scalar(query_id, candidates)
+            return self._content_scores_scalar(
+                query_id, candidates, query_series=query_series
+            )
         dtype = self.scan_dtype if dtype is None else dtype
         bank = self.index.signature_bank()
         threshold = self.index.config.match_threshold
@@ -488,15 +500,15 @@ class FusionRecommender:
         return bank.kappa_j_scores(query_series, candidates, threshold, dtype=dtype)
 
     def _social_scores_batch(
-        self, query_id: str, candidates: list[str]
+        self, query_id: str, candidates: list[str], query_vector=None
     ) -> np.ndarray:
-        query_descriptor = self.index.descriptor(query_id)
         if self.social_mode in ("exact", "naive"):
             # Set-based Jaccard has no histogram matrix to batch over; the
             # scalar path (with hoisted query descriptor) is already it.
             return self._social_scores_scalar(query_id, candidates)
         vectorizer = self.index.sar if self.social_mode == "sar" else self.index.sar_h
-        query_vector = vectorizer.vectorize(query_descriptor)
+        if query_vector is None:
+            query_vector = vectorizer.vectorize(self.index.descriptor(query_id))
         if self.precomputed:
             # Rows of the materialized matrix follow the sorted video_ids
             # order; searchsorted maps any candidate subset (the full scan
@@ -530,6 +542,8 @@ class FusionRecommender:
         trace=NULL_TRACE,
         metrics: MetricsRegistry = _NO_METRICS,
         dtype: str | None = None,
+        query_series=None,
+        query_vector=None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """``(content, social)`` score arrays for *candidates*, clipped to 1.
 
@@ -539,15 +553,27 @@ class FusionRecommender:
         *metrics* (both default to no-op sinks).  *dtype* overrides the
         configured ``scan_dtype`` for the content kernel (batch engine
         only; the scalar engine is float64 by construction).
+        *query_series* / *query_vector* carry a guest query's signature
+        series and precomputed SAR vector — the sharded scatter path,
+        where the query video is indexed on another shard.
         """
         zeros = np.zeros(len(candidates), dtype=np.float64)
         if not candidates:
             return zeros, zeros
         if self.engine == "batch":
-            content_of = lambda q, c: self._content_scores_batch(q, c, dtype=dtype)
-            social_of = self._social_scores_batch
+            content_of = lambda q, c: self._content_scores_batch(
+                q, c, dtype=dtype, query_series=query_series
+            )
+            social_of = lambda q, c: self._social_scores_batch(
+                q, c, query_vector=query_vector
+            )
         else:
-            content_of, social_of = self._content_scores_scalar, self._social_scores_scalar
+            content_of = lambda q, c: self._content_scores_scalar(
+                q, c, query_series=query_series
+            )
+            social_of = lambda q, c: self._social_scores_scalar(
+                q, c, query_vector=query_vector
+            )
         if omega < 1.0:
             with _stage(trace, metrics, "content_scores"):
                 content = content_of(query_id, candidates)
@@ -604,7 +630,15 @@ class FusionRecommender:
         }
 
     def recommend(
-        self, query_id: str, top_k: int = 10, trace=None, deadline: float | None = None
+        self,
+        query_id: str,
+        top_k: int = 10,
+        trace=None,
+        deadline: float | None = None,
+        query_series=None,
+        query_vector=None,
+        query_pack=None,
+        initial_threshold: float | None = None,
     ) -> "Recommendations":
         """Rank every other video by FJ and return the best *top_k* ids.
 
@@ -631,10 +665,15 @@ class FusionRecommender:
         into the process-wide :func:`~repro.obs.get_metrics` registry
         (query/stage latency histograms, served/degraded/partial
         counters) unless that registry is disabled.
+
+        A **guest query** — one indexed elsewhere, as in the sharded
+        scatter path — passes its signature series as *query_series* (and,
+        for the precomputed SAR modes on epoch views, its SAR vector as
+        *query_vector*); every indexed video then counts as a candidate.
         """
         if top_k < 1:
             raise ValueError(f"top_k must be >= 1, got {top_k}")
-        if query_id not in self.index.series:
+        if query_series is None and query_id not in self.index.series:
             raise KeyError(f"unknown video {query_id!r}")
         metrics = get_metrics()
         if trace is None:
@@ -653,21 +692,36 @@ class FusionRecommender:
             with _stage(trace, metrics, "candidates"):
                 reasons = self._degradation_reasons()
                 omega = 0.0 if reasons else self.omega
-                fast = cutoff is None and self._fast_scan_applicable(omega)
+                fast = (
+                    cutoff is None
+                    and bool(self.index.video_ids)
+                    and self._fast_scan_applicable(omega)
+                )
                 if fast:
                     bank = self.index.signature_bank()
                     pack = bank.fast_pack()
                     query_pos = pack.index_of.get(query_id)
-                    fast = query_pos is not None and len(pack.ids) == len(
-                        self.index.video_ids
-                    )
+                    fast = (
+                        query_pos is not None or query_series is not None
+                    ) and len(pack.ids) == len(self.index.video_ids)
                 if not fast:
                     candidates = [
                         vid for vid in self.index.video_ids if vid != query_id
                     ]
             if fast:
                 ranked, ranked_scores, scanned, total = self._scan_pruned(
-                    query_id, query_pos, bank, pack, omega, top_k, trace, metrics
+                    query_id,
+                    query_pos,
+                    bank,
+                    pack,
+                    omega,
+                    top_k,
+                    trace,
+                    metrics,
+                    query_series=query_series,
+                    query_vector=query_vector,
+                    query_pack=query_pack,
+                    initial_threshold=initial_threshold,
                 )
                 results = Recommendations(
                     ranked,
@@ -689,7 +743,13 @@ class FusionRecommender:
             if cutoff is None:
                 scored = candidates
                 content, social = self._score_arrays(
-                    query_id, candidates, omega, trace=trace, metrics=metrics
+                    query_id,
+                    candidates,
+                    omega,
+                    trace=trace,
+                    metrics=metrics,
+                    query_series=query_series,
+                    query_vector=query_vector,
                 )
             else:
                 scored = []
@@ -698,7 +758,13 @@ class FusionRecommender:
                 for start in range(0, total, _BUDGET_CHUNK):
                     chunk = candidates[start : start + _BUDGET_CHUNK]
                     chunk_content, chunk_social = self._score_arrays(
-                        query_id, chunk, omega, trace=trace, metrics=metrics
+                        query_id,
+                        chunk,
+                        omega,
+                        trace=trace,
+                        metrics=metrics,
+                        query_series=query_series,
+                        query_vector=query_vector,
                     )
                     content_parts.append(chunk_content)
                     social_parts.append(chunk_social)
@@ -771,7 +837,19 @@ class FusionRecommender:
         return True
 
     def _scan_pruned(
-        self, query_id, query_pos, bank, pack, omega, top_k, trace, metrics
+        self,
+        query_id,
+        query_pos,
+        bank,
+        pack,
+        omega,
+        top_k,
+        trace,
+        metrics,
+        query_series=None,
+        query_vector=None,
+        query_pack=None,
+        initial_threshold=None,
     ):
         """Bound-ordered top-k scan over pack positions.
 
@@ -786,24 +864,62 @@ class FusionRecommender:
 
         Returns ``(ranked ids, their fused scores, candidates actually
         scored, total candidates)``.
+
+        ``query_pos=None`` marks a guest query (indexed on another shard):
+        every pack position is a candidate, the query-side keys come from
+        :meth:`~repro.measures.content.SignatureFastPack.pack_query` over
+        *query_series*, and the social term uses *query_vector*.  A
+        scatter path that already packed the query against the pinned
+        layout passes ``(keys, values, weights, seg_integrals)`` as
+        *query_pack* — pack output depends only on the query and the
+        pinned offset (and the integrals only on the pinned grid), so
+        the whole tuple is shard-independent and safe to share.
+
+        *initial_threshold* seeds the pruning threshold with a fused
+        score known to be attainable elsewhere (the scatter-gather's
+        running merged k-th best).  Candidates whose upper bound falls
+        strictly below it can never enter the **merged** top-k, so the
+        qualifying prefix starts trimmed; boundary ties (bound ==
+        threshold) are kept and scored, exactly like the in-scan
+        threshold, which preserves bitwise merged parity.
         """
         index = self.index
         n = len(pack.ids)
-        positions = np.empty(n - 1, dtype=np.int64) if n else np.empty(0, np.int64)
-        positions[:query_pos] = np.arange(query_pos)
-        positions[query_pos:] = np.arange(query_pos + 1, n)
+        if query_pos is None:
+            positions = np.arange(n, dtype=np.int64)
+        else:
+            positions = np.empty(n - 1, dtype=np.int64) if n else np.empty(0, np.int64)
+            positions[:query_pos] = np.arange(query_pos)
+            positions[query_pos:] = np.arange(query_pos + 1, n)
         m = positions.size
         if m == 0:
             return [], [], 0, 0
 
         if omega > 0.0:
             with _stage(trace, metrics, "social_scores"):
-                # The query is itself an indexed video, so its SAR vector
-                # is a row of the precomputed matrix (rows follow pack
-                # position order, as the candidate gather relies on) — no
-                # per-query descriptor vectorization.
+                # An indexed query's SAR vector is a row of the
+                # precomputed matrix (rows follow pack position order, as
+                # the candidate gather relies on) — no per-query
+                # descriptor vectorization.  A guest query brings its
+                # vector along (or, on live indexes, vectorizes its
+                # replicated descriptor).
                 matrix = index.sar_matrix(self.social_mode)
-                social = approx_jaccard_batch(matrix[query_pos], matrix[positions])
+                if query_pos is not None:
+                    qvec = matrix[query_pos]
+                elif query_vector is not None:
+                    qvec = query_vector
+                else:
+                    vectorizer = (
+                        index.sar if self.social_mode == "sar" else index.sar_h
+                    )
+                    qvec = vectorizer.vectorize(index.descriptor(query_id))
+                if query_pos is None:
+                    # Guest candidates are every pack position in order:
+                    # the gather would copy the whole SAR matrix.
+                    cand_rows = matrix
+                else:
+                    cand_rows = matrix[positions]
+                social = approx_jaccard_batch(qvec, cand_rows)
                 np.minimum(social, 1.0, out=social)
         else:
             social = np.zeros(m, dtype=np.float64)
@@ -824,15 +940,23 @@ class FusionRecommender:
                 ranked, ranked_scores = _rank_top(np.arange(m), fused)
             return ranked, ranked_scores, m, m
 
-        series = index.series[query_id]
+        series = query_series if query_series is not None else index.series[query_id]
         threshold = index.config.match_threshold
         with _stage(trace, metrics, "content_scores"):
             counts = pack.counts[positions]
             n1 = len(series)
-            # The query is an indexed video, so its sorted/normalised/
-            # key-encoded rows and its bound integrals are pack slices —
-            # no per-query packing work at all.
-            query_keys, query_rows = pack.query_keys_at(query_pos)
+            # An indexed query's sorted/normalised/key-encoded rows and
+            # its bound integrals are pack slices — no per-query packing
+            # work at all.  A guest query packs once against the same
+            # offset, so its keys (and therefore its scores) are bitwise
+            # what they would be if it were indexed here.
+            shared_integrals = None
+            if query_pos is not None:
+                query_keys, query_rows = pack.query_keys_at(query_pos)
+            elif query_pack is not None:
+                query_keys, q_values, q_weights, shared_integrals = query_pack
+            else:
+                query_keys, q_values, q_weights = pack.pack_query(series)
             if self.prune:
                 # κJ cap per candidate from the segment-CDF EMD lower
                 # bound (DESIGN §12).  For any grid segmentation,
@@ -844,7 +968,19 @@ class FusionRecommender:
                 # partner, n2), matched SimC total <= min(Σ_i
                 # best-ceiling_i, M), and κJ = total/union <=
                 # total_cap / (n1 + n2 - M).
-                query_integrals = pack.seg_integrals[query_rows]
+                if query_pos is not None:
+                    query_integrals = pack.seg_integrals[query_rows]
+                elif shared_integrals is not None:
+                    # Scatter-shared integrals: valid because the sharded
+                    # coordinator pins one grid across every shard.
+                    query_integrals = shared_integrals
+                else:
+                    # Guest queries derive their segment integrals on the
+                    # pack's own grid — the bound inequality holds for
+                    # any grid, so pruning stays sound.
+                    query_integrals = _segment_integrals(
+                        q_values, q_weights, grid=pack.grid
+                    )[1]
                 seg = pack.seg_integrals
                 segments = seg.shape[1]
                 workspace = get_workspace()
@@ -926,11 +1062,24 @@ class FusionRecommender:
             limit = m
             if bounds is not None:
                 descending = -bounds[order]
+                if initial_threshold is not None:
+                    # A fused score this good already exists elsewhere in
+                    # the scatter: start from its qualifying prefix.
+                    limit = int(
+                        np.searchsorted(
+                            descending, -float(initial_threshold), side="right"
+                        )
+                    )
             # The first block is sized so the typical query's qualifying
             # prefix (~2-3x top_k in practice) fits in ONE kernel call —
             # a handful of extra vectorized EMD rows cost far less than a
             # second block's worth of gather/kernel/greedy dispatch.
             block = max(32, 2 * top_k)
+            if initial_threshold is not None and bounds is not None:
+                # A seeded scan already knows its qualifying prefix; one
+                # kernel call over it beats doubling blocks whose fixed
+                # dispatch cost dominates at trimmed sizes.
+                block = max(block, min(limit, 256))
             while scanned < limit:
                 selection = order[scanned : min(scanned + block, limit)]
                 content = content_block(positions[selection])
@@ -944,6 +1093,8 @@ class FusionRecommender:
                     kth = np.partition(scores[:scanned], scanned - top_k)[
                         scanned - top_k
                     ]
+                    if initial_threshold is not None and initial_threshold > kth:
+                        kth = float(initial_threshold)
                     # bounds[order] descends, so bisection finds the
                     # qualifying prefix (bound >= kth; boundary ties are
                     # kept and scored) — nothing past it can displace the

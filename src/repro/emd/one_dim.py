@@ -314,6 +314,14 @@ EMD_KEY_WEIGHT_SIGN = np.int64(0x80000000)
 #: reused on every kernel call so block scoring never reallocates them.
 _tri_cache: dict[int, np.ndarray] = {}
 
+#: Fixed sgemm M so every CDF matmul hits the same BLAS kernel (and the
+#: same summation order) regardless of how many pairs a batch carries —
+#: the load-bearing half of the fast path's bit-reproducibility.  sgemm
+#: throughput at these widths is flat from M=64 up (measured ~65 GFLOPS
+#: either way), so 256 keeps the zero-pad waste of tiny trimmed blocks
+#: at ~18us while costing large batches nothing.
+_GEMM_CHUNK = 256
+
 
 def pack_emd_keys(
     values: np.ndarray,
@@ -419,7 +427,31 @@ def emd_1d_sorted_keys_many_vs_many(
         tri = np.triu(np.ones((total, total - 1), dtype=np.float32))
         _tri_cache[total] = tri
     gap = workspace.get("gap", (pairs, total - 1), np.float32)
-    np.matmul(signed, tri, out=gap)
+    # The CDF sgemm runs in fixed-M chunks (last chunk zero-padded up to
+    # the full chunk) so BLAS always sees the identical (M, K, N) shape:
+    # kernel selection and the multithreading cutover both key on the
+    # matrix size, and a different micro-kernel reorders the K summation
+    # enough to flip low float32 bits.  With the shape pinned, a row's
+    # result depends only on the row — the pruned scan's blocks, the
+    # sharded scatter's trimmed blocks and the exhaustive oracle all
+    # produce bit-identical EMDs for the same (query, candidate) pair.
+    for start in range(0, pairs - (pairs % _GEMM_CHUNK), _GEMM_CHUNK):
+        np.matmul(
+            signed[start : start + _GEMM_CHUNK],
+            tri,
+            out=gap[start : start + _GEMM_CHUNK],
+        )
+    remainder = pairs % _GEMM_CHUNK
+    if remainder:
+        start = pairs - remainder
+        pad_in = workspace.get("gemm_pad_in", (_GEMM_CHUNK, total), np.float32)
+        pad_out = workspace.get(
+            "gemm_pad_out", (_GEMM_CHUNK, total - 1), np.float32
+        )
+        pad_in[:remainder] = signed[start:pairs]
+        pad_in[remainder:] = 0.0
+        np.matmul(pad_in, tri, out=pad_out)
+        gap[start:pairs] = pad_out[:remainder]
     dv = workspace.get("dv", (pairs, total - 1), np.float32)
     np.subtract(support[:, 1:], support[:, :-1], out=dv)
     np.abs(gap, out=gap)

@@ -16,6 +16,7 @@ from repro.io.wal import (
     WriteAheadLog,
     read_wal,
     recover,
+    replay_wal,
 )
 
 __all__ = [
@@ -31,6 +32,7 @@ __all__ = [
     "load_index",
     "read_wal",
     "recover",
+    "replay_wal",
     "save_dataset",
     "save_index",
 ]

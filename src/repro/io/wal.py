@@ -60,6 +60,7 @@ __all__ = [
     "WriteAheadLog",
     "read_wal",
     "recover",
+    "replay_wal",
     "RecoveryInfo",
 ]
 
@@ -299,6 +300,16 @@ class WriteAheadLog:
             {"comments": [[c.user_id, c.video_id, c.month] for c in comments]},
         )
 
+    def log_social_add(self, video_id: str, members) -> int:
+        """Log a social-only descriptor add (replication to a non-owner shard)."""
+        return self.append(
+            "social_add", {"video_id": video_id, "members": sorted(members)}
+        )
+
+    def log_social_retire(self, video_id: str) -> int:
+        """Log a social-only descriptor retirement (non-owner shard)."""
+        return self.append("social_retire", {"video_id": video_id})
+
 
 @dataclass
 class RecoveryInfo:
@@ -339,27 +350,31 @@ def _replay_record(index: LiveCommunityIndex, record: WalRecord) -> None:
             Comment(user_id=user, video_id=video_id, month=month)
             for user, video_id, month in payload["comments"]
         )
+    elif record.op == "social_add":
+        index.social_store.add_video(
+            SocialDescriptor.from_users(payload["video_id"], payload["members"])
+        )
+    elif record.op == "social_retire":
+        index.social_store.retire_video(payload["video_id"])
     else:
         raise WalCorruptionError(f"unknown WAL op {record.op!r} (seq {record.seq})")
 
 
-def recover(
-    snapshot_path: str | pathlib.Path, wal_path: str | pathlib.Path
-) -> LiveCommunityIndex:
-    """Rebuild the live index from a snapshot plus its write-ahead log.
+def replay_wal(
+    index: LiveCommunityIndex, wal_path: str | pathlib.Path
+) -> RecoveryInfo:
+    """Replay a WAL onto an already-loaded index (the recovery core).
 
-    Loads the snapshot, then replays every WAL record with a sequence
-    number beyond the snapshot's ``wal_seq`` watermark.  A torn log tail
-    (the record a crash interrupted) is dropped — that mutation was never
-    acknowledged, so clients re-submit it; mid-log damage raises
+    Replays every record with a sequence number beyond the index's
+    ``wal_seq`` watermark.  A torn log tail (the record a crash
+    interrupted) is dropped — that mutation was never acknowledged, so
+    clients re-submit it; mid-log damage raises
     :class:`WalCorruptionError` instead of silently dropping history.
-
-    The result is bit-identical (recommendations and component scores) to
-    the uninterrupted run, which the fault-injection suite pins for every
-    registered crash point.  A :class:`RecoveryInfo` lands on the returned
-    index's ``recovery`` attribute.
+    Split out of :func:`recover` so a sharded deployment can load its
+    shard snapshots independently (and in parallel) and replay each
+    shard's own log.  The returned :class:`RecoveryInfo` also lands on
+    ``index.recovery``.
     """
-    index = load_index(snapshot_path)
     scan = read_wal(wal_path, missing_ok=True)
     info = RecoveryInfo(torn_tail=scan.torn_tail)
     for record in scan.records:
@@ -374,4 +389,20 @@ def recover(
     metrics = get_metrics()
     metrics.inc("repro_wal_recoveries_total")
     metrics.inc("repro_wal_replayed_total", info.replayed)
+    return info
+
+
+def recover(
+    snapshot_path: str | pathlib.Path, wal_path: str | pathlib.Path
+) -> LiveCommunityIndex:
+    """Rebuild the live index from a snapshot plus its write-ahead log.
+
+    Loads the snapshot, then replays the log via :func:`replay_wal`.  The
+    result is bit-identical (recommendations and component scores) to
+    the uninterrupted run, which the fault-injection suite pins for every
+    registered crash point.  A :class:`RecoveryInfo` lands on the returned
+    index's ``recovery`` attribute.
+    """
+    index = load_index(snapshot_path)
+    replay_wal(index, wal_path)
     return index

@@ -423,6 +423,9 @@ class SignatureBank:
         self._pads = np.empty(0, dtype=np.float64)
         self._version = 0
         self._fast_pack: SignatureFastPack | None = None
+        self._pinned_width = 0
+        self._pinned_offset: float | None = None
+        self._pinned_grid: np.ndarray | None = None
         for video_id in sorted(series):
             self.append(video_id, series[video_id])
 
@@ -526,14 +529,18 @@ class SignatureBank:
             ),
             default=0,
         )
-        if live_width < self._width or self._dead_rows > 0.5 * max(1, self._count):
+        if (
+            max(live_width, self._pinned_width) < self._width
+            or self._dead_rows > 0.5 * max(1, self._count)
+        ):
             self.compact()
 
     def compact(self) -> None:
         """Reclaim tombstoned rows and re-pack at the live maximum width.
 
         The result is bit-identical (rows, padding and order) to a bank
-        built cold from the surviving series.
+        built cold from the surviving series.  A pinned width
+        (:meth:`pin_layout`) acts as a floor on the packed width.
         """
         live_rows = self._count - self._dead_rows
         live_width = max(
@@ -543,8 +550,10 @@ class SignatureBank:
             ),
             default=0,
         )
-        values = np.empty((live_rows, live_width), dtype=np.float64)
-        weights = np.zeros((live_rows, live_width), dtype=np.float64)
+        target_width = max(live_width, self._pinned_width)
+        copy_width = min(self._width, target_width)
+        values = np.empty((live_rows, target_width), dtype=np.float64)
+        weights = np.zeros((live_rows, target_width), dtype=np.float64)
         lengths = np.empty(live_rows, dtype=np.int64)
         pads = np.empty(live_rows, dtype=np.float64)
         slices: dict[str, slice] = {}
@@ -553,9 +562,13 @@ class SignatureBank:
             old = self._row_slices[video_id]
             rows = old.stop - old.start
             # Narrower rows carry their pad value in the trailing columns
-            # already, so a plain truncating copy preserves the padding.
-            values[start : start + rows] = self._values[old, :live_width]
-            weights[start : start + rows] = self._weights[old, :live_width]
+            # already, so a plain truncating copy preserves the padding;
+            # widening extends each row with its own pad value, exactly
+            # as a cold build at the target width would.
+            values[start : start + rows, :copy_width] = self._values[old, :copy_width]
+            if target_width > self._width:
+                values[start : start + rows, self._width :] = self._pads[old, None]
+            weights[start : start + rows, :copy_width] = self._weights[old, :copy_width]
             lengths[start : start + rows] = self._lengths[old]
             pads[start : start + rows] = self._pads[old]
             slices[video_id] = slice(start, start + rows)
@@ -565,9 +578,99 @@ class SignatureBank:
         self._row_slices = slices
         self._count = live_rows
         self._dead_rows = 0
-        self._width = live_width
+        self._width = target_width
         self._version += 1
         self._fast_pack = None
+
+    # ------------------------------------------------------------------
+    # Pinned layout (sharded parity)
+    # ------------------------------------------------------------------
+    def layout_extremes(self) -> tuple[int, float | None, float | None]:
+        """``(natural_width, min_value, max_value)`` over the live rows.
+
+        *natural_width* is the maximum real signature size — what a cold
+        build would pad to, ignoring any pinned floor; *min_value* /
+        *max_value* are the float32 extremes over all live values — what
+        :meth:`fast_pack`'s natural key offset and segment grid derive
+        from — or ``None`` when the bank is empty.  Sharded deployments
+        reduce these across shards to obtain the global layout to pin
+        (:meth:`pin_layout`).
+        """
+        if self._dead_rows:
+            self.compact()
+        if not self.video_ids:
+            return 0, None, None
+        natural = max(
+            int(self._lengths[s.start : s.stop].max())
+            for s in self._row_slices.values()
+        )
+        # float32 cast is monotonic, so the casts of the float64 extremes
+        # equal the extremes of the cast matrix fast_pack() builds (pads
+        # duplicate each row's maximum, so they shift neither).
+        live = self._values[: self._count]
+        return (
+            natural,
+            float(np.float32(live.min())),
+            float(np.float32(live.max())),
+        )
+
+    def pin_layout(
+        self,
+        width: int | None = None,
+        offset: float | None = None,
+        grid=None,
+    ) -> bool:
+        """Pin the padded width floor, fast-pack key offset and/or grid.
+
+        Sharded deployments pin every shard's bank to the global layout
+        (maximum natural width across shards, offset derived from the
+        global minimum value) so the float32 reduction width and merge-key
+        encoding — and therefore every score — stay bit-identical to one
+        bank holding all series.  The pinned width is a floor: the bank
+        still widens past it when a wider series arrives.  The pinned
+        offset replaces the natural one outright; callers must keep it
+        below every value in the bank (``pack_emd_keys`` raises
+        otherwise).  *grid* pins the segment-integral grid (the pruning
+        bound is valid on any grid, so this affects no score) — with
+        every shard on one grid, a guest query's integrals are computed
+        once per scatter and shared.  Returns ``True`` when the layout
+        actually changed (the mutation version is bumped so cached packs
+        rebuild).
+        """
+        changed = False
+        if width is not None and int(width) != self._pinned_width:
+            self._pinned_width = int(width)
+            changed = True
+        if offset is not None and (
+            self._pinned_offset is None or float(offset) != self._pinned_offset
+        ):
+            self._pinned_offset = float(offset)
+            changed = True
+        if grid is not None and (
+            self._pinned_grid is None
+            or not np.array_equal(np.asarray(grid), self._pinned_grid)
+        ):
+            self._pinned_grid = np.asarray(grid, dtype=np.float64)
+            changed = True
+        if not changed:
+            return False
+        if self._dead_rows:
+            self.compact()
+        live_width = max(
+            (
+                int(self._lengths[s.start : s.stop].max())
+                for s in self._row_slices.values()
+            ),
+            default=0,
+        )
+        target = max(live_width, self._pinned_width)
+        if target > self._width:
+            self._grow(0, target)
+        elif target < self._width:
+            self.compact()
+        self._version += 1
+        self._fast_pack = None
+        return True
 
     # ------------------------------------------------------------------
     # Snapshots
@@ -601,6 +704,9 @@ class SignatureBank:
         # it outright — epoch publication inherits an already-warm pack.
         clone._version = self._version
         clone._fast_pack = self._fast_pack
+        clone._pinned_width = self._pinned_width
+        clone._pinned_offset = self._pinned_offset
+        clone._pinned_grid = self._pinned_grid
         return clone
 
     # ------------------------------------------------------------------
@@ -651,8 +757,13 @@ class SignatureBank:
         order = np.argsort(values, axis=1, kind="stable")
         values = np.take_along_axis(values, order, axis=1).astype(np.float32)
         weights = np.take_along_axis(weights, order, axis=1).astype(np.float32)
-        grid, seg_integrals = _segment_integrals(values, weights)
-        offset = float(values.min()) - 1.0 if values.size else -1.0
+        grid, seg_integrals = _segment_integrals(
+            values, weights, grid=self._pinned_grid
+        )
+        if self._pinned_offset is not None:
+            offset = self._pinned_offset
+        else:
+            offset = float(values.min()) - 1.0 if values.size else -1.0
         pack = SignatureFastPack(
             version=self._version,
             values=values,

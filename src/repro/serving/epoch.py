@@ -105,10 +105,15 @@ class CommunityEpoch:
         self._ids_array = np.asarray(self.video_ids)
         self.descriptors = dict(index.social_store.descriptors)
         self.social_store = _FrozenSocialView(index.social_store)
-        self._bank = index.content.signature_bank().snapshot()
+        # A shard can be (or become) empty of content while its replicated
+        # social side still holds descriptors; an empty content store has
+        # no bank or SAR matrix to freeze.
+        self._bank = (
+            index.content.signature_bank().snapshot() if self.series else None
+        )
         self._sar_matrices: dict[str, np.ndarray] = {}
         self._vectorizers: dict[str, _RowVectorizer] = {}
-        if self.social_store.available:
+        if self.social_store.available and self.video_ids:
             for backend in ("sar", "sar-h"):
                 matrix = index.sar_matrix(backend)
                 self._sar_matrices[backend] = matrix
@@ -127,6 +132,8 @@ class CommunityEpoch:
 
     def signature_bank(self):
         """The frozen signature bank snapshot."""
+        if self._bank is None:
+            raise ValueError("cannot build a SignatureBank from no series")
         return self._bank
 
     def sar_matrix(self, backend: str) -> np.ndarray:
@@ -220,6 +227,22 @@ class EpochManager:
                 raise RuntimeError("no epoch has been published")
             epoch.readers += 1
             return epoch
+
+    def pin_specific(self, epoch: CommunityEpoch) -> bool:
+        """Pin *epoch* (not necessarily current) if it is still live.
+
+        The sharded gateway publishes one epoch per shard and records the
+        whole vector atomically; readers then pin each shard's *recorded*
+        epoch rather than whatever is current at pin time, so one scatter
+        never mixes shard states from different publications.  Returns
+        ``False`` when the epoch has already been retired — the caller
+        re-reads the vector and retries.
+        """
+        with self._lock:
+            if epoch.retired:
+                return False
+            epoch.readers += 1
+            return True
 
     def unpin(self, epoch: CommunityEpoch) -> None:
         """Drop one reader pin; retires a drained superseded epoch."""

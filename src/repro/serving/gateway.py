@@ -34,6 +34,7 @@ import random
 import threading
 import time
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 from repro.core.recommender import FusionRecommender, Recommendations
@@ -179,10 +180,78 @@ class _QueryMemo:
             self._entries[key] = value
             self._entries.move_to_end(key)
 
-    def invalidate(self) -> None:
-        """Drop every entry (called at each epoch publication)."""
+    def invalidate(self, metrics=None) -> None:
+        """Drop every entry (called at each epoch publication).
+
+        Counts the dropped entries into
+        ``repro_serving_memo_invalidate_total`` so the memo's ledger
+        reconciles: puts = hits' source entries = evictions +
+        invalidations + entries still resident.
+        """
         with self._lock:
+            dropped = len(self._entries)
             self._entries.clear()
+        if dropped and metrics is not None:
+            metrics.inc("repro_serving_memo_invalidate_total", dropped)
+
+
+class _AdmissionGate:
+    """Condition-variable admission control: bounded concurrency + queue.
+
+    Factored out of the gateway so the sharded gateway reuses one global
+    gate over its whole scatter (admission is per *request*, not per
+    shard).  Beyond *max_concurrency* in-flight requests, up to
+    *queue_depth* wait (no longer than *queue_timeout* or their own
+    deadline); everything else is shed with
+    :class:`~repro.errors.OverloadedError`.
+    """
+
+    def __init__(self, max_concurrency: int, queue_depth: int, queue_timeout: float) -> None:
+        self._max_concurrency = max_concurrency
+        self._queue_depth = queue_depth
+        self._queue_timeout = queue_timeout
+        self._cond = threading.Condition(threading.Lock())
+        self._inflight = 0
+        self._waiting = 0
+
+    def admit(self, deadline_at: float | None, metrics) -> None:
+        with self._cond:
+            if self._inflight < self._max_concurrency:
+                self._inflight += 1
+                metrics.set_gauge("repro_serving_inflight", self._inflight)
+                return
+            if self._waiting >= self._queue_depth:
+                metrics.inc("repro_serving_shed_total", reason="queue_full")
+                raise OverloadedError(
+                    f"{self._inflight} queries in flight and the admission "
+                    f"queue of {self._queue_depth} is full"
+                )
+            self._waiting += 1
+            metrics.set_gauge("repro_serving_queue_depth", self._waiting)
+            try:
+                limit = time.monotonic() + self._queue_timeout
+                if deadline_at is not None:
+                    limit = min(limit, deadline_at)
+                while self._inflight >= self._max_concurrency:
+                    remaining = limit - time.monotonic()
+                    if remaining <= 0:
+                        metrics.inc("repro_serving_shed_total", reason="queue_timeout")
+                        raise OverloadedError(
+                            "queued request outwaited its admission budget "
+                            f"({self._waiting} queued, {self._inflight} in flight)"
+                        )
+                    self._cond.wait(remaining)
+                self._inflight += 1
+                metrics.set_gauge("repro_serving_inflight", self._inflight)
+            finally:
+                self._waiting -= 1
+                metrics.set_gauge("repro_serving_queue_depth", self._waiting)
+
+    def release(self, metrics) -> None:
+        with self._cond:
+            self._inflight -= 1
+            metrics.set_gauge("repro_serving_inflight", self._inflight)
+            self._cond.notify()
 
 
 class ServingGateway:
@@ -245,10 +314,17 @@ class ServingGateway:
         )
         self._rng = random.Random(seed)
         self._rng_lock = threading.Lock()
-        self._adm_cond = threading.Condition(threading.Lock())
-        self._inflight = 0
-        self._waiting = 0
+        self._gate = _AdmissionGate(
+            self.config.max_concurrency,
+            self.config.queue_depth,
+            self.config.queue_timeout,
+        )
         self._memo = _QueryMemo(self.config.memo_capacity)
+        # Batched-mutation bookkeeping: inside a mutations() block the
+        # per-mutation publish is deferred to the block's exit.  Both
+        # fields are only touched under the writer lock.
+        self._mutation_depth = 0
+        self._publish_pending = False
         # The initial epoch is published fault-free: a plan arming the
         # publish point targets *mutations*, not construction.
         self._publish(fire=False)
@@ -257,7 +333,7 @@ class ServingGateway:
     # Epoch publication (writer side)
     # ------------------------------------------------------------------
     def _build_recommenders(self, epoch: CommunityEpoch) -> None:
-        if self._content_measure == "kj":
+        if self._content_measure == "kj" and epoch.video_ids:
             # Warm the bank's float32 scoring pack before the epoch is
             # visible: "pack once per epoch" — every reader then shares
             # the immutable pack instead of racing a lazy build.
@@ -284,11 +360,11 @@ class ServingGateway:
         # before the epoch becomes visible — a reader must never pin an
         # epoch that can't serve yet.
         epoch = self._epochs.publish(self._master, prepare=self._build_recommenders)
+        metrics = get_metrics()
         # Invalidate *after* the pointer swap: queries racing the publish
         # either memoized against the previous epoch (dropped here) or pin
         # the new epoch (whose results are valid to keep).
-        self._memo.invalidate()
-        metrics = get_metrics()
+        self._memo.invalidate(metrics)
         metrics.set_gauge("repro_serving_epoch_id", epoch.epoch_id)
         metrics.set_gauge("repro_serving_epochs_live", self._epochs.live_count)
         metrics.set_gauge("repro_serving_epochs_published", self._epochs.published_total)
@@ -315,75 +391,71 @@ class ServingGateway:
     # ------------------------------------------------------------------
     # Mutations (serialized; each publishes a fresh epoch)
     # ------------------------------------------------------------------
+    def _maybe_publish(self) -> None:
+        """Publish now, or mark pending inside a :meth:`mutations` block."""
+        if self._mutation_depth:
+            self._publish_pending = True
+            return
+        self._publish()
+
+    @contextmanager
+    def mutations(self):
+        """Batch several mutations into **one** epoch publication.
+
+        ``with gateway.mutations(): ...`` holds the writer lock for the
+        whole block and defers the per-mutation epoch publish to the
+        block's exit, so a bulk ingest of V videos builds one epoch
+        instead of V.  Readers keep serving the pre-block epoch until the
+        single publish lands — the same visibility model as one large
+        mutation.  Blocks nest (the outermost exit publishes); the
+        deferred publish also runs when the block exits via an exception,
+        since every mutation already applied to the master.
+        """
+        with self._write_lock:
+            self._mutation_depth += 1
+            try:
+                yield self
+            finally:
+                self._mutation_depth -= 1
+                if self._mutation_depth == 0 and self._publish_pending:
+                    self._publish_pending = False
+                    self._publish()
+
     def ingest_video(self, clip_or_record, owner=None, users=()) -> str:
         """Serialized :meth:`LiveCommunityIndex.ingest_video` + publish."""
         with self._write_lock:
             video_id = self._master.ingest_video(clip_or_record, owner, users)
-            self._publish()
+            self._maybe_publish()
             return video_id
 
     def retire_video(self, video_id: str) -> None:
         """Serialized :meth:`LiveCommunityIndex.retire_video` + publish."""
         with self._write_lock:
             self._master.retire_video(video_id)
-            self._publish()
+            self._maybe_publish()
 
     def apply_comments(self, comments, incremental: bool = False):
         """Serialized :meth:`LiveCommunityIndex.apply_comments` + publish."""
         with self._write_lock:
             stats = self._master.apply_comments(comments, incremental=incremental)
-            self._publish()
+            self._maybe_publish()
             return stats
 
     def advance_watermark(self, month: int) -> int:
         """Serialized watermark advance + publish."""
         with self._write_lock:
             month = self._master.advance_watermark(month)
-            self._publish()
+            self._maybe_publish()
             return month
 
     # ------------------------------------------------------------------
     # Admission control
     # ------------------------------------------------------------------
     def _admit(self, deadline_at: float | None, metrics) -> None:
-        cfg = self.config
-        with self._adm_cond:
-            if self._inflight < cfg.max_concurrency:
-                self._inflight += 1
-                metrics.set_gauge("repro_serving_inflight", self._inflight)
-                return
-            if self._waiting >= cfg.queue_depth:
-                metrics.inc("repro_serving_shed_total", reason="queue_full")
-                raise OverloadedError(
-                    f"{self._inflight} queries in flight and the admission "
-                    f"queue of {cfg.queue_depth} is full"
-                )
-            self._waiting += 1
-            metrics.set_gauge("repro_serving_queue_depth", self._waiting)
-            try:
-                limit = time.monotonic() + cfg.queue_timeout
-                if deadline_at is not None:
-                    limit = min(limit, deadline_at)
-                while self._inflight >= cfg.max_concurrency:
-                    remaining = limit - time.monotonic()
-                    if remaining <= 0:
-                        metrics.inc("repro_serving_shed_total", reason="queue_timeout")
-                        raise OverloadedError(
-                            "queued request outwaited its admission budget "
-                            f"({self._waiting} queued, {self._inflight} in flight)"
-                        )
-                    self._adm_cond.wait(remaining)
-                self._inflight += 1
-                metrics.set_gauge("repro_serving_inflight", self._inflight)
-            finally:
-                self._waiting -= 1
-                metrics.set_gauge("repro_serving_queue_depth", self._waiting)
+        self._gate.admit(deadline_at, metrics)
 
     def _release(self, metrics) -> None:
-        with self._adm_cond:
-            self._inflight -= 1
-            metrics.set_gauge("repro_serving_inflight", self._inflight)
-            self._adm_cond.notify()
+        self._gate.release(metrics)
 
     # ------------------------------------------------------------------
     # Social path: breaker + retry/backoff

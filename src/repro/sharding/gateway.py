@@ -1,0 +1,594 @@
+"""Scatter-gather serving over a sharded community index.
+
+:class:`ShardedGateway` fronts a :class:`~repro.sharding.shard.ShardedIndex`
+with the same contract as the single-index
+:class:`~repro.serving.gateway.ServingGateway` — and the same *answers*:
+the merged top-K is **bit-identical** to what one gateway over the
+unsharded index serves.  Three mechanisms carry that guarantee:
+
+* **pinned bank layout** — before every publication the coordinator
+  reduces the shards' natural pack layouts to the global one and pins it
+  (:meth:`~repro.sharding.shard.ShardedIndex.pin_layout`), so the
+  float32 kernel's width- and offset-dependent results match the oracle
+  per candidate pair;
+* **guest queries** — the query's signature series (and, for the SAR
+  modes, its frozen SAR vector) is read from the owner shard's epoch and
+  passed to every shard, whose recommender packs it against the pinned
+  offset — producing the very keys the oracle derives from its own rows;
+* **deterministic merge** — shards partition the candidates, so each
+  global top-K candidate appears in its shard's top-K; merging by
+  ``(-score, id)`` reproduces the oracle's fused ranking and tie-break
+  exactly.
+
+The deadline-free scatter additionally **chains the pruning threshold**
+across shards: each shard's bound-ordered scan is seeded with the
+running merged k-th best fused score, so a candidate whose upper bound
+falls strictly below a score already attained elsewhere is never
+scored at all.  A pruned candidate satisfies ``score <= bound <
+threshold <= final merged k-th``, so it could not have entered the
+merged top-K — the slices may come back trimmed, but the merge stays
+bit-identical to the oracle (boundary ties are kept and scored, just
+like the in-scan threshold).  The guest query is also packed once
+against the pinned layout and shared, since pack output depends only
+on the query and the pinned offset.
+
+Each shard keeps its own epoch lifecycle, circuit breaker and fault
+plan, so one failing shard degrades *its slice* of the ranking — the
+merged result comes back flagged ``degraded``/``partial`` with a
+per-shard reason instead of failing the query.  Cross-shard atomicity
+comes from the **epoch vector**: after publishing every shard the
+coordinator pins the fresh epochs, swaps the vector, and unpins the old
+ones; a query pins the whole recorded vector (retrying if a swap won it)
+and therefore never mixes shard states from different publications.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro.core.recommender import Recommendations
+from repro.measures.content import _segment_integrals
+from repro.obs import get_metrics
+from repro.serving.epoch import CommunityEpoch
+from repro.serving.gateway import GatewayConfig, ServingGateway, _AdmissionGate, _QueryMemo
+from repro.sharding.shard import ShardedIndex
+
+__all__ = ["ShardServingGateway", "ShardedGateway"]
+
+
+class ShardServingGateway(ServingGateway):
+    """One shard's serving gateway: epoch lifecycle, breaker, fault plan.
+
+    Inherits the full single-index behaviour (a shard can be queried
+    directly) and adds :meth:`scatter_recommend` — the coordinator-facing
+    entry that skips admission, memoization and pinning (all global at
+    the sharded level) and accepts the owner shard's guest query state.
+    """
+
+    def __init__(self, shard, shard_id: int, **kwargs) -> None:
+        self.shard_id = int(shard_id)
+        super().__init__(shard, **kwargs)
+
+    def _publish(self, fire: bool = True) -> CommunityEpoch:
+        epoch = super()._publish(fire=fire)
+        metrics = get_metrics()
+        label = str(self.shard_id)
+        metrics.set_gauge("repro_shard_epoch_id", epoch.epoch_id, shard=label)
+        metrics.set_gauge(
+            "repro_shard_videos", len(epoch.video_ids), shard=label
+        )
+        return epoch
+
+    def scatter_recommend(
+        self,
+        epoch: CommunityEpoch,
+        query_id: str,
+        top_k: int,
+        deadline_at: float | None,
+        metrics,
+        query_series=None,
+        query_vector=None,
+        query_pack=None,
+        initial_threshold=None,
+        trace=None,
+    ) -> Recommendations:
+        """This shard's top-K slice of a scattered query.
+
+        *epoch* is the coordinator-pinned epoch from the scatter's
+        vector (never re-pinned here); *deadline_at* is the request's
+        absolute ``time.monotonic`` deadline shared by every shard.  The
+        guest *query_series* / *query_vector* come from the owner
+        shard's epoch; on the owner itself the indexed fast path wins,
+        so passing them everywhere is uniform and harmless.
+        *query_pack* is the query packed once against the pinned layout
+        (shared by every shard of the scatter); *initial_threshold*
+        seeds the pruned scan with the coordinator's running merged
+        k-th best score — this shard's slice may come back trimmed to
+        the candidates that could still enter the merged top-K.
+        """
+        candidates = len(epoch.series) - (1 if query_id in epoch.series else 0)
+        if candidates <= 0:
+            result = Recommendations(scores=[])
+        else:
+            reason = None
+            if self._omega > 0.0 and epoch.social_store.available:
+                reason = self._social_path(deadline_at, metrics)
+            which = "content" if reason is not None else "full"
+            omega_served = 0.0 if reason is not None else self._omega
+            recommender = epoch.serving_recommenders[which]
+            result = recommender.recommend(
+                query_id,
+                top_k,
+                trace=trace,
+                deadline=deadline_at,
+                query_series=query_series,
+                query_vector=query_vector,
+                query_pack=query_pack,
+                initial_threshold=initial_threshold,
+            )
+            if reason is not None:
+                result = Recommendations(
+                    result,
+                    degraded=True,
+                    partial=result.partial,
+                    reasons=(*result.reasons, reason),
+                    scored=result.scored,
+                    total=result.total,
+                    scores=getattr(result, "scores", None),
+                )
+            result.omega_served = omega_served
+        result.epoch_id = epoch.epoch_id
+        result.epoch = epoch
+        result.shard_id = self.shard_id
+        if not hasattr(result, "omega_served"):
+            result.omega_served = self._omega
+        return result
+
+
+class ShardedGateway:
+    """Scatter-gather serving facade over a :class:`ShardedIndex`.
+
+    Parameters mirror :class:`~repro.serving.gateway.ServingGateway`;
+    *faults* may be one :class:`~repro.testing.faults.FaultPlan` shared
+    by every shard or a per-shard list (``None`` entries allowed), which
+    is how the chaos suite aims a fault burst at a single shard.
+
+    Mutations are serialized under one writer lock, fan out through the
+    :class:`ShardedIndex` (owner routing + social replication), re-pin
+    the global bank layout, republish **every** shard's epoch and swap
+    the epoch vector — one cross-shard-consistent view per mutation (or
+    per :meth:`mutations` block).  Queries admit through one global
+    gate, pin the vector, scatter, and merge deterministically.
+    """
+
+    def __init__(
+        self,
+        sharded: ShardedIndex,
+        omega: float | None = None,
+        social_mode: str = "sar-h",
+        content_measure: str = "kj",
+        engine: str | None = None,
+        config: GatewayConfig | None = None,
+        faults=None,
+        breaker_clock=time.monotonic,
+        seed: int = 0,
+    ) -> None:
+        self.sharded = sharded
+        self.config = config or GatewayConfig()
+        self._social_mode = social_mode
+        plans = self._per_shard_plans(faults, sharded.num_shards)
+        # Pin before the per-shard gateways exist: their constructors
+        # publish epoch 0, which must already freeze the global layout.
+        sharded.pin_layout()
+        self._gateways = [
+            ShardServingGateway(
+                shard,
+                shard.shard_id,
+                omega=omega,
+                social_mode=social_mode,
+                content_measure=content_measure,
+                engine=engine,
+                config=self.config,
+                faults=plans[shard.shard_id],
+                breaker_clock=breaker_clock,
+                seed=seed + shard.shard_id,
+            )
+            for shard in sharded.shards
+        ]
+        self._omega = self._gateways[0]._omega
+        self._write_lock = threading.RLock()
+        self._mutation_depth = 0
+        self._publish_pending = False
+        self._vector_lock = threading.Lock()
+        self._gate = _AdmissionGate(
+            self.config.max_concurrency,
+            self.config.queue_depth,
+            self.config.queue_timeout,
+        )
+        self._memo = _QueryMemo(self.config.memo_capacity)
+        self._pool = ThreadPoolExecutor(
+            max_workers=sharded.num_shards, thread_name_prefix="shard-scatter"
+        )
+        # The vector itself holds one reader pin per epoch, so an epoch
+        # referenced by the vector can never retire out from under a
+        # query that read the vector but has not pinned yet.
+        vector = tuple(gw.current_epoch for gw in self._gateways)
+        for gw, epoch in zip(self._gateways, vector):
+            pinned = gw.epochs.pin_specific(epoch)
+            assert pinned  # the constructor's epoch 0 is current
+        self._epoch_vector = vector
+
+    @staticmethod
+    def _per_shard_plans(faults, num_shards: int) -> list:
+        if faults is None:
+            return [None] * num_shards
+        if isinstance(faults, (list, tuple)):
+            plans = list(faults)
+            if len(plans) != num_shards:
+                raise ValueError(
+                    f"need {num_shards} per-shard fault plans, got {len(plans)}"
+                )
+            return plans
+        return [faults] * num_shards
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self._gateways)
+
+    @property
+    def gateways(self) -> list[ShardServingGateway]:
+        """The per-shard gateways (breaker/epoch introspection)."""
+        return list(self._gateways)
+
+    @property
+    def current_epochs(self) -> tuple[CommunityEpoch, ...]:
+        """The epoch vector new queries pin."""
+        with self._vector_lock:
+            return self._epoch_vector
+
+    def close(self) -> None:
+        """Shut the scatter thread pool down (idempotent)."""
+        self._pool.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # Mutations (serialized; each swaps a fresh epoch vector)
+    # ------------------------------------------------------------------
+    def _republish(self) -> None:
+        self.sharded.pin_layout()
+        fresh = []
+        for gw in self._gateways:
+            with gw._write_lock:
+                fresh.append(gw._publish())
+        for gw, epoch in zip(self._gateways, fresh):
+            pinned = gw.epochs.pin_specific(epoch)
+            assert pinned  # just published, still current
+        with self._vector_lock:
+            stale = self._epoch_vector
+            self._epoch_vector = tuple(fresh)
+        for gw, epoch in zip(self._gateways, stale):
+            gw.epochs.unpin(epoch)
+        metrics = get_metrics()
+        self._memo.invalidate(metrics)
+        metrics.inc("repro_sharded_publish_total")
+
+    def _maybe_republish(self) -> None:
+        if self._mutation_depth:
+            self._publish_pending = True
+            return
+        self._republish()
+
+    @contextmanager
+    def mutations(self):
+        """Batch mutations into **one** vector swap (see
+        :meth:`ServingGateway.mutations`)."""
+        with self._write_lock:
+            self._mutation_depth += 1
+            try:
+                yield self
+            finally:
+                self._mutation_depth -= 1
+                if self._mutation_depth == 0 and self._publish_pending:
+                    self._publish_pending = False
+                    self._republish()
+
+    def ingest_video(self, clip_or_record, owner=None, users=()) -> str:
+        with self._write_lock:
+            video_id = self.sharded.ingest_video(
+                clip_or_record, owner=owner, users=users
+            )
+            self._maybe_republish()
+            return video_id
+
+    def retire_video(self, video_id: str) -> None:
+        with self._write_lock:
+            self.sharded.retire_video(video_id)
+            self._maybe_republish()
+
+    def apply_comments(self, comments, incremental: bool = False):
+        with self._write_lock:
+            stats = self.sharded.apply_comments(comments, incremental=incremental)
+            self._maybe_republish()
+            return stats
+
+    def advance_watermark(self, month: int) -> int:
+        with self._write_lock:
+            month = self.sharded.advance_watermark(month)
+            self._maybe_republish()
+            return month
+
+    # ------------------------------------------------------------------
+    # Queries (scatter + gather)
+    # ------------------------------------------------------------------
+    def _pin_vector(self) -> tuple[CommunityEpoch, ...]:
+        """Pin every epoch of one consistent vector (retrying swaps)."""
+        while True:
+            with self._vector_lock:
+                vector = self._epoch_vector
+            pinned: list[CommunityEpoch] = []
+            for gw, epoch in zip(self._gateways, vector):
+                if not gw.epochs.pin_specific(epoch):
+                    break
+                pinned.append(epoch)
+            if len(pinned) == len(vector):
+                return vector
+            for gw, epoch in zip(self._gateways, pinned):
+                gw.epochs.unpin(epoch)
+            # A republish swapped the vector mid-pin; re-read and retry.
+            time.sleep(0.0005)
+
+    def _unpin_vector(self, vector: tuple[CommunityEpoch, ...]) -> None:
+        for gw, epoch in zip(self._gateways, vector):
+            gw.epochs.unpin(epoch)
+
+    def _query_state(self, query_id: str, vector):
+        """``(owner, series, sar_vector)`` of *query_id* in *vector*."""
+        for owner, epoch in enumerate(vector):
+            if query_id in epoch.series:
+                break
+        else:
+            raise KeyError(f"unknown video {query_id!r}")
+        series = epoch.series[query_id]
+        vector_row = None
+        if (
+            self._omega > 0.0
+            and self._social_mode in ("sar", "sar-h")
+            and epoch.social_store.available
+            and epoch.video_ids
+        ):
+            row = int(np.searchsorted(epoch._ids_array, query_id))
+            vector_row = epoch.sar_matrix(self._social_mode)[row]
+        return owner, series, vector_row
+
+    def recommend(
+        self,
+        query_id: str,
+        top_k: int = 10,
+        deadline: float | None = None,
+        trace=None,
+    ) -> Recommendations:
+        """The merged top-K over every shard's slice of the candidates.
+
+        Bit-identical to the single-index oracle when every shard
+        answers cleanly.  A shard that misses the shared deadline marks
+        the result ``partial``; a shard that fails marks it
+        ``degraded``; both attach a per-shard reason and the remaining
+        shards' slices still merge.  The per-shard raw results ride
+        along as ``result.shard_results`` (``None`` for a shard that
+        produced nothing), which is what the chaos suite replays.
+        """
+        metrics = get_metrics()
+        if deadline is None:
+            deadline = self.config.default_deadline
+        deadline_at = None if deadline is None else time.monotonic() + float(deadline)
+        self._gate.admit(deadline_at, metrics)
+        try:
+            with metrics.time("repro_sharded_latency_seconds"):
+                vector = self._pin_vector()
+                try:
+                    return self._scatter(
+                        vector, query_id, top_k, deadline, deadline_at, trace, metrics
+                    )
+                finally:
+                    self._unpin_vector(vector)
+        finally:
+            self._gate.release(metrics)
+
+    def _scatter(
+        self, vector, query_id, top_k, deadline, deadline_at, trace, metrics
+    ) -> Recommendations:
+        owner, query_series, query_vector = self._query_state(query_id, vector)
+        memo_key = (
+            tuple(epoch.epoch_id for epoch in vector),
+            query_id,
+            int(top_k),
+            "none" if deadline is None else f"{deadline:g}",
+        )
+        cached = self._memo.get(memo_key)
+        if cached is not None:
+            metrics.inc("repro_sharded_memo_hit_total")
+            result = cached.copy()
+            result.epoch_ids = memo_key[0]
+            result.epochs = vector
+            result.omega_served = self._omega
+            result.shard_results = None
+            metrics.inc("repro_sharded_queries_total")
+            return result
+        metrics.inc("repro_sharded_memo_miss_total")
+
+        def scatter_one(index: int, query_pack=None, initial_threshold=None):
+            gw, epoch = self._gateways[index], vector[index]
+            return gw.scatter_recommend(
+                epoch,
+                query_id,
+                top_k,
+                deadline_at,
+                metrics,
+                query_series=query_series,
+                query_vector=query_vector,
+                query_pack=query_pack,
+                initial_threshold=initial_threshold,
+                trace=trace,
+            )
+
+        shard_results: list = [None] * len(vector)
+        shard_reasons: list[str] = []
+        missed: list[int] = []
+        failed: list[int] = []
+        if deadline_at is None:
+            # No deadline: scatter in-thread — the perf path pays no
+            # handoff, and a shard exception is contained per shard.
+            # Two cross-shard amortizations keep the scatter near the
+            # single-index cost: the query is packed ONCE against the
+            # pinned layout (pack output depends only on the query and
+            # the pinned offset, so every shard would derive the same
+            # triple), and each shard's pruned scan is seeded with the
+            # running merged k-th best score, so later shards skip
+            # candidates that can no longer enter the merged top-K.
+            query_pack = None
+            if len(vector) > 1:
+                try:
+                    pack = vector[owner].signature_bank().fast_pack()
+                    keys, values, weights = pack.pack_query(query_series)
+                    # The pinned grid is shared by every shard, so the
+                    # guest's bound integrals are computed once too.
+                    integrals = _segment_integrals(
+                        values, weights, grid=pack.grid
+                    )[1]
+                    query_pack = (keys, values, weights, integrals)
+                except Exception:  # noqa: BLE001 - shards repack solo
+                    query_pack = None
+            running: list[tuple[float, str]] = []
+            threshold = None
+            # Owner shard first: its indexed fast path is the cheapest
+            # full (unseeded) scan, and the threshold it establishes
+            # seeds every guest shard.  The merge is order-independent
+            # — trimming only ever drops candidates provably outside
+            # the merged top-K — so this is purely a perf choice.
+            scan_order = [owner] + [
+                index for index in range(len(vector)) if index != owner
+            ]
+            for index in scan_order:
+                try:
+                    shard_results[index] = scatter_one(
+                        index,
+                        query_pack=query_pack,
+                        initial_threshold=threshold,
+                    )
+                except Exception as error:  # noqa: BLE001 - degrade, never fail
+                    failed.append(index)
+                    shard_reasons.append(f"shard {index} failed ({error})")
+                    metrics.inc(
+                        "repro_sharded_shard_failures_total", shard=str(index)
+                    )
+                else:
+                    slice_result = shard_results[index]
+                    scores = getattr(slice_result, "scores", None) or []
+                    if scores:
+                        running.extend(zip(scores, slice_result))
+                        running.sort(key=lambda entry: (-entry[0], entry[1]))
+                        del running[top_k:]
+                        if len(running) >= top_k:
+                            threshold = running[-1][0]
+        else:
+            futures = {
+                index: self._pool.submit(scatter_one, index)
+                for index in range(len(vector))
+            }
+            for index, future in futures.items():
+                remaining = deadline_at - time.monotonic()
+                try:
+                    shard_results[index] = future.result(
+                        timeout=max(0.0, remaining)
+                    )
+                except FutureTimeoutError:
+                    missed.append(index)
+                    shard_reasons.append(
+                        f"shard {index} missed the deadline; merged without it"
+                    )
+                    metrics.inc(
+                        "repro_sharded_shard_deadline_total", shard=str(index)
+                    )
+                except Exception as error:  # noqa: BLE001 - degrade, never fail
+                    failed.append(index)
+                    shard_reasons.append(f"shard {index} failed ({error})")
+                    metrics.inc(
+                        "repro_sharded_shard_failures_total", shard=str(index)
+                    )
+
+        result = self._merge(
+            vector, owner, shard_results, shard_reasons, missed, failed, top_k
+        )
+        if not result.degraded and not result.partial:
+            self._memo.put(memo_key, result.copy(), metrics)
+        result.epoch_ids = memo_key[0]
+        result.epochs = vector
+        result.omega_served = (
+            self._omega
+            if not result.degraded
+            else min(
+                (r.omega_served for r in shard_results if r is not None),
+                default=0.0,
+            )
+        )
+        result.shard_results = tuple(shard_results)
+        metrics.inc("repro_sharded_queries_total")
+        if result.degraded:
+            metrics.inc("repro_sharded_degraded_total")
+        if result.partial:
+            metrics.inc("repro_sharded_deadline_miss_total")
+        return result
+
+    def _merge(
+        self, vector, owner, shard_results, shard_reasons, missed, failed, top_k
+    ) -> Recommendations:
+        """Gather per-shard slices into the oracle's fused ranking.
+
+        Shards partition the candidate set, so every global top-K
+        candidate ranks inside its own shard's top-K; concatenating the
+        slices and sorting by ``(-score, id)`` therefore reproduces the
+        oracle's score order *and* its ascending-id tie-break exactly.
+        Threshold-chained slices may be trimmed below K entries, but
+        only of candidates provably outside the merged top-K, so the
+        guarantee is unchanged.
+        """
+        entries: list[tuple[float, str]] = []
+        reasons: list[str] = list(shard_reasons)
+        degraded = bool(failed)
+        partial = bool(missed)
+        scored = 0
+        total = 0
+        for index, result in enumerate(shard_results):
+            if result is None:
+                # The missing shard's candidates were never scored.
+                epoch = vector[index]
+                total += len(epoch.series) - (1 if index == owner else 0)
+                continue
+            degraded |= result.degraded
+            partial |= result.partial
+            reasons.extend(
+                f"shard {index}: {reason}" for reason in result.reasons
+            )
+            scored += result.scored
+            total += result.total
+            scores = result.scores if result.scores is not None else []
+            entries.extend(zip(scores, result))
+        entries.sort(key=lambda entry: (-entry[0], entry[1]))
+        top = entries[:top_k]
+        return Recommendations(
+            [video_id for _, video_id in top],
+            degraded=degraded,
+            partial=partial,
+            reasons=tuple(reasons),
+            scored=scored,
+            total=total,
+            scores=[score for score, _ in top],
+        )

@@ -1,0 +1,145 @@
+"""Shard routing: deciding which shard owns a video's content.
+
+Two policies ship:
+
+* :class:`HashShardRouter` — CRC32 of the video id modulo the shard
+  count.  Placement is uniform and needs nothing but the id, so it is
+  the default for ingest paths that have not extracted features yet.
+* :class:`ZOrderShardRouter` — quantises the video's first cuboid
+  signature through the same :class:`~repro.emd.embedding.EmdEmbedding`
+  the LSB forest uses, interleaves the coordinates into a Z-order key
+  (:func:`~repro.index.zorder.zorder_encode`), and assigns the shard
+  from the key's **top** ``log2(shards)`` bits.  Key-range partitioning
+  keeps Z-order-adjacent videos co-resident, so the locality the LSB
+  forest exploits survives sharding: probing a query's neighbourhood
+  mostly touches one shard.
+
+Routing only places **content**.  Social descriptors are replicated to
+every shard (see :mod:`repro.sharding.shard`), so the router never has
+to be consulted for comment traffic.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.emd.embedding import EmdEmbedding
+from repro.index.zorder import zorder_encode
+
+__all__ = [
+    "HashShardRouter",
+    "ShardRouter",
+    "ZOrderShardRouter",
+    "make_router",
+]
+
+
+class ShardRouter:
+    """Base routing policy: ``route(video_id, series) -> shard``.
+
+    Attributes
+    ----------
+    kind:
+        Stable policy name, persisted in shard-deployment manifests so
+        recovery rebuilds the same router.
+    needs_series:
+        Whether :meth:`route` requires the video's extracted
+        :class:`~repro.signatures.series.SignatureSeries` (content-aware
+        policies) or works from the id alone.
+    """
+
+    kind = "base"
+    needs_series = False
+
+    def __init__(self, shards: int) -> None:
+        if shards < 1:
+            raise ValueError(f"shard count must be >= 1, got {shards}")
+        self.shards = int(shards)
+
+    def route(self, video_id: str, series=None) -> int:
+        """The shard in ``[0, shards)`` that owns *video_id*'s content."""
+        raise NotImplementedError
+
+
+class HashShardRouter(ShardRouter):
+    """Uniform id-hash placement (CRC32 mod shards)."""
+
+    kind = "hash"
+    needs_series = False
+
+    def route(self, video_id: str, series=None) -> int:
+        return zlib.crc32(video_id.encode("utf-8")) % self.shards
+
+
+class ZOrderShardRouter(ShardRouter):
+    """Key-range placement over the Z-order curve of EMD embeddings.
+
+    The video's first signature is embedded into the ``resolution``-dim
+    L1 space (its scaled CDF), each coordinate is normalised to ``[0, 1]``
+    (embedding entries are bounded by the bin width) and quantised to
+    ``bits_per_dim`` bits, and the coordinates are bit-interleaved
+    MSB-first.  With a power-of-two shard count the shard is simply the
+    key's top ``log2(shards)`` bits — contiguous key ranges map to one
+    shard, so curve-adjacent (content-similar) videos co-locate.
+    """
+
+    kind = "zorder"
+    needs_series = True
+
+    def __init__(self, shards: int, config, bits_per_dim: int = 4) -> None:
+        super().__init__(shards)
+        if shards & (shards - 1):
+            raise ValueError(
+                f"zorder routing needs a power-of-two shard count, got {shards}"
+            )
+        if bits_per_dim < 1:
+            raise ValueError(f"bits_per_dim must be >= 1, got {bits_per_dim}")
+        self.bits_per_dim = int(bits_per_dim)
+        self.embedding = EmdEmbedding(
+            lo=config.embedding_range[0],
+            hi=config.embedding_range[1],
+            resolution=config.embedding_resolution,
+        )
+        #: Total key width: ``resolution * bits_per_dim`` interleaved bits.
+        self.total_bits = self.embedding.resolution * self.bits_per_dim
+        #: How many leading key bits select the shard (0 when shards == 1).
+        self.prefix_bits = (self.shards - 1).bit_length()
+
+    def zorder_key(self, series) -> int:
+        """The Z-order key of *series* (from its first signature)."""
+        signature = series[0]
+        embedded = self.embedding.embed(signature.values, signature.weights)
+        # Embedding entries are prefix sums of a normalised histogram
+        # scaled by the bin width, hence bounded by it; dividing maps
+        # them onto [0, 1] before quantisation.
+        unit = np.clip(embedded / self.embedding.bin_width, 0.0, 1.0)
+        levels = (1 << self.bits_per_dim) - 1
+        coords = np.clip(np.floor(unit * levels).astype(np.int64), 0, levels)
+        return zorder_encode([int(c) for c in coords], self.bits_per_dim)
+
+    def route(self, video_id: str, series=None) -> int:
+        if self.shards == 1:
+            return 0
+        if series is None:
+            raise ValueError(
+                "zorder routing requires the video's signature series"
+            )
+        return self.zorder_key(series) >> (self.total_bits - self.prefix_bits)
+
+
+_ROUTERS = {"hash": HashShardRouter, "zorder": ZOrderShardRouter}
+
+
+def make_router(kind: str, shards: int, config=None) -> ShardRouter:
+    """Build the router named *kind* (``"hash"`` or ``"zorder"``)."""
+    if kind == "hash":
+        return HashShardRouter(shards)
+    if kind == "zorder":
+        if config is None:
+            raise ValueError("zorder routing requires a RecommenderConfig")
+        return ZOrderShardRouter(shards, config)
+    raise ValueError(
+        f"unknown router kind {kind!r} (expected one of {sorted(_ROUTERS)})"
+    )

@@ -28,6 +28,22 @@ Everything is derived from one seed: thread schedules still interleave
 nondeterministically (that is the point of a soak), but the *workload* —
 who ingests what, which queries carry tight deadlines, when fault bursts
 arm — replays exactly.
+
+With ``shards > 1`` the same harness runs against a
+:class:`~repro.sharding.ShardedGateway` over a
+:class:`~repro.sharding.ShardedIndex`: writer pools are grouped by owner
+shard (so each writer's mutation stream *skews* toward one shard rather
+than spreading evenly), the fault schedule rotates its bursts one shard
+at a time (each burst degrades exactly one shard's social path), and
+verification checks every per-shard slice against that shard's serial
+oracle — with the owner shard's guest-query payload — re-runs the
+deterministic ``(-score, id)`` merge over the recorded slices, and (for
+deadline-free queries, whose slices may be trimmed by the chained
+pruning threshold) demands the served merged ranking bit-match the
+merge of every present shard's full local oracle top-K.  Memoized results
+(``shard_results is None``) are counted, not replayed: the memo only
+stores clean results keyed by the exact epoch vector, so the record that
+populated the entry was itself verified.
 """
 
 from __future__ import annotations
@@ -43,11 +59,17 @@ import numpy as np
 from repro.community.workload import build_workload
 from repro.core.config import RecommenderConfig
 from repro.core.pipeline import LiveCommunityIndex
-from repro.core.recommender import FusionRecommender, rank_components
+from repro.core.fusion import fuse_fj
+from repro.core.recommender import (
+    FusionRecommender,
+    rank_components,
+    rank_components_scored,
+)
 from repro.errors import OverloadedError
 from repro.obs import MetricsRegistry, use_metrics
 from repro.serving import GatewayConfig, ServingGateway
 from repro.serving.gateway import SERVE_SOCIAL_POINT
+from repro.sharding import ShardedGateway, ShardedIndex, make_router
 from repro.testing.faults import FaultPlan
 
 __all__ = ["SoakConfig", "SoakReport", "run_soak"]
@@ -81,6 +103,11 @@ class SoakConfig:
     #: (0 disables the fault schedule entirely).
     fault_burst_every: float = 0.2
     fault_burst: int = 8
+    #: ``shards > 1`` soaks a :class:`~repro.sharding.ShardedGateway`
+    #: instead of the single-index gateway (same writer/reader/fault
+    #: pressure; fault bursts rotate one shard at a time).
+    shards: int = 1
+    router: str = "hash"
     gateway: GatewayConfig = field(
         default_factory=lambda: GatewayConfig(
             max_concurrency=8,
@@ -99,6 +126,8 @@ class SoakConfig:
             raise ValueError("need at least one writer and one reader")
         if self.queries < self.readers:
             raise ValueError("need at least one query per reader")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
 
 
 @dataclass
@@ -116,6 +145,9 @@ class SoakReport:
     queries_shed: int = 0
     queries_degraded: int = 0
     queries_partial: int = 0
+    #: Sharded soaks only: clean memo hits (no per-shard slices to
+    #: replay; the record that populated the memo entry was verified).
+    queries_memoized: int = 0
     writer_ops: int = 0
     epochs_published: int = 0
     epochs_retired: int = 0
@@ -129,6 +161,14 @@ class SoakReport:
     elapsed_seconds: float = 0.0
     metrics: dict = field(default_factory=dict)
     artifact_path: str | None = None
+    #: Final per-shard catalogue sizes (empty for single-index soaks) —
+    #: the writer-skew fingerprint.
+    shard_sizes: list[int] = field(default_factory=list)
+    #: Sharded soaks: each shard's own breaker transition history (the
+    #: flat ``breaker_transitions`` is their concatenation).
+    shard_breaker_transitions: list[list[tuple[str, str]]] = field(
+        default_factory=list
+    )
 
     @property
     def ok(self) -> bool:
@@ -150,6 +190,7 @@ class SoakReport:
             "queries_shed": self.queries_shed,
             "queries_degraded": self.queries_degraded,
             "queries_partial": self.queries_partial,
+            "queries_memoized": self.queries_memoized,
             "shed_rate": self.shed_rate,
             "degraded_rate": self.degraded_rate,
             "writer_ops": self.writer_ops,
@@ -163,6 +204,8 @@ class SoakReport:
             "writer_errors": self.writer_errors,
             "latencies_ms": self.latencies_ms,
             "elapsed_seconds": self.elapsed_seconds,
+            "shard_sizes": self.shard_sizes,
+            "shard_breaker_transitions": self.shard_breaker_transitions,
             "ok": self.ok,
         }
 
@@ -180,10 +223,27 @@ class _QueryRecord:
     total: int
     partial: bool
     degraded: bool
+    #: Sharded soaks: the per-shard slices (``None`` entries for shards
+    #: that missed/failed), or ``None`` for a memoized result.  Each
+    #: slice keeps its pinned shard epoch alive for replay.
+    shard_results: tuple | None = None
+    #: Sharded soaks: the epoch vector the query was served from (the
+    #: owner shard's epoch supplies the guest-query payload even when
+    #: that shard's slice is missing).
+    epochs: tuple | None = None
 
 
-def _writer_pools(dataset, base_ids: list[str], writers: int) -> list[list[str]]:
-    """Disjoint spare-master pools, one per writer (round-robin split)."""
+def _writer_pools(
+    dataset, base_ids: list[str], writers: int, router=None
+) -> list[list[str]]:
+    """Disjoint spare-master pools, one per writer.
+
+    The single-index split is round-robin.  When a *router* that can
+    route bare ids is supplied (sharded soaks with the hash router), the
+    spares are instead sorted by owner shard and split contiguously, so
+    each writer's ingest/retire stream concentrates on one or two shards
+    — deliberate writer *skew* across the shard set.
+    """
     spares = sorted(
         vid
         for vid, record in dataset.records.items()
@@ -194,6 +254,15 @@ def _writer_pools(dataset, base_ids: list[str], writers: int) -> list[list[str]]
             f"community too small: {len(spares)} spare masters for {writers} writers"
         )
     pools: list[list[str]] = [[] for _ in range(writers)]
+    if router is not None and not router.needs_series:
+        ordered = sorted(spares, key=lambda vid: (router.route(vid), vid))
+        chunk = -(-len(ordered) // writers)  # ceil division
+        for index in range(writers):
+            pools[index] = ordered[index * chunk : (index + 1) * chunk]
+        if not all(pools):
+            pools = [[] for _ in range(writers)]  # degenerate: fall back
+        else:
+            return pools
     for position, vid in enumerate(spares):
         pools[position % writers].append(vid)
     return pools
@@ -282,12 +351,14 @@ def _reader_loop(
             reader=reader,
             query_id=query_id,
             ids=list(result),
-            epoch=result.epoch,
+            epoch=getattr(result, "epoch", None),
             omega_served=result.omega_served,
             scored=result.scored,
             total=result.total,
             partial=result.partial,
             degraded=result.degraded,
+            shard_results=getattr(result, "shard_results", None),
+            epochs=getattr(result, "epochs", None),
         )
         with lock:
             report.queries_total += 1
@@ -300,14 +371,24 @@ def _reader_loop(
 
 
 def _fault_loop(
-    plan: FaultPlan, config: SoakConfig, stop: threading.Event
+    plans: list[FaultPlan], config: SoakConfig, stop: threading.Event
 ) -> None:
+    """Arm periodic fault bursts; with several plans, rotate one per burst.
+
+    Rotation is the sharded failure mode under test: each burst degrades
+    exactly *one* shard's social path, so the gateway must keep serving
+    (degraded, with a per-shard reason) while the other shards stay
+    full-fidelity — and every shard's breaker gets exercised in turn.
+    """
     if not config.fault_burst_every or not config.fault_burst:
         return
+    burst = 0
     while not stop.wait(config.fault_burst_every):
-        plan.arm_failures(SERVE_SOCIAL_POINT, config.fault_burst)
-    # Recovery window: disarm so the breaker can close before the run ends.
-    plan.arm_failures(SERVE_SOCIAL_POINT, 0)
+        plans[burst % len(plans)].arm_failures(SERVE_SOCIAL_POINT, config.fault_burst)
+        burst += 1
+    # Recovery window: disarm so the breakers can close before the run ends.
+    for plan in plans:
+        plan.arm_failures(SERVE_SOCIAL_POINT, 0)
 
 
 def _verify(records: list[_QueryRecord], config: SoakConfig, report: SoakReport) -> None:
@@ -319,10 +400,22 @@ def _verify(records: list[_QueryRecord], config: SoakConfig, report: SoakReport)
     ``(epoch, omega, query, scored)`` — under a handful of base queries
     and bounded epochs the cache turns 10k verifications into a few
     hundred oracle evaluations.
+
+    Sharded records (``shard_results`` present) dispatch to
+    :func:`_verify_sharded`; memoized sharded records are counted and
+    skipped (their producing record was verified under the same vector).
     """
-    oracles: dict[tuple[int, float], FusionRecommender] = {}
-    cache: dict[tuple[int, float, str, int], list[str]] = {}
+    oracles: dict[tuple, FusionRecommender] = {}
+    cache: dict[tuple, list[str]] = {}
     for record in records:
+        if record.shard_results is not None:
+            _verify_sharded(record, config, report, oracles, cache)
+            continue
+        if record.epoch is None:
+            # Sharded memo hit: the record that populated the entry was
+            # served (and verified) under the same epoch vector.
+            report.queries_memoized += 1
+            continue
         epoch = record.epoch
         key = (epoch.epoch_id, record.omega_served, record.query_id, record.scored)
         expected = cache.get(key)
@@ -360,6 +453,190 @@ def _verify(records: list[_QueryRecord], config: SoakConfig, report: SoakReport)
             )
 
 
+def _verify_sharded(
+    record: _QueryRecord,
+    config: SoakConfig,
+    report: SoakReport,
+    oracles: dict,
+    cache: dict,
+) -> None:
+    """Replay one sharded query: slice fidelity + merged-ranking oracle.
+
+    Three layers, all bitwise.  First, re-merging the recorded slices by
+    ``(-score, id)`` must reproduce the served merged ranking.  Second,
+    every recorded slice must carry exactly its shard oracle's fused
+    scores for its ids, in ``(-score, id)`` order — queried as a guest
+    with the owner shard's signature series and SAR row, exactly as the
+    gateway scattered it.  A slice is deliberately *not* required to be
+    a full local top-K: the deadline-free scatter chains the pruning
+    threshold across shards, so later slices come back trimmed to the
+    candidates that could still enter the merged top-K.  Third, the
+    end-to-end check.  For deadline-free records (``partial`` unset;
+    possibly trimmed slices) the served merged ranking must equal the
+    deterministic merge of every *present* shard's FULL local oracle
+    top-K — this is where unsound trimming would surface.  Deadline
+    records (``partial`` set) are scattered through the pooled path
+    without chaining, so each slice is instead replayed as its shard's
+    oracle over the scored candidate prefix (the chunked scan is
+    prefix-deterministic: ``scored`` is always chunk-aligned).
+    """
+
+    def fail(check: str, got: list, expected: list) -> None:
+        report.parity_failures.append(
+            {
+                "reader": record.reader,
+                "query_id": record.query_id,
+                "check": check,
+                "omega_served": record.omega_served,
+                "scored": record.scored,
+                "total": record.total,
+                "got": got,
+                "expected": expected,
+            }
+        )
+
+    report.parity_checked += 1
+    slices = [r for r in record.shard_results if r is not None]
+    entries: list[tuple[float, str]] = []
+    for r in slices:
+        scores = r.scores if r.scores is not None else []
+        entries.extend(zip(scores, r))
+    entries.sort(key=lambda entry: (-entry[0], entry[1]))
+    expected_merged = [vid for _, vid in entries[: config.top_k]]
+    if record.ids != expected_merged:
+        fail("merge", record.ids, expected_merged)
+        return
+    # The owner shard's epoch supplies the guest-query payload the
+    # gateway scattered with (the soak runs the default "sar-h" mode).
+    owner_epoch = next(
+        (
+            epoch
+            for epoch in (record.epochs or ())
+            if record.query_id in epoch.series
+        ),
+        None,
+    )
+    query_series = None
+    query_vector = None
+    if owner_epoch is not None:
+        query_series = owner_epoch.series[record.query_id]
+        if owner_epoch.social_store.available and owner_epoch.video_ids:
+            row = int(np.searchsorted(owner_epoch._ids_array, record.query_id))
+            query_vector = owner_epoch.sar_matrix("sar-h")[row]
+
+    def shard_components(r, ids: list[str]) -> dict:
+        """``{id: (content, social)}`` from *r*'s shard oracle."""
+        oracle_key = (r.shard_id, r.epoch.epoch_id, r.omega_served)
+        oracle = oracles.get(oracle_key)
+        if oracle is None:
+            oracle = r.epoch.recommender(omega=r.omega_served, time_budget=None)
+            oracles[oracle_key] = oracle
+        content, social = oracle._score_arrays(
+            record.query_id,
+            ids,
+            r.omega_served,
+            query_series=query_series,
+            query_vector=query_vector,
+        )
+        return {
+            vid: (float(c), float(s)) for vid, c, s in zip(ids, content, social)
+        }
+
+    # Slice fidelity: exactly the oracle's fused scores for these ids,
+    # ordered the way the merge expects.
+    for r in slices:
+        ids = list(r)
+        scores = list(r.scores) if r.scores is not None else []
+        if len(scores) != len(ids):
+            fail(f"shard {r.shard_id} scores", scores, ids)
+            return
+        key = (
+            "slice",
+            r.shard_id,
+            r.epoch.epoch_id,
+            r.omega_served,
+            record.query_id,
+            tuple(ids),
+        )
+        expected_scores = cache.get(key)
+        if expected_scores is None:
+            components = shard_components(r, ids)
+            expected_scores = [
+                fuse_fj(*components[vid], r.omega_served) for vid in ids
+            ]
+            cache[key] = expected_scores
+        if scores != expected_scores:
+            fail(f"shard {r.shard_id} scores", scores, expected_scores)
+            return
+        ordered = sorted(range(len(ids)), key=lambda i: (-scores[i], ids[i]))
+        if ordered != list(range(len(ids))):
+            fail(f"shard {r.shard_id} order", ids, [ids[i] for i in ordered])
+            return
+
+    if record.partial:
+        # Pooled (deadline) scatter: no threshold chaining — each slice
+        # is its shard's oracle over the scored candidate prefix.
+        for r in slices:
+            key = (
+                "prefix",
+                r.shard_id,
+                r.epoch.epoch_id,
+                r.omega_served,
+                record.query_id,
+                r.scored,
+            )
+            expected = cache.get(key)
+            if expected is None:
+                candidates = [
+                    vid for vid in r.epoch.video_ids if vid != record.query_id
+                ]
+                prefix = candidates[: r.scored]
+                if prefix:
+                    expected = rank_components(
+                        shard_components(r, prefix), r.omega_served, config.top_k
+                    )
+                else:
+                    expected = []
+                cache[key] = expected
+            if list(r) != expected:
+                fail(f"shard {r.shard_id}", list(r), expected)
+                return
+    else:
+        # Deadline-free scatter: slices may be threshold-trimmed, but
+        # only of candidates provably outside the merged top-K — so the
+        # merge of every present shard's FULL local oracle top-K must
+        # reproduce the served merged ranking bit-identically.
+        full_entries: list[tuple[float, str]] = []
+        for r in slices:
+            key = (
+                "full",
+                r.shard_id,
+                r.epoch.epoch_id,
+                r.omega_served,
+                record.query_id,
+            )
+            expected = cache.get(key)
+            if expected is None:
+                candidates = [
+                    vid for vid in r.epoch.video_ids if vid != record.query_id
+                ]
+                if candidates:
+                    expected = rank_components_scored(
+                        shard_components(r, candidates),
+                        r.omega_served,
+                        config.top_k,
+                    )
+                else:
+                    expected = ([], [])
+                cache[key] = expected
+            full_entries.extend(zip(expected[1], expected[0]))
+        full_entries.sort(key=lambda entry: (-entry[0], entry[1]))
+        expected_full = [vid for _, vid in full_entries[: config.top_k]]
+        if record.ids != expected_full:
+            fail("full-merge", record.ids, expected_full)
+            return
+
+
 def _dump_artifact(config: SoakConfig, report: SoakReport) -> str | None:
     directory = os.environ.get("CHAOS_ARTIFACT_DIR")
     if not directory:
@@ -380,6 +657,8 @@ def _dump_artifact(config: SoakConfig, report: SoakReport) -> str | None:
             "tight_deadline": config.tight_deadline,
             "fault_burst_every": config.fault_burst_every,
             "fault_burst": config.fault_burst,
+            "shards": config.shards,
+            "router": config.router,
         },
         "report": report.to_dict(),
     }
@@ -408,23 +687,39 @@ def run_soak(config: SoakConfig | None = None) -> SoakReport:
             f"community too small: {len(base_ids)} masters for "
             f"{config.base_videos} base videos"
         )
-    pools = _writer_pools(dataset, base_ids, config.writers)
     rec_config = RecommenderConfig(k=12)
-    live = LiveCommunityIndex(dataset.subset(base_ids), rec_config)
-    live.dataset.comments = list(dataset.comments)
-    plan = FaultPlan()
+    sharded = config.shards > 1
+    if sharded:
+        router = make_router(config.router, config.shards, rec_config)
+        pools = _writer_pools(dataset, base_ids, config.writers, router=router)
+        index = ShardedIndex.build(
+            dataset.subset(base_ids), rec_config, config.shards, router=router
+        )
+        for shard in index.shards:
+            shard.dataset.comments = list(dataset.comments)
+        plans = [FaultPlan() for _ in range(config.shards)]
+    else:
+        pools = _writer_pools(dataset, base_ids, config.writers)
+        index = LiveCommunityIndex(dataset.subset(base_ids), rec_config)
+        index.dataset.comments = list(dataset.comments)
+        plans = [FaultPlan()]
     metrics = MetricsRegistry()
     started = time.monotonic()
     with use_metrics(metrics):
-        gateway = ServingGateway(
-            live, config=config.gateway, faults=plan, seed=config.seed
-        )
+        if sharded:
+            gateway = ShardedGateway(
+                index, config=config.gateway, faults=plans, seed=config.seed
+            )
+        else:
+            gateway = ServingGateway(
+                index, config=config.gateway, faults=plans[0], seed=config.seed
+            )
         lock = threading.Lock()
         records: list[_QueryRecord] = []
         latencies: list[float] = []
         stop = threading.Event()
         fault_thread = threading.Thread(
-            target=_fault_loop, args=(plan, config, stop), name="chaos-faults"
+            target=_fault_loop, args=(plans, config, stop), name="chaos-faults"
         )
         writer_threads = [
             threading.Thread(
@@ -474,24 +769,33 @@ def run_soak(config: SoakConfig | None = None) -> SoakReport:
         # below are post-soak bookkeeping, not soak traffic, and must
         # not skew the counters the tests reconcile against the report.
         report.metrics = metrics.snapshot()
-        # Let the breaker recover (faults are disarmed) so the report can
-        # assert the full trip -> open -> half-open -> closed cycle.
+        # Let every breaker recover (faults are disarmed) so the report
+        # can assert the full trip -> open -> half-open -> closed cycle.
+        shard_gateways = gateway.gateways if sharded else [gateway]
         deadline = time.monotonic() + 2.0
         while (
-            gateway.breaker.state != "closed"
+            any(gw.breaker.state != "closed" for gw in shard_gateways)
             and report.queries_total
             and time.monotonic() < deadline
         ):
-            time.sleep(gateway.config.breaker_cooldown)
+            time.sleep(config.gateway.breaker_cooldown)
             try:
                 gateway.recommend(base_ids[0], top_k=config.top_k)
             except OverloadedError:  # pragma: no cover - drained by now
                 pass
+        if sharded:
+            gateway.close()
     report.elapsed_seconds = time.monotonic() - started
-    report.epochs_published = gateway.epochs.published_total
-    report.epochs_retired = gateway.epochs.retired_total
-    report.epochs_live = gateway.epochs.live_count
-    report.breaker_transitions = list(gateway.breaker.transitions)
+    report.epochs_published = sum(gw.epochs.published_total for gw in shard_gateways)
+    report.epochs_retired = sum(gw.epochs.retired_total for gw in shard_gateways)
+    report.epochs_live = sum(gw.epochs.live_count for gw in shard_gateways)
+    for gw in shard_gateways:
+        report.breaker_transitions.extend(gw.breaker.transitions)
+    if sharded:
+        report.shard_sizes = index.shard_sizes()
+        report.shard_breaker_transitions = [
+            list(gw.breaker.transitions) for gw in shard_gateways
+        ]
     if latencies:
         ordered = np.sort(np.asarray(latencies))
         report.latencies_ms = {

@@ -6,6 +6,12 @@ the tests assert its invariants: zero reader/writer exceptions, every
 query bit-identical to a serial oracle over its pinned epoch, bounded
 shed/degraded rates, epochs fully retired, and the breaker driven through
 its whole trip -> open -> half-open -> close cycle by the fault schedule.
+
+A second module-scoped soak runs the same pressure against the sharded
+scatter-gather path (``shards=2``): skewed writer pools, one-shard fault
+bursts rotating across the shard set, per-shard serial-oracle replay of
+every scattered slice plus a deterministic re-merge of the served
+ranking, and every shard's own breaker driven through its full cycle.
 """
 
 from __future__ import annotations
@@ -82,6 +88,100 @@ class TestSoakInvariants:
 
     def test_latency_percentiles_reported(self, report):
         assert 0 < report.latencies_ms["p50"] <= report.latencies_ms["p99"]
+
+
+@pytest.fixture(scope="module")
+def sharded_report():
+    return run_soak(SoakConfig(queries=QUERIES, seed=2015, shards=2))
+
+
+class TestShardedSoakInvariants:
+    SHARDS = 2
+
+    def test_scale_floor(self, sharded_report):
+        assert sharded_report.queries_total >= min(10_000, int(QUERIES * 0.8))
+
+    def test_zero_torn_reads_or_exceptions(self, sharded_report):
+        assert sharded_report.reader_errors == []
+        assert sharded_report.writer_errors == []
+
+    def test_every_query_replayed_or_memo_covered(self, sharded_report):
+        # Every served query either replayed against per-shard oracles
+        # (slices + deterministic merge) or was a clean memo hit whose
+        # producing record replayed under the same epoch vector.
+        assert (
+            sharded_report.parity_checked + sharded_report.queries_memoized
+            == sharded_report.queries_total
+        )
+        assert sharded_report.parity_checked > 0
+        assert sharded_report.parity_failures == []
+        assert sharded_report.ok
+
+    def test_one_shard_bursts_degraded_but_did_not_stop_service(
+        self, sharded_report
+    ):
+        # Rotating single-shard faults must show up as degraded merged
+        # results (with the other shard still answering), never outages.
+        assert sharded_report.queries_degraded > 0
+        assert 0.0 < sharded_report.degraded_rate < 0.5
+
+    def test_deadlines_produced_partials(self, sharded_report):
+        assert sharded_report.queries_partial > 0
+
+    def test_mutations_landed_and_epochs_drained(self, sharded_report):
+        assert sharded_report.writer_ops == 4 * 25
+        # Every mutation republishes all shards (plus each shard's
+        # initial epoch); only the S current epochs stay live.
+        assert sharded_report.epochs_published == self.SHARDS * (
+            sharded_report.writer_ops + 1
+        )
+        assert sharded_report.epochs_live == self.SHARDS
+        assert (
+            sharded_report.epochs_retired
+            == sharded_report.epochs_published - self.SHARDS
+        )
+
+    def test_writer_skew_still_populated_every_shard(self, sharded_report):
+        assert len(sharded_report.shard_sizes) == self.SHARDS
+        assert all(size > 0 for size in sharded_report.shard_sizes)
+
+    def test_every_shards_breaker_cycled_and_recovered(self, sharded_report):
+        assert len(sharded_report.shard_breaker_transitions) == self.SHARDS
+        for transitions in sharded_report.shard_breaker_transitions:
+            assert (CLOSED, OPEN) in transitions
+            assert (OPEN, HALF_OPEN) in transitions
+            assert (HALF_OPEN, CLOSED) in transitions
+            assert transitions[-1][1] == CLOSED
+
+    def test_sharded_metrics_instrumented(self, sharded_report):
+        counters = sharded_report.metrics["counters"]
+        gauges = sharded_report.metrics["gauges"]
+        assert (
+            counters["repro_sharded_queries_total"]
+            == sharded_report.queries_total
+        )
+        assert (
+            counters["repro_sharded_degraded_total"]
+            == sharded_report.queries_degraded
+        )
+        assert (
+            counters["repro_sharded_deadline_miss_total"]
+            == sharded_report.queries_partial
+        )
+        assert (
+            counters["repro_sharded_memo_hit_total"]
+            == sharded_report.queries_memoized
+        )
+        for shard in range(self.SHARDS):
+            assert f'repro_shard_epoch_id{{shard="{shard}"}}' in gauges
+            assert f'repro_shard_videos{{shard="{shard}"}}' in gauges
+
+    def test_latency_percentiles_reported(self, sharded_report):
+        assert (
+            0
+            < sharded_report.latencies_ms["p50"]
+            <= sharded_report.latencies_ms["p99"]
+        )
 
 
 class TestArtifacts:

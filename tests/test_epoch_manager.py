@@ -1,0 +1,189 @@
+"""EpochManager lifecycle: retire-on-drain ordering around publishes.
+
+The invariants the serving layers (single-index gateway and sharded
+epoch vector alike) lean on:
+
+* publishing retires a **drained** predecessor immediately, and a
+  still-pinned one not at all — until its last reader unpins, at which
+  point it retires **exactly once**;
+* the current epoch never retires, no matter how often its reader count
+  touches zero;
+* ``pin_specific`` pins any live epoch and refuses a retired one — the
+  seam the sharded gateway's vector-pin retry loop is built on.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.community.models import CommunityDataset
+from repro.core import CommunityIndex, RecommenderConfig
+from repro.core.stores import ContentStore, SocialStore
+from repro.serving.epoch import EpochManager
+from repro.signatures.cuboid import CuboidSignature
+from repro.signatures.series import SignatureSeries
+from repro.social.descriptor import SocialDescriptor
+
+
+def _tiny_index(num_videos: int = 5, seed: int = 3) -> CommunityIndex:
+    rng = np.random.default_rng(seed)
+    config = RecommenderConfig(k=4)
+    content = ContentStore(config, build_lsb=False, build_global_features=False)
+    descriptors = {}
+    for i in range(num_videos):
+        video_id = f"v{i:03d}"
+        signatures = tuple(
+            CuboidSignature(
+                values=rng.normal(0.0, 4.0, 5), weights=rng.random(5) + 0.1
+            )
+            for _ in range(2)
+        )
+        content.add_series(
+            video_id, SignatureSeries(video_id=video_id, signatures=signatures)
+        )
+        descriptors[video_id] = SocialDescriptor.from_users(
+            video_id, [f"u{j}" for j in rng.choice(8, size=3, replace=False)]
+        )
+    social = SocialStore(descriptors, k=config.k)
+    dataset = CommunityDataset(records={}, users={}, comments=[], topics=())
+    return CommunityIndex._from_parts(dataset, config, content, social)
+
+
+@pytest.fixture()
+def index():
+    return _tiny_index()
+
+
+@pytest.fixture()
+def manager():
+    return EpochManager()
+
+
+class TestPublishRetireOrdering:
+    def test_drained_predecessor_retires_at_publish(self, manager, index):
+        first = manager.publish(index)
+        second = manager.publish(index)
+        assert first.retired and not second.retired
+        assert manager.retired_total == 1
+        assert manager.live_count == 1
+        assert manager.current is second
+
+    def test_pinned_predecessor_survives_publish(self, manager, index):
+        first = manager.publish(index)
+        pinned = manager.pin()
+        assert pinned is first
+        manager.publish(index)
+        assert not first.retired  # a reader still holds it
+        assert manager.live_count == 2
+
+    def test_last_unpin_after_publish_retires_exactly_once(self, manager, index):
+        first = manager.publish(index)
+        manager.pin()
+        manager.pin()  # two concurrent readers of the same epoch
+        manager.publish(index)
+        manager.unpin(first)
+        assert not first.retired  # one reader still draining
+        assert manager.retired_total == 0
+        manager.unpin(first)
+        assert first.retired  # drained now: retired...
+        assert manager.retired_total == 1  # ...exactly once
+        assert manager.live_count == 1
+
+    def test_current_epoch_never_retires_on_drain(self, manager, index):
+        epoch = manager.publish(index)
+        for _ in range(3):
+            manager.pin()
+            manager.unpin(epoch)
+        assert not epoch.retired
+        assert manager.retired_total == 0
+
+    def test_pin_after_publish_gets_new_epoch(self, manager, index):
+        first = manager.publish(index)
+        held = manager.pin()
+        second = manager.publish(index)
+        fresh = manager.pin()
+        assert held is first and fresh is second
+        manager.unpin(fresh)
+        manager.unpin(held)
+        assert first.retired and not second.retired
+
+    def test_prepare_runs_before_visibility(self, manager, index):
+        observed = []
+
+        def prepare(epoch):
+            # The pointer must not have swapped yet: a reader pinning
+            # "now" still gets the previous epoch (None on the first
+            # publish).
+            observed.append(manager.current)
+            epoch.prepared = True
+
+        epoch = manager.publish(index, prepare=prepare)
+        assert observed == [None]
+        assert manager.pin().prepared
+        manager.unpin(epoch)
+
+
+class TestPinSpecific:
+    def test_pins_current_and_superseded_live_epochs(self, manager, index):
+        first = manager.publish(index)
+        assert manager.pin_specific(first)  # current
+        manager.publish(index)
+        assert manager.pin_specific(first)  # superseded but live
+        manager.unpin(first)
+        manager.unpin(first)
+        assert first.retired
+
+    def test_refuses_retired_epoch(self, manager, index):
+        first = manager.publish(index)
+        manager.publish(index)  # retires the drained first
+        assert first.retired
+        assert not manager.pin_specific(first)
+        assert first.readers == 0  # refusal must not leak a pin
+
+    def test_vector_pin_protocol(self, manager, index):
+        """The sharded gateway's swap: pin new, swap, unpin old."""
+        first = manager.publish(index)
+        assert manager.pin_specific(first)  # the "vector pin"
+        second = manager.publish(index)
+        assert not first.retired  # vector still holds it
+        assert manager.pin_specific(second)  # pin new
+        manager.unpin(first)  # then release old
+        assert first.retired and not second.retired
+        manager.unpin(second)
+        assert not second.retired  # still current
+
+
+class TestConcurrentDrain:
+    def test_racing_readers_retire_each_superseded_epoch_once(self, index):
+        manager = EpochManager()
+        manager.publish(index)
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    epoch = manager.pin()
+                    epoch.video_ids[0]  # touch frozen state
+                    manager.unpin(epoch)
+            except Exception as error:  # pragma: no cover - fail loudly
+                errors.append(error)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        publishes = 25
+        for _ in range(publishes):
+            manager.publish(index)
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # Every superseded epoch retires exactly once: current is the
+        # only survivor once readers drain.
+        assert manager.published_total == publishes + 1
+        assert manager.retired_total == publishes
+        assert manager.live_count == 1

@@ -399,3 +399,111 @@ class TestConfigValidation:
     def test_breaker_rejects(self, kwargs):
         with pytest.raises(ValueError):
             CircuitBreaker(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Batched mutations (one epoch per block)
+# ----------------------------------------------------------------------
+class TestBatchedMutations:
+    def test_block_publishes_once_at_exit(self, live, workload, spare_ids):
+        gateway = ServingGateway(live)
+        before = gateway.epochs.published_total
+        frozen = gateway.current_epoch
+        try:
+            with gateway.mutations():
+                for vid in spare_ids:
+                    gateway.ingest_video(workload.dataset.records[vid])
+                gateway.apply_comments(
+                    [("u_batch", live.video_ids[0])]
+                )
+                # Mid-block, readers still serve the pre-block epoch.
+                assert gateway.current_epoch is frozen
+            assert gateway.epochs.published_total == before + 1
+            assert gateway.current_epoch is not frozen
+            for vid in spare_ids:
+                assert vid in gateway.current_epoch.series
+        finally:
+            with gateway.mutations():
+                for vid in spare_ids:
+                    gateway.retire_video(vid)
+
+    def test_blocks_nest_and_publish_at_outermost_exit(
+        self, live, workload, spare_ids
+    ):
+        gateway = ServingGateway(live)
+        before = gateway.epochs.published_total
+        try:
+            with gateway.mutations():
+                gateway.ingest_video(workload.dataset.records[spare_ids[0]])
+                with gateway.mutations():
+                    gateway.ingest_video(workload.dataset.records[spare_ids[1]])
+                assert gateway.epochs.published_total == before  # still held
+            assert gateway.epochs.published_total == before + 1
+        finally:
+            with gateway.mutations():
+                for vid in spare_ids:
+                    gateway.retire_video(vid)
+
+    def test_publish_happens_even_on_exception(self, live, workload, spare_ids):
+        gateway = ServingGateway(live)
+        before = gateway.epochs.published_total
+        with pytest.raises(RuntimeError, match="boom"):
+            with gateway.mutations():
+                gateway.ingest_video(workload.dataset.records[spare_ids[0]])
+                raise RuntimeError("boom")
+        # The ingest already applied to the master, so the deferred
+        # publish must still land — otherwise readers never see it.
+        assert gateway.epochs.published_total == before + 1
+        assert spare_ids[0] in gateway.current_epoch.series
+        gateway.retire_video(spare_ids[0])
+
+    def test_block_without_mutations_publishes_nothing(self, live):
+        gateway = ServingGateway(live)
+        before = gateway.epochs.published_total
+        with gateway.mutations():
+            pass
+        assert gateway.epochs.published_total == before
+
+
+# ----------------------------------------------------------------------
+# Memo invalidation accounting
+# ----------------------------------------------------------------------
+class TestMemoInvalidateCounter:
+    def test_publication_counts_dropped_entries(self, live, query):
+        from repro.obs.metrics import MetricsRegistry, use_metrics
+
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            gateway = ServingGateway(
+                live, config=GatewayConfig(default_deadline=None)
+            )
+            queries = list(live.video_ids)[:3]
+            for q in queries:
+                gateway.recommend(q, 5)  # three resident memo entries
+            gateway.apply_comments([("u_inval", query)])
+            counters = registry.snapshot()["counters"]
+            assert counters.get("repro_serving_memo_invalidate_total", 0) == 3
+            # An empty memo invalidation adds nothing to the counter.
+            gateway.apply_comments([("u_inval2", query)])
+            counters = registry.snapshot()["counters"]
+            assert counters.get("repro_serving_memo_invalidate_total", 0) == 3
+
+    def test_ledger_reconciles(self, live):
+        """puts == invalidated + evicted + resident (no lost entries)."""
+        from repro.obs.metrics import MetricsRegistry, use_metrics
+        from repro.serving.gateway import _QueryMemo
+
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            gateway = ServingGateway(
+                live, config=GatewayConfig(default_deadline=None, memo_capacity=2)
+            )
+            queries = list(live.video_ids)[:4]
+            for q in queries:
+                gateway.recommend(q, 5)  # 4 puts, capacity 2 -> 2 evictions
+            gateway.advance_watermark(live.up_to_month)  # drops the rest
+            counters = registry.snapshot()["counters"]
+            assert counters.get("repro_serving_memo_evict_total", 0) == 2
+            assert counters.get("repro_serving_memo_invalidate_total", 0) == 2
+            assert isinstance(gateway._memo, _QueryMemo)
+            assert len(gateway._memo) == 0

@@ -57,6 +57,60 @@ class TestRoundtrip:
         )
 
 
+class TestRangePartitioning:
+    """The property the Z-order shard router stands on.
+
+    :class:`~repro.sharding.router.ZOrderShardRouter` assigns a key to
+    the shard named by its top ``p = log2(shards)`` bits — a key-range
+    partition of the curve.  That is only locality-preserving if "same
+    shard" and "≥ p shared leading bits" are the *same predicate*: every
+    pair of co-resident keys shares at least the prefix the router
+    hashed on, and every pair sharing that prefix is co-resident.
+    """
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=5).flatmap(
+            lambda ndim: st.tuples(
+                st.lists(
+                    st.integers(min_value=0, max_value=255),
+                    min_size=ndim,
+                    max_size=ndim,
+                ),
+                st.lists(
+                    st.integers(min_value=0, max_value=255),
+                    min_size=ndim,
+                    max_size=ndim,
+                ),
+                st.sampled_from([1, 2, 3]),  # p: shards = 2, 4, 8
+            )
+        )
+    )
+    def test_same_shard_iff_shared_prefix(self, case):
+        first_coords, second_coords, prefix_bits = case
+        bits = 8
+        total_bits = bits * len(first_coords)
+        first = zorder_encode(first_coords, bits)
+        second = zorder_encode(second_coords, bits)
+        shift = total_bits - prefix_bits
+        same_shard = (first >> shift) == (second >> shift)
+        shared = common_prefix_length(first, second, total_bits)
+        assert same_shard == (shared >= prefix_bits)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=255), min_size=2, max_size=4
+        ),
+        st.integers(min_value=1, max_value=3),
+    )
+    def test_shard_ids_cover_range(self, coords, prefix_bits):
+        bits = 8
+        total_bits = bits * len(coords)
+        shard = zorder_encode(coords, bits) >> (total_bits - prefix_bits)
+        assert 0 <= shard < (1 << prefix_bits)
+
+
 class TestCommonPrefix:
     def test_identical_codes_share_all_bits(self):
         assert common_prefix_length(42, 42, 16) == 16
