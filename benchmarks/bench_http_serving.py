@@ -1,0 +1,301 @@
+"""HTTP serving benchmark: RPS and latency over the wire, plus the soak.
+
+Three phases:
+
+1. **hit mix** — an in-process :class:`ReproHTTPServer` with the
+   epoch-keyed response cache enabled, hammered by concurrent
+   :class:`RetryingClient` threads over a small hot set of videos, so
+   steady state is nearly all cache hits;
+2. **miss mix** — the same load against a server with the cache disabled
+   (``cache_capacity=0``), so every request runs the full admission +
+   chunked-scan path;
+3. **netchaos soak** — the multi-process soak from
+   :mod:`repro.testing.netchaos`: a real ``repro serve`` subprocess
+   under chaos slow/abort injection, SIGTERMed mid-load and restarted on
+   the same port, with exactly-once interaction accounting and
+   bit-identical oracle replay of every 200.
+
+The run writes ``BENCH_http_serving.json`` at the repo root (uploaded by
+CI).  ``--smoke --ci`` additionally fails if the per-request wall clock
+regresses more than 2x over ``benchmarks/perf_floor.json``.
+
+Runs standalone (``PYTHONPATH=src python benchmarks/bench_http_serving.py
+[--smoke] [--ci]``) or under pytest (``pytest
+benchmarks/bench_http_serving.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import threading
+import time
+
+from repro.community import CommunityConfig, generate_community
+from repro.core import CommunityIndex, RecommenderConfig
+from repro.net import (
+    InteractionLog,
+    NetConfig,
+    RecommendService,
+    ReproHTTPServer,
+    RetryingClient,
+    RetryPolicy,
+)
+from repro.obs import percentiles
+from repro.serving import ServingGateway
+from repro.testing.netchaos import NetChaosConfig, run_net_soak
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_http_serving.json"
+FLOOR_PATH = REPO_ROOT / "benchmarks" / "perf_floor.json"
+
+DEFAULT_QUERIES = 3_000
+DEFAULT_SOAK_QUERIES = 12_000
+DEFAULT_CLIENTS = 4
+DEFAULT_SEED = 2015
+
+
+def _run_phase(
+    index,
+    tmp_path: pathlib.Path,
+    queries: int,
+    clients: int,
+    cache_capacity: int,
+    hot_videos: int,
+    seed: int,
+) -> dict:
+    """One latency phase; returns RPS + per-request percentiles."""
+    service = RecommendService(
+        ServingGateway(index),
+        InteractionLog(tmp_path / f"bench_cache{cache_capacity}.wal", sync=False),
+        NetConfig(cache_capacity=cache_capacity),
+    )
+    videos = sorted(index.series)[:hot_videos]
+    per_client = [
+        queries // clients + (1 if c < queries % clients else 0)
+        for c in range(clients)
+    ]
+    latencies: list[list[float]] = [[] for _ in range(clients)]
+    cache_hits = [0] * clients
+
+    with ReproHTTPServer(service) as server:
+
+        def worker(worker_id: int) -> None:
+            client = RetryingClient(
+                server.url,
+                RetryPolicy(attempts=2),
+                client_id=f"bench-{worker_id}",
+                seed=seed + worker_id,
+            )
+            for i in range(per_client[worker_id]):
+                video = videos[(worker_id + i) % len(videos)]
+                started = time.perf_counter()
+                response = client.recommend(video, top_k=10)
+                latencies[worker_id].append(
+                    (time.perf_counter() - started) * 1000.0
+                )
+                if response.header("X-Cache") == "hit":
+                    cache_hits[worker_id] += 1
+
+        threads = [
+            threading.Thread(target=worker, args=(c,), daemon=True)
+            for c in range(clients)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+    flat = [ms for worker in latencies for ms in worker]
+    stats = percentiles(flat, (50.0, 99.0))
+    return {
+        "queries": len(flat),
+        "clients": clients,
+        "cache_capacity": cache_capacity,
+        "hit_rate": sum(cache_hits) / max(1, len(flat)),
+        "rps": len(flat) / elapsed,
+        "seconds_per_query": (sum(flat) / 1000.0) / max(1, len(flat)),
+        "p50_ms": stats["p50"],
+        "p99_ms": stats["p99"],
+        "elapsed_seconds": elapsed,
+    }
+
+
+def run_bench(
+    queries: int = DEFAULT_QUERIES,
+    soak_queries: int = DEFAULT_SOAK_QUERIES,
+    clients: int = DEFAULT_CLIENTS,
+    hours: float = 2.0,
+    seed: int = DEFAULT_SEED,
+    json_path: pathlib.Path | None = JSON_PATH,
+    workdir: pathlib.Path | None = None,
+) -> dict:
+    import tempfile
+
+    tmp = pathlib.Path(workdir or tempfile.mkdtemp(prefix="bench-http-"))
+    dataset = generate_community(CommunityConfig(hours=hours, seed=seed))
+    index = CommunityIndex(dataset, RecommenderConfig())
+    hit = _run_phase(
+        index, tmp, queries, clients, cache_capacity=4096, hot_videos=8, seed=seed
+    )
+    miss = _run_phase(
+        index, tmp, queries, clients, cache_capacity=0, hot_videos=8, seed=seed
+    )
+    soak = run_net_soak(
+        NetChaosConfig(
+            queries=soak_queries,
+            loadgens=2,
+            concurrency=clients,
+            interact_every=7,
+            apply_every=25,
+            seed=seed,
+            hours=hours,
+            chaos_slow_every=97,
+            chaos_abort_every=61,
+        )
+    )
+    payload = {
+        "bench": "http_serving",
+        "unix_time": time.time(),
+        "videos": len(index.series),
+        "hit_mix": hit,
+        "miss_mix": miss,
+        "soak": {
+            "attempted": soak.attempted,
+            "by_status": soak.by_status,
+            "rps": soak.rps,
+            "recommend_ok": soak.recommend_ok,
+            "interactions_acked": soak.interactions_acked,
+            "duplicates_detected": soak.duplicates_detected,
+            "conn_errors": soak.conn_errors,
+            "logged_records": soak.logged_records,
+            "lost_acks": len(soak.lost_acks),
+            "double_logged": len(soak.double_logged),
+            "server_500s": soak.server_500s,
+            "oracle_checked": soak.oracle_checked,
+            "oracle_failures": len(soak.oracle_failures),
+            "server_exits": soak.server_exits,
+            "restarts": soak.restarts,
+            "replayed_on_restart": soak.replayed_on_restart,
+            "served_at_sigterm": soak.served_at_sigterm,
+            "hit_latency_ms": soak.hit_latency_ms,
+            "miss_latency_ms": soak.miss_latency_ms,
+            "elapsed_seconds": soak.elapsed_seconds,
+            "ok": soak.ok,
+        },
+        "ok": soak.ok,
+    }
+    if json_path is not None:
+        with open(json_path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    return payload
+
+
+def format_summary(payload: dict) -> str:
+    hit, miss, soak = payload["hit_mix"], payload["miss_mix"], payload["soak"]
+    statuses = ", ".join(
+        f"{n} x{s}" for s, n in sorted(soak["by_status"].items())
+    )
+    return (
+        f"hit mix:  {hit['queries']} queries, {hit['rps']:.0f} rps, "
+        f"p50 {hit['p50_ms']:.2f} ms, p99 {hit['p99_ms']:.2f} ms "
+        f"(hit rate {hit['hit_rate'] * 100:.0f}%)\n"
+        f"miss mix: {miss['queries']} queries, {miss['rps']:.0f} rps, "
+        f"p50 {miss['p50_ms']:.2f} ms, p99 {miss['p99_ms']:.2f} ms\n"
+        f"soak: {soak['attempted']} attempted ({statuses}); "
+        f"{soak['interactions_acked']} acked / {soak['logged_records']} logged / "
+        f"{soak['duplicates_detected']} dup-acked; "
+        f"lost={soak['lost_acks']} double={soak['double_logged']} "
+        f"500s={soak['server_500s']}\n"
+        f"soak oracle: {soak['oracle_checked'] - soak['oracle_failures']}"
+        f"/{soak['oracle_checked']} bit-identical; "
+        f"drains exit {soak['server_exits']}, "
+        f"{soak['replayed_on_restart']} replayed on restart\n"
+        f"ok={payload['ok']} "
+        f"({soak['elapsed_seconds']:.1f}s soak, {soak['rps']:.0f} rps)"
+    )
+
+
+def check_floor(payload: dict, floor_path: pathlib.Path = FLOOR_PATH) -> list[str]:
+    """Regression check against the checked-in floor (``--ci``)."""
+    floors = json.loads(floor_path.read_text())["floors"]
+    observed = {
+        "http_hit_seconds_per_query": payload["hit_mix"]["seconds_per_query"],
+        "http_miss_seconds_per_query": payload["miss_mix"]["seconds_per_query"],
+    }
+    violations = []
+    for name, floor in floors.items():
+        value = observed.get(name)
+        if value is not None and value > 2.0 * floor:
+            violations.append(
+                f"{name}: {value:.6f}s is more than 2x the floor {floor:.6f}s"
+            )
+    return violations
+
+
+def test_http_serving(report, tmp_path):
+    # Bench-sized run; the acceptance-scale soak lives in
+    # tests/test_netchaos.py and the standalone full run.
+    payload = run_bench(
+        queries=400, soak_queries=600, json_path=None, workdir=tmp_path
+    )
+    report(format_summary(payload), engine="http")
+    assert payload["ok"], payload["soak"]
+    assert payload["hit_mix"]["hit_rate"] > 0.8
+    assert payload["hit_mix"]["p50_ms"] < payload["miss_mix"]["p99_ms"]
+    assert payload["soak"]["lost_acks"] == 0
+    assert payload["soak"]["double_logged"] == 0
+    assert payload["soak"]["oracle_failures"] == 0
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--queries", type=int, default=DEFAULT_QUERIES)
+    parser.add_argument("--soak-queries", type=int, default=DEFAULT_SOAK_QUERIES)
+    parser.add_argument("--clients", type=int, default=DEFAULT_CLIENTS)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--json", type=pathlib.Path, default=None,
+        help="write the payload JSON here (default: repo-root BENCH file)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="scaled-down run for CI: 600 latency queries/mix, 1000-query soak",
+    )
+    parser.add_argument(
+        "--ci",
+        action="store_true",
+        help="fail if seconds_per_query regresses >2x over benchmarks/perf_floor.json",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        payload = run_bench(
+            queries=600,
+            soak_queries=1_000,
+            seed=args.seed,
+            json_path=args.json or JSON_PATH,
+        )
+    else:
+        payload = run_bench(
+            queries=args.queries,
+            soak_queries=args.soak_queries,
+            clients=args.clients,
+            seed=args.seed,
+            json_path=args.json or JSON_PATH,
+        )
+    print(format_summary(payload))
+    if not payload["ok"]:
+        raise SystemExit("http serving soak failed")
+    if args.ci:
+        violations = check_floor(payload)
+        if violations:
+            raise SystemExit("perf floor regression:\n  " + "\n  ".join(violations))
+        print("perf floor check: ok")
+
+
+if __name__ == "__main__":
+    main()

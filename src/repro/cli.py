@@ -27,7 +27,21 @@ registered so offline legacy installs stay trivial).  Subcommands:
 * ``serve-soak`` — run the seeded chaos soak (concurrent writers vs
   readers over the serving gateway) and report its invariants;
   ``--shards S`` soaks the scatter-gather gateway instead (writer skew,
-  one-shard fault bursts, per-shard breakers).
+  one-shard fault bursts, per-shard breakers);
+* ``serve``     — run the HTTP serving front-end (DESIGN §14) over a saved
+  index or sharded deployment: per-request deadlines via ``X-Deadline-Ms``,
+  per-client rate limiting, an epoch-keyed response cache, durable
+  interaction logging with periodic folds into the index, ``/healthz`` /
+  ``/readyz`` / ``/stats``, and graceful drain on SIGTERM (stop accepting,
+  finish in-flight within ``--drain-s``, flush the interaction log);
+  ``--chaos-*`` flags self-inject network faults for the netchaos soak;
+* ``load``      — drive a running server with the bundled retrying client
+  (jittered backoff honoring ``Retry-After``, retry budget) and report
+  RPS + hit/miss latency percentiles; ``--out`` records one JSON line per
+  request for post-hoc (oracle) analysis.
+
+``stats --url`` scrapes a *running* server's ``/stats`` endpoint instead
+of rebuilding an index locally.
 
 ``recommend --deadline-ms`` bounds one query's candidate scan; an expired
 deadline exits 0 with the best-effort partial ranking and a stderr note.
@@ -234,10 +248,114 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated methods to compare",
     )
 
+    serve = commands.add_parser(
+        "serve",
+        help="run the HTTP serving front-end over a saved index or "
+        "sharded deployment (graceful drain on SIGTERM)",
+    )
+    serve.add_argument("index", help="index file or sharded deployment directory")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8315, help="listen port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--shards",
+        action="store_true",
+        help="treat INDEX as a sharded deployment directory (auto-detected "
+        "when INDEX holds a deployment manifest)",
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        help="default per-request deadline applied when the client sends "
+        "no X-Deadline-Ms header",
+    )
+    serve.add_argument(
+        "--rate-limit",
+        type=float,
+        default=0.0,
+        help="per-client token-bucket rate in requests/second (0 = off)",
+    )
+    serve.add_argument(
+        "--burst", type=int, default=20, help="token-bucket burst capacity"
+    )
+    serve.add_argument(
+        "--drain-s",
+        type=float,
+        default=5.0,
+        help="graceful-drain budget: seconds to finish in-flight requests "
+        "after SIGTERM before the listener closes anyway",
+    )
+    serve.add_argument(
+        "--cache",
+        type=int,
+        default=1024,
+        help="epoch-keyed response cache entries (0 = off)",
+    )
+    serve.add_argument(
+        "--apply-every",
+        type=int,
+        default=0,
+        help="fold logged interactions into the index every N records "
+        "(publishing a fresh epoch); 0 logs only — a restart still "
+        "replays the whole log",
+    )
+    serve.add_argument(
+        "--log",
+        help="interaction log path (default: INDEX + '.interactions.wal', "
+        "or 'interactions.wal' inside a deployment directory)",
+    )
+    serve.add_argument("--max-concurrency", type=int, default=8)
+    serve.add_argument("--queue-depth", type=int, default=16)
+    serve.add_argument(
+        "--chaos-slow-every",
+        type=int,
+        default=0,
+        help="netchaos: sleep --chaos-slow-ms before every Nth request",
+    )
+    serve.add_argument("--chaos-slow-ms", type=float, default=20.0)
+    serve.add_argument(
+        "--chaos-abort-every",
+        type=int,
+        default=0,
+        help="netchaos: truncate every Nth response mid-body and close "
+        "the connection",
+    )
+
+    load = commands.add_parser(
+        "load", help="drive a running server with the bundled retrying client"
+    )
+    load.add_argument("url", help="server base URL (from `serve`)")
+    load.add_argument("--queries", type=int, default=1000, help="attempted requests")
+    load.add_argument("--concurrency", type=int, default=4)
+    load.add_argument("--top-k", type=int, default=10)
+    load.add_argument(
+        "--deadline-ms", type=float, help="X-Deadline-Ms sent on every query"
+    )
+    load.add_argument(
+        "--interact-every",
+        type=int,
+        default=0,
+        help="every Nth request per worker POSTs a durable interaction "
+        "instead of querying",
+    )
+    load.add_argument("--seed", type=int, default=2015)
+    load.add_argument("--attempts", type=int, default=4, help="tries per request")
+    load.add_argument(
+        "--out", help="write one JSON line per request (the netchaos oracle input)"
+    )
+
     stats = commands.add_parser(
         "stats", help="metrics snapshot of an index (runs sample queries)"
     )
-    stats.add_argument("index", help="index file from `index`")
+    stats.add_argument(
+        "index", nargs="?", help="index file from `index` (omit with --url)"
+    )
+    stats.add_argument(
+        "--url",
+        help="scrape a running server's /stats endpoint instead of "
+        "rebuilding an index locally",
+    )
     stats.add_argument(
         "--queries",
         type=int,
@@ -684,6 +802,194 @@ def _cmd_stats_sharded(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import pathlib
+    import signal
+    import threading
+
+    from repro.net import (
+        ChaosSchedule,
+        InteractionLog,
+        NetConfig,
+        RecommendService,
+        ReproHTTPServer,
+    )
+    from repro.serving import GatewayConfig, ServingGateway
+    from repro.sharding import is_sharded_deployment
+
+    gateway_config = GatewayConfig(
+        max_concurrency=args.max_concurrency, queue_depth=args.queue_depth
+    )
+    if args.shards or is_sharded_deployment(args.index):
+        from repro.sharding import ShardedGateway, recover_shards
+
+        if not is_sharded_deployment(args.index):
+            print(
+                f"error: {args.index!r} is not a sharded deployment directory",
+                file=sys.stderr,
+            )
+            return 2
+        sharded = recover_shards(args.index)
+        gateway = ShardedGateway(sharded, config=gateway_config)
+        videos, shards = len(sharded.video_ids), sharded.num_shards
+        default_log = pathlib.Path(args.index) / "interactions.wal"
+    else:
+        from repro.io import load_index
+
+        index = load_index(args.index)
+        gateway = ServingGateway(index, config=gateway_config)
+        videos, shards = len(index.series), 1
+        default_log = pathlib.Path(f"{args.index}.interactions.wal")
+    config = NetConfig(
+        default_deadline_ms=args.deadline_ms,
+        rate_limit=args.rate_limit,
+        rate_burst=args.burst,
+        drain_timeout=args.drain_s,
+        cache_capacity=args.cache,
+        apply_every=args.apply_every,
+    )
+    chaos = None
+    if args.chaos_slow_every or args.chaos_abort_every:
+        chaos = ChaosSchedule(
+            slow_every=args.chaos_slow_every,
+            slow_seconds=args.chaos_slow_ms / 1000.0,
+            abort_every=args.chaos_abort_every,
+        )
+    log_path = pathlib.Path(args.log) if args.log else default_log
+    service = RecommendService(gateway, InteractionLog(log_path), config)
+    server = ReproHTTPServer(service, args.host, args.port, chaos=chaos)
+    stop = threading.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda *_: stop.set())
+    server.start()
+    # The netchaos harness parses this line for the bound URL; keep the
+    # "on http://" marker stable.
+    print(
+        f"serving {videos} videos across {shards} shard(s) on {server.url} "
+        f"(interaction log {log_path}, {service.applied_seq} replayed)",
+        flush=True,
+    )
+    stop.wait()
+    leftover = server.drain(args.drain_s)
+    closer = getattr(gateway, "close", None)
+    if closer is not None:
+        closer()
+    note = f" ({leftover} still in flight at cutoff)" if leftover else ""
+    print(f"drained{note}; interaction log flushed at seq {service.interactions.seq}")
+    return 0
+
+
+def _cmd_load(args) -> int:
+    import json
+    import random
+    import threading
+    import time
+
+    from repro.errors import NetClientError
+    from repro.net import RetryPolicy, RetryingClient
+    from repro.obs import percentiles
+
+    policy = RetryPolicy(attempts=args.attempts)
+    # The bootstrap client waits out a server that is still loading its
+    # index (connection refused is a retryable GET failure).
+    videos = RetryingClient(
+        args.url, RetryPolicy(attempts=10, backoff=0.3), seed=args.seed
+    ).videos()
+    if not videos:
+        print("error: server reports an empty catalogue", file=sys.stderr)
+        return 2
+    rows: list[dict] = []
+    rows_lock = threading.Lock()
+    per_worker = [
+        args.queries // args.concurrency
+        + (1 if worker < args.queries % args.concurrency else 0)
+        for worker in range(args.concurrency)
+    ]
+
+    def worker(worker_id: int) -> None:
+        rng = random.Random(args.seed * 1009 + worker_id)
+        client = RetryingClient(
+            args.url,
+            policy,
+            client_id=f"load-{args.seed}-{worker_id}",
+            seed=args.seed + worker_id,
+        )
+        for i in range(per_worker[worker_id]):
+            interact = args.interact_every > 0 and i % args.interact_every == (
+                args.interact_every - 1
+            )
+            video = videos[rng.randrange(len(videos))]
+            row: dict = {
+                "kind": "interaction" if interact else "recommend",
+                "video": video,
+                "client": client.client_id,
+            }
+            started = time.monotonic()
+            try:
+                if interact:
+                    response = client.interaction(
+                        f"viewer-{client.client_id}",
+                        video,
+                        watched_percent=rng.randrange(101),
+                        liked=rng.choice((-1, 0, 1)),
+                    )
+                    row["status"] = response.status
+                    row["body"] = response.json()
+                else:
+                    response = client.recommend(
+                        video, args.top_k, deadline_ms=args.deadline_ms
+                    )
+                    row["status"] = response.status
+                    row["cache"] = response.header("X-Cache")
+                    row["body"] = response.json()
+            except NetClientError as error:
+                row["status"] = error.status
+                row["error"] = str(error)
+            except Exception as error:  # noqa: BLE001 - record, keep loading
+                row["status"] = None
+                row["error"] = str(error)
+            row["ms"] = (time.monotonic() - started) * 1000.0
+            with rows_lock:
+                rows.append(row)
+
+    started = time.monotonic()
+    threads = [
+        threading.Thread(target=worker, args=(worker_id,), daemon=True)
+        for worker_id in range(args.concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.monotonic() - started
+    if args.out:
+        with open(args.out, "w") as handle:
+            for row in rows:
+                handle.write(json.dumps(row, sort_keys=True) + "\n")
+    by_status: dict = {}
+    for row in rows:
+        key = str(row["status"]) if row["status"] is not None else "conn"
+        by_status[key] = by_status.get(key, 0) + 1
+    ok_recommend = [r for r in rows if r["kind"] == "recommend" and r["status"] == 200]
+    hits = [r["ms"] for r in ok_recommend if r.get("cache") == "hit"]
+    misses = [r["ms"] for r in ok_recommend if r.get("cache") != "hit"]
+    acked = sum(1 for r in rows if r["kind"] == "interaction" and r["status"] == 200)
+    statuses = ", ".join(f"{n} x{s}" for s, n in sorted(by_status.items()))
+    print(
+        f"load done: {len(rows)} attempted in {elapsed:.1f}s "
+        f"({len(rows) / elapsed:.0f} rps); {statuses}; "
+        f"{acked} interactions acked"
+    )
+    for label, values in (("hit", hits), ("miss", misses)):
+        if values:
+            pct = percentiles(values, (50.0, 99.0))
+            print(
+                f"  recommend {label}: {len(values)} ok, "
+                f"p50 {pct['p50']:.2f} ms, p99 {pct['p99']:.2f} ms"
+            )
+    return 0
+
+
 def _cmd_stats(args) -> int:
     import json
 
@@ -691,6 +997,23 @@ def _cmd_stats(args) -> int:
     from repro.obs import MetricsRegistry, use_metrics
     from repro.sharding import is_sharded_deployment
 
+    if args.url:
+        from repro.net import RetryingClient
+
+        client = RetryingClient(args.url)
+        if args.format == "json":
+            snapshot = client.stats_snapshot("json")
+            if args.output:
+                with open(args.output, "w") as handle:
+                    json.dump(snapshot, handle, indent=2, sort_keys=True)
+                    handle.write("\n")
+            print(json.dumps(snapshot, indent=2, sort_keys=True))
+        else:
+            print(client.stats_snapshot("prom"), end="")
+        return 0
+    if args.index is None:
+        print("error: stats needs an INDEX argument or --url", file=sys.stderr)
+        return 2
     if is_sharded_deployment(args.index):
         return _cmd_stats_sharded(args)
     index = load_index(args.index)
@@ -855,6 +1178,8 @@ _HANDLERS = {
     "stats": _cmd_stats,
     "faults": _cmd_faults,
     "serve-soak": _cmd_serve_soak,
+    "serve": _cmd_serve,
+    "load": _cmd_load,
 }
 
 

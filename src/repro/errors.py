@@ -22,6 +22,8 @@ __all__ = [
     "SocialStoreUnavailableError",
     "ServingError",
     "OverloadedError",
+    "RateLimitedError",
+    "NetClientError",
     "CircuitOpenError",
     "TransientServingError",
 ]
@@ -65,7 +67,38 @@ class OverloadedError(ServingError):
     """Admission control shed the request: every serving slot was busy and
     the bounded wait queue was full (or the queue wait outlived the
     request deadline).  Retrying after backoff is the expected reaction;
-    the CLI maps this to a one-line typed exit with code 2."""
+    the CLI maps this to a one-line typed exit with code 2.
+
+    ``retry_after_ms`` is the gateway's backoff hint — derived from the
+    admission queue depth and the recent per-query service time, so
+    callers (the HTTP 429 mapping, the bundled retrying client) never
+    hardcode a backoff.  ``None`` when the shedding layer has no estimate.
+    """
+
+    def __init__(self, message: str = "", retry_after_ms: float | None = None):
+        super().__init__(message)
+        self.retry_after_ms = None if retry_after_ms is None else float(retry_after_ms)
+
+
+class RateLimitedError(ServingError):
+    """A per-client token bucket rejected the request before admission.
+    Carries the same ``retry_after_ms`` hint as :class:`OverloadedError`
+    (here: time until the bucket refills one token); the HTTP front-end
+    maps both onto 429 + ``Retry-After``."""
+
+    def __init__(self, message: str = "", retry_after_ms: float | None = None):
+        super().__init__(message)
+        self.retry_after_ms = None if retry_after_ms is None else float(retry_after_ms)
+
+
+class NetClientError(ReproError):
+    """The bundled HTTP client gave up: retries (and the retry budget)
+    were exhausted, or the failure class is not retryable.  Carries the
+    last observed HTTP ``status`` (``None`` for transport failures)."""
+
+    def __init__(self, message: str = "", status: int | None = None):
+        super().__init__(message)
+        self.status = status
 
 
 class CircuitOpenError(ServingError):

@@ -1,0 +1,58 @@
+"""Network serving front-end: a zero-dependency HTTP API over the gateway.
+
+See DESIGN §14.  The entry points are :class:`ReproHTTPServer` (the
+stdlib ``ThreadingHTTPServer`` wrapper the ``repro serve`` CLI runs) and
+:class:`RetryingClient` (the bundled client ``repro load`` drives).  The
+transport-independent core — routing, parameter validation and the typed
+error → HTTP status mapping — lives in :class:`RecommendService`, so the
+wire behaviour is testable without sockets.
+"""
+
+from repro.net.cache import ResponseCache
+from repro.net.client import RetryingClient, RetryPolicy
+from repro.net.interactions import InteractionLog, interaction_pairs, read_interactions
+from repro.net.protocol import (
+    HEADER_CACHE,
+    HEADER_CLIENT_ID,
+    HEADER_DEADLINE_MS,
+    HEADER_RETRY_AFTER,
+    HEADER_RETRY_AFTER_MS,
+    STATUS_TABLE,
+    error_envelope,
+    map_exception,
+    retry_after_headers,
+)
+from repro.net.ratelimit import TokenBucketLimiter
+from repro.net.server import (
+    NET_REQUEST_POINT,
+    NET_RESPONSE_POINT,
+    ChaosSchedule,
+    NetConfig,
+    RecommendService,
+    ReproHTTPServer,
+)
+
+__all__ = [
+    "ChaosSchedule",
+    "HEADER_CACHE",
+    "HEADER_CLIENT_ID",
+    "HEADER_DEADLINE_MS",
+    "HEADER_RETRY_AFTER",
+    "HEADER_RETRY_AFTER_MS",
+    "InteractionLog",
+    "NET_REQUEST_POINT",
+    "NET_RESPONSE_POINT",
+    "NetConfig",
+    "RecommendService",
+    "ReproHTTPServer",
+    "ResponseCache",
+    "RetryPolicy",
+    "RetryingClient",
+    "STATUS_TABLE",
+    "TokenBucketLimiter",
+    "error_envelope",
+    "interaction_pairs",
+    "map_exception",
+    "read_interactions",
+    "retry_after_headers",
+]

@@ -1,0 +1,83 @@
+"""Epoch-keyed HTTP response cache, layered over the gateway query memo.
+
+The PR-6 memo caches *rankings* inside the gateway; this caches the
+serialized *response* — status, headers, encoded body — so a repeated
+``GET /recommend/...`` skips admission, scoring and JSON encoding
+entirely.  The YT-Behavior-Model exemplar keys its Redis response cache
+on ``(query, epoch)``; here the epoch key IS the invalidation signal:
+every entry records the epoch key it was built under, and the first
+access after an epoch publication drops the whole generation (counted
+into ``repro_http_cache_invalidate_total``).  A hit can therefore never
+serve a pre-mutation ranking — the same guarantee the gateway memo
+gives, one layer further out.
+
+Only clean 200 responses belong here (the server never inserts partial,
+degraded, error or chaos-tampered responses), so a hit is bit-identical
+to what a fresh scan would serve on the same epoch.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+__all__ = ["ResponseCache"]
+
+
+class ResponseCache:
+    """Bounded LRU of ``(status, headers, body)`` keyed by request.
+
+    ``epoch_key`` is whatever identifies the immutable index state — the
+    single gateway's ``epoch_id`` or the sharded gateway's epoch-id
+    tuple.  ``capacity == 0`` disables caching entirely.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, tuple] = OrderedDict()
+        self._epoch_key = None
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def _roll_generation(self, epoch_key) -> None:
+        """Drop every entry from a previous epoch (lock held)."""
+        if epoch_key != self._epoch_key:
+            self.invalidations += len(self._entries)
+            self._entries.clear()
+            self._epoch_key = epoch_key
+
+    def get(self, epoch_key, request_key: str):
+        """The cached ``(status, headers, body)`` or ``None`` (a miss)."""
+        if self.capacity == 0:
+            return None
+        with self._lock:
+            self._roll_generation(epoch_key)
+            entry = self._entries.get(request_key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(request_key)
+            self.hits += 1
+            return entry
+
+    def put(self, epoch_key, request_key: str, status: int, headers: dict, body: bytes) -> None:
+        """Insert one response; LRU-evicts beyond capacity."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._roll_generation(epoch_key)
+            if (
+                request_key not in self._entries
+                and len(self._entries) >= self.capacity
+            ):
+                self._entries.popitem(last=False)
+            self._entries[request_key] = (status, dict(headers), bytes(body))
+            self._entries.move_to_end(request_key)

@@ -1,0 +1,306 @@
+"""The bundled retrying HTTP client (``repro load`` drives it).
+
+Retry semantics follow the server's own hints instead of guessing:
+
+* **429 / 503** are retried for any method — the server rejected the
+  request *before* doing work, so a replay is always safe — sleeping the
+  larger of the jittered exponential backoff and the server's
+  ``Retry-After`` hint (millisecond-precision ``X-Retry-After-Ms``
+  preferred);
+* **connection-level failures** (refused, reset, truncated body against
+  ``Content-Length``) are retried only for idempotent requests: GETs by
+  default, and ``POST /interaction`` when the caller supplied an
+  ``interaction_id`` (the convenience :meth:`RetryingClient.interaction`
+  always mints one, so its retries are deduplicated server-side);
+* a **retry budget** (token pool refilled by successes) caps the extra
+  load a retrying fleet can add during an outage — when the pool is dry,
+  failures surface immediately instead of amplifying the storm.
+
+Exhausted retries raise a typed :class:`~repro.errors.NetClientError`
+carrying the last HTTP status (``None`` for pure connection failures).
+``sleep`` and the jitter RNG seed are injectable, so the backoff
+schedule is tested against a scripted server with zero real sleeping.
+"""
+
+from __future__ import annotations
+
+import http.client
+import itertools
+import json
+import random
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from urllib.parse import quote, urlsplit
+
+from repro.errors import NetClientError
+from repro.net.protocol import (
+    HEADER_CLIENT_ID,
+    HEADER_DEADLINE_MS,
+    HEADER_RETRY_AFTER,
+    HEADER_RETRY_AFTER_MS,
+)
+
+__all__ = ["NetResponse", "RetryPolicy", "RetryingClient"]
+
+#: Statuses the server sends *instead of doing work* — safe to retry
+#: regardless of method.
+RETRYABLE_STATUSES = frozenset({429, 503})
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff and budget knobs of :class:`RetryingClient`.
+
+    ``attempts`` counts total tries (1 = never retry).  The delay before
+    retry *n* is ``backoff * multiplier**(n-1)`` capped at
+    ``max_backoff``, stretched by up to ``jitter`` fraction, and never
+    below the server's ``Retry-After`` hint.  ``budget`` tokens are
+    shared across the client's whole lifetime: each retry spends one,
+    each successful request refunds ``budget_refund`` (capped at the
+    initial pool) — the classic retry-budget pattern that stops a fleet
+    of clients from doubling the load on a struggling server.
+    """
+
+    attempts: int = 4
+    backoff: float = 0.05
+    multiplier: float = 2.0
+    max_backoff: float = 2.0
+    jitter: float = 0.1
+    budget: float = 8.0
+    budget_refund: float = 0.1
+    timeout: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if self.backoff < 0 or self.max_backoff < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if self.budget < 0 or self.budget_refund < 0:
+            raise ValueError("retry budget values must be >= 0")
+
+
+class NetResponse:
+    """One HTTP response: status, headers (dict), raw body bytes."""
+
+    __slots__ = ("status", "headers", "body")
+
+    def __init__(self, status: int, headers: dict, body: bytes) -> None:
+        self.status = int(status)
+        self.headers = dict(headers)
+        self.body = body
+
+    def json(self):
+        return json.loads(self.body.decode("utf-8"))
+
+    def header(self, name: str):
+        for key, value in self.headers.items():
+            if key.lower() == name.lower():
+                return value
+        return None
+
+    @property
+    def retry_after_ms(self) -> float | None:
+        """The server's backoff hint (ms-precision header preferred)."""
+        precise = self.header(HEADER_RETRY_AFTER_MS)
+        if precise is not None:
+            return float(precise)
+        coarse = self.header(HEADER_RETRY_AFTER)
+        if coarse is not None:
+            return float(coarse) * 1000.0
+        return None
+
+    def __repr__(self) -> str:
+        return f"NetResponse({self.status}, {len(self.body)} bytes)"
+
+
+class RetryingClient:
+    """HTTP client for one repro serving endpoint.
+
+    One connection per request — chaos aborts and server restarts make
+    long-lived connections a liability, and on loopback the setup cost
+    is noise.  Thread-safe: workers of one load generator may share a
+    client (and its retry budget, which is the point of the budget).
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        policy: RetryPolicy | None = None,
+        client_id: str | None = None,
+        seed: int = 0,
+        sleep=time.sleep,
+    ) -> None:
+        split = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
+        if split.scheme not in ("", "http"):
+            raise ValueError(f"only http:// endpoints are supported, got {base_url!r}")
+        self.host = split.hostname or "127.0.0.1"
+        self.port = split.port or 80
+        self.policy = policy or RetryPolicy()
+        self.client_id = client_id or f"c{uuid.uuid4().hex[:8]}"
+        self._sleep = sleep
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._budget = self.policy.budget
+        self._mint = itertools.count(1)
+        #: Lifetime counters for load-gen reporting.
+        self.stats = {"requests": 0, "retries": 0, "failures": 0}
+
+    # ------------------------------------------------------------------
+    # Budget
+    # ------------------------------------------------------------------
+    def _spend_retry_token(self) -> bool:
+        with self._lock:
+            if self._budget < 1.0:
+                return False
+            self._budget -= 1.0
+            return True
+
+    def _refund(self) -> None:
+        with self._lock:
+            self._budget = min(
+                self.policy.budget, self._budget + self.policy.budget_refund
+            )
+
+    @property
+    def retry_budget(self) -> float:
+        with self._lock:
+            return self._budget
+
+    # ------------------------------------------------------------------
+    # Core request loop
+    # ------------------------------------------------------------------
+    def _once(self, method: str, path: str, body, headers: dict) -> NetResponse:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.policy.timeout
+        )
+        try:
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            # read() raises IncompleteRead when the socket dies short of
+            # Content-Length — the mid-response abort surfaces here.
+            data = response.read()
+            return NetResponse(response.status, dict(response.getheaders()), data)
+        finally:
+            connection.close()
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        headers: dict | None = None,
+        deadline_ms: float | None = None,
+        idempotent: bool | None = None,
+    ) -> NetResponse:
+        """One logical request, retried per the policy.
+
+        *idempotent* defaults to ``method == "GET"``; pass ``True`` for a
+        POST that is replay-safe (deduplicated server-side).  Raises
+        :class:`NetClientError` when every attempt failed.
+        """
+        if idempotent is None:
+            idempotent = method == "GET"
+        sent_headers = {HEADER_CLIENT_ID: self.client_id}
+        if deadline_ms is not None:
+            sent_headers[HEADER_DEADLINE_MS] = f"{float(deadline_ms):g}"
+        if body is not None:
+            sent_headers["Content-Type"] = "application/json"
+        if headers:
+            sent_headers.update(headers)
+        with self._lock:
+            self.stats["requests"] += 1
+        policy = self.policy
+        last_response: NetResponse | None = None
+        last_error: Exception | None = None
+        for attempt in range(1, policy.attempts + 1):
+            try:
+                response = self._once(method, path, body, sent_headers)
+            except (OSError, http.client.HTTPException) as error:
+                last_error, last_response = error, None
+                if not idempotent:
+                    break  # a non-idempotent request may have landed
+            else:
+                if response.status not in RETRYABLE_STATUSES:
+                    self._refund()
+                    return response
+                last_response, last_error = response, None
+            if attempt == policy.attempts or not self._spend_retry_token():
+                break
+            delay = min(
+                policy.backoff * policy.multiplier ** (attempt - 1),
+                policy.max_backoff,
+            )
+            delay *= 1.0 + policy.jitter * self._rng.random()
+            if last_response is not None:
+                hint = last_response.retry_after_ms
+                if hint is not None:
+                    delay = max(delay, hint / 1000.0)
+            with self._lock:
+                self.stats["retries"] += 1
+            self._sleep(delay)
+        with self._lock:
+            self.stats["failures"] += 1
+        if last_response is not None:
+            raise NetClientError(
+                f"{method} {path} still {last_response.status} after "
+                f"{policy.attempts} attempts",
+                status=last_response.status,
+            )
+        raise NetClientError(f"{method} {path} failed: {last_error}", status=None)
+
+    # ------------------------------------------------------------------
+    # Convenience endpoints
+    # ------------------------------------------------------------------
+    def recommend(
+        self, video_id: str, top_k: int = 10, deadline_ms: float | None = None
+    ) -> NetResponse:
+        return self.request(
+            "GET",
+            f"/recommend/{quote(video_id, safe='')}?top_k={int(top_k)}",
+            deadline_ms=deadline_ms,
+        )
+
+    def interaction(
+        self,
+        user_id: str,
+        video_id: str,
+        watched_percent: float | None = None,
+        liked: int = 0,
+        interaction_id: str | None = None,
+    ) -> NetResponse:
+        """Durably log one interaction; replay-safe (id minted client-side)."""
+        if interaction_id is None:
+            interaction_id = f"{self.client_id}-{next(self._mint)}"
+        doc = {
+            "user_id": user_id,
+            "video_id": video_id,
+            "liked": liked,
+            "interaction_id": interaction_id,
+        }
+        if watched_percent is not None:
+            doc["watched_percent"] = watched_percent
+        return self.request(
+            "POST",
+            "/interaction",
+            body=json.dumps(doc).encode("utf-8"),
+            idempotent=True,
+        )
+
+    def videos(self, limit: int | None = None) -> list[str]:
+        path = "/videos" if limit is None else f"/videos?limit={int(limit)}"
+        return self.request("GET", path).json()["videos"]
+
+    def healthz(self) -> NetResponse:
+        return self.request("GET", "/healthz")
+
+    def readyz(self) -> NetResponse:
+        """One un-retried readiness probe (a drain-time 503 IS the answer)."""
+        return self._once("GET", "/readyz", None, {HEADER_CLIENT_ID: self.client_id})
+
+    def stats_snapshot(self, format: str = "json"):
+        response = self.request("GET", f"/stats?format={format}")
+        if format == "prom":
+            return response.body.decode("utf-8")
+        return response.json()

@@ -1,0 +1,166 @@
+"""Durable interaction logging behind ``POST /interaction``.
+
+Interactions (watched_percent / liked feedback, shaped after the
+Recommender-System-Research exemplar) are the serving-side source of the
+paper's Eq.-8 comment stream — losing one silently breaks the loop from
+serving back into social maintenance.  So every acknowledged interaction
+is durable **before** the 200 goes out, via the same
+:class:`~repro.io.wal.WriteAheadLog` machinery the index mutations use
+(per-record seq + CRC32, fsync-before-ack, torn-tail repair on reopen).
+
+Exactly-once across drain/restart comes from the ``interaction_id``:
+clients supply one (the bundled client mints them), the log keeps the
+set of every id it has ever acknowledged — rebuilt from disk on reopen —
+and a replayed/retried POST with a known id is acknowledged again
+*without* re-logging (``duplicate: true`` in the response).  The netchaos
+soak asserts both halves: no acknowledged record missing after a
+SIGTERM+restart, no id logged twice.
+
+Batch replay into Eq.-8 maintenance is :func:`interaction_pairs` →
+``gateway.apply_comments`` — what the server's ``apply_every`` loop and
+the restart path both run, and what pins the oracle replay's
+``applied_seq`` semantics: the index state behind any response is
+exactly the first ``applied_seq`` log records, applied in log order.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import threading
+import uuid
+
+from repro.io.wal import WriteAheadLog, read_wal
+
+__all__ = [
+    "InteractionLog",
+    "interaction_pairs",
+    "read_interactions",
+    "validate_interaction",
+]
+
+#: WAL op name of one logged interaction.
+OP_INTERACTION = "interaction"
+
+_LIKED_VALUES = (-1, 0, 1)
+
+
+def validate_interaction(doc) -> dict:
+    """Normalize one ``POST /interaction`` body; ``ValueError`` if invalid.
+
+    Required: ``user_id`` and ``video_id`` (non-empty strings).  Optional:
+    ``watched_percent`` (0..100), ``liked`` (-1/0/1, default 0),
+    ``interaction_id`` (minted when absent — but then a client retry is a
+    *new* interaction; idempotent writers supply their own).
+    """
+    if not isinstance(doc, dict):
+        raise ValueError("interaction body must be a JSON object")
+    out: dict = {}
+    for field in ("user_id", "video_id"):
+        value = doc.get(field)
+        if not isinstance(value, str) or not value:
+            raise ValueError(f"interaction field {field!r} must be a non-empty string")
+        out[field] = value
+    watched = doc.get("watched_percent")
+    if watched is not None:
+        if not isinstance(watched, (int, float)) or isinstance(watched, bool):
+            raise ValueError("watched_percent must be a number in 0..100")
+        if not 0 <= watched <= 100:
+            raise ValueError(f"watched_percent must be in 0..100, got {watched}")
+        watched = float(watched)
+    out["watched_percent"] = watched
+    liked = doc.get("liked", 0)
+    if liked not in _LIKED_VALUES:
+        raise ValueError(f"liked must be one of {_LIKED_VALUES}, got {liked!r}")
+    out["liked"] = int(liked)
+    interaction_id = doc.get("interaction_id")
+    if interaction_id is None:
+        interaction_id = f"anon-{uuid.uuid4().hex}"
+    elif not isinstance(interaction_id, str) or not interaction_id:
+        raise ValueError("interaction_id must be a non-empty string")
+    out["interaction_id"] = interaction_id
+    unknown = set(doc) - {
+        "user_id",
+        "video_id",
+        "watched_percent",
+        "liked",
+        "interaction_id",
+        "whenReacted",  # exemplar-compat; accepted and ignored
+    }
+    if unknown:
+        raise ValueError(f"unknown interaction fields: {sorted(unknown)}")
+    return out
+
+
+class InteractionLog:
+    """Durable, deduplicating append log of interaction records.
+
+    One writer lock serializes appends, so the on-disk record order *is*
+    the application order ``applied_seq`` refers to.  Reopening an
+    existing log (the restart path) rebuilds the dedupe set and sequence
+    from disk.
+    """
+
+    def __init__(self, path: str | pathlib.Path, faults=None, sync: bool = True) -> None:
+        self.path = pathlib.Path(path)
+        self._wal = WriteAheadLog(self.path, faults=faults, sync=sync)
+        self._lock = threading.Lock()
+        self._seen: set[str] = set()
+        for record in read_wal(self.path, missing_ok=True).records:
+            if record.op == OP_INTERACTION:
+                self._seen.add(record.payload["interaction_id"])
+
+    @property
+    def seq(self) -> int:
+        """Sequence number of the last durable record."""
+        return self._wal.seq
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._seen)
+
+    def append(self, interaction: dict) -> tuple[int, bool]:
+        """Durably log one *validated* interaction.
+
+        Returns ``(seq, duplicate)``: for a known ``interaction_id`` the
+        record is **not** re-logged and the current sequence comes back
+        with ``duplicate=True`` — acknowledging a client retry without
+        double-counting the comment edge.
+        """
+        with self._lock:
+            interaction_id = interaction["interaction_id"]
+            if interaction_id in self._seen:
+                return self._wal.seq, True
+            seq = self._wal.append(OP_INTERACTION, dict(interaction))
+            self._seen.add(interaction_id)
+            return seq, False
+
+    def flush_and_close(self) -> None:
+        """Close the underlying handle (drain path; reopened on append)."""
+        with self._lock:
+            self._wal.close()
+
+
+def read_interactions(path: str | pathlib.Path) -> list[dict]:
+    """Every durable interaction payload, in log (= application) order.
+
+    Each dict additionally carries its ``seq``.  Tolerates a torn tail
+    exactly like WAL recovery does — a torn record was never
+    acknowledged, so dropping it loses nothing a client was promised.
+    """
+    out = []
+    for record in read_wal(path, missing_ok=True).records:
+        if record.op == OP_INTERACTION:
+            payload = dict(record.payload)
+            payload["seq"] = record.seq
+            out.append(payload)
+    return out
+
+
+def interaction_pairs(records) -> list[tuple[str, str]]:
+    """``(user_id, video_id)`` comment pairs for ``apply_comments``.
+
+    Every interaction counts as one Eq.-8 comment edge regardless of
+    ``liked`` sign — the paper's maintenance is over who commented on
+    what, and a dislike is still engagement evidence.
+    """
+    return [(r["user_id"], r["video_id"]) for r in records]

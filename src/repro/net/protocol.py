@@ -1,0 +1,171 @@
+"""Wire protocol of the HTTP serving front-end.
+
+Everything the server and the bundled client must agree on, in one
+dependency-light module: header names, the JSON error envelope, and the
+**typed error → HTTP status mapping table**.  The table is data
+(:data:`STATUS_TABLE`), not an if-chain, so tests can assert the whole
+mapping and the docs can render it verbatim.
+
+Design rules (DESIGN §14):
+
+* a client mistake is a 4xx with a machine-readable ``kind``; a serving
+  failure is a 5xx; **no response ever carries a raw traceback**;
+* back-pressure (admission shed, rate limit) is 429 with a
+  ``Retry-After`` hint derived from the server's own service-time
+  estimate — clients never hardcode a backoff;
+* a deadline that expires mid-scan is 504 with the best-effort partial
+  ranking *in the body* (the work already done is not thrown away);
+* breaker-open / social-degraded service stays 200 — the ranking is
+  valid, just content-only — flagged ``degraded: true`` with reasons.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.errors import (
+    DurabilityError,
+    NetClientError,
+    OverloadedError,
+    RateLimitedError,
+    ReproError,
+    ServingError,
+    SocialStoreUnavailableError,
+)
+
+__all__ = [
+    "HEADER_CACHE",
+    "HEADER_CLIENT_ID",
+    "HEADER_DEADLINE_MS",
+    "HEADER_RETRY_AFTER",
+    "HEADER_RETRY_AFTER_MS",
+    "STATUS_TABLE",
+    "dump_body",
+    "error_envelope",
+    "map_exception",
+    "recommendation_body",
+    "retry_after_headers",
+]
+
+#: Per-request deadline in milliseconds; propagated into the gateway's
+#: chunked candidate scan.
+HEADER_DEADLINE_MS = "X-Deadline-Ms"
+#: Rate-limiter client key (falls back to the peer address).
+HEADER_CLIENT_ID = "X-Client-Id"
+#: Standard backoff hint on 429/503 (integer seconds, always >= 1).
+HEADER_RETRY_AFTER = "Retry-After"
+#: Millisecond-precision companion of ``Retry-After`` (sub-second
+#: backoffs round to 1 s in the standard header; clients prefer this).
+HEADER_RETRY_AFTER_MS = "X-Retry-After-Ms"
+#: ``hit`` / ``miss`` verdict of the epoch-keyed response cache.
+HEADER_CACHE = "X-Cache"
+
+#: The typed error → HTTP status mapping, most-specific first.  Each row
+#: is ``(exception class, status, kind)``; :func:`map_exception` walks it
+#: top to bottom, so a subclass must appear before its base.
+STATUS_TABLE: tuple[tuple[type[BaseException], int, str], ...] = (
+    (RateLimitedError, 429, "rate_limited"),
+    (OverloadedError, 429, "overloaded"),
+    (SocialStoreUnavailableError, 503, "social_unavailable"),
+    (DurabilityError, 500, "durability"),
+    (ServingError, 500, "serving"),
+    (NetClientError, 502, "upstream"),
+    (ReproError, 500, "serving"),
+    (KeyError, 404, "not_found"),
+    (ValueError, 400, "bad_request"),
+    (Exception, 500, "internal"),
+)
+
+
+def error_envelope(kind: str, message: str, **extra) -> dict:
+    """The JSON error body: ``{"error": {"kind", "message", ...}}``."""
+    body = {"kind": kind, "message": str(message)}
+    body.update(extra)
+    return {"error": body}
+
+
+def retry_after_headers(retry_after_ms: float | None) -> dict[str, str]:
+    """``Retry-After`` (+ millisecond companion) headers for a hint.
+
+    The standard header is ceil'd to whole seconds and floored at 1 — a
+    0-second ``Retry-After`` reads as "retry immediately", which defeats
+    the hint.  Absent hints produce no headers at all.
+    """
+    if retry_after_ms is None:
+        return {}
+    ms = max(1.0, float(retry_after_ms))
+    return {
+        HEADER_RETRY_AFTER: str(max(1, math.ceil(ms / 1000.0))),
+        HEADER_RETRY_AFTER_MS: f"{ms:.0f}",
+    }
+
+
+def map_exception(error: BaseException) -> tuple[int, dict, dict[str, str]]:
+    """``(status, json_body, extra_headers)`` for a caught exception.
+
+    Walks :data:`STATUS_TABLE` top to bottom; the message is the
+    exception's one-line string (``KeyError`` unwraps its args so the id
+    renders without quotes-in-quotes).  A ``retry_after_ms`` attribute on
+    the exception lands both in the body and in the ``Retry-After``
+    headers.  Never returns a traceback.
+    """
+    message = str(error)
+    if isinstance(error, KeyError) and error.args:
+        message = str(error.args[0])
+    for cls, status, kind in STATUS_TABLE:
+        if isinstance(error, cls):
+            extra: dict = {}
+            headers: dict[str, str] = {}
+            hint = getattr(error, "retry_after_ms", None)
+            if hint is not None:
+                extra["retry_after_ms"] = float(hint)
+                headers = retry_after_headers(hint)
+            return status, error_envelope(kind, message, **extra), headers
+    # Unreachable: the table ends with Exception.
+    return 500, error_envelope("internal", message), {}
+
+
+def recommendation_body(
+    query_id: str,
+    algorithm: str,
+    top_k: int,
+    result,
+    applied_seq: int,
+    epoch_key,
+) -> dict:
+    """The JSON body of a recommendation response.
+
+    Shape follows the Recommender-System-Research exemplar
+    (``recommendations: [{"videoId", "score"}]`` + ``algorithm``), plus
+    the serving metadata this repo's robustness story runs on:
+    ``epoch`` / ``applied_seq`` pin the exact index state for bit-exact
+    oracle replay, and ``degraded`` / ``partial`` / ``reasons`` carry the
+    gateway's service-quality verdict onto the wire.
+    """
+    scores = getattr(result, "scores", None)
+    recommendations = [
+        {"videoId": vid}
+        if scores is None
+        else {"videoId": vid, "score": float(scores[rank])}
+        for rank, vid in enumerate(result)
+    ]
+    return {
+        "query": query_id,
+        "algorithm": algorithm,
+        "top_k": int(top_k),
+        "recommendations": recommendations,
+        "epoch": epoch_key,
+        "applied_seq": int(applied_seq),
+        "omega_served": float(getattr(result, "omega_served", 0.0)),
+        "degraded": bool(getattr(result, "degraded", False)),
+        "partial": bool(getattr(result, "partial", False)),
+        "reasons": list(getattr(result, "reasons", ())),
+        "scored": int(getattr(result, "scored", 0)),
+        "total": int(getattr(result, "total", 0)),
+    }
+
+
+def dump_body(body: dict) -> bytes:
+    """Canonical UTF-8 JSON encoding of a response body."""
+    return json.dumps(body, sort_keys=True, separators=(",", ":")).encode("utf-8")

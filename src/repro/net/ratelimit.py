@@ -1,0 +1,89 @@
+"""Per-client token-bucket rate limiting for the HTTP front-end.
+
+The streemm exemplar throttles with Redis ``INCR`` + TTL — a fixed
+window per client key.  This is the same idea without the Redis hop and
+without the window-edge burst artifact: each client key owns a token
+bucket of capacity ``burst`` refilled at ``rate`` tokens/second, checked
+under one small lock.  A rejected request gets the *time until the next
+token* as its ``retry_after_ms`` hint, so well-behaved clients pace
+themselves instead of hammering the window boundary.
+
+The clock is injectable, so the refill arithmetic is tested with a fake
+clock and zero sleeps (the same pattern as :mod:`repro.obs.metrics`).
+Buckets are evicted LRU beyond ``max_keys`` — an adversary minting fresh
+client ids must not grow server memory without bound.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+
+from repro.errors import RateLimitedError
+
+__all__ = ["TokenBucketLimiter"]
+
+
+class TokenBucketLimiter:
+    """Token buckets per client key; ``rate <= 0`` disables limiting."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: int = 1,
+        max_keys: int = 4096,
+        clock=time.monotonic,
+    ) -> None:
+        if rate > 0 and burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        if max_keys < 1:
+            raise ValueError(f"max_keys must be >= 1, got {max_keys}")
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self.max_keys = int(max_keys)
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: key -> [tokens, last_refill_at]; OrderedDict gives LRU eviction.
+        self._buckets: OrderedDict[str, list[float]] = OrderedDict()
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0
+
+    def check(self, key: str) -> float | None:
+        """Take one token for *key*; the ``retry_after_ms`` hint if empty.
+
+        Returns ``None`` when the request is admitted (or limiting is
+        disabled).  A non-``None`` return is the milliseconds until the
+        bucket refills one token — the value the 429 mapping forwards.
+        """
+        if not self.enabled:
+            return None
+        now = self._clock()
+        with self._lock:
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                if len(self._buckets) >= self.max_keys:
+                    self._buckets.popitem(last=False)
+                bucket = [float(self.burst), now]
+                self._buckets[key] = bucket
+            else:
+                self._buckets.move_to_end(key)
+                tokens, last = bucket
+                bucket[0] = min(self.burst, tokens + (now - last) * self.rate)
+                bucket[1] = now
+            if bucket[0] >= 1.0:
+                bucket[0] -= 1.0
+                return None
+            return 1000.0 * (1.0 - bucket[0]) / self.rate
+
+    def require(self, key: str) -> None:
+        """:meth:`check`, raising :class:`RateLimitedError` on rejection."""
+        hint = self.check(key)
+        if hint is not None:
+            raise RateLimitedError(
+                f"client {key!r} exceeded {self.rate:g} requests/s "
+                f"(burst {self.burst})",
+                retry_after_ms=hint,
+            )

@@ -206,6 +206,12 @@ class _AdmissionGate:
     :class:`~repro.errors.OverloadedError`.
     """
 
+    #: EWMA smoothing of the per-query service time feeding the
+    #: ``retry_after_ms`` shed hint (higher = reacts faster to load shifts).
+    SERVICE_EWMA_ALPHA = 0.2
+    #: Hint fallback before any query has completed (seconds).
+    DEFAULT_SERVICE_TIME = 0.05
+
     def __init__(self, max_concurrency: int, queue_depth: int, queue_timeout: float) -> None:
         self._max_concurrency = max_concurrency
         self._queue_depth = queue_depth
@@ -213,6 +219,37 @@ class _AdmissionGate:
         self._cond = threading.Condition(threading.Lock())
         self._inflight = 0
         self._waiting = 0
+        self._avg_service: float | None = None
+
+    def record_service_time(self, seconds: float) -> None:
+        """Fold one completed query's wall-clock into the EWMA (thread-safe)."""
+        seconds = float(seconds)
+        with self._cond:
+            if self._avg_service is None:
+                self._avg_service = seconds
+            else:
+                alpha = self.SERVICE_EWMA_ALPHA
+                self._avg_service += alpha * (seconds - self._avg_service)
+
+    def retry_after_ms(self) -> float:
+        """Backoff hint for a shed request, in milliseconds.
+
+        Queue-theory estimate: the shed request would sit behind the
+        whole backlog (everything in flight beyond the slots it can
+        claim immediately, plus everyone already queued), drained at one
+        query per ``avg_service / max_concurrency`` seconds.  Computed
+        under the gate lock by :meth:`admit`; callers get it on the
+        raised :class:`~repro.errors.OverloadedError`.
+        """
+        with self._cond:
+            return self._retry_after_ms_locked()
+
+    def _retry_after_ms_locked(self) -> float:
+        avg = self._avg_service
+        if avg is None or avg <= 0:
+            avg = self.DEFAULT_SERVICE_TIME
+        backlog = max(self._inflight - self._max_concurrency, 0) + self._waiting + 1
+        return max(1.0, 1000.0 * avg * backlog / self._max_concurrency)
 
     def admit(self, deadline_at: float | None, metrics) -> None:
         with self._cond:
@@ -224,7 +261,8 @@ class _AdmissionGate:
                 metrics.inc("repro_serving_shed_total", reason="queue_full")
                 raise OverloadedError(
                     f"{self._inflight} queries in flight and the admission "
-                    f"queue of {self._queue_depth} is full"
+                    f"queue of {self._queue_depth} is full",
+                    retry_after_ms=self._retry_after_ms_locked(),
                 )
             self._waiting += 1
             metrics.set_gauge("repro_serving_queue_depth", self._waiting)
@@ -238,7 +276,8 @@ class _AdmissionGate:
                         metrics.inc("repro_serving_shed_total", reason="queue_timeout")
                         raise OverloadedError(
                             "queued request outwaited its admission budget "
-                            f"({self._waiting} queued, {self._inflight} in flight)"
+                            f"({self._waiting} queued, {self._inflight} in flight)",
+                            retry_after_ms=self._retry_after_ms_locked(),
                         )
                     self._cond.wait(remaining)
                 self._inflight += 1
@@ -247,7 +286,9 @@ class _AdmissionGate:
                 self._waiting -= 1
                 metrics.set_gauge("repro_serving_queue_depth", self._waiting)
 
-    def release(self, metrics) -> None:
+    def release(self, metrics, service_seconds: float | None = None) -> None:
+        if service_seconds is not None:
+            self.record_service_time(service_seconds)
         with self._cond:
             self._inflight -= 1
             metrics.set_gauge("repro_serving_inflight", self._inflight)
@@ -454,8 +495,8 @@ class ServingGateway:
     def _admit(self, deadline_at: float | None, metrics) -> None:
         self._gate.admit(deadline_at, metrics)
 
-    def _release(self, metrics) -> None:
-        self._gate.release(metrics)
+    def _release(self, metrics, service_seconds: float | None = None) -> None:
+        self._gate.release(metrics, service_seconds)
 
     # ------------------------------------------------------------------
     # Social path: breaker + retry/backoff
@@ -532,6 +573,7 @@ class ServingGateway:
             deadline = self.config.default_deadline
         deadline_at = None if deadline is None else time.monotonic() + float(deadline)
         self._admit(deadline_at, metrics)
+        admitted_at = time.monotonic()
         try:
             with metrics.time("repro_serving_latency_seconds"):
                 epoch = self._epochs.pin()
@@ -599,4 +641,6 @@ class ServingGateway:
                         "repro_serving_epochs_live", self._epochs.live_count
                     )
         finally:
-            self._release(metrics)
+            # The fold into the retry_after_ms EWMA deliberately includes
+            # memo hits — the hint models the *observed* service rate.
+            self._release(metrics, time.monotonic() - admitted_at)

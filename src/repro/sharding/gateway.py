@@ -390,6 +390,7 @@ class ShardedGateway:
             deadline = self.config.default_deadline
         deadline_at = None if deadline is None else time.monotonic() + float(deadline)
         self._gate.admit(deadline_at, metrics)
+        admitted_at = time.monotonic()
         try:
             with metrics.time("repro_sharded_latency_seconds"):
                 vector = self._pin_vector()
@@ -400,7 +401,7 @@ class ShardedGateway:
                 finally:
                     self._unpin_vector(vector)
         finally:
-            self._gate.release(metrics)
+            self._gate.release(metrics, time.monotonic() - admitted_at)
 
     def _scatter(
         self, vector, query_id, top_k, deadline, deadline_at, trace, metrics

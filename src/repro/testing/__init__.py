@@ -21,10 +21,13 @@ __all__ = [
     "FaultPlan",
     "InjectedCrashError",
     "InjectedFaultError",
+    "NetChaosConfig",
+    "NetChaosReport",
     "SoakConfig",
     "SoakReport",
     "register_crash_point",
     "registered_crash_points",
+    "run_net_soak",
     "run_soak",
 ]
 
@@ -34,4 +37,8 @@ def __getattr__(name):
         from repro.testing import chaos
 
         return getattr(chaos, name)
+    if name in ("NetChaosConfig", "NetChaosReport", "run_net_soak"):
+        from repro.testing import netchaos
+
+        return getattr(netchaos, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

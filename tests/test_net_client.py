@@ -1,0 +1,187 @@
+"""Retrying client: backoff schedule, Retry-After, budget, idempotency.
+
+Every test runs against a scripted fake transport (``_once`` overridden)
+with an injected sleep recorder — no server, no sockets, no real
+sleeping — so the exact backoff arithmetic is pinned, not approximated.
+"""
+
+from __future__ import annotations
+
+import http.client
+
+import pytest
+
+from repro.errors import NetClientError
+from repro.net.client import NetResponse, RetryingClient, RetryPolicy
+
+
+def _response(status, headers=None, body=b"{}"):
+    return NetResponse(status, headers or {}, body)
+
+
+class ScriptedClient(RetryingClient):
+    """A client whose transport plays back a script of outcomes.
+
+    Script entries are :class:`NetResponse` instances or exceptions (an
+    exception entry is raised).  The script repeats its last entry when
+    exhausted.  Sleeps are recorded, never slept.
+    """
+
+    def __init__(self, script, policy=None, **kwargs):
+        self.script = list(script)
+        self.calls = []
+        self.sleeps = []
+        super().__init__(
+            "http://127.0.0.1:1",
+            policy or RetryPolicy(),
+            sleep=self.sleeps.append,
+            **kwargs,
+        )
+
+    def _once(self, method, path, body, headers):
+        self.calls.append((method, path))
+        outcome = self.script.pop(0) if len(self.script) > 1 else self.script[0]
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+
+class TestRetries:
+    def test_success_first_try(self):
+        client = ScriptedClient([_response(200)])
+        assert client.request("GET", "/healthz").status == 200
+        assert client.calls == [("GET", "/healthz")]
+        assert client.sleeps == []
+        assert client.stats == {"requests": 1, "retries": 0, "failures": 0}
+
+    def test_429_retried_then_succeeds(self):
+        client = ScriptedClient([_response(429), _response(200)])
+        assert client.request("GET", "/x").status == 200
+        assert len(client.calls) == 2
+        assert client.stats["retries"] == 1
+
+    def test_exponential_schedule_pinned(self):
+        policy = RetryPolicy(attempts=4, backoff=0.05, multiplier=2.0, jitter=0.0)
+        client = ScriptedClient([_response(503)] * 3 + [_response(200)], policy)
+        assert client.request("GET", "/x").status == 200
+        assert client.sleeps == [0.05, 0.1, 0.2]
+
+    def test_max_backoff_caps_delay(self):
+        policy = RetryPolicy(
+            attempts=5, backoff=1.0, multiplier=10.0, max_backoff=1.5, jitter=0.0
+        )
+        client = ScriptedClient([_response(503)] * 4 + [_response(200)], policy)
+        client.request("GET", "/x")
+        assert client.sleeps == [1.0, 1.5, 1.5, 1.5]
+
+    def test_jitter_stretches_but_never_shrinks(self):
+        policy = RetryPolicy(attempts=2, backoff=0.1, jitter=0.5)
+        client = ScriptedClient([_response(503), _response(200)], policy, seed=7)
+        client.request("GET", "/x")
+        (delay,) = client.sleeps
+        assert 0.1 <= delay <= 0.15
+
+    def test_server_hint_overrides_smaller_backoff(self):
+        policy = RetryPolicy(attempts=2, backoff=0.05, jitter=0.0)
+        hinted = _response(429, {"X-Retry-After-Ms": "700"})
+        client = ScriptedClient([hinted, _response(200)], policy)
+        client.request("GET", "/x")
+        assert client.sleeps == [0.7]
+
+    def test_coarse_retry_after_header_used(self):
+        policy = RetryPolicy(attempts=2, backoff=0.05, jitter=0.0)
+        hinted = _response(503, {"Retry-After": "2"})
+        client = ScriptedClient([hinted, _response(200)], policy)
+        client.request("GET", "/x")
+        assert client.sleeps == [2.0]
+
+    def test_exhaustion_raises_typed_error_with_status(self):
+        policy = RetryPolicy(attempts=3, jitter=0.0)
+        client = ScriptedClient([_response(503)], policy)
+        with pytest.raises(NetClientError) as info:
+            client.request("GET", "/x")
+        assert info.value.status == 503
+        assert len(client.calls) == 3
+        assert client.stats["failures"] == 1
+
+    def test_non_retryable_status_returned_verbatim(self):
+        client = ScriptedClient([_response(404)])
+        assert client.request("GET", "/x").status == 404
+        assert len(client.calls) == 1
+
+
+class TestIdempotency:
+    def test_connection_error_retried_for_get(self):
+        client = ScriptedClient([ConnectionRefusedError("refused"), _response(200)])
+        assert client.request("GET", "/x").status == 200
+        assert len(client.calls) == 2
+
+    def test_connection_error_not_retried_for_post(self):
+        client = ScriptedClient([ConnectionRefusedError("refused"), _response(200)])
+        with pytest.raises(NetClientError) as info:
+            client.request("POST", "/interaction", body=b"{}")
+        assert info.value.status is None
+        assert len(client.calls) == 1  # the POST may have landed server-side
+
+    def test_post_with_idempotent_flag_is_retried(self):
+        client = ScriptedClient([ConnectionRefusedError("refused"), _response(200)])
+        response = client.request(
+            "POST", "/interaction", body=b"{}", idempotent=True
+        )
+        assert response.status == 200
+        assert len(client.calls) == 2
+
+    def test_truncated_body_counts_as_connection_error(self):
+        # The chaos abort surfaces as IncompleteRead against Content-Length.
+        error = http.client.IncompleteRead(b"half")
+        client = ScriptedClient([error, _response(200)])
+        assert client.request("GET", "/x").status == 200
+
+    def test_interaction_helper_mints_unique_ids_and_retries(self):
+        client = ScriptedClient(
+            [ConnectionRefusedError("refused"), _response(200)],
+            client_id="c1",
+        )
+        assert client.interaction("u1", "v1").status == 200
+        assert len(client.calls) == 2  # retried: the minted id deduplicates
+        # Ids are unique per logical interaction, not per attempt.
+        client.script = [_response(200)]
+        client.interaction("u1", "v1")
+        assert client.client_id == "c1"
+
+
+class TestBudget:
+    def test_budget_exhaustion_stops_retrying(self):
+        policy = RetryPolicy(attempts=3, jitter=0.0, budget=1.0, budget_refund=0.0)
+        client = ScriptedClient([_response(503)], policy)
+        with pytest.raises(NetClientError):
+            client.request("GET", "/x")
+        assert len(client.calls) == 2  # 1 try + the single budgeted retry
+        with pytest.raises(NetClientError):
+            client.request("GET", "/x")
+        assert len(client.calls) == 3  # no tokens left: fail fast
+        assert client.retry_budget == 0.0
+
+    def test_successes_refund_budget(self):
+        policy = RetryPolicy(attempts=2, jitter=0.0, budget=1.0, budget_refund=0.5)
+        client = ScriptedClient([_response(503), _response(200)], policy)
+        client.request("GET", "/x")
+        assert client.retry_budget == 0.5
+        client.script = [_response(200)]
+        client.request("GET", "/x")
+        assert client.retry_budget == 1.0  # capped at the initial pool
+
+
+class TestNetResponse:
+    def test_json_and_case_insensitive_headers(self):
+        response = NetResponse(200, {"X-Cache": "hit"}, b'{"ok":true}')
+        assert response.json() == {"ok": True}
+        assert response.header("x-cache") == "hit"
+        assert response.header("missing") is None
+
+    def test_retry_after_ms_prefers_precise_header(self):
+        both = NetResponse(429, {"Retry-After": "3", "X-Retry-After-Ms": "123"}, b"")
+        assert both.retry_after_ms == 123.0
+        coarse = NetResponse(429, {"Retry-After": "3"}, b"")
+        assert coarse.retry_after_ms == 3000.0
+        assert NetResponse(200, {}, b"").retry_after_ms is None

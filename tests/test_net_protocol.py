@@ -1,0 +1,173 @@
+"""Wire protocol: the typed error → status table, hints, body shapes.
+
+The table is the contract between the server, the bundled client and the
+docs — these tests assert the *whole* mapping, the subclass ordering that
+makes it correct, the ``Retry-After`` hint plumbing, and the canonical
+body encodings the netchaos oracle replays bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import (
+    DurabilityError,
+    NetClientError,
+    OverloadedError,
+    RateLimitedError,
+    ReproError,
+    ServingError,
+    SocialStoreUnavailableError,
+)
+from repro.net.protocol import (
+    HEADER_RETRY_AFTER,
+    HEADER_RETRY_AFTER_MS,
+    STATUS_TABLE,
+    dump_body,
+    error_envelope,
+    map_exception,
+    recommendation_body,
+    retry_after_headers,
+)
+
+
+class TestStatusTable:
+    def test_every_row_maps(self):
+        expected = {
+            RateLimitedError: (429, "rate_limited"),
+            OverloadedError: (429, "overloaded"),
+            SocialStoreUnavailableError: (503, "social_unavailable"),
+            DurabilityError: (500, "durability"),
+            ServingError: (500, "serving"),
+            NetClientError: (502, "upstream"),
+            ReproError: (500, "serving"),
+            KeyError: (404, "not_found"),
+            ValueError: (400, "bad_request"),
+            Exception: (500, "internal"),
+        }
+        assert {cls: (status, kind) for cls, status, kind in STATUS_TABLE} == expected
+        for cls, status, kind in STATUS_TABLE:
+            got_status, body, _ = map_exception(cls("boom"))
+            assert got_status == status
+            assert body["error"]["kind"] == kind
+
+    def test_no_row_shadowed_by_an_earlier_base(self):
+        # map_exception walks top to bottom: a row whose class is a
+        # subclass of any earlier row's class is unreachable dead code.
+        order = [cls for cls, _, _ in STATUS_TABLE]
+        for i, earlier in enumerate(order):
+            for later in order[i + 1 :]:
+                assert not (later is not earlier and issubclass(later, earlier)), (
+                    f"{later.__name__} is unreachable behind its base "
+                    f"{earlier.__name__}"
+                )
+        # The concrete cases the server actually relies on:
+        assert map_exception(RateLimitedError("x"))[0] == 429  # not ServingError 500
+        assert map_exception(OverloadedError("x"))[0] == 429
+        assert map_exception(NetClientError("x"))[0] == 502  # not ReproError 500
+
+    def test_no_traceback_ever(self):
+        try:
+            raise RuntimeError("secret internal detail")
+        except RuntimeError as error:
+            status, body, headers = map_exception(error)
+        assert status == 500
+        text = json.dumps(body)
+        assert "Traceback" not in text
+        assert "File" not in text
+        assert body["error"] == {"kind": "internal", "message": "secret internal detail"}
+
+    def test_keyerror_message_unwrapped(self):
+        _, body, _ = map_exception(KeyError("unknown video 'v9'"))
+        # No quotes-in-quotes from KeyError's repr-style str().
+        assert body["error"]["message"] == "unknown video 'v9'"
+
+
+class TestRetryAfter:
+    def test_absent_hint_no_headers(self):
+        assert retry_after_headers(None) == {}
+        status, body, headers = map_exception(OverloadedError("full"))
+        assert status == 429
+        assert headers == {}
+        assert "retry_after_ms" not in body["error"]
+
+    def test_hint_lands_in_body_and_headers(self):
+        status, body, headers = map_exception(
+            OverloadedError("full", retry_after_ms=250.0)
+        )
+        assert status == 429
+        assert body["error"]["retry_after_ms"] == 250.0
+        assert headers[HEADER_RETRY_AFTER_MS] == "250"
+        # Sub-second hints still advertise a whole-second standard header.
+        assert headers[HEADER_RETRY_AFTER] == "1"
+
+    def test_standard_header_ceils(self):
+        assert retry_after_headers(2500.0)[HEADER_RETRY_AFTER] == "3"
+        assert retry_after_headers(2000.0)[HEADER_RETRY_AFTER] == "2"
+        # Floor: a 0 hint must not read as "retry immediately".
+        tiny = retry_after_headers(0.0)
+        assert tiny[HEADER_RETRY_AFTER] == "1"
+        assert tiny[HEADER_RETRY_AFTER_MS] == "1"
+
+    def test_rate_limited_hint_forwarded(self):
+        status, body, headers = map_exception(
+            RateLimitedError("slow down", retry_after_ms=40.0)
+        )
+        assert status == 429
+        assert body["error"]["kind"] == "rate_limited"
+        assert headers[HEADER_RETRY_AFTER_MS] == "40"
+
+
+class _Result(list):
+    """Stub gateway result: iterable of ids + serving metadata attrs."""
+
+    def __init__(self, ids, scores=None, **attrs):
+        super().__init__(ids)
+        if scores is not None:
+            self.scores = scores
+        for name, value in attrs.items():
+            setattr(self, name, value)
+
+
+class TestBodies:
+    def test_error_envelope_shape(self):
+        body = error_envelope("bad_request", "nope", retry_after_ms=5.0)
+        assert body == {
+            "error": {"kind": "bad_request", "message": "nope", "retry_after_ms": 5.0}
+        }
+
+    def test_recommendation_body_fields(self):
+        result = _Result(
+            ["v2", "v7"],
+            scores=[0.9, 0.25],
+            omega_served=0.7,
+            degraded=False,
+            partial=False,
+            reasons=(),
+            scored=12,
+            total=14,
+        )
+        body = recommendation_body("v1", "csf-sar-h", 10, result, 3, 5)
+        assert body["query"] == "v1"
+        assert body["algorithm"] == "csf-sar-h"
+        assert body["top_k"] == 10
+        assert body["recommendations"] == [
+            {"videoId": "v2", "score": 0.9},
+            {"videoId": "v7", "score": 0.25},
+        ]
+        assert body["epoch"] == 5
+        assert body["applied_seq"] == 3
+        assert body["omega_served"] == 0.7
+        assert body["degraded"] is False
+        assert body["partial"] is False
+        assert body["scored"] == 12
+        assert body["total"] == 14
+
+    def test_recommendation_body_without_scores(self):
+        body = recommendation_body("v1", "knn", 5, _Result(["v2"]), 0, 0)
+        assert body["recommendations"] == [{"videoId": "v2"}]
+
+    def test_dump_body_is_canonical(self):
+        payload = dump_body({"b": 1, "a": {"z": 2, "y": 3}})
+        assert payload == b'{"a":{"y":3,"z":2},"b":1}'
+        assert json.loads(payload) == {"b": 1, "a": {"z": 2, "y": 3}}

@@ -1,0 +1,506 @@
+"""HTTP front-end: routing, cache, rate limit, interactions, drain, chaos.
+
+Most tests exercise :class:`RecommendService.handle` directly — the
+transport-independent core — against a real live index; the deadline/
+degraded status mappings use a stub gateway (a tiny index finishes its
+scan before any real deadline can expire).  The final class goes through
+real sockets: :class:`ReproHTTPServer` + :class:`RetryingClient`,
+including fault injection, mid-response aborts and graceful drain.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import LiveCommunityIndex
+from repro.errors import NetClientError, OverloadedError
+from repro.net import (
+    ChaosSchedule,
+    InteractionLog,
+    NetConfig,
+    RecommendService,
+    ReproHTTPServer,
+    RetryingClient,
+    RetryPolicy,
+    TokenBucketLimiter,
+    read_interactions,
+)
+from repro.net.server import NET_REQUEST_POINT, NET_RESPONSE_POINT
+from repro.serving import ServingGateway
+from repro.testing.faults import FaultPlan
+
+
+@pytest.fixture(scope="module")
+def live(workload, config):
+    dataset = workload.dataset
+    live = LiveCommunityIndex(dataset.subset(sorted(dataset.records)), config)
+    live.dataset.comments = list(dataset.comments)
+    return live
+
+
+@pytest.fixture()
+def service(live, tmp_path):
+    gateway = ServingGateway(live)
+    return RecommendService(
+        gateway, InteractionLog(tmp_path / "interactions.wal")
+    )
+
+
+def body_of(payload: bytes) -> dict:
+    return json.loads(payload.decode("utf-8"))
+
+
+def make_service(live, tmp_path, config=None, clock=None, name="log.wal"):
+    kwargs = {} if clock is None else {"clock": clock}
+    return RecommendService(
+        ServingGateway(live),
+        InteractionLog(tmp_path / name),
+        config,
+        **kwargs,
+    )
+
+
+class TestRouting:
+    def test_healthz_always_200(self, service):
+        status, _, payload = service.handle("GET", "/healthz")
+        assert status == 200
+        assert body_of(payload) == {"status": "ok"}
+        service.begin_drain()
+        assert service.handle("GET", "/healthz")[0] == 200
+
+    def test_readyz_reports_epoch_and_goes_red_on_drain(self, service):
+        status, _, payload = service.handle("GET", "/readyz")
+        assert status == 200
+        body = body_of(payload)
+        assert body["status"] == "ready"
+        assert body["applied_seq"] == 0
+        service.begin_drain()
+        status, _, payload = service.handle("GET", "/readyz")
+        assert status == 503
+        assert body_of(payload)["status"] == "draining"
+
+    def test_recommend_happy_path(self, service, live):
+        video = live.video_ids[0]
+        status, extra, payload = service.handle(
+            "GET", f"/recommend/{video}", {"top_k": "5"}
+        )
+        assert status == 200
+        assert extra["X-Cache"] == "miss"
+        body = body_of(payload)
+        assert body["query"] == video
+        assert 0 < len(body["recommendations"]) <= 5
+        assert all(
+            set(r) == {"videoId", "score"} for r in body["recommendations"]
+        )
+        assert body["degraded"] is False and body["partial"] is False
+
+    def test_unknown_video_404(self, service):
+        status, _, payload = service.handle("GET", "/recommend/nope")
+        assert status == 404
+        assert body_of(payload)["error"]["kind"] == "not_found"
+
+    def test_unknown_route_404(self, service):
+        assert service.handle("GET", "/wat")[0] == 404
+
+    def test_wrong_method_405(self, service, live):
+        video = live.video_ids[0]
+        assert service.handle("POST", f"/recommend/{video}")[0] == 405
+        assert service.handle("GET", "/interaction")[0] == 405
+
+    def test_bad_top_k_400(self, service, live):
+        video = live.video_ids[0]
+        status, _, payload = service.handle(
+            "GET", f"/recommend/{video}", {"top_k": "0"}
+        )
+        assert status == 400
+        assert body_of(payload)["error"]["kind"] == "bad_request"
+        assert service.handle(
+            "GET", f"/recommend/{video}", {"top_k": "2000"}
+        )[0] == 400
+
+    def test_bad_deadline_header_400(self, service, live):
+        video = live.video_ids[0]
+        for bad in ("abc", "-5", "0"):
+            status, _, _ = service.handle(
+                "GET", f"/recommend/{video}", {}, {"X-Deadline-Ms": bad}
+            )
+            assert status == 400
+
+    def test_drain_rejects_new_work_with_503(self, service, live):
+        service.begin_drain()
+        video = live.video_ids[0]
+        status, _, payload = service.handle("GET", f"/recommend/{video}")
+        assert status == 503
+        assert body_of(payload)["error"]["kind"] == "draining"
+        status, _, _ = service.handle("POST", "/interaction", body=b"{}")
+        assert status == 503
+
+    def test_videos_listing_with_limit(self, service, live):
+        status, _, payload = service.handle("GET", "/videos", {"limit": "3"})
+        assert status == 200
+        body = body_of(payload)
+        assert body["count"] == len(live.video_ids)
+        assert len(body["videos"]) == 3
+
+    def test_stats_json_and_prometheus(self, service):
+        status, _, payload = service.handle("GET", "/stats")
+        assert status == 200
+        assert "counters" in body_of(payload)
+        status, extra, payload = service.handle(
+            "GET", "/stats", {"format": "prom"}
+        )
+        assert status == 200
+        assert extra["Content-Type"].startswith("text/plain")
+        assert b"# TYPE" in payload
+
+
+class TestResponseCache:
+    def test_hit_is_bit_identical(self, service, live):
+        video = live.video_ids[0]
+        _, extra1, payload1 = service.handle("GET", f"/recommend/{video}")
+        _, extra2, payload2 = service.handle("GET", f"/recommend/{video}")
+        assert extra1["X-Cache"] == "miss"
+        assert extra2["X-Cache"] == "hit"
+        assert payload1 == payload2
+
+    def test_epoch_publication_invalidates(self, live, tmp_path):
+        service = make_service(live, tmp_path, NetConfig(apply_every=1))
+        video = live.video_ids[0]
+        service.handle("GET", f"/recommend/{video}")
+        assert service.handle("GET", f"/recommend/{video}")[1]["X-Cache"] == "hit"
+        doc = {"user_id": "u-cache", "video_id": video, "interaction_id": "i-1"}
+        status, _, payload = service.handle(
+            "POST", "/interaction", body=json.dumps(doc).encode()
+        )
+        assert status == 200
+        assert body_of(payload)["applied_seq"] == 1
+        # New epoch: the cached generation is gone, and the fresh body
+        # advertises the new applied_seq.
+        _, extra, payload = service.handle("GET", f"/recommend/{video}")
+        assert extra["X-Cache"] == "miss"
+        assert body_of(payload)["applied_seq"] == 1
+        assert service.cache.invalidations > 0
+
+    def test_different_top_k_miss_separately(self, service, live):
+        video = live.video_ids[0]
+        service.handle("GET", f"/recommend/{video}", {"top_k": "3"})
+        _, extra, _ = service.handle("GET", f"/recommend/{video}", {"top_k": "4"})
+        assert extra["X-Cache"] == "miss"
+
+
+class TestRateLimit:
+    def test_bucket_enforced_with_hint(self, live, tmp_path):
+        now = [100.0]
+        service = make_service(
+            live,
+            tmp_path,
+            NetConfig(rate_limit=10.0, rate_burst=2),
+            clock=lambda: now[0],
+        )
+        video = live.video_ids[0]
+        assert service.handle("GET", f"/recommend/{video}", client="c1")[0] == 200
+        assert service.handle("GET", f"/recommend/{video}", client="c1")[0] == 200
+        status, extra, payload = service.handle(
+            "GET", f"/recommend/{video}", client="c1"
+        )
+        assert status == 429
+        body = body_of(payload)
+        assert body["error"]["kind"] == "rate_limited"
+        assert body["error"]["retry_after_ms"] == pytest.approx(100.0)
+        assert extra["Retry-After"] == "1"
+        assert extra["X-Retry-After-Ms"] == "100"
+        # Other clients are unaffected; time refills the bucket.
+        assert service.handle("GET", f"/recommend/{video}", client="c2")[0] == 200
+        now[0] += 0.2
+        assert service.handle("GET", f"/recommend/{video}", client="c1")[0] == 200
+
+    def test_limiter_unit_refill_and_eviction(self):
+        now = [0.0]
+        limiter = TokenBucketLimiter(2.0, burst=1, max_keys=2, clock=lambda: now[0])
+        assert limiter.check("a") is None
+        hint = limiter.check("a")
+        assert hint == pytest.approx(500.0)
+        now[0] += 0.5
+        assert limiter.check("a") is None
+        # LRU eviction bounds adversarial key minting.
+        limiter.check("b")
+        limiter.check("c")
+        assert len(limiter._buckets) == 2
+
+
+class TestInteractions:
+    def _post(self, service, doc):
+        return service.handle(
+            "POST", "/interaction", body=json.dumps(doc).encode("utf-8")
+        )
+
+    def test_logged_durably_with_ack(self, service, live):
+        video = live.video_ids[0]
+        status, _, payload = self._post(
+            service,
+            {"user_id": "u1", "video_id": video, "interaction_id": "i-1",
+             "watched_percent": 80, "liked": 1},
+        )
+        assert status == 200
+        body = body_of(payload)
+        assert body == {
+            "status": "logged",
+            "interaction_id": "i-1",
+            "seq": 1,
+            "duplicate": False,
+            "applied_seq": 0,
+        }
+        records = read_interactions(service.interactions.path)
+        assert [r["interaction_id"] for r in records] == ["i-1"]
+
+    def test_duplicate_id_acked_without_relogging(self, service, live):
+        video = live.video_ids[0]
+        doc = {"user_id": "u1", "video_id": video, "interaction_id": "i-dup"}
+        assert self._post(service, doc)[0] == 200
+        status, _, payload = self._post(service, doc)
+        assert status == 200
+        assert body_of(payload)["duplicate"] is True
+        assert len(read_interactions(service.interactions.path)) == 1
+
+    def test_validation_errors_400(self, service, live):
+        video = live.video_ids[0]
+        cases = [
+            {},  # missing both ids
+            {"user_id": "u1"},
+            {"user_id": "u1", "video_id": video, "liked": 7},
+            {"user_id": "u1", "video_id": video, "watched_percent": 150},
+            {"user_id": "u1", "video_id": video, "surprise": 1},
+        ]
+        for doc in cases:
+            assert self._post(service, doc)[0] == 400, doc
+
+    def test_malformed_json_400(self, service):
+        status, _, payload = service.handle(
+            "POST", "/interaction", body=b"{not json"
+        )
+        assert status == 400
+        assert body_of(payload)["error"]["kind"] == "bad_request"
+
+    def test_unknown_video_404(self, service):
+        assert self._post(
+            service, {"user_id": "u1", "video_id": "ghost"}
+        )[0] == 404
+
+    def test_oversized_body_413(self, live, tmp_path):
+        service = make_service(live, tmp_path, NetConfig(max_body_bytes=64))
+        status, _, payload = service.handle(
+            "POST", "/interaction", body=b"x" * 65
+        )
+        assert status == 413
+        assert body_of(payload)["error"]["kind"] == "too_large"
+
+    def test_apply_every_folds_batches(self, live, tmp_path):
+        service = make_service(live, tmp_path, NetConfig(apply_every=2))
+        video = live.video_ids[0]
+        epoch_before = service._current_epoch_key()
+        self._post(service, {"user_id": "u1", "video_id": video, "interaction_id": "a"})
+        assert service.applied_seq == 0  # batch not full yet
+        self._post(service, {"user_id": "u2", "video_id": video, "interaction_id": "b"})
+        assert service.applied_seq == 2
+        assert service._current_epoch_key() != epoch_before
+
+    def test_restart_replays_log(self, live, tmp_path):
+        service = make_service(live, tmp_path, NetConfig(apply_every=1), name="r.wal")
+        video = live.video_ids[0]
+        self._post(service, {"user_id": "u1", "video_id": video, "interaction_id": "x"})
+        assert service.applied_seq == 1
+        service.flush()
+        reborn = make_service(live, tmp_path, name="r.wal")
+        assert reborn.applied_seq == 1
+        status, _, payload = reborn.handle("GET", "/readyz")
+        assert body_of(payload)["applied_seq"] == 1
+
+
+class _StubResult(list):
+    def __init__(self, ids, **attrs):
+        super().__init__(ids)
+        defaults = {
+            "scores": [1.0] * len(ids),
+            "epoch_id": 0,
+            "omega_served": 0.7,
+            "degraded": False,
+            "partial": False,
+            "reasons": (),
+            "scored": len(ids),
+            "total": len(ids),
+        }
+        defaults.update(attrs)
+        for name, value in defaults.items():
+            setattr(self, name, value)
+
+
+class _StubGateway:
+    """Serves canned results; lets tests force partial/degraded/errors."""
+
+    def __init__(self, result=None, error=None):
+        self.result = result
+        self.error = error
+
+        class _Epoch:
+            epoch_id = 0
+            series = {"v1": None, "v2": None}
+            video_ids = ["v1", "v2"]
+
+        self.current_epoch = _Epoch()
+
+    def recommend(self, video_id, top_k, deadline=None):
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+    def apply_comments(self, pairs):
+        pass
+
+
+def stub_service(tmp_path, **stub_kwargs):
+    return RecommendService(
+        _StubGateway(**stub_kwargs), InteractionLog(tmp_path / "stub.wal")
+    )
+
+
+class TestStatusMapping:
+    def test_expired_deadline_is_504_with_partial_body(self, tmp_path):
+        result = _StubResult(["v2"], partial=True, reasons=("deadline",))
+        service = stub_service(tmp_path, result=result)
+        status, extra, payload = service.handle(
+            "GET", "/recommend/v1", {}, {"X-Deadline-Ms": "5"}
+        )
+        assert status == 504
+        body = body_of(payload)
+        assert body["partial"] is True
+        assert body["recommendations"] == [{"videoId": "v2", "score": 1.0}]
+        # Partial rankings are never cached: the next request rescans.
+        assert service.handle(
+            "GET", "/recommend/v1", {}, {"X-Deadline-Ms": "5"}
+        )[1]["X-Cache"] == "miss"
+
+    def test_degraded_stays_200_flagged_and_uncached(self, tmp_path):
+        result = _StubResult(["v2"], degraded=True, reasons=("breaker_open",))
+        service = stub_service(tmp_path, result=result)
+        status, extra, payload = service.handle("GET", "/recommend/v1")
+        assert status == 200
+        body = body_of(payload)
+        assert body["degraded"] is True
+        assert body["reasons"] == ["breaker_open"]
+        assert service.handle("GET", "/recommend/v1")[1]["X-Cache"] == "miss"
+
+    def test_overload_is_429_with_retry_after(self, tmp_path):
+        service = stub_service(
+            tmp_path, error=OverloadedError("full", retry_after_ms=75.0)
+        )
+        status, extra, payload = service.handle("GET", "/recommend/v1")
+        assert status == 429
+        assert body_of(payload)["error"]["kind"] == "overloaded"
+        assert extra["X-Retry-After-Ms"] == "75"
+
+    def test_unexpected_exception_is_500_without_traceback(self, tmp_path):
+        service = stub_service(tmp_path, error=RuntimeError("kaboom"))
+        status, _, payload = service.handle("GET", "/recommend/v1")
+        assert status == 500
+        body = body_of(payload)
+        assert body["error"]["kind"] == "internal"
+        assert "Traceback" not in payload.decode("utf-8")
+
+
+class TestOverSockets:
+    @pytest.fixture()
+    def server(self, service):
+        with ReproHTTPServer(service) as server:
+            yield server
+
+    def test_end_to_end_recommend_and_cache(self, server, live):
+        client = RetryingClient(server.url)
+        video = live.video_ids[0]
+        first = client.recommend(video, top_k=5)
+        second = client.recommend(video, top_k=5)
+        assert first.status == 200 and second.status == 200
+        assert first.header("X-Cache") == "miss"
+        assert second.header("X-Cache") == "hit"
+        assert first.body == second.body
+
+    def test_interaction_round_trip(self, server, live):
+        client = RetryingClient(server.url)
+        video = live.video_ids[0]
+        response = client.interaction("u-sock", video, watched_percent=50, liked=1)
+        assert response.status == 200
+        assert response.json()["duplicate"] is False
+
+    def test_oversized_body_refused_without_reading(self, service, live):
+        with ReproHTTPServer(service) as server:
+            client = RetryingClient(server.url)
+            huge = b"x" * (service.config.max_body_bytes + 1)
+            response = client.request("POST", "/interaction", body=huge)
+            assert response.status == 413
+
+    def test_fault_injection_503_then_recovers(self, live, tmp_path):
+        faults = FaultPlan(fail_at={NET_REQUEST_POINT: 1})
+        service = make_service(live, tmp_path)
+        with ReproHTTPServer(service, faults=faults) as server:
+            client = RetryingClient(
+                server.url, RetryPolicy(attempts=3, backoff=0.01)
+            )
+            response = client.recommend(live.video_ids[0])
+            # The injected 503 was retried away; the payload is intact.
+            assert response.status == 200
+            assert client.stats["retries"] == 1
+
+    def test_response_point_fault_torn_read_retried(self, live, tmp_path):
+        # A fault at the response point aborts the write mid-body: the
+        # client sees a torn read, and — the request being idempotent —
+        # retries it to a clean 200.
+        faults = FaultPlan(fail_at={NET_RESPONSE_POINT: 1})
+        service = make_service(live, tmp_path)
+        with ReproHTTPServer(service, faults=faults) as server:
+            client = RetryingClient(
+                server.url, RetryPolicy(attempts=3, backoff=0.01)
+            )
+            response = client.recommend(live.video_ids[0])
+            assert response.status == 200
+            assert client.stats["retries"] == 1
+
+    def test_mid_response_abort_retried_by_client(self, live, tmp_path):
+        service = make_service(live, tmp_path)
+        chaos = ChaosSchedule(abort_every=2)
+        with ReproHTTPServer(service, chaos=chaos) as server:
+            client = RetryingClient(
+                server.url, RetryPolicy(attempts=4, backoff=0.01)
+            )
+            video = live.video_ids[0]
+            for _ in range(4):
+                assert client.recommend(video).status == 200
+            assert client.stats["retries"] >= 1
+
+    def test_abort_during_interaction_deduped_on_retry(self, live, tmp_path):
+        service = make_service(live, tmp_path)
+        chaos = ChaosSchedule(abort_every=1)  # every response dies mid-write
+        with ReproHTTPServer(service, chaos=chaos) as server:
+            client = RetryingClient(
+                server.url, RetryPolicy(attempts=4, backoff=0.01)
+            )
+            with pytest.raises(NetClientError):
+                client.interaction("u-abort", live.video_ids[0])
+        # Every retry carried the same interaction_id: logged exactly once.
+        records = read_interactions(service.interactions.path)
+        assert len(records) == 1
+
+    def test_graceful_drain_finishes_and_flushes(self, live, tmp_path):
+        service = make_service(live, tmp_path)
+        server = ReproHTTPServer(service).start()
+        client = RetryingClient(server.url)
+        video = live.video_ids[0]
+        assert client.recommend(video).status == 200
+        assert client.readyz().status == 200
+        leftover = server.drain(timeout=2.0)
+        assert leftover == 0
+        assert service.draining
+        # The listener is down: a fresh connection is refused.
+        probe = RetryingClient(server.url, RetryPolicy(attempts=1, timeout=0.5))
+        with pytest.raises(NetClientError):
+            probe.healthz()

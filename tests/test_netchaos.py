@@ -1,0 +1,76 @@
+"""Network chaos soak acceptance: exactly-once + bit-identical over HTTP.
+
+One multi-process soak runs module-scoped — a real ``repro serve``
+subprocess SIGTERMed mid-load and restarted on the same port, real
+``repro load`` subprocesses, chaos slow/abort injection — and the tests
+assert its invariants.  ``NETCHAOS_QUERIES`` scales the attempt count
+(CI smoke uses a few hundred; the acceptance bar is the >= 10k run in
+``benchmarks/bench_http_serving.py``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.testing.netchaos import NetChaosConfig, run_net_soak
+
+QUERIES = int(os.environ.get("NETCHAOS_QUERIES", "800"))
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_net_soak(
+        NetChaosConfig(
+            queries=QUERIES,
+            loadgens=2,
+            concurrency=3,
+            interact_every=5,
+            apply_every=10,
+            chaos_slow_every=50,
+            chaos_slow_ms=5.0,
+            chaos_abort_every=37,
+        )
+    )
+
+
+class TestNetSoakInvariants:
+    def test_overall_verdict(self, report):
+        assert report.ok, vars(report)
+
+    def test_every_attempt_accounted_for(self, report):
+        # Every query a loadgen attempted produced exactly one row —
+        # success, typed failure or connection error, never silence.
+        assert report.attempted == QUERIES
+        assert sum(report.by_status.values()) == QUERIES
+        assert not report.loadgen_failures
+        assert all(code == 0 for code in report.loadgen_exits)
+
+    def test_zero_lost_interactions(self, report):
+        # Every interaction a client saw a 200 for is durable in the log,
+        # across the mid-soak SIGTERM drain and the restart.
+        assert report.lost_acks == []
+        assert report.interactions_acked > 0
+        assert report.logged_records > 0
+
+    def test_zero_duplicated_records(self, report):
+        assert report.double_logged == []
+
+    def test_clean_drain_and_restart(self, report):
+        assert report.server_exits == [0, 0]
+        assert report.restarts == 1
+        # The drain fired while load was live, and the restarted server
+        # replayed the durable log before serving.
+        assert report.loadgens_alive_at_sigterm > 0
+        assert report.served_at_sigterm > 0
+        assert 0 < report.replayed_on_restart <= report.logged_records
+
+    def test_every_200_oracle_verified(self, report):
+        assert report.oracle_checked == report.recommend_ok - report.degraded_served
+        assert report.oracle_failures == []
+        assert report.oracle_checked > 0
+
+    def test_no_internal_errors_on_the_wire(self, report):
+        assert report.server_500s == 0
+        assert "500" not in report.by_status

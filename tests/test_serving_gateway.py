@@ -14,7 +14,6 @@ import threading
 
 import pytest
 
-from repro.community.models import Comment
 from repro.core import FusionRecommender, LiveCommunityIndex
 from repro.errors import OverloadedError, ServingError
 from repro.serving import (
@@ -226,6 +225,62 @@ class TestAdmission:
         finally:
             hold.set()
             thread.join()
+
+    def test_shed_carries_retry_after_hint(self, live, query):
+        gw = ServingGateway(
+            live,
+            config=GatewayConfig(max_concurrency=1, queue_depth=0, queue_timeout=0.01),
+        )
+        thread, hold = self._saturate(gw, query)
+        try:
+            with pytest.raises(OverloadedError) as info:
+                gw.recommend(query)
+        finally:
+            hold.set()
+            thread.join()
+        assert info.value.retry_after_ms is not None
+        assert info.value.retry_after_ms >= 1.0
+
+
+class TestRetryAfterHint:
+    """Regression pins of the EWMA-derived ``retry_after_ms`` arithmetic."""
+
+    def _gate(self, max_concurrency=2, queue_depth=4):
+        from repro.serving.gateway import _AdmissionGate
+
+        return _AdmissionGate(max_concurrency, queue_depth, queue_timeout=1.0)
+
+    def test_default_service_time_before_any_query(self):
+        # backlog=1, avg=DEFAULT_SERVICE_TIME=0.05s, concurrency 2:
+        # 1000 * 0.05 * 1 / 2 = 25 ms.
+        assert self._gate().retry_after_ms() == pytest.approx(25.0)
+
+    def test_ewma_folds_service_times(self):
+        gate = self._gate()
+        gate.record_service_time(0.1)
+        assert gate.retry_after_ms() == pytest.approx(1000.0 * 0.1 / 2)
+        # alpha=0.2: 0.1 + 0.2 * (0.2 - 0.1) = 0.12
+        gate.record_service_time(0.2)
+        assert gate.retry_after_ms() == pytest.approx(1000.0 * 0.12 / 2)
+
+    def test_hint_scales_with_backlog(self):
+        from repro.obs import get_metrics
+
+        gate = self._gate(max_concurrency=1, queue_depth=0)
+        gate.record_service_time(0.04)
+        gate.admit(None, get_metrics())  # takes the only slot
+        try:
+            with pytest.raises(OverloadedError) as info:
+                gate.admit(None, get_metrics())
+        finally:
+            gate.release(get_metrics())
+        # backlog = (1-1) + 0 waiting + 1 = 1 -> 1000 * 0.04 * 1 / 1.
+        assert info.value.retry_after_ms == pytest.approx(40.0)
+
+    def test_hint_floor_is_one_millisecond(self):
+        gate = self._gate(max_concurrency=8)
+        gate.record_service_time(0.000001)
+        assert gate.retry_after_ms() == 1.0
 
 
 # ----------------------------------------------------------------------
