@@ -1,0 +1,364 @@
+"""Odd-sketch social mode: ranking accuracy, memory, and update cost.
+
+Three questions, one synthetic community generator scaled for each:
+
+* **Accuracy** — for seeded commenter sets with a full spread of true
+  overlaps, how well does the sketch estimate *rank* candidates compared
+  to exact Jaccard (Spearman rank correlation, the metric that matters
+  for a top-k recommender), across sketch widths — and how does SAR's
+  s̃J rank on the same sets?  The acceptance floor is correlation
+  ``>= 0.9`` at the default 512-bit width.
+* **Memory** — resident sketch bytes as the distinct-user universe grows
+  10⁴ → 10⁶ (smoke: 10³ → 10⁵).  Sketch rows are fixed-width, so bytes
+  stay flat while the exact descriptor sets grow linearly; the payload
+  records both so the sublinearity claim is checkable.
+* **Update cost** — seconds per ``add_user`` toggle at each universe
+  scale; O(words) per comment means the cost must not grow with users.
+
+Besides the human-readable table, a full run writes machine-readable
+``BENCH_sketch_social.json`` at the repo root.  ``--smoke`` shrinks the
+universe sweep (CI sanity); ``--ci`` fails if the default-width rank
+correlation drops below the floor, if update cost regresses more than
+2x over ``benchmarks/perf_floor.json``, or if memory/update cost grow
+superlinearly across the sweep.
+
+Runs standalone (``PYTHONPATH=src python benchmarks/bench_sketch_social.py
+[--smoke] [--ci]``) or under pytest (``pytest benchmarks/bench_sketch_social.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from repro.social.descriptor import SocialDescriptor
+from repro.social.sketch import (
+    DEFAULT_SKETCH_BITS,
+    SketchBank,
+    sketch_jaccard_batch,
+    sketch_users,
+)
+from repro.social.updates import DynamicSocialIndex
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_sketch_social.json"
+FLOOR_PATH = REPO_ROOT / "benchmarks" / "perf_floor.json"
+
+DEFAULT_SEED = 2015
+#: Accuracy sweep: candidate videos ranked against one query set.
+ACCURACY_CANDIDATES = 160
+ACCURACY_BITS = (128, 256, DEFAULT_SKETCH_BITS, 1024)
+SAR_K = 32
+SAR_PAIR_CAP = 24
+#: The acceptance floor at the default width.
+RANK_CORRELATION_FLOOR = 0.9
+#: Universe scales for the memory/update sweep (full run: 10^4 -> 10^6).
+DEFAULT_USER_SCALES = (10_000, 100_000, 1_000_000)
+SMOKE_USER_SCALES = (1_000, 10_000, 100_000)
+SCALE_VIDEOS = 64
+SCALE_USERS_PER_VIDEO = 40
+UPDATE_COMMENTS = 20_000
+
+
+def _spearman(first: np.ndarray, second: np.ndarray) -> float:
+    """Spearman rank correlation, ties averaged (numpy only)."""
+
+    def average_ranks(values: np.ndarray) -> np.ndarray:
+        order = np.argsort(values, kind="stable")
+        ranks = np.empty(values.size, dtype=np.float64)
+        ranks[order] = np.arange(values.size, dtype=np.float64)
+        _, inverse = np.unique(values, return_inverse=True)
+        sums = np.bincount(inverse, weights=ranks)
+        counts = np.bincount(inverse)
+        return (sums / counts)[inverse]
+
+    return float(np.corrcoef(average_ranks(first), average_ranks(second))[0, 1])
+
+
+def _accuracy_sets(seed: int) -> tuple[list[str], list[list[str]]]:
+    """One query commenter set + candidates spanning the overlap range.
+
+    Every candidate shares a controlled fraction of the query's users
+    (0 → ~0.95) plus its own private tail, so the exact Jaccards spread
+    across [0, ~0.9] instead of clustering near zero — the regime where
+    rank correlation actually discriminates estimators.
+    """
+    rng = np.random.default_rng(seed)
+    query = [f"q{i:04d}" for i in range(150)]
+    candidates = []
+    for index in range(ACCURACY_CANDIDATES):
+        overlap_fraction = (index / max(1, ACCURACY_CANDIDATES - 1)) * 0.95
+        shared = int(round(overlap_fraction * len(query)))
+        size = int(rng.integers(40, 220))
+        chosen = list(rng.choice(query, size=min(shared, len(query)), replace=False))
+        private = [f"c{index:04d}_{j:04d}" for j in range(max(1, size - len(chosen)))]
+        candidates.append(chosen + private)
+    return query, candidates
+
+
+def run_accuracy(seed: int = DEFAULT_SEED, bits_sweep=ACCURACY_BITS) -> dict:
+    """Rank correlation vs exact Jaccard, per sketch width and for SAR."""
+    query, candidates = _accuracy_sets(seed)
+    query_set = set(query)
+    exact = np.array(
+        [
+            len(query_set & set(cand)) / len(query_set | set(cand))
+            for cand in candidates
+        ]
+    )
+
+    widths = []
+    for bits in bits_sweep:
+        query_row, query_size = sketch_users(query, bits=bits, seed=0)
+        sketched = [sketch_users(cand, bits=bits, seed=0) for cand in candidates]
+        matrix = np.stack([row for row, _ in sketched])
+        sizes = np.array([size for _, size in sketched], dtype=np.int64)
+        estimates = sketch_jaccard_batch(query_row, query_size, matrix, sizes)
+        widths.append(
+            {
+                "bits": bits,
+                "bytes_per_video": bits // 8 + 8,
+                "rank_correlation": _spearman(estimates, exact),
+                "mean_abs_error": float(np.abs(estimates - exact).mean()),
+            }
+        )
+
+    # SAR on the same sets: vectorize through a real dynamic index so the
+    # comparison includes its community-histogram coarsening.
+    descriptors = [SocialDescriptor.from_users("q", query)] + [
+        SocialDescriptor.from_users(f"v{i:04d}", cand)
+        for i, cand in enumerate(candidates)
+    ]
+    sar_index = DynamicSocialIndex.build(
+        descriptors, k=SAR_K, uig_pair_cap=SAR_PAIR_CAP
+    )
+    query_vector = sar_index.vectors["q"]
+    sar_matrix = np.stack(
+        [sar_index.vectors[f"v{i:04d}"] for i in range(len(candidates))]
+    )
+    sar_scores = np.minimum(query_vector, sar_matrix).sum(axis=1) / np.maximum(
+        np.maximum(query_vector, sar_matrix).sum(axis=1), 1e-300
+    )
+    sar = {
+        "k": SAR_K,
+        "bytes_per_video": SAR_K * 8,
+        "rank_correlation": _spearman(sar_scores, exact),
+        "mean_abs_error": float(np.abs(sar_scores - exact).mean()),
+    }
+
+    default_row = next(
+        row for row in widths if row["bits"] == DEFAULT_SKETCH_BITS
+    )
+    return {
+        "candidates": len(candidates),
+        "widths": widths,
+        "sar": sar,
+        "default_bits": DEFAULT_SKETCH_BITS,
+        "default_rank_correlation": default_row["rank_correlation"],
+        "rank_correlation_floor": RANK_CORRELATION_FLOOR,
+    }
+
+
+def run_scaling(user_scales=DEFAULT_USER_SCALES, seed: int = DEFAULT_SEED) -> dict:
+    """Memory + per-comment toggle cost as the user universe grows."""
+    rows = []
+    for universe in user_scales:
+        rng = np.random.default_rng(seed + universe)
+        bank = SketchBank()
+        exact_bytes = 0
+        for video in range(SCALE_VIDEOS):
+            fans = rng.integers(0, universe, size=SCALE_USERS_PER_VIDEO)
+            users = [f"u{fan:07d}" for fan in fans]
+            bank.ingest(f"v{video:05d}", set(users))
+            exact_bytes += sum(len(user) for user in set(users))
+        comment_users = [
+            f"u{fan:07d}" for fan in rng.integers(0, universe, size=UPDATE_COMMENTS)
+        ]
+        comment_videos = [
+            f"v{video:05d}"
+            for video in rng.integers(0, SCALE_VIDEOS, size=UPDATE_COMMENTS)
+        ]
+        started = time.perf_counter()
+        for user, video in zip(comment_users, comment_videos):
+            bank.add_user(video, user)
+        per_comment = (time.perf_counter() - started) / UPDATE_COMMENTS
+        rows.append(
+            {
+                "users": int(universe),
+                "videos": SCALE_VIDEOS,
+                "sketch_bytes": bank.nbytes(),
+                "exact_descriptor_bytes": exact_bytes,
+                "update_seconds_per_comment": per_comment,
+            }
+        )
+
+    first, last = rows[0], rows[-1]
+    scale_ratio = last["users"] / first["users"]
+    return {
+        "scales": rows,
+        "comments_timed_per_scale": UPDATE_COMMENTS,
+        # Sublinear = grows strictly slower than the universe does; the
+        # sketch is O(1) in users so both ratios should hover near 1.
+        "memory_growth_ratio": last["sketch_bytes"] / first["sketch_bytes"],
+        "update_growth_ratio": (
+            last["update_seconds_per_comment"]
+            / max(first["update_seconds_per_comment"], 1e-12)
+        ),
+        "user_scale_ratio": scale_ratio,
+        "memory_sublinear": last["sketch_bytes"] / first["sketch_bytes"]
+        < scale_ratio,
+        "update_sublinear": (
+            last["update_seconds_per_comment"]
+            / max(first["update_seconds_per_comment"], 1e-12)
+        )
+        < scale_ratio,
+    }
+
+
+def run_bench(
+    user_scales=DEFAULT_USER_SCALES,
+    seed: int = DEFAULT_SEED,
+    json_path: pathlib.Path | None = JSON_PATH,
+) -> dict:
+    payload = {
+        "bench": "sketch_social",
+        "unix_time": time.time(),
+        "seed": seed,
+        "accuracy": run_accuracy(seed=seed),
+        "scaling": run_scaling(user_scales=user_scales, seed=seed),
+    }
+    if json_path is not None:
+        with open(json_path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    return payload
+
+
+def format_table(payload: dict) -> str:
+    accuracy = payload["accuracy"]
+    scaling = payload["scaling"]
+    lines = [
+        f"accuracy vs exact Jaccard over {accuracy['candidates']} candidates:",
+        f"{'estimator':>12} {'bytes/video':>12} {'rank corr':>10} {'mean |err|':>11}",
+        "-" * 48,
+    ]
+    for row in accuracy["widths"]:
+        marker = " *" if row["bits"] == accuracy["default_bits"] else ""
+        lines.append(
+            f"{'sketch-' + str(row['bits']):>12} {row['bytes_per_video']:>12} "
+            f"{row['rank_correlation']:>10.4f} {row['mean_abs_error']:>11.4f}{marker}"
+        )
+    sar = accuracy["sar"]
+    lines.append(
+        f"{'sar-k' + str(sar['k']):>12} {sar['bytes_per_video']:>12} "
+        f"{sar['rank_correlation']:>10.4f} {sar['mean_abs_error']:>11.4f}"
+    )
+    lines.append(
+        f"\n(* default width; floor {accuracy['rank_correlation_floor']:.2f})"
+    )
+    lines.append(
+        f"\nscaling ({scaling['comments_timed_per_scale']} comments timed per scale):"
+    )
+    lines.append(
+        f"{'users':>10} {'sketch bytes':>13} {'exact bytes':>12} {'us/comment':>11}"
+    )
+    lines.append("-" * 49)
+    for row in scaling["scales"]:
+        lines.append(
+            f"{row['users']:>10} {row['sketch_bytes']:>13} "
+            f"{row['exact_descriptor_bytes']:>12} "
+            f"{row['update_seconds_per_comment'] * 1e6:>11.2f}"
+        )
+    lines.append(
+        f"\nusers grew {scaling['user_scale_ratio']:.0f}x; sketch memory "
+        f"{scaling['memory_growth_ratio']:.2f}x, update cost "
+        f"{scaling['update_growth_ratio']:.2f}x "
+        f"(sublinear: {scaling['memory_sublinear'] and scaling['update_sublinear']})"
+    )
+    return "\n".join(lines)
+
+
+def check_floor(payload: dict, floor_path: pathlib.Path = FLOOR_PATH) -> list[str]:
+    """Accuracy + regression gates (``--ci``)."""
+    violations = []
+    accuracy = payload["accuracy"]
+    if accuracy["default_rank_correlation"] < RANK_CORRELATION_FLOOR:
+        violations.append(
+            f"rank correlation at {DEFAULT_SKETCH_BITS} bits is "
+            f"{accuracy['default_rank_correlation']:.4f}, below the "
+            f"{RANK_CORRELATION_FLOOR} floor"
+        )
+    scaling = payload["scaling"]
+    if not scaling["memory_sublinear"]:
+        violations.append(
+            f"sketch memory grew {scaling['memory_growth_ratio']:.2f}x over a "
+            f"{scaling['user_scale_ratio']:.0f}x user sweep"
+        )
+    if not scaling["update_sublinear"]:
+        violations.append(
+            f"update cost grew {scaling['update_growth_ratio']:.2f}x over a "
+            f"{scaling['user_scale_ratio']:.0f}x user sweep"
+        )
+    floors = json.loads(floor_path.read_text())["floors"]
+    floor = floors.get("sketch_update_seconds_per_comment")
+    if floor is not None:
+        worst = max(
+            row["update_seconds_per_comment"] for row in scaling["scales"]
+        )
+        if worst > 2.0 * floor:
+            violations.append(
+                f"sketch_update_seconds_per_comment: {worst:.8f}s is more "
+                f"than 2x the floor {floor:.8f}s"
+            )
+    return violations
+
+
+def test_sketch_social(report):
+    # Reduced scale under pytest: the correlation floor is the contract
+    # at every scale; the 10^6-user sweep only runs standalone.
+    payload = run_bench(user_scales=SMOKE_USER_SCALES, json_path=None)
+    report(format_table(payload), engine="batch")
+    accuracy = payload["accuracy"]
+    assert accuracy["default_rank_correlation"] >= RANK_CORRELATION_FLOOR
+    # Wider sketches must not rank worse than the narrowest.
+    by_bits = {row["bits"]: row["rank_correlation"] for row in accuracy["widths"]}
+    assert by_bits[max(by_bits)] >= by_bits[min(by_bits)]
+    assert payload["scaling"]["memory_sublinear"]
+    assert payload["scaling"]["update_sublinear"]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--json", type=pathlib.Path, default=None,
+        help="write the payload JSON here (default: repo-root BENCH file "
+        "on full runs, nowhere on --smoke)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shrunk user sweep — CI sanity run (accuracy floor still applies)",
+    )
+    parser.add_argument(
+        "--ci",
+        action="store_true",
+        help="fail on floor violations (accuracy, sublinearity, update cost)",
+    )
+    args = parser.parse_args()
+    scales = SMOKE_USER_SCALES if args.smoke else DEFAULT_USER_SCALES
+    json_path = args.json if args.smoke else (args.json or JSON_PATH)
+    payload = run_bench(user_scales=scales, seed=args.seed, json_path=json_path)
+    print(format_table(payload))
+    if args.ci:
+        violations = check_floor(payload)
+        if violations:
+            raise SystemExit("\n".join(violations))
+
+
+if __name__ == "__main__":
+    main()

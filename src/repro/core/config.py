@@ -46,6 +46,13 @@ class RecommenderConfig:
     uig_pair_cap:
         Optional cap on per-video UIG edge generation for very dense
         comment volumes (``None`` = exact, the paper's definition).
+    sketch_bits:
+        Width of the per-video odd sketches backing
+        ``social_mode="sketch"`` (multiple of 64; see
+        :mod:`repro.social.sketch`).
+    sketch_seed:
+        Hash seed of the sketch bit positions; part of the index
+        identity — replicas and snapshots must agree on it.
     engine:
         Default scoring engine of :class:`repro.core.recommender.FusionRecommender`:
         ``"batch"`` (vectorized array kernels, the production path) or
@@ -97,6 +104,8 @@ class RecommenderConfig:
     knn_content_budget: int = 24
     knn_social_budget: int = 64
     uig_pair_cap: int | None = None
+    sketch_bits: int = 512
+    sketch_seed: int = 0
     engine: str = "batch"
     num_workers: int = 0
     max_social_staleness: int | None = None
@@ -121,6 +130,10 @@ class RecommenderConfig:
         if self.scan_dtype not in ("float32", "float64"):
             raise ValueError(
                 f"scan_dtype must be 'float32' or 'float64', got {self.scan_dtype!r}"
+            )
+        if self.sketch_bits < 64 or self.sketch_bits % 64 != 0:
+            raise ValueError(
+                f"sketch_bits must be a positive multiple of 64, got {self.sketch_bits}"
             )
         if self.knn_probes is not None and self.knn_probes < 1:
             raise ValueError(f"knn_probes must be >= 1, got {self.knn_probes}")

@@ -82,8 +82,11 @@ class CommunityIndex:
             k=config.k,
             uig_pair_cap=config.uig_pair_cap,
             up_to_month=up_to_month,
+            sketch_bits=config.sketch_bits,
+            sketch_seed=config.sketch_seed,
         )
         self._sar_matrices: dict[str, tuple[tuple[int, int], np.ndarray]] = {}
+        self._sketch_matrix: tuple[tuple[int, int], tuple[np.ndarray, np.ndarray]] | None = None
         self._wal = None
         #: Sequence number of the last WAL record reflected in this state
         #: (0 = none).  Persisted by snapshots so recovery knows which log
@@ -105,6 +108,7 @@ class CommunityIndex:
         index.content = content
         index.social_store = social_store
         index._sar_matrices = {}
+        index._sketch_matrix = None
         index._wal = None
         index.wal_seq = 0
         return index
@@ -223,6 +227,26 @@ class CommunityIndex:
             )
             self._sar_matrices[backend] = cached = (key, matrix)
         return cached[1]
+
+    def sketch_matrix(self) -> tuple[np.ndarray, np.ndarray]:
+        """``((N, words) uint64 sketches, (N,) int64 sizes)`` of every video.
+
+        Rows follow :attr:`video_ids` order, stacked from the live odd
+        sketch bank (``social_mode="sketch"``) and cached until either
+        store revision moves — the same staleness protocol as
+        :meth:`sar_matrix`.  The stacked copy is immune to later in-place
+        bank toggles, so cached matrices are stable snapshots.
+        """
+        key = self.revisions
+        cached = self._sketch_matrix
+        if cached is None or cached[0] != key:
+            bank = self.social_store.sketches()
+            self._sketch_matrix = cached = (key, bank.matrix(self.video_ids))
+        return cached[1]
+
+    def sketcher(self):
+        """The live :class:`~repro.social.sketch.SketchBank` (query-time)."""
+        return self.social_store.sketches()
 
     def signature_bank(self) -> SignatureBank:
         """The stacked signature matrices of the whole live community.

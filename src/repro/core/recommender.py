@@ -7,8 +7,10 @@ K — and differ exactly along the two axes the paper evaluates:
 * **content measure**: κJ (the paper's choice), ERP or DTW (Figure 7);
 * **social mode**: ``exact`` set Jaccard, ``naive`` quadratic Jaccard (the
   cost model the paper charges to unoptimised CSF), ``sar``
-  (sorted-dictionary vectorization + Eq. 6), or ``sar-h`` (chained-hash
-  vectorization + Eq. 6) — Figure 12(a)'s three curves.
+  (sorted-dictionary vectorization + Eq. 6), ``sar-h`` (chained-hash
+  vectorization + Eq. 6) — Figure 12(a)'s three curves — or ``sketch``
+  (fixed-size odd sketches estimating the exact Jaccard,
+  :mod:`repro.social.sketch`).
 
 Two **scoring engines** drive the exhaustive scan:
 
@@ -56,6 +58,7 @@ from repro.obs import NULL_TRACE, MetricsRegistry, get_metrics
 from repro.signatures.series import SignatureSeries
 from repro.social.descriptor import SocialDescriptor, jaccard, jaccard_naive
 from repro.social.sar import approx_jaccard, approx_jaccard_batch
+from repro.social.sketch import estimate_jaccard, sketch_jaccard_batch, sketch_users
 
 __all__ = [
     "FusionRecommender",
@@ -75,7 +78,7 @@ CONTENT_MEASURES: dict[str, Callable[[SignatureSeries, SignatureSeries], float]]
 }
 
 #: Social relevance modes (None disables the social term entirely).
-SOCIAL_MODES = ("exact", "naive", "sar", "sar-h")
+SOCIAL_MODES = ("exact", "naive", "sar", "sar-h", "sketch")
 
 #: Scoring engines of the exhaustive scan.
 ENGINES = ("scalar", "batch")
@@ -382,6 +385,15 @@ class FusionRecommender:
             return jaccard(query, candidate)
         if self.social_mode == "naive":
             return jaccard_naive(query, candidate)
+        if self.social_mode == "sketch":
+            config = self.index.config
+            first, first_size = sketch_users(
+                query.users, bits=config.sketch_bits, seed=config.sketch_seed
+            )
+            second, second_size = sketch_users(
+                candidate.users, bits=config.sketch_bits, seed=config.sketch_seed
+            )
+            return estimate_jaccard(first, first_size, second, second_size)
         vectorizer = self.index.sar if self.social_mode == "sar" else self.index.sar_h
         return approx_jaccard(
             vectorizer.vectorize(query), vectorizer.vectorize(candidate)
@@ -417,6 +429,29 @@ class FusionRecommender:
             dtype=np.float64,
         )
 
+    def _sketch_query_state(self, query_id: str, query_vector):
+        """``(matrix, sizes, video_ids, (query row, query size))`` for sketch mode.
+
+        An indexed query's sketch is a row of the materialized bank; a
+        guest query either brings its ``(row, size)`` pair along as
+        *query_vector* (the sharded scatter path) or — on live indexes,
+        where descriptors are replicated — sketches its descriptor.
+        """
+        matrix, sizes = self.index.sketch_matrix()
+        video_ids = np.asarray(self.index.video_ids)
+        if query_vector is None:
+            position = int(np.searchsorted(video_ids, query_id))
+            if position < video_ids.size and video_ids[position] == query_id:
+                query_vector = (matrix[position], int(sizes[position]))
+            else:
+                config = self.index.config
+                query_vector = sketch_users(
+                    self.index.descriptor(query_id).users,
+                    bits=config.sketch_bits,
+                    seed=config.sketch_seed,
+                )
+        return matrix, sizes, video_ids, query_vector
+
     def _social_scores_scalar(
         self, query_id: str, candidates: list[str], query_vector=None
     ) -> np.ndarray:
@@ -426,6 +461,21 @@ class FusionRecommender:
         # *query_vector* bypasses the query-side vectorization entirely
         # (sharded scatter passes the owner shard's precomputed row, which
         # a non-owner's row-backed epoch vectorizer could not produce).
+        if self.social_mode == "sketch":
+            matrix, sizes, video_ids, query_vector = self._sketch_query_state(
+                query_id, query_vector
+            )
+            query_row, query_size = query_vector
+
+            def one(vid: str) -> float:
+                row = int(np.searchsorted(video_ids, vid))
+                if row >= video_ids.size or video_ids[row] != vid:
+                    raise KeyError(f"candidate {vid!r} is not in the index")
+                return estimate_jaccard(
+                    query_row, query_size, matrix[row], int(sizes[row])
+                )
+
+            return np.array([one(vid) for vid in candidates], dtype=np.float64)
         query_descriptor = self.index.descriptor(query_id)
         if self.social_mode == "exact":
             one = lambda vid: jaccard(query_descriptor, self.index.descriptor(vid))
@@ -506,6 +556,24 @@ class FusionRecommender:
             # Set-based Jaccard has no histogram matrix to batch over; the
             # scalar path (with hoisted query descriptor) is already it.
             return self._social_scores_scalar(query_id, candidates)
+        if self.social_mode == "sketch":
+            # Sketch mode is always matrix-backed (the bank IS the
+            # materialization — there is no per-candidate re-vectorization
+            # variant, so ``precomputed`` is moot here).
+            matrix, sizes, video_ids, query_vector = self._sketch_query_state(
+                query_id, query_vector
+            )
+            query_row, query_size = query_vector
+            wanted = np.asarray(candidates)
+            rows = np.searchsorted(video_ids, wanted)
+            missing = video_ids[np.minimum(rows, video_ids.size - 1)] != wanted
+            if missing.any():
+                raise KeyError(
+                    f"candidate {wanted[missing][0]!r} is not in the index"
+                )
+            return sketch_jaccard_batch(
+                query_row, query_size, matrix[rows], sizes[rows]
+            )
         vectorizer = self.index.sar if self.social_mode == "sar" else self.index.sar_h
         if query_vector is None:
             query_vector = vectorizer.vectorize(self.index.descriptor(query_id))
@@ -831,7 +899,8 @@ class FusionRecommender:
         if omega < 1.0 and self.content_measure_name != "kj":
             return False
         if omega > 0.0 and not (
-            self.social_mode in ("sar", "sar-h") and self.precomputed
+            (self.social_mode in ("sar", "sar-h") and self.precomputed)
+            or self.social_mode == "sketch"
         ):
             return False
         return True
@@ -903,23 +972,46 @@ class FusionRecommender:
                 # descriptor vectorization.  A guest query brings its
                 # vector along (or, on live indexes, vectorizes its
                 # replicated descriptor).
-                matrix = index.sar_matrix(self.social_mode)
-                if query_pos is not None:
-                    qvec = matrix[query_pos]
-                elif query_vector is not None:
-                    qvec = query_vector
-                else:
-                    vectorizer = (
-                        index.sar if self.social_mode == "sar" else index.sar_h
+                if self.social_mode == "sketch":
+                    matrix, sketch_sizes = index.sketch_matrix()
+                    if query_pos is not None:
+                        query_row = matrix[query_pos]
+                        query_size = int(sketch_sizes[query_pos])
+                    elif query_vector is not None:
+                        query_row, query_size = query_vector
+                    else:
+                        config = index.config
+                        query_row, query_size = sketch_users(
+                            index.descriptor(query_id).users,
+                            bits=config.sketch_bits,
+                            seed=config.sketch_seed,
+                        )
+                    if query_pos is None:
+                        cand_rows, cand_sizes = matrix, sketch_sizes
+                    else:
+                        cand_rows = matrix[positions]
+                        cand_sizes = sketch_sizes[positions]
+                    social = sketch_jaccard_batch(
+                        query_row, query_size, cand_rows, cand_sizes
                     )
-                    qvec = vectorizer.vectorize(index.descriptor(query_id))
-                if query_pos is None:
-                    # Guest candidates are every pack position in order:
-                    # the gather would copy the whole SAR matrix.
-                    cand_rows = matrix
                 else:
-                    cand_rows = matrix[positions]
-                social = approx_jaccard_batch(qvec, cand_rows)
+                    matrix = index.sar_matrix(self.social_mode)
+                    if query_pos is not None:
+                        qvec = matrix[query_pos]
+                    elif query_vector is not None:
+                        qvec = query_vector
+                    else:
+                        vectorizer = (
+                            index.sar if self.social_mode == "sar" else index.sar_h
+                        )
+                        qvec = vectorizer.vectorize(index.descriptor(query_id))
+                    if query_pos is None:
+                        # Guest candidates are every pack position in order:
+                        # the gather would copy the whole SAR matrix.
+                        cand_rows = matrix
+                    else:
+                        cand_rows = matrix[positions]
+                    social = approx_jaccard_batch(qvec, cand_rows)
                 np.minimum(social, 1.0, out=social)
         else:
             social = np.zeros(m, dtype=np.float64)

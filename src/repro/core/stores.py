@@ -44,6 +44,7 @@ from repro.measures.content import SignatureBank
 from repro.signatures.series import SignatureSeries, extract_signature_series
 from repro.social.descriptor import SocialDescriptor
 from repro.social.sar import SarVectorizer, SortedUserDictionary
+from repro.social.sketch import DEFAULT_SKETCH_BITS, SketchBank
 from repro.social.updates import DynamicSocialIndex, MaintenanceStats
 from repro.video.clip import VideoClip
 
@@ -233,10 +234,19 @@ class SocialStore:
         k: int,
         uig_pair_cap: int | None = None,
         up_to_month: int = DEFAULT_UP_TO_MONTH,
+        sketch_bits: int = DEFAULT_SKETCH_BITS,
+        sketch_seed: int = 0,
     ) -> None:
         self._descriptors: dict[str, SocialDescriptor] = dict(descriptors)
         self._k = k
         self._uig_pair_cap = uig_pair_cap
+        self._sketch_bits = sketch_bits
+        self._sketch_seed = sketch_seed
+        #: Lazily-built per-video odd sketches (``social_mode="sketch"``);
+        #: once built, maintained in lockstep with every mutation.  The
+        #: bank is a pure function of the descriptor user sets, so it is
+        #: never persisted — snapshots re-derive it bit-identically.
+        self._sketches: SketchBank | None = None
         #: Last comment month folded into the descriptors (persisted by
         #: snapshots; the paper's source year ends at month 11).
         self.up_to_month = up_to_month
@@ -399,6 +409,42 @@ class SocialStore:
         """Re-derive the SAR dictionaries from the live partition."""
         self._dicts = None
 
+    def sketches(self) -> SketchBank:
+        """The live per-video odd sketch bank (``social_mode="sketch"``).
+
+        Built lazily from the current descriptors, then maintained in
+        lockstep with :meth:`add_video` / :meth:`retire_video` /
+        :meth:`apply_comments` — each sketch stays bit-identical to
+        :func:`repro.social.sketch.sketch_users` over the descriptor's
+        user set, so an incrementally maintained bank equals a cold
+        rebuild (the parity tests pin this).
+        """
+        self._require_available()
+        bank = self._sketches
+        if bank is None:
+            with self._derive_lock:
+                bank = self._sketches
+                if bank is None:
+                    bank = SketchBank(
+                        bits=self._sketch_bits, seed=self._sketch_seed
+                    )
+                    for video_id, descriptor in self.descriptors.items():
+                        bank.ingest(video_id, descriptor.users)
+                    # Publish only the fully built bank (same discipline
+                    # as the wrapped index above).
+                    self._sketches = bank
+        return bank
+
+    def _sketch_add(self, video_id: str, user: str) -> None:
+        """Mirror one genuine membership addition into the bank, if built."""
+        bank = self._sketches
+        if bank is None:
+            return
+        if video_id not in bank:
+            bank.ingest(video_id, [user])
+        else:
+            bank.add_user(video_id, user)
+
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
@@ -409,6 +455,8 @@ class SocialStore:
             raise ValueError(f"video {descriptor.video_id!r} already has a descriptor")
         self._invalidate()
         self._descriptors[descriptor.video_id] = descriptor
+        if self._sketches is not None:
+            self._sketches.ingest(descriptor.video_id, descriptor.users)
 
     def retire_video(self, video_id: str) -> None:
         """Drop a video's descriptor (structural change)."""
@@ -417,6 +465,8 @@ class SocialStore:
             raise KeyError(f"unknown video {video_id!r}")
         self._invalidate()
         del self._descriptors[video_id]
+        if self._sketches is not None:
+            self._sketches.retire(video_id)
 
     def apply_comments(
         self, comments: list[tuple[str, str]], incremental: bool = False
@@ -431,6 +481,23 @@ class SocialStore:
         """
         self._require_available()
         if incremental:
+            if self._sketches is not None:
+                # Replay the wrapped index's membership transitions ahead
+                # of it: a pair toggles the sketch only when it genuinely
+                # adds the user (duplicates within the batch or vs the
+                # live descriptor must not double-toggle — XOR would
+                # *clear* the bit).
+                descriptors = self.descriptors
+                added: dict[str, set[str]] = {}
+                for user, video_id in comments:
+                    batch = added.setdefault(video_id, set())
+                    if user in batch:
+                        continue
+                    descriptor = descriptors.get(video_id)
+                    if descriptor is not None and user in descriptor.users:
+                        continue
+                    batch.add(user)
+                    self._sketch_add(video_id, user)
             return self.index.apply_comments(comments)
         self._invalidate()
         for user, video_id in comments:
@@ -439,6 +506,8 @@ class SocialStore:
                 self._descriptors[video_id] = SocialDescriptor.from_users(
                     video_id, [user]
                 )
+                self._sketch_add(video_id, user)
             elif user not in descriptor.users:
                 self._descriptors[video_id] = descriptor.with_users([user])
+                self._sketch_add(video_id, user)
         return None

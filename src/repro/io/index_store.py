@@ -267,6 +267,8 @@ def load_index(
         k=config.k,
         uig_pair_cap=config.uig_pair_cap,
         up_to_month=watermark,
+        sketch_bits=config.sketch_bits,
+        sketch_seed=config.sketch_seed,
     )
 
     # Restore the staleness clocks so consumers spanning a save/load cycle

@@ -11,6 +11,20 @@ into ``repro_http_cache_invalidate_total``).  A hit can therefore never
 serve a pre-mutation ranking — the same guarantee the gateway memo
 gives, one layer further out.
 
+Generations roll **forward only**.  Epoch keys are monotonic — a single
+gateway's ``epoch_id`` counts up, and the sharded gateway's per-shard
+epoch-id tuple advances componentwise as each shard publishes its
+``apply_comments`` — but accesses are not serialized with publication: a
+server thread that read the epoch key before a shard published can call
+``put`` with the *older* key after a fresher thread already rolled the
+generation.  Treating any mismatch as "new epoch" (the original
+behavior) would let that stale put clear the fresh generation, adopt the
+pre-publication key, and then serve the stale bytes to a racing ``get``
+carrying the same old key.  Instead, a key strictly older than the
+current generation is rejected: stale gets miss and stale puts are
+dropped (both counted into ``stale_rejections``), so a cached byte can
+never predate any shard's published mutation.
+
 Only clean 200 responses belong here (the server never inserts partial,
 degraded, error or chaos-tampered responses), so a hit is bit-identical
 to what a fresh scan would serve on the same epoch.
@@ -42,24 +56,66 @@ class ResponseCache:
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        #: Accesses carrying an epoch key older than the current
+        #: generation — rejected instead of rolling the generation back.
+        self.stale_rejections = 0
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
 
-    def _roll_generation(self, epoch_key) -> None:
-        """Drop every entry from a previous epoch (lock held)."""
-        if epoch_key != self._epoch_key:
-            self.invalidations += len(self._entries)
-            self._entries.clear()
-            self._epoch_key = epoch_key
+    @staticmethod
+    def _is_stale(epoch_key, current) -> bool:
+        """Whether *epoch_key* is strictly older than *current*.
+
+        Honest epoch keys are monotonic: ints count up, and same-length
+        int tuples (the sharded gateway's per-shard epoch vector) advance
+        componentwise.  Anything not comparable under those rules — a
+        shape change after a topology swap, mixed types — is treated as a
+        *new* generation (roll and clear), which is always safe: clearing
+        can only cost hits, never serve stale bytes.
+        """
+        if isinstance(epoch_key, int) and isinstance(current, int):
+            return epoch_key < current
+        if (
+            isinstance(epoch_key, tuple)
+            and isinstance(current, tuple)
+            and len(epoch_key) == len(current)
+            and all(isinstance(part, int) for part in epoch_key)
+            and all(isinstance(part, int) for part in current)
+        ):
+            # Older in any component (and newer in none) = stale.  A
+            # mixed pair — some components ahead, some behind — cannot
+            # come from monotonic publication order; fall through to the
+            # safe roll-and-clear.
+            return all(new <= cur for new, cur in zip(epoch_key, current))
+        return False
+
+    def _roll_generation(self, epoch_key) -> bool:
+        """Advance to *epoch_key*'s generation (lock held).
+
+        Returns ``False`` when *epoch_key* is older than the current
+        generation — the caller must reject the access rather than touch
+        the entries; the generation never rolls backward.
+        """
+        if epoch_key == self._epoch_key:
+            return True
+        if self._epoch_key is not None and self._is_stale(epoch_key, self._epoch_key):
+            self.stale_rejections += 1
+            return False
+        self.invalidations += len(self._entries)
+        self._entries.clear()
+        self._epoch_key = epoch_key
+        return True
 
     def get(self, epoch_key, request_key: str):
         """The cached ``(status, headers, body)`` or ``None`` (a miss)."""
         if self.capacity == 0:
             return None
         with self._lock:
-            self._roll_generation(epoch_key)
+            if not self._roll_generation(epoch_key):
+                self.misses += 1
+                return None
             entry = self._entries.get(request_key)
             if entry is None:
                 self.misses += 1
@@ -69,11 +125,17 @@ class ResponseCache:
             return entry
 
     def put(self, epoch_key, request_key: str, status: int, headers: dict, body: bytes) -> None:
-        """Insert one response; LRU-evicts beyond capacity."""
+        """Insert one response; LRU-evicts beyond capacity.
+
+        A *epoch_key* older than the current generation is dropped
+        silently: the response was computed against a superseded epoch
+        and must never become servable bytes.
+        """
         if self.capacity == 0:
             return
         with self._lock:
-            self._roll_generation(epoch_key)
+            if not self._roll_generation(epoch_key):
+                return
             if (
                 request_key not in self._entries
                 and len(self._entries) >= self.capacity

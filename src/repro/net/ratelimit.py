@@ -11,7 +11,14 @@ themselves instead of hammering the window boundary.
 The clock is injectable, so the refill arithmetic is tested with a fake
 clock and zero sleeps (the same pattern as :mod:`repro.obs.metrics`).
 Buckets are evicted LRU beyond ``max_keys`` — an adversary minting fresh
-client ids must not grow server memory without bound.
+client ids must not grow server memory without bound.  Eviction carries
+the victim's deficit forward: a key admitted while the table is full
+inherits the evicted bucket's refilled token count instead of a fresh
+full burst, so cycling through ``max_keys + 1`` identities cannot mint
+``burst`` free requests per rotation — the adversary churning the table
+keeps inheriting its own drained bucket, while an idle legitimate key
+evicted and later re-admitted inherits a bucket that has refilled to
+(near) full in the meantime.
 """
 
 from __future__ import annotations
@@ -64,9 +71,22 @@ class TokenBucketLimiter:
         with self._lock:
             bucket = self._buckets.get(key)
             if bucket is None:
+                tokens = float(self.burst)
                 if len(self._buckets) >= self.max_keys:
-                    self._buckets.popitem(last=False)
-                bucket = [float(self.burst), now]
+                    # Carry the victim's deficit over: admit the newcomer
+                    # with the evicted bucket's refilled balance, never a
+                    # fresh full burst (see the module docstring).
+                    _, (victim_tokens, victim_last) = self._buckets.popitem(
+                        last=False
+                    )
+                    tokens = min(
+                        tokens,
+                        max(
+                            0.0,
+                            victim_tokens + (now - victim_last) * self.rate,
+                        ),
+                    )
+                bucket = [tokens, now]
                 self._buckets[key] = bucket
             else:
                 self._buckets.move_to_end(key)

@@ -431,6 +431,7 @@ class RecommendService:
             return status, {**extra, HEADER_CACHE: "hit"}, payload
         metrics.inc("repro_http_cache_miss_total")
         metrics.set_gauge("repro_http_cache_invalidate_total", self.cache.invalidations)
+        metrics.set_gauge("repro_http_cache_stale_total", self.cache.stale_rejections)
         if not self._has_video(video_id):
             raise KeyError(f"unknown video {video_id!r}")
         result = self.gateway.recommend(video_id, top_k, deadline=deadline)

@@ -84,8 +84,9 @@ class CommunityEpoch:
     Duck-types the :class:`~repro.core.pipeline.CommunityIndex` surface
     that :class:`~repro.core.recommender.FusionRecommender` consumes
     (``config`` / ``series`` / ``video_ids`` / ``descriptor`` /
-    ``signature_bank`` / ``sar_matrix`` / ``sar`` / ``sar_h`` /
-    ``social_store`` / ``revisions``), entirely over frozen state.  The
+    ``signature_bank`` / ``sar_matrix`` / ``sketch_matrix`` / ``sar`` /
+    ``sar_h`` / ``social_store`` / ``revisions``), entirely over frozen
+    state.  The
     ``lsb`` attribute is ``None``: index-backed KNN search stays a
     live-index feature.
 
@@ -113,11 +114,16 @@ class CommunityEpoch:
         )
         self._sar_matrices: dict[str, np.ndarray] = {}
         self._vectorizers: dict[str, _RowVectorizer] = {}
+        self._sketch: tuple[np.ndarray, np.ndarray] | None = None
         if self.social_store.available and self.video_ids:
             for backend in ("sar", "sar-h"):
                 matrix = index.sar_matrix(backend)
                 self._sar_matrices[backend] = matrix
                 self._vectorizers[backend] = _RowVectorizer(matrix, self._ids_array)
+            # The sketch bank is maintained incrementally, so this is the
+            # index's revision-keyed stacked copy — frozen like the SAR
+            # matrices, never written in place.
+            self._sketch = index.sketch_matrix()
         self.lsb = None
         # Managed by EpochManager under its lock.
         self.readers = 0
@@ -139,6 +145,12 @@ class CommunityEpoch:
     def sar_matrix(self, backend: str) -> np.ndarray:
         """The frozen ``(N, k)`` SAR matrix of *backend*."""
         return self._sar_matrices[backend]
+
+    def sketch_matrix(self) -> tuple[np.ndarray, np.ndarray]:
+        """The frozen ``(sketches, sizes)`` pair (``social_mode="sketch"``)."""
+        if self._sketch is None:
+            raise KeyError("no sketch matrix frozen in this epoch")
+        return self._sketch
 
     @property
     def sar(self) -> _RowVectorizer:

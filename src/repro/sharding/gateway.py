@@ -360,12 +360,19 @@ class ShardedGateway:
         vector_row = None
         if (
             self._omega > 0.0
-            and self._social_mode in ("sar", "sar-h")
             and epoch.social_store.available
             and epoch.video_ids
         ):
-            row = int(np.searchsorted(epoch._ids_array, query_id))
-            vector_row = epoch.sar_matrix(self._social_mode)[row]
+            if self._social_mode in ("sar", "sar-h"):
+                row = int(np.searchsorted(epoch._ids_array, query_id))
+                vector_row = epoch.sar_matrix(self._social_mode)[row]
+            elif self._social_mode == "sketch":
+                # Sketch guests ship ``(sketch row, set size)`` — the
+                # non-owner shards' frozen banks only cover their own
+                # videos, exactly like the SAR matrices.
+                row = int(np.searchsorted(epoch._ids_array, query_id))
+                matrix, sizes = epoch.sketch_matrix()
+                vector_row = (matrix[row], int(sizes[row]))
         return owner, series, vector_row
 
     def recommend(

@@ -118,6 +118,8 @@ def _build_shard(
         k=config.k,
         uig_pair_cap=config.uig_pair_cap,
         up_to_month=up_to_month,
+        sketch_bits=config.sketch_bits,
+        sketch_seed=config.sketch_seed,
     )
     shard = ShardIndex._from_parts(_private_dataset(dataset), config, content, social)
     shard.shard_id = int(shard_id)

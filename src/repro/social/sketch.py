@@ -1,0 +1,293 @@
+"""Odd sketches — fixed-size social similarity under insertions *and* deletions.
+
+SAR (``sar.py``) approximates the paper's Eq.-8 set Jaccard with ``k``-bucket
+community histograms, which still costs a dense ``(N, k)`` float matrix plus
+explicit UIG edge maintenance.  This module follows "A Fast Sketch Method for
+Mining User Similarities over Fully Dynamic Graph Streams" (PAPERS.md): each
+video keeps a fixed ``n``-bit *odd sketch* of its commenter set, where a user
+hashes to one bit position and membership changes **toggle** that bit.  XOR is
+self-inverse, so ``remove(user)`` is exactly ``add(user)`` — the structure
+supports the fully dynamic comment firehose in O(words) per update with no
+tombstones.
+
+For sets A and B with odd sketches ``S(A)``, ``S(B)`` of ``n`` bits, the
+symmetric difference ``|A Δ B|`` is estimated from the Hamming weight of
+``S(A) XOR S(B)`` (each Δ-element toggles one bit of the XOR; collisions
+cancel pairwise, giving the classic occupancy correction):
+
+    Δ̂ = -(n / 2) · ln(1 - 2·ham / n)
+
+and Jaccard follows from inclusion–exclusion with the exact set sizes the
+store tracks anyway:
+
+    Ĵ = (|A| + |B| - Δ̂) / (|A| + |B| + Δ̂)
+
+clamped to [0, 1]; both-empty pairs score 0, matching
+:func:`repro.social.descriptor.jaccard` and the SAR convention.
+
+Determinism: bit positions come from ``blake2b`` keyed by the configured
+seed, so a sketch is a **pure function of (user set, bits, seed)** — an
+incrementally maintained bank is bit-identical to a cold rebuild, snapshots
+need only persist descriptors, and every shard replica derives the same
+bank independently.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Iterable
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_SKETCH_BITS",
+    "SketchBank",
+    "sketch_users",
+    "estimate_jaccard",
+    "sketch_jaccard_batch",
+]
+
+#: Default sketch width.  512 bits = eight uint64 words per video — two
+#: orders of magnitude below a k=128 SAR row — while keeping the rank
+#: correlation vs exact Jaccard above the 0.9 bench floor.
+DEFAULT_SKETCH_BITS = 512
+
+_WORD_BITS = 64
+
+
+def _bit_position(user: str, seed: int, bits: int) -> int:
+    """The sketch bit *user* toggles — keyed blake2b, platform-stable."""
+    digest = hashlib.blake2b(
+        user.encode("utf-8"),
+        digest_size=8,
+        key=seed.to_bytes(8, "little", signed=False),
+    ).digest()
+    return int.from_bytes(digest, "little") % bits
+
+
+if hasattr(np, "bitwise_count"):  # numpy >= 2.0
+
+    def _popcount(words: np.ndarray) -> np.ndarray:
+        """Per-row population count of a uint64 word array."""
+        return np.bitwise_count(words).sum(axis=-1, dtype=np.int64)
+
+else:  # pragma: no cover - exercised only on numpy < 2.0
+    _BYTE_POPCOUNT = np.array(
+        [bin(i).count("1") for i in range(256)], dtype=np.uint8
+    )
+
+    def _popcount(words: np.ndarray) -> np.ndarray:
+        as_bytes = words.reshape(words.shape[:-1] + (-1,)).view(np.uint8)
+        return _BYTE_POPCOUNT[as_bytes].sum(axis=-1, dtype=np.int64)
+
+
+def _validate_bits(bits: int) -> int:
+    if bits < _WORD_BITS or bits % _WORD_BITS != 0:
+        raise ValueError(
+            f"sketch bits must be a positive multiple of {_WORD_BITS}, got {bits}"
+        )
+    return int(bits)
+
+
+def sketch_users(
+    users: Iterable[str], *, bits: int = DEFAULT_SKETCH_BITS, seed: int = 0
+) -> tuple[np.ndarray, int]:
+    """The ``(sketch_words, set_size)`` of a bare user set.
+
+    Pure function of its inputs — the query-time analogue of
+    :meth:`SarVectorizer.vectorize_users`, and the oracle incremental
+    maintenance must stay bit-identical to.
+    """
+    bits = _validate_bits(bits)
+    row = np.zeros(bits // _WORD_BITS, dtype=np.uint64)
+    size = 0
+    for user in users:
+        position = _bit_position(user, seed, bits)
+        row[position // _WORD_BITS] ^= np.uint64(1 << (position % _WORD_BITS))
+        size += 1
+    return row, size
+
+
+def _estimate_symmetric_difference(hamming: float, bits: int) -> float:
+    """Δ̂ from the XOR Hamming weight (occupancy-corrected, saturating).
+
+    ``ham >= n/2`` is outside the estimator's support (the expected XOR
+    weight approaches n/2 from below as Δ grows); saturate to +inf and
+    let the caller clamp Jaccard to 0.
+    """
+    if hamming <= 0:
+        return 0.0
+    fill = 2.0 * hamming / bits
+    if fill >= 1.0:
+        return float("inf")
+    return -(bits / 2.0) * float(np.log1p(-fill))
+
+
+def _jaccard_from_parts(size_sum: float, delta: float) -> float:
+    """Ĵ = (|A|+|B|-Δ̂) / (|A|+|B|+Δ̂), clamped to [0, 1]; 0 when both empty."""
+    if size_sum <= 0:
+        return 0.0
+    if not np.isfinite(delta) or delta >= size_sum:
+        return 0.0
+    return (size_sum - delta) / (size_sum + delta)
+
+
+def estimate_jaccard(
+    first: np.ndarray,
+    first_size: int,
+    second: np.ndarray,
+    second_size: int,
+) -> float:
+    """Estimated Jaccard of two sketched sets (0 when both are empty)."""
+    first = np.asarray(first, dtype=np.uint64).reshape(-1)
+    second = np.asarray(second, dtype=np.uint64).reshape(-1)
+    if first.shape != second.shape:
+        raise ValueError(f"sketch shapes differ: {first.shape} vs {second.shape}")
+    if first_size < 0 or second_size < 0:
+        raise ValueError("set sizes must be non-negative")
+    bits = first.size * _WORD_BITS
+    if bits == 0:
+        raise ValueError("sketches must be non-empty")
+    hamming = float(_popcount(first ^ second))
+    delta = _estimate_symmetric_difference(hamming, bits)
+    return float(_jaccard_from_parts(float(first_size + second_size), delta))
+
+
+def sketch_jaccard_batch(
+    query: np.ndarray,
+    query_size: int,
+    matrix: np.ndarray,
+    sizes: np.ndarray,
+) -> np.ndarray:
+    """Estimated Jaccard of one query sketch against every row of *matrix*.
+
+    The batched counterpart of :func:`estimate_jaccard`, mirroring
+    :func:`repro.social.sar.approx_jaccard_batch`: one XOR + popcount
+    reduction over the ``(N, words)`` uint64 bank replaces N scalar calls,
+    and rows are scored with the identical formula (bit-for-bit equal
+    results, pinned by the test suite).
+    """
+    query = np.asarray(query, dtype=np.uint64).reshape(-1)
+    matrix = np.asarray(matrix, dtype=np.uint64)
+    if matrix.ndim != 2 or matrix.shape[1] != query.size:
+        raise ValueError(f"matrix must be (N, {query.size}), got {matrix.shape}")
+    if query.size == 0:
+        raise ValueError("sketches must be non-empty")
+    if query_size < 0:
+        raise ValueError("set sizes must be non-negative")
+    sizes = np.asarray(sizes, dtype=np.int64).reshape(-1)
+    if sizes.size != matrix.shape[0]:
+        raise ValueError(
+            f"sizes must have {matrix.shape[0]} entries, got {sizes.size}"
+        )
+    if np.any(sizes < 0):
+        raise ValueError("set sizes must be non-negative")
+    bits = query.size * _WORD_BITS
+    hamming = _popcount(matrix ^ query).astype(np.float64)
+    fill = 2.0 * hamming / bits
+    deltas = np.full(matrix.shape[0], np.inf)
+    in_support = fill < 1.0
+    deltas[in_support] = -(bits / 2.0) * np.log1p(-fill[in_support])
+    size_sums = sizes.astype(np.float64) + float(query_size)
+    scores = np.zeros(matrix.shape[0], dtype=np.float64)
+    valid = (size_sums > 0) & np.isfinite(deltas) & (deltas < size_sums)
+    np.divide(
+        size_sums - deltas,
+        size_sums + deltas,
+        out=scores,
+        where=valid,
+    )
+    return scores
+
+
+class SketchBank:
+    """Per-video odd sketches, maintained incrementally from the firehose.
+
+    Rows live in a dict keyed by video id, each an immutable-by-convention
+    ``(words,)`` uint64 array plus the exact commenter count — both are
+    pure functions of the descriptor's user set, so incremental toggles
+    stay bit-identical to :func:`sketch_users` over the same set (the
+    invariant every parity test leans on).
+
+    Callers own the membership transitions: :meth:`add_user` /
+    :meth:`remove_user` must be called exactly once per genuine set
+    change (a double toggle would *clear* the bit and corrupt the
+    estimate), which is the same discipline the exact store already
+    applies before mutating descriptors.
+    """
+
+    def __init__(self, *, bits: int = DEFAULT_SKETCH_BITS, seed: int = 0) -> None:
+        self.bits = _validate_bits(bits)
+        self.seed = int(seed)
+        self.words = self.bits // _WORD_BITS
+        self._rows: dict[str, np.ndarray] = {}
+        self._sizes: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, video_id: str) -> bool:
+        return video_id in self._rows
+
+    @property
+    def video_ids(self) -> list[str]:
+        return list(self._rows)
+
+    def ingest(self, video_id: str, users: Iterable[str]) -> None:
+        """Sketch a (new or replaced) video's full commenter set."""
+        row, size = sketch_users(users, bits=self.bits, seed=self.seed)
+        self._rows[video_id] = row
+        self._sizes[video_id] = size
+
+    def retire(self, video_id: str) -> None:
+        """Drop a video's sketch (no-op when absent)."""
+        self._rows.pop(video_id, None)
+        self._sizes.pop(video_id, None)
+
+    def _toggle(self, video_id: str, user: str, delta: int) -> None:
+        row = self._rows[video_id]
+        position = _bit_position(user, self.seed, self.bits)
+        row[position // _WORD_BITS] ^= np.uint64(1 << (position % _WORD_BITS))
+        self._sizes[video_id] += delta
+
+    def add_user(self, video_id: str, user: str) -> None:
+        """Record *user* joining *video_id*'s commenter set (O(1))."""
+        self._toggle(video_id, user, +1)
+
+    def remove_user(self, video_id: str, user: str) -> None:
+        """Record *user* leaving *video_id*'s commenter set (O(1)).
+
+        The XOR toggle is its own inverse — deletion needs no tombstone
+        and restores the exact pre-add sketch.
+        """
+        if self._sizes.get(video_id, 0) <= 0:
+            raise ValueError(f"remove_user on empty sketch for {video_id!r}")
+        self._toggle(video_id, user, -1)
+
+    def row(self, video_id: str) -> tuple[np.ndarray, int]:
+        """The ``(sketch_words, set_size)`` of one video."""
+        return self._rows[video_id], self._sizes[video_id]
+
+    def estimate(self, first_id: str, second_id: str) -> float:
+        """Estimated Jaccard between two banked videos."""
+        first, first_size = self.row(first_id)
+        second, second_size = self.row(second_id)
+        return estimate_jaccard(first, first_size, second, second_size)
+
+    def matrix(self, video_ids: Iterable[str]) -> tuple[np.ndarray, np.ndarray]:
+        """Stack rows for *video_ids* into ``((N, words) uint64, (N,) int64)``.
+
+        The epoch freeze / batch-engine form; missing ids raise ``KeyError``
+        (the caller's ordering contract, same as the SAR matrix path).
+        """
+        ids = list(video_ids)
+        matrix = np.zeros((len(ids), self.words), dtype=np.uint64)
+        sizes = np.zeros(len(ids), dtype=np.int64)
+        for position, video_id in enumerate(ids):
+            matrix[position] = self._rows[video_id]
+            sizes[position] = self._sizes[video_id]
+        return matrix, sizes
+
+    def nbytes(self) -> int:
+        """Resident sketch payload (rows + size counters), for the bench."""
+        return len(self._rows) * (self.words * 8 + 8)

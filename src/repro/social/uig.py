@@ -45,21 +45,36 @@ def build_uig(
     ----------
     pair_cap:
         Optional scalability cap: a video with more than *pair_cap* users
-        contributes edges only among its first *pair_cap* users (sorted
-        order, deterministic).  Descriptors themselves are untouched —
-        only the quadratic edge generation is bounded.  ``None`` (the
-        default) generates every pair, exactly as the paper defines.
+        contributes a full clique only among its first *pair_cap* users
+        (sorted order, deterministic); every user past the cap is chained
+        to its sorted predecessor instead, so ``O(pair_cap^2 + |D_V|)``
+        edges per video replace the quadratic blow-up **without isolating
+        anyone** — before this fix the tail users got nodes but no edges,
+        so sub-community extraction saw spurious singletons and Eq.-8
+        maintenance could never union them.  Descriptors themselves are
+        untouched.  ``None`` (the default) generates every pair, exactly
+        as the paper defines.
     """
     if pair_cap is not None and pair_cap < 2:
         raise ValueError(f"pair_cap must be >= 2, got {pair_cap}")
     graph = nx.Graph()
+
+    def bump(first: str, second: str) -> None:
+        if graph.has_edge(first, second):
+            graph[first][second]["weight"] += 1
+        else:
+            graph.add_edge(first, second, weight=1)
+
     for descriptor in descriptors:
         users = sorted(descriptor.users)
         graph.add_nodes_from(users)
         linked = users if pair_cap is None else users[:pair_cap]
         for first, second in combinations(linked, 2):
-            if graph.has_edge(first, second):
-                graph[first][second]["weight"] += 1
-            else:
-                graph.add_edge(first, second, weight=1)
+            bump(first, second)
+        if pair_cap is not None:
+            # Chain the tail: each capped-out user still shares this video
+            # with its predecessor, keeping the video's users one connected
+            # component at O(1) extra edges per user.
+            for position in range(pair_cap, len(users)):
+                bump(users[position - 1], users[position])
     return graph

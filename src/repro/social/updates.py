@@ -101,8 +101,13 @@ class DynamicSocialIndex:
         graph: nx.Graph,
         partition: Partition,
         descriptors: dict[str, SocialDescriptor],
+        uig_pair_cap: int | None = None,
     ) -> None:
         self.graph = graph
+        #: The edge-generation cap the UIG was built under; comment-level
+        #: updates bound their fan-out with it so incremental maintenance
+        #: cannot reintroduce the quadratic cost the cap removed.
+        self.uig_pair_cap = uig_pair_cap
         self._k = partition.k
         self.communities: dict[int, set[str]] = {
             cno: set(members) for cno, members in partition.communities.items()
@@ -147,7 +152,7 @@ class DynamicSocialIndex:
         descriptor_map = {d.video_id: d for d in descriptors}
         graph = build_uig(descriptor_map.values(), pair_cap=uig_pair_cap)
         partition = extract_subcommunities(graph, k)
-        return cls(graph, partition, descriptor_map)
+        return cls(graph, partition, descriptor_map, uig_pair_cap=uig_pair_cap)
 
     @property
     def k(self) -> int:
@@ -244,7 +249,14 @@ class DynamicSocialIndex:
             existing = set(descriptor.users) if descriptor is not None else set()
             if user in existing:
                 continue
-            for other in existing:
+            if self.uig_pair_cap is None:
+                targets = existing
+            else:
+                # Mirror the capped build: bound the fan-out, but always
+                # link at least one existing user so the commenter joins
+                # the video's component instead of floating isolated.
+                targets = sorted(existing)[: self.uig_pair_cap - 1]
+            for other in targets:
                 key = (user, other) if user < other else (other, user)
                 connections[key] = connections.get(key, 0) + 1
             if descriptor is None:

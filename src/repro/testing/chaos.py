@@ -108,6 +108,9 @@ class SoakConfig:
     #: pressure; fault bursts rotate one shard at a time).
     shards: int = 1
     router: str = "hash"
+    #: Social mode both the gateway under soak and the serial oracles
+    #: serve with — "sketch" runs the whole soak on the odd-sketch bank.
+    social_mode: str = "sar-h"
     gateway: GatewayConfig = field(
         default_factory=lambda: GatewayConfig(
             max_concurrency=8,
@@ -423,7 +426,9 @@ def _verify(records: list[_QueryRecord], config: SoakConfig, report: SoakReport)
             oracle = oracles.get(key[:2])
             if oracle is None:
                 oracle = epoch.recommender(
-                    omega=record.omega_served, time_budget=None
+                    omega=record.omega_served,
+                    time_budget=None,
+                    social_mode=config.social_mode,
                 )
                 oracles[key[:2]] = oracle
             candidates = [vid for vid in epoch.video_ids if vid != record.query_id]
@@ -522,14 +527,22 @@ def _verify_sharded(
         query_series = owner_epoch.series[record.query_id]
         if owner_epoch.social_store.available and owner_epoch.video_ids:
             row = int(np.searchsorted(owner_epoch._ids_array, record.query_id))
-            query_vector = owner_epoch.sar_matrix("sar-h")[row]
+            if config.social_mode in ("sar", "sar-h"):
+                query_vector = owner_epoch.sar_matrix(config.social_mode)[row]
+            elif config.social_mode == "sketch":
+                matrix, sizes = owner_epoch.sketch_matrix()
+                query_vector = (matrix[row], int(sizes[row]))
 
     def shard_components(r, ids: list[str]) -> dict:
         """``{id: (content, social)}`` from *r*'s shard oracle."""
         oracle_key = (r.shard_id, r.epoch.epoch_id, r.omega_served)
         oracle = oracles.get(oracle_key)
         if oracle is None:
-            oracle = r.epoch.recommender(omega=r.omega_served, time_budget=None)
+            oracle = r.epoch.recommender(
+                omega=r.omega_served,
+                time_budget=None,
+                social_mode=config.social_mode,
+            )
             oracles[oracle_key] = oracle
         content, social = oracle._score_arrays(
             record.query_id,
@@ -708,11 +721,19 @@ def run_soak(config: SoakConfig | None = None) -> SoakReport:
     with use_metrics(metrics):
         if sharded:
             gateway = ShardedGateway(
-                index, config=config.gateway, faults=plans, seed=config.seed
+                index,
+                config=config.gateway,
+                faults=plans,
+                seed=config.seed,
+                social_mode=config.social_mode,
             )
         else:
             gateway = ServingGateway(
-                index, config=config.gateway, faults=plans[0], seed=config.seed
+                index,
+                config=config.gateway,
+                faults=plans[0],
+                seed=config.seed,
+                social_mode=config.social_mode,
             )
         lock = threading.Lock()
         records: list[_QueryRecord] = []

@@ -184,6 +184,52 @@ class TestShardedSoakInvariants:
         )
 
 
+@pytest.fixture(scope="module")
+def sketch_report():
+    # A smaller soak (same writer/reader/fault pressure) running both the
+    # gateway under chaos and the serial oracle on the odd-sketch bank.
+    return run_soak(
+        SoakConfig(
+            queries=max(1_000, QUERIES // 6), seed=2016, social_mode="sketch"
+        )
+    )
+
+
+class TestSketchModeSoak:
+    def test_zero_torn_reads_or_exceptions(self, sketch_report):
+        assert sketch_report.reader_errors == []
+        assert sketch_report.writer_errors == []
+
+    def test_every_query_matches_serial_oracle(self, sketch_report):
+        # Sketch banks are maintained incrementally under writer churn;
+        # the oracle re-derives per pinned epoch — parity proves the
+        # incremental toggles never diverged from a cold sketch.
+        assert sketch_report.parity_checked == sketch_report.queries_total
+        assert sketch_report.parity_failures == []
+        assert sketch_report.ok
+
+    def test_mutations_landed_and_epochs_drained(self, sketch_report):
+        assert sketch_report.writer_ops == 4 * 25
+        assert sketch_report.epochs_live == 1
+
+    def test_sharded_sketch_soak_holds_parity(self):
+        report = run_soak(
+            SoakConfig(
+                queries=max(1_000, QUERIES // 6),
+                seed=2017,
+                shards=2,
+                social_mode="sketch",
+            )
+        )
+        assert report.reader_errors == [] and report.writer_errors == []
+        assert (
+            report.parity_checked + report.queries_memoized
+            == report.queries_total
+        )
+        assert report.parity_failures == []
+        assert report.ok
+
+
 class TestArtifacts:
     def test_failing_run_dumps_replayable_schedule(self, tmp_path, monkeypatch):
         monkeypatch.setenv("CHAOS_ARTIFACT_DIR", str(tmp_path))

@@ -504,3 +504,149 @@ class TestOverSockets:
         probe = RetryingClient(server.url, RetryPolicy(attempts=1, timeout=0.5))
         with pytest.raises(NetClientError):
             probe.healthz()
+
+
+class TestLimiterEvictionCarryOver:
+    """LRU eviction must not mint fresh bursts for churned identities.
+
+    Pre-fix, a key admitted while the table was full evicted the LRU
+    victim and started with a **full** bucket — an adversary cycling
+    through ``max_keys + 1`` ids inherited ``burst`` free requests per
+    rotation.  Post-fix the newcomer inherits the victim's refilled
+    balance, so churn keeps re-inheriting its own drained bucket while a
+    long-idle victim's bucket has refilled to (near) full anyway.
+    """
+
+    def _limiter(self, now, **kwargs):
+        defaults = dict(rate=1.0, burst=5, max_keys=1, clock=lambda: now[0])
+        defaults.update(kwargs)
+        return TokenBucketLimiter(**defaults)
+
+    def test_churned_key_inherits_drained_bucket(self):
+        now = [0.0]
+        limiter = self._limiter(now)
+        for _ in range(5):
+            assert limiter.check("attacker-1") is None
+        assert limiter.check("attacker-1") is not None  # drained
+        # Rotate identity immediately: same host, fresh key.  Pre-fix
+        # this admitted 5 more requests; post-fix the drained balance
+        # carries over and the very first request is rejected.
+        assert limiter.check("attacker-2") is not None
+
+    def test_rotation_cannot_outrun_refill_rate(self):
+        now = [0.0]
+        limiter = self._limiter(now)
+        admitted = 0
+        for step in range(30):
+            now[0] = step * 0.5  # 2 rotations/second, refill 1 token/s
+            if limiter.check(f"rotating-{step}") is None:
+                admitted += 1
+        # 14.5 seconds at 1 token/s + the initial burst of 5; pre-fix
+        # every rotation was admitted (30).
+        assert admitted <= 5 + 15
+
+    def test_idle_victim_readmitted_with_refilled_bucket(self):
+        now = [0.0]
+        limiter = self._limiter(now)
+        for _ in range(5):
+            limiter.check("old")
+        # Long idle: the evicted bucket would have refilled to burst.
+        now[0] = 60.0
+        assert limiter.check("new") is None
+
+    def test_carry_over_hint_math_pinned(self):
+        now = [0.0]
+        limiter = self._limiter(now, rate=2.0)
+        for _ in range(5):
+            limiter.check("a")
+        hint = limiter.check("b")
+        # Inherited balance 0.0 -> hint = 1000 * (1 - 0) / rate.
+        assert hint == pytest.approx(1000.0 * (1.0 - 0.0) / 2.0)
+
+    def test_below_capacity_keys_still_get_full_burst(self):
+        now = [0.0]
+        limiter = self._limiter(now, max_keys=4)
+        for _ in range(5):
+            limiter.check("a")
+        for _ in range(5):
+            assert limiter.check("b") is None
+
+
+class TestCacheStaleEpochRejection:
+    """A racing put/get carrying a superseded epoch key must never roll
+    the generation backward and serve pre-publication bytes.
+
+    Pre-fix, ``_roll_generation`` treated *any* key change as a new
+    epoch: a slow thread that read the epoch key before a publication
+    could ``put`` under the old key after a fresh thread had rolled
+    forward — clearing the fresh generation, adopting the stale key, and
+    serving the stale body to the next ``get`` under that key.
+    """
+
+    def _entry(self, body=b"{}"):
+        return (200, {"Content-Type": "application/json"}, body)
+
+    def test_stale_put_cannot_evict_fresh_generation(self):
+        from repro.net.cache import ResponseCache
+
+        cache = ResponseCache()
+        cache.put((1, 0), "req", *self._entry(b"fresh"))
+        # A thread that raced publication writes under the older key.
+        cache.put((0, 0), "req", *self._entry(b"stale"))
+        assert cache.get((0, 0), "req") is None  # stale get: miss
+        hit = cache.get((1, 0), "req")
+        assert hit is not None and hit[2] == b"fresh"
+        assert cache.stale_rejections == 2
+
+    def test_stale_int_epoch_rejected(self):
+        from repro.net.cache import ResponseCache
+
+        cache = ResponseCache()
+        cache.put(5, "req", *self._entry(b"new"))
+        cache.put(4, "req", *self._entry(b"old"))
+        assert cache.get(5, "req")[2] == b"new"
+        assert cache.get(4, "req") is None
+        assert cache.stale_rejections == 2
+
+    def test_componentwise_tuple_ordering(self):
+        from repro.net.cache import ResponseCache
+
+        cache = ResponseCache()
+        cache.put((2, 3), "req", *self._entry())
+        # Older in one component, equal in the other: stale.
+        assert cache.get((2, 2), "req") is None
+        assert cache.stale_rejections == 1
+        # Mixed (one ahead, one behind) cannot come from monotonic
+        # publication: treated as a new generation (safe roll).
+        assert cache.get((1, 4), "req") is None
+        assert cache.stale_rejections == 1
+        assert len(cache) == 0  # rolled and cleared
+
+    def test_forward_roll_still_invalidates(self):
+        from repro.net.cache import ResponseCache
+
+        cache = ResponseCache()
+        cache.put((1, 1), "req", *self._entry())
+        cache.put((1, 2), "req", *self._entry(b"next"))
+        assert cache.invalidations == 1
+        assert cache.get((1, 2), "req")[2] == b"next"
+
+    def test_topology_change_rolls_safely(self):
+        from repro.net.cache import ResponseCache
+
+        cache = ResponseCache()
+        cache.put((1, 1), "req", *self._entry())
+        # Shard count changed: key shape differs, roll and clear.
+        cache.put((2, 2, 0), "req", *self._entry(b"resharded"))
+        assert cache.get((2, 2, 0), "req")[2] == b"resharded"
+        assert cache.stale_rejections == 0
+
+    def test_stale_gauge_exported(self, live, tmp_path):
+        from repro.obs.metrics import MetricsRegistry, use_metrics
+
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            service = make_service(live, tmp_path, NetConfig())
+            video = live.video_ids[0]
+            service.handle("GET", f"/recommend/{video}")
+        assert registry.snapshot()["gauges"]["repro_http_cache_stale_total"] == 0.0

@@ -124,7 +124,7 @@ class TestShardedParity:
         finally:
             gateway.close()
 
-    @pytest.mark.parametrize("social_mode", ["exact", "sar", "sar-h"])
+    @pytest.mark.parametrize("social_mode", ["exact", "sar", "sar-h", "sketch"])
     @pytest.mark.parametrize("engine", ["batch", "scalar"])
     def test_mode_engine_matrix(self, workload, config, social_mode, engine):
         live = LiveCommunityIndex(workload.dataset, config)
@@ -141,6 +141,30 @@ class TestShardedParity:
                 merged = gateway.recommend(query, TOP_K)
                 _assert_bitwise_equal(
                     expected, merged, f"{social_mode}/{engine} query={query}"
+                )
+        finally:
+            gateway.close()
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_sketch_shard_count_sweep(self, workload, config, shards):
+        # Sketch guests ship a (row, size) query vector instead of a SAR
+        # histogram; the scatter path must stay bit-identical across
+        # shard counts (and seed-stable: both sides sketch with the
+        # config's bits/seed).
+        live = LiveCommunityIndex(workload.dataset, config)
+        oracle_gw = ServingGateway(
+            live, social_mode="sketch", config=NO_DEADLINE
+        )
+        sharded = ShardedIndex.build(workload.dataset, config, shards)
+        gateway = ShardedGateway(
+            sharded, social_mode="sketch", config=NO_DEADLINE
+        )
+        try:
+            for query in _queries(live):
+                _assert_bitwise_equal(
+                    oracle_gw.recommend(query, TOP_K),
+                    gateway.recommend(query, TOP_K),
+                    f"sketch S={shards} query={query}",
                 )
         finally:
             gateway.close()

@@ -1,0 +1,486 @@
+"""Odd-sketch social similarity: estimator properties, bank maintenance,
+and ``social_mode="sketch"`` end-to-end parity.
+
+Three layers of guarantees:
+
+1. **Estimator** — :func:`estimate_jaccard` tracks exact set Jaccard
+   within the odd-sketch error bound on random set pairs, nails the
+   degenerate cases (identical, disjoint, empty), and the batched
+   :func:`sketch_jaccard_batch` is bit-identical to the scalar loop.
+2. **Bank** — incremental ``add_user`` / ``remove_user`` toggles stay
+   bit-identical to a cold :func:`sketch_users` over the same set (XOR
+   self-inverse round-trip), through :class:`SocialStore` mutations in
+   both exact and incremental maintenance modes.
+3. **Mode** — ``social_mode="sketch"`` serves through the full stack:
+   recommender scalar/batch engines agree, snapshots round-trip the
+   sketch matrix bit-for-bit, WAL recovery re-derives it, and cold
+   rebuilds are seed-stable.
+
+Satellite coverage rides along: :func:`approx_jaccard_batch` degenerate
+-vector parity with scalar :func:`approx_jaccard` (the SAR analogue of
+layer 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.community import build_workload
+from repro.core import CommunityIndex, LiveCommunityIndex, RecommenderConfig
+from repro.core.recommender import SOCIAL_MODES, FusionRecommender
+from repro.core.stores import SocialStore
+from repro.io import WriteAheadLog, load_index, recover, save_index
+from repro.social.descriptor import SocialDescriptor, jaccard
+from repro.social.sar import approx_jaccard, approx_jaccard_batch
+from repro.social.sketch import (
+    DEFAULT_SKETCH_BITS,
+    SketchBank,
+    estimate_jaccard,
+    sketch_jaccard_batch,
+    sketch_users,
+)
+
+BITS = DEFAULT_SKETCH_BITS
+
+
+def users(prefix: str, count: int, start: int = 0) -> list[str]:
+    return [f"{prefix}{i}" for i in range(start, start + count)]
+
+
+def estimate_sets(first: list[str], second: list[str], *, bits: int = BITS) -> float:
+    row_a, size_a = sketch_users(first, bits=bits)
+    row_b, size_b = sketch_users(second, bits=bits)
+    return estimate_jaccard(row_a, size_a, row_b, size_b)
+
+
+class TestSketchUsers:
+    def test_deterministic_and_order_insensitive(self):
+        row_a, size_a = sketch_users(["u1", "u2", "u3"])
+        row_b, size_b = sketch_users(["u3", "u1", "u2"])
+        np.testing.assert_array_equal(row_a, row_b)
+        assert size_a == size_b == 3
+
+    def test_seed_changes_bit_pattern(self):
+        many = users("u", 64)
+        row_a, _ = sketch_users(many, seed=0)
+        row_b, _ = sketch_users(many, seed=1)
+        assert not np.array_equal(row_a, row_b)
+
+    def test_empty_set_is_zero_row(self):
+        row, size = sketch_users([])
+        assert size == 0
+        assert not row.any()
+        assert row.shape == (BITS // 64,)
+        assert row.dtype == np.uint64
+
+    def test_bits_validated(self):
+        for bad in (0, 32, 63, 100):
+            with pytest.raises(ValueError, match="multiple of 64"):
+                sketch_users(["u"], bits=bad)
+
+
+class TestEstimator:
+    def test_identical_sets_score_one(self):
+        row, size = sketch_users(users("u", 40))
+        assert estimate_jaccard(row, size, row.copy(), size) == 1.0
+
+    def test_both_empty_score_zero(self):
+        row, _ = sketch_users([])
+        assert estimate_jaccard(row, 0, row.copy(), 0) == 0.0
+
+    def test_one_empty_scores_near_zero(self):
+        empty, _ = sketch_users([])
+        row, size = sketch_users(users("u", 30))
+        assert estimate_jaccard(empty, 0, row, size) <= 0.1
+
+    def test_disjoint_sets_score_near_zero(self):
+        assert estimate_sets(users("a", 30), users("b", 30)) <= 0.1
+
+    def test_tracks_exact_jaccard_on_random_pairs(self, rng):
+        """Mean |Ĵ - J| stays small over seeded random set pairs."""
+        errors = []
+        for _ in range(150):
+            universe = users("u", 400)
+            size_a = int(rng.integers(5, 200))
+            size_b = int(rng.integers(5, 200))
+            first = list(rng.choice(universe, size=size_a, replace=False))
+            second = list(rng.choice(universe, size=size_b, replace=False))
+            exact = jaccard(
+                SocialDescriptor.from_users("a", first),
+                SocialDescriptor.from_users("b", second),
+            )
+            errors.append(abs(estimate_sets(first, second) - exact))
+        errors = np.asarray(errors)
+        assert errors.mean() < 0.05
+        assert errors.max() < 0.25
+
+    def test_estimates_bounded_in_unit_interval(self, rng):
+        for _ in range(50):
+            first = users("a", int(rng.integers(0, 120)))
+            shared = int(rng.integers(0, max(1, len(first))))
+            second = first[:shared] + users("b", int(rng.integers(0, 120)))
+            estimate = estimate_sets(first, second)
+            assert 0.0 <= estimate <= 1.0
+
+    def test_saturated_sketch_clamps_to_zero(self):
+        # An XOR with every bit set is outside the estimator's support
+        # (fill ratio >= 1): Δ̂ saturates to +inf and Ĵ clamps to 0.
+        full = np.full(1, np.uint64(0xFFFFFFFFFFFFFFFF))
+        empty = np.zeros(1, dtype=np.uint64)
+        assert estimate_jaccard(full, 500, empty, 500) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        row, size = sketch_users(users("u", 4), bits=128)
+        other, other_size = sketch_users(users("u", 4), bits=256)
+        with pytest.raises(ValueError, match="shapes differ"):
+            estimate_jaccard(row, size, other, other_size)
+
+    def test_negative_sizes_rejected(self):
+        row, _ = sketch_users(users("u", 4))
+        with pytest.raises(ValueError, match="non-negative"):
+            estimate_jaccard(row, -1, row, 4)
+
+
+class TestSketchBatch:
+    def _bank_rows(self, rng, count: int = 25):
+        universe = users("u", 300)
+        sets = []
+        for _ in range(count):
+            size = int(rng.integers(0, 180))
+            sets.append(list(rng.choice(universe, size=size, replace=False)))
+        sketched = [sketch_users(s) for s in sets]
+        matrix = np.stack([row for row, _ in sketched])
+        sizes = np.array([size for _, size in sketched], dtype=np.int64)
+        return sets, matrix, sizes
+
+    def test_batch_matches_scalar_bitwise(self, rng):
+        sets, matrix, sizes = self._bank_rows(rng)
+        query_row, query_size = sketch_users(sets[3])
+        batch = sketch_jaccard_batch(query_row, query_size, matrix, sizes)
+        scalar = np.array(
+            [
+                estimate_jaccard(query_row, query_size, matrix[i], int(sizes[i]))
+                for i in range(matrix.shape[0])
+            ]
+        )
+        np.testing.assert_array_equal(batch, scalar)
+
+    def test_empty_query_matches_scalar(self, rng):
+        _, matrix, sizes = self._bank_rows(rng, count=8)
+        empty, _ = sketch_users([])
+        batch = sketch_jaccard_batch(empty, 0, matrix, sizes)
+        scalar = np.array(
+            [
+                estimate_jaccard(empty, 0, matrix[i], int(sizes[i]))
+                for i in range(matrix.shape[0])
+            ]
+        )
+        np.testing.assert_array_equal(batch, scalar)
+
+    def test_zero_row_matrix(self):
+        empty, _ = sketch_users([])
+        scores = sketch_jaccard_batch(empty, 0, np.zeros((0, BITS // 64), dtype=np.uint64), np.zeros(0, dtype=np.int64))
+        assert scores.shape == (0,)
+
+    def test_validation(self):
+        row, size = sketch_users(users("u", 4))
+        matrix = np.stack([row, row])
+        sizes = np.array([size, size], dtype=np.int64)
+        with pytest.raises(ValueError, match="matrix must be"):
+            sketch_jaccard_batch(row, size, matrix[:, :4], sizes)
+        with pytest.raises(ValueError, match="entries"):
+            sketch_jaccard_batch(row, size, matrix, sizes[:1])
+        with pytest.raises(ValueError, match="non-negative"):
+            sketch_jaccard_batch(row, size, matrix, np.array([-1, 2]))
+        with pytest.raises(ValueError, match="non-negative"):
+            sketch_jaccard_batch(row, -2, matrix, sizes)
+
+
+class TestSketchBank:
+    def test_ingest_retire_and_membership(self):
+        bank = SketchBank()
+        bank.ingest("v1", users("u", 5))
+        bank.ingest("v2", [])
+        assert "v1" in bank and "v2" in bank and len(bank) == 2
+        assert bank.video_ids == ["v1", "v2"]
+        assert bank.row("v2")[1] == 0
+        bank.retire("v1")
+        assert "v1" not in bank
+        bank.retire("v1")  # idempotent
+        with pytest.raises(KeyError):
+            bank.row("v1")
+
+    def test_add_remove_round_trip_restores_exact_row(self):
+        bank = SketchBank()
+        base = users("u", 20)
+        bank.ingest("v", base)
+        before = bank.row("v")[0].copy()
+        bank.add_user("v", "newcomer")
+        assert not np.array_equal(bank.row("v")[0], before)
+        bank.remove_user("v", "newcomer")
+        row, size = bank.row("v")
+        np.testing.assert_array_equal(row, before)
+        assert size == len(base)
+
+    def test_incremental_adds_match_cold_sketch(self):
+        bank = SketchBank()
+        bank.ingest("v", users("u", 10))
+        for extra in users("x", 30):
+            bank.add_user("v", extra)
+        cold_row, cold_size = sketch_users(users("u", 10) + users("x", 30))
+        row, size = bank.row("v")
+        np.testing.assert_array_equal(row, cold_row)
+        assert size == cold_size
+
+    def test_remove_from_empty_rejected(self):
+        bank = SketchBank()
+        bank.ingest("v", [])
+        with pytest.raises(ValueError, match="remove_user on empty"):
+            bank.remove_user("v", "ghost")
+
+    def test_estimate_and_matrix_agree_with_rows(self):
+        bank = SketchBank()
+        bank.ingest("a", users("u", 30))
+        bank.ingest("b", users("u", 30, start=15))
+        matrix, sizes = bank.matrix(["b", "a"])
+        np.testing.assert_array_equal(matrix[0], bank.row("b")[0])
+        np.testing.assert_array_equal(matrix[1], bank.row("a")[0])
+        assert sizes.tolist() == [30, 30]
+        assert bank.estimate("a", "b") == estimate_jaccard(
+            matrix[1], sizes[1], matrix[0], sizes[0]
+        )
+        with pytest.raises(KeyError):
+            bank.matrix(["a", "missing"])
+
+    def test_matrix_rows_are_copies(self):
+        bank = SketchBank()
+        bank.ingest("a", users("u", 8))
+        matrix, _ = bank.matrix(["a"])
+        frozen = matrix.copy()
+        bank.add_user("a", "later")
+        np.testing.assert_array_equal(matrix, frozen)
+
+    def test_nbytes_fixed_per_video(self):
+        bank = SketchBank(bits=512)
+        bank.ingest("tiny", users("u", 2))
+        bank.ingest("huge", users("u", 5000))
+        assert bank.nbytes() == 2 * (512 // 64 * 8 + 8)
+
+
+class TestStoreMaintainsSketches:
+    """The store-level purity invariant: incrementally maintained bank ==
+    cold rebuild from the final descriptors, bit for bit."""
+
+    def _store(self, video_users: dict[str, list[str]]) -> SocialStore:
+        descriptors = {
+            vid: SocialDescriptor.from_users(vid, us)
+            for vid, us in video_users.items()
+        }
+        return SocialStore(descriptors, k=4)
+
+    def _assert_matches_cold(self, store: SocialStore) -> None:
+        bank = store.sketches()
+        cold = SketchBank()
+        for video_id, descriptor in store.descriptors.items():
+            cold.ingest(video_id, descriptor.users)
+        assert sorted(bank.video_ids) == sorted(cold.video_ids)
+        for video_id in cold.video_ids:
+            live_row, live_size = bank.row(video_id)
+            cold_row, cold_size = cold.row(video_id)
+            np.testing.assert_array_equal(live_row, cold_row, err_msg=video_id)
+            assert live_size == cold_size
+
+    def test_add_and_retire_video(self):
+        store = self._store({"v1": users("a", 6), "v2": users("b", 4)})
+        store.sketches()  # build, then mutate incrementally
+        store.add_video(SocialDescriptor.from_users("v3", users("c", 9)))
+        store.retire_video("v2")
+        self._assert_matches_cold(store)
+
+    def test_exact_comments_with_duplicates(self):
+        store = self._store({"v1": users("a", 3)})
+        store.sketches()
+        store.apply_comments(
+            [
+                ("a0", "v1"),  # already present: must not double-toggle
+                ("fresh", "v1"),
+                ("fresh", "v1"),  # duplicate within batch
+                ("solo", "v_new"),  # new video via comment
+            ]
+        )
+        self._assert_matches_cold(store)
+
+    def test_incremental_comments_with_duplicates(self):
+        store = self._store(
+            {"v1": users("a", 4), "v2": users("a", 4, start=2)}
+        )
+        store.sketches()
+        store.apply_comments(
+            [
+                ("a2", "v1"),  # genuinely new to v1
+                ("a2", "v1"),  # batch duplicate
+                ("a3", "v2"),  # already in v2's descriptor
+                ("z9", "v2"),
+            ],
+            incremental=True,
+        )
+        self._assert_matches_cold(store)
+
+    def test_lazy_bank_absorbs_pre_build_mutations(self):
+        store = self._store({"v1": users("a", 5)})
+        # Mutate before any sketch exists; first access derives from the
+        # post-mutation descriptors.
+        store.add_video(SocialDescriptor.from_users("v2", users("b", 3)))
+        store.apply_comments([("late", "v1")])
+        self._assert_matches_cold(store)
+
+
+@pytest.fixture(scope="module")
+def sketch_workload():
+    return build_workload(hours=2.0, seed=21)
+
+
+@pytest.fixture(scope="module")
+def sketch_config():
+    return RecommenderConfig(k=8)
+
+
+class TestSketchMode:
+    def test_mode_registered(self):
+        assert "sketch" in SOCIAL_MODES
+
+    def test_config_validates_sketch_bits(self):
+        with pytest.raises(ValueError, match="sketch_bits"):
+            RecommenderConfig(sketch_bits=100)
+        assert RecommenderConfig(sketch_bits=128, sketch_seed=7).sketch_seed == 7
+
+    def test_social_relevance_tracks_exact(self, index):
+        scorer = FusionRecommender(index, social_mode="sketch")
+        exact = FusionRecommender(index, social_mode="exact")
+        ids = index.video_ids[:6]
+        for first in ids:
+            for second in ids:
+                left = index.descriptor(first)
+                right = index.descriptor(second)
+                estimate = scorer.social_relevance(left, right)
+                assert 0.0 <= estimate <= 1.0
+                assert estimate == pytest.approx(
+                    exact.social_relevance(left, right), abs=0.25
+                )
+
+    def test_scalar_batch_and_pruned_paths_agree(self, index):
+        # TestEngineParity already sweeps sketch through engine="batch"
+        # vs "scalar"; this pins the pruned fast scan used by recommend()
+        # against the exhaustive scalar ranking on the same index.
+        scalar = FusionRecommender(index, social_mode="sketch", engine="scalar")
+        batch = FusionRecommender(index, social_mode="sketch", engine="batch")
+        for query in index.video_ids[::7][:4]:
+            assert scalar.recommend(query, 10) == batch.recommend(query, 10)
+            left = scalar.component_scores(query)
+            right = batch.component_scores(query)
+            for vid, (_, social) in left.items():
+                assert social == right[vid][1], vid
+
+    def test_snapshot_round_trip_is_bit_identical(
+        self, sketch_workload, sketch_config, tmp_path
+    ):
+        built = CommunityIndex(sketch_workload.dataset, sketch_config)
+        path = tmp_path / "index.json.gz"
+        save_index(built, path)
+        restored = load_index(path)
+        orig_matrix, orig_sizes = built.sketch_matrix()
+        back_matrix, back_sizes = restored.sketch_matrix()
+        np.testing.assert_array_equal(orig_matrix, back_matrix)
+        np.testing.assert_array_equal(orig_sizes, back_sizes)
+        query = built.video_ids[0]
+        before = FusionRecommender(built, social_mode="sketch")
+        after = FusionRecommender(restored, social_mode="sketch")
+        assert before.recommend(query, 8) == after.recommend(query, 8)
+        assert before.component_scores(query) == after.component_scores(query)
+
+    def test_wal_recovery_rederives_sketches(
+        self, sketch_workload, sketch_config, tmp_path
+    ):
+        live = LiveCommunityIndex(sketch_workload.dataset, sketch_config)
+        snapshot = tmp_path / "snap.json.gz"
+        save_index(live, snapshot)
+        wal_path = tmp_path / "wal.jsonl"
+        with WriteAheadLog(wal_path) as wal:
+            live.attach_wal(wal)
+            target = live.video_ids[0]
+            victim = live.video_ids[-1]
+            live.apply_comments([("wal_user_a", target), ("wal_user_b", target)])
+            live.retire_video(victim)
+        recovered = recover(snapshot, wal_path)
+        live_matrix, live_sizes = live.sketch_matrix()
+        rec_matrix, rec_sizes = recovered.sketch_matrix()
+        assert recovered.video_ids == live.video_ids
+        np.testing.assert_array_equal(live_matrix, rec_matrix)
+        np.testing.assert_array_equal(live_sizes, rec_sizes)
+
+    def test_live_mutations_match_cold_rebuild(self, sketch_workload, sketch_config):
+        live = LiveCommunityIndex(sketch_workload.dataset, sketch_config)
+        target = live.video_ids[0]
+        live.apply_comments([("m_u1", target), ("m_u2", target), ("m_u1", target)])
+        live.retire_video(live.video_ids[-1])
+        bank = live.social_store.sketches()
+        for video_id in live.video_ids:
+            cold_row, cold_size = sketch_users(
+                live.social_store.descriptors[video_id].users
+            )
+            row, size = bank.row(video_id)
+            np.testing.assert_array_equal(row, cold_row, err_msg=video_id)
+            assert size == cold_size
+
+    def test_cold_rebuilds_are_seed_stable(self, sketch_workload, sketch_config):
+        first = CommunityIndex(sketch_workload.dataset, sketch_config)
+        second = CommunityIndex(sketch_workload.dataset, sketch_config)
+        query = first.video_ids[2]
+        left = FusionRecommender(first, social_mode="sketch")
+        right = FusionRecommender(second, social_mode="sketch")
+        assert left.recommend(query, 8) == right.recommend(query, 8)
+        assert left.component_scores(query) == right.component_scores(query)
+
+    def test_sketch_seed_changes_bank_not_contract(self, sketch_workload):
+        base = CommunityIndex(sketch_workload.dataset, RecommenderConfig(k=8))
+        reseeded = CommunityIndex(
+            sketch_workload.dataset, RecommenderConfig(k=8, sketch_seed=99)
+        )
+        assert not np.array_equal(
+            base.sketch_matrix()[0], reseeded.sketch_matrix()[0]
+        )
+        np.testing.assert_array_equal(
+            base.sketch_matrix()[1], reseeded.sketch_matrix()[1]
+        )
+
+
+class TestApproxJaccardBatchDegenerates:
+    """Satellite: SAR's batched estimator on degenerate vectors must keep
+    scalar parity — zero rows, zero queries, empty matrices."""
+
+    def test_zero_rows_score_zero_like_scalar(self, rng):
+        matrix = rng.uniform(0.0, 3.0, size=(6, 5))
+        matrix[1] = 0.0
+        matrix[4] = 0.0
+        query = rng.uniform(0.0, 3.0, size=5)
+        batch = approx_jaccard_batch(query, matrix)
+        scalar = np.array([approx_jaccard(query, row) for row in matrix])
+        np.testing.assert_allclose(batch, scalar, rtol=0, atol=1e-12)
+        assert batch[1] == scalar[1]
+
+    def test_zero_query_all_zero(self, rng):
+        matrix = rng.uniform(0.0, 3.0, size=(4, 5))
+        query = np.zeros(5)
+        batch = approx_jaccard_batch(query, matrix)
+        scalar = np.array([approx_jaccard(query, row) for row in matrix])
+        np.testing.assert_array_equal(batch, scalar)
+
+    def test_both_zero_scores_zero(self):
+        batch = approx_jaccard_batch(np.zeros(3), np.zeros((2, 3)))
+        assert batch.tolist() == [0.0, 0.0]
+        assert approx_jaccard(np.zeros(3), np.zeros(3)) == 0.0
+
+    def test_empty_matrix(self):
+        scores = approx_jaccard_batch(np.ones(3), np.zeros((0, 3)))
+        assert scores.shape == (0,)

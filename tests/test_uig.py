@@ -60,3 +60,57 @@ class TestBuildUig:
     def test_empty_collection(self):
         graph = build_uig([])
         assert graph.number_of_nodes() == 0
+
+
+class TestPairCap:
+    """The scalability cap must bound edges without isolating anyone.
+
+    Pre-fix, a video with more than ``pair_cap`` users generated a clique
+    over the first ``pair_cap`` (sorted) users and left every later user
+    as a node with **zero edges** — sub-community extraction then saw
+    spurious singletons that Eq.-8 maintenance could never union back.
+    The fix chains each capped-out user to its sorted predecessor.
+    """
+
+    def test_no_user_isolated_within_a_capped_video(self):
+        users = [f"u{i:02d}" for i in range(12)]
+        graph = build_uig(descriptors(users), pair_cap=4)
+        assert set(graph.nodes) == set(users)
+        isolated = [user for user in users if graph.degree(user) == 0]
+        assert isolated == []
+
+    def test_capped_video_stays_one_component(self):
+        import networkx as nx
+
+        users = [f"u{i:02d}" for i in range(20)]
+        graph = build_uig(descriptors(users), pair_cap=3)
+        assert nx.number_connected_components(graph) == 1
+
+    def test_edge_budget_is_clique_plus_chain(self):
+        users = [f"u{i:02d}" for i in range(15)]
+        cap = 5
+        graph = build_uig(descriptors(users), pair_cap=cap)
+        # C(cap, 2) clique edges + one chain edge per capped-out user.
+        assert graph.number_of_edges() == cap * (cap - 1) // 2 + (15 - cap)
+
+    def test_cap_at_least_video_size_matches_uncapped(self):
+        users = [f"u{i:02d}" for i in range(6)]
+        capped = build_uig(descriptors(users), pair_cap=6)
+        full = build_uig(descriptors(users))
+        assert set(capped.edges) == set(full.edges)
+        for first, second in full.edges:
+            assert capped[first][second]["weight"] == full[first][second]["weight"]
+
+    def test_chain_weights_accumulate_across_videos(self):
+        users = ["a", "b", "c", "d"]
+        graph = build_uig(descriptors(users, users), pair_cap=2)
+        # Chain edges (b-c, c-d) count once per video, like clique edges.
+        assert graph["a"]["b"]["weight"] == 2
+        assert graph["b"]["c"]["weight"] == 2
+        assert graph["c"]["d"]["weight"] == 2
+
+    def test_cap_below_two_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="pair_cap"):
+            build_uig(descriptors(["a", "b"]), pair_cap=1)

@@ -144,3 +144,41 @@ class TestRandomisedConsistency:
         index.apply_comments(comments[half:])
         assert_consistent(index)
         assert len(index.communities) <= 3 + 1  # transiently bounded by k
+
+
+class TestCappedMaintenance:
+    """Eq.-8 maintenance under ``uig_pair_cap``: bounded fan-out, nobody
+    isolated — the incremental mirror of the capped build fix."""
+
+    def _dense_index(self, cap):
+        users = [f"u{i:02d}" for i in range(10)]
+        descriptors = [SocialDescriptor.from_users("v_dense", users)]
+        return DynamicSocialIndex.build(descriptors, k=2, uig_pair_cap=cap)
+
+    def test_build_cap_is_recorded_and_reused(self):
+        index = self._dense_index(3)
+        assert index.uig_pair_cap == 3
+
+    def test_commenter_never_isolated_under_cap(self):
+        index = self._dense_index(3)
+        index.apply_comments([("zz_late", "v_dense")])
+        # The new commenter sorts after every capped user; pre-fix it got
+        # a node (via the descriptor) but zero graph edges.
+        assert index.graph.degree("zz_late") >= 1
+        assert_consistent(index)
+
+    def test_fan_out_bounded_by_cap(self):
+        index = self._dense_index(4)
+        before = index.graph.number_of_edges()
+        index.apply_comments([("zz_late", "v_dense")])
+        # At most cap-1 new edges for one comment on a dense video.
+        assert index.graph.number_of_edges() - before <= 3
+
+    def test_uncapped_fan_out_links_everyone(self):
+        users = [f"u{i}" for i in range(5)]
+        index = DynamicSocialIndex.build(
+            [SocialDescriptor.from_users("v", users)], k=2
+        )
+        index.apply_comments([("newbie", "v")])
+        assert index.graph.degree("newbie") == 5
+        assert_consistent(index)
