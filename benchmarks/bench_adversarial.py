@@ -1,0 +1,282 @@
+"""Adversarial-workload benchmark: the defense layer under attack.
+
+Runs the three adversarial chaos scenarios (DESIGN §16) with their
+defenses armed and reports what each mechanism is accountable for:
+
+* ``flash_crowd`` — singleflight coalescing must collapse the hot-key
+  crowd's concurrent memo misses into single scans (follower count > 0)
+  while oracle parity holds for every served query;
+* ``spam_burst`` — the quarantine must keep the served rankings' overlap
+  with the clean pre-attack oracle above a floor (1.0 = the spam left no
+  trace after hold/block/revoke);
+* ``retire_storm`` — the publish governor must absorb the mutation storm
+  into deferred publications instead of per-mutation epoch thrash.
+
+Every scenario also reports the recovery SLO: seconds after the attack
+stands down until query p99 returns within ``recovery_factor`` of the
+pre-attack baseline.  Besides the human-readable summary the run writes
+``BENCH_adversarial.json`` at the repo root (the artifact CI uploads);
+``--smoke --ci`` additionally fails if any scenario misses its floor in
+the ``adversarial`` section of ``benchmarks/perf_floor.json``.
+
+Runs standalone (``PYTHONPATH=src python benchmarks/bench_adversarial.py
+[--smoke] [--ci]``) or under pytest (``pytest
+benchmarks/bench_adversarial.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+
+from repro.defense import DefenseConfig
+from repro.testing.chaos import SoakConfig, run_soak
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_adversarial.json"
+FLOOR_PATH = REPO_ROOT / "benchmarks" / "perf_floor.json"
+
+DEFAULT_SEED = 2015
+
+#: Spam knobs shared by the bench scenarios: a burst of 8 comments in
+#: 5 s makes a user suspect, 24 confirms, decaying to <= 2 clears.
+SPAM_DEFENSE = DefenseConfig(
+    quarantine=True, spam_window=5.0, spam_burst=8, spam_confirm=24, spam_clear=2
+)
+
+
+def _scenario_config(scenario: str, queries: int, seed: int) -> SoakConfig:
+    """The bench's seeded config for one adversarial scenario.
+
+    Readers are paced so the soak spans real wall-time: the attack
+    window and the recovery tail are measured in seconds.  The attack
+    occupies the early-middle of the run, leaving a long tail for the
+    recovery measurement.
+    """
+    common = dict(
+        queries=queries,
+        writers=2,
+        readers=8,
+        seed=seed,
+        hours=2.0,
+        base_videos=12,
+        reader_pause=0.002,
+        attack_start=0.25,
+        attack_end=0.55,
+        recovery_window=0.1,
+        scenario=scenario,
+    )
+    if scenario == "flash_crowd":
+        return SoakConfig(
+            defense=DefenseConfig(coalesce=True, hot_priority=True),
+            attack_threads=6,
+            attack_ops=500,
+            **common,
+        )
+    if scenario == "spam_burst":
+        return SoakConfig(
+            defense=SPAM_DEFENSE,
+            attack_threads=6,
+            attack_ops=400,
+            # No fault bursts: the rank-correlation measurement wants the
+            # final recommends full-fidelity, not breaker-degraded.
+            fault_burst_every=0.0,
+            **common,
+        )
+    if scenario == "retire_storm":
+        return SoakConfig(
+            defense=DefenseConfig(min_publish_interval=0.05),
+            attack_ops=60,
+            attack_pause=0.002,
+            **common,
+        )
+    raise ValueError(f"unknown scenario {scenario!r}")
+
+
+def _counter(report, name: str) -> int:
+    return int(report.metrics.get("counters", {}).get(name, 0))
+
+
+def run_bench(
+    queries: int = 3_000,
+    seed: int = DEFAULT_SEED,
+    json_path: pathlib.Path | None = JSON_PATH,
+) -> dict:
+    """Run all three adversarial scenarios; return (and persist) the payload."""
+    scenarios: dict[str, dict] = {}
+    for scenario in ("flash_crowd", "spam_burst", "retire_storm"):
+        config = _scenario_config(scenario, queries, seed)
+        report = run_soak(config)
+        entry = {
+            "queries_served": report.queries_total,
+            "attack_ops": report.attack_ops_done,
+            "attack_window": report.attack_window,
+            "baseline_p99_ms": report.baseline_p99_ms,
+            "attack_p99_ms": report.attack_p99_ms,
+            "recovery_seconds": report.recovery_seconds,
+            "parity_checked": report.parity_checked,
+            "parity_failures": len(report.parity_failures),
+            "attack_errors": len(report.attack_errors),
+            "ok": report.ok,
+        }
+        if scenario == "flash_crowd":
+            entry["coalesce_leaders"] = _counter(
+                report, "repro_defense_coalesce_leaders_total"
+            )
+            entry["coalesced_followers"] = _counter(
+                report, "repro_defense_coalesced_followers_total"
+            )
+            entry["coalesce_timeouts"] = _counter(
+                report, "repro_defense_coalesce_timeouts_total"
+            )
+        elif scenario == "spam_burst":
+            entry["rank_correlation"] = report.rank_correlation
+            entry["quarantine"] = report.quarantine
+            entry["quarantined_comments"] = _counter(
+                report, "repro_defense_quarantined_comments_total"
+            )
+            entry["revoked_comments"] = _counter(
+                report, "repro_defense_revoked_comments_total"
+            )
+            entry["blocked_comments"] = _counter(
+                report, "repro_defense_blocked_comments_total"
+            )
+        elif scenario == "retire_storm":
+            entry["epochs_published"] = report.epochs_published
+            entry["deferred_publishes"] = _counter(
+                report, "repro_defense_deferred_publishes_total"
+            )
+        scenarios[scenario] = entry
+    payload = {
+        "bench": "adversarial",
+        "unix_time": time.time(),
+        "seed": seed,
+        "queries_per_scenario": queries,
+        "scenarios": scenarios,
+        "ok": all(entry["ok"] for entry in scenarios.values()),
+    }
+    if json_path is not None:
+        with open(json_path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    return payload
+
+
+def check_floor(payload: dict, floor_path: pathlib.Path = FLOOR_PATH) -> list[str]:
+    """Quality-floor check against the checked-in floors (``--ci``).
+
+    Unlike the latency floors these are direction-aware: follower /
+    deferred counts and the rank correlation must stay *above* their
+    floors, recovery must resolve *below* its ceiling.
+    """
+    floors = json.loads(floor_path.read_text())["adversarial"]
+    scenarios = payload["scenarios"]
+    violations: list[str] = []
+    for name, entry in scenarios.items():
+        if not entry["ok"]:
+            violations.append(f"{name}: soak not ok (parity/attack errors)")
+    followers = scenarios["flash_crowd"]["coalesced_followers"]
+    if followers < floors["flash_crowd_min_coalesced_followers"]:
+        violations.append(
+            f"flash_crowd: {followers} coalesced followers is below the floor "
+            f"{floors['flash_crowd_min_coalesced_followers']} — the crowd's "
+            f"identical misses are not collapsing"
+        )
+    correlation = scenarios["spam_burst"]["rank_correlation"]
+    if correlation is None or correlation < floors["spam_rank_correlation_floor"]:
+        violations.append(
+            f"spam_burst: rank correlation {correlation} vs the clean oracle is "
+            f"below the floor {floors['spam_rank_correlation_floor']}"
+        )
+    deferred = scenarios["retire_storm"]["deferred_publishes"]
+    if deferred < floors["retire_storm_min_deferred_publishes"]:
+        violations.append(
+            f"retire_storm: {deferred} deferred publishes is below the floor "
+            f"{floors['retire_storm_min_deferred_publishes']} — the governor "
+            f"is not absorbing the storm"
+        )
+    ceiling = floors["recovery_seconds_ceiling"]
+    for name, entry in scenarios.items():
+        recovery = entry["recovery_seconds"]
+        if recovery is None or recovery > ceiling:
+            violations.append(
+                f"{name}: recovery_seconds={recovery} exceeds the "
+                f"{ceiling}s ceiling (None = never recovered in-run)"
+            )
+    return violations
+
+
+def format_summary(payload: dict) -> str:
+    lines = [f"seed={payload['seed']} queries/scenario={payload['queries_per_scenario']}"]
+    for name, entry in payload["scenarios"].items():
+        lines.append(
+            f"{name}: served={entry['queries_served']} "
+            f"attack_ops={entry['attack_ops']} "
+            f"p99 {entry['baseline_p99_ms']:.2f}ms -> {entry['attack_p99_ms']:.2f}ms "
+            f"recovery={entry['recovery_seconds']}s "
+            f"parity={entry['parity_checked'] - entry['parity_failures']}"
+            f"/{entry['parity_checked']} ok={entry['ok']}"
+        )
+        if name == "flash_crowd":
+            lines.append(
+                f"  coalesce: leaders={entry['coalesce_leaders']} "
+                f"followers={entry['coalesced_followers']} "
+                f"timeouts={entry['coalesce_timeouts']}"
+            )
+        elif name == "spam_burst":
+            lines.append(
+                f"  quarantine: correlation={entry['rank_correlation']} "
+                f"held={entry['quarantined_comments']} "
+                f"revoked={entry['revoked_comments']} "
+                f"blocked={entry['blocked_comments']} "
+                f"confirmed={entry['quarantine'].get('confirmed_users', 0)}"
+            )
+        elif name == "retire_storm":
+            lines.append(
+                f"  governor: published={entry['epochs_published']} "
+                f"deferred={entry['deferred_publishes']}"
+            )
+    lines.append(f"ok={payload['ok']}")
+    return "\n".join(lines)
+
+
+def test_adversarial_scenarios(report):
+    payload = run_bench(queries=1_500, json_path=None)
+    report(format_summary(payload), engine="batch")
+    assert payload["ok"], "an adversarial scenario failed; see the summary"
+    assert payload["scenarios"]["flash_crowd"]["coalesced_followers"] >= 1
+    assert payload["scenarios"]["spam_burst"]["rank_correlation"] >= 0.9
+    assert payload["scenarios"]["retire_storm"]["deferred_publishes"] >= 1
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--queries", type=int, default=6_000)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="scaled-down run for CI: 3000 queries per scenario",
+    )
+    parser.add_argument(
+        "--ci",
+        action="store_true",
+        help="fail on any quality-floor miss in benchmarks/perf_floor.json",
+    )
+    args = parser.parse_args()
+    queries = 3_000 if args.smoke else args.queries
+    payload = run_bench(queries=queries, seed=args.seed)
+    print(format_summary(payload))
+    if not payload["ok"]:
+        raise SystemExit("adversarial soak failed")
+    if args.ci:
+        violations = check_floor(payload)
+        if violations:
+            raise SystemExit("adversarial floor miss:\n  " + "\n  ".join(violations))
+        print("adversarial floor check: ok")
+
+
+if __name__ == "__main__":
+    main()

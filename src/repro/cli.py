@@ -308,6 +308,31 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-concurrency", type=int, default=8)
     serve.add_argument("--queue-depth", type=int, default=16)
     serve.add_argument(
+        "--coalesce",
+        action="store_true",
+        help="defense: collapse concurrent identical memo misses into one "
+        "scan (flash-crowd singleflight)",
+    )
+    serve.add_argument(
+        "--hot-priority",
+        action="store_true",
+        help="defense: admit memo-resident (hot) queries ahead of queued "
+        "cold scans when the admission gate is backlogged",
+    )
+    serve.add_argument(
+        "--min-publish-interval",
+        type=float,
+        default=0.0,
+        help="defense: minimum seconds between epoch publications "
+        "(retire-storm backpressure; 0 = publish per mutation)",
+    )
+    serve.add_argument(
+        "--quarantine",
+        action="store_true",
+        help="defense: divert burst-anomalous commenters into the "
+        "WAL-logged spam quarantine instead of the social state",
+    )
+    serve.add_argument(
         "--chaos-slow-every",
         type=int,
         default=0,
@@ -340,6 +365,13 @@ def build_parser() -> argparse.ArgumentParser:
         "instead of querying",
     )
     load.add_argument("--seed", type=int, default=2015)
+    load.add_argument(
+        "--skew",
+        default="uniform",
+        help="query-key distribution: 'uniform' or 'zipf:<s>' — seeded "
+        "rank-weighted (1/rank^s) sampling over the catalogue order, the "
+        "hot-key skew the defense layer's coalescing is built for",
+    )
     load.add_argument("--attempts", type=int, default=4, help="tries per request")
     load.add_argument(
         "--out", help="write one JSON line per request (the netchaos oracle input)"
@@ -817,8 +849,26 @@ def _cmd_serve(args) -> int:
     from repro.serving import GatewayConfig, ServingGateway
     from repro.sharding import is_sharded_deployment
 
+    defense = None
+    if (
+        args.coalesce
+        or args.hot_priority
+        or args.min_publish_interval > 0
+        or args.quarantine
+    ):
+        from repro.defense import DefenseConfig, init_defense_metrics
+
+        defense = DefenseConfig(
+            coalesce=args.coalesce,
+            hot_priority=args.hot_priority,
+            min_publish_interval=args.min_publish_interval,
+            quarantine=args.quarantine,
+        )
+        init_defense_metrics()
     gateway_config = GatewayConfig(
-        max_concurrency=args.max_concurrency, queue_depth=args.queue_depth
+        max_concurrency=args.max_concurrency,
+        queue_depth=args.queue_depth,
+        defense=defense,
     )
     if args.shards or is_sharded_deployment(args.index):
         from repro.sharding import ShardedGateway, recover_shards
@@ -847,6 +897,7 @@ def _cmd_serve(args) -> int:
         drain_timeout=args.drain_s,
         cache_capacity=args.cache,
         apply_every=args.apply_every,
+        defense=defense,
     )
     chaos = None
     if args.chaos_slow_every or args.chaos_abort_every:
@@ -879,6 +930,30 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _skew_sampler(skew: str, count: int):
+    """``rng -> index`` sampler for ``repro load --skew``.
+
+    ``uniform`` keeps the historical behaviour; ``zipf:<s>`` weights the
+    catalogue's rank r at ``1/r^s`` (s=0 is uniform again, s~1 is classic
+    web skew, s>=2 concentrates most queries on a handful of hot keys).
+    Seeded inverse-CDF sampling, so a rerun replays the same key stream.
+    """
+    import bisect
+    import itertools
+
+    if skew == "uniform":
+        return lambda rng: rng.randrange(count)
+    if skew.startswith("zipf:"):
+        exponent = float(skew.split(":", 1)[1])
+        if exponent < 0:
+            raise ValueError(f"zipf exponent must be >= 0, got {exponent}")
+        weights = [1.0 / (rank**exponent) for rank in range(1, count + 1)]
+        total = sum(weights)
+        cdf = list(itertools.accumulate(weight / total for weight in weights))
+        return lambda rng: min(count - 1, bisect.bisect_left(cdf, rng.random()))
+    raise ValueError(f"unknown --skew {skew!r} (expected 'uniform' or 'zipf:<s>')")
+
+
 def _cmd_load(args) -> int:
     import json
     import random
@@ -889,6 +964,11 @@ def _cmd_load(args) -> int:
     from repro.net import RetryPolicy, RetryingClient
     from repro.obs import percentiles
 
+    try:
+        _skew_sampler(args.skew, 1)  # validate the spelling up front
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     policy = RetryPolicy(attempts=args.attempts)
     # The bootstrap client waits out a server that is still loading its
     # index (connection refused is a retryable GET failure).
@@ -898,6 +978,7 @@ def _cmd_load(args) -> int:
     if not videos:
         print("error: server reports an empty catalogue", file=sys.stderr)
         return 2
+    sample = _skew_sampler(args.skew, len(videos))
     rows: list[dict] = []
     rows_lock = threading.Lock()
     per_worker = [
@@ -918,7 +999,7 @@ def _cmd_load(args) -> int:
             interact = args.interact_every > 0 and i % args.interact_every == (
                 args.interact_every - 1
             )
-            video = videos[rng.randrange(len(videos))]
+            video = videos[sample(rng)]
             row: dict = {
                 "kind": "interaction" if interact else "recommend",
                 "video": video,
@@ -1020,8 +1101,12 @@ def _cmd_stats(args) -> int:
     registry = MetricsRegistry()
     with use_metrics(registry):
         if args.queries > 0 and getattr(args, "serving", False):
+            from repro.defense import init_defense_metrics
             from repro.serving.gateway import ServingGateway
 
+            # Zero-register the repro_defense_* families so dashboards
+            # see the full defense surface even before any attack.
+            init_defense_metrics()
             gateway = ServingGateway(index)
             # Two identical passes: the first misses the query memo and
             # scans, the second hits it — both counter families land in

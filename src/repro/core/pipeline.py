@@ -455,6 +455,27 @@ class LiveCommunityIndex(CommunityIndex):
         metrics.inc("repro_comment_pairs_total", len(pairs))
         return stats
 
+    def remove_comments(self, comments: Iterable[tuple[str, str]]) -> int:
+        """Un-apply ``(user_id, video_id)`` memberships (spam revocation).
+
+        The durable inverse of exact-mode :meth:`apply_comments`: the
+        batch is WAL-logged before the descriptors shrink, so recovery
+        replays revocations exactly like applications.  Pairs targeting
+        unknown videos are skipped rather than rejected — a spammer's
+        target may have been retired between confirmation and revocation,
+        and the membership is gone either way.  Returns the number of
+        memberships actually removed.
+        """
+        pairs = list(comments)
+        metrics = get_metrics()
+        with metrics.time("repro_comments_seconds"):
+            if self._wal is not None:
+                self.wal_seq = self._wal.log_comment_removal(pairs)
+            removed = self.social_store.remove_comments(pairs)
+        metrics.inc("repro_comment_removal_batches_total")
+        metrics.inc("repro_comment_removed_pairs_total", removed)
+        return removed
+
     def _validate_comment_target(self, video_id: str) -> None:
         """Reject comments for videos this index knows nothing about.
 

@@ -511,3 +511,30 @@ class SocialStore:
                 self._descriptors[video_id] = descriptor.with_users([user])
                 self._sketch_add(video_id, user)
         return None
+
+    def remove_comments(self, comments: list[tuple[str, str]]) -> int:
+        """Un-apply ``(user_id, video_id)`` memberships (spam revocation).
+
+        The inverse of exact-mode :meth:`apply_comments`: each pair whose
+        user is currently in the video's descriptor is removed, the
+        partition re-derives deterministically from the shrunken
+        descriptors, and a built sketch bank mirrors the removal through
+        the XOR self-inverse (``remove_user`` is the same toggle as
+        ``add_user``, so un-apply costs exactly one O(1) toggle).  Pairs
+        whose membership does not exist are skipped — revoking a no-op
+        application must itself be a no-op.  Returns the number of
+        memberships actually removed.
+        """
+        self._require_available()
+        self._invalidate()
+        removed = 0
+        for user, video_id in comments:
+            descriptor = self._descriptors.get(video_id)
+            if descriptor is None or user not in descriptor.users:
+                continue
+            self._descriptors[video_id] = descriptor.without_users([user])
+            removed += 1
+            bank = self._sketches
+            if bank is not None and video_id in bank:
+                bank.remove_user(video_id, user)
+        return removed

@@ -1,0 +1,83 @@
+"""Adversarial-workload defense layer (DESIGN §16).
+
+Three coordinated mechanisms keep latency and Eq.-8 ranking quality
+bounded under hostile traffic, each off by default and bit-parity-pinned
+when off:
+
+* :mod:`repro.defense.coalesce` — flash-crowd protection: per-key
+  singleflight collapses concurrent identical memo misses into one scan
+  (plus hot-key priority admission in the gateway's gate);
+* :mod:`repro.defense.quarantine` — spam-commenter quarantine: a
+  per-user comment-rate anomaly detector diverting burst traffic into a
+  WAL-logged buffer, with release-on-clear and revoke-on-confirm;
+* :mod:`repro.defense.backpressure` — retire-storm backpressure: a
+  minimum epoch-publication interval bounding cache-invalidation churn.
+
+Every mechanism reports under ``repro_defense_*`` metric names;
+:func:`init_defense_metrics` pre-registers them at zero so operators'
+dashboards (and ``repro stats``) see the full family before the first
+attack.
+"""
+
+from __future__ import annotations
+
+from repro.defense.backpressure import PublishGovernor
+from repro.defense.coalesce import TIMEOUT, SingleFlight
+from repro.defense.config import DefenseConfig
+from repro.defense.quarantine import (
+    GuardVerdict,
+    QuarantineReplay,
+    SpamGuard,
+    replay_quarantine,
+)
+
+__all__ = [
+    "DefenseConfig",
+    "GuardVerdict",
+    "PublishGovernor",
+    "QuarantineReplay",
+    "SingleFlight",
+    "SpamGuard",
+    "TIMEOUT",
+    "init_defense_metrics",
+    "replay_quarantine",
+]
+
+#: Counter families every defense mechanism reports under.
+_COUNTERS = (
+    "repro_defense_coalesce_leaders_total",
+    "repro_defense_coalesced_followers_total",
+    "repro_defense_coalesce_timeouts_total",
+    "repro_defense_hot_admissions_total",
+    "repro_defense_deferred_publishes_total",
+    "repro_defense_quarantined_comments_total",
+    "repro_defense_quarantined_users_total",
+    "repro_defense_released_comments_total",
+    "repro_defense_revoked_comments_total",
+    "repro_defense_blocked_comments_total",
+    "repro_defense_confirmed_spammers_total",
+)
+
+_GAUGES = (
+    "repro_defense_suspect_users",
+    "repro_defense_held_comments",
+    "repro_defense_recovery_seconds",
+)
+
+
+def init_defense_metrics(metrics=None) -> None:
+    """Pre-register every ``repro_defense_*`` series at zero.
+
+    Counters only materialize in the Prometheus/JSON surfaces once
+    incremented; a dashboard watching a healthy service would otherwise
+    see no defense series at all and could not tell "no attack" from
+    "defense not wired".  Zero-increments register the full family.
+    """
+    if metrics is None:
+        from repro.obs import get_metrics
+
+        metrics = get_metrics()
+    for name in _COUNTERS:
+        metrics.inc(name, 0)
+    for name in _GAUGES:
+        metrics.set_gauge(name, 0.0)

@@ -1,0 +1,79 @@
+"""Retire-storm backpressure: bounded epoch-publication frequency.
+
+Every gateway mutation publishes a copy-on-write epoch, and every
+publication invalidates the query memo and the HTTP response cache.
+That coupling is exactly what a retire storm attacks: a burst of cheap
+mutations forces O(storm) epoch builds and keeps every cache permanently
+cold, collapsing read latency without a single heavy query.
+
+:class:`PublishGovernor` decouples them.  Mutations always apply to the
+write master immediately (durability is untouched — the WAL logged them
+before they applied); what the governor bounds is the *visibility*
+cadence: at most one publication per ``min_interval`` seconds.  A
+mutation arriving inside the interval defers its publish; the gateway
+arms a one-shot timer so the deferred batch becomes visible as soon as
+the interval elapses, even if no further mutation arrives.  A storm of
+R retires then costs ``R / min_interval``-bounded epoch builds instead
+of R, and readers keep their memo/cache warm between publications.
+
+``max_deferred`` bounds staleness: once that many mutations stack up
+behind one deferred publication, the governor force-publishes.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["PublishGovernor"]
+
+
+class PublishGovernor:
+    """Decides publish-now vs defer; callers hold the writer lock.
+
+    Not internally locked: every method is called under the owning
+    gateway's writer lock, which already serializes mutations.
+    """
+
+    def __init__(
+        self,
+        min_interval: float,
+        max_deferred: int = 64,
+        clock=time.monotonic,
+    ) -> None:
+        if min_interval <= 0:
+            raise ValueError(f"min_interval must be > 0, got {min_interval}")
+        if max_deferred < 1:
+            raise ValueError(f"max_deferred must be >= 1, got {max_deferred}")
+        self.min_interval = float(min_interval)
+        self.max_deferred = int(max_deferred)
+        self._clock = clock
+        self._last_publish: float | None = None
+        self._deferred = 0
+
+    @property
+    def deferred(self) -> int:
+        """Mutations currently waiting behind the deferred publication."""
+        return self._deferred
+
+    def should_defer(self) -> bool:
+        """Whether the mutation that just applied should defer its publish."""
+        if self._last_publish is None:
+            return False
+        if self._clock() - self._last_publish >= self.min_interval:
+            return False
+        if self._deferred + 1 >= self.max_deferred:
+            # Staleness bound: force this publication through.
+            return False
+        self._deferred += 1
+        return True
+
+    def published(self) -> None:
+        """Record a publication; restarts the interval, clears the backlog."""
+        self._last_publish = self._clock()
+        self._deferred = 0
+
+    def delay_remaining(self) -> float:
+        """Seconds until the interval elapses (timer arming)."""
+        if self._last_publish is None:
+            return 0.0
+        return max(0.0, self.min_interval - (self._clock() - self._last_publish))

@@ -1,0 +1,89 @@
+"""Per-key singleflight: flash-crowd misses collapse into one scan.
+
+Under a flash crowd, thousands of concurrent requests for the *same*
+query arrive between two memo hits — each would miss the memo and pay a
+full candidate scan.  :class:`SingleFlight` collapses them: the first
+request for a key becomes the **leader** and computes normally; every
+concurrent duplicate becomes a **follower** that parks on the leader's
+event and receives the leader's finished result (the gateway hands each
+follower a :meth:`~repro.core.recommender.Recommendations.copy`, so the
+ranking bytes are bit-identical to the leader's).  A leader that *fails*
+propagates its typed error to the flock — under overload that is the
+defense working: one shed leader sheds the whole duplicate crowd without
+each member burning a queue slot first.
+
+A follower that outwaits its budget falls back to its own full serving
+path (correctness never depends on the leader finishing).
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["SingleFlight"]
+
+
+class _Flight:
+    """One in-progress leader computation and its parked followers."""
+
+    __slots__ = ("event", "result", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.result = None
+        self.error: BaseException | None = None
+
+
+class _Timeout:
+    """Sentinel distinguishing 'leader timed out' from a ``None`` result."""
+
+    __slots__ = ()
+
+
+TIMEOUT = _Timeout()
+
+
+class SingleFlight:
+    """Keyed singleflight groups under one small lock."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: dict[tuple, _Flight] = {}
+
+    def begin(self, key: tuple) -> tuple[bool, _Flight]:
+        """Join the flight for *key*; ``(is_leader, flight)``.
+
+        The leader must call :meth:`finish` exactly once (also on error),
+        or followers hang until their own wait budget expires.
+        """
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is not None:
+                return False, flight
+            flight = _Flight()
+            self._flights[key] = flight
+            return True, flight
+
+    def finish(
+        self,
+        key: tuple,
+        flight: _Flight,
+        result=None,
+        error: BaseException | None = None,
+    ) -> None:
+        """Publish the leader's outcome and wake every follower."""
+        flight.result = result
+        flight.error = error
+        with self._lock:
+            if self._flights.get(key) is flight:
+                del self._flights[key]
+        flight.event.set()
+
+    def wait(self, flight: _Flight, timeout: float):
+        """A follower's wait: the leader's result, its raised error, or
+        :data:`TIMEOUT` when the budget expires first."""
+        if not flight.event.wait(timeout):
+            return TIMEOUT
+        if flight.error is not None:
+            raise flight.error
+        return flight.result

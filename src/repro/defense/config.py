@@ -1,0 +1,108 @@
+"""Knobs of the adversarial-workload defense layer.
+
+One frozen dataclass gathers every defense mechanism's tuning so the
+gateways, the HTTP front-end and the chaos harness share a single
+currency.  **Every default is off**: a gateway built with the default
+config behaves bit-identically to one built before the defense layer
+existed — the parity suites pin that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DefenseConfig"]
+
+
+@dataclass(frozen=True)
+class DefenseConfig:
+    """Defense-layer tuning; the default instance disables everything.
+
+    Attributes
+    ----------
+    coalesce:
+        Per-key singleflight on the serving gateways: concurrent
+        identical memo misses collapse into one candidate scan whose
+        result every follower receives bit-identically.
+    coalesce_wait:
+        Longest a deadline-free follower waits for its leader (seconds);
+        a request carrying its own deadline waits at most that.  On
+        timeout the follower falls back to its own full serving path.
+    hot_priority:
+        Skew-aware admission: a request whose memo key is already
+        resident (a hot key — it will be answered from the memo without
+        scanning) is admitted ahead of queued cold scans when the gate
+        is backlogged.
+    min_publish_interval:
+        Minimum seconds between epoch publications (0 = publish per
+        mutation, today's behaviour).  Mutations inside the interval
+        apply to the master immediately but defer the publish; a timer
+        flushes the deferred publication when the interval elapses, so
+        a retire storm amortizes into bounded epoch/memo/response-cache
+        invalidation instead of thrashing it per mutation.
+    max_deferred_mutations:
+        Mutations allowed to accumulate behind one deferred publication
+        before the governor force-publishes regardless of the interval
+        (bounds staleness under a sustained storm).
+    quarantine:
+        Per-user comment-rate anomaly detection in front of
+        ``apply_comments``: burst-anomalous users' comments divert into
+        a WAL-logged quarantine buffer withheld from the UIG and the
+        sketch banks, released if the burst subsides and revoked (un-
+        applied) if it confirms.
+    spam_window:
+        Sliding window (seconds) over which a user's comment rate is
+        measured.
+    spam_burst:
+        Comments within ``spam_window`` that make a user *suspect*
+        (subsequent comments are quarantined, not applied).
+    spam_confirm:
+        Comments within ``spam_window`` that *confirm* a suspect as a
+        spammer: held comments are dropped and the suspect's recently
+        applied comments are revoked from the social state.
+    spam_clear:
+        A suspect whose in-window comment count decays to this value or
+        below is cleared: their held comments are released and applied
+        normally.
+    """
+
+    coalesce: bool = False
+    coalesce_wait: float = 0.25
+    hot_priority: bool = False
+    min_publish_interval: float = 0.0
+    max_deferred_mutations: int = 64
+    quarantine: bool = False
+    spam_window: float = 1.0
+    spam_burst: int = 16
+    spam_confirm: int = 48
+    spam_clear: int = 2
+
+    def __post_init__(self) -> None:
+        if self.coalesce_wait <= 0:
+            raise ValueError(f"coalesce_wait must be > 0, got {self.coalesce_wait}")
+        if self.min_publish_interval < 0:
+            raise ValueError(
+                f"min_publish_interval must be >= 0, got {self.min_publish_interval}"
+            )
+        if self.max_deferred_mutations < 1:
+            raise ValueError(
+                f"max_deferred_mutations must be >= 1, got {self.max_deferred_mutations}"
+            )
+        if self.spam_window <= 0:
+            raise ValueError(f"spam_window must be > 0, got {self.spam_window}")
+        if self.spam_burst < 2:
+            raise ValueError(f"spam_burst must be >= 2, got {self.spam_burst}")
+        if self.spam_confirm <= self.spam_burst:
+            raise ValueError(
+                f"spam_confirm ({self.spam_confirm}) must exceed "
+                f"spam_burst ({self.spam_burst})"
+            )
+        if not 0 <= self.spam_clear < self.spam_burst:
+            raise ValueError(
+                f"spam_clear must be in [0, spam_burst), got {self.spam_clear}"
+            )
+
+    @property
+    def serving_enabled(self) -> bool:
+        """Whether any serving-side mechanism is on (gateway fast-exit)."""
+        return self.coalesce or self.hot_priority or self.min_publish_interval > 0

@@ -91,6 +91,18 @@ class RateLimitedError(ServingError):
         self.retry_after_ms = None if retry_after_ms is None else float(retry_after_ms)
 
 
+class SpamQuarantinedError(ServingError):
+    """The defense layer's spam quarantine refused the interaction: its
+    user was *confirmed* as a burst spammer, so further comments are
+    dropped rather than logged.  The HTTP front-end maps this onto 429
+    with a ``Retry-After`` hint of one spam window — a genuine user who
+    tripped the detector can retry once their burst has aged out."""
+
+    def __init__(self, message: str = "", retry_after_ms: float | None = None):
+        super().__init__(message)
+        self.retry_after_ms = None if retry_after_ms is None else float(retry_after_ms)
+
+
 class NetClientError(ReproError):
     """The bundled HTTP client gave up: retries (and the retry budget)
     were exhausted, or the failure class is not retryable.  Carries the

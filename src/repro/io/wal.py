@@ -289,6 +289,13 @@ class WriteAheadLog:
             },
         )
 
+    def log_comment_removal(self, pairs) -> int:
+        """Log one comment-revocation batch (spam quarantine un-apply)."""
+        return self.append(
+            "comments_removed",
+            {"pairs": [[user, video_id] for user, video_id in pairs]},
+        )
+
     def log_watermark(self, month: int) -> int:
         """Log a watermark advance."""
         return self.append("watermark", {"month": int(month)})
@@ -342,6 +349,10 @@ def _replay_record(index: LiveCommunityIndex, record: WalRecord) -> None:
         index.apply_comments(
             [(user, video_id) for user, video_id in payload["pairs"]],
             incremental=payload["incremental"],
+        )
+    elif record.op == "comments_removed":
+        index.remove_comments(
+            [(user, video_id) for user, video_id in payload["pairs"]]
         )
     elif record.op == "watermark":
         index.advance_watermark(payload["month"])

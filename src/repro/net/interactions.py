@@ -10,11 +10,21 @@ is durable **before** the 200 goes out, via the same
 
 Exactly-once across drain/restart comes from the ``interaction_id``:
 clients supply one (the bundled client mints them), the log keeps the
-set of every id it has ever acknowledged — rebuilt from disk on reopen —
-and a replayed/retried POST with a known id is acknowledged again
-*without* re-logging (``duplicate: true`` in the response).  The netchaos
-soak asserts both halves: no acknowledged record missing after a
+ids it has acknowledged — rebuilt from disk on reopen — and a
+replayed/retried POST with a known id is acknowledged again *without*
+re-logging (``duplicate: true`` in the response).  The netchaos soak
+asserts both halves: no acknowledged record missing after a
 SIGTERM+restart, no id logged twice.
+
+The dedupe set is **bounded** (``dedupe_capacity``, LRU-evicted): an
+unbounded id set grows with the log's whole lifetime across every
+restart — a memory leak a long-lived deployment cannot afford and an
+adversary minting fresh ids can force.  Client retries happen within
+seconds of the original request, so a window of the most recent
+``dedupe_capacity`` ids preserves exactly-once for every realistic retry
+while pinning memory; an id older than the whole window is
+indistinguishable from new by then (the same trade TCP sequence-number
+reuse and every at-least-once dedupe window makes).
 
 Batch replay into Eq.-8 maintenance is :func:`interaction_pairs` →
 ``gateway.apply_comments`` — what the server's ``apply_every`` loop and
@@ -28,6 +38,7 @@ from __future__ import annotations
 import pathlib
 import threading
 import uuid
+from collections import OrderedDict
 
 from repro.io.wal import WriteAheadLog, read_wal
 
@@ -100,14 +111,34 @@ class InteractionLog:
     from disk.
     """
 
-    def __init__(self, path: str | pathlib.Path, faults=None, sync: bool = True) -> None:
+    #: Default bound of the dedupe-id LRU window.
+    DEDUPE_CAPACITY = 65536
+
+    def __init__(
+        self,
+        path: str | pathlib.Path,
+        faults=None,
+        sync: bool = True,
+        dedupe_capacity: int | None = None,
+    ) -> None:
+        capacity = self.DEDUPE_CAPACITY if dedupe_capacity is None else int(dedupe_capacity)
+        if capacity < 1:
+            raise ValueError(f"dedupe_capacity must be >= 1, got {capacity}")
+        self.dedupe_capacity = capacity
         self.path = pathlib.Path(path)
         self._wal = WriteAheadLog(self.path, faults=faults, sync=sync)
         self._lock = threading.Lock()
-        self._seen: set[str] = set()
+        #: Most-recent ``dedupe_capacity`` acknowledged ids, LRU order.
+        self._seen: OrderedDict[str, None] = OrderedDict()
         for record in read_wal(self.path, missing_ok=True).records:
             if record.op == OP_INTERACTION:
-                self._seen.add(record.payload["interaction_id"])
+                self._remember(record.payload["interaction_id"])
+
+    def _remember(self, interaction_id: str) -> None:
+        self._seen[interaction_id] = None
+        self._seen.move_to_end(interaction_id)
+        while len(self._seen) > self.dedupe_capacity:
+            self._seen.popitem(last=False)
 
     @property
     def seq(self) -> int:
@@ -124,14 +155,17 @@ class InteractionLog:
         Returns ``(seq, duplicate)``: for a known ``interaction_id`` the
         record is **not** re-logged and the current sequence comes back
         with ``duplicate=True`` — acknowledging a client retry without
-        double-counting the comment edge.
+        double-counting the comment edge.  A duplicate hit refreshes the
+        id's LRU position, so an id being actively retried cannot age
+        out of the window mid-retry-storm.
         """
         with self._lock:
             interaction_id = interaction["interaction_id"]
             if interaction_id in self._seen:
+                self._seen.move_to_end(interaction_id)
                 return self._wal.seq, True
             seq = self._wal.append(OP_INTERACTION, dict(interaction))
-            self._seen.add(interaction_id)
+            self._remember(interaction_id)
             return seq, False
 
     def flush_and_close(self) -> None:

@@ -32,6 +32,7 @@ from repro.errors import (
     ReproError,
     ServingError,
     SocialStoreUnavailableError,
+    SpamQuarantinedError,
 )
 
 __all__ = [
@@ -67,6 +68,7 @@ HEADER_CACHE = "X-Cache"
 STATUS_TABLE: tuple[tuple[type[BaseException], int, str], ...] = (
     (RateLimitedError, 429, "rate_limited"),
     (OverloadedError, 429, "overloaded"),
+    (SpamQuarantinedError, 429, "spam_quarantined"),
     (SocialStoreUnavailableError, 503, "social_unavailable"),
     (DurabilityError, 500, "durability"),
     (ServingError, 500, "serving"),

@@ -45,7 +45,9 @@ from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
-from repro.errors import RateLimitedError
+from repro.defense.config import DefenseConfig
+from repro.defense.quarantine import SpamGuard, replay_quarantine
+from repro.errors import RateLimitedError, SpamQuarantinedError
 from repro.net.cache import ResponseCache
 from repro.net.interactions import (
     InteractionLog,
@@ -120,6 +122,15 @@ class NetConfig:
         Fold logged interactions into the serving index (one
         ``apply_comments`` batch + epoch publication) every N records
         (0 = log only; a restart still applies the whole log).
+    defense:
+        Optional :class:`~repro.defense.config.DefenseConfig`.  When its
+        ``quarantine`` knob is on, a :class:`~repro.defense.quarantine.
+        SpamGuard` screens every apply batch: burst-anomalous users'
+        comments divert into a quarantine WAL (``<interactions
+        path>.quarantine``) instead of the social state, and a POST from
+        an already-*confirmed* spammer is refused with 429 before it is
+        even logged.  ``None`` (the default) keeps the pre-defense
+        behaviour bit for bit.
     """
 
     default_deadline_ms: float | None = None
@@ -129,6 +140,7 @@ class NetConfig:
     cache_capacity: int = 1024
     max_body_bytes: int = 64 * 1024
     apply_every: int = 0
+    defense: DefenseConfig | None = None
 
     def __post_init__(self) -> None:
         if self.default_deadline_ms is not None and self.default_deadline_ms <= 0:
@@ -176,6 +188,31 @@ class ChaosSchedule:
         return slow, abort
 
 
+def _membership_probe(gateway):
+    """A ``(user, video) -> already-a-member?`` probe over *gateway*.
+
+    The spam guard uses it to avoid recording no-op applications as
+    revocable: un-applying a comment whose user was already in the
+    video's descriptor would remove a membership the spammer never
+    added.  Descriptors replicate to every shard, so shard 0 answers
+    for a sharded gateway.  Advisory — a stale read only widens or
+    narrows the revocation set, never corrupts state.
+    """
+    index = getattr(gateway, "_master", None)
+    if index is None:
+        sharded = getattr(gateway, "sharded", None)
+        if sharded is None:
+            return None
+        index = sharded.shards[0]
+    store = index.social_store
+
+    def probe(user: str, video: str) -> bool:
+        descriptor = store.descriptors.get(video)
+        return descriptor is not None and user in descriptor.users
+
+    return probe
+
+
 def _header(headers, name: str):
     """Case-tolerant header lookup (email.Message or a plain dict)."""
     value = headers.get(name)
@@ -218,12 +255,35 @@ class RecommendService:
         self._apply_lock = threading.Lock()
         self._pending: list[dict] = []
         self._seq_by_epoch: OrderedDict = OrderedDict()
+        defense = self.config.defense
+        self.guard: SpamGuard | None = None
+        withheld: set[int] = set()
+        revoke_pairs: list[tuple[str, str]] = []
+        if defense is not None and defense.quarantine:
+            quarantine_path = interactions.path.with_name(
+                interactions.path.name + ".quarantine"
+            )
+            # The replay scan runs before the guard opens the log so the
+            # restart withholds exactly what the previous run withheld.
+            qreplay = replay_quarantine(quarantine_path)
+            withheld = qreplay.withheld_refs
+            revoke_pairs = qreplay.revoke_pairs
+            self.guard = SpamGuard(
+                defense,
+                wal_path=quarantine_path,
+                membership=_membership_probe(gateway),
+            )
         replayed = read_interactions(interactions.path)
-        if replayed:
+        to_apply = [r for r in replayed if r["seq"] not in withheld]
+        if to_apply:
             # One exact-mode batch; batch-split invariance makes this
             # bit-identical to the incremental applies of the previous
             # run, whatever its apply_every cadence was.
-            gateway.apply_comments(interaction_pairs(replayed))
+            gateway.apply_comments(interaction_pairs(to_apply))
+        if revoke_pairs:
+            # Confirmed revocations re-apply after the interaction replay,
+            # matching the live ordering (applied first, revoked later).
+            gateway.remove_comments(revoke_pairs)
         self._applied_seq = len(replayed)
         self._record_epoch_seq()
 
@@ -471,10 +531,20 @@ class RecommendService:
         record = validate_interaction(doc)
         if not self._has_video(record["video_id"]):
             raise KeyError(f"unknown video {record['video_id']!r}")
+        if self.guard is not None and self.guard.state_of(record["user_id"]) == (
+            "confirmed"
+        ):
+            # A confirmed spammer's POST is refused before it is logged:
+            # nothing to withhold on replay, nothing durable to pay for.
+            metrics.inc("repro_defense_blocked_comments_total")
+            raise SpamQuarantinedError(
+                f"user {record['user_id']!r} is quarantined as a spammer",
+                retry_after_ms=self.config.defense.spam_window * 1000.0,
+            )
         with self._apply_lock:
             seq, duplicate = self.interactions.append(record)
             if not duplicate:
-                self._pending.append(record)
+                self._pending.append(dict(record, seq=seq))
                 self._maybe_apply_locked()
         metrics.inc(
             "repro_http_interactions_total",
@@ -497,11 +567,38 @@ class RecommendService:
         if len(self._pending) < self.config.apply_every:
             return
         batch, self._pending = self._pending, []
-        self.gateway.apply_comments(interaction_pairs(batch))
+        if self.guard is not None:
+            verdict = self.guard.filter(
+                interaction_pairs(batch), refs=[r["seq"] for r in batch]
+            )
+            if verdict.passed:
+                self.gateway.apply_comments(verdict.passed)
+            if verdict.revoked:
+                self.gateway.remove_comments(verdict.revoked)
+        else:
+            self.gateway.apply_comments(interaction_pairs(batch))
         self._applied_seq += len(batch)
         self._record_epoch_seq()
         get_metrics().inc("repro_http_applies_total")
         get_metrics().set_gauge("repro_http_applied_seq", self._applied_seq)
+
+    def poll_quarantine(self) -> None:
+        """Release-on-clear sweep without new traffic (idle ticks).
+
+        Suspects whose burst has aged out of the spam window get their
+        held comments applied — late, not lost — even when no further
+        interactions arrive to trigger a batch.
+        """
+        if self.guard is None:
+            return
+        with self._apply_lock:
+            verdict = self.guard.poll()
+            if verdict.passed:
+                self.gateway.apply_comments(verdict.passed)
+            if verdict.revoked:
+                self.gateway.remove_comments(verdict.revoked)
+            if verdict.passed or verdict.revoked:
+                self._record_epoch_seq()
 
     def flush(self) -> None:
         """Close the interaction log cleanly (the drain path's last act).
@@ -511,6 +608,8 @@ class RecommendService:
         is exactly what ``applied_seq`` semantics require.
         """
         self.interactions.flush_and_close()
+        if self.guard is not None:
+            self.guard.close()
 
 
 class ReproHTTPServer:

@@ -20,6 +20,7 @@ still under the lock, keeping the observed transition order exact.
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 
@@ -50,6 +51,15 @@ class CircuitBreaker:
         Monotonic clock (injectable for deterministic tests).
     on_transition:
         ``callback(old_state, new_state)`` invoked on every transition.
+    reopen_jitter:
+        Jitter fraction on the cooldown after a *failed half-open
+        trial*: the re-opened breaker waits ``cooldown * (1 + U[0,
+        reopen_jitter))`` before probing again, so a fleet of breakers
+        tripped by one shared dependency outage doesn't re-probe it in
+        lockstep (thundering-herd on recovery).  0 (the default) keeps
+        the fixed cooldown.
+    seed:
+        Seed of the jitter RNG (deterministic tests).
     """
 
     def __init__(
@@ -60,6 +70,8 @@ class CircuitBreaker:
         half_open_successes: int = 1,
         clock=time.monotonic,
         on_transition=None,
+        reopen_jitter: float = 0.0,
+        seed: int = 0,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError(f"failure_threshold must be >= 1, got {failure_threshold}")
@@ -71,8 +83,15 @@ class CircuitBreaker:
             raise ValueError(
                 f"half_open_successes must be >= 1, got {half_open_successes}"
             )
+        if reopen_jitter < 0:
+            raise ValueError(f"reopen_jitter must be >= 0, got {reopen_jitter}")
         self.failure_threshold = failure_threshold
         self.cooldown = cooldown
+        self.reopen_jitter = reopen_jitter
+        self._rng = random.Random(seed)
+        #: The cooldown governing the *current* open period; re-opens
+        #: after a failed trial stretch it by the jitter draw.
+        self._current_cooldown = cooldown
         self.half_open_probes = half_open_probes
         self.half_open_successes = half_open_successes
         self._clock = clock
@@ -119,7 +138,7 @@ class CircuitBreaker:
             if self._state == CLOSED:
                 return True
             if self._state == OPEN:
-                if self._clock() - self._opened_at < self.cooldown:
+                if self._clock() - self._opened_at < self._current_cooldown:
                     return False
                 self._transition(HALF_OPEN)
                 self._probe_successes = 0
@@ -149,9 +168,15 @@ class CircuitBreaker:
                 self._probes_in_flight = max(0, self._probes_in_flight - 1)
                 self._transition(OPEN)
                 self._opened_at = self._clock()
+                # Failed trial: back off with jitter so breakers tripped
+                # by one shared outage don't re-probe it in lockstep.
+                self._current_cooldown = self.cooldown * (
+                    1.0 + self.reopen_jitter * self._rng.random()
+                )
             elif self._state == CLOSED:
                 self._failures += 1
                 if self._failures >= self.failure_threshold:
                     self._transition(OPEN)
                     self._opened_at = self._clock()
+                    self._current_cooldown = self.cooldown
             # Already open: a late failure report changes nothing.

@@ -38,6 +38,9 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 
 from repro.core.recommender import FusionRecommender, Recommendations
+from repro.defense.backpressure import PublishGovernor
+from repro.defense.coalesce import TIMEOUT, SingleFlight
+from repro.defense.config import DefenseConfig
 from repro.errors import OverloadedError
 from repro.obs import get_metrics
 from repro.serving.breaker import STATE_CODES, CircuitBreaker
@@ -104,6 +107,12 @@ class GatewayConfig:
         deadline-class)`` on an unchanged epoch is answered from the memo
         without rescanning; any epoch publication invalidates the whole
         memo, so a hit can never serve pre-mutation rankings.
+    defense:
+        Optional :class:`~repro.defense.config.DefenseConfig` arming the
+        adversarial-workload defense layer (singleflight coalescing,
+        hot-key priority admission, publish backpressure).  ``None`` (or
+        the all-default instance) keeps behaviour bit-identical to a
+        gateway without the defense layer.
     """
 
     max_concurrency: int = 8
@@ -118,6 +127,7 @@ class GatewayConfig:
     retry_backoff: float = 0.002
     retry_jitter: float = 0.5
     memo_capacity: int = 1024
+    defense: DefenseConfig | None = None
 
     def __post_init__(self) -> None:
         if self.max_concurrency < 1:
@@ -169,6 +179,13 @@ class _QueryMemo:
                 self._entries.move_to_end(key)
             return entry
 
+    def contains(self, key: tuple) -> bool:
+        """Residency peek (no LRU refresh) — hot-key admission priority."""
+        if self._capacity == 0:
+            return False
+        with self._lock:
+            return key in self._entries
+
     def put(self, key: tuple, value, metrics) -> None:
         """Insert *value*; evicts the least-recently-used entry when full."""
         if self._capacity == 0:
@@ -212,13 +229,25 @@ class _AdmissionGate:
     #: Hint fallback before any query has completed (seconds).
     DEFAULT_SERVICE_TIME = 0.05
 
-    def __init__(self, max_concurrency: int, queue_depth: int, queue_timeout: float) -> None:
+    def __init__(
+        self,
+        max_concurrency: int,
+        queue_depth: int,
+        queue_timeout: float,
+        hot_priority: bool = False,
+    ) -> None:
         self._max_concurrency = max_concurrency
         self._queue_depth = queue_depth
         self._queue_timeout = queue_timeout
+        #: Skew-aware shedding (defense layer): a *hot* request — one
+        #: whose answer is already memoized, so admitting it costs a
+        #: dict lookup, not a scan — is admitted ahead of queued cold
+        #: scans when the gate is backlogged.
+        self._hot_priority = bool(hot_priority)
         self._cond = threading.Condition(threading.Lock())
         self._inflight = 0
         self._waiting = 0
+        self._waiting_hot = 0
         self._avg_service: float | None = None
 
     def record_service_time(self, seconds: float) -> None:
@@ -251,9 +280,12 @@ class _AdmissionGate:
         backlog = max(self._inflight - self._max_concurrency, 0) + self._waiting + 1
         return max(1.0, 1000.0 * avg * backlog / self._max_concurrency)
 
-    def admit(self, deadline_at: float | None, metrics) -> None:
+    def admit(self, deadline_at: float | None, metrics, hot: bool = False) -> None:
+        hot = hot and self._hot_priority
         with self._cond:
-            if self._inflight < self._max_concurrency:
+            if self._inflight < self._max_concurrency and (
+                hot or not (self._hot_priority and self._waiting_hot)
+            ):
                 self._inflight += 1
                 metrics.set_gauge("repro_serving_inflight", self._inflight)
                 return
@@ -265,12 +297,19 @@ class _AdmissionGate:
                     retry_after_ms=self._retry_after_ms_locked(),
                 )
             self._waiting += 1
+            if hot:
+                self._waiting_hot += 1
             metrics.set_gauge("repro_serving_queue_depth", self._waiting)
             try:
                 limit = time.monotonic() + self._queue_timeout
                 if deadline_at is not None:
                     limit = min(limit, deadline_at)
-                while self._inflight >= self._max_concurrency:
+                # A cold scan additionally yields while hot (memo-backed)
+                # requests are queued: under a flash crowd the backlog
+                # drains at memo speed instead of scan speed.
+                while self._inflight >= self._max_concurrency or (
+                    not hot and self._waiting_hot > 0
+                ):
                     remaining = limit - time.monotonic()
                     if remaining <= 0:
                         metrics.inc("repro_serving_shed_total", reason="queue_timeout")
@@ -281,9 +320,16 @@ class _AdmissionGate:
                         )
                     self._cond.wait(remaining)
                 self._inflight += 1
+                if hot:
+                    metrics.inc("repro_defense_hot_admissions_total")
                 metrics.set_gauge("repro_serving_inflight", self._inflight)
             finally:
                 self._waiting -= 1
+                if hot:
+                    self._waiting_hot -= 1
+                    # Cold waiters park on the hot count too; wake them
+                    # whenever it drops.
+                    self._cond.notify_all()
                 metrics.set_gauge("repro_serving_queue_depth", self._waiting)
 
     def release(self, metrics, service_seconds: float | None = None) -> None:
@@ -292,7 +338,10 @@ class _AdmissionGate:
         with self._cond:
             self._inflight -= 1
             metrics.set_gauge("repro_serving_inflight", self._inflight)
-            self._cond.notify()
+            if self._hot_priority:
+                self._cond.notify_all()
+            else:
+                self._cond.notify()
 
 
 class ServingGateway:
@@ -355,12 +404,25 @@ class ServingGateway:
         )
         self._rng = random.Random(seed)
         self._rng_lock = threading.Lock()
+        self._defense = self.config.defense or DefenseConfig()
         self._gate = _AdmissionGate(
             self.config.max_concurrency,
             self.config.queue_depth,
             self.config.queue_timeout,
+            hot_priority=self._defense.hot_priority,
         )
         self._memo = _QueryMemo(self.config.memo_capacity)
+        self._flights = SingleFlight() if self._defense.coalesce else None
+        self._governor = (
+            PublishGovernor(
+                self._defense.min_publish_interval,
+                self._defense.max_deferred_mutations,
+            )
+            if self._defense.min_publish_interval > 0
+            else None
+        )
+        self._publish_timer: threading.Timer | None = None
+        self._deferred_publish = False
         # Batched-mutation bookkeeping: inside a mutations() block the
         # per-mutation publish is deferred to the block's exit.  Both
         # fields are only touched under the writer lock.
@@ -369,6 +431,8 @@ class ServingGateway:
         # The initial epoch is published fault-free: a plan arming the
         # publish point targets *mutations*, not construction.
         self._publish(fire=False)
+        if self._governor is not None:
+            self._governor.published()
 
     # ------------------------------------------------------------------
     # Epoch publication (writer side)
@@ -433,11 +497,53 @@ class ServingGateway:
     # Mutations (serialized; each publishes a fresh epoch)
     # ------------------------------------------------------------------
     def _maybe_publish(self) -> None:
-        """Publish now, or mark pending inside a :meth:`mutations` block."""
+        """Publish now, or mark pending inside a :meth:`mutations` block.
+
+        With a :class:`~repro.defense.backpressure.PublishGovernor` armed
+        (``defense.min_publish_interval > 0``), a mutation landing inside
+        the minimum interval applies to the master immediately but defers
+        the publication; a one-shot timer flushes it when the interval
+        elapses, so a retire storm builds a bounded number of epochs and
+        the memo/response caches stop thrashing per mutation.
+        """
         if self._mutation_depth:
             self._publish_pending = True
             return
+        if self._governor is not None and self._governor.should_defer():
+            self._deferred_publish = True
+            get_metrics().inc("repro_defense_deferred_publishes_total")
+            self._arm_publish_timer()
+            return
+        self._publish_governed()
+
+    def _publish_governed(self) -> None:
+        """Publish now; folds any deferred publication into this one."""
+        self._deferred_publish = False
         self._publish()
+        if self._governor is not None:
+            self._governor.published()
+
+    def _arm_publish_timer(self) -> None:
+        """Arm the deferred-publication flush (under the writer lock)."""
+        if self._publish_timer is not None:
+            return
+        delay = max(self._governor.delay_remaining(), 1e-4)
+        timer = threading.Timer(delay, self._flush_deferred_publish)
+        timer.daemon = True
+        self._publish_timer = timer
+        timer.start()
+
+    def _flush_deferred_publish(self) -> None:
+        with self._write_lock:
+            self._publish_timer = None
+            if not self._deferred_publish or self._mutation_depth:
+                return
+            if self._governor.delay_remaining() > 0:
+                # A direct publication restarted the interval after this
+                # timer was armed; re-arm for the remainder.
+                self._arm_publish_timer()
+                return
+            self._publish_governed()
 
     @contextmanager
     def mutations(self):
@@ -460,7 +566,7 @@ class ServingGateway:
                 self._mutation_depth -= 1
                 if self._mutation_depth == 0 and self._publish_pending:
                     self._publish_pending = False
-                    self._publish()
+                    self._maybe_publish()
 
     def ingest_video(self, clip_or_record, owner=None, users=()) -> str:
         """Serialized :meth:`LiveCommunityIndex.ingest_video` + publish."""
@@ -482,6 +588,13 @@ class ServingGateway:
             self._maybe_publish()
             return stats
 
+    def remove_comments(self, comments) -> int:
+        """Serialized spam revocation (un-apply memberships) + publish."""
+        with self._write_lock:
+            removed = self._master.remove_comments(comments)
+            self._maybe_publish()
+            return removed
+
     def advance_watermark(self, month: int) -> int:
         """Serialized watermark advance + publish."""
         with self._write_lock:
@@ -492,8 +605,8 @@ class ServingGateway:
     # ------------------------------------------------------------------
     # Admission control
     # ------------------------------------------------------------------
-    def _admit(self, deadline_at: float | None, metrics) -> None:
-        self._gate.admit(deadline_at, metrics)
+    def _admit(self, deadline_at: float | None, metrics, hot: bool = False) -> None:
+        self._gate.admit(deadline_at, metrics, hot=hot)
 
     def _release(self, metrics, service_seconds: float | None = None) -> None:
         self._gate.release(metrics, service_seconds)
@@ -572,7 +685,77 @@ class ServingGateway:
         if deadline is None:
             deadline = self.config.default_deadline
         deadline_at = None if deadline is None else time.monotonic() + float(deadline)
-        self._admit(deadline_at, metrics)
+        defense = self._defense
+        hot = False
+        flight_key = None
+        if defense.coalesce or defense.hot_priority:
+            # Advisory pre-admission peek at the *current* epoch (no
+            # pin): the serving path recomputes everything against the
+            # epoch it actually pins, so a racing publish only costs the
+            # heuristic, never correctness.
+            epoch = self._epochs.current
+            deadline_class = "none" if deadline is None else f"{deadline:g}"
+            if defense.hot_priority:
+                hot = self._memo.contains(
+                    (epoch.epoch_id, query_id, int(top_k), self._omega, deadline_class)
+                ) or self._memo.contains(
+                    (epoch.epoch_id, query_id, int(top_k), 0.0, deadline_class)
+                )
+            if defense.coalesce:
+                flight_key = (
+                    epoch.epoch_id,
+                    query_id,
+                    int(top_k),
+                    deadline_class,
+                )
+        if flight_key is not None:
+            leader, flight = self._flights.begin(flight_key)
+            if not leader:
+                # Followers park *before* admission: the whole duplicate
+                # crowd consumes one queue slot (the leader's) and one
+                # scan.  A leader error (e.g. OverloadedError) propagates
+                # to the flock — one shed sheds the crowd.
+                budget = defense.coalesce_wait
+                if deadline_at is not None:
+                    budget = min(budget, max(0.001, deadline_at - time.monotonic()))
+                outcome = self._flights.wait(flight, budget)
+                if outcome is not TIMEOUT:
+                    metrics.inc("repro_defense_coalesced_followers_total")
+                    result = outcome.copy()
+                    result.epoch_id = outcome.epoch_id
+                    result.epoch = outcome.epoch
+                    result.omega_served = outcome.omega_served
+                    result.coalesced = True
+                    metrics.inc("repro_serving_queries_total")
+                    return result
+                # Leader outlived this follower's budget: fall back to
+                # the full serving path (correctness never waits).
+                metrics.inc("repro_defense_coalesce_timeouts_total")
+                return self._serve(query_id, top_k, deadline, deadline_at, trace, metrics, hot)
+            metrics.inc("repro_defense_coalesce_leaders_total")
+            try:
+                result = self._serve(
+                    query_id, top_k, deadline, deadline_at, trace, metrics, hot
+                )
+            except BaseException as error:
+                self._flights.finish(flight_key, flight, error=error)
+                raise
+            self._flights.finish(flight_key, flight, result=result)
+            return result
+        return self._serve(query_id, top_k, deadline, deadline_at, trace, metrics, hot)
+
+    def _serve(
+        self,
+        query_id: str,
+        top_k: int,
+        deadline: float | None,
+        deadline_at: float | None,
+        trace,
+        metrics,
+        hot: bool = False,
+    ) -> Recommendations:
+        """The admitted serving path (see :meth:`recommend`)."""
+        self._admit(deadline_at, metrics, hot=hot)
         admitted_at = time.monotonic()
         try:
             with metrics.time("repro_serving_latency_seconds"):

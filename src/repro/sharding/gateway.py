@@ -53,6 +53,9 @@ from contextlib import contextmanager
 import numpy as np
 
 from repro.core.recommender import Recommendations
+from repro.defense.backpressure import PublishGovernor
+from repro.defense.coalesce import TIMEOUT, SingleFlight
+from repro.defense.config import DefenseConfig
 from repro.measures.content import _segment_integrals
 from repro.obs import get_metrics
 from repro.serving.epoch import CommunityEpoch
@@ -206,12 +209,25 @@ class ShardedGateway:
         self._mutation_depth = 0
         self._publish_pending = False
         self._vector_lock = threading.Lock()
+        self._defense = self.config.defense or DefenseConfig()
         self._gate = _AdmissionGate(
             self.config.max_concurrency,
             self.config.queue_depth,
             self.config.queue_timeout,
+            hot_priority=self._defense.hot_priority,
         )
         self._memo = _QueryMemo(self.config.memo_capacity)
+        self._flights = SingleFlight() if self._defense.coalesce else None
+        self._governor = (
+            PublishGovernor(
+                self._defense.min_publish_interval,
+                self._defense.max_deferred_mutations,
+            )
+            if self._defense.min_publish_interval > 0
+            else None
+        )
+        self._publish_timer: threading.Timer | None = None
+        self._deferred_publish = False
         self._pool = ThreadPoolExecutor(
             max_workers=sharded.num_shards, thread_name_prefix="shard-scatter"
         )
@@ -223,6 +239,8 @@ class ShardedGateway:
             pinned = gw.epochs.pin_specific(epoch)
             assert pinned  # the constructor's epoch 0 is current
         self._epoch_vector = vector
+        if self._governor is not None:
+            self._governor.published()
 
     @staticmethod
     def _per_shard_plans(faults, num_shards: int) -> list:
@@ -281,10 +299,43 @@ class ShardedGateway:
         metrics.inc("repro_sharded_publish_total")
 
     def _maybe_republish(self) -> None:
+        """Republish now, defer into a block, or defer under the governor
+        (same backpressure model as :meth:`ServingGateway._maybe_publish`
+        — a storm of mutations builds a bounded number of epoch vectors)."""
         if self._mutation_depth:
             self._publish_pending = True
             return
+        if self._governor is not None and self._governor.should_defer():
+            self._deferred_publish = True
+            get_metrics().inc("repro_defense_deferred_publishes_total")
+            self._arm_publish_timer()
+            return
+        self._republish_governed()
+
+    def _republish_governed(self) -> None:
+        self._deferred_publish = False
         self._republish()
+        if self._governor is not None:
+            self._governor.published()
+
+    def _arm_publish_timer(self) -> None:
+        if self._publish_timer is not None:
+            return
+        delay = max(self._governor.delay_remaining(), 1e-4)
+        timer = threading.Timer(delay, self._flush_deferred_publish)
+        timer.daemon = True
+        self._publish_timer = timer
+        timer.start()
+
+    def _flush_deferred_publish(self) -> None:
+        with self._write_lock:
+            self._publish_timer = None
+            if not self._deferred_publish or self._mutation_depth:
+                return
+            if self._governor.delay_remaining() > 0:
+                self._arm_publish_timer()
+                return
+            self._republish_governed()
 
     @contextmanager
     def mutations(self):
@@ -298,7 +349,7 @@ class ShardedGateway:
                 self._mutation_depth -= 1
                 if self._mutation_depth == 0 and self._publish_pending:
                     self._publish_pending = False
-                    self._republish()
+                    self._maybe_republish()
 
     def ingest_video(self, clip_or_record, owner=None, users=()) -> str:
         with self._write_lock:
@@ -318,6 +369,13 @@ class ShardedGateway:
             stats = self.sharded.apply_comments(comments, incremental=incremental)
             self._maybe_republish()
             return stats
+
+    def remove_comments(self, comments) -> int:
+        """Serialized spam revocation across every shard + republish."""
+        with self._write_lock:
+            removed = self.sharded.remove_comments(comments)
+            self._maybe_republish()
+            return removed
 
     def advance_watermark(self, month: int) -> int:
         with self._write_lock:
@@ -396,7 +454,61 @@ class ShardedGateway:
         if deadline is None:
             deadline = self.config.default_deadline
         deadline_at = None if deadline is None else time.monotonic() + float(deadline)
-        self._gate.admit(deadline_at, metrics)
+        defense = self._defense
+        hot = False
+        flight_key = None
+        if defense.coalesce or defense.hot_priority:
+            # Advisory pre-admission peek at the current vector (no
+            # pin); see ServingGateway.recommend for the rationale.
+            with self._vector_lock:
+                vector = self._epoch_vector
+            epoch_ids = tuple(epoch.epoch_id for epoch in vector)
+            deadline_class = "none" if deadline is None else f"{deadline:g}"
+            if defense.hot_priority:
+                hot = self._memo.contains(
+                    (epoch_ids, query_id, int(top_k), deadline_class)
+                )
+            if defense.coalesce:
+                flight_key = (epoch_ids, query_id, int(top_k), deadline_class)
+        if flight_key is not None:
+            leader, flight = self._flights.begin(flight_key)
+            if not leader:
+                budget = defense.coalesce_wait
+                if deadline_at is not None:
+                    budget = min(budget, max(0.001, deadline_at - time.monotonic()))
+                outcome = self._flights.wait(flight, budget)
+                if outcome is not TIMEOUT:
+                    metrics.inc("repro_defense_coalesced_followers_total")
+                    result = outcome.copy()
+                    result.epoch_ids = outcome.epoch_ids
+                    result.epochs = outcome.epochs
+                    result.omega_served = outcome.omega_served
+                    result.shard_results = None
+                    result.coalesced = True
+                    metrics.inc("repro_sharded_queries_total")
+                    return result
+                metrics.inc("repro_defense_coalesce_timeouts_total")
+                return self._admitted_recommend(
+                    query_id, top_k, deadline, deadline_at, trace, metrics, hot
+                )
+            metrics.inc("repro_defense_coalesce_leaders_total")
+            try:
+                result = self._admitted_recommend(
+                    query_id, top_k, deadline, deadline_at, trace, metrics, hot
+                )
+            except BaseException as error:
+                self._flights.finish(flight_key, flight, error=error)
+                raise
+            self._flights.finish(flight_key, flight, result=result)
+            return result
+        return self._admitted_recommend(
+            query_id, top_k, deadline, deadline_at, trace, metrics, hot
+        )
+
+    def _admitted_recommend(
+        self, query_id, top_k, deadline, deadline_at, trace, metrics, hot=False
+    ) -> Recommendations:
+        self._gate.admit(deadline_at, metrics, hot=hot)
         admitted_at = time.monotonic()
         try:
             with metrics.time("repro_sharded_latency_seconds"):

@@ -334,6 +334,14 @@ class ShardedIndex:
             for shard in self.shards
         ]
 
+    def remove_comments(self, comments: Iterable[tuple[str, str]]) -> int:
+        """Un-apply a revoked batch from every shard's replicated state."""
+        pairs = list(comments)
+        removed = 0
+        for shard in self.shards:
+            removed = shard.remove_comments(pairs)
+        return removed
+
     def advance_watermark(self, month: int) -> int:
         """Advance every shard's comment watermark."""
         result = 0

@@ -49,6 +49,10 @@ class SocialDescriptor:
         """A new descriptor with *users* added (descriptors are immutable)."""
         return SocialDescriptor(video_id=self.video_id, users=self.users | frozenset(users))
 
+    def without_users(self, users: Iterable[str]) -> "SocialDescriptor":
+        """A new descriptor with *users* removed (spam revocation)."""
+        return SocialDescriptor(video_id=self.video_id, users=self.users - frozenset(users))
+
 
 def jaccard(first: SocialDescriptor, second: SocialDescriptor) -> float:
     """Exact social relevance ``sJ`` (Eq. 5), set-based implementation.

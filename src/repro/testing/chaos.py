@@ -29,6 +29,27 @@ nondeterministically (that is the point of a soak), but the *workload* —
 who ingests what, which queries carry tight deadlines, when fault bursts
 arm — replays exactly.
 
+Beyond the baseline chaos, ``scenario`` selects one of three seeded
+**adversarial** workloads (DESIGN §16), each paired with the defense
+mechanism built to absorb it.  The attack occupies the middle
+``attack_start``..``attack_end`` fraction of the reader progress, so the
+report can measure a pre-attack latency baseline, the p99 *during* the
+attack, and — from the timestamped per-query latency series — the
+**time-to-recover**: how long after the attack stops until a window of
+queries runs at p99 within ``recovery_factor`` of the baseline again.
+
+* ``flash_crowd`` — extra attack readers hammer one hot key with
+  identical queries; singleflight coalescing (``defense.coalesce``)
+  should collapse the crowd's concurrent memo misses into single scans.
+* ``spam_burst`` — burst commenters flood ``apply_comments`` through a
+  :class:`~repro.defense.quarantine.SpamGuard`; regular writers stand
+  down so the *rank correlation* between the final and the pre-attack
+  rankings isolates exactly the spam's surviving influence (1.0 = the
+  quarantine withheld/revoked everything).
+* ``retire_storm`` — a mutation storm of rapid ingest/retire churn; the
+  publish governor (``defense.min_publish_interval``) should amortize
+  the epoch/memo/response-cache thrash into bounded publications.
+
 With ``shards > 1`` the same harness runs against a
 :class:`~repro.sharding.ShardedGateway` over a
 :class:`~repro.sharding.ShardedIndex`: writer pools are grouped by owner
@@ -52,13 +73,14 @@ import json
 import os
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.community.workload import build_workload
 from repro.core.config import RecommenderConfig
 from repro.core.pipeline import LiveCommunityIndex
+from repro.defense import DefenseConfig, SpamGuard
 from repro.core.fusion import fuse_fj
 from repro.core.recommender import (
     FusionRecommender,
@@ -96,6 +118,10 @@ class SoakConfig:
     base_videos: int = 36
     writer_ops: int = 25
     writer_pause: float = 0.001
+    #: Per-query reader pause (0 = flat out).  Adversarial scenarios set
+    #: it so the soak spans real wall-time: the attack window and the
+    #: recovery tail are measured in seconds, not query counts.
+    reader_pause: float = 0.0
     #: Every Nth query of each reader carries ``tight_deadline`` seconds.
     tight_deadline_every: int = 17
     tight_deadline: float = 1e-4
@@ -111,6 +137,28 @@ class SoakConfig:
     #: Social mode both the gateway under soak and the serial oracles
     #: serve with — "sketch" runs the whole soak on the odd-sketch bank.
     social_mode: str = "sar-h"
+    #: Adversarial scenario: ``none`` (baseline chaos), ``flash_crowd``,
+    #: ``spam_burst`` or ``retire_storm`` (module docstring).
+    scenario: str = "none"
+    #: Defense knobs under test (``None`` = undefended; the scenario then
+    #: measures the *unmitigated* damage).  Threads into the gateway
+    #: config and, for ``spam_burst``, builds the :class:`SpamGuard`.
+    defense: DefenseConfig | None = None
+    #: The attack window, as fractions of total reader progress: the
+    #: attack starts once that share of queries resolved and stands down
+    #: at the second mark, leaving the tail to measure recovery.
+    attack_start: float = 0.3
+    attack_end: float = 0.7
+    #: Concurrent attack threads (flash-crowd readers / spam users).
+    attack_threads: int = 6
+    #: Per-thread attack operation budget (a hard cap under the window).
+    attack_ops: int = 500
+    attack_pause: float = 0.0005
+    #: Recovered = a post-attack window whose p99 is within this factor
+    #: of the pre-attack baseline p99.
+    recovery_factor: float = 2.0
+    #: Width (seconds) of the post-attack windows recovery scans over.
+    recovery_window: float = 0.25
     gateway: GatewayConfig = field(
         default_factory=lambda: GatewayConfig(
             max_concurrency=8,
@@ -131,6 +179,23 @@ class SoakConfig:
             raise ValueError("need at least one query per reader")
         if self.shards < 1:
             raise ValueError("shards must be >= 1")
+        if self.scenario not in ("none", "flash_crowd", "spam_burst", "retire_storm"):
+            raise ValueError(f"unknown scenario {self.scenario!r}")
+        if not 0.0 <= self.attack_start < self.attack_end <= 1.0:
+            raise ValueError(
+                f"attack window must satisfy 0 <= start < end <= 1, got "
+                f"[{self.attack_start}, {self.attack_end}]"
+            )
+        if self.attack_threads < 1:
+            raise ValueError(f"attack_threads must be >= 1, got {self.attack_threads}")
+        if self.recovery_factor < 1.0:
+            raise ValueError(
+                f"recovery_factor must be >= 1, got {self.recovery_factor}"
+            )
+        if self.recovery_window <= 0:
+            raise ValueError(
+                f"recovery_window must be > 0, got {self.recovery_window}"
+            )
 
 
 @dataclass
@@ -172,10 +237,33 @@ class SoakReport:
     shard_breaker_transitions: list[list[tuple[str, str]]] = field(
         default_factory=list
     )
+    #: Adversarial scenario bookkeeping (scenario != "none" only).
+    scenario: str = "none"
+    attack_ops_done: int = 0
+    attack_errors: list[str] = field(default_factory=list)
+    #: ``(begin, end)`` of the attack, seconds relative to soak start.
+    attack_window: tuple[float, float] | None = None
+    baseline_p99_ms: float = 0.0
+    attack_p99_ms: float = 0.0
+    #: Seconds after the attack stood down until a query window ran at
+    #: p99 within ``recovery_factor`` of baseline again (0.0 = never
+    #: degraded past it; ``None`` = never recovered within the run).
+    recovery_seconds: float | None = None
+    #: ``spam_burst`` only: mean top-K overlap between the final and the
+    #: pre-attack rankings over the base queries (1.0 = spam left no
+    #: trace in the served rankings).
+    rank_correlation: float | None = None
+    #: ``spam_burst`` only: the guard's verdict tallies.
+    quarantine: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
-        return not (self.parity_failures or self.reader_errors or self.writer_errors)
+        return not (
+            self.parity_failures
+            or self.reader_errors
+            or self.writer_errors
+            or self.attack_errors
+        )
 
     @property
     def shed_rate(self) -> float:
@@ -209,6 +297,15 @@ class SoakReport:
             "elapsed_seconds": self.elapsed_seconds,
             "shard_sizes": self.shard_sizes,
             "shard_breaker_transitions": self.shard_breaker_transitions,
+            "scenario": self.scenario,
+            "attack_ops_done": self.attack_ops_done,
+            "attack_errors": self.attack_errors,
+            "attack_window": self.attack_window,
+            "baseline_p99_ms": self.baseline_p99_ms,
+            "attack_p99_ms": self.attack_p99_ms,
+            "recovery_seconds": self.recovery_seconds,
+            "rank_correlation": self.rank_correlation,
+            "quarantine": self.quarantine,
             "ok": self.ok,
         }
 
@@ -325,8 +422,9 @@ def _reader_loop(
     rng: np.random.Generator,
     report: SoakReport,
     records: list[_QueryRecord],
-    latencies: list[float],
+    latencies: list[tuple[float, float]],
     lock: threading.Lock,
+    t0: float,
 ) -> None:
     count = config.queries // config.readers
     if reader < config.queries % config.readers:
@@ -370,7 +468,9 @@ def _reader_loop(
             if result.partial:
                 report.queries_partial += 1
             records.append(record)
-            latencies.append(elapsed)
+            latencies.append((started - t0, elapsed))
+        if config.reader_pause:
+            time.sleep(config.reader_pause)
 
 
 def _fault_loop(
@@ -392,6 +492,231 @@ def _fault_loop(
     # Recovery window: disarm so the breakers can close before the run ends.
     for plan in plans:
         plan.arm_failures(SERVE_SOCIAL_POINT, 0)
+
+
+@dataclass
+class _AttackState:
+    """Shared bookkeeping of one adversarial scenario's attack threads."""
+
+    begin: float | None = None
+    end: float | None = None
+    ops: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def mark_begin(self, stamp: float) -> None:
+        with self.lock:
+            if self.begin is None or stamp < self.begin:
+                self.begin = stamp
+
+    def mark_end(self, stamp: float) -> None:
+        with self.lock:
+            if self.end is None or stamp > self.end:
+                self.end = stamp
+
+    def add_ops(self, count: int) -> None:
+        with self.lock:
+            self.ops += count
+
+
+def _progress(report: SoakReport, lock: threading.Lock) -> int:
+    """Resolved reader queries so far (served, shed or errored)."""
+    with lock:
+        return (
+            report.queries_total + report.queries_shed + len(report.reader_errors)
+        )
+
+
+def _await_attack_start(
+    config: SoakConfig, report: SoakReport, lock: threading.Lock
+) -> None:
+    threshold = int(config.attack_start * config.queries)
+    while _progress(report, lock) < threshold:
+        time.sleep(0.001)
+
+
+def _attack_over(
+    config: SoakConfig, report: SoakReport, lock: threading.Lock, ops: int
+) -> bool:
+    if ops >= config.attack_ops:
+        return True
+    # Floor: even when the readers outran the window, the attack lands a
+    # meaningful volume so its report fields measure something real.
+    if ops < max(1, config.attack_ops // 8):
+        return False
+    return _progress(report, lock) >= int(config.attack_end * config.queries)
+
+
+def _record_attack_error(
+    report: SoakReport, lock: threading.Lock, error: Exception
+) -> None:
+    with lock:
+        report.attack_errors.append(f"{type(error).__name__}: {error}")
+
+
+def _flash_crowd_loop(
+    gateway,
+    hot_id: str,
+    config: SoakConfig,
+    report: SoakReport,
+    state: _AttackState,
+    lock: threading.Lock,
+    t0: float,
+) -> None:
+    """One flash-crowd reader: identical hot-key queries, no pause.
+
+    Sheds are expected (the crowd *is* the overload); any other failure
+    is an attack error.  The defended gateway collapses the crowd's
+    concurrent memo misses into single scans via singleflight.
+    """
+    _await_attack_start(config, report, lock)
+    state.mark_begin(time.monotonic() - t0)
+    ops = 0
+    try:
+        while not _attack_over(config, report, lock, ops):
+            try:
+                gateway.recommend(hot_id, top_k=config.top_k)
+            except OverloadedError:
+                pass
+            ops += 1
+    except Exception as error:  # noqa: BLE001 - recorded, never hidden
+        _record_attack_error(report, lock, error)
+    state.add_ops(ops)
+    state.mark_end(time.monotonic() - t0)
+
+
+def _spam_burst_loop(
+    gateway,
+    guard: SpamGuard | None,
+    spam_users: list[str],
+    base_ids: list[str],
+    config: SoakConfig,
+    report: SoakReport,
+    state: _AttackState,
+    lock: threading.Lock,
+    t0: float,
+    rng: np.random.Generator,
+) -> None:
+    """The spam flood: every attacker bursts comments at the base videos.
+
+    With a *guard*, each batch routes through :meth:`SpamGuard.filter`
+    exactly as the HTTP front-end's apply path does — passed pairs apply,
+    revoked pairs un-apply; without one, the flood lands unfiltered (the
+    unmitigated baseline the rank-correlation measurement exposes).
+    """
+    _await_attack_start(config, report, lock)
+    state.mark_begin(time.monotonic() - t0)
+    ops = 0
+    try:
+        while not _attack_over(config, report, lock, ops):
+            pairs = [
+                (user, base_ids[int(rng.integers(0, len(base_ids)))])
+                for user in spam_users
+                for _ in range(4)
+            ]
+            if guard is not None:
+                verdict = guard.filter(pairs)
+                if verdict.passed:
+                    gateway.apply_comments(verdict.passed)
+                if verdict.revoked:
+                    gateway.remove_comments(verdict.revoked)
+            else:
+                gateway.apply_comments(pairs)
+            ops += len(pairs)
+            if config.attack_pause:
+                time.sleep(config.attack_pause)
+    except Exception as error:  # noqa: BLE001 - recorded, never hidden
+        _record_attack_error(report, lock, error)
+    state.add_ops(ops)
+    state.mark_end(time.monotonic() - t0)
+
+
+def _retire_storm_loop(
+    gateway,
+    dataset,
+    storm_pool: list[str],
+    config: SoakConfig,
+    report: SoakReport,
+    state: _AttackState,
+    lock: threading.Lock,
+    t0: float,
+) -> None:
+    """The mutation storm: ingest/retire churn as fast as it will go.
+
+    Every cycle is two mutations — without a publish governor that is
+    two epoch publications (plus memo and response-cache invalidations);
+    with one, publication amortizes to the configured interval.
+    """
+    _await_attack_start(config, report, lock)
+    state.mark_begin(time.monotonic() - t0)
+    ops = 0
+    live: list[str] = []
+    try:
+        while not _attack_over(config, report, lock, ops):
+            if live:
+                gateway.retire_video(live.pop())
+            else:
+                vid = storm_pool[(ops // 2) % len(storm_pool)]
+                gateway.ingest_video(dataset.records[vid])
+                live.append(vid)
+            ops += 1
+            if config.attack_pause:
+                time.sleep(config.attack_pause)
+        for vid in live:
+            gateway.retire_video(vid)
+    except Exception as error:  # noqa: BLE001 - recorded, never hidden
+        _record_attack_error(report, lock, error)
+    state.add_ops(ops)
+    state.mark_end(time.monotonic() - t0)
+
+
+def _measure_attack(
+    latencies: list[tuple[float, float]],
+    state: _AttackState,
+    config: SoakConfig,
+    report: SoakReport,
+) -> None:
+    """Fill the report's attack-window latency + recovery-SLO fields.
+
+    The recovery SLO (DESIGN §16): *recovered* means a
+    ``recovery_window``-wide bucket of post-attack queries whose p99 is
+    within ``recovery_factor`` of the pre-attack baseline p99.
+    ``recovery_seconds`` is the offset of the first such bucket past the
+    attack's end — 0.0 when the very first bucket is already healthy,
+    ``None`` when no bucket recovers before the run ends.
+    """
+    if state.begin is None or state.end is None:
+        return
+    report.attack_window = (state.begin, state.end)
+    before = [seconds for stamp, seconds in latencies if stamp < state.begin]
+    during = [
+        seconds for stamp, seconds in latencies if state.begin <= stamp <= state.end
+    ]
+    after = sorted(
+        (stamp, seconds) for stamp, seconds in latencies if stamp > state.end
+    )
+    if not before or not during:
+        return
+    baseline = float(np.percentile(np.asarray(before), 99))
+    report.baseline_p99_ms = baseline * 1000.0
+    report.attack_p99_ms = float(np.percentile(np.asarray(during), 99)) * 1000.0
+    threshold = config.recovery_factor * baseline
+    bucket_of = lambda stamp: int((stamp - state.end) // config.recovery_window)
+    buckets: dict[int, list[float]] = {}
+    for stamp, seconds in after:
+        buckets.setdefault(bucket_of(stamp), []).append(seconds)
+    for bucket in sorted(buckets):
+        if float(np.percentile(np.asarray(buckets[bucket]), 99)) <= threshold:
+            report.recovery_seconds = bucket * config.recovery_window
+            break
+
+
+def _rank_overlap(before: dict[str, list[str]], after: dict[str, list[str]]) -> float:
+    """Mean top-K set overlap between two ranking maps (1.0 = identical)."""
+    fractions = [
+        len(set(before[qid]) & set(after[qid])) / max(1, len(before[qid]))
+        for qid in before
+    ]
+    return float(np.mean(fractions)) if fractions else 1.0
 
 
 def _verify(records: list[_QueryRecord], config: SoakConfig, report: SoakReport) -> None:
@@ -672,6 +997,14 @@ def _dump_artifact(config: SoakConfig, report: SoakReport) -> str | None:
             "fault_burst": config.fault_burst,
             "shards": config.shards,
             "router": config.router,
+            "scenario": config.scenario,
+            "attack_start": config.attack_start,
+            "attack_end": config.attack_end,
+            "attack_threads": config.attack_threads,
+            "attack_ops": config.attack_ops,
+            "recovery_factor": config.recovery_factor,
+            "recovery_window": config.recovery_window,
+            "defense": None if config.defense is None else vars(config.defense),
         },
         "report": report.to_dict(),
     }
@@ -688,7 +1021,7 @@ def run_soak(config: SoakConfig | None = None) -> SoakReport:
     ``report.metrics`` — a soak never pollutes the process registry.
     """
     config = config or SoakConfig()
-    report = SoakReport(config_seed=config.seed)
+    report = SoakReport(config_seed=config.seed, scenario=config.scenario)
     workload = build_workload(hours=config.hours, seed=config.seed % (2**31))
     dataset = workload.dataset
     masters = sorted(
@@ -716,13 +1049,39 @@ def run_soak(config: SoakConfig | None = None) -> SoakReport:
         index = LiveCommunityIndex(dataset.subset(base_ids), rec_config)
         index.dataset.comments = list(dataset.comments)
         plans = [FaultPlan()]
+    # The retire storm churns its own pool, stolen from the writers so
+    # storm and writer mutations never touch the same video.
+    storm_pool: list[str] = []
+    if config.scenario == "retire_storm":
+        for pool in pools:
+            while len(pool) > 2 and len(storm_pool) < 4 * config.writers:
+                storm_pool.append(pool.pop())
+        if not storm_pool:
+            raise ValueError("community too small for a retire storm pool")
+    gateway_config = config.gateway
+    if config.defense is not None:
+        gateway_config = replace(gateway_config, defense=config.defense)
+    guard: SpamGuard | None = None
+    if (
+        config.scenario == "spam_burst"
+        and config.defense is not None
+        and config.defense.quarantine
+    ):
+        master = index.shards[0] if sharded else index
+        store = master.social_store
+
+        def _membership(user: str, video: str) -> bool:
+            descriptor = store.descriptors.get(video)
+            return descriptor is not None and user in descriptor.users
+
+        guard = SpamGuard(config.defense, membership=_membership)
     metrics = MetricsRegistry()
     started = time.monotonic()
     with use_metrics(metrics):
         if sharded:
             gateway = ShardedGateway(
                 index,
-                config=config.gateway,
+                config=gateway_config,
                 faults=plans,
                 seed=config.seed,
                 social_mode=config.social_mode,
@@ -730,18 +1089,28 @@ def run_soak(config: SoakConfig | None = None) -> SoakReport:
         else:
             gateway = ServingGateway(
                 index,
-                config=config.gateway,
+                config=gateway_config,
                 faults=plans[0],
                 seed=config.seed,
                 social_mode=config.social_mode,
             )
+        baseline_rank: dict[str, list[str]] = {}
+        if config.scenario == "spam_burst":
+            baseline_rank = {
+                qid: list(gateway.recommend(qid, top_k=config.top_k))
+                for qid in base_ids
+            }
         lock = threading.Lock()
         records: list[_QueryRecord] = []
-        latencies: list[float] = []
+        latencies: list[tuple[float, float]] = []
         stop = threading.Event()
         fault_thread = threading.Thread(
             target=_fault_loop, args=(plans, config, stop), name="chaos-faults"
         )
+        # The spam scenario stands the regular writers down: with the
+        # only mutations being (guarded) spam, the final-vs-baseline
+        # rank correlation isolates exactly the spam's surviving trace.
+        spawn_writers = config.scenario != "spam_burst"
         writer_threads = [
             threading.Thread(
                 target=_writer_loop,
@@ -757,7 +1126,7 @@ def run_soak(config: SoakConfig | None = None) -> SoakReport:
                 ),
                 name=f"chaos-writer-{i}",
             )
-            for i in range(config.writers)
+            for i in range(config.writers if spawn_writers else 0)
         ]
         reader_threads = [
             threading.Thread(
@@ -772,20 +1141,78 @@ def run_soak(config: SoakConfig | None = None) -> SoakReport:
                     records,
                     latencies,
                     lock,
+                    started,
                 ),
                 name=f"chaos-reader-{i}",
             )
             for i in range(config.readers)
         ]
+        attack_state = _AttackState()
+        attack_threads: list[threading.Thread] = []
+        if config.scenario == "flash_crowd":
+            attack_threads = [
+                threading.Thread(
+                    target=_flash_crowd_loop,
+                    args=(
+                        gateway,
+                        base_ids[0],
+                        config,
+                        report,
+                        attack_state,
+                        lock,
+                        started,
+                    ),
+                    name=f"chaos-crowd-{i}",
+                )
+                for i in range(config.attack_threads)
+            ]
+        elif config.scenario == "spam_burst":
+            spam_users = [f"spammer-{i:03d}" for i in range(config.attack_threads)]
+            attack_threads = [
+                threading.Thread(
+                    target=_spam_burst_loop,
+                    args=(
+                        gateway,
+                        guard,
+                        spam_users,
+                        base_ids,
+                        config,
+                        report,
+                        attack_state,
+                        lock,
+                        started,
+                        np.random.default_rng(config.seed + 3000),
+                    ),
+                    name="chaos-spam",
+                )
+            ]
+        elif config.scenario == "retire_storm":
+            attack_threads = [
+                threading.Thread(
+                    target=_retire_storm_loop,
+                    args=(
+                        gateway,
+                        dataset,
+                        storm_pool,
+                        config,
+                        report,
+                        attack_state,
+                        lock,
+                        started,
+                    ),
+                    name="chaos-storm",
+                )
+            ]
         fault_thread.start()
-        for thread in writer_threads + reader_threads:
+        for thread in writer_threads + reader_threads + attack_threads:
             thread.start()
         for thread in reader_threads:
             thread.join()
-        for thread in writer_threads:
+        for thread in writer_threads + attack_threads:
             thread.join()
         stop.set()
         fault_thread.join()
+        report.attack_ops_done = attack_state.ops
         # Snapshot serving metrics now: the breaker-recovery queries
         # below are post-soak bookkeeping, not soak traffic, and must
         # not skew the counters the tests reconcile against the report.
@@ -804,6 +1231,24 @@ def run_soak(config: SoakConfig | None = None) -> SoakReport:
                 gateway.recommend(base_ids[0], top_k=config.top_k)
             except OverloadedError:  # pragma: no cover - drained by now
                 pass
+        if config.scenario == "spam_burst":
+            final_rank = {
+                qid: list(gateway.recommend(qid, top_k=config.top_k))
+                for qid in base_ids
+            }
+            report.rank_correlation = _rank_overlap(baseline_rank, final_rank)
+            if guard is not None:
+                report.quarantine = {
+                    "suspect_users": guard.suspect_users,
+                    "held_comments": guard.held_comments,
+                    "confirmed_users": sum(
+                        1
+                        for user in (
+                            f"spammer-{i:03d}" for i in range(config.attack_threads)
+                        )
+                        if guard.state_of(user) == "confirmed"
+                    ),
+                }
         if sharded:
             gateway.close()
     report.elapsed_seconds = time.monotonic() - started
@@ -818,12 +1263,14 @@ def run_soak(config: SoakConfig | None = None) -> SoakReport:
             list(gw.breaker.transitions) for gw in shard_gateways
         ]
     if latencies:
-        ordered = np.sort(np.asarray(latencies))
+        ordered = np.sort(np.asarray([seconds for _, seconds in latencies]))
         report.latencies_ms = {
             "p50": float(np.percentile(ordered, 50) * 1000),
             "p99": float(np.percentile(ordered, 99) * 1000),
             "max": float(ordered[-1] * 1000),
         }
+    if config.scenario != "none":
+        _measure_attack(latencies, attack_state, config, report)
     if config.verify:
         _verify(records, config, report)
     if not report.ok:

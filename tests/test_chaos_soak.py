@@ -21,6 +21,7 @@ import os
 
 import pytest
 
+from repro.defense import DefenseConfig
 from repro.serving.breaker import CLOSED, HALF_OPEN, OPEN
 from repro.testing.chaos import SoakConfig, SoakReport, _dump_artifact, run_soak
 
@@ -228,6 +229,108 @@ class TestSketchModeSoak:
         )
         assert report.parity_failures == []
         assert report.ok
+
+
+def _adversarial_config(scenario, **overrides):
+    """A small paced soak with the scenario's defense armed.
+
+    Readers are paced so the attack window spans real wall time and the
+    recovery tail is measurable even at smoke scale.
+    """
+    base = dict(
+        queries=800,
+        writers=2,
+        readers=6,
+        seed=2018,
+        hours=2.0,
+        base_videos=10,
+        reader_pause=0.001,
+        attack_start=0.25,
+        attack_end=0.55,
+        recovery_window=0.1,
+        scenario=scenario,
+    )
+    base.update(overrides)
+    return SoakConfig(**base)
+
+
+class TestAdversarialScenarios:
+    """Smoke-scale runs of the DESIGN §16 attack scenarios (the full
+    pressure versions run in the adversarial bench / CI soak job)."""
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            SoakConfig(scenario="ddos")
+
+    def test_attack_knobs_validated(self):
+        with pytest.raises(ValueError):
+            SoakConfig(scenario="flash_crowd", attack_start=0.8, attack_end=0.2)
+        with pytest.raises(ValueError):
+            SoakConfig(scenario="flash_crowd", attack_threads=0)
+
+    def test_flash_crowd_coalesces_under_parity(self):
+        report = run_soak(
+            _adversarial_config(
+                "flash_crowd",
+                defense=DefenseConfig(coalesce=True, hot_priority=True),
+                attack_threads=4,
+                attack_ops=200,
+            )
+        )
+        assert report.ok
+        assert report.reader_errors == [] and report.attack_errors == []
+        assert report.attack_ops_done > 0
+        counters = report.metrics["counters"]
+        # The crowd's identical misses collapsed into shared flights, and
+        # every coalesced answer still matched the serial oracle.
+        assert counters.get("repro_defense_coalesced_followers_total", 0) >= 1
+        assert report.parity_failures == []
+        assert report.attack_window is not None
+        assert report.baseline_p99_ms is not None
+
+    def test_spam_burst_quarantined_and_rankings_hold(self):
+        report = run_soak(
+            _adversarial_config(
+                "spam_burst",
+                defense=DefenseConfig(
+                    quarantine=True,
+                    spam_window=5.0,
+                    spam_burst=8,
+                    spam_confirm=24,
+                    spam_clear=2,
+                ),
+                attack_threads=4,
+                attack_ops=250,
+                # Full-fidelity final recommends for the rank measurement.
+                fault_burst_every=0.0,
+            )
+        )
+        assert report.ok
+        assert report.attack_errors == []
+        assert report.attack_ops_done > 0
+        assert report.quarantine["confirmed_users"] >= 1
+        # The post-attack rankings overlap the clean pre-attack oracle:
+        # hold/block/revoke left (nearly) no spam trace in the index.
+        assert report.rank_correlation is not None
+        assert report.rank_correlation >= 0.9
+
+    def test_retire_storm_absorbed_by_the_governor(self):
+        report = run_soak(
+            _adversarial_config(
+                "retire_storm",
+                defense=DefenseConfig(min_publish_interval=0.05),
+                attack_ops=40,
+                attack_pause=0.002,
+            )
+        )
+        assert report.ok
+        assert report.attack_errors == []
+        assert report.attack_ops_done > 0
+        counters = report.metrics["counters"]
+        # The storm's per-mutation publications collapsed into deferred
+        # batches instead of epoch thrash.
+        assert counters.get("repro_defense_deferred_publishes_total", 0) >= 1
+        assert report.epochs_live == 1  # still drains to one live epoch
 
 
 class TestArtifacts:

@@ -18,6 +18,7 @@ from repro.errors import (
     ReproError,
     ServingError,
     SocialStoreUnavailableError,
+    SpamQuarantinedError,
 )
 from repro.net.protocol import (
     HEADER_RETRY_AFTER,
@@ -36,6 +37,7 @@ class TestStatusTable:
         expected = {
             RateLimitedError: (429, "rate_limited"),
             OverloadedError: (429, "overloaded"),
+            SpamQuarantinedError: (429, "spam_quarantined"),
             SocialStoreUnavailableError: (503, "social_unavailable"),
             DurabilityError: (500, "durability"),
             ServingError: (500, "serving"),

@@ -11,6 +11,7 @@ from repro.core import (
     LiveCommunityIndex,
     RecommenderConfig,
 )
+from repro.defense import init_defense_metrics
 from repro.obs import (
     NULL_TRACE,
     MetricsRegistry,
@@ -51,6 +52,13 @@ def golden_scenario() -> MetricsRegistry:
         registry.observe("repro_query_seconds", value)
     with registry.time("repro_stage_seconds", stage="content_scores"):
         pass
+    # The defense family: zero-registered so an idle deployment still
+    # exposes every series, then a few mechanisms fire.
+    init_defense_metrics(registry)
+    registry.inc("repro_defense_coalesce_leaders_total")
+    registry.inc("repro_defense_coalesced_followers_total", 3)
+    registry.inc("repro_defense_quarantined_comments_total", 2)
+    registry.set_gauge("repro_defense_suspect_users", 1)
     return registry
 
 
